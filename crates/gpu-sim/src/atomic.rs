@@ -1,0 +1,135 @@
+//! Device-atomic helpers and contention estimation.
+//!
+//! Parallel regions coordinate through std atomics (which is what the host
+//! execution actually uses); this module adds the pieces CUDA has that std
+//! lacks plus heuristics for estimating how many of a batch of atomic
+//! updates serialize — the quantity the cost model charges for.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// `atomicMax` on a `u32` cell; returns the previous value.
+pub fn atomic_max_u32(cell: &AtomicU32, val: u32) -> u32 {
+    cell.fetch_max(val, Ordering::Relaxed)
+}
+
+/// `atomicMin` on a `usize` cell; returns the previous value.
+pub fn atomic_min_usize(cell: &AtomicUsize, val: usize) -> usize {
+    cell.fetch_min(val, Ordering::Relaxed)
+}
+
+/// `atomicAdd` on a `u64` cell; returns the previous value.
+pub fn atomic_add_u64(cell: &AtomicU64, val: u64) -> u64 {
+    cell.fetch_add(val, Ordering::Relaxed)
+}
+
+/// View a mutable `u32` slice as atomic cells so a parallel region can
+/// scatter-update it. Safe: `AtomicU32` has the same layout as `u32` and the
+/// borrow is exclusive for the view's lifetime.
+pub fn as_atomic_u32(slice: &mut [u32]) -> &[AtomicU32] {
+    unsafe { &*(slice as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// View a mutable `u64` slice as atomic cells.
+pub fn as_atomic_u64(slice: &mut [u64]) -> &[AtomicU64] {
+    unsafe { &*(slice as *mut [u64] as *const [AtomicU64]) }
+}
+
+/// Expected number of serialized updates when `updates` atomic operations
+/// land on `addresses` distinct locations with the given skew.
+///
+/// `skew` is the fraction of updates hitting the single hottest address
+/// (1/addresses for uniform data, approaching 1.0 for degenerate
+/// histograms). Updates to the hottest address serialize fully; the
+/// remainder are assumed spread widely enough to conflict only within a
+/// warp, costing `warp_collision_rate` of them.
+pub fn expected_conflicts(updates: u64, addresses: u64, skew: f64) -> u64 {
+    if updates == 0 || addresses == 0 {
+        return 0;
+    }
+    let skew = skew.clamp(0.0, 1.0);
+    let hot = (updates as f64 * skew) as u64;
+    let rest = updates - hot;
+    // Birthday-style within-warp collision rate for the non-hot updates: a
+    // warp of 32 lanes over `addresses` bins.
+    let warp_collision_rate = (31.0 / addresses as f64).min(1.0);
+    hot + (rest as f64 * warp_collision_rate) as u64
+}
+
+/// Fraction of updates hitting the hottest bin, given a histogram. Feeds
+/// [`expected_conflicts`]: the paper's Gomez-Luna histogram replicates
+/// per-block copies precisely to dilute this skew.
+pub fn histogram_skew(freqs: &[u64]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = freqs.iter().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn atomic_views_share_storage() {
+        let mut v = vec![0u32; 16];
+        {
+            let a = as_atomic_u32(&mut v);
+            (0..1000usize).into_par_iter().for_each(|i| {
+                a[i % 16].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(v.iter().sum::<u32>(), 1000);
+        assert!(v.iter().all(|&x| x == 62 || x == 63));
+    }
+
+    #[test]
+    fn atomic_u64_view() {
+        let mut v = vec![0u64; 4];
+        {
+            let a = as_atomic_u64(&mut v);
+            a[2].fetch_add(7, Ordering::Relaxed);
+        }
+        assert_eq!(v[2], 7);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let c = AtomicU32::new(5);
+        atomic_max_u32(&c, 9);
+        assert_eq!(c.load(Ordering::Relaxed), 9);
+        let m = AtomicUsize::new(100);
+        atomic_min_usize(&m, 7);
+        assert_eq!(m.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn uniform_data_has_few_conflicts() {
+        // 1M updates over 65536 bins, uniform: warp collisions only.
+        let c = expected_conflicts(1_000_000, 65536, 1.0 / 65536.0);
+        assert!(c < 10_000, "{c}");
+    }
+
+    #[test]
+    fn degenerate_data_serializes() {
+        // Everything in one bin: all updates conflict.
+        let c = expected_conflicts(1_000_000, 256, 1.0);
+        assert_eq!(c, 1_000_000);
+    }
+
+    #[test]
+    fn zero_updates_zero_conflicts() {
+        assert_eq!(expected_conflicts(0, 10, 0.5), 0);
+        assert_eq!(expected_conflicts(10, 0, 0.5), 0);
+    }
+
+    #[test]
+    fn histogram_skew_examples() {
+        assert!((histogram_skew(&[1, 1, 1, 1]) - 0.25).abs() < 1e-12);
+        assert!((histogram_skew(&[97, 1, 1, 1]) - 0.97).abs() < 1e-12);
+        assert_eq!(histogram_skew(&[]), 0.0);
+        assert_eq!(histogram_skew(&[0, 0]), 0.0);
+    }
+}

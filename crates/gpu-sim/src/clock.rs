@@ -1,0 +1,136 @@
+//! Simulated clock: accumulates modeled kernel times across a pipeline.
+
+use crate::cost::CostBreakdown;
+use crate::traffic::Traffic;
+use serde::{Deserialize, Serialize};
+
+/// One launched kernel's record on the clock.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel name as passed to `Gpu::launch`.
+    pub name: String,
+    /// Modeled time breakdown.
+    pub cost: CostBreakdown,
+    /// The traffic ledger that produced the cost.
+    pub traffic: Traffic,
+}
+
+/// Accumulated modeled time of every kernel launched on a [`crate::Gpu`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    records: Vec<KernelRecord>,
+}
+
+impl SimClock {
+    /// An empty clock.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Append one kernel record.
+    pub fn record(&mut self, name: &str, cost: CostBreakdown, traffic: Traffic) {
+        self.records.push(KernelRecord { name: name.to_string(), cost, traffic });
+    }
+
+    /// Total modeled seconds across all recorded kernels.
+    pub fn elapsed(&self) -> f64 {
+        self.records.iter().map(|r| r.cost.total).sum()
+    }
+
+    /// Total modeled seconds of kernels whose name contains `pat`.
+    pub fn elapsed_matching(&self, pat: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.name.contains(pat))
+            .map(|r| r.cost.total)
+            .sum()
+    }
+
+    /// All records, in launch order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Number of kernel launches recorded.
+    pub fn launches(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Clear all records.
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+
+    /// Take the records, leaving the clock empty.
+    pub fn drain(&mut self) -> Vec<KernelRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Aggregate per-kernel-name totals (name, launches, total seconds),
+    /// ordered by first launch.
+    pub fn by_kernel(&self) -> Vec<(String, usize, f64)> {
+        let mut out: Vec<(String, usize, f64)> = Vec::new();
+        for r in &self.records {
+            match out.iter_mut().find(|(n, _, _)| *n == r.name) {
+                Some((_, c, t)) => {
+                    *c += 1;
+                    *t += r.cost.total;
+                }
+                None => out.push((r.name.clone(), 1, r.cost.total)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(total: f64) -> CostBreakdown {
+        CostBreakdown { total, ..Default::default() }
+    }
+
+    #[test]
+    fn elapsed_sums_records() {
+        let mut c = SimClock::new();
+        c.record("a", cost(1.0), Traffic::new());
+        c.record("b", cost(2.5), Traffic::new());
+        assert!((c.elapsed() - 3.5).abs() < 1e-12);
+        assert_eq!(c.launches(), 2);
+    }
+
+    #[test]
+    fn elapsed_matching_filters_by_substring() {
+        let mut c = SimClock::new();
+        c.record("hist_block", cost(1.0), Traffic::new());
+        c.record("hist_grid", cost(2.0), Traffic::new());
+        c.record("encode", cost(4.0), Traffic::new());
+        assert!((c.elapsed_matching("hist") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_kernel_merges_same_name() {
+        let mut c = SimClock::new();
+        c.record("k", cost(1.0), Traffic::new());
+        c.record("k", cost(1.0), Traffic::new());
+        c.record("j", cost(5.0), Traffic::new());
+        let agg = c.by_kernel();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].0, "k");
+        assert_eq!(agg[0].1, 2);
+        assert!((agg[0].2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_and_drain() {
+        let mut c = SimClock::new();
+        c.record("k", cost(1.0), Traffic::new());
+        let recs = c.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(c.launches(), 0);
+        c.record("k", cost(1.0), Traffic::new());
+        c.reset();
+        assert!((c.elapsed() - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Analytic kernel-time estimator.
+//!
+//! Translates a [`Traffic`] ledger into modeled seconds on a
+//! [`DeviceSpec`]. The model is deliberately first-principles (spec-sheet
+//! numbers only, no fitting to the paper's results):
+//!
+//! * **memory term** — DRAM sectors x sector size / effective bandwidth;
+//! * **compute term** — scalar ops / device op throughput, inflated by the
+//!   warp-divergence factor;
+//! * **atomic term** — serialized conflicting updates at the per-conflict
+//!   cost (global vs shared);
+//! * **shared term** — shared-memory bytes at an aggregate on-chip
+//!   bandwidth (an order of magnitude above DRAM);
+//! * **latency term** — sequential dependent accesses each pay the full
+//!   global-memory round trip (this is what makes "run the serial algorithm
+//!   on one GPU thread" catastrophically slow, Section II-C);
+//! * **sync term** — grid-wide synchronizations at Cooperative-Groups cost.
+//!
+//! The memory/compute terms overlap on a GPU, so the kernel time is
+//! `launch + syncs + latency + atomics + max(mem, compute, shared)`.
+
+use crate::device::DeviceSpec;
+use crate::traffic::Traffic;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of one kernel's modeled execution time, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Kernel-launch latency (zero for fused device primitives).
+    pub launch: f64,
+    /// DRAM term: sectors x sector size / effective bandwidth.
+    pub memory: f64,
+    /// Scalar-op term, inflated by warp divergence.
+    pub compute: f64,
+    /// On-chip shared-memory movement term.
+    pub shared: f64,
+    /// Serialized atomic-conflict term.
+    pub atomics: f64,
+    /// Latency-bound single-thread term (dependent accesses x round trip).
+    pub sequential_latency: f64,
+    /// Cooperative-Groups grid-synchronization term.
+    pub grid_syncs: f64,
+    /// Total modeled kernel time.
+    pub total: f64,
+}
+
+impl CostBreakdown {
+    /// The dominant overlapped term (memory vs compute vs shared).
+    pub fn bound(&self) -> &'static str {
+        if self.memory >= self.compute && self.memory >= self.shared {
+            "memory"
+        } else if self.compute >= self.shared {
+            "compute"
+        } else {
+            "shared"
+        }
+    }
+}
+
+/// Estimate the modeled time of a kernel given its traffic ledger.
+///
+/// `include_launch` is false for device primitives fused into an enclosing
+/// kernel (the paper fuses ParMerge into GenerateCL to avoid the separate
+/// launch). The charged figure is the device-visible `kernel_ramp` — the
+/// paper measures with the CUDA profiler, which reports kernel execution
+/// durations, not host launch gaps.
+pub fn estimate(spec: &DeviceSpec, t: &Traffic, include_launch: bool) -> CostBreakdown {
+    let launch = if include_launch { spec.kernel_ramp } else { 0.0 };
+
+    let sectors = t.dram_sectors(spec.sector_bytes);
+    let memory = (sectors * spec.sector_bytes as u64) as f64 / spec.effective_bandwidth();
+
+    let divergence = if t.divergence_factor > 0.0 { t.divergence_factor } else { 1.0 };
+    let compute = t.thread_ops as f64 * divergence / spec.op_throughput();
+
+    // On-chip shared memory: aggregate bandwidth modeled as one 4-byte word
+    // per lane-cycle plus serialized bank conflicts folded into atomics.
+    let shared_bw = spec.op_throughput() * 4.0;
+    let shared = t.shared_bytes as f64 / shared_bw;
+
+    let atomics = t.global_atomic_conflicts as f64 * spec.global_atomic_serialization
+        + t.shared_atomic_conflicts as f64 * spec.shared_atomic_serialization;
+
+    let sequential_latency = t.sequential_dependent_accesses as f64 * spec.global_mem_latency;
+
+    let grid_syncs = t.grid_syncs as f64 * spec.grid_sync_latency;
+
+    let total = launch
+        + grid_syncs
+        + sequential_latency
+        + atomics
+        + memory.max(compute).max(shared);
+
+    CostBreakdown { launch, memory, compute, shared, atomics, sequential_latency, grid_syncs, total }
+}
+
+/// Throughput in bytes/second for processing `input_bytes` of payload in
+/// `seconds` of modeled time.
+pub fn throughput(input_bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    input_bytes as f64 / seconds
+}
+
+/// Convenience: bytes/second -> GB/s (decimal, as the paper reports).
+pub fn gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / 1.0e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::Access;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::test_part() // 100 GB/s, efficiency 1.0, 10 us launch
+    }
+
+    #[test]
+    fn pure_streaming_kernel_is_memory_bound() {
+        let mut t = Traffic::new();
+        t.read(Access::Coalesced, 1 << 20, 4); // 4 MiB
+        let c = estimate(&spec(), &t, true);
+        assert_eq!(c.bound(), "memory");
+        // 4 MiB at 100 GB/s ~ 42 us, plus 10 us launch.
+        assert!((c.memory - (4.0 * 1048576.0 / 100.0e9)).abs() < 1e-9);
+        assert!((c.total - (c.launch + c.memory)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_writes_cost_8x_coalesced() {
+        let mut co = Traffic::new();
+        co.write(Access::Coalesced, 1 << 20, 4);
+        let mut st = Traffic::new();
+        st.write(Access::Strided, 1 << 20, 4);
+        let s = spec();
+        let tc = estimate(&s, &co, false).memory;
+        let ts = estimate(&s, &st, false).memory;
+        assert!((ts / tc - 8.0).abs() < 0.01, "ratio {}", ts / tc);
+    }
+
+    #[test]
+    fn sequential_region_dominated_by_latency() {
+        let mut t = Traffic::new();
+        t.sequential(100_000);
+        let c = estimate(&spec(), &t, true);
+        assert!((c.sequential_latency - 100_000.0 * 400.0e-9).abs() < 1e-9);
+        assert!(c.sequential_latency > c.memory);
+    }
+
+    #[test]
+    fn divergence_scales_compute() {
+        let mut t = Traffic::new();
+        t.ops(1 << 30);
+        let base = estimate(&spec(), &t, false).compute;
+        t.diverge(2.0);
+        let diverged = estimate(&spec(), &t, false).compute;
+        assert!((diverged / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_excluded_for_fused_primitives() {
+        let t = Traffic::new();
+        let with = estimate(&spec(), &t, true);
+        let without = estimate(&spec(), &t, false);
+        assert!((with.total - without.total - 10.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize() {
+        let mut t = Traffic::new();
+        t.shared_atomic(1000, 500);
+        let c = estimate(&spec(), &t, false);
+        assert!((c.atomics - 500.0 * 2.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn throughput_and_gbps() {
+        assert!((gbps(throughput(1_000_000_000, 0.5)) - 2.0).abs() < 1e-9);
+        assert!(throughput(1, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn serial_codebook_motivation_scale() {
+        // Section II-C: a serial 8192-symbol codebook construction on one
+        // V100 thread takes ~144 ms. Our model: O(n log n) heap operations
+        // with ~4 dependent accesses each.
+        let n = 8192u64;
+        let accesses = 4 * n * (n as f64).log2() as u64;
+        let mut t = Traffic::new();
+        t.sequential(accesses);
+        let c = estimate(&DeviceSpec::v100(), &t, true);
+        assert!(c.total > 0.05 && c.total < 0.5, "modeled {} s", c.total);
+    }
+}

@@ -1,0 +1,189 @@
+//! Device specifications for the simulated accelerators.
+//!
+//! A [`DeviceSpec`] is a spec-sheet description of a GPU: enough numbers for
+//! the analytic cost model in [`crate::cost`] to translate a kernel's memory
+//! traffic and thread work into a modeled execution time. Presets are
+//! provided for the two GPUs the paper evaluates on (NVIDIA Tesla V100 and
+//! Quadro RTX 5000) plus a generic part for tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Spec-sheet description of a simulated GPU.
+///
+/// All latencies are in seconds, bandwidths in bytes/second and clocks in Hz,
+/// so arithmetic in the cost model needs no unit conversions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports ("V100", "RTX 5000").
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// SIMT width of a warp. 32 on every CUDA part.
+    pub warp_size: u32,
+    /// Execution lanes per SM (FP32/INT cores).
+    pub lanes_per_sm: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory available to one block, in bytes.
+    pub shared_mem_per_block: usize,
+    /// Peak DRAM bandwidth in bytes per second.
+    pub peak_bandwidth: f64,
+    /// Fraction of peak bandwidth achievable by a well-tuned streaming
+    /// kernel (HBM2 sustains ~0.80-0.85 of peak in practice).
+    pub bandwidth_efficiency: f64,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Host-side latency of one kernel launch. The paper profiles this at
+    /// about 60 us on the V100 (Section IV-B1) and uses it to justify
+    /// Cooperative Groups over kernel-per-region synchronization. Not part
+    /// of modeled kernel time — the paper measures with the CUDA profiler,
+    /// which reports kernel *execution* durations.
+    pub kernel_launch_latency: f64,
+    /// Device-visible ramp of one kernel execution (scheduling the grid,
+    /// draining the pipeline) — charged once per launch by the cost model.
+    pub kernel_ramp: f64,
+    /// Latency of one Cooperative-Groups grid-wide synchronization.
+    pub grid_sync_latency: f64,
+    /// Round-trip latency of a dependent global-memory access from a single
+    /// thread (used to cost sequential, latency-bound regions).
+    pub global_mem_latency: f64,
+    /// Cost of one serialized conflicting global atomic update.
+    pub global_atomic_serialization: f64,
+    /// Cost of one serialized conflicting shared-memory atomic update.
+    pub shared_atomic_serialization: f64,
+    /// DRAM transaction (sector) size in bytes; uncoalesced accesses are
+    /// rounded up to whole sectors.
+    pub sector_bytes: usize,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla V100 (Volta, 16 GB HBM2 at 900 GB/s), as hosted on the
+    /// Longhorn subsystem in the paper.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100",
+            sm_count: 80,
+            warp_size: 32,
+            lanes_per_sm: 64,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 96 * 1024,
+            peak_bandwidth: 900.0e9,
+            bandwidth_efficiency: 0.83,
+            clock_hz: 1.53e9,
+            kernel_launch_latency: 60.0e-6,
+            kernel_ramp: 4.0e-6,
+            grid_sync_latency: 1.5e-6,
+            global_mem_latency: 350.0e-9,
+            global_atomic_serialization: 18.0e-9,
+            shared_atomic_serialization: 2.2e-9,
+            sector_bytes: 32,
+        }
+    }
+
+    /// NVIDIA Quadro RTX 5000 (Turing, 16 GB GDDR6 at 448 GB/s), as hosted
+    /// on Frontera in the paper.
+    pub fn rtx5000() -> Self {
+        DeviceSpec {
+            name: "RTX 5000",
+            sm_count: 48,
+            warp_size: 32,
+            lanes_per_sm: 64,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 64 * 1024,
+            peak_bandwidth: 448.0e9,
+            bandwidth_efficiency: 0.80,
+            clock_hz: 1.62e9,
+            kernel_launch_latency: 55.0e-6,
+            kernel_ramp: 4.5e-6,
+            grid_sync_latency: 1.6e-6,
+            global_mem_latency: 420.0e-9,
+            global_atomic_serialization: 20.0e-9,
+            shared_atomic_serialization: 2.5e-9,
+            sector_bytes: 32,
+        }
+    }
+
+    /// A small generic part for unit tests: round numbers, low launch
+    /// latency so tests exercising the clock don't drown in constants.
+    pub fn test_part() -> Self {
+        DeviceSpec {
+            name: "TestPart",
+            sm_count: 4,
+            warp_size: 32,
+            lanes_per_sm: 32,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 48 * 1024,
+            peak_bandwidth: 100.0e9,
+            bandwidth_efficiency: 1.0,
+            clock_hz: 1.0e9,
+            kernel_launch_latency: 10.0e-6,
+            kernel_ramp: 10.0e-6,
+            grid_sync_latency: 1.0e-6,
+            global_mem_latency: 400.0e-9,
+            global_atomic_serialization: 20.0e-9,
+            shared_atomic_serialization: 2.0e-9,
+            sector_bytes: 32,
+        }
+    }
+
+    /// Effective streaming bandwidth in bytes/second.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * self.bandwidth_efficiency
+    }
+
+    /// Total execution lanes on the device.
+    pub fn total_lanes(&self) -> u64 {
+        u64::from(self.sm_count) * u64::from(self.lanes_per_sm)
+    }
+
+    /// Aggregate scalar-op throughput in ops/second (one op per lane-cycle).
+    pub fn op_throughput(&self) -> f64 {
+        self.total_lanes() as f64 * self.clock_hz
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_spec_sheet() {
+        let d = DeviceSpec::v100();
+        assert_eq!(d.sm_count, 80);
+        assert_eq!(d.warp_size, 32);
+        assert!((d.peak_bandwidth - 900.0e9).abs() < 1.0);
+        assert!((d.kernel_launch_latency - 60.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtx5000_has_lower_bandwidth_than_v100() {
+        assert!(DeviceSpec::rtx5000().peak_bandwidth < DeviceSpec::v100().peak_bandwidth);
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        for d in [DeviceSpec::v100(), DeviceSpec::rtx5000()] {
+            assert!(d.effective_bandwidth() < d.peak_bandwidth);
+            assert!(d.effective_bandwidth() > 0.5 * d.peak_bandwidth);
+        }
+    }
+
+    #[test]
+    fn total_lanes_and_throughput() {
+        let d = DeviceSpec::test_part();
+        assert_eq!(d.total_lanes(), 4 * 32);
+        assert!((d.op_throughput() - 128.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_is_v100() {
+        assert_eq!(DeviceSpec::default().name, "V100");
+    }
+
+}

@@ -1,0 +1,132 @@
+//! Grid, block and thread indexing for kernel launches.
+//!
+//! Mirrors CUDA's launch configuration: a kernel is launched over a
+//! [`GridDim`] of blocks, each with a fixed number of threads. Logical
+//! thread indices are flattened to one dimension — every kernel in the
+//! paper uses 1-D indexing.
+
+use serde::{Deserialize, Serialize};
+
+/// Launch configuration: how many blocks, and how many threads per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridDim {
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Threads per block (<= the device's `max_threads_per_block`).
+    pub threads_per_block: u32,
+}
+
+impl GridDim {
+    /// A grid of `blocks` x `threads_per_block` threads.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(blocks: u32, threads_per_block: u32) -> Self {
+        assert!(blocks > 0, "grid must have at least one block");
+        assert!(threads_per_block > 0, "block must have at least one thread");
+        GridDim { blocks, threads_per_block }
+    }
+
+    /// The smallest grid of `threads_per_block`-sized blocks covering
+    /// `total_threads` logical threads.
+    pub fn cover(total_threads: usize, threads_per_block: u32) -> Self {
+        assert!(threads_per_block > 0);
+        let blocks = total_threads.div_ceil(threads_per_block as usize).max(1);
+        GridDim::new(blocks as u32, threads_per_block)
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.blocks as usize * self.threads_per_block as usize
+    }
+
+    /// Number of warps per block (rounded up).
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.threads_per_block.div_ceil(warp_size)
+    }
+}
+
+/// Identity of one logical thread inside a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadIdx {
+    /// Index of the owning block within the grid.
+    pub block: u32,
+    /// Index of the thread within its block.
+    pub thread: u32,
+    /// Flattened global index: `block * threads_per_block + thread`.
+    pub global: usize,
+}
+
+impl ThreadIdx {
+    /// Index of the warp this thread belongs to, within its block.
+    pub fn warp(&self, warp_size: u32) -> u32 {
+        self.thread / warp_size
+    }
+
+    /// Lane within the warp.
+    pub fn lane(&self, warp_size: u32) -> u32 {
+        self.thread % warp_size
+    }
+}
+
+/// Iterate the `ThreadIdx`s of a grid in global order. Used by the executor;
+/// exposed for tests and custom schedulers.
+pub fn thread_ids(grid: GridDim) -> impl Iterator<Item = ThreadIdx> {
+    (0..grid.total_threads()).map(move |g| ThreadIdx {
+        block: (g / grid.threads_per_block as usize) as u32,
+        thread: (g % grid.threads_per_block as usize) as u32,
+        global: g,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_up() {
+        let g = GridDim::cover(1000, 256);
+        assert_eq!(g.blocks, 4);
+        assert_eq!(g.total_threads(), 1024);
+    }
+
+    #[test]
+    fn cover_exact_fit() {
+        let g = GridDim::cover(1024, 256);
+        assert_eq!(g.blocks, 4);
+    }
+
+    #[test]
+    fn cover_zero_threads_still_one_block() {
+        let g = GridDim::cover(0, 128);
+        assert_eq!(g.blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = GridDim::new(0, 32);
+    }
+
+    #[test]
+    fn thread_ids_enumerate_in_order() {
+        let g = GridDim::new(2, 3);
+        let ids: Vec<_> = thread_ids(g).collect();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(ids[0], ThreadIdx { block: 0, thread: 0, global: 0 });
+        assert_eq!(ids[4], ThreadIdx { block: 1, thread: 1, global: 4 });
+    }
+
+    #[test]
+    fn warp_and_lane() {
+        let t = ThreadIdx { block: 0, thread: 70, global: 70 };
+        assert_eq!(t.warp(32), 2);
+        assert_eq!(t.lane(32), 6);
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        assert_eq!(GridDim::new(1, 33).warps_per_block(32), 2);
+        assert_eq!(GridDim::new(1, 32).warps_per_block(32), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Kernel metadata for the parallelism taxonomy (the paper's Table I).
+//!
+//! Every kernel in the Huffman pipeline registers a [`KernelInfo`]
+//! describing its granularity, data-thread mapping, coordination techniques
+//! and synchronization scope; the `table1` regenerator prints the registry.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallelization granularity of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Only 1 thread is used due to data dependency.
+    Sequential,
+    /// Data is explicitly chunked.
+    CoarseGrained,
+    /// Data-thread mapping with little or no warp divergence.
+    FineGrained,
+}
+
+impl Granularity {
+    /// The label used in Table I.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Granularity::Sequential => "sequential",
+            Granularity::CoarseGrained => "coarse-grained",
+            Granularity::FineGrained => "fine-grained",
+        }
+    }
+}
+
+/// How data elements map to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mapping {
+    /// Several data elements per thread.
+    ManyToOne,
+    /// One data element per thread.
+    OneToOne,
+    /// No direct data-thread mapping.
+    NotApplicable,
+}
+
+impl Mapping {
+    /// The label used in Table I.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mapping::ManyToOne => "many-to-one",
+            Mapping::OneToOne => "one-to-one",
+            Mapping::NotApplicable => "-",
+        }
+    }
+}
+
+/// Synchronization boundary a kernel relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncScope {
+    /// Intra-block barrier (`__syncthreads`).
+    Block,
+    /// Cooperative-Groups grid-wide synchronization.
+    Grid,
+    /// Device-wide synchronization (kernel boundary).
+    Device,
+}
+
+impl SyncScope {
+    /// The label used in Table I.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncScope::Block => "sync block",
+            SyncScope::Grid => "sync grid",
+            SyncScope::Device => "sync device",
+        }
+    }
+}
+
+/// One row of the taxonomy table.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelInfo {
+    /// Pipeline stage ("histogram", "build codebook", "canonize",
+    /// "Huffman enc.").
+    pub stage: &'static str,
+    /// Kernel (sub-procedure) name.
+    pub kernel: &'static str,
+    /// Parallelization granularities the kernel combines.
+    pub granularity: &'static [Granularity],
+    /// Data-thread mapping.
+    pub mapping: Mapping,
+    /// Coordination techniques: "atomic write", "reduction", "prefix sum".
+    pub techniques: &'static [&'static str],
+    /// Synchronization scope the kernel relies on.
+    pub sync: SyncScope,
+}
+
+impl KernelInfo {
+    /// Render as a fixed-width table row.
+    pub fn row(&self) -> String {
+        let gran = self
+            .granularity
+            .iter()
+            .map(|g| g.label())
+            .collect::<Vec<_>>()
+            .join("+");
+        format!(
+            "{:<14} {:<24} {:<28} {:<12} {:<28} {}",
+            self.stage,
+            self.kernel,
+            gran,
+            self.mapping.label(),
+            self.techniques.join(", "),
+            self.sync.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Granularity::FineGrained.label(), "fine-grained");
+        assert_eq!(Mapping::OneToOne.label(), "one-to-one");
+        assert_eq!(SyncScope::Device.label(), "sync device");
+    }
+
+    #[test]
+    fn row_contains_fields() {
+        let info = KernelInfo {
+            stage: "histogram",
+            kernel: "blockwise reduction",
+            granularity: &[Granularity::FineGrained],
+            mapping: Mapping::ManyToOne,
+            techniques: &["atomic write", "reduction"],
+            sync: SyncScope::Block,
+        };
+        let r = info.row();
+        assert!(r.contains("histogram"));
+        assert!(r.contains("fine-grained"));
+        assert!(r.contains("atomic write"));
+        assert!(r.contains("sync block"));
+    }
+}

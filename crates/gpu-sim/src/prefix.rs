@@ -1,0 +1,140 @@
+//! Device primitive: parallel prefix sum (scan).
+//!
+//! The Rahmani-style baseline encoder (Section III-B) computes every encoded
+//! symbol's write offset with a classical parallel scan; the reduce/shuffle
+//! encoder also needs small scans for per-chunk bit lengths. This is a
+//! blocked two-level work-efficient scan: block-local scans, a scan of block
+//! totals, then a uniform add — 3n element moves, which is what the ledger
+//! charges.
+
+use crate::exec::KernelScope;
+use crate::traffic::Access;
+use rayon::prelude::*;
+
+/// Exclusive prefix sum of `input`, accounting traffic on `scope`.
+///
+/// Returns a vector `out` with `out[0] = 0` and
+/// `out[i] = input[0] + ... + input[i-1]`, plus the grand total.
+pub fn exclusive_scan(scope: &mut KernelScope, input: &[u64]) -> (Vec<u64>, u64) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let block = 4096usize;
+    let nblocks = n.div_ceil(block);
+
+    // Phase 1: per-block exclusive scans, collecting block totals.
+    let mut out = vec![0u64; n];
+    let totals: Vec<u64> = out
+        .par_chunks_mut(block)
+        .zip(input.par_chunks(block))
+        .map(|(o, i)| {
+            let mut acc = 0u64;
+            for (dst, &src) in o.iter_mut().zip(i) {
+                *dst = acc;
+                acc += src;
+            }
+            acc
+        })
+        .collect();
+
+    // Phase 2: scan of block totals (small, host-serial; the device would
+    // use a single block).
+    let mut block_offsets = vec![0u64; nblocks];
+    let mut acc = 0u64;
+    for (off, &t) in block_offsets.iter_mut().zip(&totals) {
+        *off = acc;
+        acc += t;
+    }
+    let grand_total = acc;
+
+    // Phase 3: uniform add of block offsets.
+    out.par_chunks_mut(block).zip(block_offsets.par_iter()).for_each(|(o, &off)| {
+        if off != 0 {
+            for v in o.iter_mut() {
+                *v += off;
+            }
+        }
+    });
+
+    let t = scope.traffic();
+    t.read(Access::Coalesced, n as u64, 8);
+    t.write(Access::Coalesced, n as u64, 8);
+    t.read(Access::Coalesced, n as u64, 8); // uniform-add pass re-reads
+    t.write(Access::Coalesced, n as u64, 8);
+    t.ops(3 * n as u64);
+    t.grid_sync();
+    t.grid_sync();
+
+    (out, grand_total)
+}
+
+/// Inclusive prefix sum of `input` (each element includes itself).
+pub fn inclusive_scan(scope: &mut KernelScope, input: &[u64]) -> Vec<u64> {
+    let (mut out, _) = exclusive_scan(scope, input);
+    out.par_iter_mut().zip(input.par_iter()).for_each(|(o, &i)| *o += i);
+    let t = scope.traffic();
+    t.read(Access::Coalesced, input.len() as u64, 8);
+    t.write(Access::Coalesced, input.len() as u64, 8);
+    t.ops(input.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::exec::Gpu;
+    use crate::grid::GridDim;
+
+    fn with_scope<R>(f: impl FnOnce(&mut KernelScope) -> R) -> R {
+        let g = Gpu::new(DeviceSpec::test_part());
+        g.launch("scan_test", GridDim::new(1, 32), f)
+    }
+
+    #[test]
+    fn exclusive_scan_small() {
+        let (out, total) = with_scope(|s| exclusive_scan(s, &[3, 1, 4, 1, 5]));
+        assert_eq!(out, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn exclusive_scan_empty() {
+        let (out, total) = with_scope(|s| exclusive_scan(s, &[]));
+        assert!(out.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn exclusive_scan_crosses_blocks() {
+        // Larger than one 4096 block: verify against serial reference.
+        let input: Vec<u64> = (0..10_000u64).map(|i| i % 7).collect();
+        let (out, total) = with_scope(|s| exclusive_scan(s, &input));
+        let mut acc = 0u64;
+        for (i, &v) in input.iter().enumerate() {
+            assert_eq!(out[i], acc, "at {i}");
+            acc += v;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_matches_exclusive_plus_self() {
+        let input = vec![2u64, 0, 9, 9, 1];
+        let inc = with_scope(|s| inclusive_scan(s, &input));
+        assert_eq!(inc, vec![2, 2, 11, 20, 21]);
+    }
+
+    #[test]
+    fn scan_accounts_traffic() {
+        let g = Gpu::new(DeviceSpec::test_part());
+        g.launch("scan", GridDim::new(1, 32), |s| {
+            let _ = exclusive_scan(s, &vec![1u64; 1000]);
+        });
+        let c = g.clock();
+        let t = &c.records()[0].traffic;
+        assert_eq!(t.read_coalesced, 2 * 8000);
+        assert_eq!(t.write_coalesced, 2 * 8000);
+    }
+}

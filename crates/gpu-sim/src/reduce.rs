@@ -1,0 +1,88 @@
+//! Device primitive: grid-wide reductions.
+//!
+//! Blockwise tree reduction followed by a gridwise combine — the structure
+//! the paper's Table I lists for histogramming's final merge and for the
+//! breaking-point backtrace ("another simple reduction ... about 300 us").
+
+use crate::exec::KernelScope;
+use crate::traffic::Access;
+use rayon::prelude::*;
+
+/// Sum of `input`, accounted as one blockwise + gridwise tree reduction.
+pub fn sum_u64(scope: &mut KernelScope, input: &[u64]) -> u64 {
+    let s: u64 = input.par_iter().sum();
+    account(scope, input.len(), 8);
+    s
+}
+
+/// Maximum of `input` (0 for empty input).
+pub fn max_u32(scope: &mut KernelScope, input: &[u32]) -> u32 {
+    let m = input.par_iter().copied().max().unwrap_or(0);
+    account(scope, input.len(), 4);
+    m
+}
+
+/// Count elements satisfying `pred` — used for the breaking-point backtrace
+/// (how many merged codewords overflow the representative word).
+pub fn count_where<T: Sync>(scope: &mut KernelScope, input: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize {
+    let c = input.par_iter().filter(|x| pred(x)).count();
+    account(scope, input.len(), std::mem::size_of::<T>() as u64);
+    c
+}
+
+fn account(scope: &mut KernelScope, n: usize, elem_bytes: u64) {
+    let t = scope.traffic();
+    t.read(Access::Coalesced, n as u64, elem_bytes);
+    t.ops(n as u64);
+    // Tree reduction: log-depth combine of per-block partials; the partials
+    // are tiny, charge one coalesced write per 256-thread block.
+    let partials = (n / 256).max(1) as u64;
+    t.write(Access::Coalesced, partials, elem_bytes);
+    t.grid_sync();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::exec::Gpu;
+    use crate::grid::GridDim;
+
+    fn with_scope<R>(f: impl FnOnce(&mut KernelScope) -> R) -> R {
+        let g = Gpu::new(DeviceSpec::test_part());
+        g.launch("reduce_test", GridDim::new(1, 32), f)
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        assert_eq!(with_scope(|s| sum_u64(s, &v)), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn max_of_empty_is_zero() {
+        assert_eq!(with_scope(|s| max_u32(s, &[])), 0);
+    }
+
+    #[test]
+    fn max_finds_extreme() {
+        assert_eq!(with_scope(|s| max_u32(s, &[3, 99, 7])), 99);
+    }
+
+    #[test]
+    fn count_where_counts() {
+        let v: Vec<u32> = (0..1000).collect();
+        let c = with_scope(|s| count_where(s, &v, |&x| x % 10 == 0));
+        assert_eq!(c, 100);
+    }
+
+    #[test]
+    fn reduction_traffic_reads_whole_input() {
+        let g = Gpu::new(DeviceSpec::test_part());
+        g.launch("r", GridDim::new(1, 32), |s| {
+            let _ = sum_u64(s, &vec![1u64; 4096]);
+        });
+        let c = g.clock();
+        assert_eq!(c.records()[0].traffic.read_coalesced, 4096 * 8);
+    }
+}

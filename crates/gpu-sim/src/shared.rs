@@ -1,0 +1,109 @@
+//! Per-block shared-memory model.
+//!
+//! Shared memory on a real GPU is a small programmable cache whose lifetime
+//! is bound to the resident block (Section III-A of the paper). We model the
+//! capacity constraint — allocations beyond the device limit are a
+//! programming error the simulator surfaces immediately — while backing the
+//! storage with ordinary host memory.
+
+/// A block's shared-memory arena. Created fresh for each block by
+/// [`crate::KernelScope::par_for_blocks`]; dropped when the block retires.
+#[derive(Debug)]
+pub struct SharedMem {
+    capacity: usize,
+    used: usize,
+}
+
+impl SharedMem {
+    /// An arena with `capacity` bytes (the device's per-block limit).
+    pub fn new(capacity: usize) -> Self {
+        SharedMem { capacity, used: 0 }
+    }
+
+    /// Allocate a zero-initialized array of `n` elements of `T` from the
+    /// block's shared memory.
+    ///
+    /// # Panics
+    /// Panics if the block's shared-memory budget would be exceeded — the
+    /// same failure a real kernel launch would report.
+    pub fn alloc<T: Default + Clone>(&mut self, n: usize) -> Vec<T> {
+        let bytes = n * std::mem::size_of::<T>();
+        assert!(
+            self.used + bytes <= self.capacity,
+            "shared memory overflow: {} + {} > {} bytes",
+            self.used,
+            bytes,
+            self.capacity
+        );
+        self.used += bytes;
+        vec![T::default(); n]
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many replicated copies of an `n`-element `T` table fit in the
+    /// remaining budget. Used by the Gomez-Luna histogram kernel to pick its
+    /// replication degree (more copies => fewer atomic conflicts).
+    pub fn replication_degree<T>(&self, n: usize) -> usize {
+        let bytes = n * std::mem::size_of::<T>();
+        if bytes == 0 {
+            return usize::MAX;
+        }
+        self.remaining() / bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_tracks_usage() {
+        let mut s = SharedMem::new(1024);
+        let v: Vec<u32> = s.alloc(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(s.used(), 400);
+        assert_eq!(s.remaining(), 624);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn overflow_panics() {
+        let mut s = SharedMem::new(64);
+        let _: Vec<u64> = s.alloc(9); // 72 bytes > 64
+    }
+
+    #[test]
+    fn exact_fit_is_fine() {
+        let mut s = SharedMem::new(64);
+        let _: Vec<u64> = s.alloc(8);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn replication_degree_for_histogram() {
+        // 48 KiB block, 1024-bin u32 histogram => 12 replicated copies.
+        let s = SharedMem::new(48 * 1024);
+        assert_eq!(s.replication_degree::<u32>(1024), 12);
+    }
+
+    #[test]
+    fn replication_degree_shrinks_after_alloc() {
+        let mut s = SharedMem::new(48 * 1024);
+        let _: Vec<u32> = s.alloc(8192); // 32 KiB
+        assert_eq!(s.replication_degree::<u32>(1024), 4);
+    }
+}

@@ -1,0 +1,247 @@
+//! Memory-traffic ledger.
+//!
+//! Kernels report the memory operations they perform through a
+//! [`Traffic`] ledger; the cost model in [`crate::cost`] turns the ledger
+//! into DRAM transactions and modeled time. This is the heart of the
+//! reproduction: the paper's argument is that the reduce/shuffle encoder
+//! wins *because* it turns fragmented variable-length bit writes into
+//! coalesced full-word traffic, so we account for exactly that distinction.
+
+use serde::{Deserialize, Serialize};
+
+/// How a batch of global-memory accesses maps onto DRAM sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Access {
+    /// Consecutive threads touch consecutive addresses: whole sectors are
+    /// fully utilized. This is the pattern the paper's SHUFFLE-merge and
+    /// coalescing-copy stages achieve.
+    Coalesced,
+    /// Each access lands in its own sector (e.g. thread-per-chunk
+    /// coarse-grained encoding where neighbouring threads write to far-apart
+    /// chunk bases). One sector is charged per access regardless of the
+    /// element size.
+    Strided,
+    /// Data-dependent scatter/gather (codebook lookups, tree walks). Charged
+    /// like `Strided`; kept separate in the ledger for reporting.
+    Random,
+}
+
+/// Accumulated memory operations of one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Traffic {
+    /// Bytes read coalesced.
+    pub read_coalesced: u64,
+    /// Strided read operations (one sector each).
+    pub read_strided_ops: u64,
+    /// Random-gather read operations (one sector each).
+    pub read_random_ops: u64,
+    /// Bytes written coalesced.
+    pub write_coalesced: u64,
+    /// Strided write operations (one sector each).
+    pub write_strided_ops: u64,
+    /// Random-scatter write operations (one sector each).
+    pub write_random_ops: u64,
+    /// Global-memory atomic updates.
+    pub global_atomics: u64,
+    /// Expected serialized (conflicting) global atomics.
+    pub global_atomic_conflicts: u64,
+    /// Shared-memory atomic updates (cheap, but not free — this is why
+    /// Gomez-Luna histogramming replicates per-block copies).
+    pub shared_atomics: u64,
+    /// Expected serialized shared-memory atomics.
+    pub shared_atomic_conflicts: u64,
+    /// Plain shared-memory bytes moved (bank conflicts folded into ops).
+    pub shared_bytes: u64,
+    /// Scalar instructions executed across all threads in the launch.
+    pub thread_ops: u64,
+    /// Worst-case warp-divergence multiplier for the compute term; 1.0 means
+    /// fully converged warps.
+    pub divergence_factor: f64,
+    /// Dependent single-thread global accesses of a sequential region (each
+    /// pays full memory latency; this is what makes a serial GPU codebook
+    /// construction take ~144 ms for 8192 symbols).
+    pub sequential_dependent_accesses: u64,
+    /// Number of grid-wide synchronizations performed inside the kernel.
+    pub grid_syncs: u64,
+}
+
+impl Traffic {
+    /// An empty ledger with converged warps.
+    pub fn new() -> Self {
+        Traffic { divergence_factor: 1.0, ..Default::default() }
+    }
+
+    /// Record a coalesced read of `n` elements of `elem_bytes` bytes.
+    pub fn read(&mut self, pattern: Access, n: u64, elem_bytes: u64) {
+        match pattern {
+            Access::Coalesced => self.read_coalesced += n * elem_bytes,
+            Access::Strided => self.read_strided_ops += n,
+            Access::Random => self.read_random_ops += n,
+        }
+    }
+
+    /// Record a write of `n` elements of `elem_bytes` bytes.
+    pub fn write(&mut self, pattern: Access, n: u64, elem_bytes: u64) {
+        match pattern {
+            Access::Coalesced => self.write_coalesced += n * elem_bytes,
+            Access::Strided => self.write_strided_ops += n,
+            Access::Random => self.write_random_ops += n,
+        }
+    }
+
+    /// Record `n` global atomics of which `conflicts` serialize.
+    pub fn global_atomic(&mut self, n: u64, conflicts: u64) {
+        self.global_atomics += n;
+        self.global_atomic_conflicts += conflicts;
+    }
+
+    /// Record `n` shared-memory atomics of which `conflicts` serialize.
+    pub fn shared_atomic(&mut self, n: u64, conflicts: u64) {
+        self.shared_atomics += n;
+        self.shared_atomic_conflicts += conflicts;
+    }
+
+    /// Record `bytes` of plain shared-memory movement.
+    pub fn shared(&mut self, bytes: u64) {
+        self.shared_bytes += bytes;
+    }
+
+    /// Record `n` scalar instructions across the launch.
+    pub fn ops(&mut self, n: u64) {
+        self.thread_ops += n;
+    }
+
+    /// Raise the divergence multiplier to at least `f`.
+    pub fn diverge(&mut self, f: f64) {
+        if f > self.divergence_factor {
+            self.divergence_factor = f;
+        }
+    }
+
+    /// Record a latency-bound sequential region of `accesses` dependent
+    /// global-memory accesses.
+    pub fn sequential(&mut self, accesses: u64) {
+        self.sequential_dependent_accesses += accesses;
+    }
+
+    /// Record one grid-wide synchronization.
+    pub fn grid_sync(&mut self) {
+        self.grid_syncs += 1;
+    }
+
+    /// Merge another ledger into this one (used when kernels compose
+    /// device primitives that account their own traffic).
+    pub fn absorb(&mut self, other: &Traffic) {
+        self.read_coalesced += other.read_coalesced;
+        self.read_strided_ops += other.read_strided_ops;
+        self.read_random_ops += other.read_random_ops;
+        self.write_coalesced += other.write_coalesced;
+        self.write_strided_ops += other.write_strided_ops;
+        self.write_random_ops += other.write_random_ops;
+        self.global_atomics += other.global_atomics;
+        self.global_atomic_conflicts += other.global_atomic_conflicts;
+        self.shared_atomics += other.shared_atomics;
+        self.shared_atomic_conflicts += other.shared_atomic_conflicts;
+        self.shared_bytes += other.shared_bytes;
+        self.thread_ops += other.thread_ops;
+        self.divergence_factor = self.divergence_factor.max(other.divergence_factor);
+        self.sequential_dependent_accesses += other.sequential_dependent_accesses;
+        self.grid_syncs += other.grid_syncs;
+    }
+
+    /// Total DRAM sectors touched, at `sector_bytes` granularity. Coalesced
+    /// bytes are packed into full sectors; every strided/random op and every
+    /// global atomic is charged one sector.
+    pub fn dram_sectors(&self, sector_bytes: usize) -> u64 {
+        let s = sector_bytes as u64;
+        let coalesced = (self.read_coalesced + self.write_coalesced).div_ceil(s);
+        let scattered = self.read_strided_ops
+            + self.read_random_ops
+            + self.write_strided_ops
+            + self.write_random_ops
+            + self.global_atomics;
+        coalesced + scattered
+    }
+
+    /// Total bytes the kernel logically moved through DRAM (not sectors) —
+    /// useful for effective-bandwidth reporting.
+    pub fn logical_dram_bytes(&self) -> u64 {
+        self.read_coalesced
+            + self.write_coalesced
+            + 4 * (self.read_strided_ops
+                + self.read_random_ops
+                + self.write_strided_ops
+                + self.write_random_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_bytes_pack_into_sectors() {
+        let mut t = Traffic::new();
+        t.read(Access::Coalesced, 100, 4); // 400 bytes
+        assert_eq!(t.dram_sectors(32), 13); // ceil(400/32)
+    }
+
+    #[test]
+    fn strided_ops_cost_a_sector_each() {
+        let mut t = Traffic::new();
+        t.write(Access::Strided, 100, 1); // 100 single-byte writes
+        assert_eq!(t.dram_sectors(32), 100);
+    }
+
+    #[test]
+    fn random_vs_coalesced_sector_ratio() {
+        // The motivating asymmetry: 1024 x 4B coalesced = 128 sectors,
+        // 1024 x 4B random = 1024 sectors (8x worse).
+        let mut c = Traffic::new();
+        c.read(Access::Coalesced, 1024, 4);
+        let mut r = Traffic::new();
+        r.read(Access::Random, 1024, 4);
+        assert_eq!(r.dram_sectors(32) / c.dram_sectors(32), 8);
+    }
+
+    #[test]
+    fn atomics_counted_as_sectors() {
+        let mut t = Traffic::new();
+        t.global_atomic(10, 3);
+        assert_eq!(t.dram_sectors(32), 10);
+        assert_eq!(t.global_atomic_conflicts, 3);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = Traffic::new();
+        a.read(Access::Coalesced, 1, 32);
+        a.ops(5);
+        a.diverge(2.0);
+        let mut b = Traffic::new();
+        b.read(Access::Coalesced, 1, 32);
+        b.ops(7);
+        b.grid_sync();
+        a.absorb(&b);
+        assert_eq!(a.read_coalesced, 64);
+        assert_eq!(a.thread_ops, 12);
+        assert_eq!(a.grid_syncs, 1);
+        assert!((a.divergence_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_is_max_not_sum() {
+        let mut t = Traffic::new();
+        t.diverge(2.0);
+        t.diverge(1.5);
+        assert!((t.divergence_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logical_bytes_counts_scattered_as_words() {
+        let mut t = Traffic::new();
+        t.read(Access::Random, 10, 4);
+        t.write(Access::Coalesced, 4, 8);
+        assert_eq!(t.logical_dram_bytes(), 40 + 32);
+    }
+}

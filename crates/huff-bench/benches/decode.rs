@@ -1,0 +1,51 @@
+//! Wall-clock host benchmarks: decoders.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use huff_core::encode::{self, BreakingStrategy, MergeConfig};
+use huff_core::{decode, histogram};
+use huff_datasets::PaperDataset;
+
+fn bench_decode(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = PaperDataset::Enwik8.generate(n, 3);
+    let freqs = histogram::parallel_cpu::histogram(&data, 256, 8);
+    let book = huff_core::build_codebook(&freqs, 16).unwrap();
+    let serial_stream = encode::serial::encode(&data, &book).unwrap();
+    let chunked = encode::reduce_shuffle::encode(
+        &data,
+        &book,
+        MergeConfig::new(10, 2),
+        BreakingStrategy::SparseSidecar,
+    )
+    .unwrap();
+    let tree = huff_core::tree::build_tree(&freqs).unwrap();
+    let tree_stream = {
+        let codes = huff_core::tree::tree_codebook(&freqs).unwrap();
+        let mut w = huff_core::bitstream::BitWriter::new();
+        for &s in &data {
+            w.push_code(codes[s as usize]);
+        }
+        w.finish()
+    };
+
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Bytes(n as u64));
+    g.sample_size(10);
+
+    g.bench_function("treeless_canonical", |b| {
+        b.iter(|| {
+            decode::canonical::decode(&serial_stream.bytes, serial_stream.bit_len, n, &book)
+                .unwrap()
+        });
+    });
+    g.bench_function("tree_walking", |b| {
+        b.iter(|| decode::tree::decode(&tree_stream.0, tree_stream.1, n, &tree).unwrap());
+    });
+    g.bench_function("chunked_parallel", |b| {
+        b.iter(|| decode::chunked::decode(&chunked, &book).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-clock host benchmarks: the encoder family on Nyx-Quant-like data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use huff_core::encode::{self, BreakingStrategy, MergeConfig};
+use huff_core::histogram;
+use huff_datasets::PaperDataset;
+
+fn bench_encode(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data = PaperDataset::NyxQuant.generate(n, 2);
+    let freqs = histogram::parallel_cpu::histogram(&data, 1024, 8);
+    let book = huff_core::build_codebook(&freqs, 16).unwrap();
+
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Bytes((n * 2) as u64));
+    g.sample_size(10);
+
+    g.bench_function("serial", |b| {
+        b.iter(|| encode::serial::encode(&data, &book).unwrap());
+    });
+    for threads in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("multithread", threads), &threads, |b, &t| {
+            b.iter(|| encode::multithread::encode(&data, &book, t, 1 << 16).unwrap());
+        });
+    }
+    g.bench_function("prefix_sum", |b| {
+        b.iter(|| encode::prefix_sum::encode(&data, &book).unwrap());
+    });
+    g.bench_function("coarse_chunked", |b| {
+        b.iter(|| encode::coarse::encode(&data, &book, MergeConfig::new(10, 3)).unwrap());
+    });
+    for r in [2u32, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("reduce_shuffle_r", r), &r, |b, &r| {
+            b.iter(|| {
+                encode::reduce_shuffle::encode(
+                    &data,
+                    &book,
+                    MergeConfig::new(10, r),
+                    BreakingStrategy::SparseSidecar,
+                )
+                .unwrap()
+            });
+        });
+    }
+    // Ablation: representative-word width (u32 per the paper vs the u64
+    // future-work variant) on a single chunk path.
+    g.bench_function("chunk_word_u32", |b| {
+        b.iter(|| {
+            encode::reduce_shuffle::encode_chunk::<u32>(
+                &data[..1024],
+                &book,
+                MergeConfig::new(10, 3),
+            )
+        });
+    });
+    g.bench_function("chunk_word_u64", |b| {
+        b.iter(|| {
+            encode::reduce_shuffle::encode_chunk::<u64>(
+                &data[..1024],
+                &book,
+                MergeConfig::new(10, 3),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

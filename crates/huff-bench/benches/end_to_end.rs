@@ -1,0 +1,30 @@
+//! Wall-clock host benchmarks: full compress/decompress archives per
+//! dataset preset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use huff_core::archive::{compress, decompress, CompressOptions};
+use huff_datasets::PaperDataset;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let n = 1 << 19;
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+
+    for d in PaperDataset::all() {
+        let data = d.generate(n, 9);
+        let mut opts = CompressOptions::new(d.num_symbols());
+        opts.reduction = Some(d.paper_reduction());
+        g.throughput(Throughput::Bytes(n as u64 * d.symbol_bytes()));
+        g.bench_with_input(BenchmarkId::new("compress", d.name()), &data, |b, data| {
+            b.iter(|| compress(data, &opts).unwrap());
+        });
+        let packed = compress(&data, &opts).unwrap();
+        g.bench_with_input(BenchmarkId::new("decompress", d.name()), &packed, |b, p| {
+            b.iter(|| decompress(p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Wall-clock host benchmarks: histogramming backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use huff_core::histogram;
+use huff_datasets::PaperDataset;
+
+fn bench_histogram(c: &mut Criterion) {
+    let n = 2 << 20;
+    let data = PaperDataset::NyxQuant.generate(n, 1);
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Bytes((n * 2) as u64));
+    g.sample_size(10);
+
+    g.bench_function("serial", |b| {
+        b.iter(|| histogram::serial::histogram(&data, 1024));
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("parallel_cpu", threads), &threads, |b, &t| {
+            b.iter(|| histogram::parallel_cpu::histogram(&data, 1024, t));
+        });
+    }
+    g.bench_function("gpu_sim_functional", |b| {
+        b.iter(|| {
+            let gpu = gpu_sim::Gpu::v100();
+            histogram::gpu::histogram(&gpu, &data, 1024, 2)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

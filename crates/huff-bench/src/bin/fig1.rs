@@ -1,0 +1,29 @@
+//! Fig. 1 — REDUCE-merge of 8-to-1: the per-iteration state of the
+//! codeword array as one thread folds eight codewords into one unit.
+
+use huff_core::encode::reduce_merge::trace_fig1;
+use huff_core::histogram;
+use huff_datasets::PaperDataset;
+
+fn main() {
+    let data = PaperDataset::NyxQuant.generate(100_000, 8);
+    let freqs = histogram::parallel_cpu::histogram(&data, 1024, 4);
+    let book = huff_core::build_codebook(&freqs, 8).unwrap();
+
+    // Pick a window with some symbol variety so the trace shows
+    // variable-length codes merging (an all-centre-bin window is all "0"s).
+    let window = data
+        .chunks_exact(8)
+        .find(|w| {
+            let distinct: std::collections::HashSet<u16> = w.iter().copied().collect();
+            distinct.len() >= 3
+        })
+        .unwrap_or(&data[..8]);
+    println!("FIG 1: REDUCE-merge of 8-to-1 (one unit, r = 3)\n");
+    println!("symbols: {window:?}");
+    for (i, level) in trace_fig1(window, &book).into_iter().enumerate() {
+        let tag = if i == 0 { "lookup ".to_string() } else { format!("iter {i}  ") };
+        println!("{tag}[{}]", level.join("] ["));
+    }
+    println!("\n(each iteration halves the codeword count; lengths add — MERGE is order-preserving)");
+}

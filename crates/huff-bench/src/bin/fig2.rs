@@ -1,0 +1,20 @@
+//! Fig. 2 — SHUFFLE-merge's two-step batch move: the right group's leading
+//! bits fill the left group's residual bits; the trailing bits land in the
+//! next typed data cell.
+
+use huff_core::encode::shuffle_merge::trace_fig2;
+
+fn main() {
+    println!("FIG 2: two-step batch move of grouped and typed data\n");
+    let left = "110101001110101011010011011";
+    let right = "10011101010001110101101011010101001101";
+    println!("left group  ({} bits): {left}", left.len());
+    println!("right group ({} bits): {right}\n", right.len());
+    for line in trace_fig2(left, right) {
+        println!("{line}");
+    }
+    println!(
+        "\n(step 1 fills the residual l-circ bits of the last left cell; step 2 writes the\n\
+         remaining l-bullet bits into the following cell — contention-free per window)"
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 3 — the reduction-factor decision: sweep the average codeword
+//! bitwidth, show the rule's chosen r, the expected merged bitwidth window
+//! [l_W/2, l_W), and the modeled throughput of each candidate r so the
+//! chosen one can be compared against the alternatives.
+
+use gpu_sim::Gpu;
+use huff_bench::{emit_row, HarnessArgs};
+use huff_core::encode::gpu::encode_on_gpu;
+use huff_core::encode::{BreakingStrategy, MergeConfig};
+use huff_core::entropy::{decide_reduction_factor, expected_merged_bits};
+use huff_core::histogram;
+use huff_datasets::calibrated;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    avg_bits: f64,
+    chosen_r: u32,
+    merged_bits: f64,
+    gbps_r2: f64,
+    gbps_r3: f64,
+    gbps_r4: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = 8 << 20;
+
+    println!("FIG 3: average bitwidth -> reduction factor (32-bit word, M = 10)\n");
+    println!(
+        "{:>9} {:>9} {:>13} | {:>9} {:>9} {:>9}",
+        "avg bits", "chosen r", "merged bits", "r=2 GB/s", "r=3 GB/s", "r=4 GB/s"
+    );
+
+    for target in [1.03f64, 1.5, 2.0, 2.3, 3.0, 4.0, 5.2, 6.5, 8.0] {
+        let data = calibrated::sample(256, target, n, 0xF16);
+        let freqs = histogram::parallel_cpu::histogram(&data, 256, 8);
+        let book = huff_core::build_codebook(&freqs, 8).unwrap();
+        let avg = book.average_bitwidth(&freqs);
+        let r = decide_reduction_factor(avg, 32, 10);
+
+        let mut gbps = [0.0f64; 3];
+        for (i, cand) in [2u32, 3, 4].into_iter().enumerate() {
+            let gpu = Gpu::v100();
+            let (_, times) = encode_on_gpu(
+                &gpu,
+                &data,
+                2,
+                &book,
+                MergeConfig::new(10, cand),
+                BreakingStrategy::SparseSidecar,
+            )
+            .unwrap();
+            gbps[i] = (n * 2) as f64 / times.total / 1e9;
+        }
+        let row = Row {
+            avg_bits: avg,
+            chosen_r: r,
+            merged_bits: expected_merged_bits(avg, r),
+            gbps_r2: gbps[0],
+            gbps_r3: gbps[1],
+            gbps_r4: gbps[2],
+        };
+        println!(
+            "{:>9.4} {:>9} {:>13.1} | {:>9.1} {:>9.1} {:>9.1}",
+            row.avg_bits, row.chosen_r, row.merged_bits, row.gbps_r2, row.gbps_r3, row.gbps_r4
+        );
+        emit_row(&args, "fig3", &row);
+    }
+    println!("\n(the rule keeps the r-times-merged codeword in [16, 32) bits)");
+}

@@ -1,0 +1,6 @@
+//! Table I — parallelism taxonomy of the pipeline's kernels.
+
+fn main() {
+    println!("TABLE I: Parallelism implemented for Huffman coding's subprocedures\n");
+    print!("{}", huff_core::kernels::render_table());
+}

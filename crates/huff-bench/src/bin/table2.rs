@@ -1,0 +1,114 @@
+//! Table II — encode throughput (GB/s) vs chunk magnitude M ∈ {12,11,10}
+//! and reduction factor r ∈ {4,3,2} on Nyx-Quant-like data, on both
+//! devices, with the breaking percentage per r; plus the wider-word
+//! future-work ablation.
+
+use gpu_sim::Gpu;
+use huff_bench::{emit_row, HarnessArgs};
+use huff_core::encode::gpu::encode_on_gpu;
+use huff_core::encode::{BreakingStrategy, MergeConfig};
+use huff_core::histogram;
+use huff_datasets::PaperDataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: &'static str,
+    magnitude: u32,
+    reduction: u32,
+    encode_gbps: f64,
+    breaking_pct: f64,
+    strategy: &'static str,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let d = PaperDataset::NyxQuant;
+    let n = d.symbols_at_scale(args.scale);
+    eprintln!("generating {n} Nyx-Quant-like symbols (scale {})...", args.scale);
+    let data = d.generate(n, 2021);
+    let sb = d.symbol_bytes();
+    let freqs = histogram::parallel_cpu::histogram(&data, 1024, 8);
+    let book = huff_core::build_codebook(&freqs, 16).unwrap();
+    let input_bytes = (data.len() as u64 * sb) as f64;
+
+    println!(
+        "TABLE II: encode throughput (GB/s) by magnitude and reduction factor (Nyx-Quant-like)\n"
+    );
+    for (dev_name, make) in [("RTX 5000", Gpu::rtx5000 as fn() -> Gpu), ("V100", Gpu::v100)] {
+        println!("--- {dev_name} ---");
+        println!("{:>8} {:>6} {:>6} {:>6} | {:>11}", "r \\ M", "2^12", "2^11", "2^10", "breaking");
+        for r in [4u32, 3, 2] {
+            let mut cells = Vec::new();
+            let mut breaking = 0.0;
+            for m in [12u32, 11, 10] {
+                let gpu = make();
+                let (stream, times) = encode_on_gpu(
+                    &gpu,
+                    &data,
+                    sb,
+                    &book,
+                    MergeConfig::new(m, r),
+                    BreakingStrategy::SparseSidecar,
+                )
+                .unwrap();
+                let gbps = input_bytes / times.total / 1e9;
+                breaking = stream.breaking_fraction() * 100.0;
+                cells.push(gbps);
+                emit_row(
+                    &args,
+                    "table2",
+                    &Row {
+                        device: dev_name,
+                        magnitude: m,
+                        reduction: r,
+                        encode_gbps: gbps,
+                        breaking_pct: breaking,
+                        strategy: "sparse-sidecar",
+                    },
+                );
+            }
+            println!(
+                "{:>4} ({:>2}x) {:>6.1} {:>6.1} {:>6.1} | {:>10.6}%",
+                r,
+                1 << r,
+                cells[0],
+                cells[1],
+                cells[2],
+                breaking
+            );
+        }
+        println!();
+    }
+
+    // Future-work ablation: handle breaking points with a wider word
+    // instead of the sparse sidecar.
+    println!("ablation (V100, M=10): breaking-point strategy");
+    println!("{:>16} {:>12} {:>12}", "r", "sidecar GB/s", "widen GB/s");
+    for r in [4u32, 3, 2] {
+        let mut out = Vec::new();
+        for strat in [BreakingStrategy::SparseSidecar, BreakingStrategy::WidenWord] {
+            let gpu = Gpu::v100();
+            let (_, times) =
+                encode_on_gpu(&gpu, &data, sb, &book, MergeConfig::new(10, r), strat).unwrap();
+            let gbps = input_bytes / times.total / 1e9;
+            out.push(gbps);
+            emit_row(
+                &args,
+                "table2-ablation",
+                &Row {
+                    device: "V100",
+                    magnitude: 10,
+                    reduction: r,
+                    encode_gbps: gbps,
+                    breaking_pct: 0.0,
+                    strategy: match strat {
+                        BreakingStrategy::SparseSidecar => "sparse-sidecar",
+                        BreakingStrategy::WidenWord => "widen-word",
+                    },
+                },
+            );
+        }
+        println!("{:>16} {:>12.1} {:>12.1}", r, out[0], out[1]);
+    }
+}

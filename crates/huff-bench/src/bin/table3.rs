@@ -1,0 +1,106 @@
+//! Table III — codebook-construction time breakdown (ms) on both devices,
+//! cuSZ's serial construction vs the parallel two-phase construction, for
+//! 1024 (Nyx-Quant) through 8192 (5-mer) symbols.
+
+use gpu_sim::Gpu;
+use huff_bench::{emit_row, wall_median, HarnessArgs};
+use huff_core::codebook;
+use huff_core::histogram;
+use huff_datasets::{dna, PaperDataset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    symbols: usize,
+    cpu_serial_ms: f64,
+    cusz_gen_ms_tu: f64,
+    cusz_gen_ms_v: f64,
+    cusz_canonize_ms_tu: f64,
+    cusz_canonize_ms_v: f64,
+    ours_cl_ms_tu: f64,
+    ours_cl_ms_v: f64,
+    ours_cw_ms_tu: f64,
+    ours_cw_ms_v: f64,
+    speedup_v: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = (8 << 20) as usize;
+
+    let mut workloads: Vec<(String, Vec<u64>)> = Vec::new();
+    {
+        let d = PaperDataset::NyxQuant;
+        let data = d.generate(n, 33);
+        // SZ's codebook spans all 1024 quantization bins even when the
+        // sample leaves some empty; floor each bin at 1 (Table III's
+        // "#SYMBOL 1024").
+        let mut h = histogram::parallel_cpu::histogram(&data, 1024, 8);
+        for f in h.iter_mut() {
+            *f = (*f).max(1);
+        }
+        workloads.push(("Nyx-Quant".into(), h));
+    }
+    for k in [3usize, 4, 5] {
+        let (syms, space) = dna::kmer_dataset(n, k, 44 + k as u64);
+        workloads.push((
+            format!("{k}-MER"),
+            histogram::parallel_cpu::histogram(&syms, space, 8),
+        ));
+    }
+
+    println!("TABLE III: codebook construction time (ms), TU = RTX 5000, V = V100\n");
+    println!(
+        "{:<10} {:>8} | {:>10} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8}",
+        "workload", "#symbols", "CPU serial", "cusz TU", "cusz V", "canon TU", "canon V",
+        "CL TU", "CL V", "CW TU", "CW V", "speedupV"
+    );
+
+    for (name, freqs) in workloads {
+        let symbols = freqs.iter().filter(|&&f| f > 0).count();
+        let (_, cpu_serial) = wall_median(5, || codebook::serial::build(&freqs).unwrap());
+
+        let tu = Gpu::rtx5000();
+        let (_, s_tu) = codebook::gpu::serial_on_gpu(&tu, &freqs).unwrap();
+        let v = Gpu::v100();
+        let (_, s_v) = codebook::gpu::serial_on_gpu(&v, &freqs).unwrap();
+
+        let tu2 = Gpu::rtx5000();
+        let (_, p_tu) = codebook::gpu::parallel_on_gpu(&tu2, &freqs).unwrap();
+        let v2 = Gpu::v100();
+        let (_, p_v) = codebook::gpu::parallel_on_gpu(&v2, &freqs).unwrap();
+
+        let row = Row {
+            workload: name.clone(),
+            symbols,
+            cpu_serial_ms: cpu_serial * 1e3,
+            cusz_gen_ms_tu: s_tu.gen_codebook * 1e3,
+            cusz_gen_ms_v: s_v.gen_codebook * 1e3,
+            cusz_canonize_ms_tu: s_tu.canonize * 1e3,
+            cusz_canonize_ms_v: s_v.canonize * 1e3,
+            ours_cl_ms_tu: p_tu.generate_cl * 1e3,
+            ours_cl_ms_v: p_v.generate_cl * 1e3,
+            ours_cw_ms_tu: p_tu.generate_cw * 1e3,
+            ours_cw_ms_v: p_v.generate_cw * 1e3,
+            speedup_v: s_v.total / p_v.total,
+        };
+        println!(
+            "{:<10} {:>8} | {:>10.3} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}x",
+            row.workload,
+            row.symbols,
+            row.cpu_serial_ms,
+            row.cusz_gen_ms_tu,
+            row.cusz_gen_ms_v,
+            row.cusz_canonize_ms_tu,
+            row.cusz_canonize_ms_v,
+            row.ours_cl_ms_tu,
+            row.ours_cl_ms_v,
+            row.ours_cw_ms_tu,
+            row.ours_cw_ms_v,
+            row.speedup_v,
+        );
+        emit_row(&args, "table3", &row);
+    }
+    println!("\n(CPU serial is wall clock on this host; device columns are modeled)");
+}

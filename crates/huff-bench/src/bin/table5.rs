@@ -1,0 +1,96 @@
+//! Table V — full pipeline breakdown on the six datasets, cuSZ coarse
+//! baseline vs the reduce-shuffle encoder, on both devices: average bits,
+//! breaking fraction, reduce factor, histogram GB/s, codebook ms, encode
+//! GB/s, overall GB/s.
+
+use gpu_sim::Gpu;
+use huff_bench::{emit_row, HarnessArgs};
+use huff_core::pipeline::{run, PipelineKind};
+use huff_datasets::PaperDataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    encoder: &'static str,
+    dataset: &'static str,
+    device: &'static str,
+    input_mb: f64,
+    avg_bits: f64,
+    breaking_pct: f64,
+    reduce: u32,
+    hist_gbps: f64,
+    codebook_ms: f64,
+    encode_gbps: f64,
+    overall_gbps: f64,
+}
+
+fn main() {
+    let include_prefix_sum = std::env::args().any(|a| a == "--prefix-sum");
+    let args = HarnessArgs::parse();
+    println!(
+        "TABLE V: overall Huffman encoder breakdown (modeled device time), scale {}\n",
+        args.scale
+    );
+    println!(
+        "{:<8} {:<10} {:<9} {:>8} {:>9} {:>10} {:>8} {:>10} {:>12} {:>12} {:>13}",
+        "encoder", "dataset", "device", "MB", "avg bits", "breaking%", "#reduce",
+        "hist GB/s", "codebook ms", "encode GB/s", "overall GB/s"
+    );
+
+    let mut encoders =
+        vec![("cuSZ", PipelineKind::CuszCoarse), ("ours", PipelineKind::ReduceShuffle)];
+    if include_prefix_sum {
+        encoders.push(("prefix", PipelineKind::PrefixSum));
+    }
+    for (enc_name, kind) in encoders {
+        for d in PaperDataset::all() {
+            let n = d.symbols_at_scale(args.scale);
+            let data = d.generate(n, 0xD5EA5E);
+            for (dev, make) in
+                [("RTX 5000", Gpu::rtx5000 as fn() -> Gpu), ("V100", Gpu::v100)]
+            {
+                let gpu = make();
+                let (_, _, report) = run(
+                    &gpu,
+                    &data,
+                    d.symbol_bytes(),
+                    d.num_symbols(),
+                    10,
+                    Some(d.paper_reduction()),
+                    kind,
+                )
+                .unwrap();
+                let row = Row {
+                    encoder: enc_name,
+                    dataset: d.name(),
+                    device: dev,
+                    input_mb: report.input_bytes as f64 / 1e6,
+                    avg_bits: report.avg_bits,
+                    breaking_pct: report.breaking_fraction * 100.0,
+                    reduce: report.reduction,
+                    hist_gbps: report.hist_gbps(),
+                    codebook_ms: report.times.codebook * 1e3,
+                    encode_gbps: report.encode_gbps(),
+                    overall_gbps: report.overall_gbps(),
+                };
+                println!(
+                    "{:<8} {:<10} {:<9} {:>8.1} {:>9.4} {:>10.6} {:>8} {:>10.1} {:>12.3} {:>12.1} {:>13.1}",
+                    row.encoder,
+                    row.dataset,
+                    row.device,
+                    row.input_mb,
+                    row.avg_bits,
+                    row.breaking_pct,
+                    row.reduce,
+                    row.hist_gbps,
+                    row.codebook_ms,
+                    row.encode_gbps,
+                    row.overall_gbps,
+                );
+                emit_row(&args, "table5", &row);
+            }
+        }
+        println!();
+    }
+    println!("(run with --scale 1.0 for the paper's full dataset sizes)");
+}

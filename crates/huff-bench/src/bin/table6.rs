@@ -1,0 +1,108 @@
+//! Table VI — multithreaded CPU Huffman encoder on Nyx-Quant-like data:
+//! histogram GB/s, codebook ms, encode GB/s and parallel efficiency per
+//! core count, with the modeled GPU numbers alongside.
+
+use gpu_sim::Gpu;
+use huff_bench::{emit_row, wall_median, HarnessArgs};
+use huff_core::encode::{gpu::encode_on_gpu, multithread, BreakingStrategy, MergeConfig};
+use huff_core::{codebook, histogram, pipeline};
+use huff_datasets::PaperDataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cores: usize,
+    hist_gbps: f64,
+    codebook_ms: f64,
+    encode_gbps: f64,
+    parallel_efficiency: f64,
+    overall_gbps: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let d = PaperDataset::NyxQuant;
+    let n = d.symbols_at_scale(args.scale);
+    eprintln!("generating {n} Nyx-Quant-like symbols...");
+    let data = d.generate(n, 66);
+    let bytes = (n as u64 * d.symbol_bytes()) as f64;
+    let freqs = histogram::parallel_cpu::histogram(&data, 1024, 8);
+    let book = huff_core::build_codebook(&freqs, 16).unwrap();
+
+    // Sweep past the physical core count like the paper does (its Table VI
+    // includes 64 workers on 56 cores to show the oversubscription cliff).
+    let max_cores = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let mut cores: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 56, 64];
+    cores.retain(|&c| c <= 2 * max_cores);
+    if cores.len() < 3 {
+        cores = vec![1, 2, 4];
+    }
+
+    println!("TABLE VI: multithread CPU encoder on Nyx-Quant-like data (wall clock)\n");
+    println!(
+        "{:>6} {:>11} {:>12} {:>12} {:>12} {:>13}",
+        "cores", "hist GB/s", "codebook ms", "enc GB/s", "efficiency", "overall GB/s"
+    );
+
+    let mut base_encode: Option<f64> = None;
+    for &c in &cores {
+        let (_, hist_t) =
+            wall_median(3, || histogram::parallel_cpu::histogram_with_pool(&data, 1024, c));
+        let (_, book_t) =
+            wall_median(3, || codebook::multithread::codeword_lengths(&freqs, c).unwrap());
+        let (_, enc_t) =
+            wall_median(3, || multithread::encode_with_pool(&data, &book, c, 1 << 16).unwrap());
+        let enc_gbps = bytes / enc_t / 1e9;
+        let base = *base_encode.get_or_insert(enc_t);
+        let eff = base / enc_t / c as f64;
+        let overall = bytes / (hist_t + book_t + enc_t) / 1e9;
+        let row = Row {
+            cores: c,
+            hist_gbps: bytes / hist_t / 1e9,
+            codebook_ms: book_t * 1e3,
+            encode_gbps: enc_gbps,
+            parallel_efficiency: eff,
+            overall_gbps: overall,
+        };
+        println!(
+            "{:>6} {:>11.2} {:>12.3} {:>12.2} {:>12.2} {:>13.2}",
+            row.cores, row.hist_gbps, row.codebook_ms, row.encode_gbps,
+            row.parallel_efficiency, row.overall_gbps
+        );
+        emit_row(&args, "table6", &row);
+    }
+
+    // GPU reference columns (modeled).
+    println!("\nmodeled GPU reference:");
+    for (name, make) in [("RTX 5000", Gpu::rtx5000 as fn() -> Gpu), ("V100", Gpu::v100)] {
+        let gpu = make();
+        let (_, _, report) = pipeline::run(
+            &gpu,
+            &data,
+            d.symbol_bytes(),
+            1024,
+            10,
+            Some(3),
+            pipeline::PipelineKind::ReduceShuffle,
+        )
+        .unwrap();
+        // Encode-only figure from a fresh device for a clean clock.
+        let g2 = make();
+        let (_, enc) = encode_on_gpu(
+            &g2,
+            &data,
+            d.symbol_bytes(),
+            &book,
+            MergeConfig::new(10, 3),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        println!(
+            "{:<9} hist {:>7.1} GB/s | encode {:>7.1} GB/s | overall {:>7.1} GB/s",
+            name,
+            report.hist_gbps(),
+            bytes / enc.total / 1e9,
+            report.overall_gbps()
+        );
+    }
+}

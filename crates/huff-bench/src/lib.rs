@@ -1,0 +1,115 @@
+//! Shared harness utilities for the table/figure regenerators.
+//!
+//! Each `table*`/`fig*` binary reproduces one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). Binaries print a fixed-width
+//! human table to stdout and, with `--json`, machine-readable rows to
+//! stderr for EXPERIMENTS.md tooling.
+
+use serde::Serialize;
+
+/// Common CLI knobs for the regenerators.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Fraction of the paper's dataset sizes to run at (default 1/16; the
+    /// modeled device numbers are scale-invariant once launch overhead
+    /// amortizes).
+    pub scale: f64,
+    /// Emit JSON rows to stderr.
+    pub json: bool,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`: `[--scale X] [--json]`.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale requires a number");
+                }
+                "--json" => out.json = true,
+                // Flags consumed by individual regenerators.
+                "--prefix-sum" => {}
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale FRACTION] [--json]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        assert!(out.scale > 0.0 && out.scale <= 1.0, "scale must be in (0, 1]");
+        out
+    }
+}
+
+/// Emit one machine-readable result row on stderr when `--json` is set.
+pub fn emit_row<T: Serialize>(args: &HarnessArgs, table: &str, row: &T) {
+    if args.json {
+        let mut v = serde_json::to_value(row).expect("serializable row");
+        if let Some(obj) = v.as_object_mut() {
+            obj.insert("table".into(), table.into());
+        }
+        eprintln!("{v}");
+    }
+}
+
+/// Format seconds as milliseconds with 3 decimals.
+pub fn ms(secs: f64) -> String {
+    format!("{:.3}", secs * 1e3)
+}
+
+/// Format bytes/second as GB/s with one decimal.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.1}", bytes_per_sec / 1e9)
+}
+
+/// Wall-clock one closure, returning (result, seconds). Runs once — the
+/// regenerators measure modeled device time; host wall-clock appears only
+/// in the CPU tables where criterion benches give the precise numbers.
+pub fn wall<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = std::time::Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Median-of-`n` wall-clock of a closure (for the CPU-side tables).
+pub fn wall_median<R>(n: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    assert!(n >= 1);
+    let mut times = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let t = std::time::Instant::now();
+        last = Some(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    (last.expect("n >= 1"), times[times.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(0.001234), "1.234");
+        assert_eq!(gbps(314.6e9), "314.6");
+    }
+
+    #[test]
+    fn wall_median_returns_result() {
+        let (r, t) = wall_median(3, || 42);
+        assert_eq!(r, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn wall_measures() {
+        let (_, t) = wall(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(t >= 0.004);
+    }
+}

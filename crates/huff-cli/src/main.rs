@@ -1,0 +1,289 @@
+//! `rsh` — command-line reduce-shuffle Huffman compressor.
+//!
+//! ```text
+//! rsh compress   <input> <output> [--symbols u8|u16le] [--bins N]
+//!                                 [--magnitude M] [--reduction R]
+//! rsh decompress <input> <output>
+//! rsh inspect    <archive>
+//! rsh bench      <input> [--symbols u8|u16le] [--bins N]
+//! ```
+
+use huff_core::archive::{self, CompressOptions};
+use huff_core::encode::BreakingStrategy;
+use std::process::ExitCode;
+
+mod symbols;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rsh: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
+  rsh decompress <input> <output>
+  rsh inspect    <archive>
+  rsh bench      <input> [--symbols u8|u16le] [--bins N]
+";
+
+#[derive(Debug)]
+struct Flags {
+    symbols: symbols::SymbolWidth,
+    bins: Option<usize>,
+    magnitude: u32,
+    reduction: Option<u32>,
+    widen: bool,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        symbols: symbols::SymbolWidth::U8,
+        bins: None,
+        magnitude: 10,
+        reduction: None,
+        widen: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--symbols" => {
+                f.symbols = match it.next().map(String::as_str) {
+                    Some("u8") => symbols::SymbolWidth::U8,
+                    Some("u16le") => symbols::SymbolWidth::U16Le,
+                    other => return Err(format!("--symbols needs u8|u16le, got {other:?}")),
+                }
+            }
+            "--bins" => {
+                f.bins = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--bins needs a number")?,
+                )
+            }
+            "--magnitude" => {
+                f.magnitude =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("--magnitude needs a number")?
+            }
+            "--reduction" => {
+                f.reduction =
+                    Some(it.next().and_then(|v| v.parse().ok()).ok_or("--reduction needs a number")?)
+            }
+            "--widen" => f.widen = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let [input, output] = f.positional.as_slice() else {
+        return Err("compress needs <input> <output>".into());
+    };
+    let raw = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (syms, default_bins) = f.symbols.decode(&raw)?;
+
+    let mut opts = CompressOptions::new(f.bins.unwrap_or(default_bins));
+    opts.magnitude = f.magnitude;
+    opts.reduction = f.reduction;
+    opts.symbol_bytes = f.symbols.bytes();
+    opts.strategy =
+        if f.widen { BreakingStrategy::WidenWord } else { BreakingStrategy::SparseSidecar };
+
+    let t = std::time::Instant::now();
+    let packed = archive::compress(&syms, &opts).map_err(|e| e.to_string())?;
+    let dt = t.elapsed().as_secs_f64();
+    std::fs::write(output, &packed).map_err(|e| format!("{output}: {e}"))?;
+    eprintln!(
+        "{} -> {} bytes ({:.3}x) in {:.1} ms ({:.1} MB/s)",
+        raw.len(),
+        packed.len(),
+        raw.len() as f64 / packed.len() as f64,
+        dt * 1e3,
+        raw.len() as f64 / dt / 1e6,
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let [input, output] = f.positional.as_slice() else {
+        return Err("decompress needs <input> <output>".into());
+    };
+    let packed = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (_, _, symbol_bytes) = archive::deserialize(&packed).map_err(|e| e.to_string())?;
+    let syms = archive::decompress(&packed).map_err(|e| e.to_string())?;
+    let raw = symbols::SymbolWidth::from_bytes(symbol_bytes)?.encode(&syms);
+    std::fs::write(output, &raw).map_err(|e| format!("{output}: {e}"))?;
+    eprintln!("{} -> {} bytes", packed.len(), raw.len());
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let [input] = f.positional.as_slice() else {
+        return Err("inspect needs <archive>".into());
+    };
+    let packed = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (stream, book, symbol_bytes) =
+        archive::deserialize(&packed).map_err(|e| e.to_string())?;
+    println!("archive          {} bytes", packed.len());
+    println!("symbols          {} ({}-byte native width)", stream.num_symbols, symbol_bytes);
+    println!("codebook         {} / {} coded symbols, H = {}", book.coded_symbols(), book.num_symbols(), book.max_len());
+    println!("chunks           {} x 2^{} symbols, reduction 2^{}", stream.num_chunks(), stream.config.magnitude, stream.config.reduction);
+    println!("payload          {} bits ({} bytes)", stream.total_bits, stream.total_bits.div_ceil(8));
+    println!("breaking units   {} ({:.6}% of symbols)", stream.outliers.num_units(), stream.breaking_fraction() * 100.0);
+    println!("ratio            {:.3}x", stream.compression_ratio(u32::from(symbol_bytes) * 8));
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let [input] = f.positional.as_slice() else {
+        return Err("bench needs <input>".into());
+    };
+    let raw = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (syms, default_bins) = f.symbols.decode(&raw)?;
+    let bins = f.bins.unwrap_or(default_bins);
+
+    let freqs = huff_core::histogram::parallel_cpu::histogram(&syms, bins, 8);
+    let book = huff_core::build_codebook(&freqs, 16).map_err(|e| e.to_string())?;
+    let cfg = huff_core::MergeConfig::auto::<u32>(10, &freqs, &book);
+    println!("{} bytes, {} bins, avg {:.4} bits, auto r = {}", raw.len(), bins, book.average_bitwidth(&freqs), cfg.reduction);
+
+    let mb = raw.len() as f64 / 1e6;
+    let run = |name: &str, f: &mut dyn FnMut() -> Result<(), String>| -> Result<(), String> {
+        let t = std::time::Instant::now();
+        f()?;
+        println!("{name:<22} {:8.1} MB/s (host wall clock)", mb / t.elapsed().as_secs_f64());
+        Ok(())
+    };
+    run("serial", &mut || {
+        huff_core::encode::serial::encode(&syms, &book).map(|_| ()).map_err(|e| e.to_string())
+    })?;
+    run("multithread", &mut || {
+        huff_core::encode::multithread::encode(&syms, &book, 8, 1 << 16)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    })?;
+    run("reduce-shuffle", &mut || {
+        huff_core::encode::reduce_shuffle::encode(
+            &syms,
+            &book,
+            cfg,
+            BreakingStrategy::SparseSidecar,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+    })?;
+
+    // Modeled device figure.
+    let gpu = gpu_sim::Gpu::v100();
+    let (_, times) = huff_core::encode::gpu::encode_on_gpu(
+        &gpu,
+        &syms,
+        u64::from(f.symbols.bytes()),
+        &book,
+        cfg,
+        BreakingStrategy::SparseSidecar,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{:<22} {:8.1} GB/s (modeled V100)",
+        "reduce-shuffle (V100)",
+        raw.len() as f64 / times.total / 1e9
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rsh-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_flags_defaults_and_overrides() {
+        let f = parse_flags(&[]).unwrap();
+        assert_eq!(f.magnitude, 10);
+        assert!(f.reduction.is_none());
+        let args: Vec<String> = ["--symbols", "u16le", "--bins", "512", "--reduction", "2", "in", "out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.symbols, symbols::SymbolWidth::U16Le);
+        assert_eq!(f.bins, Some(512));
+        assert_eq!(f.reduction, Some(2));
+        assert_eq!(f.positional, vec!["in", "out"]);
+    }
+
+    #[test]
+    fn parse_flags_rejects_unknown() {
+        assert!(parse_flags(&["--bogus".to_string()]).is_err());
+        assert!(parse_flags(&["--bins".to_string()]).is_err());
+    }
+
+    #[test]
+    fn compress_decompress_file_roundtrip() {
+        let input = tmp("in.bin");
+        let packed = tmp("out.rsh");
+        let restored = tmp("restored.bin");
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 97) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        cmd_compress(&[input.clone(), packed.clone()].map(String::from)).unwrap();
+        cmd_inspect(&[packed.clone()]).unwrap();
+        cmd_decompress(&[packed, restored.clone()]).unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), payload);
+    }
+
+    #[test]
+    fn u16_mode_roundtrip() {
+        let input = tmp("in16.bin");
+        let packed = tmp("out16.rsh");
+        let restored = tmp("restored16.bin");
+        let payload: Vec<u8> =
+            (0..30_000u32).flat_map(|i| ((i % 900) as u16).to_le_bytes()).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let args: Vec<String> =
+            vec![input, packed.clone(), "--symbols".into(), "u16le".into(), "--reduction".into(), "2".into()];
+        cmd_compress(&args).unwrap();
+        cmd_decompress(&[packed, restored.clone()]).unwrap();
+        assert_eq!(std::fs::read(&restored).unwrap(), payload);
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let r = cmd_compress(&["/nonexistent/x".to_string(), tmp("y")]);
+        assert!(r.is_err());
+        let r = cmd_inspect(&["/nonexistent/x".to_string()]);
+        assert!(r.is_err());
+    }
+}

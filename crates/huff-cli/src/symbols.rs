@@ -1,0 +1,87 @@
+//! Byte-stream ↔ symbol-stream conversion for the CLI.
+
+/// How raw file bytes map to coding symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolWidth {
+    /// One byte per symbol (generic Huffman, ≤256 symbols).
+    U8,
+    /// Two little-endian bytes per symbol (quantization codes, k-mer ids).
+    U16Le,
+}
+
+impl SymbolWidth {
+    /// Native width in bytes.
+    pub fn bytes(&self) -> u8 {
+        match self {
+            SymbolWidth::U8 => 1,
+            SymbolWidth::U16Le => 2,
+        }
+    }
+
+    /// Reconstruct from an archive's header byte.
+    pub fn from_bytes(b: u8) -> Result<Self, String> {
+        match b {
+            1 => Ok(SymbolWidth::U8),
+            2 | 4 => Ok(SymbolWidth::U16Le),
+            other => Err(format!("unsupported symbol width {other}")),
+        }
+    }
+
+    /// Decode raw bytes into symbols; returns `(symbols, default_bins)`.
+    pub fn decode(&self, raw: &[u8]) -> Result<(Vec<u16>, usize), String> {
+        match self {
+            SymbolWidth::U8 => Ok((raw.iter().map(|&b| u16::from(b)).collect(), 256)),
+            SymbolWidth::U16Le => {
+                if raw.len() % 2 != 0 {
+                    return Err("u16le input must have even length".into());
+                }
+                let syms: Vec<u16> =
+                    raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+                let max = syms.iter().copied().max().unwrap_or(0) as usize;
+                Ok((syms, (max + 1).next_power_of_two().max(4)))
+            }
+        }
+    }
+
+    /// Encode symbols back to raw bytes.
+    pub fn encode(&self, syms: &[u16]) -> Vec<u8> {
+        match self {
+            SymbolWidth::U8 => syms.iter().map(|&s| s as u8).collect(),
+            SymbolWidth::U16Le => syms.iter().flat_map(|s| s.to_le_bytes()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip() {
+        let raw = vec![0u8, 1, 255, 7];
+        let (syms, bins) = SymbolWidth::U8.decode(&raw).unwrap();
+        assert_eq!(bins, 256);
+        assert_eq!(SymbolWidth::U8.encode(&syms), raw);
+    }
+
+    #[test]
+    fn u16le_roundtrip() {
+        let raw = vec![0x34, 0x12, 0xFF, 0x03];
+        let (syms, bins) = SymbolWidth::U16Le.decode(&raw).unwrap();
+        assert_eq!(syms, vec![0x1234, 0x03FF]);
+        assert_eq!(bins, 8192);
+        assert_eq!(SymbolWidth::U16Le.encode(&syms), raw);
+    }
+
+    #[test]
+    fn odd_u16_rejected() {
+        assert!(SymbolWidth::U16Le.decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn header_byte_mapping() {
+        assert_eq!(SymbolWidth::from_bytes(1).unwrap(), SymbolWidth::U8);
+        assert_eq!(SymbolWidth::from_bytes(2).unwrap(), SymbolWidth::U16Le);
+        assert!(SymbolWidth::from_bytes(9).is_err());
+    }
+}

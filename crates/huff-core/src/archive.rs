@@ -1,0 +1,311 @@
+//! Self-contained compressed container.
+//!
+//! A downstream user wants `compress(data) -> bytes -> decompress`, not a
+//! pile of kernels; this module is that API. The container stores only the
+//! per-symbol codeword *lengths* — canonical codes are reconstructed
+//! deterministically on decode ([`CanonicalCodebook::from_lengths`]), which
+//! is one of the practical payoffs of canonization the paper highlights.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "RSH1" | symbol_bytes u8 | magnitude u8 | reduction u8 | pad u8
+//! num_symbols u64 | codebook_len u32 | lengths u8 × codebook_len
+//! num_chunks u32 | chunk_bit_lens u64 × num_chunks
+//! outlier_units u32 | { unit_index u64, count u16, symbols u16 × count }*
+//! total_bits u64 | payload bytes
+//! ```
+
+use crate::codebook::{self, CanonicalCodebook};
+use crate::decode;
+use crate::encode::{self, BreakingStrategy, ChunkedStream, MergeConfig};
+use crate::error::{HuffError, Result};
+use crate::histogram;
+use crate::sparse::SparseOutliers;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"RSH1";
+
+/// Options for [`compress`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompressOptions {
+    /// Number of symbols the histogram spans (e.g. 1024 quantization bins,
+    /// 256 for byte data).
+    pub num_symbols: usize,
+    /// Chunk magnitude `M`.
+    pub magnitude: u32,
+    /// Reduction factor; `None` applies the Fig. 3 rule.
+    pub reduction: Option<u32>,
+    /// Breaking-point strategy.
+    pub strategy: BreakingStrategy,
+    /// Native symbol width recorded in the header (1 or 2 bytes).
+    pub symbol_bytes: u8,
+}
+
+impl CompressOptions {
+    /// Defaults for 2-byte symbols over `num_symbols` bins.
+    pub fn new(num_symbols: usize) -> Self {
+        CompressOptions {
+            num_symbols,
+            magnitude: 10,
+            reduction: None,
+            strategy: BreakingStrategy::SparseSidecar,
+            symbol_bytes: 2,
+        }
+    }
+}
+
+/// Compress `symbols` into a self-contained archive.
+pub fn compress(symbols: &[u16], opts: &CompressOptions) -> Result<Vec<u8>> {
+    let freqs = histogram::parallel_cpu::histogram(symbols, opts.num_symbols, rayon::current_num_threads());
+    let book = codebook::parallel(&freqs, 16)?;
+    let config = match opts.reduction {
+        Some(r) => MergeConfig::new(opts.magnitude, r),
+        None => MergeConfig::auto::<u32>(opts.magnitude, &freqs, &book),
+    };
+    let stream = encode::reduce_shuffle::encode(symbols, &book, config, opts.strategy)?;
+    Ok(serialize(&stream, &book, opts.symbol_bytes))
+}
+
+/// Decompress an archive produced by [`compress`].
+pub fn decompress(archive: &[u8]) -> Result<Vec<u16>> {
+    let (stream, book, _symbol_bytes) = deserialize(archive)?;
+    decode::chunked::decode(&stream, &book)
+}
+
+/// Serialize a chunked stream + codebook into the container format.
+pub fn serialize(stream: &ChunkedStream, book: &CanonicalCodebook, symbol_bytes: u8) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(stream.bytes.len() + book.num_symbols() + 64);
+    buf.put_slice(MAGIC);
+    buf.put_u8(symbol_bytes);
+    buf.put_u8(stream.config.magnitude as u8);
+    buf.put_u8(stream.config.reduction as u8);
+    buf.put_u8(0);
+    buf.put_u64_le(stream.num_symbols as u64);
+
+    let lengths = book.lengths();
+    buf.put_u32_le(lengths.len() as u32);
+    for l in &lengths {
+        debug_assert!(*l <= 64);
+        buf.put_u8(*l as u8);
+    }
+
+    buf.put_u32_le(stream.chunk_bit_lens.len() as u32);
+    for &l in &stream.chunk_bit_lens {
+        buf.put_u64_le(l);
+    }
+
+    buf.put_u32_le(stream.outliers.num_units() as u32);
+    for (idx, syms) in stream.outliers.iter() {
+        buf.put_u64_le(idx);
+        buf.put_u16_le(syms.len() as u16);
+        for &s in syms {
+            buf.put_u16_le(s);
+        }
+    }
+
+    buf.put_u64_le(stream.total_bits);
+    buf.put_slice(&stream.bytes);
+    buf.to_vec()
+}
+
+/// Parse the container format back into a stream + codebook.
+pub fn deserialize(archive: &[u8]) -> Result<(ChunkedStream, CanonicalCodebook, u8)> {
+    let mut buf = Bytes::copy_from_slice(archive);
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(HuffError::BadArchive(format!("truncated: need {n} more bytes")))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&buf, 16)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(HuffError::BadArchive("bad magic".into()));
+    }
+    let symbol_bytes = buf.get_u8();
+    let magnitude = u32::from(buf.get_u8());
+    let reduction = u32::from(buf.get_u8());
+    let _pad = buf.get_u8();
+    if magnitude < 2 || magnitude > 24 || reduction == 0 || reduction >= magnitude {
+        return Err(HuffError::BadArchive(format!("bad config M={magnitude} r={reduction}")));
+    }
+    let num_symbols = buf.get_u64_le() as usize;
+
+    need(&buf, 4)?;
+    let cb_len = buf.get_u32_le() as usize;
+    need(&buf, cb_len)?;
+    let mut lengths = Vec::with_capacity(cb_len);
+    for _ in 0..cb_len {
+        lengths.push(u32::from(buf.get_u8()));
+    }
+    let book = CanonicalCodebook::from_lengths(&lengths)
+        .map_err(|e| HuffError::BadArchive(format!("codebook: {e}")))?;
+
+    need(&buf, 4)?;
+    let n_chunks = buf.get_u32_le() as usize;
+    need(&buf, n_chunks * 8)?;
+    let mut chunk_bit_lens = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        chunk_bit_lens.push(buf.get_u64_le());
+    }
+    let mut chunk_bit_offsets = Vec::with_capacity(n_chunks);
+    let mut acc = 0u64;
+    for &l in &chunk_bit_lens {
+        chunk_bit_offsets.push(acc);
+        acc += l;
+    }
+
+    need(&buf, 4)?;
+    let n_outliers = buf.get_u32_le() as usize;
+    let mut outliers = SparseOutliers::new();
+    let mut last_idx: Option<u64> = None;
+    for _ in 0..n_outliers {
+        need(&buf, 10)?;
+        let idx = buf.get_u64_le();
+        if last_idx.is_some_and(|l| idx <= l) {
+            return Err(HuffError::BadArchive("outlier units out of order".into()));
+        }
+        last_idx = Some(idx);
+        let count = buf.get_u16_le() as usize;
+        need(&buf, count * 2)?;
+        let syms: Vec<u16> = (0..count).map(|_| buf.get_u16_le()).collect();
+        outliers.push(idx, &syms);
+    }
+
+    need(&buf, 8)?;
+    let total_bits = buf.get_u64_le();
+    if total_bits != acc {
+        return Err(HuffError::BadArchive(format!(
+            "payload length mismatch: header {total_bits}, chunks {acc}"
+        )));
+    }
+    let payload_bytes = (total_bits as usize).div_ceil(8);
+    need(&buf, payload_bytes)?;
+    let bytes = buf.copy_to_bytes(payload_bytes).to_vec();
+
+    let config = MergeConfig::new(magnitude, reduction);
+    let expected_chunks = num_symbols.div_ceil(config.chunk_symbols());
+    if n_chunks != expected_chunks {
+        return Err(HuffError::BadArchive(format!(
+            "chunk count {n_chunks} inconsistent with {num_symbols} symbols"
+        )));
+    }
+
+    Ok((
+        ChunkedStream {
+            config,
+            bytes,
+            chunk_bit_lens,
+            chunk_bit_offsets,
+            total_bits,
+            num_symbols,
+            outliers,
+        },
+        book,
+        symbol_bytes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+                (x % 256) as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let syms = data(30_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let back = decompress(&archive).unwrap();
+        assert_eq!(back, syms);
+    }
+
+    #[test]
+    fn archive_is_smaller_than_raw_for_skewed_data() {
+        let syms: Vec<u16> = (0..100_000).map(|i| if i % 10 == 0 { 1u16 } else { 0 }).collect();
+        let archive = compress(&syms, &CompressOptions::new(4)).unwrap();
+        assert!(archive.len() < 100_000 / 4, "archive {} bytes", archive.len());
+    }
+
+    #[test]
+    fn empty_input_roundtrip() {
+        // A histogram over an empty input is empty — codebook construction
+        // must fail cleanly.
+        let err = compress(&[], &CompressOptions::new(16));
+        assert!(matches!(err, Err(HuffError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        let syms = vec![3u16; 1000];
+        let archive = compress(&syms, &CompressOptions::new(16)).unwrap();
+        assert_eq!(decompress(&archive).unwrap(), syms);
+    }
+
+    #[test]
+    fn explicit_reduction_factor_respected() {
+        let syms = data(10_000);
+        let mut opts = CompressOptions::new(256);
+        opts.reduction = Some(2);
+        let archive = compress(&syms, &opts).unwrap();
+        let (stream, _, _) = deserialize(&archive).unwrap();
+        assert_eq!(stream.config.reduction, 2);
+        assert_eq!(decompress(&archive).unwrap(), syms);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let syms = data(100);
+        let mut archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        archive[0] = b'X';
+        assert!(matches!(decompress(&archive), Err(HuffError::BadArchive(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let syms = data(5000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in [0, 3, 4, 10, 17, archive.len() / 2, archive.len() - 1] {
+            assert!(decompress(&archive[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_config() {
+        let syms = data(100);
+        let mut archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        archive[6] = 99; // reduction byte
+        assert!(matches!(decompress(&archive), Err(HuffError::BadArchive(_))));
+    }
+
+    #[test]
+    fn widen_word_strategy_roundtrip() {
+        let syms = data(20_000);
+        let mut opts = CompressOptions::new(256);
+        opts.strategy = BreakingStrategy::WidenWord;
+        let archive = compress(&syms, &opts).unwrap();
+        assert_eq!(decompress(&archive).unwrap(), syms);
+    }
+
+    #[test]
+    fn header_records_symbol_width() {
+        let syms = data(1000);
+        let mut opts = CompressOptions::new(256);
+        opts.symbol_bytes = 1;
+        let archive = compress(&syms, &opts).unwrap();
+        let (_, _, sb) = deserialize(&archive).unwrap();
+        assert_eq!(sb, 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! `GenerateCL` — parallel codeword-length construction (Algorithm 1,
+//! first phase), after Ostadzadeh et al.
+//!
+//! Input: the histogram sorted by ascending frequency. Output: the Huffman
+//! codeword length of each (sorted-position) symbol. The construction
+//! proceeds in rounds; each round:
+//!
+//! 1. melds the two smallest live nodes into a new internal node `t`
+//!    (`NewNodeFromSmallestTwo`);
+//! 2. selects, in parallel, every remaining *leaf* whose frequency is below
+//!    `t.freq` (all remaining *internal* nodes qualify automatically: the
+//!    two-queue property guarantees internal nodes are created with
+//!    non-decreasing frequencies, so every live internal node except `t`
+//!    has frequency ≤ `t.freq`);
+//! 3. merges the selected leaves with the internal queue via
+//!    [Merge Path](super::merge_path) (`PARMERGE`) — both inputs sorted
+//!    ascending, trailing element dropped if the count is odd;
+//! 4. melds adjacent pairs of the merged sequence in parallel (`MELD`),
+//!    appending the new internal nodes in order (their sums are ≥ `t.freq`,
+//!    so the internal queue stays sorted);
+//! 5. updates every leaf's codeword length and leader pointer in parallel
+//!    (`UPDATELEAFNODE`): a leaf whose leader was melded this round gets
+//!    `CL += 1` and a new topmost leader.
+//!
+//! The PRAM complexity is `O(H · log log (n/H))`; the Merge-Path
+//! realization makes it `O(n/p + log n)` per round in practice
+//! (Section IV-B1).
+
+use super::merge_path::{par_merge, MergeStats};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// A node reference in the merged eligible sequence: either a leaf (by
+/// sorted position) or an internal node (by id). Ordering: frequency
+/// ascending, leaves before internals on ties (matching the serial heap's
+/// creation-order tie-break), then index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Elem {
+    freq: u64,
+    /// 0 = leaf, 1 = internal — leaves sort first on frequency ties.
+    kind: u8,
+    idx: u32,
+}
+
+/// Execution statistics of one GenerateCL run, consumed by the GPU cost
+/// model (every round is a handful of grid-synced parallel regions).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClStats {
+    /// Rounds of the outer while loop.
+    pub rounds: u64,
+    /// Total elements passed through PARMERGE.
+    pub merged_elements: u64,
+    /// Total MELD operations.
+    pub melds: u64,
+    /// Total leaf-update scans (rounds × n).
+    pub leaf_updates: u64,
+    /// Total leaf-selection scans.
+    pub selection_scans: u64,
+    /// Merge Path partition binary-search steps.
+    pub search_steps: u64,
+}
+
+/// Compute Huffman codeword lengths for frequencies sorted ascending.
+///
+/// `partitions` is the Merge-Path partition count (the paper uses a number
+/// of thread blocks proportional to the SM count). Returns one length per
+/// input position plus run statistics.
+///
+/// # Panics
+/// Panics if `sorted_freqs` is unsorted, empty, or contains zeros (callers
+/// strip absent symbols first).
+pub fn generate_cl(sorted_freqs: &[u64], partitions: usize) -> (Vec<u32>, ClStats) {
+    let n = sorted_freqs.len();
+    assert!(n > 0, "GenerateCL requires at least one symbol");
+    assert!(sorted_freqs.windows(2).all(|w| w[0] <= w[1]), "frequencies must be sorted ascending");
+    assert!(sorted_freqs.iter().all(|&f| f > 0), "zero frequencies must be stripped");
+
+    let mut stats = ClStats::default();
+    let mut cl = vec![0u32; n];
+    if n == 1 {
+        cl[0] = 1;
+        return (cl, stats);
+    }
+
+    // leader[i]: id of leaf i's topmost internal ancestor, or NONE.
+    const NONE: u32 = u32::MAX;
+    let mut leader = vec![NONE; n];
+    // parent_of[id]: id of the internal node `id` was melded into, or NONE.
+    let mut parent_of: Vec<u32> = Vec::new();
+    let mut inode_freq: Vec<u64> = Vec::new();
+
+    // Live internal nodes, ascending frequency (two-queue invariant).
+    let mut inodes: VecDeque<u32> = VecDeque::new();
+    // Next unconsumed leaf (leaves are consumed in sorted order).
+    let mut c = 0usize;
+
+    // Meld two elements into a fresh internal node, wiring leaders/parents.
+    let meld = |x: Elem,
+                y: Elem,
+                leader: &mut [u32],
+                parent_of: &mut Vec<u32>,
+                inode_freq: &mut Vec<u64>|
+     -> u32 {
+        let id = {
+            let id = parent_of.len() as u32;
+            parent_of.push(NONE);
+            inode_freq.push(x.freq + y.freq);
+            id
+        };
+        for e in [x, y] {
+            if e.kind == 0 {
+                leader[e.idx as usize] = id;
+            } else {
+                parent_of[e.idx as usize] = id;
+            }
+        }
+        id
+    };
+
+    while c < n || inodes.len() > 1 {
+        stats.rounds += 1;
+
+        // --- 1. NewNodeFromSmallestTwo -------------------------------
+        let mut candidates: Vec<Elem> = Vec::with_capacity(4);
+        if c < n {
+            candidates.push(Elem { freq: sorted_freqs[c], kind: 0, idx: c as u32 });
+        }
+        if c + 1 < n {
+            candidates.push(Elem { freq: sorted_freqs[c + 1], kind: 0, idx: (c + 1) as u32 });
+        }
+        for &id in inodes.iter().take(2) {
+            candidates.push(Elem { freq: inode_freq[id as usize], kind: 1, idx: id });
+        }
+        candidates.sort_unstable();
+        debug_assert!(candidates.len() >= 2, "loop invariant guarantees two live nodes");
+        let (s1, s2) = (candidates[0], candidates[1]);
+        for e in [s1, s2] {
+            if e.kind == 0 {
+                c += 1;
+            } else {
+                let front = inodes.pop_front().expect("internal candidate from queue");
+                debug_assert_eq!(front, e.idx);
+            }
+        }
+        let t_freq = s1.freq + s2.freq;
+        let t_id = meld(s1, s2, &mut leader, &mut parent_of, &mut inode_freq);
+
+        // --- 2. Select eligible leaves (freq < t.freq) ----------------
+        // Leaves are sorted, so the selection is a prefix of [c..n).
+        stats.selection_scans += (n - c) as u64;
+        let copy_end = sorted_freqs[c..].partition_point(|&f| f < t_freq) + c;
+        let copy: Vec<Elem> = (c..copy_end)
+            .map(|i| Elem { freq: sorted_freqs[i], kind: 0, idx: i as u32 })
+            .collect();
+
+        // --- 3. PARMERGE with the internal queue (excluding t) --------
+        let internals: Vec<Elem> = inodes
+            .iter()
+            .map(|&id| Elem { freq: inode_freq[id as usize], kind: 1, idx: id })
+            .collect();
+        let (mut eligible, mstats): (Vec<Elem>, MergeStats) =
+            par_merge(&copy, &internals, partitions);
+        stats.merged_elements += mstats.elements as u64;
+        stats.search_steps += mstats.search_steps as u64;
+
+        // Parity: MELD pairs everything, so drop the largest element when
+        // odd. A dropped leaf stays unconsumed; a dropped internal stays in
+        // the queue (it is the queue's back, preserving sortedness).
+        let dropped = if eligible.len() % 2 == 1 { eligible.pop() } else { None };
+        let consumed_leaves = eligible.iter().filter(|e| e.kind == 0).count();
+        c += consumed_leaves;
+        // All merged internals leave the queue; push back a dropped one.
+        let melded_internals = eligible.iter().filter(|e| e.kind == 1).count();
+        for _ in 0..melded_internals + usize::from(matches!(dropped, Some(d) if d.kind == 1)) {
+            inodes.pop_front();
+        }
+        inodes.push_back(t_id);
+        if let Some(d) = dropped {
+            if d.kind == 1 {
+                // Dropped internal: re-queue *before* t? Its frequency is
+                // ≤ t.freq, so it belongs in front of t.
+                let t = inodes.pop_back().expect("t just pushed");
+                inodes.push_back(d.idx);
+                inodes.push_back(t);
+            }
+        }
+
+        // --- 4. MELD adjacent pairs in parallel -----------------------
+        for pair in eligible.chunks_exact(2) {
+            stats.melds += 1;
+            let id = meld(pair[0], pair[1], &mut leader, &mut parent_of, &mut inode_freq);
+            inodes.push_back(id);
+        }
+
+        // --- 5. UPDATELEAFNODE: bump CL for re-parented leaves --------
+        stats.leaf_updates += n as u64;
+        let parent_snapshot = &parent_of;
+        cl.par_iter_mut().zip(leader.par_iter_mut()).for_each(|(cl_i, leader_i)| {
+            if *leader_i == NONE {
+                return;
+            }
+            if *cl_i == 0 {
+                // Leaf consumed this round: depth 1 under its new parent.
+                *cl_i = 1;
+            }
+            // Follow the (≤ 1-step per round, loop for safety) parent chain.
+            while parent_snapshot[*leader_i as usize] != NONE {
+                *leader_i = parent_snapshot[*leader_i as usize];
+                *cl_i += 1;
+            }
+        });
+    }
+
+    (cl, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree;
+
+    /// Sorted-order lengths from the serial reference, for comparison.
+    fn reference_sorted_lengths(sorted_freqs: &[u64]) -> Vec<u32> {
+        tree::codeword_lengths(sorted_freqs).expect("nonempty")
+    }
+
+    fn check_optimal(sorted_freqs: &[u64]) {
+        let (cl, _) = generate_cl(sorted_freqs, 4);
+        let reference = reference_sorted_lengths(sorted_freqs);
+        // Huffman lengths are not unique under ties, but the weighted total
+        // and the Kraft equality are invariant.
+        let ours = tree::weighted_length(sorted_freqs, &cl);
+        let theirs = tree::weighted_length(sorted_freqs, &reference);
+        assert_eq!(ours, theirs, "suboptimal lengths {cl:?} vs {reference:?} for {sorted_freqs:?}");
+        assert_eq!(tree::kraft_sum(&cl), 1u128 << 64, "Kraft violated: {cl:?}");
+    }
+
+    #[test]
+    fn textbook_example() {
+        let (cl, _) = generate_cl(&[1, 1, 2, 4], 2);
+        assert_eq!(cl, vec![3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let (cl, _) = generate_cl(&[3, 7], 2);
+        assert_eq!(cl, vec![1, 1]);
+    }
+
+    #[test]
+    fn single_symbol_convention() {
+        let (cl, _) = generate_cl(&[42], 2);
+        assert_eq!(cl, vec![1]);
+    }
+
+    #[test]
+    fn uniform_power_of_two() {
+        let (cl, _) = generate_cl(&[7; 16], 4);
+        assert!(cl.iter().all(|&l| l == 4), "{cl:?}");
+    }
+
+    #[test]
+    fn fibonacci_deep_tree() {
+        let freqs = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+        check_optimal(&freqs);
+        let (cl, _) = generate_cl(&freqs, 4);
+        assert_eq!(*cl.iter().max().unwrap(), 10);
+    }
+
+    #[test]
+    fn equal_frequencies_many() {
+        check_optimal(&[5; 100]);
+        check_optimal(&[1; 3]);
+        check_optimal(&[1; 7]);
+    }
+
+    #[test]
+    fn optimality_on_pseudorandom_inputs() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for trial in 0..40 {
+            let n = 2 + (trial * 37) % 300;
+            let mut freqs: Vec<u64> = (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) % 10_000 + 1
+                })
+                .collect();
+            freqs.sort_unstable();
+            check_optimal(&freqs);
+        }
+    }
+
+    #[test]
+    fn geometric_like_distribution() {
+        // Shape typical of quantization codes: one dominant symbol.
+        let mut freqs = vec![1u64, 2, 4, 8, 16, 32, 64, 128, 100_000];
+        freqs.sort_unstable();
+        check_optimal(&freqs);
+    }
+
+    #[test]
+    fn lengths_nonincreasing_in_frequency() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let (cl, _) = generate_cl(&freqs, 8);
+        // Sorted ascending by frequency => lengths non-increasing.
+        assert!(cl.windows(2).all(|w| w[0] >= w[1]), "{cl:?}");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (_, stats) = generate_cl(&[1, 2, 3, 4, 5, 6, 7, 8], 2);
+        assert!(stats.rounds > 0);
+        assert!(stats.leaf_updates >= stats.rounds * 8);
+        assert!(stats.melds > 0);
+    }
+
+    #[test]
+    fn partition_count_does_not_change_result() {
+        let freqs: Vec<u64> = (1..200u64).collect();
+        let (a, _) = generate_cl(&freqs, 1);
+        let (b, _) = generate_cl(&freqs, 13);
+        let (c, _) = generate_cl(&freqs, 128);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_input_rejected() {
+        let _ = generate_cl(&[5, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequencies")]
+    fn zero_frequency_rejected() {
+        let _ = generate_cl(&[0, 1], 2);
+    }
+}

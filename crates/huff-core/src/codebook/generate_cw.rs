@@ -1,0 +1,229 @@
+//! `GenerateCW` — canonical codeword assignment (Algorithm 1, second
+//! phase) with `First`/`Entry` decoding metadata generated inline.
+//!
+//! Input: the codeword lengths produced by `GenerateCL`, which arrive
+//! sorted by *ascending frequency* — i.e. non-increasing length. The phase
+//! begins with `PARREVERSE(CL)` so lengths are non-decreasing, then sweeps
+//! a pointer `CDPI` over the length levels: all codewords of the current
+//! length `CCL` are assigned in one parallel region, the first codeword of
+//! the next level is derived by the canonical recurrence
+//! `FCW' = (FCW + count) · 2^(CL diff)`, and the `First`/`Entry` arrays are
+//! recorded per level — `O(H)` time with one thread per symbol on PRAM.
+//!
+//! One deliberate deviation from the paper: Algorithm 1 assigns codes in
+//! decreasing numeric order within a level and bit-inverts them afterwards
+//! (lines 38/47) because its symbols arrive most-frequent-first. After our
+//! `PARREVERSE` the ascending assignment directly yields the same canonical
+//! code family (shorter codes numerically precede the prefixes of longer
+//! ones), so no inversion pass is needed; the resulting `First`/`Entry`
+//! metadata is identical.
+
+use crate::codeword::{Codeword, MAX_CODE_BITS};
+use crate::error::{HuffError, Result};
+
+/// Output of the codeword-generation phase, in ascending-length order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CwOutput {
+    /// Codeword per position of the (reversed, i.e. ascending-length)
+    /// input.
+    pub codes: Vec<Codeword>,
+    /// `first[l]`: numeric value of the first codeword of length `l`
+    /// (`u64::MAX` for lengths with no codewords).
+    pub first: Vec<u64>,
+    /// `entry[l]`: number of codewords strictly shorter than `l`.
+    pub entry: Vec<u32>,
+    /// `count[l]`: number of codewords of length `l`.
+    pub count: Vec<u32>,
+    /// Longest codeword length `H`.
+    pub max_len: u32,
+    /// Number of length levels processed (outer-loop iterations — the
+    /// `O(H)` quantity).
+    pub levels: u32,
+}
+
+/// Assign canonical codewords for lengths sorted non-increasing (the
+/// GenerateCL output order). Returns codes in *ascending-length* order:
+/// `codes[i]` corresponds to input position `n - 1 - i`.
+pub fn generate_cw(cl_desc: &[u32]) -> Result<CwOutput> {
+    let n = cl_desc.len();
+    assert!(n > 0, "GenerateCW requires at least one codeword length");
+    assert!(
+        cl_desc.windows(2).all(|w| w[0] >= w[1]),
+        "GenerateCL output must be non-increasing"
+    );
+
+    // PARREVERSE(CL): ascending lengths.
+    let cl: Vec<u32> = cl_desc.iter().rev().copied().collect();
+    let max_len = *cl.last().expect("nonempty");
+    if max_len > MAX_CODE_BITS {
+        return Err(HuffError::CodewordTooLong { len: max_len, max: MAX_CODE_BITS });
+    }
+
+    let h = max_len as usize;
+    let mut first = vec![u64::MAX; h + 1];
+    let mut entry = vec![0u32; h + 2];
+    let mut count = vec![0u32; h + 1];
+    let mut codes = vec![Codeword::EMPTY; n];
+
+    let mut ccl = cl[0]; // current codeword length
+    let mut fcw = 0u64; // first codeword of the current level
+    let mut cdpi = 0usize; // current position
+    let mut levels = 0u32;
+
+    while cdpi < n {
+        levels += 1;
+        // newCDPI: first index whose length exceeds CCL (the paper finds it
+        // with a parallel ATOMICMIN; lengths are sorted, so it is a
+        // partition point).
+        let new_cdpi = cdpi + cl[cdpi..].partition_point(|&l| l == ccl);
+        let level_count = (new_cdpi - cdpi) as u32;
+
+        // Capacity check: level must fit under the canonical recurrence.
+        if ccl < 64 && fcw + u64::from(level_count) > (1u64 << ccl) {
+            return Err(HuffError::CorruptStream("length sequence violates Kraft inequality"));
+        }
+
+        // Assign this level's codewords in parallel (concurrently in the
+        // paper; the region is tiny, so a host loop suffices).
+        for (k, code) in codes[cdpi..new_cdpi].iter_mut().enumerate() {
+            *code = Codeword::new(fcw + k as u64, ccl);
+        }
+
+        // Record decoding metadata for this level.
+        first[ccl as usize] = fcw;
+        count[ccl as usize] = level_count;
+        entry[ccl as usize + 1] = entry[ccl as usize] + level_count;
+
+        if new_cdpi < n {
+            let next_len = cl[new_cdpi];
+            // Intermediate (empty) levels inherit the running entry count.
+            for l in (ccl + 1)..next_len {
+                entry[l as usize + 1] = entry[ccl as usize + 1];
+            }
+            let cl_diff = next_len - ccl;
+            fcw = (fcw + u64::from(level_count)) << cl_diff;
+            ccl = next_len;
+        }
+        cdpi = new_cdpi;
+    }
+
+    // Fill entry[] gaps below the first level.
+    let min_len = cl[0] as usize;
+    for l in 0..min_len {
+        entry[l + 1] = 0;
+    }
+
+    Ok(CwOutput { codes, first, entry, count, max_len, levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_prefix_free(codes: &[Codeword]) {
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_prefix_of(b), "{a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_lengths() {
+        // Lengths (desc): 3,3,2,1 — canonical codes asc: 0, 10, 110, 111.
+        let out = generate_cw(&[3, 3, 2, 1]).unwrap();
+        let strs: Vec<String> = out.codes.iter().map(|c| c.to_bit_string()).collect();
+        assert_eq!(strs, vec!["0", "10", "110", "111"]);
+        assert_eq!(out.max_len, 3);
+        assert_eq!(out.levels, 3);
+        assert_prefix_free(&out.codes);
+    }
+
+    #[test]
+    fn first_entry_metadata() {
+        let out = generate_cw(&[3, 3, 2, 1]).unwrap();
+        assert_eq!(out.first[1], 0); // "0"
+        assert_eq!(out.first[2], 0b10);
+        assert_eq!(out.first[3], 0b110);
+        assert_eq!(out.count[1], 1);
+        assert_eq!(out.count[2], 1);
+        assert_eq!(out.count[3], 2);
+        assert_eq!(out.entry[1], 0);
+        assert_eq!(out.entry[2], 1);
+        assert_eq!(out.entry[3], 2);
+        assert_eq!(out.entry[4], 4);
+    }
+
+    #[test]
+    fn uniform_lengths_single_level() {
+        let out = generate_cw(&[3; 8]).unwrap();
+        assert_eq!(out.levels, 1);
+        let values: Vec<u64> = out.codes.iter().map(|c| c.bits()).collect();
+        assert_eq!(values, (0..8).collect::<Vec<u64>>());
+        assert_prefix_free(&out.codes);
+    }
+
+    #[test]
+    fn single_code() {
+        let out = generate_cw(&[1]).unwrap();
+        assert_eq!(out.codes[0], Codeword::new(0, 1));
+    }
+
+    #[test]
+    fn skipped_levels() {
+        // Lengths 1 and 3 only (valid: 0, 100, 101, 110 — Kraft 1/2+3/8 ≤ 1).
+        let out = generate_cw(&[3, 3, 3, 1]).unwrap();
+        let strs: Vec<String> = out.codes.iter().map(|c| c.to_bit_string()).collect();
+        assert_eq!(strs, vec!["0", "100", "101", "110"]);
+        assert_eq!(out.count[2], 0);
+        assert_eq!(out.first[2], u64::MAX);
+        assert_eq!(out.entry[2], 1);
+        assert_eq!(out.entry[3], 1);
+    }
+
+    #[test]
+    fn canonical_monotonicity() {
+        // The canonical property: for codes a (shorter) and b (longer), the
+        // leading |a| bits of b are numerically > a... i.e. shorter codes
+        // order before longer ones as binary fractions.
+        let out = generate_cw(&[4, 4, 3, 2, 1]).unwrap();
+        for w in out.codes.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Compare as left-aligned 64-bit fractions.
+            let fa = a.bits() << (64 - a.len());
+            let fb = b.bits() << (64 - b.len());
+            assert!(fa < fb, "{a} !< {b}");
+        }
+        assert_prefix_free(&out.codes);
+    }
+
+    #[test]
+    fn kraft_violation_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert!(generate_cw(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn overlong_rejected() {
+        assert!(matches!(
+            generate_cw(&[65, 1]),
+            Err(HuffError::CodewordTooLong { len: 65, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn unsorted_input_rejected() {
+        let _ = generate_cw(&[1, 3]);
+    }
+
+    #[test]
+    fn complete_code_fills_space() {
+        // A complete Huffman code's last codeword is all-ones.
+        let out = generate_cw(&[3, 3, 2, 2, 2]).unwrap();
+        let last = out.codes.last().unwrap();
+        assert_eq!(last.bits(), (1u64 << last.len()) - 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! GPU Merge Path (Green, McColl, Bader) — partitioned parallel merge.
+//!
+//! `GenerateCL`'s PARMERGE step merges the selected leaf nodes with the
+//! internal-node queue, both sorted by ascending frequency. The paper
+//! customizes Merge Path for its structure-of-arrays node representation
+//! and fuses it into the GenerateCL kernel (to avoid a 60 us kernel
+//! launch), using a number of partitions proportional to the SM count; each
+//! partition then merges serially. Practical complexity
+//! `O(n/p + log n)`.
+
+use rayon::prelude::*;
+
+/// Find the Merge Path partition point for `diag`: the split `(i, j)` with
+/// `i + j = diag` such that merging `a[..i]` and `b[..j]` yields the first
+/// `diag` outputs. Binary search along the cross-diagonal.
+pub fn diagonal_split<T: Ord>(a: &[T], b: &[T], diag: usize) -> (usize, usize) {
+    debug_assert!(diag <= a.len() + b.len());
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = diag - i;
+        // Stable merge taking from `a` first on ties: a[i] goes before b[j]
+        // when a[i] <= b[j].
+        if i < a.len() && j > 0 && a[i] < b[j - 1] {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    (lo, diag - lo)
+}
+
+/// Serial stable merge of two sorted slices into `out` (ties take from `a`
+/// first). Helper for each Merge Path partition.
+fn serial_merge<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Statistics of one parallel merge, for the cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Total elements merged.
+    pub elements: usize,
+    /// Partitions used.
+    pub partitions: usize,
+    /// Binary-search steps across all partition searches.
+    pub search_steps: usize,
+}
+
+/// Merge two sorted slices with Merge Path over `partitions` partitions.
+/// Stable: ties take from `a` first. Returns the merged vector and stats.
+pub fn par_merge<T: Ord + Copy + Send + Sync>(
+    a: &[T],
+    b: &[T],
+    partitions: usize,
+) -> (Vec<T>, MergeStats) {
+    let total = a.len() + b.len();
+    if total == 0 {
+        return (Vec::new(), MergeStats { elements: 0, partitions: 0, search_steps: 0 });
+    }
+    let partitions = partitions.clamp(1, total);
+    let seed = a.first().or(b.first()).copied().expect("total > 0");
+    let mut out = vec![seed; total];
+
+    // Compute the diagonal splits, then fill disjoint output chunks in
+    // parallel — each partition merges its slice serially, as on the GPU.
+    let chunk = total.div_ceil(partitions);
+    let splits: Vec<(usize, usize)> =
+        (0..=partitions).map(|p| diagonal_split(a, b, (p * chunk).min(total))).collect();
+    let search_steps = (partitions + 1) * (total.max(2).ilog2() as usize + 1);
+
+    let mut out_slices: Vec<(usize, &mut [T])> = Vec::with_capacity(partitions);
+    let mut rest: &mut [T] = &mut out;
+    for p in 0..partitions {
+        let (i0, j0) = splits[p];
+        let (i1, j1) = splits[p + 1];
+        let len = (i1 - i0) + (j1 - j0);
+        let (head, tail) = rest.split_at_mut(len);
+        out_slices.push((p, head));
+        rest = tail;
+    }
+    out_slices.into_par_iter().for_each(|(p, slot)| {
+        let (i0, j0) = splits[p];
+        let (i1, j1) = splits[p + 1];
+        serial_merge(&a[i0..i1], &b[j0..j1], slot);
+    });
+
+    (out, MergeStats { elements: total, partitions, search_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_merge(a: &[u64], b: &[u64], partitions: usize) {
+        let (m, stats) = par_merge(a, b, partitions);
+        let mut expect: Vec<u64> = a.iter().chain(b).copied().collect();
+        expect.sort_unstable();
+        assert_eq!(m, expect, "a={a:?} b={b:?} p={partitions}");
+        assert_eq!(stats.elements, a.len() + b.len());
+    }
+
+    #[test]
+    fn merges_basic() {
+        check_merge(&[1, 3, 5], &[2, 4, 6], 2);
+        check_merge(&[1, 2, 3], &[4, 5, 6], 3);
+        check_merge(&[4, 5, 6], &[1, 2, 3], 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        check_merge(&[], &[1, 2], 4);
+        check_merge(&[1, 2], &[], 4);
+        check_merge(&[], &[], 1);
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        check_merge(&[1, 1, 2, 2], &[1, 2, 2, 3], 3);
+    }
+
+    #[test]
+    fn stability_ties_take_left_first() {
+        // Tag elements so we can observe stability: (key, origin).
+        let a = [(1u64, 0u8), (2, 0)];
+        let b = [(1u64, 1u8), (2, 1)];
+        let (m, _) = par_merge(&a, &b, 2);
+        assert_eq!(m, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn large_random_against_sort() {
+        let a: Vec<u64> = {
+            let mut v: Vec<u64> = (0..5000).map(|i| (i * 48271) % 10_000).collect();
+            v.sort_unstable();
+            v
+        };
+        let b: Vec<u64> = {
+            let mut v: Vec<u64> = (0..3000).map(|i| (i * 16807) % 10_000).collect();
+            v.sort_unstable();
+            v
+        };
+        for p in [1, 7, 64] {
+            check_merge(&a, &b, p);
+        }
+    }
+
+    #[test]
+    fn diagonal_split_extremes() {
+        let a = [1u64, 3, 5];
+        let b = [2u64, 4];
+        assert_eq!(diagonal_split(&a, &b, 0), (0, 0));
+        assert_eq!(diagonal_split(&a, &b, 5), (3, 2));
+        let (i, j) = diagonal_split(&a, &b, 2);
+        assert_eq!(i + j, 2);
+    }
+
+    #[test]
+    fn partitions_clamped() {
+        let (m, stats) = par_merge(&[1u64], &[2u64], 100);
+        assert_eq!(m, vec![1, 2]);
+        assert!(stats.partitions <= 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Serial codebook construction + standalone canonization — the cuSZ/SZ
+//! baseline path of Table III ("GEN. CODEBOOK" + "CANONIZE").
+//!
+//! The baseline builds a Huffman *tree* serially, derives a base (tree)
+//! codebook, and then runs a separate canonization pass producing the
+//! canonical codebook and reverse codebook. The paper's contribution folds
+//! canonization into GenerateCW; this module preserves the two-step
+//! structure so the baseline's cost can be measured.
+
+use super::CanonicalCodebook;
+use crate::codeword::Codeword;
+use crate::error::Result;
+use crate::tree;
+
+/// Statistics of a canonization pass (Section IV-B2's three phases).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanonizeStats {
+    /// Work of the linear scan of the base codebook (fine-grained with
+    /// atomics on the GPU).
+    pub scan_ops: u64,
+    /// Work of the loose radix sort by bitwidth (intrinsically serial —
+    /// RAW dependency).
+    pub radix_ops: u64,
+    /// Work of building the reverse codebook (fine-grained).
+    pub reverse_ops: u64,
+}
+
+/// Build the base (tree-derived, non-canonical) codebook serially.
+pub fn base_codebook(freqs: &[u64]) -> Result<Vec<Codeword>> {
+    tree::tree_codebook(freqs)
+}
+
+/// Canonize a base codebook: keep every symbol's bitwidth, reassign bit
+/// patterns canonically, and build the reverse codebook. Returns the
+/// canonical codebook and the pass statistics.
+pub fn canonize(base: &[Codeword]) -> Result<(CanonicalCodebook, CanonizeStats)> {
+    // Phase 1: linear scan — collect bitwidths.
+    let lengths: Vec<u32> = base.iter().map(|c| c.len()).collect();
+    let coded = lengths.iter().filter(|&&l| l > 0).count() as u64;
+    // Phase 2: loose radix sort by bitwidth (serial RAW chain): counting
+    // sort over lengths.
+    // Phase 3: reverse codebook construction.
+    let book = CanonicalCodebook::from_lengths(&lengths)?;
+    let stats = CanonizeStats {
+        scan_ops: base.len() as u64,
+        radix_ops: base.len() as u64 + u64::from(book.max_len()),
+        reverse_ops: coded,
+    };
+    Ok((book, stats))
+}
+
+/// Full serial path: tree construction + canonization.
+pub fn build(freqs: &[u64]) -> Result<CanonicalCodebook> {
+    let base = base_codebook(freqs)?;
+    let (book, _) = canonize(&base)?;
+    Ok(book)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_build_matches_parallel_totals() {
+        let freqs: Vec<u64> = (1..=500u64).map(|i| i.wrapping_mul(2654435761) % 1000 + 1).collect();
+        let serial = build(&freqs).unwrap();
+        let par = super::super::parallel(&freqs, 8).unwrap();
+        assert_eq!(
+            tree::weighted_length(&freqs, &serial.lengths()),
+            tree::weighted_length(&freqs, &par.lengths())
+        );
+    }
+
+    #[test]
+    fn canonize_preserves_bitwidths() {
+        let freqs = [5u64, 9, 12, 13, 16, 45];
+        let base = base_codebook(&freqs).unwrap();
+        let (canon, stats) = canonize(&base).unwrap();
+        for (b, c) in base.iter().zip(canon.codes()) {
+            assert_eq!(b.len(), c.len(), "bitwidth changed during canonization");
+        }
+        assert_eq!(stats.scan_ops, 6);
+        assert!(stats.reverse_ops == 6);
+    }
+
+    #[test]
+    fn canonical_codes_differ_from_base_in_general() {
+        // Canonization reassigns patterns; at least the metadata exists.
+        let freqs = [1u64, 2, 4, 8, 16, 32];
+        let base = base_codebook(&freqs).unwrap();
+        let (canon, _) = canonize(&base).unwrap();
+        assert!(canon.max_len() > 0);
+        assert_eq!(canon.reverse().len(), 6);
+    }
+
+    #[test]
+    fn compression_ratio_identical_to_base() {
+        // Section IV-B2: canonical codebook maintains exactly the same
+        // compression ratio as the base codebook.
+        let freqs: Vec<u64> = vec![100, 50, 25, 12, 6, 3, 2, 1];
+        let base = base_codebook(&freqs).unwrap();
+        let (canon, _) = canonize(&base).unwrap();
+        let base_bits: u64 =
+            freqs.iter().zip(&base).map(|(&f, c)| f * u64::from(c.len())).sum();
+        let canon_bits: u64 =
+            freqs.iter().zip(canon.codes()).map(|(&f, c)| f * u64::from(c.len())).sum();
+        assert_eq!(base_bits, canon_bits);
+    }
+}

@@ -1,0 +1,265 @@
+//! Packed variable-length codewords and the MERGE operator.
+//!
+//! A [`Codeword`] is up to 64 bits, stored right-aligned (the last bit of
+//! the code is the least-significant bit of `bits`). The paper's encoding
+//! stage is built on one operator (Section IV-C):
+//!
+//! ```text
+//! MERGE((a,l)_2k, (a,l)_2k+1) = (a_2k ⊕ a_2k+1, l_2k + l_2k+1)
+//! ```
+//!
+//! where `⊕` concatenates the right operand's bits after the left's. The
+//! operator is associative but **not commutative** — encoded symbols must
+//! keep their original order.
+
+use crate::error::{HuffError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Maximum representable codeword (or merged-codeword) length in bits.
+pub const MAX_CODE_BITS: u32 = 64;
+
+/// A prefix-code codeword (or a merged run of codewords), right-aligned in
+/// a `u64`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Codeword {
+    bits: u64,
+    len: u32,
+}
+
+impl Codeword {
+    /// The empty codeword (identity of MERGE).
+    pub const EMPTY: Codeword = Codeword { bits: 0, len: 0 };
+
+    /// A codeword from right-aligned bits and a length.
+    ///
+    /// # Panics
+    /// Panics if `len > 64` or if `bits` has set bits above `len`.
+    pub fn new(bits: u64, len: u32) -> Self {
+        assert!(len <= MAX_CODE_BITS, "codeword length {len} > {MAX_CODE_BITS}");
+        if len < 64 {
+            assert!(bits >> len == 0, "bits 0x{bits:x} wider than declared length {len}");
+        }
+        Codeword { bits, len }
+    }
+
+    /// Fallible constructor for lengths that may exceed the representable
+    /// maximum (pathological skewed histograms).
+    pub fn try_new(bits: u64, len: u32) -> Result<Self> {
+        if len > MAX_CODE_BITS {
+            return Err(HuffError::CodewordTooLong { len, max: MAX_CODE_BITS });
+        }
+        Ok(Codeword::new(bits, len))
+    }
+
+    /// Right-aligned bit pattern.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True for the zero-length codeword.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The MERGE operator: concatenate `rhs` after `self`. Returns `None`
+    /// if the result would exceed 64 bits — the *breaking* condition the
+    /// encoder must handle out-of-band.
+    #[inline]
+    pub fn merge(&self, rhs: Codeword) -> Option<Codeword> {
+        let len = self.len + rhs.len;
+        if len > MAX_CODE_BITS {
+            return None;
+        }
+        // Shift by 64 is UB-adjacent; rhs.len == 64 implies self is empty.
+        let bits = if rhs.len == 64 { rhs.bits } else { (self.bits << rhs.len) | rhs.bits };
+        Some(Codeword { bits, len })
+    }
+
+    /// The first (most significant) bit, if any.
+    pub fn leading_bit(&self) -> Option<bool> {
+        if self.len == 0 {
+            None
+        } else {
+            Some((self.bits >> (self.len - 1)) & 1 == 1)
+        }
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Codeword) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        if self.len == 0 {
+            return true;
+        }
+        (other.bits >> (other.len - self.len)) == self.bits
+    }
+
+    /// Render MSB-first as a `0`/`1` string (for traces and tests).
+    pub fn to_bit_string(&self) -> String {
+        (0..self.len)
+            .rev()
+            .map(|i| if (self.bits >> i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Parse an MSB-first `0`/`1` string.
+    pub fn from_bit_string(s: &str) -> Self {
+        let mut bits = 0u64;
+        let mut len = 0u32;
+        for c in s.chars() {
+            match c {
+                '0' => {
+                    bits <<= 1;
+                    len += 1;
+                }
+                '1' => {
+                    bits = (bits << 1) | 1;
+                    len += 1;
+                }
+                _ => panic!("invalid bit character {c:?}"),
+            }
+        }
+        Codeword::new(bits, len)
+    }
+}
+
+impl std::fmt::Display for Codeword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+/// Fold a slice of codewords with MERGE, preserving order. Returns `None`
+/// on overflow (breaking).
+pub fn merge_all(codes: &[Codeword]) -> Option<Codeword> {
+    let mut acc = Codeword::EMPTY;
+    for &c in codes {
+        acc = acc.merge(c)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let c = Codeword::new(0b101, 3);
+        assert_eq!(c.bits(), 5);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(Codeword::EMPTY.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than declared length")]
+    fn overwide_bits_panic() {
+        let _ = Codeword::new(0b100, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_long() {
+        assert!(matches!(
+            Codeword::try_new(0, 65),
+            Err(HuffError::CodewordTooLong { len: 65, .. })
+        ));
+        assert!(Codeword::try_new(u64::MAX, 64).is_ok());
+    }
+
+    #[test]
+    fn merge_concatenates_in_order() {
+        let a = Codeword::from_bit_string("10");
+        let b = Codeword::from_bit_string("011");
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.to_bit_string(), "10011");
+        // Not commutative.
+        let m2 = b.merge(a).unwrap();
+        assert_eq!(m2.to_bit_string(), "01110");
+        assert_ne!(m, m2);
+    }
+
+    #[test]
+    fn merge_identity() {
+        let a = Codeword::from_bit_string("110");
+        assert_eq!(a.merge(Codeword::EMPTY).unwrap(), a);
+        assert_eq!(Codeword::EMPTY.merge(a).unwrap(), a);
+    }
+
+    #[test]
+    fn merge_overflow_is_breaking() {
+        let a = Codeword::new(u64::MAX >> 2, 62);
+        let b = Codeword::new(0b111, 3);
+        assert!(a.merge(b).is_none());
+        assert!(a.merge(Codeword::new(0b11, 2)).is_some());
+    }
+
+    #[test]
+    fn merge_full_width_rhs() {
+        let b = Codeword::new(u64::MAX, 64);
+        assert_eq!(Codeword::EMPTY.merge(b).unwrap(), b);
+    }
+
+    #[test]
+    fn merge_all_folds_in_order() {
+        let codes: Vec<Codeword> =
+            ["1", "01", "001", "11"].iter().map(|s| Codeword::from_bit_string(s)).collect();
+        let m = merge_all(&codes).unwrap();
+        assert_eq!(m.to_bit_string(), "10100111");
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn merge_all_detects_break() {
+        let codes = vec![Codeword::new(0, 33); 2];
+        assert!(merge_all(&codes).is_none());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = Codeword::from_bit_string("10");
+        let b = Codeword::from_bit_string("101");
+        let c = Codeword::from_bit_string("11");
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!c.is_prefix_of(&b));
+        assert!(Codeword::EMPTY.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn leading_bit() {
+        assert_eq!(Codeword::from_bit_string("10").leading_bit(), Some(true));
+        assert_eq!(Codeword::from_bit_string("01").leading_bit(), Some(false));
+        assert_eq!(Codeword::EMPTY.leading_bit(), None);
+    }
+
+    #[test]
+    fn bit_string_roundtrip() {
+        for s in ["", "0", "1", "0101100111000", "1111111111111111"] {
+            assert_eq!(Codeword::from_bit_string(s).to_bit_string(), s);
+        }
+    }
+
+    #[test]
+    fn display_matches_bit_string() {
+        let c = Codeword::from_bit_string("1010");
+        assert_eq!(format!("{c}"), "1010");
+    }
+
+    #[test]
+    fn merge_associativity() {
+        let a = Codeword::from_bit_string("1");
+        let b = Codeword::from_bit_string("00");
+        let c = Codeword::from_bit_string("110");
+        let ab_c = a.merge(b).unwrap().merge(c).unwrap();
+        let a_bc = a.merge(b.merge(c).unwrap()).unwrap();
+        assert_eq!(ab_c, a_bc);
+    }
+}

@@ -1,0 +1,116 @@
+//! Chunked canonical decoding on the simulated device.
+//!
+//! The paper's encoder chunks data partly "because it will facilitate the
+//! reverse process, decoding" (Section III-A), and canonizes the codebook
+//! so decoding needs no tree — just the `First`/`Entry` arrays and the
+//! reverse codebook, small enough to cache on-chip (Section IV-B2). This
+//! kernel realizes that: one block per chunk, the decode tables staged in
+//! shared memory, each block walking its substream bit-serially.
+//!
+//! Decoding is latency-bound per symbol (a dependent chain of bit reads),
+//! but thousands of chunks decode concurrently, so throughput is
+//! `symbols-in-flight / per-symbol-latency`, capped by DRAM bandwidth.
+
+use super::chunked;
+use crate::codebook::CanonicalCodebook;
+use crate::encode::ChunkedStream;
+use crate::error::Result;
+use gpu_sim::{Access, Gpu, GridDim};
+
+/// Decode a chunked stream on the device. Returns the symbols and the
+/// modeled kernel time in seconds.
+pub fn decode_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+) -> Result<(Vec<u16>, f64)> {
+    let n_chunks = stream.num_chunks().max(1) as u64;
+    let n = stream.num_symbols as u64;
+    let payload_bytes = stream.total_bits.div_ceil(8);
+    let table_bytes =
+        (book.reverse().len() * 2 + book.first().len() * 8 + book.entry().len() * 4) as u64;
+    let resident = n_chunks.min(u64::from(gpu.spec().sm_count) * 4);
+
+    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
+    let (out, cost) = gpu.launch_timed("dec_chunked_canonical", grid, |scope| {
+        let out = chunked::decode(stream, book);
+        let t = scope.traffic();
+        // Each chunk streams its payload once; substreams are contiguous so
+        // reads coalesce across the block's threads.
+        t.read(Access::Coalesced, payload_bytes, 1);
+        // Chunk offsets + bit lengths.
+        t.read(Access::Coalesced, 2 * n_chunks, 8);
+        // Decode tables staged per resident block, reused from L2 after.
+        t.read(Access::Coalesced, resident * table_bytes, 1);
+        // Per-symbol on-chip table probes (~avg-code-length lookups each).
+        let avg_probes = if n > 0 { (stream.total_bits / n).clamp(1, 64) } else { 1 };
+        t.shared(n * avg_probes * 4);
+        // Symbol output, coalesced.
+        t.write(Access::Coalesced, n, 2);
+        // Bit-serial decode: ~3 ops per consumed bit, divergent across the
+        // warp (symbols end at different bit positions).
+        t.ops(3 * stream.total_bits);
+        t.diverge(2.0);
+        out
+    });
+    Ok((out?, cost.total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+    use crate::encode::{reduce_shuffle, BreakingStrategy, MergeConfig};
+    use gpu_sim::DeviceSpec;
+
+    fn setup(n: usize) -> (CanonicalCodebook, Vec<u16>, ChunkedStream) {
+        let freqs: Vec<u64> = vec![500, 250, 125, 63, 31, 16, 8, 7];
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        let syms: Vec<u16> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) >> 9) as u16 % 8).collect();
+        let stream = reduce_shuffle::encode(
+            &syms,
+            &book,
+            MergeConfig::new(10, 3),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        (book, syms, stream)
+    }
+
+    #[test]
+    fn gpu_decode_matches_input() {
+        let (book, syms, stream) = setup(30_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let (out, secs) = decode_on_gpu(&gpu, &stream, &book).unwrap();
+        assert_eq!(out, syms);
+        assert!(secs > 0.0);
+        assert_eq!(gpu.clock().launches(), 1);
+    }
+
+    #[test]
+    fn empty_stream_decodes_empty() {
+        let (book, _, _) = setup(16);
+        let empty = reduce_shuffle::encode(
+            &[],
+            &book,
+            MergeConfig::default(),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let (out, _) = decode_on_gpu(&gpu, &empty, &book).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn v100_decode_throughput_band() {
+        let (book, _, stream) = setup(4_000_000);
+        let gpu = Gpu::v100();
+        let (_, secs) = decode_on_gpu(&gpu, &stream, &book).unwrap();
+        let gbps = gpu_sim::gbps(stream.num_symbols as f64 * 2.0 / secs);
+        // Decoding is compute/latency-bound: below encode throughput but
+        // far above a serial CPU decode.
+        assert!(gbps > 5.0 && gbps < 900.0, "modeled {gbps:.1} GB/s");
+    }
+}

@@ -1,0 +1,16 @@
+//! Decoding.
+//!
+//! The paper focuses on encoding; decoding is implemented for completeness
+//! and verification:
+//! * [`canonical`] — treeless canonical decoding with the `First`/`Entry`
+//!   metadata (the reason the codebook is canonized, Section IV-B2);
+//! * [`tree`] — Huffman-tree-walking reference decoder;
+//! * [`chunked`] — parallel per-chunk decoding of
+//!   [`ChunkedStream`](crate::encode::ChunkedStream)s with breaking-unit
+//!   splicing;
+//! * [`gpu`] — the chunked decoder as a device kernel with modeled time.
+
+pub mod canonical;
+pub mod chunked;
+pub mod gpu;
+pub mod tree;

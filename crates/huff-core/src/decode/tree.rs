@@ -1,0 +1,93 @@
+//! Huffman-tree-walking reference decoder.
+//!
+//! The slow path canonical decoding replaces: follow left/right child
+//! pointers bit by bit. Kept as an oracle for differential tests.
+
+use crate::bitstream::BitReader;
+use crate::error::{HuffError, Result};
+use crate::tree::Node;
+
+/// Decode `count` symbols by walking the tree.
+pub fn decode(bytes: &[u8], bit_len: u64, count: usize, root: &Node) -> Result<Vec<u16>> {
+    let mut reader = BitReader::new(bytes, bit_len);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut node = root;
+        loop {
+            match node {
+                Node::Leaf { symbol, .. } => {
+                    out.push(*symbol);
+                    break;
+                }
+                Node::Internal { left, right, .. } => {
+                    node = if reader.read_bit()? { right } else { left };
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Differential check: tree decoding of a tree-codebook encoding must equal
+/// canonical decoding of a canonical encoding.
+pub fn cross_check(symbols: &[u16], freqs: &[u64]) -> Result<bool> {
+    let root = crate::tree::build_tree(freqs)?;
+    let tree_codes = crate::tree::tree_codebook(freqs)?;
+    let mut w = crate::bitstream::BitWriter::new();
+    for &s in symbols {
+        let c = tree_codes[s as usize];
+        if c.is_empty() {
+            return Err(HuffError::MissingCodeword(s as usize));
+        }
+        w.push_code(c);
+    }
+    let (bytes, bits) = w.finish();
+    let tree_decoded = decode(&bytes, bits, symbols.len(), &root)?;
+
+    let book = crate::codebook::parallel(freqs, 4)?;
+    let enc = crate::encode::serial::encode(symbols, &book)?;
+    let canon_decoded =
+        super::canonical::decode(&enc.bytes, enc.bit_len, symbols.len(), &book)?;
+
+    Ok(tree_decoded == symbols && canon_decoded == symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{build_tree, tree_codebook};
+
+    #[test]
+    fn roundtrip_tree_codes() {
+        let freqs = [10u64, 6, 3, 1];
+        let root = build_tree(&freqs).unwrap();
+        let codes = tree_codebook(&freqs).unwrap();
+        let syms = [0u16, 1, 2, 3, 0, 0, 1];
+        let mut w = crate::bitstream::BitWriter::new();
+        for &s in &syms {
+            w.push_code(codes[s as usize]);
+        }
+        let (bytes, bits) = w.finish();
+        let dec = decode(&bytes, bits, syms.len(), &root).unwrap();
+        assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let freqs = [1u64, 1];
+        let root = build_tree(&freqs).unwrap();
+        assert!(decode(&[], 0, 1, &root).is_err());
+    }
+
+    #[test]
+    fn cross_check_agrees() {
+        let freqs: Vec<u64> = vec![31, 17, 11, 7, 5, 3, 2];
+        let syms: Vec<u16> = (0..500).map(|i| (i % 7) as u16).collect();
+        assert!(cross_check(&syms, &freqs).unwrap());
+    }
+
+    #[test]
+    fn cross_check_rejects_uncoded() {
+        assert!(cross_check(&[1], &[1, 0]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Coarse-grained chunked encoder — the cuSZ baseline (Section III-B).
+//!
+//! One thread per chunk, each serially writing its chunk's codewords into a
+//! per-chunk region, then a gap-deflate pass concatenates the regions. On
+//! the device this is "embarrassingly parallel" but ignores memory
+//! coalescing: neighbouring threads write to far-apart chunk bases, so
+//! every few-bit codeword append costs a full DRAM transaction — the
+//! ~30 GB/s ceiling the paper measures for cuSZ on the V100.
+//!
+//! Functionally it produces the same chunked layout as the reduce-shuffle
+//! encoder (with no breaking units — serial appends never break), so the
+//! same chunked decoder applies.
+
+use super::reduce_shuffle::{assemble, EncodedChunk};
+use super::shuffle_merge::ShuffleStats;
+use super::{ChunkedStream, MergeConfig};
+use crate::codebook::CanonicalCodebook;
+use crate::error::Result;
+use rayon::prelude::*;
+
+/// Encode `symbols` coarsely: thread-per-chunk serial appends, then the
+/// standard coalescing pass.
+pub fn encode(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+    config: MergeConfig,
+) -> Result<ChunkedStream> {
+    let chunk_syms = config.chunk_symbols();
+    let chunks: Vec<Result<EncodedChunk>> =
+        symbols.par_chunks(chunk_syms.max(1)).map(|c| chunk_append(c, book)).collect();
+    let chunks: Result<Vec<EncodedChunk>> = chunks.into_iter().collect();
+    assemble(symbols.len(), &chunks?, config)
+}
+
+/// Serially append one chunk's codewords into left-aligned u32 cells.
+pub(crate) fn chunk_append(symbols: &[u16], book: &CanonicalCodebook) -> Result<EncodedChunk> {
+    let mut words: Vec<u32> = Vec::with_capacity(symbols.len() / 2 + 2);
+    let mut staged = 0u64; // output bits, left-aligned at bit 63
+    let mut filled = 0u32; // valid staged bits (< 32 between symbols)
+    let mut bit_len = 0u64;
+    for &s in symbols {
+        let code = book.code_checked(s)?;
+        let bits = code.bits();
+        let len = code.len();
+        bit_len += u64::from(len);
+        let mut rem = len;
+        while rem > 0 {
+            let room = 64 - filled;
+            let take = rem.min(room);
+            let field = if take == 64 { bits } else { (bits >> (rem - take)) & ((1u64 << take) - 1) };
+            staged |= field << (room - take);
+            filled += take;
+            rem -= take;
+            while filled >= 32 {
+                words.push((staged >> 32) as u32);
+                staged <<= 32;
+                filled -= 32;
+            }
+        }
+    }
+    if filled > 0 {
+        words.push((staged >> 32) as u32);
+    }
+    Ok(EncodedChunk { words, bit_len, breaking: Vec::new(), shuffle: ShuffleStats::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+    use crate::decode;
+
+    fn setup(n: usize) -> (CanonicalCodebook, Vec<u16>) {
+        let freqs = [40u64, 30, 20, 10];
+        let book = codebook::parallel(&freqs, 2).unwrap();
+        let syms: Vec<u16> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(48271) % 4) as u16).collect();
+        (book, syms)
+    }
+
+    #[test]
+    fn matches_serial_bitstream() {
+        let (book, syms) = setup(10_000);
+        let coarse = encode(&syms, &book, MergeConfig::new(10, 3)).unwrap();
+        let serial = super::super::serial::encode(&syms, &book).unwrap();
+        assert_eq!(coarse.total_bits, serial.bit_len);
+        assert_eq!(coarse.bytes, serial.bytes);
+        assert!(coarse.outliers.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_through_chunked_decoder() {
+        let (book, syms) = setup(3000);
+        let stream = encode(&syms, &book, MergeConfig::new(8, 2)).unwrap();
+        assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+    }
+
+    #[test]
+    fn long_codewords_handled() {
+        // Deep codebook: codes up to 33 bits stress the staging split.
+        let lengths: Vec<u32> = (1..=33).chain([33]).collect(); // complete code
+        let book = crate::codebook::CanonicalCodebook::from_lengths(&lengths).unwrap();
+        let syms: Vec<u16> = (0..200).map(|i| (i % 34) as u16).collect();
+        let stream = encode(&syms, &book, MergeConfig::new(6, 1)).unwrap();
+        let serial = super::super::serial::encode(&syms, &book).unwrap();
+        assert_eq!(stream.bytes, serial.bytes);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (book, _) = setup(0);
+        let stream = encode(&[], &book, MergeConfig::default()).unwrap();
+        assert_eq!(stream.total_bits, 0);
+    }
+
+    #[test]
+    fn single_symbol_chunks() {
+        let (book, syms) = setup(17);
+        let stream = encode(&syms, &book, MergeConfig::new(2, 1)).unwrap();
+        assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+        assert_eq!(stream.num_chunks(), 5); // ceil(17/4)
+    }
+}

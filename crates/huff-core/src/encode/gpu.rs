@@ -1,0 +1,394 @@
+//! The reduce-shuffle encoder on the simulated device.
+//!
+//! Kernel structure matches Table I's "Huffman enc." block:
+//!
+//! * `enc_reduce_merge` — coarse+fine: each thread merges `2^r` codewords
+//!   (codebook cached in shared memory), writing one merged unit per
+//!   thread, coalesced;
+//! * `enc_shuffle_merge` — `s` grid-synced iterations of batched word
+//!   moves in global memory (warp divergence factor 2, Section IV-C-d);
+//! * `enc_blockwise_len` — per-chunk code lengths + device-wide prefix sum;
+//! * `enc_coalescing_copy` — the dense gather of chunk substreams;
+//! * `enc_breaking_backtrace` — the reduction that locates breaking units
+//!   plus the dense-to-sparse conversion (~300 us on the V100, Section V-B2).
+//!
+//! `symbol_bytes` is the dataset's native symbol width (1 for the
+//! byte-oriented corpora, 2 for quantization codes and k-mers) — it sets
+//! the input-read traffic and is the basis for the GB/s figures the tables
+//! report.
+
+use super::reduce_shuffle::{assemble, encode_chunk, EncodedChunk};
+use super::{BreakingStrategy, ChunkedStream, MergeConfig};
+use crate::codebook::CanonicalCodebook;
+use crate::error::Result;
+use gpu_sim::{Access, Gpu, GridDim};
+use rayon::prelude::*;
+
+/// Modeled per-kernel encode times, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuEncodeTimes {
+    /// REDUCE-merge kernel (includes the codebook-lookup first merge).
+    pub reduce: f64,
+    /// SHUFFLE-merge kernel.
+    pub shuffle: f64,
+    /// Blockwise code length + prefix sum.
+    pub blockwise_len: f64,
+    /// Coalescing copy into the dense stream.
+    pub coalesce: f64,
+    /// Breaking-point backtrace + dense-to-sparse.
+    pub breaking: f64,
+    /// Sum of the above.
+    pub total: f64,
+}
+
+/// Encode on the device, charging modeled time to `gpu`'s clock. Returns
+/// the stream (bit-identical to the host encoder's) and the per-kernel
+/// breakdown.
+pub fn encode_on_gpu(
+    gpu: &Gpu,
+    symbols: &[u16],
+    symbol_bytes: u64,
+    book: &CanonicalCodebook,
+    config: MergeConfig,
+    strategy: BreakingStrategy,
+) -> Result<(ChunkedStream, GpuEncodeTimes)> {
+    let chunk_syms = config.chunk_symbols();
+    let n = symbols.len() as u64;
+    let n_chunks = symbols.len().div_ceil(chunk_syms).max(1) as u64;
+    let units = n.div_ceil(config.unit_symbols() as u64);
+    let book_bytes = book.coded_symbols() as u64 * 8;
+    // Each resident block stages the codebook in shared memory once; with
+    // many more chunks than resident blocks the reloads hit L2, so the
+    // DRAM cost is bounded by the resident-block count.
+    let book_loads = n_chunks.min(u64::from(gpu.spec().sm_count) * 4);
+
+    // --- Kernel 1: REDUCE-merge (fused functional work happens here) ----
+    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
+    let (chunks, reduce_cost) = gpu.launch_timed("enc_reduce_merge", grid, |scope| {
+        let chunks: Vec<EncodedChunk> = symbols
+            .par_chunks(chunk_syms.max(1))
+            .map(|c| {
+                let first = encode_chunk::<u32>(c, book, config);
+                match strategy {
+                    BreakingStrategy::SparseSidecar => first,
+                    BreakingStrategy::WidenWord if first.breaking.is_empty() => first,
+                    BreakingStrategy::WidenWord => encode_chunk::<u64>(c, book, config),
+                }
+            })
+            .collect();
+        let t = scope.traffic();
+        t.read(Access::Coalesced, n, symbol_bytes); // input symbols
+        t.read(Access::Coalesced, book_loads * book_bytes, 1); // codebook staging
+        t.shared(n * 8); // per-symbol shared-memory codebook lookups
+        t.write(Access::Coalesced, units, 4); // merged unit words
+        t.write(Access::Coalesced, units, 1); // per-unit bit lengths (u8)
+        t.ops(4 * n);
+        chunks
+    });
+
+    // --- Kernel 2: SHUFFLE-merge ----------------------------------------
+    let words_moved: u64 = chunks.iter().map(|c| c.shuffle.words_moved).sum();
+    let iters = chunks.iter().map(|c| c.shuffle.iterations).max().unwrap_or(0);
+    let (_, shuffle_cost) = gpu.launch_timed("enc_shuffle_merge", grid, |scope| {
+        let t = scope.traffic();
+        t.read(Access::Coalesced, words_moved, 4);
+        t.write(Access::Coalesced, words_moved, 4);
+        // Group bit-length bookkeeping: each window reads its two group
+        // lengths and writes the merged one; the total window count across
+        // all iterations is one per unit.
+        t.read(Access::Coalesced, 2 * units, 4);
+        t.write(Access::Coalesced, units, 4);
+        t.ops(6 * words_moved);
+        t.diverge(2.0); // Section IV-C-d: shuffle diverges at a factor of 2
+        for _ in 0..iters {
+            t.grid_sync();
+        }
+    });
+
+    // --- Kernel 3: blockwise code lengths + prefix sum -------------------
+    let chunk_bits: Vec<u64> = chunks.iter().map(|c| c.bit_len).collect();
+    let (_, len_cost) = gpu.launch_timed(
+        "enc_blockwise_len",
+        GridDim::cover(chunk_bits.len(), 256),
+        |scope| {
+            let (_offsets, _total) = gpu_sim::prefix::exclusive_scan(scope, &chunk_bits);
+        },
+    );
+
+    // --- Kernel 4: coalescing copy --------------------------------------
+    let total_bits: u64 = chunk_bits.iter().sum();
+    let payload_bytes = total_bits.div_ceil(8);
+    let (_, copy_cost) = gpu.launch_timed("enc_coalescing_copy", grid, |scope| {
+        let t = scope.traffic();
+        t.read(Access::Coalesced, payload_bytes, 1);
+        t.write(Access::Coalesced, payload_bytes, 1);
+        t.ops(payload_bytes.div_ceil(4));
+    });
+
+    // --- Kernel 5: breaking backtrace + dense-to-sparse ------------------
+    let n_breaking: u64 = chunks.iter().map(|c| c.breaking.len() as u64).sum();
+    let breaking_syms: u64 =
+        chunks.iter().flat_map(|c| c.breaking.iter().map(|(_, s)| s.len() as u64)).sum();
+    let (_, breaking_cost) = gpu.launch_timed(
+        "enc_breaking_backtrace",
+        GridDim::cover(units as usize, 256),
+        |scope| {
+            let t = scope.traffic();
+            t.read(Access::Coalesced, units, 1); // one-time read of unit lens (u8)
+            t.write(Access::Random, n_breaking, 8); // sparse indices
+            t.write(Access::Random, breaking_syms, 2); // raw symbols
+            t.ops(units);
+            t.grid_sync();
+        },
+    );
+
+    let stream = assemble(symbols.len(), &chunks, config)?;
+    let times = GpuEncodeTimes {
+        reduce: reduce_cost.total,
+        shuffle: shuffle_cost.total,
+        blockwise_len: len_cost.total,
+        coalesce: copy_cost.total,
+        breaking: breaking_cost.total,
+        total: reduce_cost.total
+            + shuffle_cost.total
+            + len_cost.total
+            + copy_cost.total
+            + breaking_cost.total,
+    };
+    Ok((stream, times))
+}
+
+/// The cuSZ coarse baseline on the device: thread-per-chunk serial appends.
+/// With a hundred thousand threads striding chunk-sized apart, neither the
+/// reads nor the fragmented per-codeword appends coalesce — every access is
+/// its own DRAM transaction, which is what pins cuSZ's encoder near
+/// 10-30 GB/s (Section III-B; e.g. enwik9's 954 MB at one read + one write
+/// sector per symbol is ~60 GB of traffic → ~11 GB/s on the V100, the
+/// paper's measured figure).
+pub fn coarse_encode_on_gpu(
+    gpu: &Gpu,
+    symbols: &[u16],
+    symbol_bytes: u64,
+    book: &CanonicalCodebook,
+    config: MergeConfig,
+) -> Result<(ChunkedStream, f64)> {
+    let n = symbols.len() as u64;
+    let n_chunks = symbols.len().div_ceil(config.chunk_symbols()).max(1) as u64;
+    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
+    let (stream, cost) = gpu.launch_timed("coarse_encode", grid, |scope| {
+        let stream = super::coarse::encode(symbols, book, config);
+        let t = scope.traffic();
+        t.read(Access::Strided, n, symbol_bytes); // chunk-strided, cache-hostile
+        t.write(Access::Strided, n, 4); // fragmented per-codeword appends
+        t.ops(8 * n);
+        t.diverge(2.0); // variable-length appends diverge heavily
+        stream
+    });
+    Ok((stream?, cost.total))
+}
+
+/// The Rahmani prefix-sum baseline on the device (Section III-B: the
+/// 37 GB/s method).
+pub fn prefix_sum_encode_on_gpu(
+    gpu: &Gpu,
+    symbols: &[u16],
+    symbol_bytes: u64,
+    book: &CanonicalCodebook,
+) -> Result<(super::EncodedStream, f64)> {
+    let n = symbols.len() as u64;
+    let grid = GridDim::cover(symbols.len(), 256);
+    let (out, cost) = gpu.launch_timed("prefix_sum_encode", grid, |scope| {
+        let out = super::prefix_sum::encode(symbols, book);
+        if let Ok((_, stats)) = &out {
+            let t = scope.traffic();
+            // Lengths pass.
+            t.read(Access::Coalesced, n, symbol_bytes);
+            t.shared(n * 8);
+            t.write(Access::Coalesced, n, 4);
+            // Scan over n lengths (3n element moves).
+            t.read(Access::Coalesced, 3 * n, 4);
+            t.write(Access::Coalesced, n, 8);
+            // Concurrent scatter: every codeword write is a read-modify-
+            // write of 1-2 words at a data-dependent bit offset. Atomics to
+            // *distinct* addresses run at sector throughput (charged below);
+            // true same-address collisions are only the word-boundary
+            // overlaps between neighbouring codewords, a small fraction.
+            t.global_atomic(stats.scatter_writes, stats.scatter_writes / 1024);
+            t.read(Access::Random, stats.scatter_writes, 4);
+            t.ops(8 * n);
+            t.grid_sync();
+            t.grid_sync();
+        }
+        out
+    });
+    let (stream, _) = out?;
+    Ok((stream, cost.total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+    use crate::decode;
+    use gpu_sim::DeviceSpec;
+
+    /// Nyx-Quant-like: 1024 symbols, avg ~1.03 bits.
+    fn nyx_like(n: usize) -> (CanonicalCodebook, Vec<u16>) {
+        let mut freqs = vec![1u64; 1024];
+        freqs[512] = (n as u64 * 200).max(1024); // dominant quantization bin
+        freqs[511] = (n as u64).max(512) / 8;
+        freqs[513] = (n as u64).max(512) / 8;
+        let book = codebook::parallel(&freqs, 8).unwrap();
+        let syms: Vec<u16> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005) >> 33;
+                match x % 100 {
+                    0..=89 => 512u16,
+                    90..=94 => 511,
+                    95..=98 => 513,
+                    _ => (x % 1024) as u16,
+                }
+            })
+            .collect();
+        (book, syms)
+    }
+
+    #[test]
+    fn gpu_encode_matches_host_encode() {
+        let (book, syms) = nyx_like(50_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let cfg = MergeConfig::new(10, 3);
+        let (stream, times) =
+            encode_on_gpu(&gpu, &syms, 2, &book, cfg, BreakingStrategy::SparseSidecar).unwrap();
+        let host = super::super::reduce_shuffle::encode(
+            &syms,
+            &book,
+            cfg,
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        assert_eq!(stream.bytes, host.bytes);
+        assert_eq!(stream.total_bits, host.total_bits);
+        assert!(times.total > 0.0);
+        assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+    }
+
+    #[test]
+    fn five_encode_kernels_charged() {
+        let (book, syms) = nyx_like(10_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let _ = encode_on_gpu(
+            &gpu,
+            &syms,
+            2,
+            &book,
+            MergeConfig::new(8, 2),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        assert_eq!(gpu.clock().launches(), 5);
+    }
+
+    /// The in-repo tests run at megabyte scale where kernel-launch latency
+    /// still matters; the full Table II/V comparison at the paper's
+    /// 256 MB - 1.4 GB scale is produced by the release-mode bench harness.
+    #[test]
+    fn reduce_shuffle_beats_coarse_on_v100() {
+        let (book, syms) = nyx_like(16_000_000);
+        let cfg = MergeConfig::new(10, 3);
+        let g1 = Gpu::v100();
+        let (_, ours) =
+            encode_on_gpu(&g1, &syms, 2, &book, cfg, BreakingStrategy::SparseSidecar).unwrap();
+        let g2 = Gpu::v100();
+        let (_, coarse_time) = coarse_encode_on_gpu(&g2, &syms, 2, &book, cfg).unwrap();
+        let speedup = coarse_time / ours.total;
+        assert!(
+            speedup > 1.5,
+            "speedup only {speedup:.2}x (ours {} vs coarse {})",
+            ours.total,
+            coarse_time
+        );
+    }
+
+    #[test]
+    fn reduce_shuffle_beats_prefix_sum_on_low_entropy() {
+        let (book, syms) = nyx_like(4_000_000);
+        let g1 = Gpu::v100();
+        let (_, ours) = encode_on_gpu(
+            &g1,
+            &syms,
+            2,
+            &book,
+            MergeConfig::new(10, 3),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        let g2 = Gpu::v100();
+        let (ps_stream, ps_time) = prefix_sum_encode_on_gpu(&g2, &syms, 2, &book).unwrap();
+        assert!(ps_time > ours.total, "prefix-sum {ps_time} should lose to ours {}", ours.total);
+        // Prefix-sum output is still correct.
+        let dec =
+            decode::canonical::decode(&ps_stream.bytes, ps_stream.bit_len, syms.len(), &book)
+                .unwrap();
+        assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn v100_encode_throughput_band() {
+        // Table V reports 314.6 GB/s for Nyx-Quant on the V100 at 256 MB;
+        // at this test's 32 MB the launch latency still bites, so accept a
+        // wide band and let the bench harness check the full-scale number.
+        let (book, syms) = nyx_like(16_000_000);
+        let gpu = Gpu::v100();
+        let (_, t) = encode_on_gpu(
+            &gpu,
+            &syms,
+            2,
+            &book,
+            MergeConfig::new(10, 3),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        let gbps = gpu_sim::gbps((syms.len() * 2) as f64 / t.total);
+        assert!(gbps > 50.0 && gbps < 900.0, "modeled {gbps:.1} GB/s");
+    }
+
+    #[test]
+    fn throughput_improves_with_scale() {
+        // Launch overhead amortizes: 16 MB should beat 2 MB in GB/s.
+        let (book, syms) = nyx_like(8_000_000);
+        let cfg = MergeConfig::new(10, 3);
+        let g_small = Gpu::v100();
+        let (_, t_small) = encode_on_gpu(
+            &g_small,
+            &syms[..1_000_000],
+            2,
+            &book,
+            cfg,
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        let g_big = Gpu::v100();
+        let (_, t_big) =
+            encode_on_gpu(&g_big, &syms, 2, &book, cfg, BreakingStrategy::SparseSidecar).unwrap();
+        let small_gbps = 1_000_000.0 * 2.0 / t_small.total;
+        let big_gbps = 8_000_000.0 * 2.0 / t_big.total;
+        assert!(big_gbps > small_gbps, "{big_gbps} <= {small_gbps}");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let (book, _) = nyx_like(16);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let (stream, _) = encode_on_gpu(
+            &gpu,
+            &[],
+            2,
+            &book,
+            MergeConfig::default(),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        assert_eq!(stream.total_bits, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Stage 4 of the pipeline: encoding.
+//!
+//! Implementations:
+//! * [`serial`] — single-thread bitstream append (the SZ CPU baseline);
+//! * [`multithread`] — chunked multicore CPU encoder (Table VI);
+//! * [`coarse`] — cuSZ-style coarse-grained GPU encoder (thread-per-chunk,
+//!   non-coalesced — the baseline "ours" beats in Table V);
+//! * [`prefix_sum`] — Rahmani et al.'s prefix-sum GPU encoder
+//!   (Section III-B's 37 GB/s baseline);
+//! * [`reduce_shuffle`] — the paper's contribution:
+//!   `ReduceShuffleMerge<M, r>` built from [`reduce_merge`] and
+//!   [`shuffle_merge`], with breaking-point handling;
+//! * [`gpu`] — the device-launched pipeline charging modeled time.
+
+pub mod coarse;
+pub mod gpu;
+pub mod multithread;
+pub mod prefix_sum;
+pub mod reduce_merge;
+pub mod reduce_shuffle;
+pub mod serial;
+pub mod shuffle_merge;
+
+use crate::codebook::CanonicalCodebook;
+use crate::entropy;
+
+pub use reduce_shuffle::BreakingStrategy;
+use serde::{Deserialize, Serialize};
+
+/// A representative word for the merge phases: the typed data cell whose
+/// width bounds a merged codeword before it *breaks*. The paper uses
+/// `uint32_t`; `u64` is the wider-word ablation flagged as future work.
+pub trait Word:
+    Copy
+    + Default
+    + Send
+    + Sync
+    + Eq
+    + std::fmt::Debug
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitOrAssign
+    + std::ops::Shl<u32, Output = Self>
+    + std::ops::Shr<u32, Output = Self>
+{
+    /// Width in bits.
+    const BITS: u32;
+    /// The zero word.
+    const ZERO: Self;
+    /// Truncating conversion from the low bits of a `u64`.
+    fn from_u64(v: u64) -> Self;
+    /// Widening conversion.
+    fn to_u64(self) -> u64;
+}
+
+impl Word for u32 {
+    const BITS: u32 = 32;
+    const ZERO: Self = 0;
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+    #[inline]
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+impl Word for u64 {
+    const BITS: u32 = 64;
+    const ZERO: Self = 0;
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+}
+
+/// Configuration of the `ReduceShuffleMerge<M, r>` encoding kernel
+/// (Section IV-C interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeConfig {
+    /// Chunk magnitude `M`: `2^M` symbols per chunk.
+    pub magnitude: u32,
+    /// Reduction factor `r`: each thread merges `2^r` codewords; `s = M-r`
+    /// shuffle iterations follow.
+    pub reduction: u32,
+}
+
+impl MergeConfig {
+    /// The paper's preferred configuration for its evaluation: `M = 10`,
+    /// `r` chosen per dataset (Table II picks `M=10, r=3` for Nyx-Quant).
+    pub fn new(magnitude: u32, reduction: u32) -> Self {
+        assert!(magnitude >= 2 && magnitude <= 24, "magnitude out of range");
+        assert!(
+            reduction >= 1 && reduction < magnitude,
+            "reduction factor must leave at least one shuffle iteration"
+        );
+        MergeConfig { magnitude, reduction }
+    }
+
+    /// Pick `r` automatically from the histogram (the Fig. 3 rule) for a
+    /// given word width.
+    pub fn auto<W: Word>(magnitude: u32, freqs: &[u64], book: &CanonicalCodebook) -> Self {
+        let avg = book.average_bitwidth(freqs);
+        let r = entropy::decide_reduction_factor(avg, W::BITS, magnitude);
+        MergeConfig::new(magnitude, r)
+    }
+
+    /// Symbols per chunk (`N = 2^M`).
+    pub fn chunk_symbols(&self) -> usize {
+        1usize << self.magnitude
+    }
+
+    /// Symbols per reduce unit (`2^r`).
+    pub fn unit_symbols(&self) -> usize {
+        1usize << self.reduction
+    }
+
+    /// Reduce units per chunk (`n = 2^s`).
+    pub fn units_per_chunk(&self) -> usize {
+        1usize << (self.magnitude - self.reduction)
+    }
+
+    /// Shuffle iterations (`s = M - r`).
+    pub fn shuffle_iters(&self) -> u32 {
+        self.magnitude - self.reduction
+    }
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig::new(10, 3)
+    }
+}
+
+/// A dense encoded bitstream (serial/multithread/prefix-sum encoders).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedStream {
+    /// Bit-packed payload, MSB-first.
+    pub bytes: Vec<u8>,
+    /// Exact payload length in bits.
+    pub bit_len: u64,
+    /// Number of encoded symbols.
+    pub num_symbols: usize,
+}
+
+impl EncodedStream {
+    /// Compression ratio vs `symbol_bits`-wide raw symbols.
+    pub fn compression_ratio(&self, symbol_bits: u32) -> f64 {
+        if self.bit_len == 0 {
+            return f64::INFINITY;
+        }
+        (self.num_symbols as f64 * f64::from(symbol_bits)) / self.bit_len as f64
+    }
+}
+
+/// The chunked output of the reduce-shuffle (and coarse) encoders:
+/// per-chunk dense substreams coalesced into one bit-packed payload, plus
+/// the breaking-unit sidecar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkedStream {
+    /// The merge configuration the stream was produced with.
+    pub config: MergeConfig,
+    /// Bit-packed payload (all chunks, bit-contiguous).
+    pub bytes: Vec<u8>,
+    /// Per-chunk payload bit lengths ("get blockwise code len").
+    pub chunk_bit_lens: Vec<u64>,
+    /// Exclusive prefix sum of `chunk_bit_lens` — each chunk's bit offset.
+    pub chunk_bit_offsets: Vec<u64>,
+    /// Total payload bits.
+    pub total_bits: u64,
+    /// Number of encoded symbols (outlier symbols included).
+    pub num_symbols: usize,
+    /// Breaking units, stored out-of-band (dense-to-sparse).
+    pub outliers: crate::sparse::SparseOutliers,
+}
+
+impl ChunkedStream {
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_bit_lens.len()
+    }
+
+    /// Fraction of input symbols belonging to breaking units ("breaking" in
+    /// Table II/V).
+    pub fn breaking_fraction(&self) -> f64 {
+        if self.num_symbols == 0 {
+            return 0.0;
+        }
+        self.outliers.total_symbols() as f64 / self.num_symbols as f64
+    }
+
+    /// Compression ratio vs `symbol_bits`-wide raw symbols, counting the
+    /// outlier sidecar against the output size.
+    pub fn compression_ratio(&self, symbol_bits: u32) -> f64 {
+        let out_bits = self.total_bits
+            + self.outliers.storage_bits()
+            + 64 * self.chunk_bit_lens.len() as u64;
+        if out_bits == 0 {
+            return f64::INFINITY;
+        }
+        (self.num_symbols as f64 * f64::from(symbol_bits)) / out_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_config_arithmetic() {
+        let c = MergeConfig::new(10, 3);
+        assert_eq!(c.chunk_symbols(), 1024);
+        assert_eq!(c.unit_symbols(), 8);
+        assert_eq!(c.units_per_chunk(), 128);
+        assert_eq!(c.shuffle_iters(), 7);
+    }
+
+    #[test]
+    fn default_is_paper_choice() {
+        let c = MergeConfig::default();
+        assert_eq!((c.magnitude, c.reduction), (10, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shuffle")]
+    fn reduction_must_leave_shuffle() {
+        let _ = MergeConfig::new(4, 4);
+    }
+
+    #[test]
+    fn word_trait_widths() {
+        assert_eq!(<u32 as Word>::BITS, 32);
+        assert_eq!(<u64 as Word>::BITS, 64);
+        assert_eq!(u32::from_u64(0x1_0000_0005), 5);
+        assert_eq!(5u32.to_u64(), 5);
+    }
+
+    #[test]
+    fn encoded_stream_ratio() {
+        let s = EncodedStream { bytes: vec![0; 13], bit_len: 100, num_symbols: 50 };
+        assert!((s.compression_ratio(8) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Multithreaded CPU encoder (Table VI).
+//!
+//! Coarse-grained chunking, the way the paper's OpenMP encoder (and SZ's
+//! OpenMP mode) works: each worker serially encodes a contiguous chunk into
+//! its own buffer; buffers are then concatenated with bit-precise appends.
+//! The output is *bit-identical* to the serial encoder's.
+
+use super::EncodedStream;
+use crate::bitstream::BitWriter;
+use crate::codebook::CanonicalCodebook;
+use crate::error::Result;
+use rayon::prelude::*;
+
+/// Encode with up to `threads` workers over `chunk_symbols`-sized chunks.
+pub fn encode(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+    threads: usize,
+    chunk_symbols: usize,
+) -> Result<EncodedStream> {
+    let threads = threads.max(1);
+    if threads == 1 || symbols.len() <= chunk_symbols {
+        return super::serial::encode(symbols, book);
+    }
+    let parts: Vec<Result<BitWriter>> = symbols
+        .par_chunks(chunk_symbols.max(1))
+        .map(|chunk| {
+            let mut w = BitWriter::with_capacity_bits(chunk.len() * 4);
+            for &s in chunk {
+                w.push_code(book.code_checked(s)?);
+            }
+            Ok(w)
+        })
+        .collect();
+
+    let mut out = BitWriter::with_capacity_bits(symbols.len() * 4);
+    for part in parts {
+        out.append(&part?);
+    }
+    let (bytes, bit_len) = out.finish();
+    Ok(EncodedStream { bytes, bit_len, num_symbols: symbols.len() })
+}
+
+/// Run [`encode`] inside a dedicated pool of exactly `threads` workers —
+/// the Table VI core sweep.
+pub fn encode_with_pool(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+    threads: usize,
+    chunk_symbols: usize,
+) -> Result<EncodedStream> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    pool.install(|| encode(symbols, book, threads, chunk_symbols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+
+    fn setup(n: usize) -> (CanonicalCodebook, Vec<u16>) {
+        let freqs = [50u64, 25, 13, 12];
+        let book = codebook::parallel(&freqs, 2).unwrap();
+        let syms: Vec<u16> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % 4) as u16).collect();
+        (book, syms)
+    }
+
+    #[test]
+    fn bit_identical_to_serial() {
+        let (book, syms) = setup(50_000);
+        let serial = super::super::serial::encode(&syms, &book).unwrap();
+        for threads in [2, 4, 8] {
+            let mt = encode(&syms, &book, threads, 4096).unwrap();
+            assert_eq!(mt.bit_len, serial.bit_len, "threads={threads}");
+            assert_eq!(mt.bytes, serial.bytes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn odd_chunk_sizes() {
+        let (book, syms) = setup(10_001);
+        let serial = super::super::serial::encode(&syms, &book).unwrap();
+        for chunk in [1000, 1023, 3333] {
+            let mt = encode(&syms, &book, 4, chunk).unwrap();
+            assert_eq!(mt.bytes, serial.bytes, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn single_thread_delegates_to_serial() {
+        let (book, syms) = setup(1000);
+        let a = encode(&syms, &book, 1, 128).unwrap();
+        let b = super::super::serial::encode(&syms, &book).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_propagates_from_worker() {
+        let book = codebook::parallel(&[1, 1], 2).unwrap();
+        let syms = vec![0u16; 10_000].into_iter().chain([9u16]).collect::<Vec<_>>();
+        assert!(encode(&syms, &book, 4, 1024).is_err());
+    }
+
+    #[test]
+    fn pooled_agrees() {
+        let (book, syms) = setup(20_000);
+        let a = encode(&syms, &book, 4, 2048).unwrap();
+        let b = encode_with_pool(&syms, &book, 4, 2048).unwrap();
+        assert_eq!(a, b);
+    }
+}

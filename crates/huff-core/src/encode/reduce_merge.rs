@@ -1,0 +1,207 @@
+//! REDUCE-merge (Section IV-C-a, Fig. 1).
+//!
+//! The first merge includes the codebook lookup; thereafter every two
+//! codewords merge into one, `r` times in total, so one thread carries
+//! `2^r` codewords — avoiding the thread-starvation of a naive halving
+//! reduction when average codewords are only 1-2 bits wide. A unit whose
+//! merged length exceeds the representative word width `W::BITS` is a
+//! *breaking point*: it is filtered out (its slot becomes empty) and its
+//! raw symbols are handed to the sparse sidecar.
+
+use super::Word;
+use crate::codebook::CanonicalCodebook;
+use crate::codeword::Codeword;
+
+/// One reduce unit's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit<W: Word> {
+    /// Merged codeword: left-aligned bits in a word, plus the bit length.
+    Merged {
+        /// Bits left-aligned in the representative word.
+        word: W,
+        /// Number of valid bits (≤ `W::BITS`).
+        len: u32,
+    },
+    /// The unit broke: merged length exceeded `W::BITS`.
+    Breaking,
+}
+
+/// Reduce one unit of up to `2^r` symbols: look up each codeword and fold
+/// with MERGE. Returns [`Unit::Breaking`] as soon as the accumulated length
+/// exceeds the word width.
+#[inline]
+pub fn reduce_unit<W: Word>(symbols: &[u16], book: &CanonicalCodebook) -> Unit<W> {
+    let mut acc = Codeword::EMPTY;
+    for &s in symbols {
+        let code = book.code(s);
+        debug_assert!(!code.is_empty(), "symbol {s} has no codeword");
+        match acc.merge(code) {
+            Some(m) if m.len() <= W::BITS => acc = m,
+            _ => return Unit::Breaking,
+        }
+    }
+    // Left-align within the representative word.
+    let word = if acc.len() == 0 {
+        W::ZERO
+    } else {
+        W::from_u64(acc.bits()) << (W::BITS - acc.len())
+    };
+    Unit::Merged { word, len: acc.len() }
+}
+
+/// Reduce a whole chunk: `symbols` is one chunk (≤ `2^M` symbols),
+/// partitioned into units of `2^r`. Returns the left-aligned words, the
+/// per-unit bit lengths (0 for breaking units), and the local indices of
+/// breaking units.
+pub fn reduce_chunk<W: Word>(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+    reduction: u32,
+) -> (Vec<W>, Vec<u32>, Vec<u32>) {
+    let unit_size = 1usize << reduction;
+    let n_units = symbols.len().div_ceil(unit_size);
+    let mut words = vec![W::ZERO; n_units];
+    let mut lens = vec![0u32; n_units];
+    let mut breaking = Vec::new();
+    for (u, unit_syms) in symbols.chunks(unit_size).enumerate() {
+        match reduce_unit::<W>(unit_syms, book) {
+            Unit::Merged { word, len } => {
+                words[u] = word;
+                lens[u] = len;
+            }
+            Unit::Breaking => {
+                breaking.push(u as u32);
+            }
+        }
+    }
+    (words, lens, breaking)
+}
+
+/// A human-readable trace of the 8-to-1 REDUCE-merge of Fig. 1: the state
+/// of the codeword array after each of the `r` halving iterations.
+pub fn trace_fig1(symbols: &[u16], book: &CanonicalCodebook) -> Vec<Vec<String>> {
+    assert_eq!(symbols.len(), 8, "Fig. 1 shows an 8-to-1 reduction");
+    let mut level: Vec<Codeword> = symbols.iter().map(|&s| book.code(s)).collect();
+    let mut out = vec![level.iter().map(|c| c.to_bit_string()).collect::<Vec<_>>()];
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|p| p[0].merge(p[1]).expect("Fig. 1 trace assumes no breaking"))
+            .collect();
+        out.push(level.iter().map(|c| c.to_bit_string()).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+
+    fn book() -> CanonicalCodebook {
+        // 4 symbols, freqs 8,4,2,2 -> lengths 1,2,3,3.
+        codebook::parallel(&[8, 4, 2, 2], 2).unwrap()
+    }
+
+    #[test]
+    fn reduce_unit_concatenates_in_order() {
+        let b = book();
+        // Codes: 0:"0", 1:"10", 2 and 3: 3-bit.
+        let expected = b
+            .code(0)
+            .merge(b.code(1))
+            .and_then(|m| m.merge(b.code(0)))
+            .unwrap();
+        match reduce_unit::<u32>(&[0, 1, 0], &b) {
+            Unit::Merged { word, len } => {
+                assert_eq!(len, expected.len());
+                assert_eq!(u64::from(word) >> (32 - len), expected.bits());
+            }
+            Unit::Breaking => panic!("should not break"),
+        }
+    }
+
+    #[test]
+    fn empty_unit_is_zero() {
+        let b = book();
+        assert_eq!(reduce_unit::<u32>(&[], &b), Unit::Merged { word: 0, len: 0 });
+    }
+
+    #[test]
+    fn breaking_when_exceeding_word() {
+        let b = book();
+        // Twelve 3-bit codes = 36 bits > 32.
+        let syms = vec![2u16; 12];
+        assert_eq!(reduce_unit::<u32>(&syms, &b), Unit::Breaking);
+        // But a u64 word holds them.
+        assert!(matches!(reduce_unit::<u64>(&syms, &b), Unit::Merged { len: 36, .. }));
+    }
+
+    #[test]
+    fn exact_word_fill_does_not_break() {
+        let b = book();
+        // 32 one-bit codes = exactly 32 bits.
+        let syms = vec![0u16; 32];
+        match reduce_unit::<u32>(&syms, &b) {
+            Unit::Merged { word, len } => {
+                assert_eq!(len, 32);
+                assert_eq!(word, 0); // symbol 0's code is "0"
+            }
+            Unit::Breaking => panic!("exactly-full unit must not break"),
+        }
+    }
+
+    #[test]
+    fn reduce_chunk_partitions_and_flags() {
+        let b = book();
+        // Units of 4; second unit all 3-bit codes (12 bits, fine for u32);
+        // third unit of 12 would break, but unit size caps at 4.
+        let symbols = vec![0, 0, 0, 0, 2, 2, 2, 2, 1, 1];
+        let (words, lens, breaking) = reduce_chunk::<u32>(&symbols, &b, 2);
+        assert_eq!(words.len(), 3);
+        assert_eq!(lens[0], 4);
+        assert_eq!(lens[1], 12);
+        assert_eq!(lens[2], 4); // partial tail unit: two 2-bit codes
+        assert!(breaking.is_empty());
+    }
+
+    #[test]
+    fn reduce_chunk_reports_breaking_units() {
+        // A codebook with long codes: freqs force >8-bit codewords.
+        let freqs: Vec<u64> = (0..64u64).map(|i| 1u64 << (i / 4)).collect();
+        let b = codebook::parallel(&freqs, 4).unwrap();
+        let long_sym = 0u16; // rarest symbol -> longest code
+        assert!(b.code(long_sym).len() > 8);
+        let symbols = vec![long_sym; 16]; // 2 units of 8 longest codes
+        let (_, lens, breaking) = reduce_chunk::<u32>(&symbols, &b, 3);
+        assert_eq!(breaking.len(), 2);
+        assert!(lens.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn words_are_left_aligned() {
+        let b = book();
+        if let Unit::Merged { word, len } = reduce_unit::<u32>(&[1], &b) {
+            assert_eq!(len, 2);
+            assert_eq!(word >> 30, 0b10);
+            assert_eq!(word & 0x3FFF_FFFF, 0);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn trace_fig1_shows_halving() {
+        let b = book();
+        let t = trace_fig1(&[0, 1, 0, 0, 1, 0, 0, 0], &b);
+        assert_eq!(t.len(), 4); // 8, 4, 2, 1
+        assert_eq!(t[0].len(), 8);
+        assert_eq!(t[3].len(), 1);
+        // Final merged string is the in-order concatenation.
+        let expect: String = [0u16, 1, 0, 0, 1, 0, 0, 0]
+            .iter()
+            .map(|&s| b.code(s).to_bit_string())
+            .collect();
+        assert_eq!(t[3][0], expect);
+    }
+}

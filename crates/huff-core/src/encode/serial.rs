@@ -1,0 +1,79 @@
+//! Serial CPU encoder — the SZ baseline.
+//!
+//! One pass, one thread: look up each symbol's codeword and append it to a
+//! dense MSB-first bitstream.
+
+use super::EncodedStream;
+use crate::bitstream::BitWriter;
+use crate::codebook::CanonicalCodebook;
+use crate::error::Result;
+
+/// Encode `symbols` serially into a dense bitstream.
+pub fn encode(symbols: &[u16], book: &CanonicalCodebook) -> Result<EncodedStream> {
+    let mut w = BitWriter::with_capacity_bits(symbols.len() * 4);
+    for &s in symbols {
+        let code = book.code_checked(s)?;
+        w.push_code(code);
+    }
+    let (bytes, bit_len) = w.finish();
+    Ok(EncodedStream { bytes, bit_len, num_symbols: symbols.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook;
+    use crate::error::HuffError;
+
+    #[test]
+    fn encodes_known_pattern() {
+        // freqs 8,4,2,2 -> lengths 1,2,3,3; same-length codes are assigned
+        // in ascending-symbol order: 0:"0", 1:"10", 2:"110", 3:"111".
+        let b = codebook::parallel(&[8, 4, 2, 2], 2).unwrap();
+        assert_eq!(b.code(2).to_bit_string(), "110");
+        assert_eq!(b.code(3).to_bit_string(), "111");
+        let s = encode(&[0, 1, 2, 3, 0], &b).unwrap();
+        assert_eq!(s.bit_len, 1 + 2 + 3 + 3 + 1);
+        // "0" "10" "110" "111" "0" -> 0101 1011 | 10 padded.
+        assert_eq!(s.bytes, vec![0b0101_1011, 0b1000_0000]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let b = codebook::parallel(&[1, 1], 2).unwrap();
+        let s = encode(&[], &b).unwrap();
+        assert_eq!(s.bit_len, 0);
+        assert!(s.bytes.is_empty());
+        assert!(s.compression_ratio(8).is_infinite());
+    }
+
+    #[test]
+    fn rejects_uncoded_symbol() {
+        let b = codebook::parallel(&[1, 0, 1], 2).unwrap();
+        assert!(matches!(encode(&[1], &b), Err(HuffError::MissingCodeword(1))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_symbol() {
+        let b = codebook::parallel(&[1, 1], 2).unwrap();
+        assert!(matches!(encode(&[5], &b), Err(HuffError::SymbolOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bit_len_equals_weighted_sum() {
+        let freqs = [10u64, 20, 30, 40];
+        let b = codebook::parallel(&freqs, 2).unwrap();
+        let data: Vec<u16> = freqs
+            .iter()
+            .enumerate()
+            .flat_map(|(s, &f)| std::iter::repeat(s as u16).take(f as usize))
+            .collect();
+        let s = encode(&data, &b).unwrap();
+        let expect: u64 = freqs
+            .iter()
+            .enumerate()
+            .map(|(sym, &f)| f * u64::from(b.code(sym as u16).len()))
+            .sum();
+        assert_eq!(s.bit_len, expect);
+    }
+}

@@ -1,0 +1,333 @@
+//! SHUFFLE-merge (Section IV-C-b, Fig. 2).
+//!
+//! After REDUCE-merge a chunk holds `n = 2^s` typed data cells (words),
+//! each containing one merged codeword left-aligned, plus a bit-length per
+//! cell. SHUFFLE-merge performs `s` iterations; in iteration `i`, adjacent
+//! groups of `2^(i-1)` words merge pairwise: the right group's bits are
+//! appended immediately after the left group's last bit with a two-step
+//! batch move — for each right-group word, the leading `ℓ◦` bits first
+//! fill the left group's residual bits, and the trailing `ℓ•` bits land in
+//! the next cell. The process is contention-free (each destination word is
+//! written by the threads of exactly one right group) and finishes with a
+//! dense bitstream inside the same `2^s`-cell span.
+
+use super::Word;
+
+/// Merge the right half of a `span`-word window onto its left half.
+///
+/// * `words[..]` is the window; the left group's bits occupy `left_bits`
+///   starting at word 0, the right group's `right_bits` start at word
+///   `span/2`.
+/// * Returns the merged bit length (`left_bits + right_bits`).
+#[inline]
+pub fn merge_window<W: Word>(words: &mut [W], left_bits: u32, right_bits: u32) -> u32 {
+    let span = words.len();
+    debug_assert!(span.is_power_of_two() && span >= 2);
+    let half = span / 2;
+    let w = W::BITS;
+    debug_assert!(left_bits as usize <= half * w as usize);
+    debug_assert!(right_bits as usize <= half * w as usize);
+
+    if right_bits == 0 {
+        return left_bits;
+    }
+
+    let dst0 = (left_bits / w) as usize;
+    let off = left_bits % w; // ℓ• of the left group's last cell
+    let r_words = (right_bits as usize).div_ceil(w as usize);
+
+    if off == 0 {
+        // Aligned: plain word moves (dst <= src, ascending copy is safe).
+        for j in 0..r_words {
+            words[dst0 + j] = words[half + j];
+        }
+    } else {
+        for j in 0..r_words {
+            let src = words[half + j];
+            // Step 1: leading bits fill the residual of the current cell.
+            words[dst0 + j] |= src >> off;
+            // Step 2: trailing bits go into the next cell. When the next
+            // cell would fall outside the window, the spilled bits are
+            // beyond `right_bits` and therefore zero.
+            if dst0 + j + 1 < span {
+                words[dst0 + j + 1] = src << (w - off);
+            }
+        }
+    }
+
+    let total = left_bits + right_bits;
+    // Zero the now-stale cells past the merged payload so later
+    // iterations' `|=` operations see clean zeros.
+    let end_word = (total as usize).div_ceil(w as usize);
+    for cell in words.iter_mut().take(half + r_words).skip(end_word) {
+        *cell = W::ZERO;
+    }
+    // Clear any slack bits in the (possibly partial) last payload word that
+    // step 2 may have spilled beyond `total`.
+    let tail = total % w;
+    if tail != 0 && end_word >= 1 {
+        let keep_mask_shift = w - tail;
+        let cellv = words[end_word - 1];
+        words[end_word - 1] = (cellv >> keep_mask_shift) << keep_mask_shift;
+    }
+    total
+}
+
+/// Statistics of one chunk's shuffle, consumed by the GPU cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Iterations performed (`s`).
+    pub iterations: u32,
+    /// Total words moved across all iterations (read+write pairs).
+    pub words_moved: u64,
+}
+
+/// Run all `s` shuffle iterations over a chunk of `2^s` cells with
+/// per-cell bit lengths `lens` (breaking units contribute 0). Returns the
+/// chunk's dense payload bit length and the shuffle statistics; on return
+/// `words` holds the dense bitstream left-aligned at word 0.
+pub fn shuffle_chunk<W: Word>(words: &mut [W], lens: &[u32]) -> (u64, ShuffleStats) {
+    let n = words.len();
+    assert!(n.is_power_of_two(), "chunk must hold a power-of-two cell count");
+    assert_eq!(lens.len(), n);
+    let mut group_bits: Vec<u32> = lens.to_vec();
+    let mut stats = ShuffleStats::default();
+
+    let mut span = 2usize;
+    while span <= n {
+        stats.iterations += 1;
+        let groups = n / span;
+        for g in 0..groups {
+            let window = &mut words[g * span..(g + 1) * span];
+            let left = group_bits[2 * g];
+            let right = group_bits[2 * g + 1];
+            stats.words_moved += u64::from(right.div_ceil(W::BITS));
+            let merged = merge_window(window, left, right);
+            group_bits[g] = merged;
+        }
+        group_bits.truncate(groups);
+        span *= 2;
+    }
+    (u64::from(group_bits[0]), stats)
+}
+
+/// Render the Fig. 2 two-step batch move as a trace: the window's words in
+/// binary before and after one merge.
+pub fn trace_fig2(left_bits_str: &str, right_bits_str: &str) -> Vec<String> {
+    fn pack(bits: &str) -> (Vec<u32>, u32) {
+        let len = bits.len() as u32;
+        let n_words = (bits.len()).div_ceil(32).max(1);
+        let mut words = vec![0u32; n_words];
+        for (i, c) in bits.chars().enumerate() {
+            if c == '1' {
+                words[i / 32] |= 1 << (31 - (i % 32));
+            }
+        }
+        (words, len)
+    }
+    let (lw, ll) = pack(left_bits_str);
+    let (rw, rl) = pack(right_bits_str);
+    let half = lw.len().max(rw.len()).next_power_of_two();
+    let mut window = vec![0u32; 2 * half];
+    window[..lw.len()].copy_from_slice(&lw);
+    window[half..half + rw.len()].copy_from_slice(&rw);
+
+    let mut out = vec![format!("before: {:?}", dump(&window, half * 64))];
+    let merged = merge_window(&mut window, ll, rl);
+    out.push(format!("after : {:?} ({merged} bits)", dump(&window, merged as usize)));
+    out
+}
+
+fn dump(words: &[u32], bits: usize) -> String {
+    let mut s = String::new();
+    for (i, w) in words.iter().enumerate() {
+        for b in 0..32 {
+            if i * 32 + b >= bits {
+                return s;
+            }
+            s.push(if (w >> (31 - b)) & 1 == 1 { '1' } else { '0' });
+        }
+        s.push('|');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: extract `bits` bits starting at the window's origin as a
+    /// string.
+    fn bits_of<W: Word>(words: &[W], bits: u64) -> String {
+        let mut s = String::with_capacity(bits as usize);
+        for i in 0..bits {
+            let word = words[(i / u64::from(W::BITS)) as usize];
+            let bit = (word.to_u64() >> (u64::from(W::BITS) - 1 - (i % u64::from(W::BITS)))) & 1;
+            s.push(if bit == 1 { '1' } else { '0' });
+        }
+        s
+    }
+
+    fn left_aligned_u32(bits: &str) -> (Vec<u32>, u32) {
+        let mut w = vec![0u32; bits.len().div_ceil(32).max(1)];
+        for (i, c) in bits.chars().enumerate() {
+            if c == '1' {
+                w[i / 32] |= 1 << (31 - (i % 32));
+            }
+        }
+        (w, bits.len() as u32)
+    }
+
+    fn run_window(left: &str, right: &str, span: usize) -> String {
+        let (lw, ll) = left_aligned_u32(left);
+        let (rw, rl) = left_aligned_u32(right);
+        let half = span / 2;
+        let mut window = vec![0u32; span];
+        window[..lw.len()].copy_from_slice(&lw);
+        window[half..half + rw.len()].copy_from_slice(&rw);
+        let total = merge_window(&mut window, ll, rl);
+        assert_eq!(total as usize, left.len() + right.len());
+        bits_of(&window, u64::from(total))
+    }
+
+    #[test]
+    fn unaligned_append_small() {
+        assert_eq!(run_window("101", "11", 2), "10111");
+        assert_eq!(run_window("1", "0110", 2), "10110");
+        assert_eq!(run_window("", "0110", 2), "0110");
+        assert_eq!(run_window("0110", "", 2), "0110");
+    }
+
+    #[test]
+    fn append_across_word_boundary() {
+        // 30 + 5 bits: spill into second word.
+        let left = "10".repeat(15); // 30 bits
+        let right = "11011";
+        let merged = run_window(&left, right, 2);
+        assert_eq!(merged, format!("{left}{right}"));
+    }
+
+    #[test]
+    fn aligned_append_exact_word() {
+        let left = "1".repeat(32);
+        let right = "01".repeat(8); // 16 bits
+        let merged = run_window(&left, &right, 4);
+        assert_eq!(merged, format!("{left}{right}"));
+    }
+
+    #[test]
+    fn multi_word_right_group() {
+        let left = "110";
+        let right: String =
+            (0..70).map(|i| if (i * 7) % 3 == 0 { '1' } else { '0' }).collect(); // 70 bits
+        let merged = run_window(left, &right, 8);
+        assert_eq!(merged, format!("{left}{right}"));
+    }
+
+    #[test]
+    fn full_window_merge() {
+        // Both halves completely full.
+        let left = "10".repeat(32); // 64 bits = 2 words
+        let right = "01".repeat(32);
+        let merged = run_window(&left, &right, 4);
+        assert_eq!(merged, format!("{left}{right}"));
+    }
+
+    #[test]
+    fn shuffle_chunk_produces_concatenation() {
+        // 8 cells with assorted lengths; expect in-order concatenation.
+        let pieces = ["101", "", "1", "0011", "11111", "0", "10", ""];
+        let mut words = vec![0u32; 8];
+        let mut lens = [0u32; 8];
+        for (i, p) in pieces.iter().enumerate() {
+            let (w, l) = left_aligned_u32(p);
+            words[i] = w[0];
+            lens[i] = l;
+        }
+        let (total, stats) = shuffle_chunk(&mut words, &lens);
+        let expect: String = pieces.concat();
+        assert_eq!(total, expect.len() as u64);
+        assert_eq!(bits_of(&words, total), expect);
+        assert_eq!(stats.iterations, 3);
+    }
+
+    #[test]
+    fn shuffle_chunk_u64_words() {
+        let pieces = ["1011", "110", "", "1"];
+        let mut words = vec![0u64; 4];
+        let mut lens = [0u32; 4];
+        for (i, p) in pieces.iter().enumerate() {
+            let mut w = 0u64;
+            for (j, c) in p.chars().enumerate() {
+                if c == '1' {
+                    w |= 1 << (63 - j);
+                }
+            }
+            words[i] = w;
+            lens[i] = p.len() as u32;
+        }
+        let (total, _) = shuffle_chunk(&mut words, &lens);
+        assert_eq!(bits_of(&words, total), pieces.concat());
+    }
+
+    #[test]
+    fn shuffle_chunk_all_empty() {
+        let mut words = vec![0u32; 4];
+        let (total, _) = shuffle_chunk(&mut words, &[0, 0, 0, 0]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn shuffle_chunk_single_cell_full() {
+        let mut words = vec![u32::MAX, 0];
+        let (total, _) = shuffle_chunk(&mut words, &[32, 0]);
+        assert_eq!(total, 32);
+        assert_eq!(words[0], u32::MAX);
+    }
+
+    #[test]
+    fn dense_packing_randomized() {
+        // Pseudo-random lengths in [0, 32]; verify dense concatenation for
+        // a realistic 128-cell chunk.
+        let mut state = 12345u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let n = 128usize;
+        let mut words = vec![0u32; n];
+        let mut lens = vec![0u32; n];
+        let mut expect = String::new();
+        for i in 0..n {
+            let l = (rand() % 33) as u32;
+            let payload = rand() & ((1u64 << l.max(1)) - 1);
+            let payload = if l == 0 { 0 } else { payload & ((1u64 << l) - 1) };
+            lens[i] = l;
+            if l > 0 {
+                words[i] = (payload as u32) << (32 - l);
+                for b in 0..l {
+                    expect.push(if (payload >> (l - 1 - b)) & 1 == 1 { '1' } else { '0' });
+                }
+            }
+        }
+        let (total, stats) = shuffle_chunk(&mut words, &lens);
+        assert_eq!(total as usize, expect.len());
+        assert_eq!(bits_of(&words, total), expect);
+        assert_eq!(stats.iterations, 7);
+        assert!(stats.words_moved > 0);
+    }
+
+    #[test]
+    fn trace_fig2_produces_before_after() {
+        let t = trace_fig2("1010110", "1100");
+        assert_eq!(t.len(), 2);
+        assert!(t[1].contains("11 bits"));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_chunk_rejected() {
+        let mut words = vec![0u32; 3];
+        let _ = shuffle_chunk(&mut words, &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Entropy statistics and the reduction-factor decision rule (Fig. 3).
+//!
+//! The encoder's chunk configuration is `ReduceShuffleMerge<M, r>`: a chunk
+//! of `2^M` symbols is reduced `r` times (each unit merges `2^r` codewords)
+//! and shuffled `s = M - r` times. Section IV-C derives the "proper" `r`
+//! from the average codeword bitwidth `β` and the representative word width
+//! `ℓ_W`:
+//!
+//! ```text
+//! ⌊log β⌋ + r + 1 = log ℓ_W
+//! ```
+//!
+//! so that the `r`-times-merged codeword is expected to land in
+//! `[ℓ_W/2, ℓ_W)` — maximal word utilization without (usually) breaking.
+
+/// Shannon entropy of a frequency histogram, in bits per symbol.
+pub fn shannon_entropy(freqs: &[u64]) -> f64 {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    freqs
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| {
+            let p = f as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Frequency-weighted average codeword bitwidth for a histogram and its
+/// per-symbol codeword lengths.
+pub fn average_bitwidth(freqs: &[u64], lengths: &[u32]) -> f64 {
+    assert_eq!(freqs.len(), lengths.len());
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: u64 = freqs.iter().zip(lengths).map(|(&f, &l)| f * u64::from(l)).sum();
+    weighted as f64 / total as f64
+}
+
+/// Compression ratio (input bits / output bits) for 1 symbol = `symbol_bits`
+/// raw bits encoded at `avg_bits` per symbol.
+pub fn compression_ratio(symbol_bits: u32, avg_bits: f64) -> f64 {
+    if avg_bits <= 0.0 {
+        return f64::INFINITY;
+    }
+    f64::from(symbol_bits) / avg_bits
+}
+
+/// The paper's reduction-factor rule: choose `r` such that
+/// `⌊log₂ β⌋ + r + 1 = log₂ ℓ_W`, clamped to `[1, magnitude - 1]` so at
+/// least one shuffle iteration remains.
+///
+/// Worked examples from the paper: β = 2.3 bits with 32-bit words gives
+/// r = 3 (merged length ≈ 18.4 bits); β = 1.0272 (Nyx-Quant) gives r = 4,
+/// though the paper empirically prefers r = 3 (Table II) — callers may
+/// override.
+pub fn decide_reduction_factor(avg_bits: f64, word_bits: u32, magnitude: u32) -> u32 {
+    assert!(word_bits.is_power_of_two() && word_bits >= 8);
+    assert!(magnitude >= 2);
+    let beta = avg_bits.max(1.0);
+    let floor_log_beta = beta.log2().floor() as i64;
+    let log_w = i64::from(word_bits.trailing_zeros());
+    let r = log_w - floor_log_beta - 1;
+    r.clamp(1, i64::from(magnitude) - 1) as u32
+}
+
+/// Expected merged bitwidth after `r` reduce iterations.
+pub fn expected_merged_bits(avg_bits: f64, r: u32) -> f64 {
+    avg_bits * f64::from(1u32 << r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform() {
+        let e = shannon_entropy(&[10, 10, 10, 10]);
+        assert!((e - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_degenerate_is_zero() {
+        assert_eq!(shannon_entropy(&[100, 0, 0]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_skewed() {
+        // H(0.5, 0.25, 0.25) = 1.5 bits.
+        let e = shannon_entropy(&[2, 1, 1]);
+        assert!((e - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_bitwidth_weighted() {
+        // Symbol 0 (freq 3, 1 bit), symbol 1 (freq 1, 2 bits): (3+2)/4.
+        let avg = average_bitwidth(&[3, 1], &[1, 2]);
+        assert!((avg - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_bitwidth_empty() {
+        assert_eq!(average_bitwidth(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_beta_2_3_gives_r3() {
+        // Section IV-C: "merging codewords with an average bitwidth of 2.3
+        // bits for 3 times is expected to result in ... 18.4 bits".
+        let r = decide_reduction_factor(2.3, 32, 12);
+        assert_eq!(r, 3);
+        let merged = expected_merged_bits(2.3, r);
+        assert!((merged - 18.4).abs() < 1e-9);
+        assert!(merged >= 16.0 && merged < 32.0);
+    }
+
+    #[test]
+    fn nyx_quant_beta_gives_r4() {
+        // β = 1.0272 → floor(log2 β) = 0 → r = 5 - 0 - 1 = 4.
+        assert_eq!(decide_reduction_factor(1.0272, 32, 12), 4);
+    }
+
+    #[test]
+    fn enwik_beta_gives_r2() {
+        // β ≈ 5.16 → floor(log2 β) = 2 → r = 5 - 2 - 1 = 2, matching the
+        // "#REDUCE 2 (4x)" column of Table V for enwik8/enwik9.
+        assert_eq!(decide_reduction_factor(5.1639, 32, 12), 2);
+    }
+
+    #[test]
+    fn nci_beta_gives_r3() {
+        // β ≈ 2.73 → r = 3, matching Table V's "3 (8x)" for nci.
+        assert_eq!(decide_reduction_factor(2.7307, 32, 12), 3);
+    }
+
+    #[test]
+    fn r_clamped_to_leave_a_shuffle() {
+        // Tiny magnitude: r cannot consume the whole chunk.
+        assert_eq!(decide_reduction_factor(1.0, 64, 3), 2);
+        // Huge bitwidth: r at least 1.
+        assert_eq!(decide_reduction_factor(31.0, 32, 12), 1);
+    }
+
+    #[test]
+    fn merged_stays_in_word_window() {
+        // The rule's guarantee: β·2^r ∈ [ℓ_W/2, ℓ_W) when no clamping and β ≥ 1.
+        for beta in [1.0, 1.5, 2.0, 3.9, 4.0, 7.9, 8.0] {
+            let r = decide_reduction_factor(beta, 32, 12);
+            let merged = expected_merged_bits(beta, r);
+            assert!(merged < 32.0 * 2.0, "beta={beta} merged={merged}");
+            assert!(merged >= 8.0, "beta={beta} merged={merged}");
+        }
+    }
+
+    #[test]
+    fn compression_ratio_examples() {
+        assert!((compression_ratio(8, 4.0) - 2.0).abs() < 1e-12);
+        assert!(compression_ratio(16, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the Huffman pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by codebook construction, encoding and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffError {
+    /// The input histogram has no nonzero frequency.
+    EmptyHistogram,
+    /// A symbol outside the codebook's range was encountered.
+    SymbolOutOfRange {
+        /// The offending symbol value.
+        symbol: usize,
+        /// The codebook size.
+        codebook: usize,
+    },
+    /// A symbol with zero frequency (no codeword) appeared in the input.
+    MissingCodeword(usize),
+    /// A codeword would exceed the maximum representable length.
+    CodewordTooLong {
+        /// Required length in bits.
+        len: u32,
+        /// Maximum supported length.
+        max: u32,
+    },
+    /// The compressed stream ended mid-codeword or is otherwise malformed.
+    CorruptStream(&'static str),
+    /// An archive header field is invalid.
+    BadArchive(String),
+}
+
+impl fmt::Display for HuffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffError::EmptyHistogram => write!(f, "histogram contains no symbols"),
+            HuffError::SymbolOutOfRange { symbol, codebook } => {
+                write!(f, "symbol {symbol} out of range for codebook of {codebook}")
+            }
+            HuffError::MissingCodeword(s) => {
+                write!(f, "symbol {s} has no codeword (zero frequency in histogram)")
+            }
+            HuffError::CodewordTooLong { len, max } => {
+                write!(f, "codeword length {len} exceeds maximum {max}")
+            }
+            HuffError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
+            HuffError::BadArchive(m) => write!(f, "bad archive: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HuffError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, HuffError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HuffError::EmptyHistogram.to_string().contains("no symbols"));
+        assert!(HuffError::SymbolOutOfRange { symbol: 300, codebook: 256 }
+            .to_string()
+            .contains("300"));
+        assert!(HuffError::CodewordTooLong { len: 70, max: 64 }.to_string().contains("70"));
+        assert!(HuffError::CorruptStream("truncated").to_string().contains("truncated"));
+        assert!(HuffError::BadArchive("magic".into()).to_string().contains("magic"));
+        assert!(HuffError::MissingCodeword(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(HuffError::EmptyHistogram);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Stage 1 of the pipeline: histogramming.
+//!
+//! Three implementations with identical results:
+//! * [`serial::histogram`] — reference;
+//! * [`parallel_cpu::histogram`] — privatized per-thread histograms merged
+//!   by reduction (the multithread CPU encoder's first stage, Table VI);
+//! * [`gpu::histogram`] — the Gómez-Luna et al. replicated shared-memory
+//!   histogram kernel on the simulated device (Section IV-A).
+
+pub mod gpu;
+pub mod parallel_cpu;
+pub mod serial;
+
+/// A frequency histogram over `num_symbols` integer-coded symbols.
+pub type Histogram = Vec<u64>;
+
+/// Validate that `data`'s symbols all fall below `num_symbols`. Returns the
+/// first offending symbol if any.
+pub fn check_range(data: &[u16], num_symbols: usize) -> Option<usize> {
+    data.iter().find(|&&s| (s as usize) >= num_symbols).map(|&s| s as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_range_finds_offender() {
+        assert_eq!(check_range(&[1, 2, 300], 256), Some(300));
+        assert_eq!(check_range(&[1, 2, 255], 256), None);
+        assert_eq!(check_range(&[], 1), None);
+    }
+
+    /// All three implementations agree on random data.
+    #[test]
+    fn implementations_agree() {
+        use gpu_sim::Gpu;
+        let data: Vec<u16> =
+            (0..50_000u32).map(|i| ((i.wrapping_mul(2654435761)) >> 20) as u16 % 1024).collect();
+        let a = serial::histogram(&data, 1024);
+        let b = parallel_cpu::histogram(&data, 1024, 8);
+        let gpu = Gpu::v100();
+        let c = gpu::histogram(&gpu, &data, 1024, 2);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.iter().sum::<u64>(), 50_000);
+    }
+}

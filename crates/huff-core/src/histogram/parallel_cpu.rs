@@ -1,0 +1,75 @@
+//! Multithreaded privatized histogram (the CPU baseline of Table VI).
+//!
+//! Each worker counts a contiguous slice into a private histogram;
+//! privates are then merged by a tree reduction. This is the same
+//! conflict-avoidance idea as the GPU kernel's replicated shared-memory
+//! copies, realized with per-thread privatization.
+
+use super::Histogram;
+use rayon::prelude::*;
+
+/// Histogram `data` using up to `threads` workers.
+pub fn histogram(data: &[u16], num_symbols: usize, threads: usize) -> Histogram {
+    let threads = threads.max(1);
+    if threads == 1 || data.len() < 4096 {
+        return super::serial::histogram(data, num_symbols);
+    }
+    let chunk = data.len().div_ceil(threads);
+    data.par_chunks(chunk)
+        .map(|part| super::serial::histogram(part, num_symbols))
+        .reduce(
+            || vec![0u64; num_symbols],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Run `histogram` inside a dedicated rayon pool of exactly `threads`
+/// workers — the Table IV/VI "N cores" sweep needs hard thread bounds, not
+/// the global pool.
+pub fn histogram_with_pool(data: &[u16], num_symbols: usize, threads: usize) -> Histogram {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    pool.install(|| histogram(data, num_symbols, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_on_random_data() {
+        let data: Vec<u16> = (0..100_000u32).map(|i| (i.wrapping_mul(48271) >> 16) as u16 % 512).collect();
+        let s = crate::histogram::serial::histogram(&data, 512);
+        for t in [1, 2, 4, 7, 16] {
+            assert_eq!(histogram(&data, 512, t), s, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn small_input_falls_back_to_serial() {
+        let data = vec![3u16; 100];
+        let h = histogram(&data, 4, 8);
+        assert_eq!(h[3], 100);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let h = histogram(&[1, 1], 2, 0);
+        assert_eq!(h, vec![0, 2]);
+    }
+
+    #[test]
+    fn pooled_version_agrees() {
+        let data: Vec<u16> = (0..20_000).map(|i| (i % 97) as u16).collect();
+        let a = histogram(&data, 97, 4);
+        let b = histogram_with_pool(&data, 97, 4);
+        assert_eq!(a, b);
+    }
+}

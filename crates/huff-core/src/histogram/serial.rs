@@ -1,0 +1,39 @@
+//! Serial reference histogram.
+
+use super::Histogram;
+
+/// Count symbol frequencies with a single pass.
+///
+/// # Panics
+/// Panics (in debug) if a symbol is out of range; release builds would
+/// panic on the indexing. Use [`super::check_range`] to pre-validate
+/// untrusted data.
+pub fn histogram(data: &[u16], num_symbols: usize) -> Histogram {
+    let mut h = vec![0u64; num_symbols];
+    for &s in data {
+        h[s as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_each_symbol() {
+        let h = histogram(&[0, 1, 1, 3, 3, 3], 4);
+        assert_eq!(h, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(histogram(&[], 4), vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = histogram(&[5], 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! The kernel taxonomy registry — regenerates the paper's Table I.
+//!
+//! Every sub-procedure of the pipeline with its parallelization
+//! granularity, data-thread mapping, coordination techniques and
+//! synchronization scope.
+
+use gpu_sim::{Granularity, KernelInfo, Mapping, SyncScope};
+
+/// All kernels of the Huffman pipeline, in Table I's order.
+pub fn kernel_table() -> Vec<KernelInfo> {
+    use Granularity::*;
+    vec![
+        KernelInfo {
+            stage: "histogram",
+            kernel: "blockwise reduction",
+            granularity: &[FineGrained],
+            mapping: Mapping::ManyToOne,
+            techniques: &["atomic write", "reduction"],
+            sync: SyncScope::Block,
+        },
+        KernelInfo {
+            stage: "histogram",
+            kernel: "gridwise reduction",
+            granularity: &[FineGrained],
+            mapping: Mapping::ManyToOne,
+            techniques: &["atomic write", "reduction"],
+            sync: SyncScope::Device,
+        },
+        KernelInfo {
+            stage: "build codebook",
+            kernel: "get codeword lengths",
+            granularity: &[CoarseGrained, FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &["atomic write"],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "build codebook",
+            kernel: "get codewords",
+            granularity: &[FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &["atomic write"],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "canonize",
+            kernel: "get numl array",
+            granularity: &[FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &["atomic write", "prefix sum"],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "canonize",
+            kernel: "get first array (RAW)",
+            granularity: &[Sequential],
+            mapping: Mapping::ManyToOne,
+            techniques: &[],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "canonize",
+            kernel: "canonization (RAW)",
+            granularity: &[Sequential],
+            mapping: Mapping::ManyToOne,
+            techniques: &[],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "canonize",
+            kernel: "get reverse codebook",
+            granularity: &[FineGrained],
+            mapping: Mapping::NotApplicable,
+            techniques: &[],
+            sync: SyncScope::Device,
+        },
+        KernelInfo {
+            stage: "Huffman enc.",
+            kernel: "REDUCE-MERGE",
+            granularity: &[CoarseGrained, FineGrained],
+            mapping: Mapping::ManyToOne,
+            techniques: &["reduction"],
+            sync: SyncScope::Block,
+        },
+        KernelInfo {
+            stage: "Huffman enc.",
+            kernel: "SHUFFLE-MERGE",
+            granularity: &[CoarseGrained, FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &[],
+            sync: SyncScope::Device,
+        },
+        KernelInfo {
+            stage: "Huffman enc.",
+            kernel: "get blockwise code len",
+            granularity: &[CoarseGrained, FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &["prefix sum"],
+            sync: SyncScope::Grid,
+        },
+        KernelInfo {
+            stage: "Huffman enc.",
+            kernel: "coalescing copy",
+            granularity: &[CoarseGrained, FineGrained],
+            mapping: Mapping::OneToOne,
+            techniques: &[],
+            sync: SyncScope::Device,
+        },
+    ]
+}
+
+/// Render the taxonomy as fixed-width text rows (the `table1` binary).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<24} {:<28} {:<12} {:<28} {}\n",
+        "stage", "kernel", "granularity", "mapping", "techniques", "sync"
+    ));
+    for k in kernel_table() {
+        out.push_str(&k.row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_kernels_registered() {
+        assert_eq!(kernel_table().len(), 12);
+    }
+
+    #[test]
+    fn stages_cover_pipeline() {
+        let stages: std::collections::HashSet<&str> =
+            kernel_table().iter().map(|k| k.stage).collect();
+        for s in ["histogram", "build codebook", "canonize", "Huffman enc."] {
+            assert!(stages.contains(s), "missing stage {s}");
+        }
+    }
+
+    #[test]
+    fn render_contains_key_kernels() {
+        let t = render_table();
+        assert!(t.contains("REDUCE-MERGE"));
+        assert!(t.contains("SHUFFLE-MERGE"));
+        assert!(t.contains("coalescing copy"));
+        assert!(t.contains("sync device"));
+    }
+
+    #[test]
+    fn only_raw_kernels_are_sequential() {
+        for k in kernel_table() {
+            let seq = k.granularity.contains(&gpu_sim::Granularity::Sequential);
+            assert_eq!(seq, k.kernel.contains("RAW"), "{}", k.kernel);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # huff-core — reduce-shuffle GPU Huffman encoding
+//!
+//! A full reimplementation of the system described in *"Revisiting Huffman
+//! Coding: Toward Extreme Performance on Modern GPU Architectures"*
+//! (Tian et al., IPDPS 2021): a four-stage Huffman **encoder** designed for
+//! massive fine-grained parallelism —
+//!
+//! 1. **histogramming** ([`histogram`]) — Gómez-Luna replicated
+//!    shared-memory histograms;
+//! 2. **codebook construction** ([`codebook`]) — the two-phase parallel
+//!    canonical construction (`GenerateCL`/`GenerateCW` after Ostadzadeh et
+//!    al., with Merge-Path `PARMERGE`), scaling to the large codebooks
+//!    (1024-65536 symbols) that error-bounded lossy compressors and k-mer
+//!    pipelines need;
+//! 3. **canonization** — folded into `GenerateCW`, producing the
+//!    `First`/`Entry` metadata for treeless decoding;
+//! 4. **encoding** ([`encode`]) — the novel `ReduceShuffleMerge<M, r>`
+//!    scheme: merge `2^r` codewords per thread (REDUCE), then densify by
+//!    `s = M - r` contention-free batched moves (SHUFFLE), with breaking
+//!    units stored sparsely ([`sparse`]).
+//!
+//! Baselines from the paper's evaluation are included: the serial and
+//! multithreaded CPU encoders, cuSZ's coarse-grained GPU encoder, and the
+//! Rahmani prefix-sum GPU encoder. [`decode`] provides treeless canonical,
+//! tree-walking, and parallel chunked decoders; [`archive`] wraps
+//! everything into a `compress`/`decompress` container.
+//!
+//! "GPU" here is the [`gpu_sim`] substrate: all transformations are
+//! bit-exact host computations; device *time* is modeled from the memory
+//! traffic each kernel reports (see that crate's docs and DESIGN.md).
+//!
+//! ```
+//! use huff_core::archive::{compress, decompress, CompressOptions};
+//!
+//! let data: Vec<u16> = (0..10_000).map(|i| (i % 7) as u16).collect();
+//! let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+//! assert!(packed.len() < data.len()); // 7 symbols compress well below 2 B each
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod bitstream;
+pub mod codebook;
+pub mod codeword;
+pub mod decode;
+pub mod encode;
+pub mod entropy;
+pub mod error;
+pub mod histogram;
+pub mod kernels;
+pub mod pipeline;
+pub mod sparse;
+pub mod tree;
+
+pub use codebook::{parallel as build_codebook, CanonicalCodebook};
+pub use codeword::Codeword;
+pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
+pub use error::{HuffError, Result};

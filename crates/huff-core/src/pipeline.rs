@@ -1,0 +1,249 @@
+//! End-to-end device pipelines — the units Table V compares.
+//!
+//! "Ours": Gómez-Luna histogram → sort + GenerateCL + GenerateCW →
+//! reduce-shuffle encode. "cuSZ": same histogram → serial-on-device
+//! codebook + canonize → coarse encode. Both charge modeled time to the
+//! device clock and return a per-stage breakdown plus the (bit-exact)
+//! compressed stream.
+
+use crate::codebook::{self, CanonicalCodebook};
+use crate::encode::{self, BreakingStrategy, ChunkedStream, MergeConfig};
+use crate::entropy;
+use crate::error::Result;
+use crate::histogram;
+use gpu_sim::Gpu;
+
+/// Which pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineKind {
+    /// The paper's encoder: parallel codebook + reduce-shuffle merge.
+    ReduceShuffle,
+    /// The cuSZ baseline: serial-on-device codebook + coarse encode.
+    CuszCoarse,
+    /// The Rahmani baseline: parallel codebook + prefix-sum encode.
+    PrefixSum,
+}
+
+/// Per-stage modeled times (seconds) of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Histogramming.
+    pub histogram: f64,
+    /// Codebook construction (incl. sort / canonize as applicable).
+    pub codebook: f64,
+    /// Encoding (all encode kernels).
+    pub encode: f64,
+}
+
+impl StageTimes {
+    /// Total pipeline time.
+    pub fn total(&self) -> f64 {
+        self.histogram + self.codebook + self.encode
+    }
+}
+
+/// Everything a table row needs about one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Which pipeline ran.
+    pub kind: PipelineKind,
+    /// Per-stage modeled times.
+    pub times: StageTimes,
+    /// Input size in bytes (native symbol width).
+    pub input_bytes: u64,
+    /// Frequency-weighted average codeword bitwidth.
+    pub avg_bits: f64,
+    /// Reduction factor used (0 for non-merging encoders).
+    pub reduction: u32,
+    /// Fraction of symbols in breaking units.
+    pub breaking_fraction: f64,
+    /// Compression ratio achieved (vs native width).
+    pub compression_ratio: f64,
+}
+
+impl PipelineReport {
+    /// Histogram throughput in GB/s over the native input size.
+    pub fn hist_gbps(&self) -> f64 {
+        gpu_sim::gbps(self.input_bytes as f64 / self.times.histogram)
+    }
+
+    /// Encode throughput in GB/s.
+    pub fn encode_gbps(&self) -> f64 {
+        gpu_sim::gbps(self.input_bytes as f64 / self.times.encode)
+    }
+
+    /// Overall throughput in GB/s.
+    pub fn overall_gbps(&self) -> f64 {
+        gpu_sim::gbps(self.input_bytes as f64 / self.times.total())
+    }
+}
+
+/// Run a full encode pipeline on the device.
+///
+/// * `symbol_bytes` — native symbol width (1 for byte corpora, 2 for
+///   quantization codes / k-mers); sets the traffic and GB/s basis.
+/// * `num_symbols` — histogram size (codebook span).
+/// * `reduction` — explicit `r`, or `None` for the Fig. 3 rule.
+pub fn run(
+    gpu: &Gpu,
+    data: &[u16],
+    symbol_bytes: u64,
+    num_symbols: usize,
+    magnitude: u32,
+    reduction: Option<u32>,
+    kind: PipelineKind,
+) -> Result<(ChunkedStream, CanonicalCodebook, PipelineReport)> {
+    // Stage 1: histogram.
+    let freqs = histogram::gpu::histogram(gpu, data, num_symbols, symbol_bytes);
+    let hist_time = gpu.elapsed_matching("hist_");
+
+    // Stage 2: codebook.
+    let before_codebook = gpu.elapsed();
+    let book = match kind {
+        PipelineKind::ReduceShuffle | PipelineKind::PrefixSum => {
+            codebook::gpu::parallel_on_gpu(gpu, &freqs)?.0
+        }
+        PipelineKind::CuszCoarse => codebook::gpu::serial_on_gpu(gpu, &freqs)?.0,
+    };
+    let codebook_time = gpu.elapsed() - before_codebook;
+
+    let avg_bits = book.average_bitwidth(&freqs);
+    let r = reduction
+        .unwrap_or_else(|| entropy::decide_reduction_factor(avg_bits, 32, magnitude));
+    let config = MergeConfig::new(magnitude, r);
+
+    // Stage 3: encode.
+    let before_encode = gpu.elapsed();
+    let (stream, breaking_fraction, compression_ratio, used_r) = match kind {
+        PipelineKind::ReduceShuffle => {
+            let (stream, _) = encode::gpu::encode_on_gpu(
+                gpu,
+                data,
+                symbol_bytes,
+                &book,
+                config,
+                BreakingStrategy::SparseSidecar,
+            )?;
+            let bf = stream.breaking_fraction();
+            let cr = stream.compression_ratio(symbol_bytes as u32 * 8);
+            (stream, bf, cr, r)
+        }
+        PipelineKind::CuszCoarse => {
+            let (stream, _) =
+                encode::gpu::coarse_encode_on_gpu(gpu, data, symbol_bytes, &book, config)?;
+            let bf = 0.0;
+            let cr = stream.compression_ratio(symbol_bytes as u32 * 8);
+            (stream, bf, cr, 0)
+        }
+        PipelineKind::PrefixSum => {
+            let (flat, _) =
+                encode::gpu::prefix_sum_encode_on_gpu(gpu, data, symbol_bytes, &book)?;
+            let cr = flat.compression_ratio(symbol_bytes as u32 * 8);
+            // Re-wrap as a single-chunk stream for a uniform return type.
+            let stream = ChunkedStream {
+                config,
+                chunk_bit_lens: vec![flat.bit_len],
+                chunk_bit_offsets: vec![0],
+                total_bits: flat.bit_len,
+                bytes: flat.bytes,
+                num_symbols: flat.num_symbols,
+                outliers: crate::sparse::SparseOutliers::new(),
+            };
+            (stream, 0.0, cr, 0)
+        }
+    };
+    let encode_time = gpu.elapsed() - before_encode;
+
+    let report = PipelineReport {
+        kind,
+        times: StageTimes { histogram: hist_time, codebook: codebook_time, encode: encode_time },
+        input_bytes: data.len() as u64 * symbol_bytes,
+        avg_bits,
+        reduction: used_r,
+        breaking_fraction,
+        compression_ratio,
+    };
+    Ok((stream, book, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+    use gpu_sim::DeviceSpec;
+
+    fn data(n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 38;
+                (x % 512) as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ours_pipeline_roundtrips() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(50_000);
+        let (stream, book, report) =
+            run(&gpu, &syms, 2, 512, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+        assert!(report.times.histogram > 0.0);
+        assert!(report.times.codebook > 0.0);
+        assert!(report.times.encode > 0.0);
+        assert!(report.compression_ratio > 1.0);
+        assert!(report.avg_bits > 0.0 && report.avg_bits < 16.0);
+    }
+
+    #[test]
+    fn cusz_pipeline_roundtrips() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(20_000);
+        let (stream, book, report) =
+            run(&gpu, &syms, 2, 512, 10, None, PipelineKind::CuszCoarse).unwrap();
+        assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+        assert_eq!(report.reduction, 0);
+    }
+
+    #[test]
+    fn prefix_sum_pipeline_roundtrips() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(20_000);
+        let (stream, book, _) =
+            run(&gpu, &syms, 2, 512, 10, None, PipelineKind::PrefixSum).unwrap();
+        let dec = decode::canonical::decode(
+            &stream.bytes,
+            stream.total_bits,
+            stream.num_symbols,
+            &book,
+        )
+        .unwrap();
+        assert_eq!(dec, syms);
+    }
+
+    #[test]
+    fn ours_beats_cusz_overall_on_v100() {
+        let syms = data(8_000_000);
+        let g1 = Gpu::v100();
+        let (_, _, ours) = run(&g1, &syms, 2, 512, 10, Some(3), PipelineKind::ReduceShuffle).unwrap();
+        let g2 = Gpu::v100();
+        let (_, _, cusz) = run(&g2, &syms, 2, 512, 10, None, PipelineKind::CuszCoarse).unwrap();
+        assert!(
+            ours.times.total() < cusz.times.total(),
+            "ours {} vs cusz {}",
+            ours.times.total(),
+            cusz.times.total()
+        );
+        assert!(ours.overall_gbps() > cusz.overall_gbps());
+    }
+
+    #[test]
+    fn explicit_reduction_respected() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(10_000);
+        let (stream, _, report) =
+            run(&gpu, &syms, 2, 512, 10, Some(2), PipelineKind::ReduceShuffle).unwrap();
+        assert_eq!(report.reduction, 2);
+        assert_eq!(stream.config.reduction, 2);
+    }
+}

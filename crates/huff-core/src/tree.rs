@@ -1,0 +1,268 @@
+//! Serial Huffman tree construction — the reference the parallel codebook
+//! is validated against, and the "SZ serial" baseline of Tables III/IV.
+//!
+//! Classic `O(n log n)` binary-heap construction of the Huffman tree,
+//! plus traversal to per-symbol codeword lengths and codes. Deterministic:
+//! ties are broken by node creation order, which also bounds the maximum
+//! code length the same way SZ's implementation does.
+
+use crate::codeword::Codeword;
+use crate::error::{HuffError, Result};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A node of the Huffman tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A leaf carrying the input symbol it encodes.
+    Leaf {
+        /// Symbol value.
+        symbol: u16,
+        /// Its frequency.
+        freq: u64,
+    },
+    /// An internal node with two children.
+    Internal {
+        /// Combined frequency.
+        freq: u64,
+        /// Left child (bit 0).
+        left: Box<Node>,
+        /// Right child (bit 1).
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// This subtree's total frequency.
+    pub fn freq(&self) -> u64 {
+        match self {
+            Node::Leaf { freq, .. } | Node::Internal { freq, .. } => *freq,
+        }
+    }
+
+    /// Number of leaves below (and including) this node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Height of the subtree (a single leaf has height 0).
+    pub fn height(&self) -> u32 {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Internal { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+}
+
+/// Build the Huffman tree for a histogram. Symbols with zero frequency are
+/// excluded. Errors if no symbol has a nonzero frequency.
+pub fn build_tree(freqs: &[u64]) -> Result<Node> {
+    // (freq, tie-break sequence) min-heap; creation order as tie-break
+    // keeps the construction deterministic and matches the two-queue
+    // property the parallel algorithm relies on.
+    struct Item {
+        freq: u64,
+        seq: u64,
+        node: Box<Node>,
+    }
+    impl PartialEq for Item {
+        fn eq(&self, other: &Self) -> bool {
+            (self.freq, self.seq) == (other.freq, other.seq)
+        }
+    }
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.freq, self.seq).cmp(&(other.freq, other.seq))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Item>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (symbol, &freq) in freqs.iter().enumerate() {
+        if freq > 0 {
+            heap.push(Reverse(Item {
+                freq,
+                seq,
+                node: Box::new(Node::Leaf { symbol: symbol as u16, freq }),
+            }));
+            seq += 1;
+        }
+    }
+    if heap.is_empty() {
+        return Err(HuffError::EmptyHistogram);
+    }
+    if heap.len() == 1 {
+        // Degenerate single-symbol alphabet: give it a 1-bit code by
+        // pairing the leaf with itself under a synthetic root.
+        let Reverse(item) = heap.pop().expect("one node");
+        let clone = item.node.clone();
+        return Ok(Node::Internal { freq: item.freq, left: item.node, right: clone });
+    }
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().expect("len > 1");
+        let Reverse(b) = heap.pop().expect("len > 1");
+        let freq = a.freq + b.freq;
+        heap.push(Reverse(Item {
+            freq,
+            seq,
+            node: Box::new(Node::Internal { freq, left: a.node, right: b.node }),
+        }));
+        seq += 1;
+    }
+    let Reverse(root) = heap.pop().expect("exactly one");
+    Ok(*root.node)
+}
+
+/// Per-symbol codeword lengths from a histogram: `lengths[s]` is 0 for
+/// absent symbols. This is the quantity the parallel `GenerateCL` must
+/// reproduce (up to tie-breaking, with identical weighted total).
+pub fn codeword_lengths(freqs: &[u64]) -> Result<Vec<u32>> {
+    let tree = build_tree(freqs)?;
+    let mut lengths = vec![0u32; freqs.len()];
+    // Single-symbol degenerate tree duplicates the leaf; depth-first walk
+    // assigns the same length twice, harmlessly.
+    fn walk(node: &Node, depth: u32, lengths: &mut [u32]) {
+        match node {
+            Node::Leaf { symbol, .. } => lengths[*symbol as usize] = depth.max(1),
+            Node::Internal { left, right, .. } => {
+                walk(left, depth + 1, lengths);
+                walk(right, depth + 1, lengths);
+            }
+        }
+    }
+    walk(&tree, 0, &mut lengths);
+    Ok(lengths)
+}
+
+/// Tree-derived (non-canonical) codewords: left edge appends 0, right
+/// appends 1. Used only as a reference; the production codebook is
+/// canonical.
+pub fn tree_codebook(freqs: &[u64]) -> Result<Vec<Codeword>> {
+    let tree = build_tree(freqs)?;
+    let mut codes = vec![Codeword::EMPTY; freqs.len()];
+    fn walk(node: &Node, prefix: u64, depth: u32, codes: &mut [Codeword]) {
+        match node {
+            Node::Leaf { symbol, .. } => {
+                codes[*symbol as usize] = Codeword::new(prefix, depth.max(1))
+            }
+            Node::Internal { left, right, .. } => {
+                walk(left, prefix << 1, depth + 1, codes);
+                walk(right, (prefix << 1) | 1, depth + 1, codes);
+            }
+        }
+    }
+    walk(&tree, 0, 0, &mut codes);
+    Ok(codes)
+}
+
+/// Total encoded length in bits under optimal (Huffman) lengths.
+pub fn weighted_length(freqs: &[u64], lengths: &[u32]) -> u64 {
+    freqs.iter().zip(lengths).map(|(&f, &l)| f * u64::from(l)).sum()
+}
+
+/// Kraft sum numerator scaled by 2^64: exactly 2^64 for a complete
+/// prefix-free code (returns the sum of `2^(64 - l)` over coded symbols).
+pub fn kraft_sum(lengths: &[u32]) -> u128 {
+    lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1u128 << (64 - l.min(64)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_textbook_example() {
+        // Freqs 1,1,2,4: lengths 3,3,2,1.
+        let lens = codeword_lengths(&[1, 1, 2, 4]).unwrap();
+        assert_eq!(lens, vec![3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn uniform_power_of_two_is_balanced() {
+        let lens = codeword_lengths(&[5; 8]).unwrap();
+        assert!(lens.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn absent_symbols_get_zero_length() {
+        let lens = codeword_lengths(&[3, 0, 3, 0]).unwrap();
+        assert_eq!(lens[1], 0);
+        assert_eq!(lens[3], 0);
+        assert_eq!(lens[0], 1);
+    }
+
+    #[test]
+    fn empty_histogram_errors() {
+        assert!(matches!(codeword_lengths(&[0, 0]), Err(HuffError::EmptyHistogram)));
+        assert!(matches!(codeword_lengths(&[]), Err(HuffError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lens = codeword_lengths(&[0, 9, 0]).unwrap();
+        assert_eq!(lens, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn two_symbols_one_bit_each() {
+        let lens = codeword_lengths(&[7, 3]).unwrap();
+        assert_eq!(lens, vec![1, 1]);
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let lens = codeword_lengths(&[5, 9, 12, 13, 16, 45]).unwrap();
+        assert_eq!(kraft_sum(&lens), 1u128 << 64);
+    }
+
+    #[test]
+    fn tree_codebook_is_prefix_free() {
+        let codes = tree_codebook(&[5, 9, 12, 13, 16, 45]).unwrap();
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_prefix_of(b), "{a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_freqs_give_skewed_depths() {
+        // Fibonacci frequencies force the deepest possible tree.
+        let freqs = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        let lens = codeword_lengths(&freqs).unwrap();
+        assert_eq!(*lens.iter().max().unwrap(), 9);
+        assert_eq!(kraft_sum(&lens), 1u128 << 64);
+    }
+
+    #[test]
+    fn weighted_length_is_optimal_vs_fixed() {
+        let freqs = [50u64, 30, 15, 5];
+        let lens = codeword_lengths(&freqs).unwrap();
+        let huff = weighted_length(&freqs, &lens);
+        let fixed = 100 * 2; // 2 bits for 4 symbols
+        assert!(huff <= fixed);
+    }
+
+    #[test]
+    fn node_metrics() {
+        let tree = build_tree(&[1, 1, 2]).unwrap();
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(tree.freq(), 4);
+        assert_eq!(tree.height(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Regression tests for defects found (and fixed) during development.
+//! Each test documents the original failure mode.
+
+use huff_core::codebook::{self, CanonicalCodebook};
+use huff_core::decode;
+use huff_core::encode::{self, reduce_shuffle, BreakingStrategy, MergeConfig};
+use huff_core::{archive, histogram};
+
+/// A 65536-symbol space used to overflow `0..len as u16` into an empty
+/// range, making `from_lengths` report EmptyHistogram for the paper's
+/// largest codebook size.
+#[test]
+fn full_u16_symbol_space_codebook() {
+    let n = 65536usize;
+    let freqs: Vec<u64> = (0..n).map(|i| (i as u64 % 1000) + 1).collect();
+    let book = codebook::parallel(&freqs, 8).unwrap();
+    assert_eq!(book.coded_symbols(), n);
+    let rebuilt = CanonicalCodebook::from_lengths(&book.lengths()).unwrap();
+    assert_eq!(book, rebuilt);
+}
+
+/// The parallel builder originally assigned same-length codes in
+/// frequency-sort order while `from_lengths` used (length, symbol) order,
+/// so archives (which store lengths only) decoded to permuted symbols.
+#[test]
+fn archive_codebook_reconstruction_not_permuted() {
+    // Equal frequencies force heavy tie-breaking.
+    let data: Vec<u16> = (0..60_000).map(|i| (i % 64) as u16).collect();
+    let packed = archive::compress(&data, &archive::CompressOptions::new(64)).unwrap();
+    assert_eq!(archive::decompress(&packed).unwrap(), data);
+}
+
+/// SHUFFLE-merge's spill step could leave stale bits beyond the merged
+/// payload, corrupting later iterations' ORs; slack must be zeroed.
+#[test]
+fn shuffle_slack_bits_stay_clean_across_iterations() {
+    // Lengths engineered so early merges leave partial words that later
+    // iterations append onto.
+    let lens = [31u32, 1, 17, 15, 3, 29, 32, 0];
+    let mut words: Vec<u32> = lens
+        .iter()
+        .map(|&l| if l == 0 { 0 } else { (u32::MAX >> (32 - l)) << (32 - l) })
+        .collect();
+    let (total, _) = encode::shuffle_merge::shuffle_chunk(&mut words, &lens);
+    assert_eq!(total, lens.iter().map(|&l| u64::from(l)).sum::<u64>());
+    // Every payload bit is 1; every slack bit is 0.
+    for i in 0..(words.len() * 32) as u64 {
+        let bit = (words[(i / 32) as usize] >> (31 - (i % 32))) & 1 == 1;
+        assert_eq!(bit, i < total, "bit {i}");
+    }
+}
+
+/// The coarse encoder's staging buffer mishandled codewords longer than 32
+/// bits (split across the staging word boundary).
+#[test]
+fn coarse_encoder_handles_40_bit_codewords() {
+    let lengths: Vec<u32> = (1..=40).chain([40]).collect();
+    let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
+    let syms: Vec<u16> = (0..500).map(|i| (i % 41) as u16).collect();
+    let coarse = encode::coarse::encode(&syms, &book, MergeConfig::new(6, 1)).unwrap();
+    let serial = encode::serial::encode(&syms, &book).unwrap();
+    assert_eq!(coarse.bytes, serial.bytes);
+}
+
+/// Breaking units at the very first and very last unit of a chunk, and in
+/// the final partial chunk, must splice back at the right positions.
+#[test]
+fn breaking_at_chunk_edges() {
+    let lengths = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 12];
+    let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
+    let m = 6u32; // 64-symbol chunks, r=4 -> 16-symbol units
+    let mut syms = vec![0u16; 64 * 3 + 40]; // 3 full chunks + partial tail
+    // First unit of chunk 0 breaks.
+    for s in syms.iter_mut().take(4) {
+        *s = 12;
+    }
+    // Last unit of chunk 1 breaks.
+    for i in 64 + 48..64 + 52 {
+        syms[i] = 12;
+    }
+    // A unit inside the partial tail breaks.
+    for i in 192 + 16..192 + 20 {
+        syms[i] = 12;
+    }
+    let stream =
+        reduce_shuffle::encode(&syms, &book, MergeConfig::new(m, 4), BreakingStrategy::SparseSidecar)
+            .unwrap();
+    assert!(stream.outliers.num_units() >= 3, "{}", stream.outliers.num_units());
+    assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
+}
+
+/// Histograms with a symbol exactly at the top of the range (the 65535
+/// boundary) must count, encode, and decode.
+#[test]
+fn top_of_range_symbol() {
+    let mut freqs = vec![0u64; 65536];
+    freqs[0] = 10;
+    freqs[65535] = 5;
+    let book = codebook::parallel(&freqs, 4).unwrap();
+    let syms = vec![0u16, 65535, 0, 65535, 0];
+    let enc = encode::serial::encode(&syms, &book).unwrap();
+    let dec = decode::canonical::decode(&enc.bytes, enc.bit_len, syms.len(), &book).unwrap();
+    assert_eq!(dec, syms);
+}
+
+/// `generate_cl` must stay optimal when the two-smallest selection has to
+/// drop a *leaf* for parity (internal queue holding only `t`).
+#[test]
+fn generate_cl_parity_drop_of_leaf() {
+    // Three equal leaves: round 1 melds two, the third is copy-eligible
+    // but must be dropped for parity and consumed later.
+    for n in [3usize, 5, 9, 17] {
+        let freqs = vec![1u64; n];
+        let (cl, _) = codebook::generate_cl(&freqs, 2);
+        let reference = huff_core::tree::codeword_lengths(&freqs).unwrap();
+        assert_eq!(
+            huff_core::tree::weighted_length(&freqs, &cl),
+            huff_core::tree::weighted_length(&freqs, &reference),
+            "n={n}"
+        );
+    }
+}
+
+/// Corrupt outlier ordering in an archive must be rejected, not panic
+/// (found by the bit-flip fuzz test).
+#[test]
+fn archive_rejects_shuffled_outliers() {
+    let lengths = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 12];
+    let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
+    let syms: Vec<u16> = (0..5000).map(|i| if i % 512 < 4 { 12u16 } else { 0 }).collect();
+    let stream = reduce_shuffle::encode(
+        &syms,
+        &book,
+        MergeConfig::new(8, 4),
+        BreakingStrategy::SparseSidecar,
+    )
+    .unwrap();
+    assert!(stream.outliers.num_units() >= 2);
+    let packed = archive::serialize(&stream, &book, 2);
+    // Find the outlier table and swap the first two unit indices.
+    // Layout: magic(4) sym(1) M(1) r(1) pad(1) nsym(8) cb_len(4) lens(13)
+    //         n_chunks(4) chunk_lens(8 each) outliers(4) ...
+    let n_chunks = syms.len().div_ceil(256);
+    let off = 4 + 4 + 8 + 4 + 13 + 4 + 8 * n_chunks + 4;
+    let mut corrupt = packed.clone();
+    // Swap 8-byte indices of outlier 0 and 1 (entry = 8 idx + 2 count + 32 syms).
+    let entry = 8 + 2 + 2 * 16;
+    for b in 0..8 {
+        corrupt.swap(off + b, off + entry + b);
+    }
+    assert!(archive::deserialize(&corrupt).is_err());
+}
+
+/// GPU and CPU histograms must agree on data where one block's partition
+/// is empty (more blocks than elements).
+#[test]
+fn gpu_histogram_more_blocks_than_data() {
+    let gpu = gpu_sim::Gpu::v100();
+    let data = vec![3u16; 7];
+    let h = histogram::gpu::histogram(&gpu, &data, 8, 2);
+    assert_eq!(h, histogram::serial::histogram(&data, 8));
+}

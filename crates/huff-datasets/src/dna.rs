@@ -1,0 +1,154 @@
+//! DNA sequence + k-mer symbolization — the gbbct1.seq (GenBank) stand-in.
+//!
+//! The paper evaluates codebook construction on GenBank bacterial
+//! sequences symbolized as k-mers; "data other than the 4 bases of DNA are
+//! stored in gbbct1.seq, and as a result, the number of input symbols
+//! needed is greater than `4^k`" (Section V-B1). Table III's resulting
+//! codebook sizes are 2048 / 4096 / 8192 for k = 3 / 4 / 5.
+//!
+//! The synthetic equivalent reproduces that structure: clean k-mers map
+//! into the dense `4^k` region; k-mers touching ambiguity codes, digits or
+//! formatting bytes (GenBank files are ASCII records, not raw bases) land
+//! in a sparse high region, padding the symbol space to the paper's
+//! `2^(k+8)` sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Symbol-space size matching Table III: `2^(k+8)`.
+pub fn symbol_space(k: usize) -> usize {
+    assert!((2..=7).contains(&k));
+    1usize << (k + 8)
+}
+
+/// Generate a synthetic GenBank-like byte stream of length `n`: mostly
+/// ACGT with realistic GC skew, sprinkled with ambiguity codes, digits and
+/// record formatting.
+pub fn sequence(n: usize, seed: u64) -> Vec<u8> {
+    const EXTRAS: &[u8] = b"NRYKMSW0123456789 /=\n";
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            if u < 0.04 {
+                EXTRAS[rng.gen_range(0..EXTRAS.len())]
+            } else if u < 0.28 {
+                b'A'
+            } else if u < 0.53 {
+                b'C'
+            } else if u < 0.78 {
+                b'G'
+            } else {
+                b'T'
+            }
+        })
+        .collect()
+}
+
+/// Symbolize a byte stream into non-overlapping k-mer symbols within
+/// [`symbol_space`]`(k)`. Clean ACGT k-mers pack into 2 bits per base;
+/// dirty k-mers hash into the region above `4^k`.
+pub fn kmer_symbols(seq: &[u8], k: usize) -> Vec<u16> {
+    let space = symbol_space(k);
+    let base_region = 1usize << (2 * k);
+    let dirty_region = space - base_region;
+    seq.chunks_exact(k)
+        .map(|w| {
+            let mut code = 0usize;
+            let mut clean = true;
+            for &b in w {
+                let v = match b {
+                    b'A' => 0,
+                    b'C' => 1,
+                    b'G' => 2,
+                    b'T' => 3,
+                    _ => {
+                        clean = false;
+                        0
+                    }
+                };
+                code = (code << 2) | v;
+            }
+            if clean {
+                code as u16
+            } else {
+                let h = w
+                    .iter()
+                    .fold(0xcbf29ce484222325u64, |a, &b| (a ^ u64::from(b)).wrapping_mul(0x100000001b3));
+                (base_region + (h as usize % dirty_region)) as u16
+            }
+        })
+        .collect()
+}
+
+/// Convenience: generate and symbolize `n_symbols` k-mers. Returns
+/// `(symbols, symbol_space)`.
+pub fn kmer_dataset(n_symbols: usize, k: usize, seed: u64) -> (Vec<u16>, usize) {
+    let seq = sequence(n_symbols * k, seed);
+    (kmer_symbols(&seq, k), symbol_space(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_spaces_match_paper() {
+        // Table III: 3-mer -> 2048, 4-mer -> 4096, 5-mer -> 8192.
+        assert_eq!(symbol_space(3), 2048);
+        assert_eq!(symbol_space(4), 4096);
+        assert_eq!(symbol_space(5), 8192);
+    }
+
+    #[test]
+    fn kmer_codes_in_range() {
+        for k in [3, 4, 5] {
+            let (syms, space) = kmer_dataset(50_000, k, 2);
+            assert!(syms.iter().all(|&s| (s as usize) < space), "k={k}");
+            assert_eq!(syms.len(), 50_000);
+        }
+    }
+
+    #[test]
+    fn clean_kmers_decode_to_2bit_packing() {
+        let syms = kmer_symbols(b"ACGTAC", 3);
+        // "ACG" = 0b00_01_10 = 6; "TAC" = 0b11_00_01 = 49.
+        assert_eq!(syms, vec![6, 49]);
+    }
+
+    #[test]
+    fn dirty_kmers_land_above_base_region() {
+        let syms = kmer_symbols(b"ANA", 3);
+        assert!(syms[0] as usize >= 64);
+        assert!((syms[0] as usize) < 2048);
+    }
+
+    #[test]
+    fn large_sample_populates_both_regions() {
+        let (syms, _) = kmer_dataset(300_000, 3, 3);
+        let distinct: std::collections::HashSet<u16> = syms.iter().copied().collect();
+        assert!(distinct.len() > 500, "only {} distinct 3-mer symbols", distinct.len());
+        let dirty = syms.iter().filter(|&&s| s as usize >= 64).count();
+        assert!(dirty > 0, "no dirty k-mers generated");
+        // The dense ACGT region still dominates the mass.
+        assert!((dirty as f64) < 0.3 * syms.len() as f64);
+    }
+
+    #[test]
+    fn codebook_construction_feeds_from_kmers() {
+        let (syms, space) = kmer_dataset(100_000, 4, 4);
+        let mut freqs = vec![0u64; space];
+        for &s in &syms {
+            freqs[s as usize] += 1;
+        }
+        let book = huff_core::build_codebook(&freqs, 8).unwrap();
+        assert!(book.coded_symbols() > 256);
+    }
+
+    #[test]
+    fn sequence_is_mostly_acgt() {
+        let seq = sequence(100_000, 1);
+        let acgt = seq.iter().filter(|b| b"ACGT".contains(b)).count();
+        assert!(acgt as f64 / seq.len() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Synthetic histograms for codebook-construction sweeps.
+//!
+//! Table IV evaluates multithreaded codebook construction on
+//! 16384-65536-symbol histograms, which exceed what the real datasets
+//! provide ("the symbol numbers in the tested real datasets are no more
+//! than 8192, so we use synthetic data for more than 8192 symbols" —
+//! normally distributed, footnote 3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A discretized-normal histogram over `n` symbols: bin `i`'s frequency is
+/// proportional to the Gaussian density at its position, scaled so the
+/// total is about `total`, with every bin at least 1 (all symbols coded).
+pub fn normal(n: usize, total: u64, seed: u64) -> Vec<u64> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mu = n as f64 / 2.0;
+    let sigma = n as f64 / 8.0;
+    let mut h: Vec<u64> = (0..n)
+        .map(|i| {
+            let z = (i as f64 - mu) / sigma;
+            let density = (-0.5 * z * z).exp();
+            let jitter: f64 = rng.gen_range(0.9..1.1);
+            ((total as f64 / (sigma * 2.5066)) * density * jitter) as u64 + 1
+        })
+        .collect();
+    // Nudge the sum toward `total` (cosmetic; construction cost depends on
+    // n, not the exact mass).
+    let sum: u64 = h.iter().sum();
+    if sum < total {
+        h[n / 2] += total - sum;
+    }
+    h
+}
+
+/// A uniform histogram (worst case for codebook balance checks).
+pub fn uniform(n: usize, per_bin: u64) -> Vec<u64> {
+    vec![per_bin.max(1); n]
+}
+
+/// An exponentially decaying histogram (deep-tree stressor).
+pub fn exponential(n: usize, ratio: f64, seed: u64) -> Vec<u64> {
+    assert!(ratio > 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = 1.0e15;
+    (0..n)
+        .map(|_| {
+            let jitter: f64 = rng.gen_range(0.95..1.05);
+            let v = (f * jitter).max(1.0) as u64;
+            f /= ratio;
+            v.max(1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_histogram_shape() {
+        let h = normal(1024, 1_000_000, 1);
+        assert_eq!(h.len(), 1024);
+        assert!(h.iter().all(|&f| f >= 1));
+        // Centre dominates edges.
+        assert!(h[512] > 100 * h[0].min(h[1023]).max(1));
+    }
+
+    #[test]
+    fn normal_total_mass_close() {
+        let h = normal(65536, 10_000_000, 2);
+        let sum: u64 = h.iter().sum();
+        assert!(sum >= 10_000_000 && sum < 13_000_000, "sum {sum}");
+    }
+
+    #[test]
+    fn normal_feeds_codebook_construction() {
+        for n in [16384usize, 32768, 65536] {
+            let h = normal(n, 1_000_000, 3);
+            let book = huff_core::build_codebook(&h, 8).unwrap();
+            assert_eq!(book.coded_symbols(), n);
+        }
+    }
+
+    #[test]
+    fn uniform_and_exponential() {
+        assert_eq!(uniform(8, 5), vec![5; 8]);
+        let e = exponential(64, 2.0, 4);
+        assert!(e[0] > e[32]);
+        assert!(e.iter().all(|&f| f >= 1));
+        let book = huff_core::build_codebook(&e, 4).unwrap();
+        assert!(book.max_len() >= 30, "deep tree expected, H={}", book.max_len());
+    }
+}

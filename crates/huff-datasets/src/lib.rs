@@ -1,0 +1,32 @@
+//! # huff-datasets — synthetic stand-ins for the paper's evaluation data
+//!
+//! The paper evaluates on six real corpora (enwik8/9, mr, nci, Flan_1565,
+//! Nyx-Quant) plus synthetic normal histograms. Those files are not
+//! redistributable here, and every reported result depends on the input
+//! only through its histogram statistics — so this crate generates
+//! synthetic equivalents matched on the statistics that matter: symbol
+//! count, native symbol width, and frequency-weighted average codeword
+//! bitwidth (Table V's "AVG. BITS" column). See DESIGN.md's substitution
+//! table for the per-dataset rationale.
+//!
+//! * [`registry::PaperDataset`] — the six named presets;
+//! * [`quant`] — two-sided-geometric quantization codes (Nyx-Quant);
+//! * [`text`] — Markov/Zipf byte text (enwik, nci);
+//! * [`dna`] — DNA sequences + k-mer symbolization (gbbct1.seq, Table III);
+//! * [`smooth`] — quantized smooth fields (mr) and Rutherford-Boeing ASCII
+//!   (Flan_1565);
+//! * [`histograms`] — synthetic normal histograms (Table IV);
+//! * [`calibrated`] — exact-average-bitwidth synthesis for calibrated
+//!   sweeps (Fig. 3).
+
+#![warn(missing_docs)]
+
+pub mod calibrated;
+pub mod dna;
+pub mod histograms;
+pub mod quant;
+pub mod registry;
+pub mod smooth;
+pub mod text;
+
+pub use registry::PaperDataset;

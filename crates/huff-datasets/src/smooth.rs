@@ -1,0 +1,110 @@
+//! Smooth-field generators — the `mr` (medical MRI) and Flan_1565 (sparse
+//! matrix) stand-ins.
+//!
+//! * [`mri_like`] — a quantized band-limited 2-D field: random low-
+//!   frequency cosine modes plus noise, quantized to bytes. Matches the
+//!   `mr` corpus shape (average bitwidth ≈ 4.0, Table V).
+//! * [`rutherford_boeing_like`] — ASCII text laid out like a
+//!   Rutherford-Boeing sparse-matrix file (fixed-width columns of signed
+//!   scientific-notation numerals), matching Flan_1565's byte statistics
+//!   (average bitwidth ≈ 4.14).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quantized smooth 2-D field, row-major, `width * height` bytes.
+pub fn mri_like(width: usize, height: usize, seed: u64) -> Vec<u16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const MODES: usize = 6;
+    let modes: Vec<(f64, f64, f64, f64)> = (0..MODES)
+        .map(|_| {
+            (
+                rng.gen_range(0.5..4.0),  // kx
+                rng.gen_range(0.5..4.0),  // ky
+                rng.gen_range(0.0..6.28), // phase
+                rng.gen_range(0.3..1.0),  // amplitude
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let (fx, fy) = (x as f64 / width as f64, y as f64 / height as f64);
+            let mut v = 0.0;
+            for &(kx, ky, ph, a) in &modes {
+                v += a * (6.283 * (kx * fx + ky * fy) + ph).cos();
+            }
+            // Background-dominated like MRI: clamp the dark half.
+            let noise: f64 = rng.gen_range(-0.08..0.08);
+            let v = ((v / MODES as f64 + noise + 0.25).max(0.0) * 220.0).min(255.0);
+            out.push(v as u16);
+        }
+    }
+    out
+}
+
+/// ASCII bytes shaped like a Rutherford-Boeing sparse-matrix file body.
+pub fn rutherford_boeing_like(n: usize, seed: u64) -> Vec<u16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n + 32);
+    while out.len() < n {
+        // An index column and a value in scientific notation.
+        let idx: u32 = rng.gen_range(1..1_565_000);
+        let mantissa: f64 = rng.gen_range(-9.999_999..9.999_999);
+        let exp: i32 = rng.gen_range(-12..3);
+        let line = format!("{idx:>9} {mantissa:+.7}E{exp:+03}\n");
+        out.extend(line.bytes().map(u16::from));
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avg_bits(data: &[u16]) -> f64 {
+        let mut freqs = vec![0u64; 256];
+        for &s in data {
+            freqs[s as usize] += 1;
+        }
+        let lens = huff_core::tree::codeword_lengths(&freqs).unwrap();
+        huff_core::entropy::average_bitwidth(&freqs, &lens)
+    }
+
+    #[test]
+    fn mri_like_is_compressible_smooth_field() {
+        // The realistic field lands mid-entropy; the registry's `Mr`
+        // preset pins the exact paper bitwidth via `calibrated`.
+        let data = mri_like(512, 512, 1);
+        let avg = avg_bits(&data);
+        assert!(avg > 3.0 && avg < 7.5, "avg {avg}");
+    }
+
+    #[test]
+    fn mri_values_are_bytes() {
+        let data = mri_like(64, 64, 2);
+        assert_eq!(data.len(), 64 * 64);
+        assert!(data.iter().all(|&v| v < 256));
+    }
+
+    #[test]
+    fn rb_text_is_ascii() {
+        let data = rutherford_boeing_like(10_000, 3);
+        assert_eq!(data.len(), 10_000);
+        assert!(data.iter().all(|&b| b == 10 || (32..127).contains(&b)));
+    }
+
+    #[test]
+    fn rb_bitwidth_near_paper() {
+        let data = rutherford_boeing_like(300_000, 4);
+        let avg = avg_bits(&data);
+        assert!((avg - 4.1428).abs() < 1.0, "avg {avg}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(mri_like(32, 32, 5), mri_like(32, 32, 5));
+        assert_eq!(rutherford_boeing_like(100, 6), rutherford_boeing_like(100, 6));
+    }
+}

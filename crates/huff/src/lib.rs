@@ -1,0 +1,54 @@
+//! # huff — the public facade of the reduce-shuffle Huffman system
+//!
+//! Re-exports the user-facing API of the workspace:
+//!
+//! * [`huff_core`] — the encoder/decoder library (histogram, two-phase
+//!   parallel codebook construction, reduce-shuffle encoding, canonical
+//!   decoding, the `compress`/`decompress` archive);
+//! * [`gpu_sim`] — the simulated-device substrate (device specs, launch
+//!   API, cost model);
+//! * [`huff_datasets`] — synthetic equivalents of the paper's evaluation
+//!   datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use huff::prelude::*;
+//!
+//! // Some 16-bit quantization codes (any &[u16] with symbols < num_symbols).
+//! let data: Vec<u16> = (0..50_000).map(|i| (i % 40) as u16).collect();
+//!
+//! // One-call compression with auto-tuned reduction factor.
+//! let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//!
+//! // Or drive the staged pipeline on a simulated V100.
+//! let gpu = Gpu::v100();
+//! let (stream, book, report) =
+//!     pipeline::run(&gpu, &data, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+//! assert!(report.encode_gbps() > 0.0);
+//! let roundtrip = huff::decode::chunked::decode(&stream, &book).unwrap();
+//! assert_eq!(roundtrip, data);
+//! ```
+
+pub use gpu_sim;
+pub use huff_core;
+pub use huff_datasets;
+pub use sz_quant;
+
+pub use gpu_sim::{DeviceSpec, Gpu, GridDim};
+pub use huff_core::archive::{compress, decompress, CompressOptions};
+pub use huff_core::pipeline::{self, PipelineKind, PipelineReport};
+pub use huff_core::{
+    codebook, decode, encode, entropy, histogram, kernels, sparse, tree, BreakingStrategy,
+    CanonicalCodebook, ChunkedStream, Codeword, EncodedStream, HuffError, MergeConfig, Result,
+};
+pub use huff_datasets::PaperDataset;
+
+/// The convenient single import.
+pub mod prelude {
+    pub use crate::{
+        compress, decompress, pipeline, BreakingStrategy, CanonicalCodebook, ChunkedStream,
+        CompressOptions, DeviceSpec, Gpu, HuffError, MergeConfig, PaperDataset, PipelineKind,
+    };
+}

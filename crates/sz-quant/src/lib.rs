@@ -1,0 +1,36 @@
+//! # sz-quant — an SZ-style error-bounded lossy compression substrate
+//!
+//! The paper's Huffman encoder exists to serve error-bounded lossy
+//! compressors (SZ / cuSZ): a predictor + quantizer turns floating-point
+//! fields into integer quantization codes whose sharply peaked distribution
+//! Huffman coding then exploits (Section II-A). This crate implements that
+//! substrate end to end:
+//!
+//! * [`field::Field3`] — 3-D scalar fields + synthetic generators;
+//! * [`predictor`] — Lorenzo prediction (1-D/3-D, boundary-degrading);
+//! * [`quantizer`] — error-bounded linear quantization with an
+//!   unpredictable-sample escape hatch;
+//! * [`compress`] — the causal compress/decompress pipeline, entropy-coding
+//!   the codes with `huff-core`'s reduce-shuffle encoder and guaranteeing
+//!   `|x - x'| ≤ eb` pointwise.
+//!
+//! ```
+//! use sz_quant::{compress::{compress, decompress}, field};
+//!
+//! let f = field::smooth_cosines(32, 32, 4, 3, 42);
+//! let (packed, stats) = compress(&f, 0.01, 1024).unwrap();
+//! assert!(stats.ratio > 2.0);
+//! let back = decompress(&packed).unwrap();
+//! assert!(f.max_abs_diff(&back) <= 0.01 + 1e-5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod field;
+pub mod predictor;
+pub mod quantizer;
+
+pub use compress::{compress as compress_field, decompress as decompress_field, CompressStats};
+pub use field::Field3;
+pub use quantizer::Quantizer;

@@ -1,0 +1,116 @@
+//! Lorenzo prediction.
+//!
+//! SZ's default predictor (Tao et al., IPDPS'17): each sample is predicted
+//! from its already-processed neighbours —
+//!
+//! * 1-D: `p = f[x-1]`
+//! * 2-D: `p = f[x-1,y] + f[x,y-1] - f[x-1,y-1]`
+//! * 3-D: the inclusion-exclusion over the 7 preceding corner neighbours.
+//!
+//! During compression the neighbours must be the *reconstructed* values
+//! (the decompressor only has those), which is why prediction and
+//! quantization run as one causal sweep in [`crate::compress`].
+
+use crate::field::Field3;
+
+/// Lorenzo prediction at `(x, y, z)` using the values in `recon` (the
+/// reconstructed-so-far buffer, same layout as the field). Out-of-domain
+/// neighbours contribute 0, which makes the first sample's prediction 0 —
+/// SZ stores it as a plain quantized offset the same way.
+#[inline]
+pub fn lorenzo3(recon: &Field3, x: usize, y: usize, z: usize) -> f32 {
+    let g = |dx: usize, dy: usize, dz: usize| -> f32 {
+        if x < dx || y < dy || z < dz {
+            0.0
+        } else {
+            recon.get(x - dx, y - dy, z - dz)
+        }
+    };
+    // Inclusion-exclusion over the preceding corner.
+    g(1, 0, 0) + g(0, 1, 0) + g(0, 0, 1) - g(1, 1, 0) - g(1, 0, 1) - g(0, 1, 1) + g(1, 1, 1)
+}
+
+/// Pure-1-D Lorenzo (previous sample), for line data.
+#[inline]
+pub fn lorenzo1(recon: &[f32], i: usize) -> f32 {
+    if i == 0 {
+        0.0
+    } else {
+        recon[i - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field;
+
+    #[test]
+    fn first_sample_predicted_zero() {
+        let f = Field3::zeros(4, 4, 4);
+        assert_eq!(lorenzo3(&f, 0, 0, 0), 0.0);
+        assert_eq!(lorenzo1(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn linear_field_predicted_exactly() {
+        // Lorenzo is exact on (multi)linear fields: f = a + bx + cy + dz.
+        let (nx, ny, nz) = (8, 8, 8);
+        let mut f = Field3::zeros(nx, ny, nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let i = f.idx(x, y, z);
+                    f.data[i] = 1.5 + 2.0 * x as f32 - 0.5 * y as f32 + 0.25 * z as f32;
+                }
+            }
+        }
+        for z in 1..nz {
+            for y in 1..ny {
+                for x in 1..nx {
+                    let p = lorenzo3(&f, x, y, z);
+                    assert!((p - f.get(x, y, z)).abs() < 1e-4, "at ({x},{y},{z}): {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_degrades_to_lower_dimension() {
+        let mut f = Field3::zeros(4, 4, 1);
+        for x in 0..4 {
+            for y in 0..4 {
+                let i = f.idx(x, y, 0);
+                f.data[i] = (x + 10 * y) as f32;
+            }
+        }
+        // On the x-axis (y = z = 0) the 3-D formula reduces to 1-D.
+        assert_eq!(lorenzo3(&f, 2, 0, 0), f.get(1, 0, 0));
+        // On the interior of the z=0 plane it is the 2-D Lorenzo.
+        let expect = f.get(1, 2, 0) + f.get(2, 1, 0) - f.get(1, 1, 0);
+        assert_eq!(lorenzo3(&f, 2, 2, 0), expect);
+    }
+
+    #[test]
+    fn smooth_field_predicts_well() {
+        let f = field::smooth_cosines(32, 32, 8, 4, 11);
+        let (lo, hi) = f.range();
+        let range = hi - lo;
+        let mut worst = 0.0f32;
+        for z in 1..8 {
+            for y in 1..32 {
+                for x in 1..32 {
+                    worst = worst.max((lorenzo3(&f, x, y, z) - f.get(x, y, z)).abs());
+                }
+            }
+        }
+        assert!(worst < 0.2 * range, "worst residual {worst} of range {range}");
+    }
+
+    #[test]
+    fn lorenzo1_is_previous() {
+        let v = [3.0f32, 5.0, 7.0];
+        assert_eq!(lorenzo1(&v, 1), 3.0);
+        assert_eq!(lorenzo1(&v, 2), 5.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error-bounded linear quantization of prediction residuals.
+//!
+//! SZ's error-controlled quantization: the residual `value - prediction`
+//! is mapped to an integer code `round(residual / (2*eb)) + mid`, so the
+//! reconstructed value `prediction + (code - mid) * 2*eb` is within `eb`
+//! of the original. Residuals larger than the code range covers are
+//! *unpredictable* and stored verbatim in an outlier list (code 0 is the
+//! reserved unpredictable marker, matching SZ's convention).
+
+use serde::{Deserialize, Serialize};
+
+/// Quantizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    /// Absolute error bound.
+    pub error_bound: f32,
+    /// Number of quantization bins (codebook size), e.g. SZ's default
+    /// 65536 or cuSZ's 1024. Must be ≥ 4 and ≤ 65536.
+    pub num_bins: usize,
+}
+
+/// Outcome of quantizing one residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized {
+    /// In-range code (1 ..= num_bins-1; 0 is reserved).
+    Code(u16),
+    /// Out of range: store the original value verbatim.
+    Unpredictable,
+}
+
+impl Quantizer {
+    /// A quantizer with the given absolute error bound and bin count.
+    pub fn new(error_bound: f32, num_bins: usize) -> Self {
+        assert!(error_bound > 0.0, "error bound must be positive");
+        assert!((4..=65536).contains(&num_bins), "bins must be in [4, 65536]");
+        Quantizer { error_bound, num_bins }
+    }
+
+    /// The centre bin (zero residual).
+    #[inline]
+    pub fn mid(&self) -> i64 {
+        (self.num_bins / 2) as i64
+    }
+
+    /// Quantize a residual.
+    #[inline]
+    pub fn quantize(&self, residual: f32) -> Quantized {
+        let step = 2.0 * self.error_bound;
+        let q = (residual / step).round() as i64 + self.mid();
+        if q >= 1 && q < self.num_bins as i64 {
+            Quantized::Code(q as u16)
+        } else {
+            Quantized::Unpredictable
+        }
+    }
+
+    /// Reconstruct the residual a code encodes.
+    #[inline]
+    pub fn dequantize(&self, code: u16) -> f32 {
+        debug_assert!(code != 0, "code 0 is the unpredictable marker");
+        (i64::from(code) - self.mid()) as f32 * 2.0 * self.error_bound
+    }
+
+    /// The unpredictable marker code.
+    pub const UNPREDICTABLE: u16 = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_bound() {
+        let q = Quantizer::new(0.01, 1024);
+        for r in [-5.0f32, -0.5, -0.011, 0.0, 0.009, 0.5, 5.0] {
+            match q.quantize(r) {
+                Quantized::Code(c) => {
+                    let back = q.dequantize(c);
+                    assert!((back - r).abs() <= 0.01 + 1e-6, "residual {r} -> {back}");
+                }
+                Quantized::Unpredictable => {
+                    assert!(r.abs() > 0.01 * 1000.0, "residual {r} should be in range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_maps_to_mid() {
+        let q = Quantizer::new(0.1, 256);
+        assert_eq!(q.quantize(0.0), Quantized::Code(128));
+        assert_eq!(q.dequantize(128), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_is_unpredictable() {
+        let q = Quantizer::new(0.001, 16);
+        assert_eq!(q.quantize(1.0), Quantized::Unpredictable);
+        assert_eq!(q.quantize(-1.0), Quantized::Unpredictable);
+    }
+
+    #[test]
+    fn code_zero_never_produced() {
+        // The most negative in-range residual still maps to code >= 1.
+        let q = Quantizer::new(0.5, 8);
+        for milli in -5000..=5000 {
+            let r = milli as f32 * 0.001;
+            if let Quantized::Code(c) = q.quantize(r) {
+                assert!(c >= 1, "residual {r} produced code 0");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_bound_rejected() {
+        let _ = Quantizer::new(0.0, 256);
+    }
+
+    #[test]
+    fn bin_boundaries_exact() {
+        let q = Quantizer::new(1.0, 64);
+        // step = 2: residual 3.0 -> round(1.5)=2 -> code 34.
+        assert_eq!(q.quantize(3.0), Quantized::Code(34));
+        assert_eq!(q.dequantize(34), 4.0); // |4.0 - 3.0| = 1.0 = eb
+    }
+}

@@ -1,0 +1,53 @@
+//! HPC scenario: encode SZ-style quantization codes on a simulated V100,
+//! comparing the reduce-shuffle encoder against the cuSZ coarse baseline
+//! and the Rahmani prefix-sum baseline — the workloads that motivate the
+//! paper (error-bounded lossy compression of scientific data).
+//!
+//! ```sh
+//! cargo run --release -p huff --example hpc_quantization_codes
+//! ```
+
+use huff::prelude::*;
+
+fn main() -> Result<(), HuffError> {
+    let n = 32 << 20; // 64 MiB of u16 quantization codes
+    println!("generating {} Nyx-Quant-like quantization codes...", n);
+    let data = PaperDataset::NyxQuant.generate(n, 7);
+
+    println!("\n{:<16} {:>10} {:>12} {:>12} {:>12} {:>10}", "encoder", "hist GB/s", "codebook ms",
+        "encode GB/s", "overall GB/s", "ratio");
+    for (name, kind) in [
+        ("reduce-shuffle", PipelineKind::ReduceShuffle),
+        ("cuSZ coarse", PipelineKind::CuszCoarse),
+        ("prefix-sum", PipelineKind::PrefixSum),
+    ] {
+        let gpu = Gpu::v100();
+        let (stream, book, report) =
+            pipeline::run(&gpu, &data, PaperDataset::NyxQuant.symbol_bytes(), 1024, 10, Some(3), kind)?;
+        // Verify the stream decodes before reporting numbers.
+        let ok = match kind {
+            PipelineKind::PrefixSum => {
+                huff::decode::canonical::decode(
+                    &stream.bytes,
+                    stream.total_bits,
+                    stream.num_symbols,
+                    &book,
+                )? == data
+            }
+            _ => huff::decode::chunked::decode(&stream, &book)? == data,
+        };
+        assert!(ok, "{name} failed round trip");
+        println!(
+            "{:<16} {:>10.1} {:>12.3} {:>12.1} {:>12.1} {:>9.2}x",
+            name,
+            report.hist_gbps(),
+            report.times.codebook * 1e3,
+            report.encode_gbps(),
+            report.overall_gbps(),
+            report.compression_ratio,
+        );
+    }
+
+    println!("\n(modeled device times on a V100 spec; see DESIGN.md for the cost model)");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! End-to-end error-bounded lossy compression — the application the
+//! paper's encoder was built for (cuSZ/SZ).
+//!
+//! Generates a smooth 3-D scientific field, compresses it under several
+//! absolute error bounds (Lorenzo prediction → error-bounded quantization
+//! → reduce-shuffle Huffman), and verifies the pointwise bound on
+//! decompression.
+//!
+//! ```sh
+//! cargo run --release -p huff --example lossy_compression
+//! ```
+
+use huff::sz_quant::{compress::compress, compress::decompress, field};
+
+fn main() {
+    let (nx, ny, nz) = (128, 128, 32);
+    println!("generating a {nx}x{ny}x{nz} smooth field ({} MB of f32)...", nx * ny * nz * 4 / 1_000_000);
+    let f = field::smooth_cosines(nx, ny, nz, 4, 2024);
+    let (lo, hi) = f.range();
+    println!("value range [{lo:.3}, {hi:.3}]\n");
+
+    println!("{:>12} {:>10} {:>12} {:>14} {:>12}", "error bound", "ratio", "max error", "unpredictable", "bound held");
+    for eb in [0.1f32, 0.01, 0.001, 0.0001] {
+        let (packed, stats) = compress(&f, eb, 1024).expect("compress");
+        let back = decompress(&packed).expect("decompress");
+        let err = f.max_abs_diff(&back);
+        println!(
+            "{:>12} {:>9.2}x {:>12.6} {:>14} {:>12}",
+            format!("{eb}"),
+            stats.ratio,
+            err,
+            stats.unpredictable,
+            if err <= eb + 1e-6 { "yes" } else { "NO" },
+        );
+        assert!(err <= eb + 1e-6);
+    }
+
+    println!("\nrougher data costs ratio, never correctness:");
+    let rough = field::noisy(nx, ny, nz, 0.8, 7);
+    let (_, stats) = compress(&rough, 0.01, 1024).expect("compress");
+    println!("noisy field at eb=0.01: ratio {:.2}x, {} unpredictable", stats.ratio, stats.unpredictable);
+}

@@ -1,0 +1,38 @@
+//! Quickstart: one-call compression and decompression.
+//!
+//! ```sh
+//! cargo run --release -p huff --example quickstart
+//! ```
+
+use huff::prelude::*;
+
+fn main() -> Result<(), HuffError> {
+    // Pretend these are quantization codes from a lossy compressor: 1024
+    // possible bins, sharply peaked around the centre.
+    let data = PaperDataset::NyxQuant.generate(4 << 20, 42);
+    println!("input:   {} symbols ({} MiB as u16)", data.len(), (data.len() * 2) >> 20);
+
+    // Compress with defaults: M = 10 (1024-symbol chunks), reduction factor
+    // picked by the average-bitwidth rule, breaking units stored sparsely.
+    let t0 = std::time::Instant::now();
+    let packed = compress(&data, &CompressOptions::new(1024))?;
+    let enc_dt = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let restored = decompress(&packed)?;
+    let dec_dt = t1.elapsed();
+
+    assert_eq!(restored, data);
+    println!(
+        "archive: {} bytes ({:.2}x compression)",
+        packed.len(),
+        (data.len() * 2) as f64 / packed.len() as f64
+    );
+    println!(
+        "host encode: {:.1} ms, decode: {:.1} ms (wall clock, this machine)",
+        enc_dt.as_secs_f64() * 1e3,
+        dec_dt.as_secs_f64() * 1e3
+    );
+    println!("round trip verified: OK");
+    Ok(())
+}

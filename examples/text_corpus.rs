@@ -1,0 +1,58 @@
+//! CPU scenario: multithreaded Huffman encoding of a text corpus.
+//!
+//! Sweeps the worker count of the multithread encoder (the paper's
+//! Table VI experiment) on enwik-like text, reporting wall-clock host
+//! throughput and parallel efficiency.
+//!
+//! ```sh
+//! cargo run --release -p huff --example text_corpus
+//! ```
+
+use huff::huff_core::encode::multithread;
+use huff::huff_core::histogram;
+use huff::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), HuffError> {
+    let n = 32 << 20; // 32M byte symbols
+    println!("generating {} bytes of enwik-like text...", n);
+    let data = PaperDataset::Enwik8.generate(n, 5);
+    let freqs = histogram::parallel_cpu::histogram(&data, 256, 8);
+    let book = CanonicalCodebook::from_lengths(
+        &huff::huff_core::codebook::multithread::codeword_lengths(&freqs, 4)?,
+    )?;
+
+    let serial = {
+        let t = Instant::now();
+        let s = huff::encode::serial::encode(&data, &book)?;
+        (t.elapsed().as_secs_f64(), s)
+    };
+    println!(
+        "\nserial: {:.1} MB/s, ratio {:.3}x\n",
+        n as f64 / serial.0 / 1e6,
+        serial.1.compression_ratio(8)
+    );
+
+    println!("{:>7} {:>12} {:>12} {:>11}", "threads", "encode MB/s", "speedup", "efficiency");
+    let base = serial.0;
+    let max_threads = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let mut t_count = 1;
+    while t_count <= max_threads {
+        let t = Instant::now();
+        let out = multithread::encode_with_pool(&data, &book, t_count, 1 << 16)?;
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(out.bytes, serial.1.bytes, "multithread output must be bit-identical");
+        let speedup = base / dt;
+        println!(
+            "{:>7} {:>12.1} {:>11.2}x {:>10.2}",
+            t_count,
+            n as f64 / dt / 1e6,
+            speedup,
+            speedup / t_count as f64
+        );
+        t_count *= 2;
+    }
+
+    println!("\n(bit-identical output at every worker count; knee depends on this machine)");
+    Ok(())
+}

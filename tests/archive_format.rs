@@ -1,0 +1,100 @@
+//! Archive container: format stability, corruption resistance, fuzzing.
+
+use huff::huff_core::archive::{self, CompressOptions};
+use huff::prelude::*;
+
+fn sample(n: usize, seed: u64) -> Vec<u16> {
+    PaperDataset::Nci.generate(n, seed)
+}
+
+#[test]
+fn header_layout_is_stable() {
+    let data = sample(10_000, 1);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    assert_eq!(&packed[..4], b"RSH1");
+    assert_eq!(packed[4], 2); // symbol_bytes
+    assert_eq!(packed[5], 10); // magnitude
+    let r = packed[6];
+    assert!(r >= 1 && r < 10);
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    let data = sample(5_000, 2);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    let mut rng = 0x12345u64;
+    for _ in 0..300 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let pos = (rng >> 33) as usize % packed.len();
+        let bit = 1u8 << ((rng >> 29) & 7);
+        let mut corrupt = packed.clone();
+        corrupt[pos] ^= bit;
+        // Must either fail cleanly or decode to *something* — never panic.
+        match archive::decompress(&corrupt) {
+            Ok(out) => {
+                let _ = out.len();
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_rejected() {
+    let mut rng = 7u64;
+    for len in [0usize, 1, 3, 4, 16, 100, 4096] {
+        let garbage: Vec<u8> = (0..len)
+            .map(|_| {
+                rng = rng.wrapping_mul(48271);
+                (rng >> 24) as u8
+            })
+            .collect();
+        assert!(archive::decompress(&garbage).is_err(), "len={len}");
+    }
+}
+
+#[test]
+fn serialize_deserialize_preserves_everything() {
+    let data = sample(60_000, 3);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    let (stream, book, sb) = archive::deserialize(&packed).unwrap();
+    let repacked = archive::serialize(&stream, &book, sb);
+    assert_eq!(packed, repacked, "serialize/deserialize must be a bijection");
+}
+
+#[test]
+fn archive_overhead_is_small() {
+    // Header + codebook lengths + chunk table should be a small fraction
+    // of the payload for MB-scale inputs.
+    let data = sample(1_000_000, 4);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    let payload_bits: u64 = {
+        let (stream, _, _) = archive::deserialize(&packed).unwrap();
+        stream.total_bits
+    };
+    let overhead = packed.len() as f64 - payload_bits as f64 / 8.0;
+    let frac = overhead / packed.len() as f64;
+    assert!(frac < 0.08, "overhead {overhead} of {}", packed.len());
+}
+
+#[test]
+fn breaking_heavy_archive_roundtrips() {
+    // Force breaking units via a deep codebook and bursty data, then make
+    // sure the sidecar survives serialization.
+    let lengths: Vec<u32> = (1..=12).chain([12]).collect();
+    let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
+    let data: Vec<u16> = (0..100_000).map(|i| if i % 512 < 4 { 12u16 } else { 0 }).collect();
+    let stream = huff::encode::reduce_shuffle::encode(
+        &data,
+        &book,
+        MergeConfig::new(8, 4),
+        BreakingStrategy::SparseSidecar,
+    )
+    .unwrap();
+    assert!(!stream.outliers.is_empty());
+    let packed = archive::serialize(&stream, &book, 2);
+    let restored = archive::decompress(&packed).unwrap();
+    assert_eq!(restored, data);
+}

@@ -1,0 +1,108 @@
+//! Differential tests: every parallel implementation against its serial
+//! reference, across sweeps of shapes and sizes.
+
+use huff::huff_core::codebook::{self, multithread};
+use huff::huff_core::histogram;
+use huff::huff_core::tree;
+use huff::Gpu;
+
+fn lcg_freqs(n: usize, seed: u64, max: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) % max + 1
+        })
+        .collect()
+}
+
+#[test]
+fn codebook_constructions_all_optimal() {
+    // serial (heap), parallel (GenerateCL/CW), multithread (two-queue),
+    // GPU-launched parallel and serial: five constructions, one optimum.
+    for (n, seed) in [(64usize, 1u64), (256, 2), (1024, 3), (4096, 4)] {
+        let freqs = lcg_freqs(n, seed, 100_000);
+        let reference = tree::weighted_length(&freqs, &tree::codeword_lengths(&freqs).unwrap());
+
+        let serial = codebook::serial::build(&freqs).unwrap();
+        assert_eq!(tree::weighted_length(&freqs, &serial.lengths()), reference, "serial n={n}");
+
+        let par = codebook::parallel(&freqs, 8).unwrap();
+        assert_eq!(tree::weighted_length(&freqs, &par.lengths()), reference, "parallel n={n}");
+
+        for threads in [1, 4] {
+            let mt = multithread::codeword_lengths(&freqs, threads).unwrap();
+            assert_eq!(tree::weighted_length(&freqs, &mt), reference, "mt{threads} n={n}");
+        }
+
+        let gpu = Gpu::v100();
+        let (gbook, _) = codebook::gpu::parallel_on_gpu(&gpu, &freqs).unwrap();
+        assert_eq!(tree::weighted_length(&freqs, &gbook.lengths()), reference, "gpu n={n}");
+        let (sbook, _) = codebook::gpu::serial_on_gpu(&gpu, &freqs).unwrap();
+        assert_eq!(tree::weighted_length(&freqs, &sbook.lengths()), reference, "gpu-serial n={n}");
+    }
+}
+
+#[test]
+fn parallel_codebook_equals_from_lengths_exactly() {
+    // The parallel builder must be a pure function of the lengths so that
+    // archives reconstruct identical codes.
+    let freqs = lcg_freqs(512, 9, 10_000);
+    let par = codebook::parallel(&freqs, 8).unwrap();
+    let rebuilt = huff::CanonicalCodebook::from_lengths(&par.lengths()).unwrap();
+    assert_eq!(par, rebuilt);
+    let gpu = Gpu::v100();
+    let (gbook, _) = codebook::gpu::parallel_on_gpu(&gpu, &freqs).unwrap();
+    assert_eq!(par, gbook);
+}
+
+#[test]
+fn histograms_agree_across_backends() {
+    let data: Vec<u16> = (0..500_000u64)
+        .map(|i| ((i.wrapping_mul(2654435761) >> 13) % 2048) as u16)
+        .collect();
+    let serial = histogram::serial::histogram(&data, 2048);
+    for threads in [2, 3, 8, 32] {
+        assert_eq!(histogram::parallel_cpu::histogram(&data, 2048, threads), serial);
+    }
+    let gpu = Gpu::rtx5000();
+    assert_eq!(histogram::gpu::histogram(&gpu, &data, 2048, 2), serial);
+}
+
+#[test]
+fn generate_cl_optimal_on_adversarial_shapes() {
+    // Shapes that historically break parallel Huffman constructions.
+    let shapes: Vec<Vec<u64>> = vec![
+        vec![1; 255],                                   // all ties
+        (1..=64u64).map(|i| 1u64 << (i % 40)).collect(), // wild dynamic range
+        vec![1, 1, 1, 1, 1_000_000_000],                // one dominant
+        (1..=100u64).collect(),                         // linear ramp
+        {
+            // Fibonacci: deepest possible tree.
+            let mut v = vec![1u64, 1];
+            for i in 2..40 {
+                let x: u64 = v[i - 1] + v[i - 2];
+                v.push(x);
+            }
+            v
+        },
+    ];
+    for (i, mut freqs) in shapes.into_iter().enumerate() {
+        freqs.sort_unstable();
+        let reference = tree::weighted_length(&freqs, &tree::codeword_lengths(&freqs).unwrap());
+        let (cl, _) = codebook::generate_cl(&freqs, 4);
+        assert_eq!(tree::weighted_length(&freqs, &cl), reference, "shape {i}");
+        assert_eq!(tree::kraft_sum(&cl), 1u128 << 64, "shape {i}");
+    }
+}
+
+#[test]
+fn multithread_encoder_error_and_boundary_behaviour() {
+    let freqs = lcg_freqs(128, 10, 1000);
+    let book = codebook::parallel(&freqs, 4).unwrap();
+    let data: Vec<u16> = (0..10_000).map(|i| (i % 128) as u16).collect();
+    let serial = huff::encode::serial::encode(&data, &book).unwrap();
+    // Chunk size = 1 is the extreme boundary case.
+    let mt = huff::encode::multithread::encode(&data, &book, 4, 1).unwrap();
+    assert_eq!(mt.bytes, serial.bytes);
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the sz-quant lossy pipeline over the Huffman
+//! system — the "emerging application" of Section II-A, end to end.
+
+use huff::sz_quant::compress::{compress, decompress};
+use huff::sz_quant::field::{self, Field3};
+use huff::sz_quant::quantizer::Quantizer;
+
+#[test]
+fn error_bound_holds_across_shapes_and_bounds() {
+    for (nx, ny, nz, seed) in [(64usize, 64usize, 8usize, 1u64), (33, 17, 5, 2), (256, 1, 1, 3)] {
+        let f = field::smooth_cosines(nx, ny, nz, 4, seed);
+        for eb in [0.05f32, 0.002] {
+            let (packed, _) = compress(&f, eb, 1024).unwrap();
+            let back = decompress(&packed).unwrap();
+            assert!(
+                f.max_abs_diff(&back) <= eb + 1e-5,
+                "{nx}x{ny}x{nz} eb={eb}: {}",
+                f.max_abs_diff(&back)
+            );
+            assert_eq!((back.nx, back.ny, back.nz), (nx, ny, nz));
+        }
+    }
+}
+
+#[test]
+fn quantization_codes_feed_large_codebooks() {
+    // The motivating scenario: >256-symbol codebooks. Check the archive's
+    // stored codebook really spans the requested bin count capacity.
+    let f = field::noisy(48, 48, 8, 1.5, 4);
+    for bins in [256usize, 1024, 4096] {
+        let (packed, stats) = compress(&f, 0.0005, bins).unwrap();
+        assert!(stats.ratio > 0.3);
+        let back = decompress(&packed).unwrap();
+        assert!(f.max_abs_diff(&back) <= 0.0005 + 1e-6, "bins={bins}");
+    }
+}
+
+#[test]
+fn smooth_fields_hit_nyx_quant_like_code_statistics() {
+    // The Nyx-Quant column of Table V: sharply peaked codes, ~1-2-bit
+    // Huffman average. Derive codes from a real Lorenzo sweep and check
+    // the histogram statistic the paper reports.
+    let f = field::smooth_cosines(96, 96, 16, 3, 5);
+    let quant = Quantizer::new(0.05, 1024);
+    let mut recon = Field3::zeros(f.nx, f.ny, f.nz);
+    let mut codes = Vec::with_capacity(f.len());
+    for z in 0..f.nz {
+        for y in 0..f.ny {
+            for x in 0..f.nx {
+                let i = f.idx(x, y, z);
+                let pred = huff::sz_quant::predictor::lorenzo3(&recon, x, y, z);
+                match quant.quantize(f.data[i] - pred) {
+                    huff::sz_quant::quantizer::Quantized::Code(c) => {
+                        codes.push(c);
+                        recon.data[i] = pred + quant.dequantize(c);
+                    }
+                    huff::sz_quant::quantizer::Quantized::Unpredictable => {
+                        codes.push(0);
+                        recon.data[i] = f.data[i];
+                    }
+                }
+            }
+        }
+    }
+    let freqs = huff::histogram::serial::histogram(&codes, 1024);
+    let book = huff::codebook::parallel(&freqs, 8).unwrap();
+    let avg = book.average_bitwidth(&freqs);
+    assert!(avg < 3.0, "smooth-field quantization codes should be low-entropy, got {avg:.3} bits");
+}
+
+#[test]
+fn lossy_archive_through_gpu_encoder() {
+    // Full chain: field -> quantization codes -> device reduce-shuffle
+    // encode -> chunked decode -> reconstruction within bound.
+    let f = field::smooth_cosines(64, 64, 4, 4, 6);
+    let eb = 0.01f32;
+    let quant = Quantizer::new(eb, 1024);
+    let mut recon = Field3::zeros(f.nx, f.ny, f.nz);
+    let mut codes = Vec::with_capacity(f.len());
+    let mut outliers = Vec::new();
+    for z in 0..f.nz {
+        for y in 0..f.ny {
+            for x in 0..f.nx {
+                let i = f.idx(x, y, z);
+                let pred = huff::sz_quant::predictor::lorenzo3(&recon, x, y, z);
+                match quant.quantize(f.data[i] - pred) {
+                    huff::sz_quant::quantizer::Quantized::Code(c) => {
+                        codes.push(c);
+                        recon.data[i] = pred + quant.dequantize(c);
+                    }
+                    huff::sz_quant::quantizer::Quantized::Unpredictable => {
+                        codes.push(0);
+                        outliers.push((i, f.data[i]));
+                        recon.data[i] = f.data[i];
+                    }
+                }
+            }
+        }
+    }
+
+    let gpu = huff::Gpu::v100();
+    let (stream, book, _) = huff::pipeline::run(
+        &gpu,
+        &codes,
+        2,
+        1024,
+        10,
+        None,
+        huff::PipelineKind::ReduceShuffle,
+    )
+    .unwrap();
+    let decoded = huff::decode::chunked::decode(&stream, &book).unwrap();
+    assert_eq!(decoded, codes);
+
+    // Replay reconstruction from decoded codes.
+    let mut out = Field3::zeros(f.nx, f.ny, f.nz);
+    let mut outlier_iter = outliers.iter();
+    for z in 0..f.nz {
+        for y in 0..f.ny {
+            for x in 0..f.nx {
+                let i = out.idx(x, y, z);
+                if decoded[i] == 0 {
+                    let &(oi, ov) = outlier_iter.next().unwrap();
+                    assert_eq!(oi, i);
+                    out.data[i] = ov;
+                } else {
+                    let pred = huff::sz_quant::predictor::lorenzo3(&out, x, y, z);
+                    out.data[i] = pred + quant.dequantize(decoded[i]);
+                }
+            }
+        }
+    }
+    assert!(f.max_abs_diff(&out) <= eb + 1e-5);
+}

@@ -1,0 +1,114 @@
+//! Property-based end-to-end tests (proptest): random histograms, random
+//! data, random configurations — the invariants must hold for all of them.
+
+use huff::huff_core::decode;
+use huff::huff_core::encode::{self, BreakingStrategy, MergeConfig};
+use huff::huff_core::{codebook, tree};
+use huff::prelude::*;
+use proptest::prelude::*;
+
+/// Random data paired with a symbol space that covers it.
+fn data_strategy() -> impl Strategy<Value = (Vec<u16>, usize)> {
+    (2usize..200).prop_flat_map(|space| {
+        (proptest::collection::vec(0..space as u16, 1..4000), Just(space))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn archive_roundtrip_any_data((data, space) in data_strategy()) {
+        let packed = compress(&data, &CompressOptions::new(space)).unwrap();
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn reduce_shuffle_roundtrip_any_config(
+        (data, space) in data_strategy(),
+        m in 3u32..12,
+        r_off in 1u32..6,
+    ) {
+        let r = r_off.min(m - 1);
+        let freqs = huff::histogram::serial::histogram(&data, space);
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        let stream = encode::reduce_shuffle::encode(
+            &data, &book, MergeConfig::new(m, r), BreakingStrategy::SparseSidecar,
+        ).unwrap();
+        prop_assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), data);
+    }
+
+    #[test]
+    fn parallel_codebook_always_optimal(
+        freqs in proptest::collection::vec(1u64..1_000_000, 2..400)
+    ) {
+        let reference = tree::weighted_length(&freqs, &tree::codeword_lengths(&freqs).unwrap());
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        prop_assert_eq!(tree::weighted_length(&freqs, &book.lengths()), reference);
+        prop_assert_eq!(tree::kraft_sum(&book.lengths()), 1u128 << 64);
+    }
+
+    #[test]
+    fn codebook_is_prefix_free(
+        freqs in proptest::collection::vec(0u64..1000, 2..150)
+    ) {
+        prop_assume!(freqs.iter().any(|&f| f > 0));
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        let coded: Vec<_> = book.codes().iter().filter(|c| !c.is_empty()).collect();
+        for (i, a) in coded.iter().enumerate() {
+            for (j, b) in coded.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_prefix_of(b), "{} prefixes {}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_length_is_weighted_sum((data, space) in data_strategy()) {
+        let freqs = huff::histogram::serial::histogram(&data, space);
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        let enc = encode::serial::encode(&data, &book).unwrap();
+        let expect: u64 = freqs.iter().enumerate()
+            .map(|(s, &f)| f * u64::from(book.code(s as u16).len()))
+            .sum();
+        prop_assert_eq!(enc.bit_len, expect);
+    }
+
+    #[test]
+    fn multithread_encode_bit_identical(
+        (data, space) in data_strategy(),
+        threads in 1usize..6,
+        chunk in 1usize..500,
+    ) {
+        let freqs = huff::histogram::serial::histogram(&data, space);
+        let book = codebook::parallel(&freqs, 4).unwrap();
+        let serial = encode::serial::encode(&data, &book).unwrap();
+        let mt = encode::multithread::encode(&data, &book, threads, chunk).unwrap();
+        prop_assert_eq!(serial.bytes, mt.bytes);
+        prop_assert_eq!(serial.bit_len, mt.bit_len);
+    }
+
+    #[test]
+    fn merge_operator_equals_bitstream_append(
+        codes in proptest::collection::vec((0u8..30, any::<u64>()), 0..8)
+    ) {
+        use huff::huff_core::bitstream::BitWriter;
+        use huff::huff_core::codeword::{merge_all, Codeword};
+        let codes: Vec<Codeword> = codes.into_iter()
+            .map(|(len, bits)| {
+                let len = u32::from(len);
+                let bits = if len == 0 { 0 } else { bits & ((1u64 << len) - 1) };
+                Codeword::new(bits, len)
+            })
+            .collect();
+        let total: u32 = codes.iter().map(|c| c.len()).sum();
+        prop_assume!(total <= 64);
+        let merged = merge_all(&codes).unwrap();
+        let mut w = BitWriter::new();
+        for c in &codes { w.push_code(*c); }
+        let mut w2 = BitWriter::new();
+        w2.push_code(merged);
+        prop_assert_eq!(w.finish(), w2.finish());
+    }
+}

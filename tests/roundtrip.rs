@@ -1,0 +1,105 @@
+//! End-to-end round trips across every encoder/decoder pairing and every
+//! paper dataset preset.
+
+use huff::huff_core::decode;
+use huff::huff_core::encode::{self, BreakingStrategy, MergeConfig};
+use huff::huff_core::histogram;
+use huff::prelude::*;
+
+fn build(data: &[u16], space: usize) -> CanonicalCodebook {
+    let freqs = histogram::parallel_cpu::histogram(data, space, 4);
+    huff::codebook::parallel(&freqs, 8).unwrap()
+}
+
+#[test]
+fn all_paper_datasets_roundtrip_reduce_shuffle() {
+    for d in PaperDataset::all() {
+        let data = d.generate(200_000, 1);
+        let book = build(&data, d.num_symbols());
+        let cfg = MergeConfig::new(10, d.paper_reduction());
+        let stream =
+            encode::reduce_shuffle::encode(&data, &book, cfg, BreakingStrategy::SparseSidecar)
+                .unwrap();
+        let back = decode::chunked::decode(&stream, &book).unwrap();
+        assert_eq!(back, data, "{}", d.name());
+    }
+}
+
+#[test]
+fn all_paper_datasets_roundtrip_archive() {
+    for d in PaperDataset::all() {
+        let data = d.generate(120_000, 2);
+        let mut opts = CompressOptions::new(d.num_symbols());
+        opts.symbol_bytes = d.symbol_bytes() as u8;
+        let packed = compress(&data, &opts).unwrap();
+        assert_eq!(decompress(&packed).unwrap(), data, "{}", d.name());
+    }
+}
+
+#[test]
+fn serial_multithread_coarse_prefix_sum_agree_bitwise() {
+    let data = PaperDataset::Nci.generate(150_000, 3);
+    let book = build(&data, 256);
+
+    let serial = encode::serial::encode(&data, &book).unwrap();
+    let mt = encode::multithread::encode(&data, &book, 8, 4096).unwrap();
+    let (ps, _) = encode::prefix_sum::encode(&data, &book).unwrap();
+    let coarse = encode::coarse::encode(&data, &book, MergeConfig::new(10, 3)).unwrap();
+    // r = 2 keeps merged units within the 32-bit word on this data, so the
+    // reduce-shuffle stream is bit-identical to the serial one.
+    let rs = encode::reduce_shuffle::encode(
+        &data,
+        &book,
+        MergeConfig::new(10, 2),
+        BreakingStrategy::SparseSidecar,
+    )
+    .unwrap();
+
+    assert_eq!(serial.bytes, mt.bytes);
+    assert_eq!(serial.bytes, ps.bytes);
+    assert_eq!(serial.bytes, coarse.bytes);
+    assert!(rs.outliers.is_empty(), "unexpected breaking at r=2");
+    assert_eq!(serial.bytes, rs.bytes);
+}
+
+#[test]
+fn decoder_variants_agree() {
+    let data = PaperDataset::Mr.generate(80_000, 4);
+    let freqs = histogram::serial::histogram(&data, 256);
+    let book = huff::codebook::parallel(&freqs, 4).unwrap();
+    let enc = encode::serial::encode(&data, &book).unwrap();
+
+    let canonical =
+        decode::canonical::decode(&enc.bytes, enc.bit_len, data.len(), &book).unwrap();
+    assert_eq!(canonical, data);
+    assert!(decode::tree::cross_check(&data, &freqs).unwrap());
+}
+
+#[test]
+fn every_magnitude_reduction_combination_roundtrips() {
+    let data = PaperDataset::NyxQuant.generate(40_000, 5);
+    let book = build(&data, 1024);
+    for m in [6u32, 8, 10, 12] {
+        for r in 1..m.min(6) {
+            let cfg = MergeConfig::new(m, r);
+            for strat in [BreakingStrategy::SparseSidecar, BreakingStrategy::WidenWord] {
+                let stream = encode::reduce_shuffle::encode(&data, &book, cfg, strat).unwrap();
+                let back = decode::chunked::decode(&stream, &book).unwrap();
+                assert_eq!(back, data, "M={m} r={r} {strat:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_ratio_matches_average_bitwidth() {
+    for d in PaperDataset::all() {
+        let data = d.generate(200_000, 6);
+        let freqs = histogram::serial::histogram(&data, d.num_symbols());
+        let book = huff::codebook::parallel(&freqs, 8).unwrap();
+        let avg = book.average_bitwidth(&freqs);
+        let enc = encode::serial::encode(&data, &book).unwrap();
+        let measured_avg = enc.bit_len as f64 / data.len() as f64;
+        assert!((measured_avg - avg).abs() < 1e-9, "{}", d.name());
+    }
+}
