@@ -39,11 +39,7 @@ impl SimClock {
 
     /// Total modeled seconds of kernels whose name contains `pat`.
     pub fn elapsed_matching(&self, pat: &str) -> f64 {
-        self.records
-            .iter()
-            .filter(|r| r.name.contains(pat))
-            .map(|r| r.cost.total)
-            .sum()
+        self.records.iter().filter(|r| r.name.contains(pat)).map(|r| r.cost.total).sum()
     }
 
     /// All records, in launch order.

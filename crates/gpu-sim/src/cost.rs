@@ -85,13 +85,19 @@ pub fn estimate(spec: &DeviceSpec, t: &Traffic, include_launch: bool) -> CostBre
 
     let grid_syncs = t.grid_syncs as f64 * spec.grid_sync_latency;
 
-    let total = launch
-        + grid_syncs
-        + sequential_latency
-        + atomics
-        + memory.max(compute).max(shared);
+    let total =
+        launch + grid_syncs + sequential_latency + atomics + memory.max(compute).max(shared);
 
-    CostBreakdown { launch, memory, compute, shared, atomics, sequential_latency, grid_syncs, total }
+    CostBreakdown {
+        launch,
+        memory,
+        compute,
+        shared,
+        atomics,
+        sequential_latency,
+        grid_syncs,
+        total,
+    }
 }
 
 /// Throughput in bytes/second for processing `input_bytes` of payload in

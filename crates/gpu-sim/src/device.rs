@@ -185,5 +185,4 @@ mod tests {
     fn default_is_v100() {
         assert_eq!(DeviceSpec::default().name, "V100");
     }
-
 }

@@ -52,7 +52,12 @@ impl Gpu {
     /// Launch a kernel: run `body` with a fresh [`KernelScope`], then charge
     /// the modeled time (including one kernel ramp) to the clock. Returns
     /// the body's result.
-    pub fn launch<R>(&self, name: &str, grid: GridDim, body: impl FnOnce(&mut KernelScope) -> R) -> R {
+    pub fn launch<R>(
+        &self,
+        name: &str,
+        grid: GridDim,
+        body: impl FnOnce(&mut KernelScope) -> R,
+    ) -> R {
         assert!(
             grid.threads_per_block <= self.spec.max_threads_per_block,
             "kernel `{name}`: {} threads/block exceeds device limit {}",
@@ -132,7 +137,7 @@ impl<'a> KernelScope<'a> {
     where
         F: Fn(usize) + Sync,
     {
-        (0..n).into_par_iter().for_each(|i| f(i));
+        (0..n).into_par_iter().for_each(f);
         self.traffic.ops(n as u64 * ops_per_item);
         self.traffic.grid_sync();
     }
@@ -281,9 +286,7 @@ mod tests {
     #[test]
     fn sequential_region_charges_latency() {
         let g = gpu();
-        g.launch("serial", GridDim::new(1, 1), |s| {
-            s.sequential(1000, || ())
-        });
+        g.launch("serial", GridDim::new(1, 1), |s| s.sequential(1000, || ()));
         let c = g.clock();
         let rec = &c.records()[0];
         assert!(rec.cost.sequential_latency > 0.0);

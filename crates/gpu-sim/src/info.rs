@@ -93,12 +93,7 @@ pub struct KernelInfo {
 impl KernelInfo {
     /// Render as a fixed-width table row.
     pub fn row(&self) -> String {
-        let gran = self
-            .granularity
-            .iter()
-            .map(|g| g.label())
-            .collect::<Vec<_>>()
-            .join("+");
+        let gran = self.granularity.iter().map(|g| g.label()).collect::<Vec<_>>().join("+");
         format!(
             "{:<14} {:<24} {:<28} {:<12} {:<28} {}",
             self.stage,

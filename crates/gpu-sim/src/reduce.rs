@@ -24,7 +24,11 @@ pub fn max_u32(scope: &mut KernelScope, input: &[u32]) -> u32 {
 
 /// Count elements satisfying `pred` — used for the breaking-point backtrace
 /// (how many merged codewords overflow the representative word).
-pub fn count_where<T: Sync>(scope: &mut KernelScope, input: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize {
+pub fn count_where<T: Sync>(
+    scope: &mut KernelScope,
+    input: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> usize {
     let c = input.par_iter().filter(|x| pred(x)).count();
     account(scope, input.len(), std::mem::size_of::<T>() as u64);
     c

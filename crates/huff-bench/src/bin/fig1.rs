@@ -25,5 +25,7 @@ fn main() {
         let tag = if i == 0 { "lookup ".to_string() } else { format!("iter {i}  ") };
         println!("{tag}[{}]", level.join("] ["));
     }
-    println!("\n(each iteration halves the codeword count; lengths add — MERGE is order-preserving)");
+    println!(
+        "\n(each iteration halves the codeword count; lengths add — MERGE is order-preserving)"
+    );
 }

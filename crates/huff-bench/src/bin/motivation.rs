@@ -14,7 +14,10 @@ fn main() {
     let gpu = Gpu::v100();
     let (_, t) = codebook::gpu::serial_on_gpu(&gpu, &freqs).unwrap();
     println!("MOTIVATION (Section II-C): serial codebook construction on one V100 thread");
-    println!("  8192-symbol codebook: {:.1} ms modeled (paper: ~144 ms naive, 59 ms tuned)", t.total * 1e3);
+    println!(
+        "  8192-symbol codebook: {:.1} ms modeled (paper: ~144 ms naive, 59 ms tuned)",
+        t.total * 1e3
+    );
 
     let gb = 1.0e9;
     let equivalent = gb / t.total / 1e9;
@@ -25,9 +28,5 @@ fn main() {
 
     let gpu2 = Gpu::v100();
     let (_, p) = codebook::gpu::parallel_on_gpu(&gpu2, &freqs).unwrap();
-    println!(
-        "  parallel construction: {:.3} ms ({:.1}x faster)",
-        p.total * 1e3,
-        t.total / p.total
-    );
+    println!("  parallel construction: {:.3} ms ({:.1}x faster)", p.total * 1e3, t.total / p.total);
 }

@@ -44,17 +44,24 @@ fn main() {
     }
     for k in [3usize, 4, 5] {
         let (syms, space) = dna::kmer_dataset(n, k, 44 + k as u64);
-        workloads.push((
-            format!("{k}-MER"),
-            histogram::parallel_cpu::histogram(&syms, space, 8),
-        ));
+        workloads.push((format!("{k}-MER"), histogram::parallel_cpu::histogram(&syms, space, 8)));
     }
 
     println!("TABLE III: codebook construction time (ms), TU = RTX 5000, V = V100\n");
     println!(
         "{:<10} {:>8} | {:>10} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>8}",
-        "workload", "#symbols", "CPU serial", "cusz TU", "cusz V", "canon TU", "canon V",
-        "CL TU", "CL V", "CW TU", "CW V", "speedupV"
+        "workload",
+        "#symbols",
+        "CPU serial",
+        "cusz TU",
+        "cusz V",
+        "canon TU",
+        "canon V",
+        "CL TU",
+        "CL V",
+        "CW TU",
+        "CW V",
+        "speedupV"
     );
 
     for (name, freqs) in workloads {

@@ -33,8 +33,17 @@ fn main() {
     );
     println!(
         "{:<8} {:<10} {:<9} {:>8} {:>9} {:>10} {:>8} {:>10} {:>12} {:>12} {:>13}",
-        "encoder", "dataset", "device", "MB", "avg bits", "breaking%", "#reduce",
-        "hist GB/s", "codebook ms", "encode GB/s", "overall GB/s"
+        "encoder",
+        "dataset",
+        "device",
+        "MB",
+        "avg bits",
+        "breaking%",
+        "#reduce",
+        "hist GB/s",
+        "codebook ms",
+        "encode GB/s",
+        "overall GB/s"
     );
 
     let mut encoders =
@@ -46,9 +55,7 @@ fn main() {
         for d in PaperDataset::all() {
             let n = d.symbols_at_scale(args.scale);
             let data = d.generate(n, 0xD5EA5E);
-            for (dev, make) in
-                [("RTX 5000", Gpu::rtx5000 as fn() -> Gpu), ("V100", Gpu::v100)]
-            {
+            for (dev, make) in [("RTX 5000", Gpu::rtx5000 as fn() -> Gpu), ("V100", Gpu::v100)] {
                 let gpu = make();
                 let (_, _, report) = run(
                     &gpu,

@@ -66,8 +66,12 @@ fn main() {
         };
         println!(
             "{:>6} {:>11.2} {:>12.3} {:>12.2} {:>12.2} {:>13.2}",
-            row.cores, row.hist_gbps, row.codebook_ms, row.encode_gbps,
-            row.parallel_efficiency, row.overall_gbps
+            row.cores,
+            row.hist_gbps,
+            row.codebook_ms,
+            row.encode_gbps,
+            row.parallel_efficiency,
+            row.overall_gbps
         );
         emit_row(&args, "table6", &row);
     }

@@ -3,35 +3,85 @@
 //! ```text
 //! rsh compress   <input> <output> [--symbols u8|u16le] [--bins N]
 //!                                 [--magnitude M] [--reduction R]
-//! rsh decompress <input> <output>
+//! rsh decompress <input> <output> [--best-effort] [--sentinel N]
+//! rsh verify     <archive>
 //! rsh inspect    <archive>
 //! rsh bench      <input> [--symbols u8|u16le] [--bins N]
 //! ```
+//!
+//! Exit codes are distinct and scriptable:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | usage error |
+//! | 2    | I/O error |
+//! | 3    | corrupt archive / failed verification / codec error |
+//! | 4    | best-effort decompression recovered with losses |
+//!
+//! `verify` and a lossy `decompress --best-effort` print a stable,
+//! machine-readable one-line JSON recovery report on stdout.
 
 use huff_core::archive::{self, CompressOptions};
 use huff_core::encode::BreakingStrategy;
+use huff_core::integrity::{DecompressOptions, RecoveryReport};
 use std::process::ExitCode;
 
 mod symbols;
+
+/// A CLI failure, carrying which exit code it maps to.
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments: exit 1.
+    Usage(String),
+    /// Filesystem failure: exit 2.
+    Io(String),
+    /// Damaged or invalid archive / codec failure: exit 3.
+    Corrupt(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Io(_) => 2,
+            CliError::Corrupt(_) => EXIT_CORRUPT,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Corrupt(m) => m,
+        }
+    }
+}
+
+/// Exit code 3: damaged or invalid archive.
+const EXIT_CORRUPT: u8 = 3;
+/// Exit code 4: best-effort decompression succeeded but lost symbols.
+const EXIT_RECOVERED_WITH_LOSSES: u8 = 4;
+
+type CmdResult = Result<u8, CliError>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
-            eprintln!("rsh: {e}");
-            ExitCode::FAILURE
+            eprintln!("rsh: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -39,10 +89,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
-  rsh decompress <input> <output>
+  rsh decompress <input> <output> [--best-effort] [--sentinel N]
+  rsh verify     <archive>
   rsh inspect    <archive>
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
+
+exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";
+
+/// Stable one-line JSON rendering of a recovery report.
+fn report_json(r: &RecoveryReport) -> String {
+    let chunks: Vec<String> = r.damaged_chunks.iter().map(|c| c.to_string()).collect();
+    let ranges: Vec<String> = r.damaged_ranges.iter().map(|(s, e)| format!("[{s},{e}]")).collect();
+    format!(
+        "{{\"report\":\"rsh-recovery\",\"total_chunks\":{},\"damaged_chunks\":[{}],\"damaged_ranges\":[{}],\"symbols_lost\":{}}}",
+        r.total_chunks,
+        chunks.join(","),
+        ranges.join(","),
+        r.symbols_lost,
+    )
+}
 
 #[derive(Debug)]
 struct Flags {
@@ -51,16 +117,21 @@ struct Flags {
     magnitude: u32,
     reduction: Option<u32>,
     widen: bool,
+    best_effort: bool,
+    sentinel: Option<u16>,
     positional: Vec<String>,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let usage = |m: &str| CliError::Usage(m.to_string());
     let mut f = Flags {
         symbols: symbols::SymbolWidth::U8,
         bins: None,
         magnitude: 10,
         reduction: None,
         widen: false,
+        best_effort: false,
+        sentinel: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -70,39 +141,66 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.symbols = match it.next().map(String::as_str) {
                     Some("u8") => symbols::SymbolWidth::U8,
                     Some("u16le") => symbols::SymbolWidth::U16Le,
-                    other => return Err(format!("--symbols needs u8|u16le, got {other:?}")),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--symbols needs u8|u16le, got {other:?}"
+                        )))
+                    }
                 }
             }
             "--bins" => {
                 f.bins = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
-                        .ok_or("--bins needs a number")?,
+                        .ok_or_else(|| usage("--bins needs a number"))?,
                 )
             }
             "--magnitude" => {
-                f.magnitude =
-                    it.next().and_then(|v| v.parse().ok()).ok_or("--magnitude needs a number")?
+                f.magnitude = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage("--magnitude needs a number"))?
             }
             "--reduction" => {
-                f.reduction =
-                    Some(it.next().and_then(|v| v.parse().ok()).ok_or("--reduction needs a number")?)
+                f.reduction = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| usage("--reduction needs a number"))?,
+                )
             }
             "--widen" => f.widen = true,
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            "--best-effort" => f.best_effort = true,
+            "--sentinel" => {
+                f.sentinel = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| usage("--sentinel needs a u16"))?,
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag {other}")))
+            }
             other => f.positional.push(other.to_string()),
         }
     }
     Ok(f)
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
+fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|e| CliError::Io(format!("{path}: {e}")))
+}
+
+fn cmd_compress(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input, output] = f.positional.as_slice() else {
-        return Err("compress needs <input> <output>".into());
+        return Err(CliError::Usage("compress needs <input> <output>".into()));
     };
-    let raw = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let (syms, default_bins) = f.symbols.decode(&raw)?;
+    let raw = read_file(input)?;
+    let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
 
     let mut opts = CompressOptions::new(f.bins.unwrap_or(default_bins));
     opts.magnitude = f.magnitude;
@@ -112,9 +210,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         if f.widen { BreakingStrategy::WidenWord } else { BreakingStrategy::SparseSidecar };
 
     let t = std::time::Instant::now();
-    let packed = archive::compress(&syms, &opts).map_err(|e| e.to_string())?;
+    let packed = archive::compress(&syms, &opts).map_err(|e| CliError::Corrupt(e.to_string()))?;
     let dt = t.elapsed().as_secs_f64();
-    std::fs::write(output, &packed).map_err(|e| format!("{output}: {e}"))?;
+    write_file(output, &packed)?;
     eprintln!(
         "{} -> {} bytes ({:.3}x) in {:.1} ms ({:.1} MB/s)",
         raw.len(),
@@ -123,59 +221,127 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
         dt * 1e3,
         raw.len() as f64 / dt / 1e6,
     );
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_decompress(args: &[String]) -> Result<(), String> {
+fn cmd_decompress(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input, output] = f.positional.as_slice() else {
-        return Err("decompress needs <input> <output>".into());
+        return Err(CliError::Usage("decompress needs <input> <output>".into()));
     };
-    let packed = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let (_, _, symbol_bytes) = archive::deserialize(&packed).map_err(|e| e.to_string())?;
-    let syms = archive::decompress(&packed).map_err(|e| e.to_string())?;
-    let raw = symbols::SymbolWidth::from_bytes(symbol_bytes)?.encode(&syms);
-    std::fs::write(output, &raw).map_err(|e| format!("{output}: {e}"))?;
+    let packed = read_file(input)?;
+    let mut opts =
+        if f.best_effort { DecompressOptions::best_effort() } else { DecompressOptions::strict() };
+    if let Some(s) = f.sentinel {
+        opts.sentinel = s;
+    }
+    let symbol_bytes = archive::deserialize_with(&packed, &opts)
+        .map_err(|e| CliError::Corrupt(e.to_string()))?
+        .symbol_bytes;
+    let rec =
+        archive::decompress_with(&packed, &opts).map_err(|e| CliError::Corrupt(e.to_string()))?;
+    let raw = symbols::SymbolWidth::from_bytes(symbol_bytes)
+        .map_err(CliError::Corrupt)?
+        .encode(&rec.symbols);
+    write_file(output, &raw)?;
     eprintln!("{} -> {} bytes", packed.len(), raw.len());
-    Ok(())
+    if rec.report.is_clean() {
+        Ok(0)
+    } else {
+        println!("{}", report_json(&rec.report));
+        eprintln!(
+            "rsh: recovered with losses: {} of {} chunks damaged, {} symbols lost",
+            rec.report.damaged_chunks.len(),
+            rec.report.total_chunks,
+            rec.report.symbols_lost,
+        );
+        Ok(EXIT_RECOVERED_WITH_LOSSES)
+    }
 }
 
-fn cmd_inspect(args: &[String]) -> Result<(), String> {
+fn cmd_verify(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input] = f.positional.as_slice() else {
-        return Err("inspect needs <archive>".into());
+        return Err(CliError::Usage("verify needs <archive>".into()));
     };
-    let packed = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let packed = read_file(input)?;
+    let report = archive::verify(&packed).map_err(|e| CliError::Corrupt(e.to_string()))?;
+    println!("{}", report_json(&report));
+    if report.is_clean() {
+        eprintln!("rsh: {input}: ok ({} chunks)", report.total_chunks);
+        Ok(0)
+    } else {
+        eprintln!(
+            "rsh: {input}: {} of {} chunks damaged, {} symbols unrecoverable",
+            report.damaged_chunks.len(),
+            report.total_chunks,
+            report.symbols_lost,
+        );
+        Ok(EXIT_CORRUPT)
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> CmdResult {
+    let f = parse_flags(args)?;
+    let [input] = f.positional.as_slice() else {
+        return Err(CliError::Usage("inspect needs <archive>".into()));
+    };
+    let packed = read_file(input)?;
     let (stream, book, symbol_bytes) =
-        archive::deserialize(&packed).map_err(|e| e.to_string())?;
+        archive::deserialize(&packed).map_err(|e| CliError::Corrupt(e.to_string()))?;
     println!("archive          {} bytes", packed.len());
     println!("symbols          {} ({}-byte native width)", stream.num_symbols, symbol_bytes);
-    println!("codebook         {} / {} coded symbols, H = {}", book.coded_symbols(), book.num_symbols(), book.max_len());
-    println!("chunks           {} x 2^{} symbols, reduction 2^{}", stream.num_chunks(), stream.config.magnitude, stream.config.reduction);
-    println!("payload          {} bits ({} bytes)", stream.total_bits, stream.total_bits.div_ceil(8));
-    println!("breaking units   {} ({:.6}% of symbols)", stream.outliers.num_units(), stream.breaking_fraction() * 100.0);
+    println!(
+        "codebook         {} / {} coded symbols, H = {}",
+        book.coded_symbols(),
+        book.num_symbols(),
+        book.max_len()
+    );
+    println!(
+        "chunks           {} x 2^{} symbols, reduction 2^{}",
+        stream.num_chunks(),
+        stream.config.magnitude,
+        stream.config.reduction
+    );
+    println!(
+        "payload          {} bits ({} bytes)",
+        stream.total_bits,
+        stream.total_bits.div_ceil(8)
+    );
+    println!(
+        "breaking units   {} ({:.6}% of symbols)",
+        stream.outliers.num_units(),
+        stream.breaking_fraction() * 100.0
+    );
     println!("ratio            {:.3}x", stream.compression_ratio(u32::from(symbol_bytes) * 8));
-    Ok(())
+    Ok(0)
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input] = f.positional.as_slice() else {
-        return Err("bench needs <input>".into());
+        return Err(CliError::Usage("bench needs <input>".into()));
     };
-    let raw = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let (syms, default_bins) = f.symbols.decode(&raw)?;
+    let raw = read_file(input)?;
+    let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
     let bins = f.bins.unwrap_or(default_bins);
 
     let freqs = huff_core::histogram::parallel_cpu::histogram(&syms, bins, 8);
-    let book = huff_core::build_codebook(&freqs, 16).map_err(|e| e.to_string())?;
+    let book =
+        huff_core::build_codebook(&freqs, 16).map_err(|e| CliError::Corrupt(e.to_string()))?;
     let cfg = huff_core::MergeConfig::auto::<u32>(10, &freqs, &book);
-    println!("{} bytes, {} bins, avg {:.4} bits, auto r = {}", raw.len(), bins, book.average_bitwidth(&freqs), cfg.reduction);
+    println!(
+        "{} bytes, {} bins, avg {:.4} bits, auto r = {}",
+        raw.len(),
+        bins,
+        book.average_bitwidth(&freqs),
+        cfg.reduction
+    );
 
     let mb = raw.len() as f64 / 1e6;
-    let run = |name: &str, f: &mut dyn FnMut() -> Result<(), String>| -> Result<(), String> {
+    let run = |name: &str, f: &mut dyn FnMut() -> Result<(), String>| -> Result<(), CliError> {
         let t = std::time::Instant::now();
-        f()?;
+        f().map_err(CliError::Corrupt)?;
         println!("{name:<22} {:8.1} MB/s (host wall clock)", mb / t.elapsed().as_secs_f64());
         Ok(())
     };
@@ -208,13 +374,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         cfg,
         BreakingStrategy::SparseSidecar,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Corrupt(e.to_string()))?;
     println!(
         "{:<22} {:8.1} GB/s (modeled V100)",
         "reduce-shuffle (V100)",
         raw.len() as f64 / times.total / 1e9
     );
-    Ok(())
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -232,10 +398,11 @@ mod tests {
         let f = parse_flags(&[]).unwrap();
         assert_eq!(f.magnitude, 10);
         assert!(f.reduction.is_none());
-        let args: Vec<String> = ["--symbols", "u16le", "--bins", "512", "--reduction", "2", "in", "out"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--symbols", "u16le", "--bins", "512", "--reduction", "2", "in", "out"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let f = parse_flags(&args).unwrap();
         assert_eq!(f.symbols, symbols::SymbolWidth::U16Le);
         assert_eq!(f.bins, Some(512));
@@ -258,7 +425,7 @@ mod tests {
         std::fs::write(&input, &payload).unwrap();
 
         cmd_compress(&[input.clone(), packed.clone()].map(String::from)).unwrap();
-        cmd_inspect(&[packed.clone()]).unwrap();
+        cmd_inspect(std::slice::from_ref(&packed)).unwrap();
         cmd_decompress(&[packed, restored.clone()]).unwrap();
         assert_eq!(std::fs::read(&restored).unwrap(), payload);
     }
@@ -272,8 +439,14 @@ mod tests {
             (0..30_000u32).flat_map(|i| ((i % 900) as u16).to_le_bytes()).collect();
         std::fs::write(&input, &payload).unwrap();
 
-        let args: Vec<String> =
-            vec![input, packed.clone(), "--symbols".into(), "u16le".into(), "--reduction".into(), "2".into()];
+        let args: Vec<String> = vec![
+            input,
+            packed.clone(),
+            "--symbols".into(),
+            "u16le".into(),
+            "--reduction".into(),
+            "2".into(),
+        ];
         cmd_compress(&args).unwrap();
         cmd_decompress(&[packed, restored.clone()]).unwrap();
         assert_eq!(std::fs::read(&restored).unwrap(), payload);
@@ -282,8 +455,90 @@ mod tests {
     #[test]
     fn missing_file_errors_cleanly() {
         let r = cmd_compress(&["/nonexistent/x".to_string(), tmp("y")]);
-        assert!(r.is_err());
+        assert!(matches!(r, Err(CliError::Io(_))));
         let r = cmd_inspect(&["/nonexistent/x".to_string()]);
-        assert!(r.is_err());
+        assert!(matches!(r, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn exit_code_mapping() {
+        assert_eq!(CliError::Usage(String::new()).exit_code(), 1);
+        assert_eq!(CliError::Io(String::new()).exit_code(), 2);
+        assert_eq!(CliError::Corrupt(String::new()).exit_code(), 3);
+    }
+
+    #[test]
+    fn parse_flags_recovery_options() {
+        let args: Vec<String> =
+            ["--best-effort", "--sentinel", "0", "a", "b"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(f.best_effort);
+        assert_eq!(f.sentinel, Some(0));
+        assert!(matches!(
+            parse_flags(&["--sentinel".to_string(), "70000".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let r = RecoveryReport {
+            total_chunks: 8,
+            damaged_chunks: vec![1, 5],
+            damaged_ranges: vec![(1024, 2048), (5120, 6144)],
+            symbols_lost: 2048,
+        };
+        assert_eq!(
+            report_json(&r),
+            "{\"report\":\"rsh-recovery\",\"total_chunks\":8,\"damaged_chunks\":[1,5],\
+             \"damaged_ranges\":[[1024,2048],[5120,6144]],\"symbols_lost\":2048}"
+        );
+        let clean = RecoveryReport::clean(3);
+        assert_eq!(
+            report_json(&clean),
+            "{\"report\":\"rsh-recovery\",\"total_chunks\":3,\"damaged_chunks\":[],\
+             \"damaged_ranges\":[],\"symbols_lost\":0}"
+        );
+    }
+
+    #[test]
+    fn verify_and_best_effort_exit_codes() {
+        let input = tmp("vin.bin");
+        let packed = tmp("vout.rsh");
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 83) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        assert_eq!(cmd_compress(&[input.clone(), packed.clone()].map(String::from)).unwrap(), 0);
+
+        // Clean archive verifies with exit 0.
+        assert_eq!(cmd_verify(std::slice::from_ref(&packed)).unwrap(), 0);
+
+        // Damage one payload byte.
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let sections = archive::layout(&bytes).unwrap();
+        let (_, range) = sections
+            .iter()
+            .find(|(s, _)| *s == huff_core::integrity::Section::Payload)
+            .unwrap()
+            .clone();
+        bytes[range.start + range.len() / 2] ^= 0x40;
+        let damaged = tmp("vdamaged.rsh");
+        std::fs::write(&damaged, &bytes).unwrap();
+
+        // verify: exit 3. strict decompress: typed corrupt error (3).
+        assert_eq!(cmd_verify(std::slice::from_ref(&damaged)).unwrap(), EXIT_CORRUPT);
+        let restored = tmp("vrestored.bin");
+        let r = cmd_decompress(&[damaged.clone(), restored.clone()].map(String::from));
+        assert!(matches!(r, Err(CliError::Corrupt(_))));
+
+        // best-effort: exit 4, output same length as the original.
+        let args: Vec<String> = vec![
+            damaged,
+            restored.clone(),
+            "--best-effort".into(),
+            "--sentinel".into(),
+            "0".into(),
+        ];
+        assert_eq!(cmd_decompress(&args).unwrap(), EXIT_RECOVERED_WITH_LOSSES);
+        assert_eq!(std::fs::read(&restored).unwrap().len(), payload.len());
     }
 }

@@ -32,7 +32,7 @@ impl SymbolWidth {
         match self {
             SymbolWidth::U8 => Ok((raw.iter().map(|&b| u16::from(b)).collect(), 256)),
             SymbolWidth::U16Le => {
-                if raw.len() % 2 != 0 {
+                if !raw.len().is_multiple_of(2) {
                     return Err("u16le input must have even length".into());
                 }
                 let syms: Vec<u16> =

@@ -6,25 +6,46 @@
 //! deterministically on decode ([`CanonicalCodebook::from_lengths`]), which
 //! is one of the practical payoffs of canonization the paper highlights.
 //!
-//! Layout (little-endian):
+//! Current layout, version 2 (little-endian):
 //!
 //! ```text
-//! magic "RSH1" | symbol_bytes u8 | magnitude u8 | reduction u8 | pad u8
+//! magic "RSH2" | symbol_bytes u8 | magnitude u8 | reduction u8 | pad u8
 //! num_symbols u64 | codebook_len u32 | lengths u8 × codebook_len
 //! num_chunks u32 | chunk_bit_lens u64 × num_chunks
 //! outlier_units u32 | { unit_index u64, count u16, symbols u16 × count }*
-//! total_bits u64 | payload bytes
+//! total_bits u64
+//! chunk_crcs u32 × num_chunks   CRC32 of each chunk's payload byte span
+//! header_crc u32                CRC32 of every byte preceding this field
+//! payload bytes
 //! ```
+//!
+//! A chunk's *payload byte span* is `floor(off/8) .. ceil((off+len)/8)` of
+//! the payload, where `off`/`len` are its bit offset and bit length — the
+//! bytes a decoder must read to decode the chunk. Adjacent chunks share a
+//! boundary byte, so one damaged byte can (conservatively) fail two chunk
+//! checksums. The header CRC covers everything before it, including the
+//! chunk CRC table: header damage is always fatal, because the codebook
+//! and chunk offsets are required to decode anything.
+//!
+//! Version 1 (`RSH1`, the original format) is identical minus the two
+//! checksum fields. [`deserialize`] reads both versions; [`serialize`]
+//! writes version 2; [`serialize_v1`] is kept for compatibility testing
+//! and interop with older readers.
 
 use crate::codebook::{self, CanonicalCodebook};
 use crate::decode;
 use crate::encode::{self, BreakingStrategy, ChunkedStream, MergeConfig};
 use crate::error::{HuffError, Result};
 use crate::histogram;
+use crate::integrity::{
+    crc32, DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify,
+};
 use crate::sparse::SparseOutliers;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::ops::Range;
 
-const MAGIC: &[u8; 4] = b"RSH1";
+const MAGIC_V1: &[u8; 4] = b"RSH1";
+const MAGIC_V2: &[u8; 4] = b"RSH2";
 
 /// Options for [`compress`].
 #[derive(Debug, Clone, Copy)]
@@ -57,7 +78,8 @@ impl CompressOptions {
 
 /// Compress `symbols` into a self-contained archive.
 pub fn compress(symbols: &[u16], opts: &CompressOptions) -> Result<Vec<u8>> {
-    let freqs = histogram::parallel_cpu::histogram(symbols, opts.num_symbols, rayon::current_num_threads());
+    let freqs =
+        histogram::parallel_cpu::histogram(symbols, opts.num_symbols, rayon::current_num_threads());
     let book = codebook::parallel(&freqs, 16)?;
     let config = match opts.reduction {
         Some(r) => MergeConfig::new(opts.magnitude, r),
@@ -68,15 +90,111 @@ pub fn compress(symbols: &[u16], opts: &CompressOptions) -> Result<Vec<u8>> {
 }
 
 /// Decompress an archive produced by [`compress`].
+///
+/// Equivalent to [`decompress_with`] under the default
+/// [`DecompressOptions`]: full verification, strict mode.
 pub fn decompress(archive: &[u8]) -> Result<Vec<u16>> {
-    let (stream, book, _symbol_bytes) = deserialize(archive)?;
-    decode::chunked::decode(&stream, &book)
+    Ok(decompress_with(archive, &DecompressOptions::default())?.symbols)
 }
 
-/// Serialize a chunked stream + codebook into the container format.
+/// Decompress under an explicit verification and recovery policy.
+///
+/// In [`RecoveryMode::Strict`] the first failed check aborts with a typed
+/// error; the returned report is clean. In [`RecoveryMode::BestEffort`]
+/// every chunk whose checksum passes (and whose decode succeeds) is
+/// recovered, damaged regions are filled with `opts.sentinel`, and the
+/// report lists what was lost. Header damage is fatal in both modes.
+pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
+    let parsed = deserialize_with(archive, opts)?;
+    match opts.mode {
+        RecoveryMode::Strict => {
+            let symbols = decode::chunked::decode(&parsed.stream, &parsed.book)?;
+            let report = RecoveryReport::clean(parsed.stream.num_chunks());
+            Ok(Recovered { symbols, report })
+        }
+        RecoveryMode::BestEffort => {
+            let (symbols, report) = decode::chunked::decode_best_effort(
+                &parsed.stream,
+                &parsed.book,
+                &parsed.chunk_damage,
+                opts.sentinel,
+            );
+            Ok(Recovered { symbols, report })
+        }
+    }
+}
+
+/// Check an archive's checksums without decoding the payload.
+///
+/// Fails with a typed error when the archive is structurally invalid or
+/// its header checksum does not match. Otherwise returns a report whose
+/// `damaged_chunks` lists every chunk with a failing payload checksum
+/// (with the symbol ranges that would be lost to best-effort recovery).
+/// RSH1 archives carry no checksums, so they verify clean whenever they
+/// parse.
+pub fn verify(archive: &[u8]) -> Result<RecoveryReport> {
+    let opts = DecompressOptions { mode: RecoveryMode::BestEffort, ..Default::default() };
+    let parsed = deserialize_with(archive, &opts)?;
+    Ok(decode::chunked::damage_report(&parsed.stream, &parsed.chunk_damage))
+}
+
+/// A fully parsed archive plus per-chunk verification results.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The chunked payload and its metadata.
+    pub stream: ChunkedStream,
+    /// The reconstructed canonical codebook.
+    pub book: CanonicalCodebook,
+    /// Native symbol width recorded in the header.
+    pub symbol_bytes: u8,
+    /// Container version (1 or 2).
+    pub version: u8,
+    /// `chunk_damage[ci]` is true when chunk `ci` failed its payload
+    /// checksum or lies beyond a truncated payload. All-false for RSH1
+    /// archives and under [`Verify::None`] / [`Verify::HeadersOnly`].
+    pub chunk_damage: Vec<bool>,
+}
+
+/// Serialize a chunked stream + codebook into the current (RSH2)
+/// container format, including checksums.
 pub fn serialize(stream: &ChunkedStream, book: &CanonicalCodebook, symbol_bytes: u8) -> Vec<u8> {
+    let mut buf = header_bytes(MAGIC_V2, stream, book, symbol_bytes);
+    for ci in 0..stream.num_chunks() {
+        let span = chunk_byte_span(stream.chunk_bit_offsets[ci], stream.chunk_bit_lens[ci]);
+        buf.put_u32_le(crc32(&stream.bytes[span]));
+    }
+    let header_crc = crc32(&buf);
+    buf.put_u32_le(header_crc);
+    buf.put_slice(&stream.bytes);
+    buf.to_vec()
+}
+
+/// Serialize into the legacy RSH1 container (no checksums). Kept so the
+/// compatibility path stays testable; new archives should use
+/// [`serialize`].
+pub fn serialize_v1(stream: &ChunkedStream, book: &CanonicalCodebook, symbol_bytes: u8) -> Vec<u8> {
+    let mut buf = header_bytes(MAGIC_V1, stream, book, symbol_bytes);
+    buf.put_slice(&stream.bytes);
+    buf.to_vec()
+}
+
+/// The byte span of the payload a chunk's bits occupy.
+fn chunk_byte_span(bit_offset: u64, bit_len: u64) -> Range<usize> {
+    let start = (bit_offset / 8) as usize;
+    let end = ((bit_offset + bit_len).div_ceil(8)) as usize;
+    start..end.max(start)
+}
+
+/// Everything up to (not including) the checksum fields — shared between
+/// both container versions.
+fn header_bytes(
+    magic: &[u8; 4],
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    symbol_bytes: u8,
+) -> BytesMut {
     let mut buf = BytesMut::with_capacity(stream.bytes.len() + book.num_symbols() + 64);
-    buf.put_slice(MAGIC);
+    buf.put_slice(magic);
     buf.put_u8(symbol_bytes);
     buf.put_u8(stream.config.magnitude as u8);
     buf.put_u8(stream.config.reduction as u8);
@@ -105,49 +223,83 @@ pub fn serialize(stream: &ChunkedStream, book: &CanonicalCodebook, symbol_bytes:
     }
 
     buf.put_u64_le(stream.total_bits);
-    buf.put_slice(&stream.bytes);
-    buf.to_vec()
+    buf
 }
 
-/// Parse the container format back into a stream + codebook.
+/// Parse the container format back into a stream + codebook, verifying
+/// fully and strictly (see [`deserialize_with`] for policy control).
 pub fn deserialize(archive: &[u8]) -> Result<(ChunkedStream, CanonicalCodebook, u8)> {
+    let p = deserialize_with(archive, &DecompressOptions::default())?;
+    Ok((p.stream, p.book, p.symbol_bytes))
+}
+
+fn bad(msg: impl Into<String>) -> HuffError {
+    HuffError::BadArchive(msg.into())
+}
+
+/// Parse the container under an explicit verification policy.
+///
+/// Structural damage (bad magic, truncated or inconsistent header) and —
+/// unless `opts.verify` is [`Verify::None`] — a header checksum mismatch
+/// are errors in every mode. Per-chunk payload checksums are checked
+/// under [`Verify::Full`]: in strict mode the first mismatch is an
+/// error; in best-effort mode failures are recorded in
+/// [`Parsed::chunk_damage`] instead. A truncated *payload* is an error
+/// in strict mode; in best-effort mode the missing tail chunks are
+/// marked damaged.
+pub fn deserialize_with(archive: &[u8], opts: &DecompressOptions) -> Result<Parsed> {
     let mut buf = Bytes::copy_from_slice(archive);
     let need = |buf: &Bytes, n: usize| -> Result<()> {
         if buf.remaining() < n {
-            Err(HuffError::BadArchive(format!("truncated: need {n} more bytes")))
+            Err(bad(format!("truncated: need {n} more bytes")))
         } else {
             Ok(())
         }
     };
+    // Offset of the next unread byte within `archive`.
+    let pos = |buf: &Bytes| archive.len() - buf.remaining();
 
     need(&buf, 16)?;
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(HuffError::BadArchive("bad magic".into()));
-    }
+    let version: u8 = match &magic {
+        m if m == MAGIC_V1 => 1,
+        m if m == MAGIC_V2 => 2,
+        _ => return Err(bad("bad magic")),
+    };
     let symbol_bytes = buf.get_u8();
     let magnitude = u32::from(buf.get_u8());
     let reduction = u32::from(buf.get_u8());
     let _pad = buf.get_u8();
-    if magnitude < 2 || magnitude > 24 || reduction == 0 || reduction >= magnitude {
-        return Err(HuffError::BadArchive(format!("bad config M={magnitude} r={reduction}")));
+    if !(2..=24).contains(&magnitude) || reduction == 0 || reduction >= magnitude {
+        return Err(bad(format!("bad config M={magnitude} r={reduction}")));
     }
-    let num_symbols = buf.get_u64_le() as usize;
+    let num_symbols_u64 = buf.get_u64_le();
+    let num_symbols: usize =
+        num_symbols_u64.try_into().map_err(|_| bad("symbol count exceeds address space"))?;
+    let config = MergeConfig::new(magnitude, reduction);
 
     need(&buf, 4)?;
     let cb_len = buf.get_u32_le() as usize;
     need(&buf, cb_len)?;
+    // `need` bounds cb_len by the remaining buffer, so the allocation is
+    // capped by the archive's own size.
     let mut lengths = Vec::with_capacity(cb_len);
     for _ in 0..cb_len {
         lengths.push(u32::from(buf.get_u8()));
     }
-    let book = CanonicalCodebook::from_lengths(&lengths)
-        .map_err(|e| HuffError::BadArchive(format!("codebook: {e}")))?;
+    let book =
+        CanonicalCodebook::from_lengths(&lengths).map_err(|e| bad(format!("codebook: {e}")))?;
 
     need(&buf, 4)?;
     let n_chunks = buf.get_u32_le() as usize;
-    need(&buf, n_chunks * 8)?;
+    let chunk_table_bytes =
+        n_chunks.checked_mul(8).ok_or_else(|| bad("chunk table size overflow"))?;
+    need(&buf, chunk_table_bytes)?;
+    let expected_chunks = num_symbols.div_ceil(config.chunk_symbols());
+    if n_chunks != expected_chunks {
+        return Err(bad(format!("chunk count {n_chunks} inconsistent with {num_symbols} symbols")));
+    }
     let mut chunk_bit_lens = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
         chunk_bit_lens.push(buf.get_u64_le());
@@ -156,22 +308,33 @@ pub fn deserialize(archive: &[u8]) -> Result<(ChunkedStream, CanonicalCodebook, 
     let mut acc = 0u64;
     for &l in &chunk_bit_lens {
         chunk_bit_offsets.push(acc);
-        acc += l;
+        acc = acc.checked_add(l).ok_or_else(|| bad("chunk bit lengths overflow"))?;
     }
 
     need(&buf, 4)?;
     let n_outliers = buf.get_u32_le() as usize;
+    let unit_syms = config.unit_symbols().max(1);
     let mut outliers = SparseOutliers::new();
     let mut last_idx: Option<u64> = None;
     for _ in 0..n_outliers {
         need(&buf, 10)?;
         let idx = buf.get_u64_le();
         if last_idx.is_some_and(|l| idx <= l) {
-            return Err(HuffError::BadArchive("outlier units out of order".into()));
+            return Err(bad("outlier units out of order"));
         }
         last_idx = Some(idx);
         let count = buf.get_u16_le() as usize;
-        need(&buf, count * 2)?;
+        let unit_base = (idx as usize)
+            .checked_mul(unit_syms)
+            .filter(|&b| b < num_symbols)
+            .ok_or_else(|| bad(format!("outlier unit {idx} beyond {num_symbols} symbols")))?;
+        let expected = unit_syms.min(num_symbols - unit_base);
+        if count != expected {
+            return Err(bad(format!(
+                "outlier unit {idx} stores {count} symbols, unit holds {expected}"
+            )));
+        }
+        need(&buf, count.checked_mul(2).ok_or_else(|| bad("outlier size overflow"))?)?;
         let syms: Vec<u16> = (0..count).map(|_| buf.get_u16_le()).collect();
         outliers.push(idx, &syms);
     }
@@ -179,24 +342,80 @@ pub fn deserialize(archive: &[u8]) -> Result<(ChunkedStream, CanonicalCodebook, 
     need(&buf, 8)?;
     let total_bits = buf.get_u64_le();
     if total_bits != acc {
-        return Err(HuffError::BadArchive(format!(
-            "payload length mismatch: header {total_bits}, chunks {acc}"
-        )));
+        return Err(bad(format!("payload length mismatch: header {total_bits}, chunks {acc}")));
     }
+
+    // Version 2: chunk CRC table + header CRC, then the payload.
+    let mut chunk_crcs: Option<Vec<u32>> = None;
+    if version == 2 {
+        let crc_table_bytes =
+            n_chunks.checked_mul(4).ok_or_else(|| bad("checksum table size overflow"))?;
+        need(&buf, crc_table_bytes + 4)?;
+        let mut crcs = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            crcs.push(buf.get_u32_le());
+        }
+        let header_end = pos(&buf);
+        let stored_header_crc = buf.get_u32_le();
+        if opts.verify != Verify::None {
+            let got = crc32(&archive[..header_end]);
+            if got != stored_header_crc {
+                return Err(HuffError::ChecksumMismatch {
+                    section: Section::Header,
+                    chunk: None,
+                    expected: stored_header_crc,
+                    got,
+                });
+            }
+        }
+        chunk_crcs = Some(crcs);
+    }
+
     let payload_bytes = (total_bits as usize).div_ceil(8);
-    need(&buf, payload_bytes)?;
-    let bytes = buf.copy_to_bytes(payload_bytes).to_vec();
-
-    let config = MergeConfig::new(magnitude, reduction);
-    let expected_chunks = num_symbols.div_ceil(config.chunk_symbols());
-    if n_chunks != expected_chunks {
-        return Err(HuffError::BadArchive(format!(
-            "chunk count {n_chunks} inconsistent with {num_symbols} symbols"
-        )));
+    let best_effort = opts.mode == RecoveryMode::BestEffort;
+    if !best_effort {
+        need(&buf, payload_bytes)?;
+    }
+    let avail = payload_bytes.min(buf.remaining());
+    let mut bytes = buf.copy_to_bytes(avail).to_vec();
+    let truncated = avail < payload_bytes;
+    if truncated {
+        bytes.resize(payload_bytes, 0);
     }
 
-    Ok((
-        ChunkedStream {
+    // Per-chunk verification.
+    let mut chunk_damage = vec![false; n_chunks];
+    if version == 2 && opts.verify == Verify::Full {
+        let crcs = chunk_crcs.as_ref().expect("v2 always has chunk crcs");
+        for ci in 0..n_chunks {
+            let span = chunk_byte_span(chunk_bit_offsets[ci], chunk_bit_lens[ci]);
+            let damaged = span.end > avail || crc32(&bytes[span]) != crcs[ci];
+            if damaged {
+                if !best_effort {
+                    let span = chunk_byte_span(chunk_bit_offsets[ci], chunk_bit_lens[ci]);
+                    return Err(HuffError::ChecksumMismatch {
+                        section: Section::Payload,
+                        chunk: Some(ci as u32),
+                        expected: crcs[ci],
+                        got: crc32(&bytes[span]),
+                    });
+                }
+                chunk_damage[ci] = true;
+            }
+        }
+    } else if truncated {
+        // Best-effort without chunk checksums: anything touching the
+        // missing tail is damaged.
+        for ci in 0..n_chunks {
+            let span = chunk_byte_span(chunk_bit_offsets[ci], chunk_bit_lens[ci]);
+            if span.end > avail {
+                chunk_damage[ci] = true;
+            }
+        }
+    }
+
+    Ok(Parsed {
+        stream: ChunkedStream {
             config,
             bytes,
             chunk_bit_lens,
@@ -207,7 +426,83 @@ pub fn deserialize(archive: &[u8]) -> Result<(ChunkedStream, CanonicalCodebook, 
         },
         book,
         symbol_bytes,
-    ))
+        version,
+        chunk_damage,
+    })
+}
+
+/// Map an archive's bytes to container sections.
+///
+/// Walks the structure without building a codebook or verifying
+/// checksums; used by the fault-injection harness to aim faults at
+/// specific sections. The returned ranges tile `[0, archive.len())` in
+/// order. Fails on archives too malformed to walk.
+pub fn layout(archive: &[u8]) -> Result<Vec<(Section, Range<usize>)>> {
+    let mut buf = Bytes::copy_from_slice(archive);
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(bad(format!("truncated: need {n} more bytes")))
+        } else {
+            Ok(())
+        }
+    };
+    let pos = |buf: &Bytes| archive.len() - buf.remaining();
+
+    need(&buf, 16)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    let version: u8 = match &magic {
+        m if m == MAGIC_V1 => 1,
+        m if m == MAGIC_V2 => 2,
+        _ => return Err(bad("bad magic")),
+    };
+    let mut sections = vec![(Section::Magic, 0..4)];
+    buf.advance(12); // symbol_bytes, magnitude, reduction, pad, num_symbols
+    sections.push((Section::Config, 4..16));
+
+    let start = pos(&buf);
+    need(&buf, 4)?;
+    let cb_len = buf.get_u32_le() as usize;
+    need(&buf, cb_len)?;
+    buf.advance(cb_len);
+    sections.push((Section::Codebook, start..pos(&buf)));
+
+    let start = pos(&buf);
+    need(&buf, 4)?;
+    let n_chunks = buf.get_u32_le() as usize;
+    let table = n_chunks.checked_mul(8).ok_or_else(|| bad("chunk table size overflow"))?;
+    need(&buf, table)?;
+    buf.advance(table);
+    sections.push((Section::ChunkTable, start..pos(&buf)));
+
+    let start = pos(&buf);
+    need(&buf, 4)?;
+    let n_outliers = buf.get_u32_le() as usize;
+    for _ in 0..n_outliers {
+        need(&buf, 10)?;
+        buf.advance(8);
+        let count = buf.get_u16_le() as usize;
+        let n = count.checked_mul(2).ok_or_else(|| bad("outlier size overflow"))?;
+        need(&buf, n)?;
+        buf.advance(n);
+    }
+    sections.push((Section::Outliers, start..pos(&buf)));
+
+    let start = pos(&buf);
+    need(&buf, 8)?;
+    buf.advance(8);
+    sections.push((Section::TotalBits, start..pos(&buf)));
+
+    if version == 2 {
+        let start = pos(&buf);
+        let table = n_chunks.checked_mul(4).ok_or_else(|| bad("checksum table size overflow"))?;
+        need(&buf, table + 4)?;
+        buf.advance(table + 4);
+        sections.push((Section::Checksums, start..pos(&buf)));
+    }
+
+    sections.push((Section::Payload, pos(&buf)..archive.len()));
+    Ok(sections)
 }
 
 #[cfg(test)]
@@ -307,5 +602,138 @@ mod tests {
         let archive = compress(&syms, &opts).unwrap();
         let (_, _, sb) = deserialize(&archive).unwrap();
         assert_eq!(sb, 1);
+    }
+
+    #[test]
+    fn writes_v2_magic_and_reads_v1() {
+        let syms = data(4000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        assert_eq!(&archive[..4], MAGIC_V2);
+
+        let (stream, book, sb) = deserialize(&archive).unwrap();
+        let legacy = serialize_v1(&stream, &book, sb);
+        assert_eq!(&legacy[..4], MAGIC_V1);
+        assert_eq!(decompress(&legacy).unwrap(), syms);
+    }
+
+    #[test]
+    fn payload_flip_fails_strict_with_typed_error() {
+        let syms = data(20_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let (_, payload) = sections.iter().find(|(s, _)| *s == Section::Payload).unwrap().clone();
+        let mut corrupt = archive.clone();
+        corrupt[payload.start + payload.len() / 2] ^= 0x10;
+        match decompress(&corrupt) {
+            Err(HuffError::ChecksumMismatch {
+                section: Section::Payload, chunk: Some(_), ..
+            }) => {}
+            other => panic!("expected payload checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_flip_recovers_best_effort() {
+        let syms = data(20_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let (_, payload) = sections.iter().find(|(s, _)| *s == Section::Payload).unwrap().clone();
+        let mut corrupt = archive.clone();
+        corrupt[payload.start + payload.len() / 2] ^= 0x10;
+
+        let opts = DecompressOptions::best_effort();
+        let rec = decompress_with(&corrupt, &opts).unwrap();
+        assert_eq!(rec.symbols.len(), syms.len());
+        assert!(!rec.report.is_clean());
+        assert!(rec.report.symbols_lost > 0);
+        // Outside the damaged ranges, every symbol is intact.
+        let mut lost = vec![false; syms.len()];
+        for &(s, e) in &rec.report.damaged_ranges {
+            lost[s..e].iter_mut().for_each(|b| *b = true);
+        }
+        for i in 0..syms.len() {
+            if lost[i] {
+                assert_eq!(rec.symbols[i], opts.sentinel, "index {i}");
+            } else {
+                assert_eq!(rec.symbols[i], syms[i], "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_flip_is_fatal_even_best_effort() {
+        let syms = data(5000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let (_, cb) = sections.iter().find(|(s, _)| *s == Section::Codebook).unwrap().clone();
+        let mut corrupt = archive.clone();
+        corrupt[cb.start + 5] ^= 0x01;
+        let r = decompress_with(&corrupt, &DecompressOptions::best_effort());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn verify_reports_damaged_chunks_without_decoding() {
+        let syms = data(40_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        assert!(verify(&archive).unwrap().is_clean());
+
+        let sections = layout(&archive).unwrap();
+        let (_, payload) = sections.iter().find(|(s, _)| *s == Section::Payload).unwrap().clone();
+        let mut corrupt = archive.clone();
+        corrupt[payload.start + 3] ^= 0x80;
+        let report = verify(&corrupt).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.damaged_chunks.contains(&0));
+    }
+
+    #[test]
+    fn verify_none_skips_checksums() {
+        let syms = data(20_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let (_, payload) = sections.iter().find(|(s, _)| *s == Section::Payload).unwrap().clone();
+        let mut corrupt = archive.clone();
+        // Flip a padding-adjacent bit that still decodes: CRC would catch
+        // it, Verify::None must not.
+        corrupt[payload.start] ^= 0x01;
+        let opts = DecompressOptions { verify: Verify::None, ..Default::default() };
+        // May decode to wrong symbols or hit a corrupt stream — but it
+        // must not be a checksum error.
+        match decompress_with(&corrupt, &opts) {
+            Ok(_) => {}
+            Err(HuffError::ChecksumMismatch { .. }) => panic!("Verify::None ran checksums"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn layout_tiles_the_archive() {
+        let syms = data(10_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let mut cursor = 0;
+        for (_, r) in &sections {
+            assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, archive.len());
+        assert!(sections.iter().any(|(s, _)| *s == Section::Checksums));
+    }
+
+    #[test]
+    fn truncated_payload_best_effort_recovers_prefix() {
+        let syms = data(50_000);
+        let archive = compress(&syms, &CompressOptions::new(256)).unwrap();
+        let sections = layout(&archive).unwrap();
+        let (_, payload) = sections.iter().find(|(s, _)| *s == Section::Payload).unwrap().clone();
+        // Keep only the first half of the payload.
+        let cut = payload.start + payload.len() / 2;
+        let rec = decompress_with(&archive[..cut], &DecompressOptions::best_effort()).unwrap();
+        assert_eq!(rec.symbols.len(), syms.len());
+        assert!(!rec.report.is_clean());
+        // Some prefix must survive: chunk 0 is within the first half.
+        assert!(!rec.report.damaged_chunks.contains(&0));
+        assert!(decompress(&archive[..cut]).is_err(), "strict must reject truncation");
     }
 }

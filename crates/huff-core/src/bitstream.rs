@@ -289,7 +289,7 @@ mod tests {
         let (buf, len) = a.finish();
         assert_eq!(len, 12);
         let mut r = BitReader::new(&buf, len);
-        assert_eq!(r.read_bits(12).unwrap(), 0b101_11001_0110);
+        assert_eq!(r.read_bits(12).unwrap(), 0b1011_1001_0110);
     }
 
     #[test]

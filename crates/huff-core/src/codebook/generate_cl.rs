@@ -149,9 +149,8 @@ pub fn generate_cl(sorted_freqs: &[u64], partitions: usize) -> (Vec<u32>, ClStat
         // Leaves are sorted, so the selection is a prefix of [c..n).
         stats.selection_scans += (n - c) as u64;
         let copy_end = sorted_freqs[c..].partition_point(|&f| f < t_freq) + c;
-        let copy: Vec<Elem> = (c..copy_end)
-            .map(|i| Elem { freq: sorted_freqs[i], kind: 0, idx: i as u32 })
-            .collect();
+        let copy: Vec<Elem> =
+            (c..copy_end).map(|i| Elem { freq: sorted_freqs[i], kind: 0, idx: i as u32 }).collect();
 
         // --- 3. PARMERGE with the internal queue (excluding t) --------
         let internals: Vec<Elem> = inodes
@@ -281,7 +280,8 @@ mod tests {
             let n = 2 + (trial * 37) % 300;
             let mut freqs: Vec<u64> = (0..n)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 33) % 10_000 + 1
                 })
                 .collect();

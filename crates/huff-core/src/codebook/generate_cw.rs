@@ -47,10 +47,7 @@ pub struct CwOutput {
 pub fn generate_cw(cl_desc: &[u32]) -> Result<CwOutput> {
     let n = cl_desc.len();
     assert!(n > 0, "GenerateCW requires at least one codeword length");
-    assert!(
-        cl_desc.windows(2).all(|w| w[0] >= w[1]),
-        "GenerateCL output must be non-increasing"
-    );
+    assert!(cl_desc.windows(2).all(|w| w[0] >= w[1]), "GenerateCL output must be non-increasing");
 
     // PARREVERSE(CL): ascending lengths.
     let cl: Vec<u32> = cl_desc.iter().rev().copied().collect();
@@ -207,10 +204,7 @@ mod tests {
 
     #[test]
     fn overlong_rejected() {
-        assert!(matches!(
-            generate_cw(&[65, 1]),
-            Err(HuffError::CodewordTooLong { len: 65, .. })
-        ));
+        assert!(matches!(generate_cw(&[65, 1]), Err(HuffError::CodewordTooLong { len: 65, .. })));
     }
 
     #[test]

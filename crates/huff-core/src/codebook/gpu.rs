@@ -43,13 +43,12 @@ pub struct SerialCodebookTimes {
 
 /// Build the canonical codebook with the paper's parallel two-phase
 /// algorithm on the device, charging modeled time to `gpu`'s clock.
-pub fn parallel_on_gpu(gpu: &Gpu, freqs: &[u64]) -> Result<(CanonicalCodebook, ParallelCodebookTimes)> {
-    let mut pairs: Vec<(u64, u16)> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(s, &f)| (f, s as u16))
-        .collect();
+pub fn parallel_on_gpu(
+    gpu: &Gpu,
+    freqs: &[u64],
+) -> Result<(CanonicalCodebook, ParallelCodebookTimes)> {
+    let mut pairs: Vec<(u64, u16)> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(s, &f)| (f, s as u16)).collect();
     if pairs.is_empty() {
         return Err(HuffError::EmptyHistogram);
     }

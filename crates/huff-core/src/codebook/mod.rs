@@ -85,10 +85,10 @@ impl CanonicalCodebook {
 
     /// Checked lookup: errors on out-of-range or absent symbols.
     pub fn code_checked(&self, symbol: u16) -> Result<Codeword> {
-        let c = self
-            .codes
-            .get(symbol as usize)
-            .ok_or(HuffError::SymbolOutOfRange { symbol: symbol as usize, codebook: self.codes.len() })?;
+        let c = self.codes.get(symbol as usize).ok_or(HuffError::SymbolOutOfRange {
+            symbol: symbol as usize,
+            codebook: self.codes.len(),
+        })?;
         if c.is_empty() {
             return Err(HuffError::MissingCodeword(symbol as usize));
         }
@@ -149,10 +149,7 @@ impl CanonicalCodebook {
     /// Decode a single symbol from a bit-accessor: `next_bit` yields
     /// successive stream bits. Core of the treeless canonical decoder.
     #[inline]
-    pub fn decode_symbol(
-        &self,
-        mut next_bit: impl FnMut() -> Result<bool>,
-    ) -> Result<u16> {
+    pub fn decode_symbol(&self, mut next_bit: impl FnMut() -> Result<bool>) -> Result<u16> {
         let mut v = 0u64;
         for l in 1..=self.max_len {
             v = (v << 1) | u64::from(next_bit()?);
@@ -180,18 +177,15 @@ pub fn parallel(freqs: &[u64], partitions: usize) -> Result<CanonicalCodebook> {
     CanonicalCodebook::from_lengths(&lengths)
 }
 
+/// Output of [`parallel_lengths`]: per-symbol codeword lengths (0 for
+/// absent symbols), the sorted `(freq, symbol)` pairs, and CL stats.
+pub type LengthsOutput = (Vec<u32>, Vec<(u64, u16)>, ClStats);
+
 /// The GenerateCL phase alone: per-symbol optimal codeword lengths (0 for
 /// absent symbols), plus the sorted `(freq, symbol)` pairs and CL stats.
-pub fn parallel_lengths(
-    freqs: &[u64],
-    partitions: usize,
-) -> Result<(Vec<u32>, Vec<(u64, u16)>, ClStats)> {
-    let mut pairs: Vec<(u64, u16)> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(s, &f)| (f, s as u16))
-        .collect();
+pub fn parallel_lengths(freqs: &[u64], partitions: usize) -> Result<LengthsOutput> {
+    let mut pairs: Vec<(u64, u16)> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(s, &f)| (f, s as u16)).collect();
     if pairs.is_empty() {
         return Err(HuffError::EmptyHistogram);
     }
@@ -212,8 +206,7 @@ mod tests {
 
     fn assert_valid(book: &CanonicalCodebook, freqs: &[u64]) {
         // Prefix-freeness over coded symbols.
-        let coded: Vec<Codeword> =
-            book.codes().iter().filter(|c| !c.is_empty()).copied().collect();
+        let coded: Vec<Codeword> = book.codes().iter().filter(|c| !c.is_empty()).copied().collect();
         for (i, a) in coded.iter().enumerate() {
             for (j, b) in coded.iter().enumerate() {
                 if i != j {

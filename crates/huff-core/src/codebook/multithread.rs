@@ -16,21 +16,15 @@ use rayon::prelude::*;
 /// Per-symbol codeword lengths (0 = absent) computed with up to `threads`
 /// workers inside a dedicated pool.
 pub fn codeword_lengths(freqs: &[u64], threads: usize) -> crate::error::Result<Vec<u32>> {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("thread pool");
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(threads.max(1)).build().expect("thread pool");
     pool.install(|| codeword_lengths_in_pool(freqs, threads))
 }
 
 /// Same as [`codeword_lengths`] but runs in the ambient rayon pool.
 pub fn codeword_lengths_in_pool(freqs: &[u64], threads: usize) -> crate::error::Result<Vec<u32>> {
-    let mut pairs: Vec<(u64, u32)> = freqs
-        .iter()
-        .enumerate()
-        .filter(|(_, &f)| f > 0)
-        .map(|(s, &f)| (f, s as u32))
-        .collect();
+    let mut pairs: Vec<(u64, u32)> =
+        freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(s, &f)| (f, s as u32)).collect();
     if pairs.is_empty() {
         return Err(crate::error::HuffError::EmptyHistogram);
     }
@@ -56,7 +50,11 @@ pub fn codeword_lengths_in_pool(freqs: &[u64], threads: usize) -> crate::error::
     let (mut leaf_head, mut inode_head, mut inode_tail) = (0usize, 0usize, 0usize);
     let leaf_freq = |i: usize| pairs[i].0;
 
-    let take_smallest = |leaf_head: &mut usize, inode_head: &mut usize, inode_tail: usize, inode_freq: &[u64]| -> usize {
+    let take_smallest = |leaf_head: &mut usize,
+                         inode_head: &mut usize,
+                         inode_tail: usize,
+                         inode_freq: &[u64]|
+     -> usize {
         let leaf_ok = *leaf_head < n;
         let inode_ok = *inode_head < inode_tail;
         debug_assert!(leaf_ok || inode_ok);

@@ -100,8 +100,7 @@ mod tests {
         let freqs: Vec<u64> = vec![100, 50, 25, 12, 6, 3, 2, 1];
         let base = base_codebook(&freqs).unwrap();
         let (canon, _) = canonize(&base).unwrap();
-        let base_bits: u64 =
-            freqs.iter().zip(&base).map(|(&f, c)| f * u64::from(c.len())).sum();
+        let base_bits: u64 = freqs.iter().zip(&base).map(|(&f, c)| f * u64::from(c.len())).sum();
         let canon_bits: u64 =
             freqs.iter().zip(canon.codes()).map(|(&f, c)| f * u64::from(c.len())).sum();
         assert_eq!(base_bits, canon_bits);

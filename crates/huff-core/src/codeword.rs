@@ -102,10 +102,7 @@ impl Codeword {
 
     /// Render MSB-first as a `0`/`1` string (for traces and tests).
     pub fn to_bit_string(&self) -> String {
-        (0..self.len)
-            .rev()
-            .map(|i| if (self.bits >> i) & 1 == 1 { '1' } else { '0' })
-            .collect()
+        (0..self.len).rev().map(|i| if (self.bits >> i) & 1 == 1 { '1' } else { '0' }).collect()
     }
 
     /// Parse an MSB-first `0`/`1` string.

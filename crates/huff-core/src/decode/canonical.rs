@@ -10,13 +10,22 @@ use crate::codebook::CanonicalCodebook;
 use crate::error::Result;
 
 /// Decode exactly `count` symbols from a dense MSB-first stream.
-pub fn decode(bytes: &[u8], bit_len: u64, count: usize, book: &CanonicalCodebook) -> Result<Vec<u16>> {
+pub fn decode(
+    bytes: &[u8],
+    bit_len: u64,
+    count: usize,
+    book: &CanonicalCodebook,
+) -> Result<Vec<u16>> {
     let mut reader = BitReader::new(bytes, bit_len);
     decode_from(&mut reader, count, book)
 }
 
 /// Decode `count` symbols from an existing reader position.
-pub fn decode_from(reader: &mut BitReader<'_>, count: usize, book: &CanonicalCodebook) -> Result<Vec<u16>> {
+pub fn decode_from(
+    reader: &mut BitReader<'_>,
+    count: usize,
+    book: &CanonicalCodebook,
+) -> Result<Vec<u16>> {
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         out.push(book.decode_symbol(|| reader.read_bit())?);
@@ -33,8 +42,9 @@ mod tests {
     fn setup(n: usize) -> (codebook::CanonicalCodebook, Vec<u16>) {
         let freqs: Vec<u64> = vec![100, 50, 25, 12, 6, 3, 2, 2];
         let book = codebook::parallel(&freqs, 4).unwrap();
-        let syms: Vec<u16> =
-            (0..n).map(|i| ((i as u64).wrapping_mul(6364136223846793005) >> 33) as u16 % 8).collect();
+        let syms: Vec<u16> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005) >> 33) as u16 % 8)
+            .collect();
         (book, syms)
     }
 

@@ -6,49 +6,176 @@
 //! back from the sparse sidecar at unit boundaries — a breaking unit
 //! contributed zero bits to the chunk payload, and its raw symbols replace
 //! the decode at that position.
+//!
+//! Chunk independence is also what makes *recovery* possible: when a
+//! chunk's payload bytes are damaged (see [`crate::integrity`]), every
+//! other chunk still decodes from its own offset.
+//! [`decode_best_effort`] exploits this — damaged chunks are
+//! sentinel-filled (except their breaking units, whose raw symbols live
+//! in the header sidecar and survive payload damage) while intact chunks
+//! decode normally.
 
 use crate::bitstream::BitReader;
 use crate::codebook::CanonicalCodebook;
 use crate::encode::ChunkedStream;
-use crate::error::Result;
+use crate::error::{HuffError, Result};
+use crate::integrity::RecoveryReport;
 use rayon::prelude::*;
+
+/// Decode chunk `ci` of `stream` to symbols.
+fn decode_chunk(stream: &ChunkedStream, book: &CanonicalCodebook, ci: usize) -> Result<Vec<u16>> {
+    let chunk_syms = stream.config.chunk_symbols();
+    let unit_syms = stream.config.unit_symbols().max(1);
+    let units_per_chunk = stream.config.units_per_chunk() as u64;
+
+    let sym_base = ci * chunk_syms;
+    let sym_count = chunk_syms.min(stream.num_symbols - sym_base);
+    let mut reader = BitReader::new(&stream.bytes, stream.total_bits);
+    reader.skip(stream.chunk_bit_offsets[ci])?;
+
+    let mut out = Vec::with_capacity(sym_count);
+    let n_units = sym_count.div_ceil(unit_syms);
+    for u in 0..n_units {
+        let global_unit = ci as u64 * units_per_chunk + u as u64;
+        let in_unit = unit_syms.min(sym_count - u * unit_syms);
+        if let Some(raw) = stream.outliers.lookup(global_unit) {
+            if raw.len() != in_unit {
+                return Err(HuffError::CorruptStream("outlier unit length mismatch"));
+            }
+            out.extend_from_slice(raw);
+        } else {
+            for _ in 0..in_unit {
+                out.push(book.decode_symbol(|| reader.read_bit())?);
+            }
+        }
+    }
+    Ok(out)
+}
 
 /// Decode a chunked stream back to symbols.
 pub fn decode(stream: &ChunkedStream, book: &CanonicalCodebook) -> Result<Vec<u16>> {
-    let chunk_syms = stream.config.chunk_symbols();
-    let unit_syms = stream.config.unit_symbols();
-    let units_per_chunk = stream.config.units_per_chunk() as u64;
-
-    let parts: Vec<Result<Vec<u16>>> = (0..stream.num_chunks())
-        .into_par_iter()
-        .map(|ci| {
-            let sym_base = ci * chunk_syms;
-            let sym_count = chunk_syms.min(stream.num_symbols - sym_base);
-            let mut reader = BitReader::new(&stream.bytes, stream.total_bits);
-            reader.skip(stream.chunk_bit_offsets[ci])?;
-
-            let mut out = Vec::with_capacity(sym_count);
-            let n_units = sym_count.div_ceil(unit_syms.max(1));
-            for u in 0..n_units {
-                let global_unit = ci as u64 * units_per_chunk + u as u64;
-                let in_unit = unit_syms.min(sym_count - u * unit_syms);
-                if let Some(raw) = stream.outliers.lookup(global_unit) {
-                    out.extend_from_slice(raw);
-                } else {
-                    for _ in 0..in_unit {
-                        out.push(book.decode_symbol(|| reader.read_bit())?);
-                    }
-                }
-            }
-            Ok(out)
-        })
-        .collect();
+    let parts: Vec<Result<Vec<u16>>> =
+        (0..stream.num_chunks()).into_par_iter().map(|ci| decode_chunk(stream, book, ci)).collect();
 
     let mut out = Vec::with_capacity(stream.num_symbols);
     for p in parts {
         out.extend_from_slice(&p?);
     }
+    if out.len() != stream.num_symbols {
+        return Err(HuffError::CorruptStream("decoded count disagrees with header"));
+    }
     Ok(out)
+}
+
+/// The sentinel fill for one damaged chunk: breaking units come back
+/// exactly from the sidecar, everything else becomes `sentinel`. Returns
+/// the chunk's symbols plus the `[start, end)` *chunk-local* ranges that
+/// were sentinel-filled.
+fn fill_damaged_chunk(
+    stream: &ChunkedStream,
+    ci: usize,
+    sentinel: u16,
+) -> (Vec<u16>, Vec<(usize, usize)>) {
+    let chunk_syms = stream.config.chunk_symbols();
+    let unit_syms = stream.config.unit_symbols().max(1);
+    let units_per_chunk = stream.config.units_per_chunk() as u64;
+    let sym_base = ci * chunk_syms;
+    let sym_count = chunk_syms.min(stream.num_symbols - sym_base);
+
+    let mut out = Vec::with_capacity(sym_count);
+    let mut lost: Vec<(usize, usize)> = Vec::new();
+    let n_units = sym_count.div_ceil(unit_syms);
+    for u in 0..n_units {
+        let global_unit = ci as u64 * units_per_chunk + u as u64;
+        let in_unit = unit_syms.min(sym_count - u * unit_syms);
+        match stream.outliers.lookup(global_unit) {
+            Some(raw) if raw.len() == in_unit => out.extend_from_slice(raw),
+            _ => {
+                let start = out.len();
+                out.resize(out.len() + in_unit, sentinel);
+                // Merge with the previous run when adjacent.
+                match lost.last_mut() {
+                    Some(last) if last.1 == start => last.1 = start + in_unit,
+                    _ => lost.push((start, start + in_unit)),
+                }
+            }
+        }
+    }
+    (out, lost)
+}
+
+/// Decode every chunk not marked in `damaged` (and every marked chunk's
+/// breaking units, which live in the header sidecar); sentinel-fill the
+/// rest. Chunks whose decode fails despite a clean checksum — possible
+/// under [`crate::integrity::Verify::None`] — are sentinel-filled too.
+/// Never panics and never returns an error: the report says what was
+/// lost.
+pub fn decode_best_effort(
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    damaged: &[bool],
+    sentinel: u16,
+) -> (Vec<u16>, RecoveryReport) {
+    let chunk_syms = stream.config.chunk_symbols();
+    let n_chunks = stream.num_chunks();
+
+    // (symbols, chunk-local lost ranges, was_damaged) per chunk.
+    type ChunkPart = (Vec<u16>, Vec<(usize, usize)>, bool);
+    let parts: Vec<ChunkPart> = (0..n_chunks)
+        .into_par_iter()
+        .map(|ci| {
+            let marked = damaged.get(ci).copied().unwrap_or(false);
+            if !marked {
+                if let Ok(syms) = decode_chunk(stream, book, ci) {
+                    return (syms, Vec::new(), false);
+                }
+            }
+            let (syms, lost) = fill_damaged_chunk(stream, ci, sentinel);
+            (syms, lost, true)
+        })
+        .collect();
+
+    let mut symbols = Vec::with_capacity(stream.num_symbols);
+    let mut report = RecoveryReport::clean(n_chunks);
+    for (ci, (part, lost, was_damaged)) in parts.into_iter().enumerate() {
+        let base = ci * chunk_syms;
+        if was_damaged {
+            report.damaged_chunks.push(ci);
+            for (s, e) in lost {
+                report.symbols_lost += e - s;
+                // Merge across chunk boundaries when runs are adjacent.
+                match report.damaged_ranges.last_mut() {
+                    Some(last) if last.1 == base + s => last.1 = base + e,
+                    _ => report.damaged_ranges.push((base + s, base + e)),
+                }
+            }
+        }
+        symbols.extend_from_slice(&part);
+    }
+    (symbols, report)
+}
+
+/// The report [`decode_best_effort`] *would* produce for `damaged`,
+/// without decoding anything — used by archive verification.
+pub fn damage_report(stream: &ChunkedStream, damaged: &[bool]) -> RecoveryReport {
+    let chunk_syms = stream.config.chunk_symbols();
+    let mut report = RecoveryReport::clean(stream.num_chunks());
+    for ci in 0..stream.num_chunks() {
+        if !damaged.get(ci).copied().unwrap_or(false) {
+            continue;
+        }
+        report.damaged_chunks.push(ci);
+        let (_, lost) = fill_damaged_chunk(stream, ci, 0);
+        let base = ci * chunk_syms;
+        for (s, e) in lost {
+            report.symbols_lost += e - s;
+            match report.damaged_ranges.last_mut() {
+                Some(last) if last.1 == base + s => last.1 = base + e,
+                _ => report.damaged_ranges.push((base + s, base + e)),
+            }
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -57,12 +184,11 @@ mod tests {
     use crate::codebook;
     use crate::encode::{reduce_shuffle, BreakingStrategy, MergeConfig};
 
-    #[test]
-    fn parallel_chunk_decode_matches_input() {
+    fn stream_and_book(n: usize) -> (ChunkedStream, CanonicalCodebook, Vec<u16>) {
         let freqs = [97u64, 53, 31, 17, 11, 7, 5, 3];
         let book = codebook::parallel(&freqs, 4).unwrap();
         let syms: Vec<u16> =
-            (0..20_000).map(|i| ((i as u64).wrapping_mul(48271) >> 7) as u16 % 8).collect();
+            (0..n).map(|i| ((i as u64).wrapping_mul(48271) >> 7) as u16 % 8).collect();
         let stream = reduce_shuffle::encode(
             &syms,
             &book,
@@ -70,6 +196,12 @@ mod tests {
             BreakingStrategy::SparseSidecar,
         )
         .unwrap();
+        (stream, book, syms)
+    }
+
+    #[test]
+    fn parallel_chunk_decode_matches_input() {
+        let (stream, book, syms) = stream_and_book(20_000);
         assert_eq!(decode(&stream, &book).unwrap(), syms);
     }
 
@@ -89,5 +221,63 @@ mod tests {
             *o = stream.total_bits + 100;
         }
         assert!(decode(&stream, &book).is_err());
+    }
+
+    #[test]
+    fn best_effort_with_no_damage_matches_strict() {
+        let (stream, book, syms) = stream_and_book(20_000);
+        let damaged = vec![false; stream.num_chunks()];
+        let (out, report) = decode_best_effort(&stream, &book, &damaged, u16::MAX);
+        assert_eq!(out, syms);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn best_effort_sentinel_fills_marked_chunks() {
+        let (stream, book, syms) = stream_and_book(20_000);
+        let n = stream.num_chunks();
+        assert!(n >= 3, "need several chunks, got {n}");
+        let mut damaged = vec![false; n];
+        damaged[1] = true;
+        let (out, report) = decode_best_effort(&stream, &book, &damaged, 0xDEAD);
+        assert_eq!(out.len(), syms.len());
+        assert_eq!(report.damaged_chunks, vec![1]);
+        assert!(report.symbols_lost > 0);
+        let chunk_syms = stream.config.chunk_symbols();
+        for i in 0..syms.len() {
+            let in_damaged_range = report.damaged_ranges.iter().any(|&(s, e)| i >= s && i < e);
+            if in_damaged_range {
+                assert_eq!(out[i], 0xDEAD);
+                assert!(i >= chunk_syms && i < 2 * chunk_syms);
+            } else {
+                assert_eq!(out[i], syms[i], "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_effort_catches_decode_failure_without_damage_flag() {
+        let (mut stream, book, syms) = stream_and_book(10_000);
+        // Break the last chunk's offset so its decode fails even though
+        // no checksum flagged it.
+        let n = stream.num_chunks();
+        *stream.chunk_bit_offsets.last_mut().unwrap() = stream.total_bits + 9;
+        let damaged = vec![false; n];
+        let (out, report) = decode_best_effort(&stream, &book, &damaged, u16::MAX);
+        assert_eq!(out.len(), syms.len());
+        assert_eq!(report.damaged_chunks, vec![n - 1]);
+    }
+
+    #[test]
+    fn damage_report_matches_best_effort_report() {
+        let (stream, book, _) = stream_and_book(30_000);
+        let mut damaged = vec![false; stream.num_chunks()];
+        damaged[0] = true;
+        if stream.num_chunks() > 2 {
+            damaged[2] = true;
+        }
+        let (_, live) = decode_best_effort(&stream, &book, &damaged, 0);
+        let dry = damage_report(&stream, &damaged);
+        assert_eq!(live, dry);
     }
 }

@@ -43,7 +43,7 @@ pub fn decode_on_gpu(
         // Decode tables staged per resident block, reused from L2 after.
         t.read(Access::Coalesced, resident * table_bytes, 1);
         // Per-symbol on-chip table probes (~avg-code-length lookups each).
-        let avg_probes = if n > 0 { (stream.total_bits / n).clamp(1, 64) } else { 1 };
+        let avg_probes = stream.total_bits.checked_div(n).map_or(1, |p| p.clamp(1, 64));
         t.shared(n * avg_probes * 4);
         // Symbol output, coalesced.
         t.write(Access::Coalesced, n, 2);

@@ -46,8 +46,7 @@ pub fn cross_check(symbols: &[u16], freqs: &[u64]) -> Result<bool> {
 
     let book = crate::codebook::parallel(freqs, 4)?;
     let enc = crate::encode::serial::encode(symbols, &book)?;
-    let canon_decoded =
-        super::canonical::decode(&enc.bytes, enc.bit_len, symbols.len(), &book)?;
+    let canon_decoded = super::canonical::decode(&enc.bytes, enc.bit_len, symbols.len(), &book)?;
 
     Ok(tree_decoded == symbols && canon_decoded == symbols)
 }

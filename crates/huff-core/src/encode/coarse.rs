@@ -47,7 +47,8 @@ pub(crate) fn chunk_append(symbols: &[u16], book: &CanonicalCodebook) -> Result<
         while rem > 0 {
             let room = 64 - filled;
             let take = rem.min(room);
-            let field = if take == 64 { bits } else { (bits >> (rem - take)) & ((1u64 << take) - 1) };
+            let field =
+                if take == 64 { bits } else { (bits >> (rem - take)) & ((1u64 << take) - 1) };
             staged |= field << (room - take);
             filled += take;
             rem -= take;
@@ -73,8 +74,7 @@ mod tests {
     fn setup(n: usize) -> (CanonicalCodebook, Vec<u16>) {
         let freqs = [40u64, 30, 20, 10];
         let book = codebook::parallel(&freqs, 2).unwrap();
-        let syms: Vec<u16> =
-            (0..n).map(|i| ((i as u64).wrapping_mul(48271) % 4) as u16).collect();
+        let syms: Vec<u16> = (0..n).map(|i| ((i as u64).wrapping_mul(48271) % 4) as u16).collect();
         (book, syms)
     }
 

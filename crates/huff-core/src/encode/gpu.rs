@@ -107,13 +107,10 @@ pub fn encode_on_gpu(
 
     // --- Kernel 3: blockwise code lengths + prefix sum -------------------
     let chunk_bits: Vec<u64> = chunks.iter().map(|c| c.bit_len).collect();
-    let (_, len_cost) = gpu.launch_timed(
-        "enc_blockwise_len",
-        GridDim::cover(chunk_bits.len(), 256),
-        |scope| {
+    let (_, len_cost) =
+        gpu.launch_timed("enc_blockwise_len", GridDim::cover(chunk_bits.len(), 256), |scope| {
             let (_offsets, _total) = gpu_sim::prefix::exclusive_scan(scope, &chunk_bits);
-        },
-    );
+        });
 
     // --- Kernel 4: coalescing copy --------------------------------------
     let total_bits: u64 = chunk_bits.iter().sum();
@@ -129,18 +126,15 @@ pub fn encode_on_gpu(
     let n_breaking: u64 = chunks.iter().map(|c| c.breaking.len() as u64).sum();
     let breaking_syms: u64 =
         chunks.iter().flat_map(|c| c.breaking.iter().map(|(_, s)| s.len() as u64)).sum();
-    let (_, breaking_cost) = gpu.launch_timed(
-        "enc_breaking_backtrace",
-        GridDim::cover(units as usize, 256),
-        |scope| {
+    let (_, breaking_cost) =
+        gpu.launch_timed("enc_breaking_backtrace", GridDim::cover(units as usize, 256), |scope| {
             let t = scope.traffic();
             t.read(Access::Coalesced, units, 1); // one-time read of unit lens (u8)
             t.write(Access::Random, n_breaking, 8); // sparse indices
             t.write(Access::Random, breaking_syms, 2); // raw symbols
             t.ops(units);
             t.grid_sync();
-        },
-    );
+        });
 
     let stream = assemble(symbols.len(), &chunks, config)?;
     let times = GpuEncodeTimes {
@@ -327,9 +321,8 @@ mod tests {
         let (ps_stream, ps_time) = prefix_sum_encode_on_gpu(&g2, &syms, 2, &book).unwrap();
         assert!(ps_time > ours.total, "prefix-sum {ps_time} should lose to ours {}", ours.total);
         // Prefix-sum output is still correct.
-        let dec =
-            decode::canonical::decode(&ps_stream.bytes, ps_stream.bit_len, syms.len(), &book)
-                .unwrap();
+        let dec = decode::canonical::decode(&ps_stream.bytes, ps_stream.bit_len, syms.len(), &book)
+            .unwrap();
         assert_eq!(dec, syms);
     }
 

@@ -93,7 +93,7 @@ impl MergeConfig {
     /// The paper's preferred configuration for its evaluation: `M = 10`,
     /// `r` chosen per dataset (Table II picks `M=10, r=3` for Nyx-Quant).
     pub fn new(magnitude: u32, reduction: u32) -> Self {
-        assert!(magnitude >= 2 && magnitude <= 24, "magnitude out of range");
+        assert!((2..=24).contains(&magnitude), "magnitude out of range");
         assert!(
             reduction >= 1 && reduction < magnitude,
             "reduction factor must leave at least one shuffle iteration"
@@ -196,9 +196,8 @@ impl ChunkedStream {
     /// Compression ratio vs `symbol_bits`-wide raw symbols, counting the
     /// outlier sidecar against the output size.
     pub fn compression_ratio(&self, symbol_bits: u32) -> f64 {
-        let out_bits = self.total_bits
-            + self.outliers.storage_bits()
-            + 64 * self.chunk_bit_lens.len() as u64;
+        let out_bits =
+            self.total_bits + self.outliers.storage_bits() + 64 * self.chunk_bit_lens.len() as u64;
         if out_bits == 0 {
             return f64::INFINITY;
         }

@@ -49,10 +49,8 @@ pub fn encode_with_pool(
     threads: usize,
     chunk_symbols: usize,
 ) -> Result<EncodedStream> {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("thread pool");
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(threads.max(1)).build().expect("thread pool");
     pool.install(|| encode(symbols, book, threads, chunk_symbols))
 }
 

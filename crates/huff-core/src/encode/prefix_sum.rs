@@ -30,7 +30,10 @@ pub struct PrefixSumStats {
 }
 
 /// Encode via lengths → exclusive scan → concurrent scatter.
-pub fn encode(symbols: &[u16], book: &CanonicalCodebook) -> Result<(EncodedStream, PrefixSumStats)> {
+pub fn encode(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+) -> Result<(EncodedStream, PrefixSumStats)> {
     // Phase 1: codeword lengths.
     let lens: Vec<Result<u32>> =
         symbols.par_iter().map(|&s| book.code_checked(s).map(|c| c.len())).collect();
@@ -65,11 +68,8 @@ pub fn encode(symbols: &[u16], book: &CanonicalCodebook) -> Result<(EncodedStrea
     }
     bytes.truncate((total_bits as usize).div_ceil(8));
 
-    let stats = PrefixSumStats {
-        symbols: symbols.len() as u64,
-        scatter_writes,
-        out_words: n_words as u64,
-    };
+    let stats =
+        PrefixSumStats { symbols: symbols.len() as u64, scatter_writes, out_words: n_words as u64 };
     Ok((EncodedStream { bytes, bit_len: total_bits, num_symbols: symbols.len() }, stats))
 }
 

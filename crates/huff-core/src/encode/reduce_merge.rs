@@ -41,11 +41,8 @@ pub fn reduce_unit<W: Word>(symbols: &[u16], book: &CanonicalCodebook) -> Unit<W
         }
     }
     // Left-align within the representative word.
-    let word = if acc.len() == 0 {
-        W::ZERO
-    } else {
-        W::from_u64(acc.bits()) << (W::BITS - acc.len())
-    };
+    let word =
+        if acc.is_empty() { W::ZERO } else { W::from_u64(acc.bits()) << (W::BITS - acc.len()) };
     Unit::Merged { word, len: acc.len() }
 }
 
@@ -107,11 +104,7 @@ mod tests {
     fn reduce_unit_concatenates_in_order() {
         let b = book();
         // Codes: 0:"0", 1:"10", 2 and 3: 3-bit.
-        let expected = b
-            .code(0)
-            .merge(b.code(1))
-            .and_then(|m| m.merge(b.code(0)))
-            .unwrap();
+        let expected = b.code(0).merge(b.code(1)).and_then(|m| m.merge(b.code(0))).unwrap();
         match reduce_unit::<u32>(&[0, 1, 0], &b) {
             Unit::Merged { word, len } => {
                 assert_eq!(len, expected.len());
@@ -198,10 +191,8 @@ mod tests {
         assert_eq!(t[0].len(), 8);
         assert_eq!(t[3].len(), 1);
         // Final merged string is the in-order concatenation.
-        let expect: String = [0u16, 1, 0, 0, 1, 0, 0, 0]
-            .iter()
-            .map(|&s| b.code(s).to_bit_string())
-            .collect();
+        let expect: String =
+            [0u16, 1, 0, 0, 1, 0, 0, 0].iter().map(|&s| b.code(s).to_bit_string()).collect();
         assert_eq!(t[3][0], expect);
     }
 }

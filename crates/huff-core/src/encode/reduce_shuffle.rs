@@ -193,8 +193,8 @@ mod tests {
     fn stream_bits_match_serial_concatenation() {
         let b = book4();
         let syms = symbols(5000);
-        let stream = encode(&syms, &b, MergeConfig::new(8, 2), BreakingStrategy::SparseSidecar)
-            .unwrap();
+        let stream =
+            encode(&syms, &b, MergeConfig::new(8, 2), BreakingStrategy::SparseSidecar).unwrap();
         assert!(stream.outliers.is_empty());
         // Serial reference: concatenate every codeword.
         let serial = super::super::serial::encode(&syms, &b).unwrap();
@@ -208,8 +208,7 @@ mod tests {
         let syms = symbols(3000);
         for (m, r) in [(8, 2), (10, 3), (6, 1), (10, 4)] {
             let stream =
-                encode(&syms, &b, MergeConfig::new(m, r), BreakingStrategy::SparseSidecar)
-                    .unwrap();
+                encode(&syms, &b, MergeConfig::new(m, r), BreakingStrategy::SparseSidecar).unwrap();
             let decoded = decode::chunked::decode(&stream, &b).unwrap();
             assert_eq!(decoded, syms, "M={m} r={r}");
         }
@@ -221,8 +220,7 @@ mod tests {
         for n in [1usize, 7, 255, 256, 257, 1023] {
             let syms = symbols(n);
             let stream =
-                encode(&syms, &b, MergeConfig::new(8, 2), BreakingStrategy::SparseSidecar)
-                    .unwrap();
+                encode(&syms, &b, MergeConfig::new(8, 2), BreakingStrategy::SparseSidecar).unwrap();
             let decoded = decode::chunked::decode(&stream, &b).unwrap();
             assert_eq!(decoded, syms, "n={n}");
         }
@@ -245,9 +243,7 @@ mod tests {
         // breaking a u32 word but fitting a u64 one.
         let lengths = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 12];
         let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
-        let syms: Vec<u16> = (0..4096usize)
-            .map(|i| if i % 512 < 4 { 12u16 } else { 0 })
-            .collect();
+        let syms: Vec<u16> = (0..4096usize).map(|i| if i % 512 < 4 { 12u16 } else { 0 }).collect();
         (book, syms)
     }
 
@@ -255,8 +251,8 @@ mod tests {
     fn breaking_units_roundtrip_via_sidecar() {
         let (book, syms) = skewed_book();
         assert_eq!(book.code(12).len(), 12);
-        let stream = encode(&syms, &book, MergeConfig::new(8, 4), BreakingStrategy::SparseSidecar)
-            .unwrap();
+        let stream =
+            encode(&syms, &book, MergeConfig::new(8, 4), BreakingStrategy::SparseSidecar).unwrap();
         assert!(!stream.outliers.is_empty(), "expected breaking units");
         assert!(stream.breaking_fraction() > 0.0);
         let decoded = decode::chunked::decode(&stream, &book).unwrap();

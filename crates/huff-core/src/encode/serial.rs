@@ -66,14 +66,11 @@ mod tests {
         let data: Vec<u16> = freqs
             .iter()
             .enumerate()
-            .flat_map(|(s, &f)| std::iter::repeat(s as u16).take(f as usize))
+            .flat_map(|(s, &f)| std::iter::repeat_n(s as u16, f as usize))
             .collect();
         let s = encode(&data, &b).unwrap();
-        let expect: u64 = freqs
-            .iter()
-            .enumerate()
-            .map(|(sym, &f)| f * u64::from(b.code(sym as u16).len()))
-            .sum();
+        let expect: u64 =
+            freqs.iter().enumerate().map(|(sym, &f)| f * u64::from(b.code(sym as u16).len())).sum();
         assert_eq!(s.bit_len, expect);
     }
 }

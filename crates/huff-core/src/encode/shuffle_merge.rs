@@ -218,8 +218,7 @@ mod tests {
     #[test]
     fn multi_word_right_group() {
         let left = "110";
-        let right: String =
-            (0..70).map(|i| if (i * 7) % 3 == 0 { '1' } else { '0' }).collect(); // 70 bits
+        let right: String = (0..70).map(|i| if (i * 7) % 3 == 0 { '1' } else { '0' }).collect(); // 70 bits
         let merged = run_window(left, &right, 8);
         assert_eq!(merged, format!("{left}{right}"));
     }

@@ -118,7 +118,7 @@ mod tests {
         assert_eq!(r, 3);
         let merged = expected_merged_bits(2.3, r);
         assert!((merged - 18.4).abs() < 1e-9);
-        assert!(merged >= 16.0 && merged < 32.0);
+        assert!((16.0..32.0).contains(&merged));
     }
 
     #[test]

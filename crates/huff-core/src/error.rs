@@ -1,5 +1,6 @@
 //! Error types for the Huffman pipeline.
 
+use crate::integrity::Section;
 use std::fmt;
 
 /// Errors surfaced by codebook construction, encoding and decoding.
@@ -27,6 +28,18 @@ pub enum HuffError {
     CorruptStream(&'static str),
     /// An archive header field is invalid.
     BadArchive(String),
+    /// A stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Which archive section failed verification.
+        section: Section,
+        /// Chunk index for per-chunk payload checksums, `None` for the
+        /// header checksum.
+        chunk: Option<u32>,
+        /// The checksum stored in the archive.
+        expected: u32,
+        /// The checksum recomputed over the archive bytes.
+        got: u32,
+    },
 }
 
 impl fmt::Display for HuffError {
@@ -44,6 +57,16 @@ impl fmt::Display for HuffError {
             }
             HuffError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
             HuffError::BadArchive(m) => write!(f, "bad archive: {m}"),
+            HuffError::ChecksumMismatch { section, chunk, expected, got } => match chunk {
+                Some(ci) => write!(
+                    f,
+                    "checksum mismatch in {section} chunk {ci}: stored {expected:#010x}, computed {got:#010x}"
+                ),
+                None => write!(
+                    f,
+                    "checksum mismatch in {section}: stored {expected:#010x}, computed {got:#010x}"
+                ),
+            },
         }
     }
 }
@@ -67,6 +90,21 @@ mod tests {
         assert!(HuffError::CorruptStream("truncated").to_string().contains("truncated"));
         assert!(HuffError::BadArchive("magic".into()).to_string().contains("magic"));
         assert!(HuffError::MissingCodeword(9).to_string().contains('9'));
+        let m = HuffError::ChecksumMismatch {
+            section: Section::Payload,
+            chunk: Some(7),
+            expected: 0xDEADBEEF,
+            got: 0,
+        };
+        assert!(m.to_string().contains("chunk 7"));
+        assert!(m.to_string().contains("0xdeadbeef"));
+        let h = HuffError::ChecksumMismatch {
+            section: Section::Header,
+            chunk: None,
+            expected: 1,
+            got: 2,
+        };
+        assert!(h.to_string().contains("header"));
     }
 
     #[test]

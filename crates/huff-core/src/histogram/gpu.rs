@@ -61,9 +61,8 @@ pub fn histogram(gpu: &Gpu, data: &[u16], num_symbols: usize, symbol_bytes: u64)
         // Conflicts serialize at warp granularity: the hardware resolves a
         // warp's same-address atomics as one multi-update transaction, so
         // the serialization cost is per warp-instruction, not per lane.
-        let conflicts =
-            expected_conflicts(n, (num_symbols * copies) as u64, skew / copies as f64)
-                / u64::from(gpu.spec().warp_size);
+        let conflicts = expected_conflicts(n, (num_symbols * copies) as u64, skew / copies as f64)
+            / u64::from(gpu.spec().warp_size);
         t.shared_atomic(n, conflicts);
         t.shared((copies as u64) * num_symbols as u64 * 4);
         t.write(Access::Coalesced, u64::from(blocks) * num_symbols as u64, 4);

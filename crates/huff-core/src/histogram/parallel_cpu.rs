@@ -15,27 +15,23 @@ pub fn histogram(data: &[u16], num_symbols: usize, threads: usize) -> Histogram 
         return super::serial::histogram(data, num_symbols);
     }
     let chunk = data.len().div_ceil(threads);
-    data.par_chunks(chunk)
-        .map(|part| super::serial::histogram(part, num_symbols))
-        .reduce(
-            || vec![0u64; num_symbols],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        )
+    data.par_chunks(chunk).map(|part| super::serial::histogram(part, num_symbols)).fold(
+        vec![0u64; num_symbols],
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    )
 }
 
 /// Run `histogram` inside a dedicated rayon pool of exactly `threads`
 /// workers — the Table IV/VI "N cores" sweep needs hard thread bounds, not
 /// the global pool.
 pub fn histogram_with_pool(data: &[u16], num_symbols: usize, threads: usize) -> Histogram {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("thread pool");
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(threads.max(1)).build().expect("thread pool");
     pool.install(|| histogram(data, num_symbols, threads))
 }
 
@@ -45,7 +41,8 @@ mod tests {
 
     #[test]
     fn matches_serial_on_random_data() {
-        let data: Vec<u16> = (0..100_000u32).map(|i| (i.wrapping_mul(48271) >> 16) as u16 % 512).collect();
+        let data: Vec<u16> =
+            (0..100_000u32).map(|i| (i.wrapping_mul(48271) >> 16) as u16 % 512).collect();
         let s = crate::histogram::serial::histogram(&data, 512);
         for t in [1, 2, 4, 7, 16] {
             assert_eq!(histogram(&data, 512, t), s, "threads={t}");

@@ -23,7 +23,9 @@
 //! multithreaded CPU encoders, cuSZ's coarse-grained GPU encoder, and the
 //! Rahmani prefix-sum GPU encoder. [`decode`] provides treeless canonical,
 //! tree-walking, and parallel chunked decoders; [`archive`] wraps
-//! everything into a `compress`/`decompress` container.
+//! everything into a `compress`/`decompress` container with CRC32
+//! integrity checking and best-effort chunk recovery ([`integrity`],
+//! exercised by the deterministic fault model in [`testing`]).
 //!
 //! "GPU" here is the [`gpu_sim`] substrate: all transformations are
 //! bit-exact host computations; device *time* is modeled from the memory
@@ -49,12 +51,15 @@ pub mod encode;
 pub mod entropy;
 pub mod error;
 pub mod histogram;
+pub mod integrity;
 pub mod kernels;
 pub mod pipeline;
 pub mod sparse;
+pub mod testing;
 pub mod tree;
 
 pub use codebook::{parallel as build_codebook, CanonicalCodebook};
 pub use codeword::Codeword;
 pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
+pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};

@@ -6,11 +6,13 @@
 //! device clock and return a per-stage breakdown plus the (bit-exact)
 //! compressed stream.
 
+use crate::archive;
 use crate::codebook::{self, CanonicalCodebook};
 use crate::encode::{self, BreakingStrategy, ChunkedStream, MergeConfig};
 use crate::entropy;
-use crate::error::Result;
+use crate::error::{HuffError, Result};
 use crate::histogram;
+use crate::integrity::{DecompressOptions, Recovered};
 use gpu_sim::Gpu;
 
 /// Which pipeline to run.
@@ -108,8 +110,7 @@ pub fn run(
     let codebook_time = gpu.elapsed() - before_codebook;
 
     let avg_bits = book.average_bitwidth(&freqs);
-    let r = reduction
-        .unwrap_or_else(|| entropy::decide_reduction_factor(avg_bits, 32, magnitude));
+    let r = reduction.unwrap_or_else(|| entropy::decide_reduction_factor(avg_bits, 32, magnitude));
     let config = MergeConfig::new(magnitude, r);
 
     // Stage 3: encode.
@@ -136,8 +137,7 @@ pub fn run(
             (stream, bf, cr, 0)
         }
         PipelineKind::PrefixSum => {
-            let (flat, _) =
-                encode::gpu::prefix_sum_encode_on_gpu(gpu, data, symbol_bytes, &book)?;
+            let (flat, _) = encode::gpu::prefix_sum_encode_on_gpu(gpu, data, symbol_bytes, &book)?;
             let cr = flat.compression_ratio(symbol_bytes as u32 * 8);
             // Re-wrap as a single-chunk stream for a uniform return type.
             let stream = ChunkedStream {
@@ -164,6 +164,38 @@ pub fn run(
         compression_ratio,
     };
     Ok((stream, book, report))
+}
+
+/// Run a full encode pipeline and package the result as a checksummed
+/// RSH2 archive (see [`crate::archive`]).
+///
+/// [`PipelineKind::PrefixSum`] streams are a single flat bitstream with
+/// no chunk addressing, so they have no archive form and are rejected.
+#[allow(clippy::too_many_arguments)]
+pub fn run_to_archive(
+    gpu: &Gpu,
+    data: &[u16],
+    symbol_bytes: u64,
+    num_symbols: usize,
+    magnitude: u32,
+    reduction: Option<u32>,
+    kind: PipelineKind,
+) -> Result<(Vec<u8>, PipelineReport)> {
+    if kind == PipelineKind::PrefixSum {
+        return Err(HuffError::BadArchive(
+            "prefix-sum streams are not chunk-addressable; no archive form".into(),
+        ));
+    }
+    let (stream, book, report) =
+        run(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
+    Ok((archive::serialize(&stream, &book, symbol_bytes as u8), report))
+}
+
+/// Decode an archive produced by [`run_to_archive`] (or
+/// [`crate::archive::compress`]) under an explicit verification and
+/// recovery policy — the decompress side of the pipeline.
+pub fn decode_archive(archive_bytes: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
+    archive::decompress_with(archive_bytes, opts)
 }
 
 #[cfg(test)]
@@ -211,13 +243,9 @@ mod tests {
         let syms = data(20_000);
         let (stream, book, _) =
             run(&gpu, &syms, 2, 512, 10, None, PipelineKind::PrefixSum).unwrap();
-        let dec = decode::canonical::decode(
-            &stream.bytes,
-            stream.total_bits,
-            stream.num_symbols,
-            &book,
-        )
-        .unwrap();
+        let dec =
+            decode::canonical::decode(&stream.bytes, stream.total_bits, stream.num_symbols, &book)
+                .unwrap();
         assert_eq!(dec, syms);
     }
 
@@ -225,7 +253,8 @@ mod tests {
     fn ours_beats_cusz_overall_on_v100() {
         let syms = data(8_000_000);
         let g1 = Gpu::v100();
-        let (_, _, ours) = run(&g1, &syms, 2, 512, 10, Some(3), PipelineKind::ReduceShuffle).unwrap();
+        let (_, _, ours) =
+            run(&g1, &syms, 2, 512, 10, Some(3), PipelineKind::ReduceShuffle).unwrap();
         let g2 = Gpu::v100();
         let (_, _, cusz) = run(&g2, &syms, 2, 512, 10, None, PipelineKind::CuszCoarse).unwrap();
         assert!(
@@ -235,6 +264,26 @@ mod tests {
             cusz.times.total()
         );
         assert!(ours.overall_gbps() > cusz.overall_gbps());
+    }
+
+    #[test]
+    fn archive_pipeline_roundtrips_with_verification() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(30_000);
+        let (packed, report) =
+            run_to_archive(&gpu, &syms, 2, 512, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        assert!(report.compression_ratio > 1.0);
+        let rec = decode_archive(&packed, &DecompressOptions::default()).unwrap();
+        assert_eq!(rec.symbols, syms);
+        assert!(rec.report.is_clean());
+    }
+
+    #[test]
+    fn prefix_sum_has_no_archive_form() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(5_000);
+        let r = run_to_archive(&gpu, &syms, 2, 512, 10, None, PipelineKind::PrefixSum);
+        assert!(matches!(r, Err(HuffError::BadArchive(_))));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Deterministic fault injection for archive robustness testing.
+//!
+//! The integrity subsystem ([`crate::integrity`]) makes promises — strict
+//! mode never accepts a damaged archive, best-effort mode recovers
+//! exactly the undamaged chunks, and nothing ever panics. Promises need
+//! an adversary: this module provides one, as a small deterministic fault
+//! model the `fault_injection` test suite sweeps over every container
+//! section (via [`crate::archive::layout`]). It lives in the library
+//! rather than a test file so CLI tests and downstream users can reuse
+//! the same fault model.
+//!
+//! Everything here is deterministic: the same archive and the same fault
+//! always produce the same corrupted bytes.
+
+use std::ops::Range;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR one bit: `bytes[offset] ^= 1 << bit`.
+    BitFlip {
+        /// Byte offset into the archive.
+        offset: usize,
+        /// Bit index, 0–7.
+        bit: u8,
+    },
+    /// Swap the bytes at two offsets.
+    ByteSwap {
+        /// First offset.
+        a: usize,
+        /// Second offset.
+        b: usize,
+    },
+    /// Truncate the archive to `len` bytes.
+    Truncate {
+        /// New length.
+        len: usize,
+    },
+}
+
+/// Apply `fault` to `bytes` in place.
+///
+/// Returns `true` when the bytes actually changed — a swap of two equal
+/// bytes, an out-of-range offset, or a truncation at or past the current
+/// length are no-ops, and a sweep must not assert "detects corruption"
+/// on an archive that was never corrupted.
+pub fn apply(bytes: &mut Vec<u8>, fault: &Fault) -> bool {
+    match *fault {
+        Fault::BitFlip { offset, bit } => {
+            if offset >= bytes.len() || bit > 7 {
+                return false;
+            }
+            bytes[offset] ^= 1 << bit;
+            true
+        }
+        Fault::ByteSwap { a, b } => {
+            if a >= bytes.len() || b >= bytes.len() || bytes[a] == bytes[b] {
+                return false;
+            }
+            bytes.swap(a, b);
+            true
+        }
+        Fault::Truncate { len } => {
+            if len >= bytes.len() {
+                return false;
+            }
+            bytes.truncate(len);
+            true
+        }
+    }
+}
+
+/// A representative deterministic fault set for one archive section.
+///
+/// Covers: single-bit flips (low, middle, high bit) at the section's
+/// first, middle and last bytes; a byte swap across the section; and
+/// truncations at the section start and middle. Empty sections yield no
+/// faults.
+pub fn sweep(section: &Range<usize>) -> Vec<Fault> {
+    if section.is_empty() {
+        return Vec::new();
+    }
+    let first = section.start;
+    let last = section.end - 1;
+    let mid = section.start + section.len() / 2;
+    let mut faults = vec![
+        Fault::BitFlip { offset: first, bit: 0 },
+        Fault::BitFlip { offset: mid, bit: 3 },
+        Fault::BitFlip { offset: last, bit: 7 },
+        Fault::Truncate { len: first },
+        Fault::Truncate { len: mid },
+    ];
+    if section.len() >= 2 {
+        faults.push(Fault::ByteSwap { a: first, b: last });
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_round_trips() {
+        let mut b = vec![0u8; 4];
+        assert!(apply(&mut b, &Fault::BitFlip { offset: 2, bit: 5 }));
+        assert_eq!(b, [0, 0, 0x20, 0]);
+        assert!(apply(&mut b, &Fault::BitFlip { offset: 2, bit: 5 }));
+        assert_eq!(b, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_faults_are_noops() {
+        let mut b = vec![1u8, 2, 3];
+        assert!(!apply(&mut b, &Fault::BitFlip { offset: 3, bit: 0 }));
+        assert!(!apply(&mut b, &Fault::ByteSwap { a: 0, b: 9 }));
+        assert!(!apply(&mut b, &Fault::Truncate { len: 3 }));
+        assert_eq!(b, [1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_byte_swap_reports_unchanged() {
+        let mut b = vec![7u8, 7];
+        assert!(!apply(&mut b, &Fault::ByteSwap { a: 0, b: 1 }));
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut b = vec![1u8, 2, 3, 4];
+        assert!(apply(&mut b, &Fault::Truncate { len: 1 }));
+        assert_eq!(b, [1]);
+    }
+
+    #[test]
+    fn sweep_covers_section() {
+        let faults = sweep(&(10..20));
+        assert!(faults.len() >= 6);
+        for f in &faults {
+            match *f {
+                Fault::BitFlip { offset, .. } => assert!((10..20).contains(&offset)),
+                Fault::ByteSwap { a, b } => {
+                    assert!((10..20).contains(&a) && (10..20).contains(&b))
+                }
+                Fault::Truncate { len } => assert!((10..20).contains(&len)),
+            }
+        }
+        assert!(sweep(&(5..5)).is_empty());
+    }
+}

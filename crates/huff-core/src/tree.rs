@@ -172,11 +172,7 @@ pub fn weighted_length(freqs: &[u64], lengths: &[u32]) -> u64 {
 /// Kraft sum numerator scaled by 2^64: exactly 2^64 for a complete
 /// prefix-free code (returns the sum of `2^(64 - l)` over coded symbols).
 pub fn kraft_sum(lengths: &[u32]) -> u128 {
-    lengths
-        .iter()
-        .filter(|&&l| l > 0)
-        .map(|&l| 1u128 << (64 - l.min(64)))
-        .sum()
+    lengths.iter().filter(|&&l| l > 0).map(|&l| 1u128 << (64 - l.min(64))).sum()
 }
 
 #[cfg(test)]

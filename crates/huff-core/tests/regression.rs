@@ -37,10 +37,8 @@ fn shuffle_slack_bits_stay_clean_across_iterations() {
     // Lengths engineered so early merges leave partial words that later
     // iterations append onto.
     let lens = [31u32, 1, 17, 15, 3, 29, 32, 0];
-    let mut words: Vec<u32> = lens
-        .iter()
-        .map(|&l| if l == 0 { 0 } else { (u32::MAX >> (32 - l)) << (32 - l) })
-        .collect();
+    let mut words: Vec<u32> =
+        lens.iter().map(|&l| if l == 0 { 0 } else { (u32::MAX >> (32 - l)) << (32 - l) }).collect();
     let (total, _) = encode::shuffle_merge::shuffle_chunk(&mut words, &lens);
     assert_eq!(total, lens.iter().map(|&l| u64::from(l)).sum::<u64>());
     // Every payload bit is 1; every slack bit is 0.
@@ -70,21 +68,25 @@ fn breaking_at_chunk_edges() {
     let book = CanonicalCodebook::from_lengths(&lengths).unwrap();
     let m = 6u32; // 64-symbol chunks, r=4 -> 16-symbol units
     let mut syms = vec![0u16; 64 * 3 + 40]; // 3 full chunks + partial tail
-    // First unit of chunk 0 breaks.
+                                            // First unit of chunk 0 breaks.
     for s in syms.iter_mut().take(4) {
         *s = 12;
     }
     // Last unit of chunk 1 breaks.
-    for i in 64 + 48..64 + 52 {
-        syms[i] = 12;
+    for s in &mut syms[64 + 48..64 + 52] {
+        *s = 12;
     }
     // A unit inside the partial tail breaks.
-    for i in 192 + 16..192 + 20 {
-        syms[i] = 12;
+    for s in &mut syms[192 + 16..192 + 20] {
+        *s = 12;
     }
-    let stream =
-        reduce_shuffle::encode(&syms, &book, MergeConfig::new(m, 4), BreakingStrategy::SparseSidecar)
-            .unwrap();
+    let stream = reduce_shuffle::encode(
+        &syms,
+        &book,
+        MergeConfig::new(m, 4),
+        BreakingStrategy::SparseSidecar,
+    )
+    .unwrap();
     assert!(stream.outliers.num_units() >= 3, "{}", stream.outliers.num_units());
     assert_eq!(decode::chunked::decode(&stream, &book).unwrap(), syms);
 }

@@ -218,9 +218,8 @@ mod tests {
         let freqs: Vec<u64> = (0..500u64).map(|i| (i * 48271) % 9973 + 1).collect();
         let ours = huffman_lengths(&freqs);
         let reference = huff_core::tree::codeword_lengths(&freqs).unwrap();
-        let w = |lens: &[u32]| -> u64 {
-            freqs.iter().zip(lens).map(|(&f, &l)| f * u64::from(l)).sum()
-        };
+        let w =
+            |lens: &[u32]| -> u64 { freqs.iter().zip(lens).map(|(&f, &l)| f * u64::from(l)).sum() };
         assert_eq!(w(&ours), w(&reference));
     }
 

@@ -72,9 +72,9 @@ pub fn kmer_symbols(seq: &[u8], k: usize) -> Vec<u16> {
             if clean {
                 code as u16
             } else {
-                let h = w
-                    .iter()
-                    .fold(0xcbf29ce484222325u64, |a, &b| (a ^ u64::from(b)).wrapping_mul(0x100000001b3));
+                let h = w.iter().fold(0xcbf29ce484222325u64, |a, &b| {
+                    (a ^ u64::from(b)).wrapping_mul(0x100000001b3)
+                });
                 (base_region + (h as usize % dirty_region)) as u16
             }
         })

@@ -71,7 +71,7 @@ mod tests {
     fn normal_total_mass_close() {
         let h = normal(65536, 10_000_000, 2);
         let sum: u64 = h.iter().sum();
-        assert!(sum >= 10_000_000 && sum < 13_000_000, "sum {sum}");
+        assert!((10_000_000..13_000_000).contains(&sum), "sum {sum}");
     }
 
     #[test]

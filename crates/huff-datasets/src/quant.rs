@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 /// `num_bins/2`) with two-sided geometric deviation of parameter `p`
 /// (larger `p` → sharper peak → lower entropy).
 pub fn two_sided_geometric(n: usize, num_bins: usize, p: f64, seed: u64) -> Vec<u16> {
-    assert!(num_bins >= 4 && num_bins <= 65536);
+    assert!((4..=65536).contains(&num_bins));
     assert!(p > 0.0 && p < 1.0);
     let centre = (num_bins / 2) as i64;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -19,10 +19,10 @@ pub fn mri_like(width: usize, height: usize, seed: u64) -> Vec<u16> {
     let modes: Vec<(f64, f64, f64, f64)> = (0..MODES)
         .map(|_| {
             (
-                rng.gen_range(0.5..4.0),  // kx
-                rng.gen_range(0.5..4.0),  // ky
-                rng.gen_range(0.0..6.28), // phase
-                rng.gen_range(0.3..1.0),  // amplitude
+                rng.gen_range(0.5..4.0),                   // kx
+                rng.gen_range(0.5..4.0),                   // ky
+                rng.gen_range(0.0..std::f64::consts::TAU), // phase
+                rng.gen_range(0.3..1.0),                   // amplitude
             )
         })
         .collect();
@@ -32,7 +32,7 @@ pub fn mri_like(width: usize, height: usize, seed: u64) -> Vec<u16> {
             let (fx, fy) = (x as f64 / width as f64, y as f64 / height as f64);
             let mut v = 0.0;
             for &(kx, ky, ph, a) in &modes {
-                v += a * (6.283 * (kx * fx + ky * fy) + ph).cos();
+                v += a * (std::f64::consts::TAU * (kx * fx + ky * fy) + ph).cos();
             }
             // Background-dominated like MRI: clamp the dark half.
             let noise: f64 = rng.gen_range(-0.08..0.08);

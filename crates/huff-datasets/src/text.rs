@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 /// Sample `n` symbols from a Zipf distribution with exponent `s` over
 /// `num_symbols` ranks (rank 0 most probable).
 pub fn zipf(n: usize, num_symbols: usize, s: f64, seed: u64) -> Vec<u16> {
-    assert!(num_symbols >= 2 && num_symbols <= 65536);
+    assert!((2..=65536).contains(&num_symbols));
     let weights: Vec<f64> = (1..=num_symbols).map(|r| (r as f64).powf(-s)).collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(num_symbols);
@@ -36,7 +36,7 @@ pub fn zipf(n: usize, num_symbols: usize, s: f64, seed: u64) -> Vec<u16> {
 /// per-state predictability; the marginal distribution ends up Zipf-ish,
 /// like natural-language byte streams.
 pub fn markov_text(n: usize, num_symbols: usize, zipf_s: f64, seed: u64) -> Vec<u16> {
-    assert!(num_symbols >= 2 && num_symbols <= 4096);
+    assert!((2..=4096).contains(&num_symbols));
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Zipf row template CDF.

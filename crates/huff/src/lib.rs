@@ -37,18 +37,20 @@ pub use huff_datasets;
 pub use sz_quant;
 
 pub use gpu_sim::{DeviceSpec, Gpu, GridDim};
-pub use huff_core::archive::{compress, decompress, CompressOptions};
+pub use huff_core::archive::{compress, decompress, decompress_with, verify, CompressOptions};
 pub use huff_core::pipeline::{self, PipelineKind, PipelineReport};
 pub use huff_core::{
-    codebook, decode, encode, entropy, histogram, kernels, sparse, tree, BreakingStrategy,
-    CanonicalCodebook, ChunkedStream, Codeword, EncodedStream, HuffError, MergeConfig, Result,
+    codebook, decode, encode, entropy, histogram, integrity, kernels, sparse, tree,
+    BreakingStrategy, CanonicalCodebook, ChunkedStream, Codeword, DecompressOptions, EncodedStream,
+    HuffError, MergeConfig, Recovered, RecoveryMode, RecoveryReport, Result, Section, Verify,
 };
 pub use huff_datasets::PaperDataset;
 
 /// The convenient single import.
 pub mod prelude {
     pub use crate::{
-        compress, decompress, pipeline, BreakingStrategy, CanonicalCodebook, ChunkedStream,
-        CompressOptions, DeviceSpec, Gpu, HuffError, MergeConfig, PaperDataset, PipelineKind,
+        compress, decompress, decompress_with, pipeline, BreakingStrategy, CanonicalCodebook,
+        ChunkedStream, CompressOptions, DecompressOptions, DeviceSpec, Gpu, HuffError, MergeConfig,
+        PaperDataset, PipelineKind, RecoveryMode, RecoveryReport, Verify,
     };
 }

@@ -37,7 +37,11 @@ pub struct CompressStats {
 
 /// Compress a field under an absolute error bound with `num_bins`
 /// quantization bins.
-pub fn compress(field: &Field3, error_bound: f32, num_bins: usize) -> Result<(Vec<u8>, CompressStats)> {
+pub fn compress(
+    field: &Field3,
+    error_bound: f32,
+    num_bins: usize,
+) -> Result<(Vec<u8>, CompressStats)> {
     let quant = Quantizer::new(error_bound, num_bins);
     let n = field.len();
 
@@ -164,9 +168,8 @@ pub fn decompress(archive_bytes: &[u8]) -> Result<Field3> {
                 let i = recon.idx(x, y, z);
                 let code = codes[i];
                 if code == Quantizer::UNPREDICTABLE {
-                    let &&(oi, ov) = outlier_iter
-                        .peek()
-                        .ok_or(HuffError::CorruptStream("missing outlier"))?;
+                    let &&(oi, ov) =
+                        outlier_iter.peek().ok_or(HuffError::CorruptStream("missing outlier"))?;
                     if oi != i as u64 {
                         return Err(HuffError::CorruptStream("outlier index mismatch"));
                     }
@@ -286,6 +289,10 @@ mod tests {
                 }
             }
         }
-        assert!(centre as f64 / total as f64 > 0.3, "centre fraction {}", centre as f64 / total as f64);
+        assert!(
+            centre as f64 / total as f64 > 0.3,
+            "centre fraction {}",
+            centre as f64 / total as f64
+        );
     }
 }

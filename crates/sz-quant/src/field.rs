@@ -87,11 +87,7 @@ impl Field3 {
     /// Maximum absolute pointwise difference to another field.
     pub fn max_abs_diff(&self, other: &Field3) -> f32 {
         assert_eq!(self.data.len(), other.data.len());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
@@ -106,12 +102,12 @@ pub fn smooth_cosines(nx: usize, ny: usize, nz: usize, modes: usize, seed: u64) 
     let mode_params: Vec<[f32; 7]> = (0..modes.max(1))
         .map(|_| {
             [
-                next() * 4.0 + 0.5, // kx
-                next() * 4.0 + 0.5, // ky
-                next() * 4.0 + 0.5, // kz
-                next() * 6.28,      // phase
-                next() * 0.8 + 0.2, // amplitude
-                next(),             // unused jitter seeds
+                next() * 4.0 + 0.5,             // kx
+                next() * 4.0 + 0.5,             // ky
+                next() * 4.0 + 0.5,             // kz
+                next() * std::f32::consts::TAU, // phase
+                next() * 0.8 + 0.2,             // amplitude
+                next(),                         // unused jitter seeds
                 next(),
             ]
         })
@@ -124,7 +120,9 @@ pub fn smooth_cosines(nx: usize, ny: usize, nz: usize, modes: usize, seed: u64) 
                     (x as f32 / nx as f32, y as f32 / ny as f32, z as f32 / nz as f32);
                 let mut v = 0.0;
                 for m in &mode_params {
-                    v += m[4] * (6.283 * (m[0] * fx + m[1] * fy + m[2] * fz) + m[3]).cos();
+                    v += m[4]
+                        * (std::f32::consts::TAU * (m[0] * fx + m[1] * fy + m[2] * fz) + m[3])
+                            .cos();
                 }
                 let i = f.idx(x, y, z);
                 f.data[i] = v;

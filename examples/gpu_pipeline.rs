@@ -31,13 +31,7 @@ fn main() -> Result<(), HuffError> {
                 100.0 * secs / total
             );
         }
-        println!(
-            "{:<26} {:>9} {:>12.4} {:>9.1}%",
-            "TOTAL",
-            clock.launches(),
-            total * 1e3,
-            100.0
-        );
+        println!("{:<26} {:>9} {:>12.4} {:>9.1}%", "TOTAL", clock.launches(), total * 1e3, 100.0);
         println!(
             "overall {:.1} GB/s | encode {:.1} GB/s | avg {:.4} bits | breaking {:.6}% | ratio {:.2}x\n",
             gpu_sim::gbps(input_bytes / total),

@@ -14,16 +14,25 @@ fn main() -> Result<(), HuffError> {
     println!("generating {} Nyx-Quant-like quantization codes...", n);
     let data = PaperDataset::NyxQuant.generate(n, 7);
 
-    println!("\n{:<16} {:>10} {:>12} {:>12} {:>12} {:>10}", "encoder", "hist GB/s", "codebook ms",
-        "encode GB/s", "overall GB/s", "ratio");
+    println!(
+        "\n{:<16} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "encoder", "hist GB/s", "codebook ms", "encode GB/s", "overall GB/s", "ratio"
+    );
     for (name, kind) in [
         ("reduce-shuffle", PipelineKind::ReduceShuffle),
         ("cuSZ coarse", PipelineKind::CuszCoarse),
         ("prefix-sum", PipelineKind::PrefixSum),
     ] {
         let gpu = Gpu::v100();
-        let (stream, book, report) =
-            pipeline::run(&gpu, &data, PaperDataset::NyxQuant.symbol_bytes(), 1024, 10, Some(3), kind)?;
+        let (stream, book, report) = pipeline::run(
+            &gpu,
+            &data,
+            PaperDataset::NyxQuant.symbol_bytes(),
+            1024,
+            10,
+            Some(3),
+            kind,
+        )?;
         // Verify the stream decodes before reporting numbers.
         let ok = match kind {
             PipelineKind::PrefixSum => {

@@ -14,12 +14,18 @@ use huff::sz_quant::{compress::compress, compress::decompress, field};
 
 fn main() {
     let (nx, ny, nz) = (128, 128, 32);
-    println!("generating a {nx}x{ny}x{nz} smooth field ({} MB of f32)...", nx * ny * nz * 4 / 1_000_000);
+    println!(
+        "generating a {nx}x{ny}x{nz} smooth field ({} MB of f32)...",
+        nx * ny * nz * 4 / 1_000_000
+    );
     let f = field::smooth_cosines(nx, ny, nz, 4, 2024);
     let (lo, hi) = f.range();
     println!("value range [{lo:.3}, {hi:.3}]\n");
 
-    println!("{:>12} {:>10} {:>12} {:>14} {:>12}", "error bound", "ratio", "max error", "unpredictable", "bound held");
+    println!(
+        "{:>12} {:>10} {:>12} {:>14} {:>12}",
+        "error bound", "ratio", "max error", "unpredictable", "bound held"
+    );
     for eb in [0.1f32, 0.01, 0.001, 0.0001] {
         let (packed, stats) = compress(&f, eb, 1024).expect("compress");
         let back = decompress(&packed).expect("decompress");
@@ -38,5 +44,8 @@ fn main() {
     println!("\nrougher data costs ratio, never correctness:");
     let rough = field::noisy(nx, ny, nz, 0.8, 7);
     let (_, stats) = compress(&rough, 0.01, 1024).expect("compress");
-    println!("noisy field at eb=0.01: ratio {:.2}x, {} unpredictable", stats.ratio, stats.unpredictable);
+    println!(
+        "noisy field at eb=0.01: ratio {:.2}x, {} unpredictable",
+        stats.ratio, stats.unpredictable
+    );
 }

@@ -11,11 +11,24 @@ fn sample(n: usize, seed: u64) -> Vec<u16> {
 fn header_layout_is_stable() {
     let data = sample(10_000, 1);
     let packed = compress(&data, &CompressOptions::new(256)).unwrap();
-    assert_eq!(&packed[..4], b"RSH1");
+    assert_eq!(&packed[..4], b"RSH2");
     assert_eq!(packed[4], 2); // symbol_bytes
     assert_eq!(packed[5], 10); // magnitude
     let r = packed[6];
-    assert!(r >= 1 && r < 10);
+    assert!((1..10).contains(&r));
+}
+
+#[test]
+fn legacy_rsh1_archives_still_decompress() {
+    // The seed code wrote RSH1 (no checksums); readers must keep
+    // accepting it byte-for-byte.
+    let data = sample(10_000, 1);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    let (stream, book, sb) = archive::deserialize(&packed).unwrap();
+    let legacy = archive::serialize_v1(&stream, &book, sb);
+    assert_eq!(&legacy[..4], b"RSH1");
+    assert!(legacy.len() < packed.len(), "v1 must be smaller (no checksums)");
+    assert_eq!(archive::decompress(&legacy).unwrap(), data);
 }
 
 #[test]

@@ -58,9 +58,8 @@ fn parallel_codebook_equals_from_lengths_exactly() {
 
 #[test]
 fn histograms_agree_across_backends() {
-    let data: Vec<u16> = (0..500_000u64)
-        .map(|i| ((i.wrapping_mul(2654435761) >> 13) % 2048) as u16)
-        .collect();
+    let data: Vec<u16> =
+        (0..500_000u64).map(|i| ((i.wrapping_mul(2654435761) >> 13) % 2048) as u16).collect();
     let serial = histogram::serial::histogram(&data, 2048);
     for threads in [2, 3, 8, 32] {
         assert_eq!(histogram::parallel_cpu::histogram(&data, 2048, threads), serial);
@@ -73,10 +72,10 @@ fn histograms_agree_across_backends() {
 fn generate_cl_optimal_on_adversarial_shapes() {
     // Shapes that historically break parallel Huffman constructions.
     let shapes: Vec<Vec<u64>> = vec![
-        vec![1; 255],                                   // all ties
+        vec![1; 255],                                    // all ties
         (1..=64u64).map(|i| 1u64 << (i % 40)).collect(), // wild dynamic range
-        vec![1, 1, 1, 1, 1_000_000_000],                // one dominant
-        (1..=100u64).collect(),                         // linear ramp
+        vec![1, 1, 1, 1, 1_000_000_000],                 // one dominant
+        (1..=100u64).collect(),                          // linear ramp
         {
             // Fibonacci: deepest possible tree.
             let mut v = vec![1u64, 1];

@@ -1,0 +1,254 @@
+//! Fault-injection sweep over every archive section.
+//!
+//! Uses the deterministic fault model in `huff_core::testing` to damage
+//! archives section by section (`archive::layout`) and asserts the
+//! integrity contract:
+//!
+//! * no fault ever panics the decoder;
+//! * strict mode always errors on a damaged archive, with a typed
+//!   `ChecksumMismatch` wherever structural validation doesn't reject the
+//!   damage first;
+//! * best-effort mode recovers exactly the chunks whose payload spans are
+//!   untouched, sentinel-fills the rest, and reports the losses;
+//! * RSH1 archives (no checksums) still decompress, and damaged RSH1
+//!   archives never panic.
+
+use huff::huff_core::archive::{self, CompressOptions};
+use huff::huff_core::integrity::{DecompressOptions, Section};
+use huff::huff_core::testing::{self, Fault};
+use huff::huff_core::HuffError;
+use huff::prelude::*;
+use proptest::prelude::*;
+
+fn sample(n: usize, seed: u64) -> Vec<u16> {
+    PaperDataset::Nci.generate(n, seed)
+}
+
+fn packed_sample(n: usize, seed: u64) -> (Vec<u16>, Vec<u8>) {
+    let data = sample(n, seed);
+    let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+    (data, packed)
+}
+
+/// The payload byte span of chunk `ci`, relative to the payload start —
+/// mirrors the span the archive checksums cover.
+fn chunk_span(stream: &ChunkedStream, ci: usize) -> (usize, usize) {
+    let off = stream.chunk_bit_offsets[ci];
+    let len = stream.chunk_bit_lens[ci];
+    let start = (off / 8) as usize;
+    let end = (((off + len) as usize).div_ceil(8)).max(start);
+    (start, end)
+}
+
+fn section_range(packed: &[u8], which: Section) -> std::ops::Range<usize> {
+    archive::layout(packed).unwrap().into_iter().find(|(s, _)| *s == which).map(|(_, r)| r).unwrap()
+}
+
+#[test]
+fn every_section_every_fault_never_panics_and_strict_errors() {
+    let (_, packed) = packed_sample(30_000, 11);
+    for (section, range) in archive::layout(&packed).unwrap() {
+        for fault in testing::sweep(&range) {
+            let mut corrupt = packed.clone();
+            if !testing::apply(&mut corrupt, &fault) {
+                continue; // no-op fault (e.g. swapped equal bytes)
+            }
+            let strict = archive::decompress(&corrupt);
+            assert!(strict.is_err(), "{section} {fault:?}: strict accepted damage");
+            // Best-effort must not panic either; payload damage recovers,
+            // header damage errors — both are fine here.
+            let _ = archive::decompress_with(&corrupt, &DecompressOptions::best_effort());
+            // Verification must not panic and must not report clean.
+            if let Ok(report) = archive::verify(&corrupt) {
+                assert!(!report.is_clean(), "{section} {fault:?}: verify said clean");
+            }
+        }
+    }
+}
+
+#[test]
+fn header_faults_are_fatal_in_best_effort_too() {
+    let (_, packed) = packed_sample(20_000, 12);
+    for (section, range) in archive::layout(&packed).unwrap() {
+        if section == Section::Payload {
+            continue;
+        }
+        for fault in testing::sweep(&range) {
+            let mut corrupt = packed.clone();
+            if !testing::apply(&mut corrupt, &fault) {
+                continue;
+            }
+            let r = archive::decompress_with(&corrupt, &DecompressOptions::best_effort());
+            assert!(r.is_err(), "{section} {fault:?}: best-effort survived header damage");
+        }
+    }
+}
+
+#[test]
+fn checksum_table_flip_yields_typed_header_mismatch() {
+    let (_, packed) = packed_sample(10_000, 13);
+    let range = section_range(&packed, Section::Checksums);
+    let mut corrupt = packed.clone();
+    assert!(testing::apply(
+        &mut corrupt,
+        &Fault::BitFlip { offset: range.start + range.len() / 2, bit: 2 }
+    ));
+    match archive::decompress(&corrupt) {
+        Err(HuffError::ChecksumMismatch { section: Section::Header, chunk: None, .. }) => {}
+        other => panic!("expected header checksum mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_flips_strict_typed_error_best_effort_exact_recovery() {
+    let (data, packed) = packed_sample(60_000, 14);
+    let (stream, _, _) = archive::deserialize(&packed).unwrap();
+    let payload = section_range(&packed, Section::Payload);
+    let chunk_syms = stream.config.chunk_symbols();
+    assert!(stream.num_chunks() >= 4, "want several chunks, got {}", stream.num_chunks());
+
+    // Flip one bit in every 97th payload byte (and the first/last bytes).
+    let mut positions: Vec<usize> = (0..payload.len()).step_by(97).collect();
+    positions.push(payload.len() - 1);
+    for rel in positions {
+        let fault = Fault::BitFlip { offset: payload.start + rel, bit: (rel % 8) as u8 };
+        let mut corrupt = packed.clone();
+        assert!(testing::apply(&mut corrupt, &fault));
+
+        // Which chunks' spans cover the damaged byte?
+        let expected: Vec<usize> = (0..stream.num_chunks())
+            .filter(|&ci| {
+                let (s, e) = chunk_span(&stream, ci);
+                rel >= s && rel < e
+            })
+            .collect();
+        assert!(!expected.is_empty(), "byte {rel} outside every chunk span");
+
+        // Strict: typed error naming one of the damaged chunks.
+        match archive::decompress(&corrupt) {
+            Err(HuffError::ChecksumMismatch {
+                section: Section::Payload, chunk: Some(ci), ..
+            }) => {
+                assert!(expected.contains(&(ci as usize)), "chunk {ci} not in {expected:?}")
+            }
+            other => panic!("rel={rel}: expected payload mismatch, got {other:?}"),
+        }
+
+        // Best-effort: exactly the covered chunks are damaged, everything
+        // else is intact.
+        let opts = DecompressOptions::best_effort();
+        let rec = archive::decompress_with(&corrupt, &opts).unwrap();
+        assert_eq!(rec.report.damaged_chunks, expected, "rel={rel}");
+        assert_eq!(rec.symbols.len(), data.len());
+        let mut lost = vec![false; data.len()];
+        for &(s, e) in &rec.report.damaged_ranges {
+            lost[s..e].iter_mut().for_each(|b| *b = true);
+        }
+        for i in 0..data.len() {
+            if lost[i] {
+                assert_eq!(rec.symbols[i], opts.sentinel);
+                assert!(expected.contains(&(i / chunk_syms)), "lost symbol {i} in clean chunk");
+            } else {
+                assert_eq!(rec.symbols[i], data[i], "rel={rel} index {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_truncation_recovers_exactly_the_complete_chunks() {
+    let (data, packed) = packed_sample(80_000, 15);
+    let (stream, _, _) = archive::deserialize(&packed).unwrap();
+    let payload = section_range(&packed, Section::Payload);
+
+    for frac in [4, 2, 1] {
+        // Keep 1/4, 1/2, then all-but-one-byte of the payload.
+        let keep = if frac == 1 { payload.len() - 1 } else { payload.len() / frac };
+        let mut corrupt = packed.clone();
+        assert!(testing::apply(&mut corrupt, &Fault::Truncate { len: payload.start + keep }));
+
+        assert!(archive::decompress(&corrupt).is_err(), "strict accepted truncation");
+
+        let expected: Vec<usize> =
+            (0..stream.num_chunks()).filter(|&ci| chunk_span(&stream, ci).1 > keep).collect();
+        let rec = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
+        assert_eq!(rec.report.damaged_chunks, expected, "keep={keep}");
+        let mut lost = vec![false; data.len()];
+        for &(s, e) in &rec.report.damaged_ranges {
+            lost[s..e].iter_mut().for_each(|b| *b = true);
+        }
+        for i in 0..data.len() {
+            if !lost[i] {
+                assert_eq!(rec.symbols[i], data[i], "keep={keep} index {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rsh1_archives_still_decompress_and_never_panic_when_damaged() {
+    let (data, packed) = packed_sample(20_000, 16);
+    let (stream, book, sb) = archive::deserialize(&packed).unwrap();
+    let legacy = archive::serialize_v1(&stream, &book, sb);
+    assert_eq!(&legacy[..4], b"RSH1");
+    assert_eq!(archive::decompress(&legacy).unwrap(), data);
+    // No checksums to check: verification is vacuously clean.
+    assert!(archive::verify(&legacy).unwrap().is_clean());
+
+    for (_, range) in archive::layout(&legacy).unwrap() {
+        for fault in testing::sweep(&range) {
+            let mut corrupt = legacy.clone();
+            if !testing::apply(&mut corrupt, &fault) {
+                continue;
+            }
+            // RSH1 has no checksums, so damage may decode to garbage —
+            // the only promise is: no panic, and structural errors are
+            // typed.
+            match archive::decompress(&corrupt) {
+                Ok(out) => {
+                    let _ = out.len();
+                }
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any single-byte XOR of an RSH2 archive is detected: every byte is
+    // covered by the magic check, the header CRC, or a chunk CRC — so a
+    // strict decompress must error, never silently corrupt.
+    #[test]
+    fn any_single_byte_mutation_is_detected(
+        seed in 1u64..1000,
+        pos_frac in 0u32..1000,
+        xor in 1u8..=255,
+    ) {
+        let data = sample(4_000, seed);
+        let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+        let pos = (pos_frac as usize * (packed.len() - 1)) / 999;
+        let mut corrupt = packed.clone();
+        corrupt[pos] ^= xor;
+        prop_assert!(corrupt != packed);
+        prop_assert!(archive::decompress(&corrupt).is_err(), "pos={pos} xor={xor:#x}");
+
+        // Best-effort never panics; when it succeeds, length is preserved
+        // and clean regions are intact.
+        if let Ok(rec) = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()) {
+            prop_assert_eq!(rec.symbols.len(), data.len());
+            let mut lost = vec![false; data.len()];
+            for &(s, e) in &rec.report.damaged_ranges {
+                lost[s..e].iter_mut().for_each(|b| *b = true);
+            }
+            for i in 0..data.len() {
+                if !lost[i] {
+                    prop_assert_eq!(rec.symbols[i], data[i]);
+                }
+            }
+        }
+    }
+}

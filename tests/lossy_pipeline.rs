@@ -99,16 +99,9 @@ fn lossy_archive_through_gpu_encoder() {
     }
 
     let gpu = huff::Gpu::v100();
-    let (stream, book, _) = huff::pipeline::run(
-        &gpu,
-        &codes,
-        2,
-        1024,
-        10,
-        None,
-        huff::PipelineKind::ReduceShuffle,
-    )
-    .unwrap();
+    let (stream, book, _) =
+        huff::pipeline::run(&gpu, &codes, 2, 1024, 10, None, huff::PipelineKind::ReduceShuffle)
+            .unwrap();
     let decoded = huff::decode::chunked::decode(&stream, &book).unwrap();
     assert_eq!(decoded, codes);
 

@@ -35,8 +35,18 @@ fn ours_beats_both_baselines_at_scale() {
         let gpu = Gpu::v100();
         run(&gpu, &data, 2, 1024, 10, None, PipelineKind::PrefixSum).unwrap().2
     };
-    assert!(ours.encode_gbps() > cusz.encode_gbps(), "{} vs {}", ours.encode_gbps(), cusz.encode_gbps());
-    assert!(ours.encode_gbps() > prefix.encode_gbps(), "{} vs {}", ours.encode_gbps(), prefix.encode_gbps());
+    assert!(
+        ours.encode_gbps() > cusz.encode_gbps(),
+        "{} vs {}",
+        ours.encode_gbps(),
+        cusz.encode_gbps()
+    );
+    assert!(
+        ours.encode_gbps() > prefix.encode_gbps(),
+        "{} vs {}",
+        ours.encode_gbps(),
+        prefix.encode_gbps()
+    );
 }
 
 #[test]

@@ -9,9 +9,8 @@ use proptest::prelude::*;
 
 /// Random data paired with a symbol space that covers it.
 fn data_strategy() -> impl Strategy<Value = (Vec<u16>, usize)> {
-    (2usize..200).prop_flat_map(|space| {
-        (proptest::collection::vec(0..space as u16, 1..4000), Just(space))
-    })
+    (2usize..200)
+        .prop_flat_map(|space| (proptest::collection::vec(0..space as u16, 1..4000), Just(space)))
 }
 
 proptest! {

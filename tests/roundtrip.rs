@@ -69,8 +69,7 @@ fn decoder_variants_agree() {
     let book = huff::codebook::parallel(&freqs, 4).unwrap();
     let enc = encode::serial::encode(&data, &book).unwrap();
 
-    let canonical =
-        decode::canonical::decode(&enc.bytes, enc.bit_len, data.len(), &book).unwrap();
+    let canonical = decode::canonical::decode(&enc.bytes, enc.bit_len, data.len(), &book).unwrap();
     assert_eq!(canonical, data);
     assert!(decode::tree::cross_check(&data, &freqs).unwrap());
 }

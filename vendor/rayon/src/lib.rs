@@ -1,0 +1,246 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon).
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! *API surface* it actually uses. Parallel iterators are mapped onto plain
+//! sequential `std` iterators: every adapter (`map`, `zip`, `sum`,
+//! `collect`, …) then works unchanged because the returned types *are*
+//! `std::iter` types. This is semantically identical to rayon for the
+//! deterministic, order-preserving way the workspace uses it; wall-clock
+//! parallel speedups are the only thing lost, and all performance claims in
+//! this repo are made by the `gpu-sim` analytic cost model, not host timing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The traits users normally get from `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut, ParallelSort,
+    };
+}
+
+/// `.into_par_iter()` — consuming conversion (ranges, `Vec`, …).
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `.par_iter()` — borrowing conversion.
+pub trait IntoParallelRefIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item: 'data;
+    /// Iterate by shared reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `.par_iter_mut()` — mutable borrowing conversion.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item: 'data;
+    /// Iterate by exclusive reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `.par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    /// Chunked shared iteration.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Chunked exclusive iteration.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `.par_sort_*()` on slices.
+pub trait ParallelSort<T> {
+    /// Stable sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Unstable natural-order sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+}
+
+impl<T> ParallelSort<T> for [T] {
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+}
+
+/// Ambient "pool" width reported by [`current_num_threads`]; `install`
+/// scopes a logical width the way rayon pools do.
+static CURRENT_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Logical number of threads of the ambient pool.
+pub fn current_num_threads() -> usize {
+    let w = CURRENT_WIDTH.load(Ordering::Relaxed);
+    if w != 0 {
+        return w;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]. Never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in the sequential shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Request a logical pool width (recorded, not spawned).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (logical) pool. Infallible here.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A logical thread pool: `install` runs the closure on the calling thread
+/// while advertising the pool's width through [`current_num_threads`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_WIDTH.swap(self.num_threads, Ordering::Relaxed);
+        let r = op();
+        CURRENT_WIDTH.store(prev, Ordering::Relaxed);
+        r
+    }
+
+    /// The width this pool advertises.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// `rayon::join` — runs both closures (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_adapters_work() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().sum();
+        assert_eq!(s, 10);
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let r: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunks_and_sort() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut out = vec![0u32; 4];
+        out.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(out, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn pool_install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 7);
+        assert_ne!(current_num_threads(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for [serde](https://docs.rs/serde).
+//!
+//! Instead of serde's visitor architecture, [`Serialize`] converts a value
+//! directly into an in-memory [`json::Value`] — that is the only data model
+//! this workspace ever serializes into (`serde_json::to_value` on benchmark
+//! rows). [`Deserialize`] is a marker: nothing in the workspace
+//! deserializes, but the derive keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialize into the shim's JSON data model.
+pub trait Serialize {
+    /// The JSON rendering of `self`.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Marker trait mirroring `serde::Deserialize` (no decoding is performed
+/// anywhere in this workspace).
+pub trait Deserialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}

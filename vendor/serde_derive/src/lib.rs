@@ -1,0 +1,187 @@
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The container has no crates.io access, so this macro parses the item's
+//! token stream by hand. Supported shapes (everything this workspace
+//! derives on):
+//!
+//! * structs with named fields → JSON object, one entry per field;
+//! * tuple structs → JSON array;
+//! * unit structs → JSON null;
+//! * enums (any variant shape) → the `Debug` rendering as a JSON string.
+//!
+//! Generic items are rejected with a compile error — none exist in this
+//! workspace, and refusing loudly beats silently wrong serialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemShape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum,
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attribute groups and a leading visibility at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 1; // '#'
+            if i < tokens.len()
+                && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("vendored serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("vendored serde derive: generic type `{name}` is not supported");
+    }
+
+    if kind == "enum" {
+        return Item { name, shape: ItemShape::Enum };
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Item { name, shape: ItemShape::NamedStruct(parse_named_fields(g.stream())) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item { name, shape: ItemShape::TupleStruct(count_tuple_fields(g.stream())) }
+        }
+        Some(t) if is_punct(t, ';') => Item { name, shape: ItemShape::UnitStruct },
+        other => panic!("vendored serde derive: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+                // Consume the type up to the next top-level ',' (angle-depth aware).
+        let mut angle = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if is_punct(tt, '<') {
+                angle += 1;
+            } else if is_punct(tt, '>') {
+                angle -= 1;
+            } else if is_punct(tt, ',') && angle == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, tt) in tokens.iter().enumerate() {
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') {
+            angle -= 1;
+        } else if is_punct(tt, ',') && angle == 0 {
+            if idx + 1 == tokens.len() {
+                trailing_comma = true;
+            } else {
+                count += 1;
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+/// Derive the shim's `serde::Serialize` (a `to_json` method).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            let mut s = String::from("let mut map = ::serde::json::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::json::Value::Object(map)");
+            s
+        }
+        ItemShape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!("::serde::json::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemShape::UnitStruct => "::serde::json::Value::Null".to_string(),
+        ItemShape::Enum => {
+            "::serde::json::Value::String(::std::format!(\"{:?}\", self))".to_string()
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_json(&self) -> ::serde::json::Value {{\n {body}\n }}\n}}"
+    )
+    .parse()
+    .expect("vendored serde derive: generated impl must parse")
+}
+
+/// Derive the shim's (marker) `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("vendored serde derive: generated impl must parse")
+}

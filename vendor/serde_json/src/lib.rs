@@ -1,0 +1,49 @@
+//! Offline stand-in for [serde_json](https://docs.rs/serde_json): the value
+//! model lives in the vendored `serde::json`; this crate provides the
+//! `to_value` / `to_string` entry points the workspace calls.
+
+pub use serde::json::{Map, Value};
+
+/// Serialization error (the shim's direct-to-value encoding cannot fail,
+/// but the `Result` return mirrors the real API).
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Render a serializable value as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_display_is_compact_json() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Int(3));
+        m.insert("b".into(), Value::Array(vec![Value::Bool(true), Value::Null]));
+        m.insert("s".into(), Value::String("x\"y".into()));
+        assert_eq!(Value::Object(m).to_string(), r#"{"a":3,"b":[true,null],"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn to_value_on_primitives() {
+        assert_eq!(to_value(5u32).unwrap(), Value::Int(5));
+        assert_eq!(to_value("hi").unwrap(), Value::String("hi".into()));
+        assert_eq!(to_value(1.5f64).unwrap(), Value::Float(1.5));
+    }
+}
