@@ -1,14 +1,31 @@
 //! Simulated clock: accumulates modeled kernel times across a pipeline.
+//!
+//! Every [`crate::Gpu::launch`] appends one [`KernelRecord`] — the trace
+//! event the observability layer ([`crate::trace`]) exports. Records carry
+//! the launch geometry, the full [`Traffic`] ledger and [`CostBreakdown`],
+//! and `start`/`end` timestamps on the simulated timeline: kernels execute
+//! back-to-back, so each record starts where the previous one ended.
 
 use crate::cost::CostBreakdown;
+use crate::grid::GridDim;
 use crate::traffic::Traffic;
 use serde::{Deserialize, Serialize};
 
-/// One launched kernel's record on the clock.
+/// One launched kernel's record on the clock — a structured trace event.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelRecord {
+    /// Zero-based launch index on this device.
+    pub seq: usize,
     /// Kernel name as passed to `Gpu::launch`.
     pub name: String,
+    /// Thread blocks in the launch grid.
+    pub blocks: u32,
+    /// Threads per block in the launch grid.
+    pub threads_per_block: u32,
+    /// Modeled start time on the simulated clock, seconds.
+    pub start: f64,
+    /// Modeled end time on the simulated clock (`start + cost.total`).
+    pub end: f64,
     /// Modeled time breakdown.
     pub cost: CostBreakdown,
     /// The traffic ledger that produced the cost.
@@ -19,6 +36,8 @@ pub struct KernelRecord {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimClock {
     records: Vec<KernelRecord>,
+    /// Current simulated time: the end of the last recorded kernel.
+    now: f64,
 }
 
 impl SimClock {
@@ -27,14 +46,27 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Append one kernel record.
-    pub fn record(&mut self, name: &str, cost: CostBreakdown, traffic: Traffic) {
-        self.records.push(KernelRecord { name: name.to_string(), cost, traffic });
+    /// Append one kernel record; it starts at the current simulated time
+    /// and advances the clock by `cost.total`.
+    pub fn record(&mut self, name: &str, grid: GridDim, cost: CostBreakdown, traffic: Traffic) {
+        let start = self.now;
+        let end = start + cost.total;
+        self.records.push(KernelRecord {
+            seq: self.records.len(),
+            name: name.to_string(),
+            blocks: grid.blocks,
+            threads_per_block: grid.threads_per_block,
+            start,
+            end,
+            cost,
+            traffic,
+        });
+        self.now = end;
     }
 
     /// Total modeled seconds across all recorded kernels.
     pub fn elapsed(&self) -> f64 {
-        self.records.iter().map(|r| r.cost.total).sum()
+        self.now
     }
 
     /// Total modeled seconds of kernels whose name contains `pat`.
@@ -52,13 +84,15 @@ impl SimClock {
         self.records.len()
     }
 
-    /// Clear all records.
+    /// Clear all records and reset the timeline to zero.
     pub fn reset(&mut self) {
         self.records.clear();
+        self.now = 0.0;
     }
 
-    /// Take the records, leaving the clock empty.
+    /// Take the records, leaving the clock empty at time zero.
     pub fn drain(&mut self) -> Vec<KernelRecord> {
+        self.now = 0.0;
         std::mem::take(&mut self.records)
     }
 
@@ -87,30 +121,50 @@ mod tests {
         CostBreakdown { total, ..Default::default() }
     }
 
+    fn grid() -> GridDim {
+        GridDim::new(1, 32)
+    }
+
     #[test]
     fn elapsed_sums_records() {
         let mut c = SimClock::new();
-        c.record("a", cost(1.0), Traffic::new());
-        c.record("b", cost(2.5), Traffic::new());
+        c.record("a", grid(), cost(1.0), Traffic::new());
+        c.record("b", grid(), cost(2.5), Traffic::new());
         assert!((c.elapsed() - 3.5).abs() < 1e-12);
         assert_eq!(c.launches(), 2);
     }
 
     #[test]
+    fn records_form_a_back_to_back_timeline() {
+        let mut c = SimClock::new();
+        c.record("a", GridDim::new(4, 128), cost(1.0), Traffic::new());
+        c.record("b", grid(), cost(2.0), Traffic::new());
+        let r = c.records();
+        assert_eq!(r[0].seq, 0);
+        assert_eq!(r[1].seq, 1);
+        assert_eq!(r[0].blocks, 4);
+        assert_eq!(r[0].threads_per_block, 128);
+        assert!((r[0].start - 0.0).abs() < 1e-12);
+        assert!((r[0].end - 1.0).abs() < 1e-12);
+        assert!((r[1].start - 1.0).abs() < 1e-12);
+        assert!((r[1].end - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn elapsed_matching_filters_by_substring() {
         let mut c = SimClock::new();
-        c.record("hist_block", cost(1.0), Traffic::new());
-        c.record("hist_grid", cost(2.0), Traffic::new());
-        c.record("encode", cost(4.0), Traffic::new());
+        c.record("hist_block", grid(), cost(1.0), Traffic::new());
+        c.record("hist_grid", grid(), cost(2.0), Traffic::new());
+        c.record("encode", grid(), cost(4.0), Traffic::new());
         assert!((c.elapsed_matching("hist") - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn by_kernel_merges_same_name() {
         let mut c = SimClock::new();
-        c.record("k", cost(1.0), Traffic::new());
-        c.record("k", cost(1.0), Traffic::new());
-        c.record("j", cost(5.0), Traffic::new());
+        c.record("k", grid(), cost(1.0), Traffic::new());
+        c.record("k", grid(), cost(1.0), Traffic::new());
+        c.record("j", grid(), cost(5.0), Traffic::new());
         let agg = c.by_kernel();
         assert_eq!(agg.len(), 2);
         assert_eq!(agg[0].0, "k");
@@ -121,12 +175,16 @@ mod tests {
     #[test]
     fn reset_and_drain() {
         let mut c = SimClock::new();
-        c.record("k", cost(1.0), Traffic::new());
+        c.record("k", grid(), cost(1.0), Traffic::new());
         let recs = c.drain();
         assert_eq!(recs.len(), 1);
         assert_eq!(c.launches(), 0);
-        c.record("k", cost(1.0), Traffic::new());
+        assert_eq!(c.elapsed(), 0.0);
+        c.record("k", grid(), cost(1.0), Traffic::new());
         c.reset();
         assert!((c.elapsed() - 0.0).abs() < 1e-12);
+        // Records appended after a reset restart the timeline at zero.
+        c.record("k", grid(), cost(2.0), Traffic::new());
+        assert!((c.records()[0].start - 0.0).abs() < 1e-12);
     }
 }

@@ -18,29 +18,47 @@
 //!
 //! The memory/compute terms overlap on a GPU, so the kernel time is
 //! `launch + syncs + latency + atomics + max(mem, compute, shared)`.
+//!
+//! Each term's formula, the device constants it draws on, and a worked
+//! example for the privatized-histogram kernel are documented in prose in
+//! **DESIGN.md § "The cost model, term by term"** — keep that chapter and
+//! the field docs on [`CostBreakdown`] in sync when changing the model.
 
 use crate::device::DeviceSpec;
 use crate::traffic::Traffic;
 use serde::{Deserialize, Serialize};
 
 /// Breakdown of one kernel's modeled execution time, in seconds.
+///
+/// Each field is one additive (or overlapped) term of the model; the
+/// formulas and a worked example live in DESIGN.md § "The cost model,
+/// term by term". The breakdown is carried on every
+/// [`KernelRecord`](crate::KernelRecord) and exported verbatim by the
+/// trace layer ([`crate::trace`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostBreakdown {
-    /// Kernel-launch latency (zero for fused device primitives).
+    /// Kernel-launch latency: `kernel_ramp`, charged once per launch
+    /// (zero for fused device primitives).
     pub launch: f64,
-    /// DRAM term: sectors x sector size / effective bandwidth.
+    /// DRAM term: `dram_sectors × sector_bytes / effective_bandwidth`.
     pub memory: f64,
-    /// Scalar-op term, inflated by warp divergence.
+    /// Scalar-op term: `thread_ops × divergence_factor / op_throughput`.
     pub compute: f64,
-    /// On-chip shared-memory movement term.
+    /// On-chip shared-memory movement term:
+    /// `shared_bytes / (op_throughput × 4)`.
     pub shared: f64,
-    /// Serialized atomic-conflict term.
+    /// Serialized atomic-conflict term:
+    /// `conflicts × per-conflict serialization cost` (global and shared).
     pub atomics: f64,
-    /// Latency-bound single-thread term (dependent accesses x round trip).
+    /// Latency-bound single-thread term:
+    /// `sequential_dependent_accesses × global_mem_latency`.
     pub sequential_latency: f64,
-    /// Cooperative-Groups grid-synchronization term.
+    /// Cooperative-Groups grid-synchronization term:
+    /// `grid_syncs × grid_sync_latency`.
     pub grid_syncs: f64,
-    /// Total modeled kernel time.
+    /// Total modeled kernel time:
+    /// `launch + grid_syncs + sequential_latency + atomics +
+    /// max(memory, compute, shared)`.
     pub total: f64,
 }
 

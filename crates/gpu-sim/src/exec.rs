@@ -67,7 +67,7 @@ impl Gpu {
         let mut scope = KernelScope { spec: &self.spec, grid, traffic: Traffic::new() };
         let out = body(&mut scope);
         let breakdown = cost::estimate(&self.spec, &scope.traffic, true);
-        self.clock.lock().record(name, breakdown, scope.traffic);
+        self.clock.lock().record(name, grid, breakdown, scope.traffic);
         out
     }
 
@@ -86,6 +86,12 @@ impl Gpu {
     /// Total modeled seconds accumulated so far.
     pub fn elapsed(&self) -> f64 {
         self.clock.lock().elapsed()
+    }
+
+    /// Number of kernel launches recorded so far (cheaper than snapshotting
+    /// the clock; used to delimit pipeline stages in the trace).
+    pub fn launches(&self) -> usize {
+        self.clock.lock().launches()
     }
 
     /// Modeled seconds of kernels whose name contains `pat`.

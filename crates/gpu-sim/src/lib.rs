@@ -10,6 +10,9 @@
 //! coalesced vs. strided vs. random, atomics and their conflicts, grid
 //! syncs, sequential latency-bound regions — and [`cost::estimate`] turns
 //! the ledger into modeled device time from spec-sheet numbers alone.
+//! Each launch leaves a [`KernelRecord`] trace event on the device's
+//! [`SimClock`]; [`trace`] exports those events as structured JSON or a
+//! Chrome `trace_event` timeline.
 //!
 //! What is *real*: all data transformations (histograms, codebooks,
 //! bitstreams) are bit-exact computations. What is *modeled*: the time they
@@ -43,6 +46,7 @@ pub mod prefix;
 pub mod reduce;
 pub mod shared;
 pub mod sort;
+pub mod trace;
 pub mod traffic;
 
 pub use clock::{KernelRecord, SimClock};

@@ -1,0 +1,202 @@
+//! Kernel-trace export: structured per-launch events and Chrome
+//! `trace_event` timelines.
+//!
+//! Every [`crate::Gpu::launch`] leaves one [`KernelRecord`] on the device's
+//! [`crate::SimClock`] — name, launch grid, the full [`crate::Traffic`]
+//! ledger, the [`crate::CostBreakdown`], and modeled `start`/`end`
+//! timestamps. This module turns those records into the two machine
+//! formats the observability layer exports:
+//!
+//! * [`events_json`] — a JSON array with one object per kernel launch,
+//!   nesting the complete cost breakdown and traffic ledger (the
+//!   `"kernels"` array of the `rsh-trace-v1` schema, see FORMAT.md);
+//! * [`ChromeTrace`] — the Chrome `trace_event` format (the JSON consumed
+//!   by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)): each
+//!   kernel becomes a complete ("ph":"X") slice on a named lane, so a
+//!   pipeline run opens directly as a kernel timeline.
+//!
+//! ```
+//! use gpu_sim::{trace, Access, Gpu, GridDim};
+//!
+//! let gpu = Gpu::v100();
+//! gpu.launch("histogram", GridDim::new(640, 256), |scope| {
+//!     scope.traffic().read(Access::Coalesced, 1 << 20, 2);
+//! });
+//! let clock = gpu.clock();
+//! let chrome = trace::chrome_trace("V100 (modeled)", clock.records());
+//! assert!(chrome.starts_with("{\"traceEvents\":["));
+//! assert!(chrome.contains("\"histogram\""));
+//! ```
+
+use crate::clock::KernelRecord;
+use serde::json::{Map, Value};
+use serde::Serialize;
+
+/// Microseconds — the time unit of the Chrome `trace_event` format.
+fn us(seconds: f64) -> Value {
+    Value::Float(seconds * 1e6)
+}
+
+/// One kernel record as a structured JSON event.
+///
+/// The object carries the launch identity (`seq`, `name`, `blocks`,
+/// `threads_per_block`), the modeled `start`/`end` timestamps, and the
+/// complete `cost` and `traffic` sub-objects.
+pub fn event_json(record: &KernelRecord) -> Value {
+    record.to_json()
+}
+
+/// JSON array of structured events, one per kernel launch, in launch
+/// order.
+pub fn events_json(records: &[KernelRecord]) -> Value {
+    Value::Array(records.iter().map(event_json).collect())
+}
+
+/// Builder for a Chrome `trace_event` timeline.
+///
+/// Lanes (Chrome "threads") group kernels — one lane per pipeline stage is
+/// the usual shape. Every kernel becomes a complete event (`"ph":"X"`)
+/// with its modeled duration; cost breakdown and traffic land in `args`
+/// where Perfetto's slice detail pane shows them.
+#[derive(Debug, Clone)]
+pub struct ChromeTrace {
+    events: Vec<Value>,
+}
+
+impl ChromeTrace {
+    /// A new timeline whose process is labeled `process_name`.
+    pub fn new(process_name: &str) -> Self {
+        let mut t = ChromeTrace { events: Vec::new() };
+        t.events.push(metadata_event("process_name", None, process_name));
+        t
+    }
+
+    /// Name lane `tid` (shown as a thread name in the viewer).
+    pub fn lane(&mut self, tid: u32, name: &str) {
+        self.events.push(metadata_event("thread_name", Some(tid), name));
+    }
+
+    /// Append one kernel as a complete event on lane `tid`.
+    pub fn kernel(&mut self, tid: u32, rec: &KernelRecord) {
+        let mut e = Map::new();
+        e.insert("name".into(), Value::String(rec.name.clone()));
+        e.insert("cat".into(), "kernel".into());
+        e.insert("ph".into(), "X".into());
+        e.insert("ts".into(), us(rec.start));
+        e.insert("dur".into(), us(rec.end - rec.start));
+        e.insert("pid".into(), Value::Int(0));
+        e.insert("tid".into(), Value::Int(i128::from(tid)));
+        let mut args = Map::new();
+        args.insert("seq".into(), Value::Int(rec.seq as i128));
+        args.insert("blocks".into(), Value::Int(i128::from(rec.blocks)));
+        args.insert("threads_per_block".into(), Value::Int(i128::from(rec.threads_per_block)));
+        args.insert("bound".into(), rec.cost.bound().into());
+        args.insert("cost".into(), rec.cost.to_json());
+        args.insert("traffic".into(), rec.traffic.to_json());
+        e.insert("args".into(), Value::Object(args));
+        self.events.push(Value::Object(e));
+    }
+
+    /// Render the timeline as Chrome `trace_event` JSON (object form).
+    pub fn finish(&self) -> String {
+        let mut root = Map::new();
+        root.insert("traceEvents".into(), Value::Array(self.events.clone()));
+        root.insert("displayTimeUnit".into(), "ms".into());
+        Value::Object(root).to_string()
+    }
+}
+
+fn metadata_event(name: &str, tid: Option<u32>, value: &str) -> Value {
+    let mut e = Map::new();
+    e.insert("name".into(), name.into());
+    e.insert("ph".into(), "M".into());
+    e.insert("pid".into(), Value::Int(0));
+    if let Some(tid) = tid {
+        e.insert("tid".into(), Value::Int(i128::from(tid)));
+    }
+    let mut args = Map::new();
+    args.insert("name".into(), value.into());
+    e.insert("args".into(), Value::Object(args));
+    Value::Object(e)
+}
+
+/// Single-lane convenience: all `records` on one lane named `"kernels"`.
+pub fn chrome_trace(process_name: &str, records: &[KernelRecord]) -> String {
+    let mut t = ChromeTrace::new(process_name);
+    t.lane(0, "kernels");
+    for r in records {
+        t.kernel(0, r);
+    }
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::exec::Gpu;
+    use crate::grid::GridDim;
+    use crate::traffic::Access;
+
+    fn traced_gpu() -> Gpu {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        gpu.launch("hist", GridDim::new(8, 256), |s| {
+            s.traffic().read(Access::Coalesced, 4096, 4);
+        });
+        gpu.launch("encode", GridDim::new(16, 128), |s| {
+            s.traffic().write(Access::Coalesced, 4096, 4);
+        });
+        gpu
+    }
+
+    #[test]
+    fn events_json_carries_identity_cost_and_traffic() {
+        let gpu = traced_gpu();
+        let clock = gpu.clock();
+        let v = events_json(clock.records());
+        let Value::Array(events) = &v else { panic!("expected array") };
+        assert_eq!(events.len(), 2);
+        let first = events[0].as_object().unwrap();
+        assert_eq!(first.get("name"), Some(&Value::String("hist".into())));
+        assert_eq!(first.get("seq"), Some(&Value::Int(0)));
+        assert_eq!(first.get("blocks"), Some(&Value::Int(8)));
+        assert!(first.get("cost").unwrap().as_object().unwrap().get("total").is_some());
+        assert!(first.get("traffic").unwrap().as_object().unwrap().get("read_coalesced").is_some());
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_complete_events() {
+        let gpu = traced_gpu();
+        let clock = gpu.clock();
+        let s = chrome_trace("TestPart", clock.records());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"process_name\""));
+        assert!(s.contains("\"thread_name\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"hist\""));
+        assert!(s.contains("\"encode\""));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn chrome_timestamps_are_microseconds() {
+        let gpu = traced_gpu();
+        let clock = gpu.clock();
+        let recs = clock.records();
+        let mut t = ChromeTrace::new("p");
+        t.kernel(0, &recs[1]);
+        let s = t.finish();
+        // Second kernel starts after the first ends: ts > 0 in µs.
+        let expect = format!("\"ts\":{}", recs[1].start * 1e6);
+        assert!(s.contains(&expect), "missing {expect} in {s}");
+    }
+
+    #[test]
+    fn lanes_are_named() {
+        let mut t = ChromeTrace::new("p");
+        t.lane(3, "codebook");
+        let s = t.finish();
+        assert!(s.contains("\"tid\":3"));
+        assert!(s.contains("\"codebook\""));
+    }
+}

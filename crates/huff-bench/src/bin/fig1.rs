@@ -1,11 +1,21 @@
 //! Fig. 1 — REDUCE-merge of 8-to-1: the per-iteration state of the
 //! codeword array as one thread folds eight codewords into one unit.
+//! `--json` emits the trace as `rsh-bench-v1` rows (one per merge level).
 
+use huff_bench::{emit_row, HarnessArgs};
 use huff_core::encode::reduce_merge::trace_fig1;
 use huff_core::histogram;
 use huff_datasets::PaperDataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    level: usize,
+    codewords: Vec<String>,
+}
 
 fn main() {
+    let args = HarnessArgs::parse();
     let data = PaperDataset::NyxQuant.generate(100_000, 8);
     let freqs = histogram::parallel_cpu::histogram(&data, 1024, 4);
     let book = huff_core::build_codebook(&freqs, 8).unwrap();
@@ -24,6 +34,7 @@ fn main() {
     for (i, level) in trace_fig1(window, &book).into_iter().enumerate() {
         let tag = if i == 0 { "lookup ".to_string() } else { format!("iter {i}  ") };
         println!("{tag}[{}]", level.join("] ["));
+        emit_row(&args, "fig1", &Row { level: i, codewords: level });
     }
     println!(
         "\n(each iteration halves the codeword count; lengths add — MERGE is order-preserving)"

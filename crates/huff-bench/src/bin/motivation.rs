@@ -1,13 +1,26 @@
 //! Section II-C's motivating measurement: constructing an 8192-symbol
 //! codebook *serially on the GPU* costs on the order of 100 ms — enough to
 //! drag the throughput of compressing 1 GB below 10 GB/s on its own.
+//! `--json` emits the comparison as one `rsh-bench-v1` row.
 
 use gpu_sim::Gpu;
+use huff_bench::{emit_row, HarnessArgs};
 use huff_core::codebook;
 use huff_core::histogram;
 use huff_datasets::dna;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    symbols: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    serial_cap_gbps: f64,
+}
 
 fn main() {
+    let args = HarnessArgs::parse();
     let (syms, space) = dna::kmer_dataset(8 << 20, 5, 5);
     let freqs = histogram::parallel_cpu::histogram(&syms, space, 8);
 
@@ -29,4 +42,16 @@ fn main() {
     let gpu2 = Gpu::v100();
     let (_, p) = codebook::gpu::parallel_on_gpu(&gpu2, &freqs).unwrap();
     println!("  parallel construction: {:.3} ms ({:.1}x faster)", p.total * 1e3, t.total / p.total);
+
+    emit_row(
+        &args,
+        "motivation",
+        &Row {
+            symbols: space,
+            serial_ms: t.total * 1e3,
+            parallel_ms: p.total * 1e3,
+            speedup: t.total / p.total,
+            serial_cap_gbps: equivalent,
+        },
+    );
 }

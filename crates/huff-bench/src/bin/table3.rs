@@ -1,6 +1,7 @@
 //! Table III — codebook-construction time breakdown (ms) on both devices,
 //! cuSZ's serial construction vs the parallel two-phase construction, for
-//! 1024 (Nyx-Quant) through 8192 (5-mer) symbols.
+//! 1024 (Nyx-Quant) through 8192 (5-mer) symbols. `--json` emits one
+//! `rsh-bench-v1` row per (workload, device) pair.
 
 use gpu_sim::Gpu;
 use huff_bench::{emit_row, wall_median, HarnessArgs};
@@ -12,17 +13,14 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct Row {
     workload: String,
+    device: &'static str,
     symbols: usize,
     cpu_serial_ms: f64,
-    cusz_gen_ms_tu: f64,
-    cusz_gen_ms_v: f64,
-    cusz_canonize_ms_tu: f64,
-    cusz_canonize_ms_v: f64,
-    ours_cl_ms_tu: f64,
-    ours_cl_ms_v: f64,
-    ours_cw_ms_tu: f64,
-    ours_cw_ms_v: f64,
-    speedup_v: f64,
+    cusz_gen_ms: f64,
+    cusz_canonize_ms: f64,
+    ours_cl_ms: f64,
+    ours_cw_ms: f64,
+    speedup: f64,
 }
 
 fn main() {
@@ -78,36 +76,39 @@ fn main() {
         let v2 = Gpu::v100();
         let (_, p_v) = codebook::gpu::parallel_on_gpu(&v2, &freqs).unwrap();
 
-        let row = Row {
-            workload: name.clone(),
-            symbols,
-            cpu_serial_ms: cpu_serial * 1e3,
-            cusz_gen_ms_tu: s_tu.gen_codebook * 1e3,
-            cusz_gen_ms_v: s_v.gen_codebook * 1e3,
-            cusz_canonize_ms_tu: s_tu.canonize * 1e3,
-            cusz_canonize_ms_v: s_v.canonize * 1e3,
-            ours_cl_ms_tu: p_tu.generate_cl * 1e3,
-            ours_cl_ms_v: p_v.generate_cl * 1e3,
-            ours_cw_ms_tu: p_tu.generate_cw * 1e3,
-            ours_cw_ms_v: p_v.generate_cw * 1e3,
-            speedup_v: s_v.total / p_v.total,
-        };
         println!(
             "{:<10} {:>8} | {:>10.3} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}x",
-            row.workload,
-            row.symbols,
-            row.cpu_serial_ms,
-            row.cusz_gen_ms_tu,
-            row.cusz_gen_ms_v,
-            row.cusz_canonize_ms_tu,
-            row.cusz_canonize_ms_v,
-            row.ours_cl_ms_tu,
-            row.ours_cl_ms_v,
-            row.ours_cw_ms_tu,
-            row.ours_cw_ms_v,
-            row.speedup_v,
+            name,
+            symbols,
+            cpu_serial * 1e3,
+            s_tu.gen_codebook * 1e3,
+            s_v.gen_codebook * 1e3,
+            s_tu.canonize * 1e3,
+            s_v.canonize * 1e3,
+            p_tu.generate_cl * 1e3,
+            p_v.generate_cl * 1e3,
+            p_tu.generate_cw * 1e3,
+            p_v.generate_cw * 1e3,
+            s_v.total / p_v.total,
         );
-        emit_row(&args, "table3", &row);
+        // One JSON row per device, so every row has a uniform shape.
+        for (device, s, p) in [("RTX 5000", &s_tu, &p_tu), ("V100", &s_v, &p_v)] {
+            emit_row(
+                &args,
+                "table3",
+                &Row {
+                    workload: name.clone(),
+                    device,
+                    symbols,
+                    cpu_serial_ms: cpu_serial * 1e3,
+                    cusz_gen_ms: s.gen_codebook * 1e3,
+                    cusz_canonize_ms: s.canonize * 1e3,
+                    ours_cl_ms: p.generate_cl * 1e3,
+                    ours_cw_ms: p.generate_cw * 1e3,
+                    speedup: s.total / p.total,
+                },
+            );
+        }
     }
     println!("\n(CPU serial is wall clock on this host; device columns are modeled)");
 }

@@ -1,10 +1,13 @@
 //! Table V — full pipeline breakdown on the six datasets, cuSZ coarse
 //! baseline vs the reduce-shuffle encoder, on both devices: average bits,
 //! breaking fraction, reduce factor, histogram GB/s, codebook ms, encode
-//! GB/s, overall GB/s.
+//! GB/s, overall GB/s. `--json` emits `rsh-bench-v1` rows;
+//! `--trace PATH` additionally writes an `rsh-trace-v1` pipeline profile
+//! of the reduce-shuffle encoder on the V100 over the first dataset.
 
 use gpu_sim::Gpu;
-use huff_bench::{emit_row, HarnessArgs};
+use huff_bench::{emit_row, emit_trace, HarnessArgs};
+use huff_core::metrics;
 use huff_core::pipeline::{run, PipelineKind};
 use huff_datasets::PaperDataset;
 use serde::Serialize;
@@ -100,4 +103,22 @@ fn main() {
         println!();
     }
     println!("(run with --scale 1.0 for the paper's full dataset sizes)");
+
+    if args.trace.is_some() {
+        let d = PaperDataset::all()[0];
+        let n = d.symbols_at_scale(args.scale);
+        let data = d.generate(n, 0xD5EA5E);
+        let gpu = Gpu::v100();
+        let (_, profile) = metrics::profile_compress(
+            &gpu,
+            &data,
+            d.symbol_bytes(),
+            d.num_symbols(),
+            10,
+            Some(d.paper_reduction()),
+            PipelineKind::ReduceShuffle,
+        )
+        .unwrap();
+        emit_trace(&args, &profile);
+    }
 }

@@ -1,6 +1,8 @@
 //! Table VI — multithreaded CPU Huffman encoder on Nyx-Quant-like data:
 //! histogram GB/s, codebook ms, encode GB/s and parallel efficiency per
-//! core count, with the modeled GPU numbers alongside.
+//! core count, with the modeled GPU numbers alongside. `--json` emits
+//! `rsh-bench-v1` rows: `table6` for the CPU sweep, `table6-gpu` for the
+//! modeled device reference.
 
 use gpu_sim::Gpu;
 use huff_bench::{emit_row, wall_median, HarnessArgs};
@@ -16,6 +18,14 @@ struct Row {
     codebook_ms: f64,
     encode_gbps: f64,
     parallel_efficiency: f64,
+    overall_gbps: f64,
+}
+
+#[derive(Serialize)]
+struct GpuRow {
+    device: &'static str,
+    hist_gbps: f64,
+    encode_gbps: f64,
     overall_gbps: f64,
 }
 
@@ -101,12 +111,16 @@ fn main() {
             BreakingStrategy::SparseSidecar,
         )
         .unwrap();
+        let row = GpuRow {
+            device: name,
+            hist_gbps: report.hist_gbps(),
+            encode_gbps: bytes / enc.total / 1e9,
+            overall_gbps: report.overall_gbps(),
+        };
         println!(
             "{:<9} hist {:>7.1} GB/s | encode {:>7.1} GB/s | overall {:>7.1} GB/s",
-            name,
-            report.hist_gbps(),
-            bytes / enc.total / 1e9,
-            report.overall_gbps()
+            row.device, row.hist_gbps, row.encode_gbps, row.overall_gbps
         );
+        emit_row(&args, "table6-gpu", &row);
     }
 }

@@ -3,9 +3,21 @@
 //! Each `table*`/`fig*` binary reproduces one table or figure of the paper
 //! (see DESIGN.md's per-experiment index). Binaries print a fixed-width
 //! human table to stdout and, with `--json`, machine-readable rows to
-//! stderr for EXPERIMENTS.md tooling.
+//! stderr for EXPERIMENTS.md tooling. Every row is wrapped in the
+//! versioned `rsh-bench-v1` envelope
+//! (`{"schema":"rsh-bench-v1","table":...,"row":{...}}`, see FORMAT.md),
+//! so downstream tooling can route rows from any binary through one
+//! parser. Binaries that run a full pipeline also accept
+//! `--trace <path>` and write an `rsh-trace-v1` pipeline profile there
+//! (the same schema `rsh profile` emits).
 
+#![warn(missing_docs)]
+
+use serde::json::{Map, Value};
 use serde::Serialize;
+
+/// Version tag of the JSON row envelope emitted by [`emit_row`].
+pub const BENCH_SCHEMA: &str = "rsh-bench-v1";
 
 /// Common CLI knobs for the regenerators.
 #[derive(Debug, Clone)]
@@ -16,12 +28,15 @@ pub struct HarnessArgs {
     pub scale: f64,
     /// Emit JSON rows to stderr.
     pub json: bool,
+    /// Write an `rsh-trace-v1` pipeline profile to this path (binaries
+    /// that run a full pipeline honor it; others ignore it).
+    pub trace: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parse from `std::env::args`: `[--scale X] [--json]`.
+    /// Parse from `std::env::args`: `[--scale X] [--json] [--trace PATH]`.
     pub fn parse() -> Self {
-        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false };
+        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false, trace: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -32,10 +47,13 @@ impl HarnessArgs {
                         .expect("--scale requires a number");
                 }
                 "--json" => out.json = true,
+                "--trace" => {
+                    out.trace = Some(args.next().expect("--trace requires a path"));
+                }
                 // Flags consumed by individual regenerators.
                 "--prefix-sum" => {}
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale FRACTION] [--json]");
+                    eprintln!("usage: [--scale FRACTION] [--json] [--trace PATH]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?}"),
@@ -46,14 +64,27 @@ impl HarnessArgs {
     }
 }
 
+/// One result row in the versioned `rsh-bench-v1` envelope, as a string.
+pub fn row_json<T: Serialize>(table: &str, row: &T) -> String {
+    let mut m = Map::new();
+    m.insert("schema".into(), BENCH_SCHEMA.into());
+    m.insert("table".into(), table.into());
+    m.insert("row".into(), row.to_json());
+    Value::Object(m).to_string()
+}
+
 /// Emit one machine-readable result row on stderr when `--json` is set.
 pub fn emit_row<T: Serialize>(args: &HarnessArgs, table: &str, row: &T) {
     if args.json {
-        let mut v = serde_json::to_value(row).expect("serializable row");
-        if let Some(obj) = v.as_object_mut() {
-            obj.insert("table".into(), table.into());
-        }
-        eprintln!("{v}");
+        eprintln!("{}", row_json(table, row));
+    }
+}
+
+/// Write an `rsh-trace-v1` pipeline profile to `args.trace` if set.
+pub fn emit_trace(args: &HarnessArgs, profile: &huff_core::metrics::PipelineProfile) {
+    if let Some(path) = &args.trace {
+        std::fs::write(path, profile.to_json_string()).expect("writable --trace path");
+        eprintln!("trace written to {path}");
     }
 }
 
@@ -98,6 +129,19 @@ mod tests {
     fn formatting() {
         assert_eq!(ms(0.001234), "1.234");
         assert_eq!(gbps(314.6e9), "314.6");
+    }
+
+    #[test]
+    fn row_json_wraps_in_versioned_envelope() {
+        #[derive(Serialize)]
+        struct Row {
+            dataset: String,
+            gbps: f64,
+        }
+        let s = row_json("table5", &Row { dataset: "nyx".into(), gbps: 150.5 });
+        assert!(s.starts_with("{\"schema\":\"rsh-bench-v1\",\"table\":\"table5\",\"row\":{"));
+        assert!(s.contains("\"dataset\":\"nyx\""));
+        assert!(s.contains("\"gbps\":150.5"));
     }
 
     #[test]

@@ -3,11 +3,24 @@
 //! ```text
 //! rsh compress   <input> <output> [--symbols u8|u16le] [--bins N]
 //!                                 [--magnitude M] [--reduction R]
+//!                                 [--trace out.json] [--device NAME]
 //! rsh decompress <input> <output> [--best-effort] [--sentinel N]
+//!                                 [--trace out.json] [--device NAME]
 //! rsh verify     <archive>
 //! rsh inspect    <archive>
+//! rsh profile    <file> [--trace out.json] [--chrome out.json] [--device NAME]
 //! rsh bench      <input> [--symbols u8|u16le] [--bins N]
 //! ```
+//!
+//! `profile` runs the full modeled pipeline over `<file>` — a roundtrip
+//! (compress + decompress) for raw inputs, decompression for `RSH1`/`RSH2`
+//! archives — and prints a per-stage table. `--trace` writes the
+//! `rsh-trace-v1` JSON profile (see FORMAT.md) and `--chrome` a Chrome
+//! `trace_event` timeline loadable in `chrome://tracing` / Perfetto. The
+//! same `--trace` flag on `compress`/`decompress` routes those commands
+//! through the modeled device pipeline and records the profile alongside
+//! their normal output. `--device` selects the modeled part
+//! (`v100` default, `rtx5000`).
 //!
 //! Exit codes are distinct and scriptable:
 //!
@@ -25,6 +38,8 @@
 use huff_core::archive::{self, CompressOptions};
 use huff_core::encode::BreakingStrategy;
 use huff_core::integrity::{DecompressOptions, RecoveryReport};
+use huff_core::metrics;
+use huff_core::pipeline::PipelineKind;
 use std::process::ExitCode;
 
 mod symbols;
@@ -70,6 +85,7 @@ fn main() -> ExitCode {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -89,10 +105,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
-  rsh decompress <input> <output> [--best-effort] [--sentinel N]
+                                  [--trace out.json] [--device v100|rtx5000]
+  rsh decompress <input> <output> [--best-effort] [--sentinel N] [--trace out.json] [--device v100|rtx5000]
   rsh verify     <archive>
   rsh inspect    <archive>
+  rsh profile    <file> [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
+
+profile runs the modeled device pipeline (roundtrip for raw files, decompression
+for RSH archives) and prints per-stage metrics; --trace writes the rsh-trace-v1
+JSON profile and --chrome a chrome://tracing / Perfetto timeline. --trace on
+compress/decompress routes them through the same modeled pipeline.
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";
@@ -119,7 +142,21 @@ struct Flags {
     widen: bool,
     best_effort: bool,
     sentinel: Option<u16>,
+    trace: Option<String>,
+    chrome: Option<String>,
+    device: String,
     positional: Vec<String>,
+}
+
+impl Flags {
+    /// The modeled device selected by `--device` (default V100).
+    fn gpu(&self) -> Result<gpu_sim::Gpu, CliError> {
+        match self.device.as_str() {
+            "v100" => Ok(gpu_sim::Gpu::v100()),
+            "rtx5000" => Ok(gpu_sim::Gpu::rtx5000()),
+            other => Err(CliError::Usage(format!("--device needs v100|rtx5000, got {other:?}"))),
+        }
+    }
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -132,6 +169,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         widen: false,
         best_effort: false,
         sentinel: None,
+        trace: None,
+        chrome: None,
+        device: "v100".to_string(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -170,6 +210,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             }
             "--widen" => f.widen = true,
             "--best-effort" => f.best_effort = true,
+            "--trace" => {
+                f.trace = Some(it.next().ok_or_else(|| usage("--trace needs a path"))?.to_string())
+            }
+            "--chrome" => {
+                f.chrome =
+                    Some(it.next().ok_or_else(|| usage("--chrome needs a path"))?.to_string())
+            }
+            "--device" => {
+                f.device = it.next().ok_or_else(|| usage("--device needs a name"))?.to_string()
+            }
             "--sentinel" => {
                 f.sentinel = Some(
                     it.next()
@@ -194,6 +244,19 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     std::fs::write(path, bytes).map_err(|e| CliError::Io(format!("{path}: {e}")))
 }
 
+/// Write the `--trace` / `--chrome` sidecar files for a profile run.
+fn write_profile_outputs(f: &Flags, profile: &metrics::PipelineProfile) -> Result<(), CliError> {
+    if let Some(path) = &f.trace {
+        write_file(path, profile.to_json_string().as_bytes())?;
+        eprintln!("rsh: trace written to {path}");
+    }
+    if let Some(path) = &f.chrome {
+        write_file(path, profile.to_chrome_trace().as_bytes())?;
+        eprintln!("rsh: chrome trace written to {path} (load in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}
+
 fn cmd_compress(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input, output] = f.positional.as_slice() else {
@@ -201,6 +264,33 @@ fn cmd_compress(args: &[String]) -> CmdResult {
     };
     let raw = read_file(input)?;
     let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
+
+    if f.trace.is_some() || f.chrome.is_some() {
+        // Route through the modeled device pipeline so the profile carries
+        // kernel trace events (the sparse-sidecar encoder, as `profile`).
+        let gpu = f.gpu()?;
+        let (packed, profile) = metrics::profile_compress(
+            &gpu,
+            &syms,
+            u64::from(f.symbols.bytes()),
+            f.bins.unwrap_or(default_bins),
+            f.magnitude,
+            f.reduction,
+            PipelineKind::ReduceShuffle,
+        )
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        write_file(output, &packed)?;
+        write_profile_outputs(&f, &profile)?;
+        eprintln!(
+            "{} -> {} bytes ({:.3}x) in {:.3} ms modeled on {}",
+            raw.len(),
+            packed.len(),
+            raw.len() as f64 / packed.len() as f64,
+            profile.total_seconds() * 1e3,
+            profile.device,
+        );
+        return Ok(0);
+    }
 
     let mut opts = CompressOptions::new(f.bins.unwrap_or(default_bins));
     opts.magnitude = f.magnitude;
@@ -238,8 +328,15 @@ fn cmd_decompress(args: &[String]) -> CmdResult {
     let symbol_bytes = archive::deserialize_with(&packed, &opts)
         .map_err(|e| CliError::Corrupt(e.to_string()))?
         .symbol_bytes;
-    let rec =
-        archive::decompress_with(&packed, &opts).map_err(|e| CliError::Corrupt(e.to_string()))?;
+    let rec = if f.trace.is_some() || f.chrome.is_some() {
+        let gpu = f.gpu()?;
+        let (rec, profile) = metrics::profile_decompress(&gpu, &packed, &opts)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        write_profile_outputs(&f, &profile)?;
+        rec
+    } else {
+        archive::decompress_with(&packed, &opts).map_err(|e| CliError::Corrupt(e.to_string()))?
+    };
     let raw = symbols::SymbolWidth::from_bytes(symbol_bytes)
         .map_err(CliError::Corrupt)?
         .encode(&rec.symbols);
@@ -315,6 +412,50 @@ fn cmd_inspect(args: &[String]) -> CmdResult {
     );
     println!("ratio            {:.3}x", stream.compression_ratio(u32::from(symbol_bytes) * 8));
     Ok(0)
+}
+
+fn cmd_profile(args: &[String]) -> CmdResult {
+    let f = parse_flags(args)?;
+    let [input] = f.positional.as_slice() else {
+        return Err(CliError::Usage("profile needs <file>".into()));
+    };
+    let raw = read_file(input)?;
+    let gpu = f.gpu()?;
+
+    let is_archive = raw.len() >= 4 && (&raw[..4] == b"RSH1" || &raw[..4] == b"RSH2");
+    let profile = if is_archive {
+        let mut opts = if f.best_effort {
+            DecompressOptions::best_effort()
+        } else {
+            DecompressOptions::strict()
+        };
+        if let Some(s) = f.sentinel {
+            opts.sentinel = s;
+        }
+        let (_, profile) = metrics::profile_decompress(&gpu, &raw, &opts)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        profile
+    } else {
+        let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
+        let (_, _, profile) = metrics::profile_roundtrip(
+            &gpu,
+            &syms,
+            u64::from(f.symbols.bytes()),
+            f.bins.unwrap_or(default_bins),
+            f.magnitude,
+            f.reduction,
+            PipelineKind::ReduceShuffle,
+        )
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        profile
+    };
+
+    print!("{}", profile.render_table());
+    write_profile_outputs(&f, &profile)?;
+    match &profile.recovery {
+        Some(r) if !r.is_clean() => Ok(EXIT_RECOVERED_WITH_LOSSES),
+        _ => Ok(0),
+    }
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {
@@ -499,6 +640,83 @@ mod tests {
             "{\"report\":\"rsh-recovery\",\"total_chunks\":3,\"damaged_chunks\":[],\
              \"damaged_ranges\":[],\"symbols_lost\":0}"
         );
+    }
+
+    #[test]
+    fn profile_raw_file_writes_trace_and_chrome() {
+        let input = tmp("pin.bin");
+        let trace = tmp("pin.trace.json");
+        let chrome = tmp("pin.chrome.json");
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 61) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let args: Vec<String> =
+            vec![input, "--trace".into(), trace.clone(), "--chrome".into(), chrome.clone()];
+        assert_eq!(cmd_profile(&args).unwrap(), 0);
+
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.starts_with("{\"schema\":\"rsh-trace-v1\""));
+        assert!(t.contains("\"direction\":\"roundtrip\""));
+        let c = std::fs::read_to_string(&chrome).unwrap();
+        assert!(c.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn profile_archive_decompresses_and_flags_damage() {
+        let input = tmp("pa.bin");
+        let packed = tmp("pa.rsh");
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 89) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        cmd_compress(&[input, packed.clone()].map(String::from)).unwrap();
+
+        assert_eq!(cmd_profile(std::slice::from_ref(&packed)).unwrap(), 0);
+
+        // Damaged archive: strict profile errors, best-effort exits 4.
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let sections = archive::layout(&bytes).unwrap();
+        let (_, range) = sections
+            .iter()
+            .find(|(s, _)| *s == huff_core::integrity::Section::Payload)
+            .unwrap()
+            .clone();
+        bytes[range.start + range.len() / 2] ^= 0x40;
+        let damaged = tmp("pa-damaged.rsh");
+        std::fs::write(&damaged, &bytes).unwrap();
+        assert!(matches!(cmd_profile(std::slice::from_ref(&damaged)), Err(CliError::Corrupt(_))));
+        let args: Vec<String> = vec![damaged, "--best-effort".into()];
+        assert_eq!(cmd_profile(&args).unwrap(), EXIT_RECOVERED_WITH_LOSSES);
+    }
+
+    #[test]
+    fn compress_with_trace_roundtrips_and_records_profile() {
+        let input = tmp("tin.bin");
+        let packed = tmp("tin.rsh");
+        let restored = tmp("tin.out");
+        let trace = tmp("tin.trace.json");
+        let dtrace = tmp("tin.dtrace.json");
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 73) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let args: Vec<String> = vec![input, packed.clone(), "--trace".into(), trace.clone()];
+        assert_eq!(cmd_compress(&args).unwrap(), 0);
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"direction\":\"compress\""));
+        assert!(t.contains("\"stage\":\"histogram\""));
+
+        let args: Vec<String> = vec![packed, restored.clone(), "--trace".into(), dtrace.clone()];
+        assert_eq!(cmd_decompress(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&restored).unwrap(), payload);
+        let t = std::fs::read_to_string(&dtrace).unwrap();
+        assert!(t.contains("\"direction\":\"decompress\""));
+        assert!(t.contains("\"stage\":\"decode\""));
+    }
+
+    #[test]
+    fn bad_device_is_a_usage_error() {
+        let input = tmp("dev.bin");
+        std::fs::write(&input, vec![1u8; 1000]).unwrap();
+        let args: Vec<String> = vec![input, "--device".into(), "tpu".into()];
+        assert!(matches!(cmd_profile(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

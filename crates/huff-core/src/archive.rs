@@ -132,6 +132,21 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
 /// (with the symbol ranges that would be lost to best-effort recovery).
 /// RSH1 archives carry no checksums, so they verify clean whenever they
 /// parse.
+///
+/// ```
+/// use huff_core::archive::{compress, verify, CompressOptions};
+///
+/// let data: Vec<u16> = (0..10_000).map(|i| (i % 50) as u16).collect();
+/// let packed = compress(&data, &CompressOptions::new(64)).unwrap();
+/// assert!(verify(&packed).unwrap().is_clean());
+///
+/// // Flip one payload bit: verify localizes the damage to one chunk.
+/// let mut damaged = packed.clone();
+/// let last = damaged.len() - 1;
+/// damaged[last] ^= 0x10;
+/// let report = verify(&damaged).unwrap();
+/// assert_eq!(report.damaged_chunks.len(), 1);
+/// ```
 pub fn verify(archive: &[u8]) -> Result<RecoveryReport> {
     let opts = DecompressOptions { mode: RecoveryMode::BestEffort, ..Default::default() };
     let parsed = deserialize_with(archive, &opts)?;

@@ -15,7 +15,43 @@ use super::chunked;
 use crate::codebook::CanonicalCodebook;
 use crate::encode::ChunkedStream;
 use crate::error::Result;
-use gpu_sim::{Access, Gpu, GridDim};
+use crate::integrity::RecoveryReport;
+use gpu_sim::{Access, Gpu, GridDim, KernelScope};
+
+/// The shared traffic model of the chunked decode kernel (strict and
+/// best-effort variants launch the same kernel shape).
+fn account_decode_traffic(scope: &mut KernelScope, stream: &ChunkedStream, table_bytes: u64) {
+    let n_chunks = stream.num_chunks().max(1) as u64;
+    let n = stream.num_symbols as u64;
+    let payload_bytes = stream.total_bits.div_ceil(8);
+    let resident = n_chunks.min(u64::from(scope.spec().sm_count) * 4);
+    let t = scope.traffic();
+    // Each chunk streams its payload once; substreams are contiguous so
+    // reads coalesce across the block's threads.
+    t.read(Access::Coalesced, payload_bytes, 1);
+    // Chunk offsets + bit lengths.
+    t.read(Access::Coalesced, 2 * n_chunks, 8);
+    // Decode tables staged per resident block, reused from L2 after.
+    t.read(Access::Coalesced, resident * table_bytes, 1);
+    // Per-symbol on-chip table probes (~avg-code-length lookups each).
+    let avg_probes = stream.total_bits.checked_div(n).map_or(1, |p| p.clamp(1, 64));
+    t.shared(n * avg_probes * 4);
+    // Symbol output, coalesced.
+    t.write(Access::Coalesced, n, 2);
+    // Bit-serial decode: ~3 ops per consumed bit, divergent across the
+    // warp (symbols end at different bit positions).
+    t.ops(3 * stream.total_bits);
+    t.diverge(2.0);
+}
+
+fn decode_grid(stream: &ChunkedStream) -> GridDim {
+    let n_chunks = stream.num_chunks().max(1) as u64;
+    GridDim::new((n_chunks as u32).min(1 << 20), 256)
+}
+
+fn decode_table_bytes(book: &CanonicalCodebook) -> u64 {
+    (book.reverse().len() * 2 + book.first().len() * 8 + book.entry().len() * 4) as u64
+}
 
 /// Decode a chunked stream on the device. Returns the symbols and the
 /// modeled kernel time in seconds.
@@ -24,36 +60,39 @@ pub fn decode_on_gpu(
     stream: &ChunkedStream,
     book: &CanonicalCodebook,
 ) -> Result<(Vec<u16>, f64)> {
-    let n_chunks = stream.num_chunks().max(1) as u64;
-    let n = stream.num_symbols as u64;
-    let payload_bytes = stream.total_bits.div_ceil(8);
-    let table_bytes =
-        (book.reverse().len() * 2 + book.first().len() * 8 + book.entry().len() * 4) as u64;
-    let resident = n_chunks.min(u64::from(gpu.spec().sm_count) * 4);
-
-    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
-    let (out, cost) = gpu.launch_timed("dec_chunked_canonical", grid, |scope| {
+    let table_bytes = decode_table_bytes(book);
+    let (out, cost) = gpu.launch_timed("dec_chunked_canonical", decode_grid(stream), |scope| {
         let out = chunked::decode(stream, book);
-        let t = scope.traffic();
-        // Each chunk streams its payload once; substreams are contiguous so
-        // reads coalesce across the block's threads.
-        t.read(Access::Coalesced, payload_bytes, 1);
-        // Chunk offsets + bit lengths.
-        t.read(Access::Coalesced, 2 * n_chunks, 8);
-        // Decode tables staged per resident block, reused from L2 after.
-        t.read(Access::Coalesced, resident * table_bytes, 1);
-        // Per-symbol on-chip table probes (~avg-code-length lookups each).
-        let avg_probes = stream.total_bits.checked_div(n).map_or(1, |p| p.clamp(1, 64));
-        t.shared(n * avg_probes * 4);
-        // Symbol output, coalesced.
-        t.write(Access::Coalesced, n, 2);
-        // Bit-serial decode: ~3 ops per consumed bit, divergent across the
-        // warp (symbols end at different bit positions).
-        t.ops(3 * stream.total_bits);
-        t.diverge(2.0);
+        account_decode_traffic(scope, stream, table_bytes);
         out
     });
     Ok((out?, cost.total))
+}
+
+/// Best-effort decode of a (possibly damaged) chunked stream on the
+/// device: chunks flagged in `chunk_damage` are sentinel-filled instead of
+/// decoded (see [`chunked::decode_best_effort`]). Returns the symbols, the
+/// recovery report, and the modeled kernel time in seconds.
+///
+/// The traffic model is identical to [`decode_on_gpu`] — a damaged chunk
+/// still costs its payload read (the checksum pass touched it) and its
+/// sentinel writes, and damage is rare enough that modeling the skipped
+/// table probes would be noise.
+pub fn decode_best_effort_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    chunk_damage: &[bool],
+    sentinel: u16,
+) -> (Vec<u16>, RecoveryReport, f64) {
+    let table_bytes = decode_table_bytes(book);
+    let ((symbols, report), cost) =
+        gpu.launch_timed("dec_chunked_best_effort", decode_grid(stream), |scope| {
+            let out = chunked::decode_best_effort(stream, book, chunk_damage, sentinel);
+            account_decode_traffic(scope, stream, table_bytes);
+            out
+        });
+    (symbols, report, cost.total)
 }
 
 #[cfg(test)]
@@ -101,6 +140,23 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let (out, _) = decode_on_gpu(&gpu, &empty, &book).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn best_effort_gpu_decode_sentinels_damaged_chunks() {
+        let (book, syms, stream) = setup(30_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let mut damage = vec![false; stream.num_chunks()];
+        damage[0] = true;
+        let (out, report, secs) = decode_best_effort_on_gpu(&gpu, &stream, &book, &damage, 0xFFFF);
+        assert_eq!(out.len(), syms.len());
+        assert!(!report.is_clean());
+        assert_eq!(report.damaged_chunks, vec![0]);
+        assert!(secs > 0.0);
+        assert_eq!(gpu.clock().launches(), 1);
+        // Undamaged tail decodes exactly.
+        let first_clean = report.damaged_ranges.iter().map(|&(_, e)| e).max().unwrap();
+        assert_eq!(&out[first_clean..], &syms[first_clean..]);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod error;
 pub mod histogram;
 pub mod integrity;
 pub mod kernels;
+pub mod metrics;
 pub mod pipeline;
 pub mod sparse;
 pub mod testing;
@@ -63,3 +64,4 @@ pub use codeword::Codeword;
 pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
 pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};
+pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};

@@ -1,0 +1,646 @@
+//! Pipeline profiler: per-stage metrics aggregated from kernel trace
+//! events, with human-readable, JSON (`rsh-trace-v1`), and Chrome
+//! `trace_event` exporters.
+//!
+//! [`profile_compress`] and [`profile_decompress`] run the same device
+//! pipelines as [`crate::pipeline`] but return a [`PipelineProfile`]
+//! alongside the result: one [`StageMetrics`] row per stage (histogram,
+//! codebook, encode, decode, archive I/O), each kernel launch attributed
+//! to its stage via the [`crate::pipeline::StageSpans`] recorded on the
+//! device clock. Summing the attributed kernels' `cost.total` reproduces
+//! the stage's modeled seconds exactly — the invariant the trace tests
+//! pin down.
+//!
+//! Stages with `kernels == 0` are host-side (archive serialization and
+//! parsing); their time is *modeled* at a nominal host bandwidth
+//! ([`HOST_IO_BYTES_PER_SEC`]) rather than wall-clock-measured, so a
+//! fixed-seed run produces byte-identical profiles.
+//!
+//! Three exporters:
+//!
+//! * [`PipelineProfile::render_table`] — aligned text for terminals;
+//! * [`PipelineProfile::to_json`] — the `rsh-trace-v1` schema (see
+//!   FORMAT.md): run metadata, a `stages` array, a flattened `kernels`
+//!   array, and an optional `recovery` report;
+//! * [`PipelineProfile::to_chrome_trace`] — Chrome `trace_event` JSON,
+//!   one lane per stage, loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev).
+//!
+//! ```
+//! use gpu_sim::{DeviceSpec, Gpu};
+//! use huff_core::metrics;
+//! use huff_core::pipeline::PipelineKind;
+//!
+//! let gpu = Gpu::new(DeviceSpec::test_part());
+//! let data: Vec<u16> = (0..20_000).map(|i| (i % 97) as u16).collect();
+//! let (archive, profile) =
+//!     metrics::profile_compress(&gpu, &data, 2, 128, 10, None, PipelineKind::ReduceShuffle)
+//!         .unwrap();
+//! assert_eq!(huff_core::archive::decompress(&archive).unwrap(), data);
+//! assert_eq!(profile.stages.len(), 4); // histogram, codebook, encode, archive
+//! let json = profile.to_json_string();
+//! assert!(json.starts_with("{\"schema\":\"rsh-trace-v1\""));
+//! ```
+
+use crate::archive;
+use crate::decode;
+use crate::error::{HuffError, Result};
+use crate::integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport};
+use crate::pipeline::{self, PipelineKind};
+use gpu_sim::trace::ChromeTrace;
+use gpu_sim::{Gpu, KernelRecord};
+use serde::json::{Map, Value};
+use serde::Serialize;
+
+/// Version tag of the JSON schema emitted by [`PipelineProfile::to_json`].
+pub const TRACE_SCHEMA: &str = "rsh-trace-v1";
+
+/// Nominal host-side memory bandwidth used to *model* archive
+/// serialization and parsing time (stages with no kernels). A fixed
+/// constant — not a measurement — so profiles are deterministic; 8 GB/s
+/// is a conservative single-core memcpy-plus-checksum figure.
+pub const HOST_IO_BYTES_PER_SEC: f64 = 8.0e9;
+
+/// Aggregated metrics of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageMetrics {
+    /// Stage name (`"histogram"`, `"codebook"`, `"encode"`, `"decode"`,
+    /// `"archive"`, `"parse"`).
+    pub stage: &'static str,
+    /// Modeled seconds: sum of the stage's kernel costs, or host-modeled
+    /// I/O time when `kernels == 0`.
+    pub seconds: f64,
+    /// Kernel launches attributed to this stage (0 for host-side stages).
+    pub kernels: usize,
+    /// Bytes entering the stage.
+    pub bytes_in: u64,
+    /// Bytes leaving the stage.
+    pub bytes_out: u64,
+}
+
+impl StageMetrics {
+    /// Effective throughput in GB/s over the stage's input bytes.
+    pub fn gbps(&self) -> f64 {
+        gpu_sim::gbps(gpu_sim::throughput(self.bytes_in, self.seconds))
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("stage".into(), self.stage.into());
+        m.insert("seconds".into(), Value::Float(self.seconds));
+        m.insert("kernels".into(), Value::Int(self.kernels as i128));
+        m.insert("bytes_in".into(), Value::Int(self.bytes_in as i128));
+        m.insert("bytes_out".into(), Value::Int(self.bytes_out as i128));
+        m.insert("gbps".into(), Value::Float(self.gbps()));
+        Value::Object(m)
+    }
+}
+
+/// One kernel launch attributed to a pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageKernel {
+    /// The stage this launch belongs to.
+    pub stage: &'static str,
+    /// The full trace event from the device clock.
+    pub record: KernelRecord,
+}
+
+/// A complete profile of one pipeline run: per-stage metrics plus every
+/// kernel trace event, exportable as a table, JSON, or a Chrome trace.
+#[derive(Debug, Clone)]
+pub struct PipelineProfile {
+    /// `"compress"`, `"decompress"`, or `"roundtrip"`.
+    pub direction: &'static str,
+    /// Device name the pipeline was modeled on.
+    pub device: String,
+    /// Native input size in bytes (symbols × symbol width).
+    pub input_bytes: u64,
+    /// Size of the serialized archive in bytes.
+    pub archive_bytes: u64,
+    /// Compression ratio of the bitstream vs. the native symbol width.
+    pub compression_ratio: f64,
+    /// Achieved average bits per symbol in the payload.
+    pub avg_bits: f64,
+    /// Reduction factor `r` in effect.
+    pub reduction: u32,
+    /// Number of payload chunks.
+    pub chunks: usize,
+    /// Fraction of symbols in breaking units.
+    pub breaking_fraction: f64,
+    /// Per-stage metrics, in pipeline order.
+    pub stages: Vec<StageMetrics>,
+    /// Every kernel launch, in launch order, labeled with its stage.
+    pub kernels: Vec<StageKernel>,
+    /// Recovery report when the run decoded an archive (decompress /
+    /// roundtrip directions); `None` for pure compression.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl PipelineProfile {
+    /// Total modeled seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// The `rsh-trace-v1` JSON value (see FORMAT.md for the schema).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), TRACE_SCHEMA.into());
+        m.insert("direction".into(), self.direction.into());
+        m.insert("device".into(), Value::String(self.device.clone()));
+        m.insert("input_bytes".into(), Value::Int(self.input_bytes as i128));
+        m.insert("archive_bytes".into(), Value::Int(self.archive_bytes as i128));
+        m.insert("compression_ratio".into(), Value::Float(self.compression_ratio));
+        m.insert("avg_bits".into(), Value::Float(self.avg_bits));
+        m.insert("reduction".into(), Value::Int(i128::from(self.reduction)));
+        m.insert("chunks".into(), Value::Int(self.chunks as i128));
+        m.insert("breaking_fraction".into(), Value::Float(self.breaking_fraction));
+        m.insert("total_seconds".into(), Value::Float(self.total_seconds()));
+        m.insert("stages".into(), Value::Array(self.stages.iter().map(|s| s.to_json()).collect()));
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let mut obj = match k.record.to_json() {
+                    Value::Object(o) => o,
+                    _ => unreachable!("KernelRecord serializes to an object"),
+                };
+                obj.insert("stage".into(), k.stage.into());
+                Value::Object(obj)
+            })
+            .collect();
+        m.insert("kernels".into(), Value::Array(kernels));
+        m.insert(
+            "recovery".into(),
+            match &self.recovery {
+                Some(r) => recovery_json(r),
+                None => Value::Null,
+            },
+        );
+        Value::Object(m)
+    }
+
+    /// The `rsh-trace-v1` JSON, rendered compact.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Chrome `trace_event` JSON: one lane per stage, one complete event
+    /// per kernel. Host-side stages carry no kernels and are omitted.
+    /// Load the output in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut t = ChromeTrace::new(&format!("{} ({}, modeled)", self.direction, self.device));
+        let mut lanes: Vec<&'static str> = Vec::new();
+        for k in &self.kernels {
+            let tid = match lanes.iter().position(|&s| s == k.stage) {
+                Some(i) => i as u32,
+                None => {
+                    lanes.push(k.stage);
+                    let tid = (lanes.len() - 1) as u32;
+                    t.lane(tid, k.stage);
+                    tid
+                }
+            };
+            t.kernel(tid, &k.record);
+        }
+        t.finish()
+    }
+
+    /// Human-readable profile table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline profile — {} on {} (modeled)\n",
+            self.direction, self.device
+        ));
+        out.push_str(&format!(
+            "input {} -> archive {}  (ratio {:.2}x, {:.2} avg bits, r={}, {} chunks, {:.2}% breaking)\n",
+            fmt_bytes(self.input_bytes),
+            fmt_bytes(self.archive_bytes),
+            self.compression_ratio,
+            self.avg_bits,
+            self.reduction,
+            self.chunks,
+            self.breaking_fraction * 100.0
+        ));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>8} {:>10} {:>10} {:>8}\n",
+            "stage", "time", "kernels", "in", "out", "GB/s"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>12} {:>8} {:>10} {:>10} {:>8.1}\n",
+                s.stage,
+                fmt_seconds(s.seconds),
+                s.kernels,
+                fmt_bytes(s.bytes_in),
+                fmt_bytes(s.bytes_out),
+                s.gbps()
+            ));
+        }
+        let total = self.total_seconds();
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>8} {:>10} {:>10} {:>8.1}\n",
+            "total",
+            fmt_seconds(total),
+            self.kernels.len(),
+            fmt_bytes(self.input_bytes),
+            fmt_bytes(self.archive_bytes),
+            gpu_sim::gbps(gpu_sim::throughput(self.input_bytes, total))
+        ));
+        if let Some(r) = &self.recovery {
+            if r.is_clean() {
+                out.push_str(&format!("\nrecovery: clean ({} chunks verified)\n", r.total_chunks));
+            } else {
+                out.push_str(&format!(
+                    "\nrecovery: {}/{} chunks damaged, {} symbols lost\n",
+                    r.damaged_chunks.len(),
+                    r.total_chunks,
+                    r.symbols_lost
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn recovery_json(r: &RecoveryReport) -> Value {
+    let mut m = Map::new();
+    m.insert("total_chunks".into(), Value::Int(r.total_chunks as i128));
+    m.insert(
+        "damaged_chunks".into(),
+        Value::Array(r.damaged_chunks.iter().map(|&c| Value::Int(c as i128)).collect()),
+    );
+    m.insert(
+        "damaged_ranges".into(),
+        Value::Array(
+            r.damaged_ranges
+                .iter()
+                .map(|&(s, e)| Value::Array(vec![Value::Int(s as i128), Value::Int(e as i128)]))
+                .collect(),
+        ),
+    );
+    m.insert("symbols_lost".into(), Value::Int(r.symbols_lost as i128));
+    Value::Object(m)
+}
+
+fn host_io_seconds(bytes: u64) -> f64 {
+    bytes as f64 / HOST_IO_BYTES_PER_SEC
+}
+
+fn stage_kernels(
+    records: &[KernelRecord],
+    range: std::ops::Range<usize>,
+    stage: &'static str,
+) -> Vec<StageKernel> {
+    records[range].iter().map(|r| StageKernel { stage, record: r.clone() }).collect()
+}
+
+/// Run a compress pipeline (as [`pipeline::run_to_archive`]) and profile
+/// it. Parameters mirror [`pipeline::run`];
+/// [`PipelineKind::PrefixSum`] has no archive form and is rejected.
+///
+/// Returns the serialized archive and the profile; stages are
+/// `histogram`, `codebook`, `encode`, and the host-side `archive`
+/// serialization.
+pub fn profile_compress(
+    gpu: &Gpu,
+    data: &[u16],
+    symbol_bytes: u64,
+    num_symbols: usize,
+    magnitude: u32,
+    reduction: Option<u32>,
+    kind: PipelineKind,
+) -> Result<(Vec<u8>, PipelineProfile)> {
+    if kind == PipelineKind::PrefixSum {
+        return Err(HuffError::BadArchive(
+            "prefix-sum streams are not chunk-addressable; no archive form".into(),
+        ));
+    }
+    let (stream, book, report) =
+        pipeline::run(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
+    let packed = archive::serialize(&stream, &book, symbol_bytes as u8);
+
+    let clock = gpu.clock();
+    let records = clock.records();
+    let spans = report.spans;
+    let hist_bytes_out = num_symbols as u64 * 8; // frequency array
+    let book_bytes_out = book.lengths().len() as u64; // 1-byte lengths in the archive
+    let payload_bytes = stream.total_bits.div_ceil(8);
+
+    let stages = vec![
+        StageMetrics {
+            stage: "histogram",
+            seconds: report.times.histogram,
+            kernels: spans.histogram().len(),
+            bytes_in: report.input_bytes,
+            bytes_out: hist_bytes_out,
+        },
+        StageMetrics {
+            stage: "codebook",
+            seconds: report.times.codebook,
+            kernels: spans.codebook().len(),
+            bytes_in: hist_bytes_out,
+            bytes_out: book_bytes_out,
+        },
+        StageMetrics {
+            stage: "encode",
+            seconds: report.times.encode,
+            kernels: spans.encode().len(),
+            bytes_in: report.input_bytes,
+            bytes_out: payload_bytes,
+        },
+        StageMetrics {
+            stage: "archive",
+            seconds: host_io_seconds(packed.len() as u64),
+            kernels: 0,
+            bytes_in: payload_bytes,
+            bytes_out: packed.len() as u64,
+        },
+    ];
+    let mut kernels = stage_kernels(records, spans.histogram(), "histogram");
+    kernels.extend(stage_kernels(records, spans.codebook(), "codebook"));
+    kernels.extend(stage_kernels(records, spans.encode(), "encode"));
+
+    let profile = PipelineProfile {
+        direction: "compress",
+        device: gpu.spec().name.to_string(),
+        input_bytes: report.input_bytes,
+        archive_bytes: packed.len() as u64,
+        compression_ratio: report.compression_ratio,
+        avg_bits: report.avg_bits,
+        reduction: stream.config.reduction,
+        chunks: stream.num_chunks(),
+        breaking_fraction: report.breaking_fraction,
+        stages,
+        kernels,
+        recovery: None,
+    };
+    Ok((packed, profile))
+}
+
+/// Decode an archive on the device and profile it. Stages are the
+/// host-side `parse` (deserialization + checksum verification) and the
+/// device `decode` kernel.
+///
+/// Under [`RecoveryMode::Strict`] any damage is an error, as in
+/// [`pipeline::decode_archive`]; under [`RecoveryMode::BestEffort`]
+/// damaged chunks are sentinel-filled and the profile's `recovery` field
+/// reports them.
+pub fn profile_decompress(
+    gpu: &Gpu,
+    archive_bytes: &[u8],
+    opts: &DecompressOptions,
+) -> Result<(Recovered, PipelineProfile)> {
+    let parsed = archive::deserialize_with(archive_bytes, opts)?;
+    let stream = &parsed.stream;
+    let symbol_bytes = u64::from(parsed.symbol_bytes.max(1));
+    let input_bytes = stream.num_symbols as u64 * symbol_bytes;
+    let payload_bytes = stream.total_bits.div_ceil(8);
+
+    let base = gpu.launches();
+    let recovered = match opts.mode {
+        RecoveryMode::Strict => {
+            let (symbols, _) = decode::gpu::decode_on_gpu(gpu, stream, &parsed.book)?;
+            Recovered { symbols, report: RecoveryReport::clean(stream.num_chunks()) }
+        }
+        RecoveryMode::BestEffort => {
+            let (symbols, report, _) = decode::gpu::decode_best_effort_on_gpu(
+                gpu,
+                stream,
+                &parsed.book,
+                &parsed.chunk_damage,
+                opts.sentinel,
+            );
+            Recovered { symbols, report }
+        }
+    };
+    let after = gpu.launches();
+
+    let clock = gpu.clock();
+    let records = clock.records();
+    let decode_seconds: f64 = records[base..after].iter().map(|r| r.cost.total).sum();
+
+    let avg_bits = if stream.num_symbols == 0 {
+        0.0
+    } else {
+        stream.total_bits as f64 / stream.num_symbols as f64
+    };
+    let stages = vec![
+        StageMetrics {
+            stage: "parse",
+            seconds: host_io_seconds(archive_bytes.len() as u64),
+            kernels: 0,
+            bytes_in: archive_bytes.len() as u64,
+            bytes_out: payload_bytes,
+        },
+        StageMetrics {
+            stage: "decode",
+            seconds: decode_seconds,
+            kernels: after - base,
+            bytes_in: payload_bytes,
+            bytes_out: input_bytes,
+        },
+    ];
+    let kernels = stage_kernels(records, base..after, "decode");
+
+    let profile = PipelineProfile {
+        direction: "decompress",
+        device: gpu.spec().name.to_string(),
+        input_bytes,
+        archive_bytes: archive_bytes.len() as u64,
+        compression_ratio: if payload_bytes == 0 {
+            1.0
+        } else {
+            input_bytes as f64 / payload_bytes as f64
+        },
+        avg_bits,
+        reduction: stream.config.reduction,
+        chunks: stream.num_chunks(),
+        breaking_fraction: stream.breaking_fraction(),
+        stages,
+        kernels,
+        recovery: Some(recovered.report.clone()),
+    };
+    Ok((recovered, profile))
+}
+
+/// Compress, then decompress, on one device clock: the full `rsh profile`
+/// walkthrough. Returns the archive, the decode result, and a single
+/// profile whose stages cover both directions (histogram, codebook,
+/// encode, archive, parse, decode).
+pub fn profile_roundtrip(
+    gpu: &Gpu,
+    data: &[u16],
+    symbol_bytes: u64,
+    num_symbols: usize,
+    magnitude: u32,
+    reduction: Option<u32>,
+    kind: PipelineKind,
+) -> Result<(Vec<u8>, Recovered, PipelineProfile)> {
+    let (packed, compress) =
+        profile_compress(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
+    let (recovered, decompress) = profile_decompress(gpu, &packed, &DecompressOptions::default())?;
+
+    let mut profile = compress;
+    profile.direction = "roundtrip";
+    profile.stages.extend(decompress.stages);
+    profile.kernels.extend(decompress.kernels);
+    profile.recovery = Some(recovered.report.clone());
+    Ok((packed, recovered, profile))
+}
+
+fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b >= 1.0e9 {
+        format!("{:.2} GB", b / 1.0e9)
+    } else if b >= 1.0e6 {
+        format!("{:.2} MB", b / 1.0e6)
+    } else if b >= 1.0e3 {
+        format!("{:.2} kB", b / 1.0e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1.0e-3 {
+        format!("{:.3} ms", s * 1.0e3)
+    } else {
+        format!("{:.3} us", s * 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+    use gpu_sim::DeviceSpec;
+
+    fn data(n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+                (x % 256) as u16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compress_profile_stage_seconds_match_kernel_sums() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(30_000);
+        let (_, p) =
+            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        assert_eq!(p.direction, "compress");
+        for s in &p.stages {
+            let sum: f64 =
+                p.kernels.iter().filter(|k| k.stage == s.stage).map(|k| k.record.cost.total).sum();
+            if s.kernels > 0 {
+                assert!((sum - s.seconds).abs() < 1e-12, "stage {}", s.stage);
+            } else {
+                assert_eq!(sum, 0.0);
+            }
+        }
+        // Every kernel is attributed to exactly one stage.
+        let attributed: usize = p.stages.iter().map(|s| s.kernels).sum();
+        assert_eq!(attributed, p.kernels.len());
+    }
+
+    #[test]
+    fn decompress_profile_is_strict_clean_and_attributed() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(20_000);
+        let (packed, _) =
+            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (rec, p) = profile_decompress(&gpu, &packed, &DecompressOptions::default()).unwrap();
+        assert_eq!(rec.symbols, syms);
+        assert!(p.recovery.as_ref().unwrap().is_clean());
+        assert_eq!(p.stages.len(), 2);
+        let decode = &p.stages[1];
+        assert_eq!(decode.stage, "decode");
+        assert_eq!(decode.kernels, 1);
+        assert_eq!(decode.bytes_out, p.input_bytes);
+    }
+
+    #[test]
+    fn best_effort_profile_reports_damage() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(20_000);
+        let (packed, _) =
+            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let sections = archive::layout(&packed).unwrap();
+        let payload = sections
+            .iter()
+            .find(|(s, _)| *s == crate::integrity::Section::Payload)
+            .map(|(_, r)| r.clone())
+            .unwrap();
+        let mut corrupt = packed.clone();
+        assert!(testing::apply(
+            &mut corrupt,
+            &testing::Fault::BitFlip { offset: payload.start + payload.len() / 2, bit: 4 }
+        ));
+        let (rec, p) =
+            profile_decompress(&gpu, &corrupt, &DecompressOptions::best_effort()).unwrap();
+        assert!(!rec.report.is_clean());
+        assert!(!p.recovery.as_ref().unwrap().is_clean());
+        let json = p.to_json_string();
+        assert!(json.contains("\"damaged_chunks\":["));
+    }
+
+    #[test]
+    fn roundtrip_profile_covers_both_directions() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(25_000);
+        let (_, rec, p) =
+            profile_roundtrip(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        assert_eq!(rec.symbols, syms);
+        assert_eq!(p.direction, "roundtrip");
+        let names: Vec<&str> = p.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["histogram", "codebook", "encode", "archive", "parse", "decode"]);
+        assert!(p.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn json_and_table_and_chrome_render() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(15_000);
+        let (_, p) =
+            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let json = p.to_json_string();
+        assert!(json.starts_with("{\"schema\":\"rsh-trace-v1\""));
+        assert!(json.contains("\"stages\":["));
+        assert!(json.contains("\"kernels\":["));
+        assert!(json.contains("\"recovery\":null"));
+        let table = p.render_table();
+        assert!(table.contains("histogram"));
+        assert!(table.contains("GB/s"));
+        let chrome = p.to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let run = || {
+            let gpu = Gpu::new(DeviceSpec::test_part());
+            let syms = data(10_000);
+            let (_, p) =
+                profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle)
+                    .unwrap();
+            p.to_json_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefix_sum_rejected() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(5_000);
+        let r = profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::PrefixSum);
+        assert!(matches!(r, Err(HuffError::BadArchive(_))));
+    }
+}

@@ -44,6 +44,43 @@ impl StageTimes {
     }
 }
 
+/// Kernel-record boundaries of one pipeline run on the device clock.
+///
+/// `gpu.clock().records()[base..after_histogram]` are the histogram
+/// kernels, `[after_histogram..after_codebook]` the codebook kernels, and
+/// `[after_codebook..after_encode]` the encode kernels. The profiler
+/// ([`crate::metrics`]) uses these spans to attribute every trace event to
+/// a stage; summing `cost.total` over a span reproduces the corresponding
+/// [`StageTimes`] entry exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSpans {
+    /// Launch count on the device before the pipeline started.
+    pub base: usize,
+    /// Launch count after the histogram stage.
+    pub after_histogram: usize,
+    /// Launch count after the codebook stage.
+    pub after_codebook: usize,
+    /// Launch count after the encode stage.
+    pub after_encode: usize,
+}
+
+impl StageSpans {
+    /// Record-index range of the histogram kernels.
+    pub fn histogram(&self) -> std::ops::Range<usize> {
+        self.base..self.after_histogram
+    }
+
+    /// Record-index range of the codebook kernels.
+    pub fn codebook(&self) -> std::ops::Range<usize> {
+        self.after_histogram..self.after_codebook
+    }
+
+    /// Record-index range of the encode kernels.
+    pub fn encode(&self) -> std::ops::Range<usize> {
+        self.after_codebook..self.after_encode
+    }
+}
+
 /// Everything a table row needs about one pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
@@ -61,6 +98,8 @@ pub struct PipelineReport {
     pub breaking_fraction: f64,
     /// Compression ratio achieved (vs native width).
     pub compression_ratio: f64,
+    /// Kernel-record boundaries of this run on the device clock.
+    pub spans: StageSpans,
 }
 
 impl PipelineReport {
@@ -86,6 +125,31 @@ impl PipelineReport {
 ///   quantization codes / k-mers); sets the traffic and GB/s basis.
 /// * `num_symbols` — histogram size (codebook span).
 /// * `reduction` — explicit `r`, or `None` for the Fig. 3 rule.
+///
+/// The returned [`PipelineReport`] carries per-stage modeled times plus the
+/// kernel-record [`StageSpans`] on the device clock, so every launch can be
+/// attributed to a stage after the fact:
+///
+/// ```
+/// use gpu_sim::{DeviceSpec, Gpu};
+/// use huff_core::pipeline::{self, PipelineKind};
+///
+/// let gpu = Gpu::new(DeviceSpec::test_part());
+/// let data: Vec<u16> = (0..20_000).map(|i| (i % 256) as u16).collect();
+/// let (stream, book, report) =
+///     pipeline::run(&gpu, &data, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+///
+/// // The stream decodes back to the input, bit-exactly.
+/// assert_eq!(huff_core::decode::chunked::decode(&stream, &book).unwrap(), data);
+///
+/// // Per-kernel costs over a stage's span sum to that stage's time.
+/// let clock = gpu.clock();
+/// let hist: f64 = clock.records()[report.spans.histogram()]
+///     .iter()
+///     .map(|r| r.cost.total)
+///     .sum();
+/// assert!((hist - report.times.histogram).abs() < 1e-12);
+/// ```
 pub fn run(
     gpu: &Gpu,
     data: &[u16],
@@ -95,9 +159,13 @@ pub fn run(
     reduction: Option<u32>,
     kind: PipelineKind,
 ) -> Result<(ChunkedStream, CanonicalCodebook, PipelineReport)> {
+    let base = gpu.launches();
+    let base_elapsed = gpu.elapsed();
+
     // Stage 1: histogram.
     let freqs = histogram::gpu::histogram(gpu, data, num_symbols, symbol_bytes);
-    let hist_time = gpu.elapsed_matching("hist_");
+    let after_histogram = gpu.launches();
+    let hist_time = gpu.elapsed() - base_elapsed;
 
     // Stage 2: codebook.
     let before_codebook = gpu.elapsed();
@@ -107,6 +175,7 @@ pub fn run(
         }
         PipelineKind::CuszCoarse => codebook::gpu::serial_on_gpu(gpu, &freqs)?.0,
     };
+    let after_codebook = gpu.launches();
     let codebook_time = gpu.elapsed() - before_codebook;
 
     let avg_bits = book.average_bitwidth(&freqs);
@@ -152,6 +221,7 @@ pub fn run(
             (stream, 0.0, cr, 0)
         }
     };
+    let after_encode = gpu.launches();
     let encode_time = gpu.elapsed() - before_encode;
 
     let report = PipelineReport {
@@ -162,6 +232,7 @@ pub fn run(
         reduction: used_r,
         breaking_fraction,
         compression_ratio,
+        spans: StageSpans { base, after_histogram, after_codebook, after_encode },
     };
     Ok((stream, book, report))
 }
@@ -284,6 +355,27 @@ mod tests {
         let syms = data(5_000);
         let r = run_to_archive(&gpu, &syms, 2, 512, 10, None, PipelineKind::PrefixSum);
         assert!(matches!(r, Err(HuffError::BadArchive(_))));
+    }
+
+    #[test]
+    fn stage_spans_partition_the_clock_and_sum_to_stage_times() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        // Pre-existing launches must not confuse the spans.
+        gpu.launch("warmup", gpu_sim::GridDim::new(1, 32), |_| {});
+        let syms = data(30_000);
+        let (_, _, report) =
+            run(&gpu, &syms, 2, 512, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let clock = gpu.clock();
+        let recs = clock.records();
+        assert_eq!(report.spans.base, 1);
+        assert_eq!(report.spans.after_encode, recs.len());
+        assert!(report.spans.base < report.spans.after_histogram);
+        assert!(report.spans.after_histogram < report.spans.after_codebook);
+        assert!(report.spans.after_codebook < report.spans.after_encode);
+        let sum = |r: std::ops::Range<usize>| recs[r].iter().map(|k| k.cost.total).sum::<f64>();
+        assert!((sum(report.spans.histogram()) - report.times.histogram).abs() < 1e-12);
+        assert!((sum(report.spans.codebook()) - report.times.codebook).abs() < 1e-12);
+        assert!((sum(report.spans.encode()) - report.times.encode).abs() < 1e-12);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! assert_eq!(roundtrip, data);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use gpu_sim;
 pub use huff_core;
 pub use huff_datasets;
