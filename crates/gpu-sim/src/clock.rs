@@ -22,6 +22,15 @@ pub struct KernelRecord {
     pub blocks: u32,
     /// Threads per block in the launch grid.
     pub threads_per_block: u32,
+    /// Command queue (stream) the kernel ran on. Kernels launched directly
+    /// through [`crate::Gpu::launch`] run on the default stream 0; a
+    /// [`crate::StreamSchedule`] rewrites this when it replays records onto
+    /// explicit streams.
+    pub stream: u32,
+    /// Bandwidth-contention factor in effect over this kernel's execution:
+    /// 1.0 when it ran alone, `1 + Σ occupancy-weights` of the kernels
+    /// concurrently resident on other streams (see [`crate::stream`]).
+    pub contention: f64,
     /// Modeled start time on the simulated clock, seconds.
     pub start: f64,
     /// Modeled end time on the simulated clock (`start + cost.total`).
@@ -56,6 +65,8 @@ impl SimClock {
             name: name.to_string(),
             blocks: grid.blocks,
             threads_per_block: grid.threads_per_block,
+            stream: 0,
+            contention: 1.0,
             start,
             end,
             cost,

@@ -46,6 +46,7 @@ pub mod prefix;
 pub mod reduce;
 pub mod shared;
 pub mod sort;
+pub mod stream;
 pub mod trace;
 pub mod traffic;
 
@@ -56,4 +57,5 @@ pub use exec::{Gpu, KernelScope};
 pub use grid::{GridDim, ThreadIdx};
 pub use info::{Granularity, KernelInfo, Mapping, SyncScope};
 pub use shared::SharedMem;
+pub use stream::{EventId, StreamSchedule, Timeline};
 pub use traffic::{Access, Traffic};

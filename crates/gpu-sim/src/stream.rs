@@ -1,0 +1,446 @@
+//! CUDA-style streams and events: concurrent command queues on one device.
+//!
+//! A [`StreamSchedule`] models what a CUDA runtime does with multiple
+//! streams: each stream is a FIFO command queue, kernels on different
+//! streams may execute concurrently, and [`EventId`]s impose cross-stream
+//! ordering (`cudaEventRecord` / `cudaStreamWaitEvent`). The schedule is
+//! *record-then-replay*: pipelines first run normally on a [`crate::Gpu`]
+//! (capturing bit-exact results and per-kernel [`KernelRecord`]s), then
+//! those records are enqueued here and [`StreamSchedule::run`] computes the
+//! multi-stream timeline deterministically — independent of host thread
+//! interleaving, which keeps sharded pipelines reproducible under rayon.
+//!
+//! ## Contention model
+//!
+//! Overlap is not free: concurrently-resident kernels share the device's
+//! DRAM bandwidth. When a kernel starts while others are still executing,
+//! its memory term is inflated by a contention factor
+//!
+//! ```text
+//! f = 1 + Σ_resident min(1, blocks_resident / sm_count)
+//! ```
+//!
+//! — each resident kernel claims a share of bandwidth proportional to the
+//! fraction of SMs it occupies, capped at the whole device. The kernel's
+//! contended time is then
+//!
+//! ```text
+//! launch + grid_syncs + sequential_latency + atomics
+//!       + max(memory × f, compute, shared)
+//! ```
+//!
+//! so memory-bound kernels overlapped with other memory-bound kernels gain
+//! nothing (honest: the bus is saturated either way), while latency- and
+//! sync-bound kernels (codebook construction, small grids) overlap almost
+//! for free — which is exactly where multi-stream pipelines win. The
+//! factor is sampled once at the kernel's start; DESIGN.md § "Streams and
+//! the contention model" discusses this simplification and works a
+//! two-stream example.
+//!
+//! ```
+//! use gpu_sim::{DeviceSpec, Gpu, GridDim, Access, StreamSchedule};
+//!
+//! // Capture two identical kernels, then replay them on two streams.
+//! let gpu = Gpu::new(DeviceSpec::test_part());
+//! for _ in 0..2 {
+//!     gpu.launch("copy", GridDim::new(2, 256), |s| {
+//!         s.traffic().read(Access::Coalesced, 1 << 20, 4);
+//!     });
+//! }
+//! let recs = gpu.clock().drain();
+//! let mut sched = StreamSchedule::new(gpu.spec().clone(), 2);
+//! sched.enqueue(0, recs[0].clone());
+//! sched.enqueue(1, recs[1].clone());
+//! let tl = sched.run();
+//! // Overlapped but contended: faster than serial, slower than one kernel.
+//! assert!(tl.makespan < tl.serial_seconds);
+//! assert!(tl.makespan > tl.serial_seconds / 2.0);
+//! ```
+
+use crate::clock::KernelRecord;
+use crate::device::DeviceSpec;
+use std::collections::VecDeque;
+
+/// Handle to an event recorded on a stream (see
+/// [`StreamSchedule::record_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(usize);
+
+/// One command in a stream's FIFO queue.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Execute a kernel (base, uncontended record).
+    Kernel(Box<KernelRecord>),
+    /// Complete event `id` when every prior op on this stream finished.
+    Record(usize),
+    /// Block this stream until event `id` completes.
+    Wait(usize),
+}
+
+/// A device's command queues plus the deterministic scheduler that turns
+/// them into one contended timeline. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct StreamSchedule {
+    spec: DeviceSpec,
+    queues: Vec<VecDeque<Op>>,
+    num_events: usize,
+}
+
+impl StreamSchedule {
+    /// A schedule with `streams` empty command queues on a device.
+    pub fn new(spec: DeviceSpec, streams: usize) -> Self {
+        assert!(streams > 0, "a device needs at least one stream");
+        StreamSchedule { spec, queues: vec![VecDeque::new(); streams], num_events: 0 }
+    }
+
+    /// Number of command queues.
+    pub fn num_streams(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Append a kernel to `stream`'s queue. The record's `start`/`end`
+    /// and `stream` fields are rewritten by [`StreamSchedule::run`]; only
+    /// its cost breakdown and launch geometry matter here.
+    pub fn enqueue(&mut self, stream: usize, record: KernelRecord) {
+        self.queues[stream].push_back(Op::Kernel(Box::new(record)));
+    }
+
+    /// Append a whole pipeline's records to `stream`'s queue in order.
+    pub fn enqueue_all(&mut self, stream: usize, records: impl IntoIterator<Item = KernelRecord>) {
+        for r in records {
+            self.enqueue(stream, r);
+        }
+    }
+
+    /// Record an event on `stream`: it completes when everything enqueued
+    /// on `stream` so far has finished.
+    pub fn record_event(&mut self, stream: usize) -> EventId {
+        let id = self.num_events;
+        self.num_events += 1;
+        self.queues[stream].push_back(Op::Record(id));
+        EventId(id)
+    }
+
+    /// Make `stream` wait for `event` before running anything enqueued
+    /// after this call.
+    pub fn wait_event(&mut self, stream: usize, event: EventId) {
+        assert!(event.0 < self.num_events, "event from a different schedule");
+        self.queues[stream].push_back(Op::Wait(event.0));
+    }
+
+    /// Drain every queue and compute the contended timeline.
+    ///
+    /// Deterministic: among schedulable kernels, the one with the earliest
+    /// ready time runs first (ties broken by lowest stream id). Scheduled
+    /// start times are therefore nondecreasing, so the resident set at a
+    /// kernel's start is exactly the already-scheduled kernels that have
+    /// not yet ended. Panics on a cross-stream event cycle (deadlock).
+    pub fn run(mut self) -> Timeline {
+        let n = self.queues.len();
+        let mut ready = vec![0.0f64; n];
+        let mut event_time: Vec<Option<f64>> = vec![None; self.num_events];
+        let mut scheduled: Vec<KernelRecord> = Vec::new();
+        let mut serial_seconds = 0.0;
+
+        loop {
+            // Resolve event records/waits at queue heads to a fixed point.
+            let mut progress = true;
+            while progress {
+                progress = false;
+                for s in 0..n {
+                    while let Some(op) = self.queues[s].front() {
+                        match op {
+                            Op::Record(id) => {
+                                event_time[*id] = Some(ready[s]);
+                                self.queues[s].pop_front();
+                                progress = true;
+                            }
+                            Op::Wait(id) => match event_time[*id] {
+                                Some(t) => {
+                                    ready[s] = ready[s].max(t);
+                                    self.queues[s].pop_front();
+                                    progress = true;
+                                }
+                                None => break,
+                            },
+                            Op::Kernel(_) => break,
+                        }
+                    }
+                }
+            }
+
+            // Earliest-ready stream with a kernel at its head runs next.
+            let next =
+                (0..n).filter(|&s| matches!(self.queues[s].front(), Some(Op::Kernel(_)))).min_by(
+                    |&a, &b| ready[a].partial_cmp(&ready[b]).expect("finite times").then(a.cmp(&b)),
+                );
+            let Some(s) = next else {
+                assert!(
+                    self.queues.iter().all(VecDeque::is_empty),
+                    "stream schedule deadlock: a stream waits on an event that \
+                     is never recorded"
+                );
+                break;
+            };
+            let Some(Op::Kernel(rec)) = self.queues[s].pop_front() else { unreachable!() };
+            let mut rec = *rec;
+            serial_seconds += rec.cost.total;
+
+            let start = ready[s];
+            // Bandwidth shares of kernels still executing at `start`,
+            // weighted by the fraction of the device each occupies.
+            let occupancy =
+                |blocks: u32| (f64::from(blocks) / f64::from(self.spec.sm_count)).min(1.0);
+            let f: f64 = 1.0
+                + scheduled
+                    .iter()
+                    .filter(|r| r.end > start)
+                    .map(|r| occupancy(r.blocks))
+                    .sum::<f64>();
+
+            let c = &mut rec.cost;
+            let fixed = c.launch + c.grid_syncs + c.sequential_latency + c.atomics;
+            c.memory *= f;
+            c.total = fixed + c.memory.max(c.compute).max(c.shared);
+            rec.contention = f;
+            rec.stream = s as u32;
+            rec.start = start;
+            rec.end = start + rec.cost.total;
+            ready[s] = rec.end;
+            scheduled.push(rec);
+        }
+
+        let makespan = scheduled.iter().map(|r| r.end).fold(0.0, f64::max);
+        for (i, r) in scheduled.iter_mut().enumerate() {
+            r.seq = i;
+        }
+        Timeline { records: scheduled, makespan, serial_seconds }
+    }
+}
+
+/// The scheduled multi-stream timeline of one device.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Every kernel, in scheduling order (nondecreasing `start`; `seq`
+    /// renumbered to timeline position). `stream`, `contention`,
+    /// `start`/`end` and the contended `cost` are all rewritten.
+    pub records: Vec<KernelRecord>,
+    /// End of the last kernel — the device's wall-clock for the batch.
+    pub makespan: f64,
+    /// What the same kernels would take back-to-back on one stream (sum of
+    /// their uncontended costs) — the baseline for overlap speedup.
+    pub serial_seconds: f64,
+}
+
+impl Timeline {
+    /// Overlap speedup vs. the serial single-stream baseline (≥ 1.0 unless
+    /// contention pathologically dominates).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.serial_seconds / self.makespan
+    }
+
+    /// The records of one stream, in execution (= enqueue) order.
+    pub fn stream_records(&self, stream: u32) -> impl Iterator<Item = &KernelRecord> {
+        self.records.iter().filter(move |r| r.stream == stream)
+    }
+
+    /// Distinct stream ids present, ascending.
+    pub fn stream_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.records.iter().map(|r| r.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total busy seconds of one stream (sum of its contended kernel
+    /// durations).
+    pub fn stream_busy(&self, stream: u32) -> f64 {
+        self.stream_records(stream).map(|r| r.cost.total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostBreakdown;
+    use crate::traffic::Traffic;
+
+    /// A memory-bound record: `memory` seconds of DRAM time, full-device
+    /// occupancy unless `blocks` says otherwise.
+    fn mem_kernel(name: &str, memory: f64, blocks: u32) -> KernelRecord {
+        let cost = CostBreakdown { memory, total: memory, ..Default::default() };
+        KernelRecord {
+            seq: 0,
+            name: name.into(),
+            blocks,
+            threads_per_block: 256,
+            stream: 0,
+            contention: 1.0,
+            start: 0.0,
+            end: memory,
+            cost,
+            traffic: Traffic::new(),
+        }
+    }
+
+    /// A latency-bound record: fixed-cost only, no memory term.
+    fn latency_kernel(name: &str, latency: f64) -> KernelRecord {
+        let cost =
+            CostBreakdown { sequential_latency: latency, total: latency, ..Default::default() };
+        KernelRecord { cost, ..mem_kernel(name, 0.0, 1) }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::test_part() // 4 SMs
+    }
+
+    #[test]
+    fn single_stream_is_back_to_back_and_uncontended() {
+        let mut s = StreamSchedule::new(spec(), 1);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(0, mem_kernel("b", 2.0, 4));
+        let tl = s.run();
+        assert_eq!(tl.records.len(), 2);
+        assert!((tl.records[0].end - 1.0).abs() < 1e-12);
+        assert!((tl.records[1].start - 1.0).abs() < 1e-12);
+        assert!((tl.records[1].end - 3.0).abs() < 1e-12);
+        assert!((tl.makespan - 3.0).abs() < 1e-12);
+        assert!((tl.serial_seconds - 3.0).abs() < 1e-12);
+        assert!(tl.records.iter().all(|r| (r.contention - 1.0).abs() < 1e-12));
+        assert!((tl.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_full_occupancy_memory_kernels_contend_to_serial_time() {
+        // Both saturate the device: stream 1's kernel starts at t=0 but
+        // sees f = 2, so overlap buys nothing over back-to-back.
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(1, mem_kernel("b", 1.0, 4));
+        let tl = s.run();
+        let b = tl.stream_records(1).next().unwrap();
+        assert!((b.contention - 2.0).abs() < 1e-12);
+        assert!((b.cost.total - 2.0).abs() < 1e-12);
+        assert!((tl.makespan - 2.0).abs() < 1e-12, "makespan {}", tl.makespan);
+    }
+
+    #[test]
+    fn latency_bound_kernels_overlap_for_free() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, latency_kernel("a", 1.0));
+        s.enqueue(1, latency_kernel("b", 1.0));
+        let tl = s.run();
+        assert!((tl.makespan - 1.0).abs() < 1e-12);
+        assert!((tl.speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_occupancy_kernel_barely_slows_a_resident_one() {
+        // A 1-block kernel on a 4-SM device claims 1/4 of bandwidth.
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("small", 10.0, 1));
+        s.enqueue(1, mem_kernel("big", 1.0, 4));
+        let tl = s.run();
+        let big = tl.records.iter().find(|r| r.name == "big").unwrap();
+        assert!((big.contention - 1.25).abs() < 1e-12);
+        assert!((big.cost.total - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_sampled_at_start_not_retroactive() {
+        // Stream 0: long kernel [0, 4). Stream 1: short kernel at 0 sees
+        // f=2 (the long one is resident); the long one itself started
+        // alone and keeps f=1.
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("long", 4.0, 4));
+        s.enqueue(1, mem_kernel("short", 1.0, 4));
+        let tl = s.run();
+        let long = tl.records.iter().find(|r| r.name == "long").unwrap();
+        let short = tl.records.iter().find(|r| r.name == "short").unwrap();
+        assert!((long.contention - 1.0).abs() < 1e-12);
+        assert!((short.contention - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        // Stream 1 must wait for stream 0's kernel via an event.
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("producer", 2.0, 4));
+        let ev = s.record_event(0);
+        s.wait_event(1, ev);
+        s.enqueue(1, mem_kernel("consumer", 1.0, 4));
+        let tl = s.run();
+        let c = tl.records.iter().find(|r| r.name == "consumer").unwrap();
+        assert!((c.start - 2.0).abs() < 1e-12);
+        // No overlap → no contention.
+        assert!((c.contention - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_recorded_mid_queue_completes_at_that_point() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        let ev = s.record_event(0);
+        s.enqueue(0, mem_kernel("b", 5.0, 1));
+        s.wait_event(1, ev);
+        s.enqueue(1, mem_kernel("c", 1.0, 1));
+        let tl = s.run();
+        let c = tl.records.iter().find(|r| r.name == "c").unwrap();
+        // c waits for a (ends at 1.0), not for b.
+        assert!((c.start - 1.0).abs() < 1e-12, "start {}", c.start);
+    }
+
+    #[test]
+    fn timeline_starts_are_nondecreasing_and_seq_renumbered() {
+        let mut s = StreamSchedule::new(spec(), 3);
+        for i in 0..9 {
+            s.enqueue(i % 3, mem_kernel(&format!("k{i}"), 0.5 + 0.1 * i as f64, 2));
+        }
+        let tl = s.run();
+        for w in tl.records.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for (i, r) in tl.records.iter().enumerate() {
+            assert_eq!(r.seq, i);
+        }
+        assert_eq!(tl.stream_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_stream_records_keep_enqueue_order() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("a0", 1.0, 4));
+        s.enqueue(0, mem_kernel("a1", 1.0, 4));
+        s.enqueue(1, mem_kernel("b0", 0.5, 4));
+        let tl = s.run();
+        let names: Vec<&str> = tl.stream_records(0).map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["a0", "a1"]);
+        let busy: f64 = tl.stream_busy(0);
+        let sum: f64 = tl.stream_records(0).map(|r| r.end - r.start).sum();
+        assert!((busy - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn circular_wait_panics() {
+        // Each stream's wait precedes the record that would satisfy the
+        // other's wait — a cycle no scheduling order can resolve.
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.queues[0].push_back(Op::Wait(1));
+        s.queues[0].push_back(Op::Record(0));
+        s.queues[1].push_back(Op::Wait(0));
+        s.queues[1].push_back(Op::Record(1));
+        s.num_events = 2;
+        let _ = s.run();
+    }
+
+    #[test]
+    fn speedup_of_empty_timeline_is_one() {
+        let tl = StreamSchedule::new(spec(), 2).run();
+        assert!((tl.speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(tl.records.len(), 0);
+    }
+}

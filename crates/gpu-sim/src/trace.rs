@@ -90,6 +90,8 @@ impl ChromeTrace {
         args.insert("seq".into(), Value::Int(rec.seq as i128));
         args.insert("blocks".into(), Value::Int(i128::from(rec.blocks)));
         args.insert("threads_per_block".into(), Value::Int(i128::from(rec.threads_per_block)));
+        args.insert("stream".into(), Value::Int(i128::from(rec.stream)));
+        args.insert("contention".into(), Value::Float(rec.contention));
         args.insert("bound".into(), rec.cost.bound().into());
         args.insert("cost".into(), rec.cost.to_json());
         args.insert("traffic".into(), rec.traffic.to_json());
@@ -126,6 +128,23 @@ pub fn chrome_trace(process_name: &str, records: &[KernelRecord]) -> String {
     t.lane(0, "kernels");
     for r in records {
         t.kernel(0, r);
+    }
+    t.finish()
+}
+
+/// Multi-stream convenience: one lane per distinct stream id, each named
+/// `"stream N"`, with every record on its own stream's lane — the view a
+/// [`crate::StreamSchedule`] timeline opens as in Perfetto.
+pub fn chrome_trace_streams(process_name: &str, records: &[KernelRecord]) -> String {
+    let mut t = ChromeTrace::new(process_name);
+    let mut ids: Vec<u32> = records.iter().map(|r| r.stream).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    for &s in &ids {
+        t.lane(s, &format!("stream {s}"));
+    }
+    for r in records {
+        t.kernel(r.stream, r);
     }
     t.finish()
 }
@@ -189,6 +208,20 @@ mod tests {
         // Second kernel starts after the first ends: ts > 0 in µs.
         let expect = format!("\"ts\":{}", recs[1].start * 1e6);
         assert!(s.contains(&expect), "missing {expect} in {s}");
+    }
+
+    #[test]
+    fn stream_trace_renders_one_lane_per_stream() {
+        let gpu = traced_gpu();
+        let clock = gpu.clock();
+        let mut recs = clock.records().to_vec();
+        recs[1].stream = 1;
+        let s = chrome_trace_streams("TestPart", &recs);
+        assert!(s.contains("\"stream 0\""));
+        assert!(s.contains("\"stream 1\""));
+        // The second kernel's slice lands on lane 1.
+        assert!(s.contains("\"tid\":1"));
+        assert!(s.contains("\"contention\":1"));
     }
 
     #[test]

@@ -31,12 +31,17 @@ pub struct HarnessArgs {
     /// Write an `rsh-trace-v1` pipeline profile to this path (binaries
     /// that run a full pipeline honor it; others ignore it).
     pub trace: Option<String>,
+    /// Write every `rsh-bench-v1` row, one per line, to this path as well
+    /// (the committed `results/BENCH_*.json` baselines; binaries that
+    /// don't batch rows ignore it).
+    pub out: Option<String>,
 }
 
 impl HarnessArgs {
-    /// Parse from `std::env::args`: `[--scale X] [--json] [--trace PATH]`.
+    /// Parse from `std::env::args`:
+    /// `[--scale X] [--json] [--trace PATH] [--out PATH]`.
     pub fn parse() -> Self {
-        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false, trace: None };
+        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false, trace: None, out: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -50,10 +55,13 @@ impl HarnessArgs {
                 "--trace" => {
                     out.trace = Some(args.next().expect("--trace requires a path"));
                 }
+                "--out" => {
+                    out.out = Some(args.next().expect("--out requires a path"));
+                }
                 // Flags consumed by individual regenerators.
                 "--prefix-sum" => {}
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale FRACTION] [--json] [--trace PATH]");
+                    eprintln!("usage: [--scale FRACTION] [--json] [--trace PATH] [--out PATH]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?}"),
@@ -61,6 +69,14 @@ impl HarnessArgs {
         }
         assert!(out.scale > 0.0 && out.scale <= 1.0, "scale must be in (0, 1]");
         out
+    }
+}
+
+/// Write collected `rsh-bench-v1` row lines to `args.out` if set.
+pub fn emit_out(args: &HarnessArgs, lines: &[String]) {
+    if let Some(path) = &args.out {
+        std::fs::write(path, lines.join("\n") + "\n").expect("writable --out path");
+        eprintln!("{} rows written to {path}", lines.len());
     }
 }
 

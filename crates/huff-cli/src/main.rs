@@ -36,7 +36,9 @@
 //! machine-readable one-line JSON recovery report on stdout.
 
 use huff_core::archive::{self, CompressOptions};
+use huff_core::batch::BatchOptions;
 use huff_core::encode::BreakingStrategy;
+use huff_core::frame;
 use huff_core::integrity::{DecompressOptions, RecoveryReport};
 use huff_core::metrics;
 use huff_core::pipeline::PipelineKind;
@@ -105,7 +107,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
-                                  [--trace out.json] [--device v100|rtx5000]
+                                  [--shards N] [--streams N] [--devices v100,rtx5000] [--buffers N]
+                                  [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh decompress <input> <output> [--best-effort] [--sentinel N] [--trace out.json] [--device v100|rtx5000]
   rsh verify     <archive>
   rsh inspect    <archive>
@@ -116,6 +119,12 @@ profile runs the modeled device pipeline (roundtrip for raw files, decompression
 for RSH archives) and prints per-stage metrics; --trace writes the rsh-trace-v1
 JSON profile and --chrome a chrome://tracing / Perfetto timeline. --trace on
 compress/decompress routes them through the same modeled pipeline.
+
+--shards/--streams/--devices/--buffers switch compress to the batched pipeline:
+the input splits into N shards, each shard's histogram->codebook->encode chain
+runs on its own stream, overlapping across streams and devices, and the output
+is a multi-shard RSHM frame (decompress/verify/inspect accept it transparently;
+each shard recovers independently under --best-effort).
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";
@@ -145,16 +154,42 @@ struct Flags {
     trace: Option<String>,
     chrome: Option<String>,
     device: String,
+    shards: Option<usize>,
+    streams: Option<usize>,
+    devices: Option<String>,
+    buffers: Option<usize>,
     positional: Vec<String>,
+}
+
+fn device_spec(name: &str) -> Result<gpu_sim::DeviceSpec, CliError> {
+    match name {
+        "v100" => Ok(gpu_sim::DeviceSpec::v100()),
+        "rtx5000" => Ok(gpu_sim::DeviceSpec::rtx5000()),
+        other => Err(CliError::Usage(format!("--device needs v100|rtx5000, got {other:?}"))),
+    }
 }
 
 impl Flags {
     /// The modeled device selected by `--device` (default V100).
     fn gpu(&self) -> Result<gpu_sim::Gpu, CliError> {
-        match self.device.as_str() {
-            "v100" => Ok(gpu_sim::Gpu::v100()),
-            "rtx5000" => Ok(gpu_sim::Gpu::rtx5000()),
-            other => Err(CliError::Usage(format!("--device needs v100|rtx5000, got {other:?}"))),
+        Ok(gpu_sim::Gpu::new(device_spec(&self.device)?))
+    }
+
+    /// Whether any batch flag was given (switches compress to the
+    /// sharded multi-stream pipeline).
+    fn batched(&self) -> bool {
+        self.shards.is_some()
+            || self.streams.is_some()
+            || self.devices.is_some()
+            || self.buffers.is_some()
+    }
+
+    /// The device fleet for a batched run: the `--devices` list, or the
+    /// single `--device` part.
+    fn device_fleet(&self) -> Result<Vec<gpu_sim::DeviceSpec>, CliError> {
+        match &self.devices {
+            Some(list) => list.split(',').map(|n| device_spec(n.trim())).collect(),
+            None => Ok(vec![device_spec(&self.device)?]),
         }
     }
 }
@@ -172,6 +207,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         trace: None,
         chrome: None,
         device: "v100".to_string(),
+        shards: None,
+        streams: None,
+        devices: None,
+        buffers: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -227,6 +266,33 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .ok_or_else(|| usage("--sentinel needs a u16"))?,
                 )
             }
+            "--shards" => {
+                f.shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| usage("--shards needs a positive number"))?,
+                )
+            }
+            "--streams" => {
+                f.streams = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| usage("--streams needs a positive number"))?,
+                )
+            }
+            "--devices" => {
+                f.devices =
+                    Some(it.next().ok_or_else(|| usage("--devices needs a list"))?.to_string())
+            }
+            "--buffers" => {
+                f.buffers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| usage("--buffers needs a number"))?,
+                )
+            }
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag {other}")))
             }
@@ -264,6 +330,10 @@ fn cmd_compress(args: &[String]) -> CmdResult {
     };
     let raw = read_file(input)?;
     let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
+
+    if f.batched() {
+        return cmd_compress_batched(&f, &raw, &syms, default_bins, output);
+    }
 
     if f.trace.is_some() || f.chrome.is_some() {
         // Route through the modeled device pipeline so the profile carries
@@ -314,6 +384,56 @@ fn cmd_compress(args: &[String]) -> CmdResult {
     Ok(0)
 }
 
+/// `compress --shards/--streams/--devices/--buffers`: the sharded
+/// multi-stream pipeline. The output is an RSHM multi-shard frame; the
+/// printed summary carries the modeled makespan and overlap speedup, and
+/// `--trace`/`--chrome` export the batch profile (one Chrome lane per
+/// device × stream).
+fn cmd_compress_batched(
+    f: &Flags,
+    raw: &[u8],
+    syms: &[u16],
+    default_bins: usize,
+    output: &str,
+) -> CmdResult {
+    let mut opts = BatchOptions::new(f.bins.unwrap_or(default_bins));
+    if let Some(n) = f.shards {
+        opts.shard_symbols = syms.len().div_ceil(n).max(1);
+    }
+    if let Some(n) = f.streams {
+        opts.streams = n;
+    }
+    opts.devices = f.device_fleet()?;
+    opts.buffers = f.buffers.unwrap_or(0);
+    opts.magnitude = f.magnitude;
+    opts.reduction = f.reduction;
+    opts.symbol_bytes = f.symbols.bytes();
+
+    let (packed, profile) = metrics::profile_compress_batched(syms, &opts)
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+    write_file(output, &packed)?;
+    if let Some(path) = &f.trace {
+        write_file(path, profile.to_json_string().as_bytes())?;
+        eprintln!("rsh: trace written to {path}");
+    }
+    if let Some(path) = &f.chrome {
+        write_file(path, profile.to_chrome_trace().as_bytes())?;
+        eprintln!("rsh: chrome trace written to {path} (load in chrome://tracing or Perfetto)");
+    }
+    eprintln!(
+        "{} -> {} bytes ({:.3}x) in {:.3} ms modeled; {} shards x {} streams x {} devices, {:.2}x overlap speedup",
+        raw.len(),
+        packed.len(),
+        raw.len() as f64 / packed.len() as f64,
+        profile.report.makespan * 1e3,
+        profile.report.shards.len(),
+        opts.streams,
+        opts.devices.len(),
+        profile.report.speedup(),
+    );
+    Ok(0)
+}
+
 fn cmd_decompress(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input, output] = f.positional.as_slice() else {
@@ -325,16 +445,27 @@ fn cmd_decompress(args: &[String]) -> CmdResult {
     if let Some(s) = f.sentinel {
         opts.sentinel = s;
     }
-    let symbol_bytes = archive::deserialize_with(&packed, &opts)
-        .map_err(|e| CliError::Corrupt(e.to_string()))?
-        .symbol_bytes;
-    let rec = if f.trace.is_some() || f.chrome.is_some() {
+    let symbol_bytes = if frame::is_frame(&packed) {
+        frame::parse(&packed, opts.verify)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?
+            .symbol_bytes
+    } else {
+        archive::deserialize_with(&packed, &opts)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?
+            .symbol_bytes
+    };
+    let rec = if (f.trace.is_some() || f.chrome.is_some()) && !frame::is_frame(&packed) {
         let gpu = f.gpu()?;
         let (rec, profile) = metrics::profile_decompress(&gpu, &packed, &opts)
             .map_err(|e| CliError::Corrupt(e.to_string()))?;
         write_profile_outputs(&f, &profile)?;
         rec
     } else {
+        if f.trace.is_some() || f.chrome.is_some() {
+            eprintln!(
+                "rsh: multi-shard frames decode without a device profile; --trace/--chrome skipped"
+            );
+        }
         archive::decompress_with(&packed, &opts).map_err(|e| CliError::Corrupt(e.to_string()))?
     };
     let raw = symbols::SymbolWidth::from_bytes(symbol_bytes)
@@ -384,6 +515,30 @@ fn cmd_inspect(args: &[String]) -> CmdResult {
         return Err(CliError::Usage("inspect needs <archive>".into()));
     };
     let packed = read_file(input)?;
+    if frame::is_frame(&packed) {
+        let info = frame::parse(&packed, huff_core::Verify::Full)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        println!("frame            {} bytes (RSHM v{})", packed.len(), info.version);
+        println!(
+            "symbols          {} ({}-byte native width)",
+            info.total_symbols, info.symbol_bytes
+        );
+        println!(
+            "shards           {} x {} symbols (each a self-contained RSH2 archive)",
+            info.num_shards(),
+            info.shard_symbols
+        );
+        for (i, range) in info.shard_ranges.iter().enumerate() {
+            let span = info.shard_symbol_range(i);
+            println!(
+                "  shard {i:<3} {:>10} bytes  symbols {}..{}",
+                range.len(),
+                span.start,
+                span.end
+            );
+        }
+        return Ok(0);
+    }
     let (stream, book, symbol_bytes) =
         archive::deserialize(&packed).map_err(|e| CliError::Corrupt(e.to_string()))?;
     println!("archive          {} bytes", packed.len());
@@ -709,6 +864,84 @@ mod tests {
         let t = std::fs::read_to_string(&dtrace).unwrap();
         assert!(t.contains("\"direction\":\"decompress\""));
         assert!(t.contains("\"stage\":\"decode\""));
+    }
+
+    #[test]
+    fn batched_compress_frame_roundtrips() {
+        let input = tmp("bin.bin");
+        let packed = tmp("bin.rshm");
+        let restored = tmp("bin.out");
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 101) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let args: Vec<String> = vec![
+            input,
+            packed.clone(),
+            "--shards".into(),
+            "4".into(),
+            "--streams".into(),
+            "2".into(),
+        ];
+        assert_eq!(cmd_compress(&args).unwrap(), 0);
+        let bytes = std::fs::read(&packed).unwrap();
+        assert_eq!(&bytes[..4], b"RSHM");
+
+        // verify / inspect / decompress all accept the frame transparently.
+        assert_eq!(cmd_verify(std::slice::from_ref(&packed)).unwrap(), 0);
+        assert_eq!(cmd_inspect(std::slice::from_ref(&packed)).unwrap(), 0);
+        assert_eq!(cmd_decompress(&[packed, restored.clone()].map(String::from)).unwrap(), 0);
+        assert_eq!(std::fs::read(&restored).unwrap(), payload);
+    }
+
+    #[test]
+    fn batched_compress_writes_batch_trace() {
+        let input = tmp("btrace.bin");
+        let packed = tmp("btrace.rshm");
+        let trace = tmp("btrace.trace.json");
+        let chrome = tmp("btrace.chrome.json");
+        let payload: Vec<u8> = (0..150_000u32).map(|i| (i % 67) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+
+        let args: Vec<String> = vec![
+            input,
+            packed,
+            "--shards".into(),
+            "3".into(),
+            "--devices".into(),
+            "v100,rtx5000".into(),
+            "--trace".into(),
+            trace.clone(),
+            "--chrome".into(),
+            chrome.clone(),
+        ];
+        assert_eq!(cmd_compress(&args).unwrap(), 0);
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"direction\":\"compress-batched\""));
+        assert!(t.contains("\"speedup\":"));
+        let c = std::fs::read_to_string(&chrome).unwrap();
+        assert!(c.contains("gpu0 (V100)"));
+        assert!(c.contains("gpu1 (RTX 5000)"));
+    }
+
+    #[test]
+    fn batch_flags_parse_and_reject_garbage() {
+        let args: Vec<String> =
+            ["--shards", "8", "--streams", "4", "--buffers", "2", "--devices", "v100", "a", "b"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let f = parse_flags(&args).unwrap();
+        assert!(f.batched());
+        assert_eq!(f.shards, Some(8));
+        assert_eq!(f.streams, Some(4));
+        assert_eq!(f.buffers, Some(2));
+        assert_eq!(f.device_fleet().unwrap().len(), 1);
+        assert!(matches!(
+            parse_flags(&["--shards".to_string(), "0".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        let f = parse_flags(&["--devices".to_string(), "v100,tpu".to_string()]).unwrap();
+        assert!(matches!(f.device_fleet(), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -104,7 +104,13 @@ pub fn decompress(archive: &[u8]) -> Result<Vec<u16>> {
 /// every chunk whose checksum passes (and whose decode succeeds) is
 /// recovered, damaged regions are filled with `opts.sentinel`, and the
 /// report lists what was lost. Header damage is fatal in both modes.
+///
+/// Multi-shard frames ([`crate::frame`], magic `RSHM`) are dispatched to
+/// the frame decoder, so this is the single entry point for both formats.
 pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
+    if crate::frame::is_frame(archive) {
+        return crate::frame::decompress_with(archive, opts);
+    }
     let parsed = deserialize_with(archive, opts)?;
     match opts.mode {
         RecoveryMode::Strict => {
@@ -148,6 +154,9 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
 /// assert_eq!(report.damaged_chunks.len(), 1);
 /// ```
 pub fn verify(archive: &[u8]) -> Result<RecoveryReport> {
+    if crate::frame::is_frame(archive) {
+        return crate::frame::verify(archive);
+    }
     let opts = DecompressOptions { mode: RecoveryMode::BestEffort, ..Default::default() };
     let parsed = deserialize_with(archive, &opts)?;
     Ok(decode::chunked::damage_report(&parsed.stream, &parsed.chunk_damage))

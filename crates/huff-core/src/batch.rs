@@ -1,0 +1,409 @@
+//! Sharded, multi-stream, multi-device batch compression.
+//!
+//! Large inputs are split into fixed-size shards; each shard runs the full
+//! histogram → codebook → encode chain as an independent pipeline. Shards
+//! fan out round-robin across simulated devices, and within a device
+//! across CUDA-style streams ([`gpu_sim::StreamSchedule`]), so shard
+//! `i+1`'s histogram overlaps shard `i`'s encode — the classic
+//! double-buffered shape. The host-side work is real (rayon runs the
+//! shard pipelines in parallel); the device timelines are then computed
+//! deterministically by the stream scheduler under its bandwidth-contention
+//! model, independent of host thread interleaving.
+//!
+//! The result is a multi-shard frame ([`crate::frame`]): every shard a
+//! self-contained RSH2 archive with its own CRCs, so per-shard best-effort
+//! recovery composes, plus a [`BatchReport`] carrying the per-device
+//! timelines and per-shard contended stage times.
+//!
+//! ```
+//! use huff_core::batch::{compress_batched, BatchOptions};
+//! use huff_core::archive;
+//!
+//! let data: Vec<u16> = (0..100_000).map(|i| (i % 200) as u16).collect();
+//! let mut opts = BatchOptions::new(256);
+//! opts.shard_symbols = 32_768;
+//! opts.streams = 2;
+//! let (frame, report) = compress_batched(&data, &opts).unwrap();
+//! assert_eq!(archive::decompress(&frame).unwrap(), data);
+//! assert!(report.speedup() >= 1.0);
+//! ```
+
+use crate::archive;
+use crate::error::{HuffError, Result};
+use crate::frame;
+use crate::pipeline::{self, PipelineKind, PipelineReport, StageTimes};
+use gpu_sim::{DeviceSpec, Gpu, KernelRecord, StreamSchedule, Timeline};
+use rayon::prelude::*;
+
+/// Options for [`compress_batched`].
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Symbols per shard (the last shard may hold fewer).
+    pub shard_symbols: usize,
+    /// Streams (command queues) per device.
+    pub streams: usize,
+    /// One simulated device per entry; shards round-robin across them.
+    pub devices: Vec<DeviceSpec>,
+    /// Staging buffers per device: at most this many shards in flight at
+    /// once, enforced with events (shard `k` waits for shard
+    /// `k - buffers`). `0` means one buffer per stream — the stream FIFO
+    /// itself is the only constraint.
+    pub buffers: usize,
+    /// Histogram size (codebook span).
+    pub num_symbols: usize,
+    /// Chunk magnitude `M`.
+    pub magnitude: u32,
+    /// Reduction factor; `None` applies the Fig. 3 rule per shard.
+    pub reduction: Option<u32>,
+    /// Which encode pipeline to run per shard.
+    pub kind: PipelineKind,
+    /// Native symbol width recorded in the frame header.
+    pub symbol_bytes: u8,
+}
+
+impl BatchOptions {
+    /// Defaults for 2-byte symbols over `num_symbols` bins: 4 Mi-symbol
+    /// shards, two streams on one V100.
+    pub fn new(num_symbols: usize) -> Self {
+        BatchOptions {
+            shard_symbols: 1 << 22,
+            streams: 2,
+            devices: vec![DeviceSpec::v100()],
+            buffers: 0,
+            num_symbols,
+            magnitude: 10,
+            reduction: None,
+            kind: PipelineKind::ReduceShuffle,
+            symbol_bytes: 2,
+        }
+    }
+}
+
+/// One shard's outcome within the batch.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Shard index (symbol range `index × shard_symbols ..`).
+    pub index: usize,
+    /// Device the shard ran on.
+    pub device: usize,
+    /// Stream (on that device) the shard's kernels were enqueued to.
+    pub stream: u32,
+    /// Symbols in this shard.
+    pub symbols: usize,
+    /// Contended per-stage times on the scheduled timeline (these sum to
+    /// the shard's share of its stream's busy time).
+    pub stages: StageTimes,
+    /// The shard's standalone pipeline report (uncontended times, ratio,
+    /// spans relative to the shard's own clock).
+    pub report: PipelineReport,
+}
+
+/// One device's scheduled timeline.
+#[derive(Debug, Clone)]
+pub struct DeviceTimeline {
+    /// Index into [`BatchOptions::devices`].
+    pub device: usize,
+    /// Device marketing name.
+    pub name: &'static str,
+    /// The contended multi-stream timeline.
+    pub timeline: Timeline,
+}
+
+/// Everything observable about one batched run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardRun>,
+    /// Per-device scheduled timelines.
+    pub devices: Vec<DeviceTimeline>,
+    /// Input size in bytes (native symbol width).
+    pub input_bytes: u64,
+    /// Modeled end-to-end time: the slowest device's makespan.
+    pub makespan: f64,
+    /// What the same kernels would take back-to-back on one stream of one
+    /// device (sum of uncontended costs) — the serial-pipeline baseline.
+    pub serial_seconds: f64,
+}
+
+impl BatchReport {
+    /// Overlap + multi-device speedup vs. the serial baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.serial_seconds / self.makespan
+    }
+
+    /// End-to-end modeled throughput in bytes/second.
+    pub fn throughput(&self) -> f64 {
+        gpu_sim::throughput(self.input_bytes, self.makespan)
+    }
+}
+
+/// Compress `symbols` as a multi-shard frame, overlapping shard pipelines
+/// across streams and devices. Returns the frame bytes plus the batch
+/// report. The frame decodes with [`crate::archive::decompress`] (and
+/// degrades per shard under best-effort recovery, see [`crate::frame`]).
+pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>, BatchReport)> {
+    if symbols.is_empty() {
+        return Err(HuffError::EmptyHistogram);
+    }
+    if opts.shard_symbols == 0 || opts.streams == 0 || opts.devices.is_empty() {
+        return Err(HuffError::BadArchive("batch needs shards, streams and a device".into()));
+    }
+    if opts.kind == PipelineKind::PrefixSum {
+        return Err(HuffError::BadArchive(
+            "prefix-sum streams are not chunk-addressable; no archive form".into(),
+        ));
+    }
+
+    let n_devices = opts.devices.len();
+    let shard_inputs: Vec<&[u16]> = symbols.chunks(opts.shard_symbols).collect();
+
+    // Run every shard's pipeline with real host parallelism, each on a
+    // fresh clock of its assigned device so records start at t=0.
+    struct ShardOut {
+        bytes: Vec<u8>,
+        records: Vec<KernelRecord>,
+        report: PipelineReport,
+    }
+    let outs: Vec<Result<ShardOut>> = shard_inputs
+        .par_iter()
+        .enumerate()
+        .map(|(j, shard)| {
+            let device = j % n_devices;
+            let gpu = Gpu::new(opts.devices[device].clone());
+            let (stream, book, report) = pipeline::run(
+                &gpu,
+                shard,
+                u64::from(opts.symbol_bytes),
+                opts.num_symbols,
+                opts.magnitude,
+                opts.reduction,
+                opts.kind,
+            )?;
+            let bytes = archive::serialize(&stream, &book, opts.symbol_bytes);
+            Ok(ShardOut { bytes, records: gpu.clock().drain(), report })
+        })
+        .collect();
+    let outs: Vec<ShardOut> = outs.into_iter().collect::<Result<Vec<_>>>()?;
+
+    // Replay each device's shards onto its streams, deterministically.
+    // Device-local shard k runs on stream k % streams; with a buffer cap,
+    // shard k additionally waits for shard k - buffers to complete.
+    let mut schedules: Vec<StreamSchedule> =
+        opts.devices.iter().map(|d| StreamSchedule::new(d.clone(), opts.streams)).collect();
+    let mut done_events: Vec<Vec<gpu_sim::EventId>> = vec![Vec::new(); n_devices];
+    let mut local_index = vec![0usize; n_devices];
+    let mut assignment = Vec::with_capacity(outs.len()); // (device, stream) per shard
+    for (j, out) in outs.iter().enumerate() {
+        let d = j % n_devices;
+        let k = local_index[d];
+        local_index[d] += 1;
+        let s = k % opts.streams;
+        assignment.push((d, s as u32));
+        if opts.buffers > 0 && k >= opts.buffers {
+            let ev = done_events[d][k - opts.buffers];
+            schedules[d].wait_event(s, ev);
+        }
+        schedules[d].enqueue_all(s, out.records.iter().cloned());
+        let ev = schedules[d].record_event(s);
+        done_events[d].push(ev);
+    }
+    let timelines: Vec<Timeline> = schedules.into_iter().map(StreamSchedule::run).collect();
+
+    // Attribute each stream's scheduled records back to shard stages:
+    // per stream, records appear in enqueue order, so walking shards in
+    // device-local order and consuming each shard's launch count recovers
+    // the per-shard contended stage times.
+    let mut cursors: Vec<Vec<std::vec::IntoIter<KernelRecord>>> = timelines
+        .iter()
+        .map(|tl| {
+            (0..opts.streams as u32)
+                .map(|s| tl.stream_records(s).cloned().collect::<Vec<_>>().into_iter())
+                .collect()
+        })
+        .collect();
+    let mut shards = Vec::with_capacity(outs.len());
+    for (j, out) in outs.iter().enumerate() {
+        let (d, s) = assignment[j];
+        let cursor = &mut cursors[d][s as usize];
+        let spans = out.report.spans;
+        let take_sum = |cursor: &mut std::vec::IntoIter<KernelRecord>, n: usize| -> f64 {
+            cursor.take(n).map(|r| r.cost.total).sum()
+        };
+        let stages = StageTimes {
+            histogram: take_sum(cursor, spans.after_histogram - spans.base),
+            codebook: take_sum(cursor, spans.after_codebook - spans.after_histogram),
+            encode: take_sum(cursor, spans.after_encode - spans.after_codebook),
+        };
+        shards.push(ShardRun {
+            index: j,
+            device: d,
+            stream: s,
+            symbols: shard_inputs[j].len(),
+            stages,
+            report: out.report.clone(),
+        });
+    }
+
+    let makespan = timelines.iter().map(|t| t.makespan).fold(0.0, f64::max);
+    let serial_seconds = timelines.iter().map(|t| t.serial_seconds).sum();
+    let devices = timelines
+        .into_iter()
+        .enumerate()
+        .map(|(d, timeline)| DeviceTimeline { device: d, name: opts.devices[d].name, timeline })
+        .collect();
+
+    let shard_bytes: Vec<Vec<u8>> = outs.into_iter().map(|o| o.bytes).collect();
+    let frame = frame::assemble(
+        &shard_bytes,
+        symbols.len() as u64,
+        opts.shard_symbols as u64,
+        opts.symbol_bytes,
+    )?;
+    let report = BatchReport {
+        shards,
+        devices,
+        input_bytes: symbols.len() as u64 * u64::from(opts.symbol_bytes),
+        makespan,
+        serial_seconds,
+    };
+    Ok((frame, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::DecompressOptions;
+
+    fn data(n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 38;
+                (x % 512) as u16
+            })
+            .collect()
+    }
+
+    fn small_opts() -> BatchOptions {
+        let mut o = BatchOptions::new(512);
+        o.shard_symbols = 20_000;
+        o.devices = vec![DeviceSpec::test_part()];
+        o
+    }
+
+    #[test]
+    fn batched_frame_roundtrips() {
+        let syms = data(65_000);
+        let (frame, report) = compress_batched(&syms, &small_opts()).unwrap();
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+        assert_eq!(report.shards.len(), 4);
+        let rec = archive::decompress_with(&frame, &DecompressOptions::best_effort()).unwrap();
+        assert_eq!(rec.symbols, syms);
+        assert!(rec.report.is_clean());
+    }
+
+    #[test]
+    fn shards_interleave_across_streams() {
+        let syms = data(80_000);
+        let (_, report) = compress_batched(&syms, &small_opts()).unwrap();
+        let streams: Vec<u32> = report.shards.iter().map(|s| s.stream).collect();
+        assert_eq!(streams, vec![0, 1, 0, 1]);
+        // Shard 1 starts before shard 0 ends: overlapped execution.
+        let tl = &report.devices[0].timeline;
+        let s0_end = tl.stream_records(0).next().map(|r| r.end).unwrap();
+        let s1_start = tl.stream_records(1).next().map(|r| r.start).unwrap();
+        assert!(s1_start < s0_end, "no overlap: {s1_start} >= {s0_end}");
+    }
+
+    #[test]
+    fn two_streams_beat_serial() {
+        let syms = data(100_000);
+        let (_, report) = compress_batched(&syms, &small_opts()).unwrap();
+        assert!(report.makespan < report.serial_seconds);
+        assert!(report.speedup() > 1.0);
+    }
+
+    #[test]
+    fn stage_attribution_sums_to_stream_busy_time() {
+        let syms = data(90_000);
+        let (_, report) = compress_batched(&syms, &small_opts()).unwrap();
+        let tl = &report.devices[0].timeline;
+        for s in 0..2u32 {
+            let attributed: f64 =
+                report.shards.iter().filter(|sh| sh.stream == s).map(|sh| sh.stages.total()).sum();
+            assert!(
+                (attributed - tl.stream_busy(s)).abs() < 1e-12,
+                "stream {s}: {attributed} vs {}",
+                tl.stream_busy(s)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_device_splits_work() {
+        let syms = data(80_000);
+        let mut opts = small_opts();
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let (frame, report) = compress_batched(&syms, &opts).unwrap();
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+        assert_eq!(report.devices.len(), 2);
+        let d0: Vec<usize> =
+            report.shards.iter().filter(|s| s.device == 0).map(|s| s.index).collect();
+        let d1: Vec<usize> =
+            report.shards.iter().filter(|s| s.device == 1).map(|s| s.index).collect();
+        assert_eq!(d0, vec![0, 2]);
+        assert_eq!(d1, vec![1, 3]);
+        // Two devices roughly halve the makespan vs one.
+        let (_, one) = compress_batched(&syms, &small_opts()).unwrap();
+        assert!(report.makespan < one.makespan);
+    }
+
+    #[test]
+    fn buffer_cap_serializes_when_one() {
+        let syms = data(80_000);
+        let mut opts = small_opts();
+        opts.buffers = 1; // one staging buffer: no two shards in flight
+        let (_, capped) = compress_batched(&syms, &opts).unwrap();
+        // With a single buffer every shard waits for the previous one, so
+        // no kernel overlaps and the makespan equals the serial time.
+        assert!((capped.makespan - capped.serial_seconds).abs() < 1e-12);
+        let tl = &capped.devices[0].timeline;
+        assert!(tl.records.iter().all(|r| (r.contention - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_shard_input_still_frames() {
+        let syms = data(10_000);
+        let mut opts = small_opts();
+        opts.shard_symbols = 1 << 20;
+        let (frame, report) = compress_batched(&syms, &opts).unwrap();
+        assert_eq!(report.shards.len(), 1);
+        assert!(crate::frame::is_frame(&frame));
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+    }
+
+    #[test]
+    fn deterministic_output_bytes() {
+        let syms = data(70_000);
+        let (a, _) = compress_batched(&syms, &small_opts()).unwrap();
+        let (b, _) = compress_batched(&syms, &small_opts()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_degenerate_options() {
+        let syms = data(1000);
+        assert!(compress_batched(&[], &small_opts()).is_err());
+        let mut o = small_opts();
+        o.streams = 0;
+        assert!(compress_batched(&syms, &o).is_err());
+        let mut o = small_opts();
+        o.devices.clear();
+        assert!(compress_batched(&syms, &o).is_err());
+        let mut o = small_opts();
+        o.kind = PipelineKind::PrefixSum;
+        assert!(compress_batched(&syms, &o).is_err());
+    }
+}

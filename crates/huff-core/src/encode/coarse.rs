@@ -26,14 +26,18 @@ pub fn encode(
     config: MergeConfig,
 ) -> Result<ChunkedStream> {
     let chunk_syms = config.chunk_symbols();
-    let chunks: Vec<Result<EncodedChunk>> =
+    let chunks: Vec<Result<EncodedChunk<'static>>> =
         symbols.par_chunks(chunk_syms.max(1)).map(|c| chunk_append(c, book)).collect();
-    let chunks: Result<Vec<EncodedChunk>> = chunks.into_iter().collect();
+    let chunks: Result<Vec<EncodedChunk<'static>>> = chunks.into_iter().collect();
     assemble(symbols.len(), &chunks?, config)
 }
 
 /// Serially append one chunk's codewords into left-aligned u32 cells.
-pub(crate) fn chunk_append(symbols: &[u16], book: &CanonicalCodebook) -> Result<EncodedChunk> {
+/// Serial appends never break a word, so the chunk borrows nothing.
+pub(crate) fn chunk_append(
+    symbols: &[u16],
+    book: &CanonicalCodebook,
+) -> Result<EncodedChunk<'static>> {
     let mut words: Vec<u32> = Vec::with_capacity(symbols.len() / 2 + 2);
     let mut staged = 0u64; // output bits, left-aligned at bit 63
     let mut filled = 0u32; // valid staged bits (< 32 between symbols)

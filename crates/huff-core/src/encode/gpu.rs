@@ -65,7 +65,7 @@ pub fn encode_on_gpu(
     // --- Kernel 1: REDUCE-merge (fused functional work happens here) ----
     let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
     let (chunks, reduce_cost) = gpu.launch_timed("enc_reduce_merge", grid, |scope| {
-        let chunks: Vec<EncodedChunk> = symbols
+        let chunks: Vec<EncodedChunk<'_>> = symbols
             .par_chunks(chunk_syms.max(1))
             .map(|c| {
                 let first = encode_chunk::<u32>(c, book, config);

@@ -35,24 +35,29 @@ pub enum BreakingStrategy {
 }
 
 /// One encoded chunk before coalescing.
+///
+/// Borrows the input: breaking units reference their raw symbols in place
+/// rather than cloning them (the backtrace kernel touches every unit, so a
+/// per-unit allocation here was measurable on low-entropy inputs).
 #[derive(Debug, Clone)]
-pub struct EncodedChunk {
+pub struct EncodedChunk<'a> {
     /// Dense payload words (u32), left-aligned.
     pub words: Vec<u32>,
     /// Payload bits.
     pub bit_len: u64,
-    /// Local breaking-unit indices with their raw symbols.
-    pub breaking: Vec<(u32, Vec<u16>)>,
+    /// Local breaking-unit indices with their raw symbols, borrowed from
+    /// the chunk's input slice.
+    pub breaking: Vec<(u32, &'a [u16])>,
     /// Shuffle statistics (for the cost model).
     pub shuffle: ShuffleStats,
 }
 
 /// Encode one chunk with word type `W`. `symbols.len() <= 2^M`.
-pub fn encode_chunk<W: Word>(
-    symbols: &[u16],
+pub fn encode_chunk<'a, W: Word>(
+    symbols: &'a [u16],
     book: &CanonicalCodebook,
     config: MergeConfig,
-) -> EncodedChunk {
+) -> EncodedChunk<'a> {
     let (words_w, mut lens, breaking_idx) = reduce_chunk::<W>(symbols, book, config.reduction);
     // Pad the unit arrays to the power-of-two cell count SHUFFLE needs.
     let cells = words_w.len().next_power_of_two().max(2);
@@ -82,7 +87,7 @@ pub fn encode_chunk<W: Word>(
         .map(|u| {
             let lo = u as usize * unit_size;
             let hi = (lo + unit_size).min(symbols.len());
-            (u, symbols[lo..hi].to_vec())
+            (u, &symbols[lo..hi])
         })
         .collect();
 
@@ -99,7 +104,7 @@ pub fn encode(
     strategy: BreakingStrategy,
 ) -> Result<ChunkedStream> {
     let chunk_syms = config.chunk_symbols();
-    let chunks: Vec<EncodedChunk> = symbols
+    let chunks: Vec<EncodedChunk<'_>> = symbols
         .par_chunks(chunk_syms.max(1))
         .map(|c| {
             let first = encode_chunk::<u32>(c, book, config);
@@ -118,7 +123,7 @@ pub fn encode(
 /// len" → prefix sum → "coalescing copy" in Table I).
 pub fn assemble(
     num_symbols: usize,
-    chunks: &[EncodedChunk],
+    chunks: &[EncodedChunk<'_>],
     config: MergeConfig,
 ) -> Result<ChunkedStream> {
     let chunk_bit_lens: Vec<u64> = chunks.iter().map(|c| c.bit_len).collect();

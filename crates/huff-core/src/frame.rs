@@ -1,0 +1,444 @@
+//! Multi-shard archive frame: the container the batched pipeline emits.
+//!
+//! A frame concatenates independently-compressed shards, each a complete
+//! RSH2 archive ([`crate::archive`]) with its own codebook, chunk table and
+//! CRCs. Shards are self-contained on purpose: per-shard best-effort
+//! recovery *composes* — damage inside one shard's body is localized by
+//! that shard's own chunk checksums, and even a shard whose header is
+//! destroyed costs only that shard's symbol range, never the frame.
+//!
+//! Layout, version 1 (little-endian):
+//!
+//! ```text
+//! magic "RSHM" | version u8 | symbol_bytes u8 | pad u16
+//! total_symbols u64 | shard_symbols u64 | num_shards u32
+//! shard_byte_len u64 × num_shards
+//! header_crc u32               CRC32 of every byte preceding this field
+//! shard bodies                 num_shards complete RSH2 archives
+//! ```
+//!
+//! Shard `i` holds symbols `[i × shard_symbols, min((i+1) × shard_symbols,
+//! total_symbols))`; only the last shard may be short. Frame-header damage
+//! is fatal (the shard boundaries are required to find anything), exactly
+//! mirroring the RSH2 rule that archive-header damage is fatal.
+//!
+//! Single-shard RSH2 archives remain valid on their own:
+//! [`crate::archive::decompress_with`] dispatches on the magic, so readers
+//! accept both formats transparently (see FORMAT.md § "Multi-shard
+//! frame").
+
+use crate::archive;
+use crate::error::{HuffError, Result};
+use crate::integrity::{crc32, DecompressOptions, Recovered, RecoveryReport, Section, Verify};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rayon::prelude::*;
+use std::ops::Range;
+
+const MAGIC: &[u8; 4] = b"RSHM";
+const VERSION: u8 = 1;
+
+/// True when `bytes` starts with the multi-shard frame magic.
+pub fn is_frame(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == MAGIC
+}
+
+/// Parsed frame header: shard geometry plus the body byte ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Container version (currently 1).
+    pub version: u8,
+    /// Native symbol width recorded in the header.
+    pub symbol_bytes: u8,
+    /// Total symbols across all shards.
+    pub total_symbols: u64,
+    /// Symbols per shard (the last shard may hold fewer).
+    pub shard_symbols: u64,
+    /// Byte range of each shard's RSH2 body within the frame.
+    pub shard_ranges: Vec<Range<usize>>,
+}
+
+impl FrameInfo {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shard_ranges.len()
+    }
+
+    /// The symbol-index range shard `i` covers.
+    pub fn shard_symbol_range(&self, i: usize) -> Range<usize> {
+        let lo = (i as u64 * self.shard_symbols).min(self.total_symbols) as usize;
+        let hi = ((i as u64 + 1) * self.shard_symbols).min(self.total_symbols) as usize;
+        lo..hi
+    }
+}
+
+fn bad(msg: impl Into<String>) -> HuffError {
+    HuffError::BadArchive(msg.into())
+}
+
+/// Concatenate per-shard RSH2 archives into a frame.
+///
+/// `shards.len()` must equal `ceil(total_symbols / shard_symbols)` — the
+/// geometry is stored once in the frame header, not per shard.
+pub fn assemble(
+    shards: &[Vec<u8>],
+    total_symbols: u64,
+    shard_symbols: u64,
+    symbol_bytes: u8,
+) -> Result<Vec<u8>> {
+    if shards.is_empty() || shard_symbols == 0 {
+        return Err(bad("a frame needs at least one shard"));
+    }
+    let expected = total_symbols.div_ceil(shard_symbols);
+    if shards.len() as u64 != expected {
+        return Err(bad(format!(
+            "{} shards inconsistent with {total_symbols} symbols at {shard_symbols}/shard",
+            shards.len()
+        )));
+    }
+    let body: usize = shards.iter().map(Vec::len).sum();
+    let mut buf = BytesMut::with_capacity(body + 40 + 8 * shards.len());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(symbol_bytes);
+    buf.put_u16_le(0);
+    buf.put_u64_le(total_symbols);
+    buf.put_u64_le(shard_symbols);
+    buf.put_u32_le(shards.len() as u32);
+    for s in shards {
+        buf.put_u64_le(s.len() as u64);
+    }
+    let header_crc = crc32(&buf);
+    buf.put_u32_le(header_crc);
+    for s in shards {
+        buf.put_slice(s);
+    }
+    Ok(buf.to_vec())
+}
+
+/// Parse and (unless `verify` is [`Verify::None`]) checksum the frame
+/// header. Header damage is fatal: without the shard table nothing inside
+/// the frame can be located.
+pub fn parse(bytes: &[u8], verify: Verify) -> Result<FrameInfo> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let need = |buf: &Bytes, n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(bad(format!("truncated frame: need {n} more bytes")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 28)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad frame magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(bad(format!("unsupported frame version {version}")));
+    }
+    let symbol_bytes = buf.get_u8();
+    let _pad = buf.get_u16_le();
+    let total_symbols = buf.get_u64_le();
+    let shard_symbols = buf.get_u64_le();
+    let num_shards = buf.get_u32_le() as usize;
+    if shard_symbols == 0 || num_shards == 0 {
+        return Err(bad("empty frame geometry"));
+    }
+    if num_shards as u64 != total_symbols.div_ceil(shard_symbols) {
+        return Err(bad(format!(
+            "{num_shards} shards inconsistent with {total_symbols} symbols at \
+             {shard_symbols}/shard"
+        )));
+    }
+    let table = num_shards.checked_mul(8).ok_or_else(|| bad("shard table size overflow"))?;
+    need(&buf, table + 4)?;
+    let mut lens = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        lens.push(buf.get_u64_le());
+    }
+    let header_end = bytes.len() - buf.remaining();
+    let stored_crc = buf.get_u32_le();
+    if verify != Verify::None {
+        let got = crc32(&bytes[..header_end]);
+        if got != stored_crc {
+            return Err(HuffError::ChecksumMismatch {
+                section: Section::Header,
+                chunk: None,
+                expected: stored_crc,
+                got,
+            });
+        }
+    }
+    let mut shard_ranges = Vec::with_capacity(num_shards);
+    let mut off = bytes.len() - buf.remaining();
+    for &l in &lens {
+        let len: usize = l.try_into().map_err(|_| bad("shard length exceeds address space"))?;
+        let end = off.checked_add(len).ok_or_else(|| bad("shard table overflows frame"))?;
+        shard_ranges.push(off..end);
+        off = end;
+    }
+    Ok(FrameInfo { version, symbol_bytes, total_symbols, shard_symbols, shard_ranges })
+}
+
+/// Decompress a frame under an explicit verification and recovery policy.
+///
+/// Strict mode requires every shard to verify and decode completely. In
+/// best-effort mode each shard recovers independently: damage inside a
+/// shard is handled by that shard's own chunk recovery; a shard that
+/// cannot be parsed at all (dead header, missing body) is sentinel-filled
+/// across its whole symbol range and reported as a single opaque damaged
+/// chunk. Chunk indices and symbol ranges in the merged report are shifted
+/// to frame-global coordinates.
+pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
+    let info = parse(bytes, opts.verify)?;
+    let best_effort = opts.mode == crate::integrity::RecoveryMode::BestEffort;
+
+    // Decode shards in parallel; each is an independent archive.
+    let results: Vec<Result<Recovered>> = info
+        .shard_ranges
+        .par_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let expected = info.shard_symbol_range(i).len();
+            let body = bytes
+                .get(r.clone())
+                .ok_or_else(|| bad(format!("shard {i} body extends past the frame")))?;
+            let rec = archive::decompress_with(body, opts)?;
+            if rec.symbols.len() != expected {
+                return Err(bad(format!(
+                    "shard {i} decoded {} symbols, expected {expected}",
+                    rec.symbols.len()
+                )));
+            }
+            Ok(rec)
+        })
+        .collect();
+
+    let mut symbols = Vec::with_capacity(info.total_symbols as usize);
+    let mut report = RecoveryReport::default();
+    for (i, res) in results.into_iter().enumerate() {
+        let range = info.shard_symbol_range(i);
+        let base_chunks = report.total_chunks;
+        match res {
+            Ok(rec) => {
+                report.total_chunks += rec.report.total_chunks;
+                for c in rec.report.damaged_chunks {
+                    report.damaged_chunks.push(base_chunks + c);
+                }
+                for (s, e) in rec.report.damaged_ranges {
+                    report.damaged_ranges.push((range.start + s, range.start + e));
+                    report.symbols_lost += e - s;
+                }
+                symbols.extend_from_slice(&rec.symbols);
+            }
+            Err(e) if best_effort => {
+                // The shard is unreadable as a whole: its internal chunk
+                // structure is unknown, so it counts as one opaque chunk.
+                let _ = e;
+                report.total_chunks += 1;
+                report.damaged_chunks.push(base_chunks);
+                report.damaged_ranges.push((range.start, range.end));
+                report.symbols_lost += range.len();
+                symbols.resize(symbols.len() + range.len(), opts.sentinel);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Recovered { symbols, report })
+}
+
+/// Check every shard's checksums without decoding any payload, merging
+/// the per-shard reports into frame-global coordinates (same conventions
+/// as [`decompress_with`]).
+pub fn verify(bytes: &[u8]) -> Result<RecoveryReport> {
+    let info = parse(bytes, Verify::Full)?;
+    let mut report = RecoveryReport::default();
+    for (i, r) in info.shard_ranges.iter().enumerate() {
+        let range = info.shard_symbol_range(i);
+        let base_chunks = report.total_chunks;
+        let shard_report = bytes
+            .get(r.clone())
+            .ok_or_else(|| bad("shard body extends past the frame"))
+            .and_then(archive::verify);
+        match shard_report {
+            Ok(sr) => {
+                report.total_chunks += sr.total_chunks;
+                for c in sr.damaged_chunks {
+                    report.damaged_chunks.push(base_chunks + c);
+                }
+                for (s, e) in sr.damaged_ranges {
+                    report.damaged_ranges.push((range.start + s, range.start + e));
+                    report.symbols_lost += e - s;
+                }
+            }
+            Err(_) => {
+                report.total_chunks += 1;
+                report.damaged_chunks.push(base_chunks);
+                report.damaged_ranges.push((range.start, range.end));
+                report.symbols_lost += range.len();
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::{compress, CompressOptions};
+
+    fn data(n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+                (x % 256) as u16
+            })
+            .collect()
+    }
+
+    fn frame_of(syms: &[u16], shard_symbols: usize) -> Vec<u8> {
+        let shards: Vec<Vec<u8>> = syms
+            .chunks(shard_symbols)
+            .map(|s| compress(s, &CompressOptions::new(256)).unwrap())
+            .collect();
+        assemble(&shards, syms.len() as u64, shard_symbols as u64, 2).unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrips_bit_exactly() {
+        let syms = data(30_000);
+        let frame = frame_of(&syms, 8192);
+        assert!(is_frame(&frame));
+        let rec = decompress_with(&frame, &DecompressOptions::default()).unwrap();
+        assert_eq!(rec.symbols, syms);
+        assert!(rec.report.is_clean());
+        assert!(verify(&frame).unwrap().is_clean());
+    }
+
+    #[test]
+    fn parse_exposes_geometry() {
+        let syms = data(10_000);
+        let frame = frame_of(&syms, 4096);
+        let info = parse(&frame, Verify::Full).unwrap();
+        assert_eq!(info.num_shards(), 3);
+        assert_eq!(info.total_symbols, 10_000);
+        assert_eq!(info.shard_symbol_range(0), 0..4096);
+        assert_eq!(info.shard_symbol_range(2), 8192..10_000);
+        // Shard bodies tile the tail of the frame.
+        let mut cursor = info.shard_ranges[0].start;
+        for r in &info.shard_ranges {
+            assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, frame.len());
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        let syms = data(1000);
+        let shards = vec![compress(&syms, &CompressOptions::new(256)).unwrap()];
+        assert!(assemble(&shards, 5000, 1000, 2).is_err());
+        assert!(assemble(&[], 0, 1000, 2).is_err());
+    }
+
+    #[test]
+    fn header_flip_is_fatal_even_best_effort() {
+        let syms = data(5000);
+        let mut frame = frame_of(&syms, 2048);
+        frame[9] ^= 0x01; // total_symbols field
+        let r = decompress_with(&frame, &DecompressOptions::best_effort());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn shard_payload_damage_localizes_to_that_shard() {
+        let syms = data(24_000);
+        let frame = frame_of(&syms, 8192);
+        let info = parse(&frame, Verify::Full).unwrap();
+        // Flip a byte in the middle of shard 1's body (payload region).
+        let mut corrupt = frame.clone();
+        let r1 = info.shard_ranges[1].clone();
+        corrupt[r1.start + (r1.len() * 3 / 4)] ^= 0x40;
+
+        assert!(decompress_with(&corrupt, &DecompressOptions::default()).is_err());
+
+        let opts = DecompressOptions::best_effort();
+        let rec = decompress_with(&corrupt, &opts).unwrap();
+        assert_eq!(rec.symbols.len(), syms.len());
+        assert!(!rec.report.is_clean());
+        // All damage lies within shard 1's symbol range.
+        for &(s, e) in &rec.report.damaged_ranges {
+            assert!(s >= 8192 && e <= 16_384, "range {s}..{e} outside shard 1");
+        }
+        // Shards 0 and 2 are bit-exact.
+        assert_eq!(&rec.symbols[..8192], &syms[..8192]);
+        assert_eq!(&rec.symbols[16_384..], &syms[16_384..]);
+    }
+
+    #[test]
+    fn dead_shard_header_costs_only_that_shard() {
+        let syms = data(24_000);
+        let frame = frame_of(&syms, 8192);
+        let info = parse(&frame, Verify::Full).unwrap();
+        let mut corrupt = frame.clone();
+        // Destroy shard 1's magic: the shard is unreadable as a whole.
+        let r1 = info.shard_ranges[1].clone();
+        corrupt[r1.start] = b'X';
+
+        let opts = DecompressOptions::best_effort().with_sentinel(0xABCD);
+        let rec = decompress_with(&corrupt, &opts).unwrap();
+        assert_eq!(rec.symbols.len(), syms.len());
+        assert_eq!(rec.report.damaged_ranges, vec![(8192, 16_384)]);
+        assert_eq!(rec.report.symbols_lost, 8192);
+        assert!(rec.symbols[8192..16_384].iter().all(|&s| s == 0xABCD));
+        assert_eq!(&rec.symbols[..8192], &syms[..8192]);
+        assert_eq!(&rec.symbols[16_384..], &syms[16_384..]);
+
+        let report = verify(&corrupt).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.damaged_ranges, vec![(8192, 16_384)]);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let syms = data(4000);
+        let frame = frame_of(&syms, 2048);
+        for cut in [0, 3, 7, 20, 35, frame.len() / 2] {
+            assert!(
+                decompress_with(&frame[..cut], &DecompressOptions::default()).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tail_shard_recovers_best_effort() {
+        let syms = data(12_000);
+        let frame = frame_of(&syms, 4096);
+        let info = parse(&frame, Verify::Full).unwrap();
+        // Cut mid-way through the last shard's body.
+        let cut = info.shard_ranges[2].start + info.shard_ranges[2].len() / 2;
+        let rec = decompress_with(&frame[..cut], &DecompressOptions::best_effort()).unwrap();
+        assert_eq!(rec.symbols.len(), syms.len());
+        // First two shards intact.
+        assert_eq!(&rec.symbols[..8192], &syms[..8192]);
+        assert!(!rec.report.is_clean());
+    }
+
+    #[test]
+    fn chunk_indices_shift_across_shards() {
+        let syms = data(16_384);
+        let frame = frame_of(&syms, 8192);
+        let info = parse(&frame, Verify::Full).unwrap();
+        let mut corrupt = frame.clone();
+        let r1 = info.shard_ranges[1].clone();
+        corrupt[r1.end - 2] ^= 0x10; // last bytes of shard 1's payload
+        let report = verify(&corrupt).unwrap();
+        // Damaged chunk index must lie in the second shard's chunk range.
+        let shard0_chunks =
+            archive::verify(&frame[info.shard_ranges[0].clone()]).unwrap().total_chunks;
+        assert!(report.damaged_chunks.iter().all(|&c| c >= shard0_chunks));
+        assert_eq!(report.total_chunks, 2 * shard0_chunks);
+    }
+}

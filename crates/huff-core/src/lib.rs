@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod batch;
 pub mod bitstream;
 pub mod codebook;
 pub mod codeword;
@@ -50,6 +51,7 @@ pub mod decode;
 pub mod encode;
 pub mod entropy;
 pub mod error;
+pub mod frame;
 pub mod histogram;
 pub mod integrity;
 pub mod kernels;
@@ -59,6 +61,7 @@ pub mod sparse;
 pub mod testing;
 pub mod tree;
 
+pub use batch::{compress_batched, BatchOptions, BatchReport};
 pub use codebook::{parallel as build_codebook, CanonicalCodebook};
 pub use codeword::Codeword;
 pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};

@@ -43,10 +43,11 @@
 //! ```
 
 use crate::archive;
+use crate::batch::{self, BatchOptions, BatchReport};
 use crate::decode;
 use crate::error::{HuffError, Result};
 use crate::integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport};
-use crate::pipeline::{self, PipelineKind};
+use crate::pipeline::{self, PipelineKind, StageTimes};
 use gpu_sim::trace::ChromeTrace;
 use gpu_sim::{Gpu, KernelRecord};
 use serde::json::{Map, Value};
@@ -491,6 +492,226 @@ pub fn profile_roundtrip(
     Ok((packed, recovered, profile))
 }
 
+/// Aggregated metrics of one stream (command queue) on one device in a
+/// batched run: how many shards it carried and where its busy time went.
+#[derive(Debug, Clone)]
+pub struct StreamMetrics {
+    /// Index into the batch's device list.
+    pub device: usize,
+    /// Stream id on that device.
+    pub stream: u32,
+    /// Shards whose pipelines ran on this stream.
+    pub shards: usize,
+    /// Total busy seconds on the contended timeline.
+    pub busy: f64,
+    /// Contended per-stage seconds, summed over the stream's shards.
+    /// `stages.total()` equals `busy` — the per-stream attribution
+    /// invariant.
+    pub stages: StageTimes,
+}
+
+impl StreamMetrics {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("device".into(), Value::Int(self.device as i128));
+        m.insert("stream".into(), Value::Int(i128::from(self.stream)));
+        m.insert("shards".into(), Value::Int(self.shards as i128));
+        m.insert("busy_seconds".into(), Value::Float(self.busy));
+        m.insert("histogram".into(), Value::Float(self.stages.histogram));
+        m.insert("codebook".into(), Value::Float(self.stages.codebook));
+        m.insert("encode".into(), Value::Float(self.stages.encode));
+        Value::Object(m)
+    }
+}
+
+/// A profile of one batched (sharded, multi-stream, multi-device) run:
+/// the [`BatchReport`] plus per-stream stage attribution, exportable as a
+/// table, `rsh-trace-v1` JSON, or a Chrome trace with one lane per
+/// device × stream.
+#[derive(Debug, Clone)]
+pub struct BatchProfile {
+    /// The underlying batch report (shards, device timelines, makespan).
+    pub report: BatchReport,
+    /// Per-stream metrics, ordered by device then stream id.
+    pub streams: Vec<StreamMetrics>,
+    /// Size of the serialized multi-shard frame in bytes.
+    pub archive_bytes: u64,
+}
+
+impl BatchProfile {
+    fn build(report: BatchReport, archive_bytes: u64) -> Self {
+        let mut streams = Vec::new();
+        for dev in &report.devices {
+            for s in dev.timeline.stream_ids() {
+                let on_stream =
+                    report.shards.iter().filter(|sh| sh.device == dev.device && sh.stream == s);
+                let mut stages = StageTimes::default();
+                let mut shards = 0usize;
+                for sh in on_stream {
+                    stages.histogram += sh.stages.histogram;
+                    stages.codebook += sh.stages.codebook;
+                    stages.encode += sh.stages.encode;
+                    shards += 1;
+                }
+                streams.push(StreamMetrics {
+                    device: dev.device,
+                    stream: s,
+                    shards,
+                    busy: dev.timeline.stream_busy(s),
+                    stages,
+                });
+            }
+        }
+        BatchProfile { report, streams, archive_bytes }
+    }
+
+    /// The `rsh-trace-v1` JSON value for a batched run (see FORMAT.md).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), TRACE_SCHEMA.into());
+        m.insert("direction".into(), "compress-batched".into());
+        m.insert("input_bytes".into(), Value::Int(self.report.input_bytes as i128));
+        m.insert("archive_bytes".into(), Value::Int(self.archive_bytes as i128));
+        m.insert("makespan_seconds".into(), Value::Float(self.report.makespan));
+        m.insert("serial_seconds".into(), Value::Float(self.report.serial_seconds));
+        m.insert("speedup".into(), Value::Float(self.report.speedup()));
+        m.insert("gbps".into(), Value::Float(gpu_sim::gbps(self.report.throughput())));
+        let devices = self
+            .report
+            .devices
+            .iter()
+            .map(|d| {
+                let mut obj = Map::new();
+                obj.insert("device".into(), Value::Int(d.device as i128));
+                obj.insert("name".into(), d.name.into());
+                obj.insert("makespan_seconds".into(), Value::Float(d.timeline.makespan));
+                obj.insert(
+                    "streams".into(),
+                    Value::Array(
+                        self.streams
+                            .iter()
+                            .filter(|s| s.device == d.device)
+                            .map(StreamMetrics::to_json)
+                            .collect(),
+                    ),
+                );
+                Value::Object(obj)
+            })
+            .collect();
+        m.insert("devices".into(), Value::Array(devices));
+        let shards = self
+            .report
+            .shards
+            .iter()
+            .map(|sh| {
+                let mut obj = Map::new();
+                obj.insert("index".into(), Value::Int(sh.index as i128));
+                obj.insert("device".into(), Value::Int(sh.device as i128));
+                obj.insert("stream".into(), Value::Int(i128::from(sh.stream)));
+                obj.insert("symbols".into(), Value::Int(sh.symbols as i128));
+                obj.insert("histogram".into(), Value::Float(sh.stages.histogram));
+                obj.insert("codebook".into(), Value::Float(sh.stages.codebook));
+                obj.insert("encode".into(), Value::Float(sh.stages.encode));
+                Value::Object(obj)
+            })
+            .collect();
+        m.insert("shards".into(), Value::Array(shards));
+        let kernels = self
+            .report
+            .devices
+            .iter()
+            .flat_map(|d| {
+                d.timeline.records.iter().map(move |r| {
+                    let mut obj = match r.to_json() {
+                        Value::Object(o) => o,
+                        _ => unreachable!("KernelRecord serializes to an object"),
+                    };
+                    obj.insert("device".into(), Value::Int(d.device as i128));
+                    Value::Object(obj)
+                })
+            })
+            .collect();
+        m.insert("kernels".into(), Value::Array(kernels));
+        Value::Object(m)
+    }
+
+    /// The `rsh-trace-v1` JSON, rendered compact.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Chrome `trace_event` JSON: one lane per device × stream, named
+    /// `"gpu<d> (<name>) stream <s>"`, every kernel on its stream's lane.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut t = ChromeTrace::new("batched compress (modeled)");
+        let mut lane = 0u32;
+        for dev in &self.report.devices {
+            let mut lanes = std::collections::BTreeMap::new();
+            for s in dev.timeline.stream_ids() {
+                t.lane(lane, &format!("gpu{} ({}) stream {}", dev.device, dev.name, s));
+                lanes.insert(s, lane);
+                lane += 1;
+            }
+            for r in &dev.timeline.records {
+                t.kernel(lanes[&r.stream], r);
+            }
+        }
+        t.finish()
+    }
+
+    /// Human-readable per-stream profile table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("batched pipeline profile (modeled)\n");
+        out.push_str(&format!(
+            "input {} -> frame {}  ({} shards, {} device{})\n",
+            fmt_bytes(self.report.input_bytes),
+            fmt_bytes(self.archive_bytes),
+            self.report.shards.len(),
+            self.report.devices.len(),
+            if self.report.devices.len() == 1 { "" } else { "s" }
+        ));
+        out.push_str(&format!(
+            "makespan {}  serial {}  speedup {:.2}x  {:.1} GB/s\n",
+            fmt_seconds(self.report.makespan),
+            fmt_seconds(self.report.serial_seconds),
+            self.report.speedup(),
+            gpu_sim::gbps(self.report.throughput())
+        ));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<20} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+            "device/stream", "shards", "busy", "histogram", "codebook", "encode"
+        ));
+        for s in &self.streams {
+            let name = self.report.devices[s.device].name;
+            out.push_str(&format!(
+                "{:<20} {:>7} {:>12} {:>12} {:>12} {:>12}\n",
+                format!("gpu{} ({}) s{}", s.device, name, s.stream),
+                s.shards,
+                fmt_seconds(s.busy),
+                fmt_seconds(s.stages.histogram),
+                fmt_seconds(s.stages.codebook),
+                fmt_seconds(s.stages.encode),
+            ));
+        }
+        out
+    }
+}
+
+/// Compress `data` as a multi-shard frame (as
+/// [`batch::compress_batched`]) and profile it: the returned
+/// [`BatchProfile`] attributes every stream's contended busy time to
+/// pipeline stages and exports multi-lane Chrome traces.
+pub fn profile_compress_batched(
+    data: &[u16],
+    opts: &BatchOptions,
+) -> Result<(Vec<u8>, BatchProfile)> {
+    let (frame, report) = batch::compress_batched(data, opts)?;
+    let archive_bytes = frame.len() as u64;
+    Ok((frame, BatchProfile::build(report, archive_bytes)))
+}
+
 fn fmt_bytes(b: u64) -> String {
     let b = b as f64;
     if b >= 1.0e9 {
@@ -634,6 +855,62 @@ mod tests {
             p.to_json_string()
         };
         assert_eq!(run(), run());
+    }
+
+    fn batch_opts() -> BatchOptions {
+        let mut o = BatchOptions::new(256);
+        o.shard_symbols = 20_000;
+        o.devices = vec![DeviceSpec::test_part()];
+        o
+    }
+
+    #[test]
+    fn batch_profile_stream_stages_sum_to_busy_time() {
+        let syms = data(70_000);
+        let (frame, p) = profile_compress_batched(&syms, &batch_opts()).unwrap();
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+        assert_eq!(p.streams.len(), 2);
+        for s in &p.streams {
+            assert!(
+                (s.stages.total() - s.busy).abs() < 1e-12,
+                "stream {}: {} vs {}",
+                s.stream,
+                s.stages.total(),
+                s.busy
+            );
+        }
+        let shards: usize = p.streams.iter().map(|s| s.shards).sum();
+        assert_eq!(shards, p.report.shards.len());
+    }
+
+    #[test]
+    fn batch_profile_exports_render() {
+        let syms = data(70_000);
+        let (_, p) = profile_compress_batched(&syms, &batch_opts()).unwrap();
+        let json = p.to_json_string();
+        assert!(json.starts_with("{\"schema\":\"rsh-trace-v1\""));
+        assert!(json.contains("\"direction\":\"compress-batched\""));
+        assert!(json.contains("\"devices\":["));
+        assert!(json.contains("\"shards\":["));
+        assert!(json.contains("\"speedup\":"));
+        let table = p.render_table();
+        assert!(table.contains("makespan"));
+        assert!(table.contains("stream"), "table: {table}");
+        let chrome = p.to_chrome_trace();
+        assert!(chrome.contains("gpu0 (TestPart) stream 0"));
+        assert!(chrome.contains("gpu0 (TestPart) stream 1"));
+        assert!(chrome.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn batch_profile_multi_device_lanes() {
+        let syms = data(80_000);
+        let mut opts = batch_opts();
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let (_, p) = profile_compress_batched(&syms, &opts).unwrap();
+        let chrome = p.to_chrome_trace();
+        assert!(chrome.contains("gpu0 (TestPart) stream 0"));
+        assert!(chrome.contains("gpu1 (TestPart) stream 0"));
     }
 
     #[test]

@@ -40,9 +40,10 @@ pub use sz_quant;
 
 pub use gpu_sim::{DeviceSpec, Gpu, GridDim};
 pub use huff_core::archive::{compress, decompress, decompress_with, verify, CompressOptions};
+pub use huff_core::batch::{compress_batched, BatchOptions, BatchReport};
 pub use huff_core::pipeline::{self, PipelineKind, PipelineReport};
 pub use huff_core::{
-    codebook, decode, encode, entropy, histogram, integrity, kernels, sparse, tree,
+    batch, codebook, decode, encode, entropy, frame, histogram, integrity, kernels, sparse, tree,
     BreakingStrategy, CanonicalCodebook, ChunkedStream, Codeword, DecompressOptions, EncodedStream,
     HuffError, MergeConfig, Recovered, RecoveryMode, RecoveryReport, Result, Section, Verify,
 };
