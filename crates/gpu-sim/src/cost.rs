@@ -206,6 +206,45 @@ mod tests {
     }
 
     #[test]
+    fn per_bit_vs_per_symbol_decode_shapes_cross_over() {
+        // The decoder crossover, at the ledger level (DESIGN.md § "Sync-pass
+        // cost model"): a bit-serial decode kernel's compute term scales
+        // with payload *bits* (~6 ops each, divergence 2), while a LUT
+        // decode kernel's scales with *symbols* (~8 ops each, divergence
+        // 1.2) plus a sync-pass kernel. With long codes (8 bits/symbol) the
+        // per-bit kernel pays 96 op-equivalents per symbol vs ~19 for the
+        // LUT pipeline; with near-1-bit codes both sit on the memory
+        // roofline and the extra sync launch makes the LUT pipeline lose.
+        let s = DeviceSpec::v100();
+        let n: u64 = 4 << 20; // symbols
+        let per_symbol = |avg_bits: u64| {
+            let bits = n * avg_bits;
+            let mut serial = Traffic::new();
+            serial.read(Access::Coalesced, bits / 8, 1);
+            serial.write(Access::Coalesced, n, 2);
+            serial.ops(6 * bits);
+            serial.diverge(2.0);
+            let bit_serial = estimate(&s, &serial, true).total;
+
+            let mut sync = Traffic::new();
+            sync.read(Access::Strided, bits / 256, 32);
+            sync.ops(5 * 2 * n); // ~2 passes over every codeword
+            sync.diverge(2.0);
+            let mut dec = Traffic::new();
+            dec.read(Access::Coalesced, bits / 8, 1);
+            dec.write(Access::Coalesced, n, 2);
+            dec.ops(8 * n);
+            dec.diverge(1.2);
+            let lut = estimate(&s, &sync, true).total + estimate(&s, &dec, true).total;
+            (bit_serial, lut)
+        };
+        let (serial_hi, lut_hi) = per_symbol(8);
+        assert!(lut_hi < serial_hi, "high-entropy: lut {lut_hi} vs serial {serial_hi}");
+        let (serial_lo, lut_lo) = per_symbol(1);
+        assert!(lut_lo > serial_lo, "low-entropy: lut {lut_lo} vs serial {serial_lo}");
+    }
+
+    #[test]
     fn serial_codebook_motivation_scale() {
         // Section II-C: a serial 8192-symbol codebook construction on one
         // V100 thread takes ~144 ms. Our model: O(n log n) heap operations

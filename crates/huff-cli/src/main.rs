@@ -5,6 +5,7 @@
 //!                                 [--magnitude M] [--reduction R]
 //!                                 [--trace out.json] [--device NAME]
 //! rsh decompress <input> <output> [--best-effort] [--sentinel N]
+//!                                 [--decoder serial|chunked|lut]
 //!                                 [--trace out.json] [--device NAME]
 //! rsh verify     <archive>
 //! rsh inspect    <archive>
@@ -109,7 +110,8 @@ usage:
   rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
                                   [--shards N] [--streams N] [--devices v100,rtx5000] [--buffers N]
                                   [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
-  rsh decompress <input> <output> [--best-effort] [--sentinel N] [--trace out.json] [--device v100|rtx5000]
+  rsh decompress <input> <output> [--best-effort] [--sentinel N] [--decoder serial|chunked|lut]
+                                  [--trace out.json] [--device v100|rtx5000]
   rsh verify     <archive>
   rsh inspect    <archive>
   rsh profile    <file> [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
@@ -125,6 +127,11 @@ the input splits into N shards, each shard's histogram->codebook->encode chain
 runs on its own stream, overlapping across streams and devices, and the output
 is a multi-shard RSHM frame (decompress/verify/inspect accept it transparently;
 each shard recovers independently under --best-effort).
+
+--decoder selects the payload decoder backend (default chunked): serial is the
+single-thread baseline, chunked decodes one chunk per block bit-serially, lut
+adds multi-bit LUT probes with subchunk gap-array synchronization. All three
+are bit-exact; with --trace the modeled kernel times differ (see DESIGN.md).
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";
@@ -151,6 +158,7 @@ struct Flags {
     widen: bool,
     best_effort: bool,
     sentinel: Option<u16>,
+    decoder: Option<huff_core::DecoderKind>,
     trace: Option<String>,
     chrome: Option<String>,
     device: String,
@@ -204,6 +212,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         widen: false,
         best_effort: false,
         sentinel: None,
+        decoder: None,
         trace: None,
         chrome: None,
         device: "v100".to_string(),
@@ -264,6 +273,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| usage("--sentinel needs a u16"))?,
+                )
+            }
+            "--decoder" => {
+                let name = it.next().ok_or_else(|| usage("--decoder needs a name"))?;
+                f.decoder = Some(
+                    huff_core::DecoderKind::parse(name)
+                        .map_err(|e| CliError::Usage(e.to_string()))?,
                 )
             }
             "--shards" => {
@@ -445,6 +461,9 @@ fn cmd_decompress(args: &[String]) -> CmdResult {
     if let Some(s) = f.sentinel {
         opts.sentinel = s;
     }
+    if let Some(d) = f.decoder {
+        opts.decoder = d;
+    }
     let symbol_bytes = if frame::is_frame(&packed) {
         frame::parse(&packed, opts.verify)
             .map_err(|e| CliError::Corrupt(e.to_string()))?
@@ -586,6 +605,9 @@ fn cmd_profile(args: &[String]) -> CmdResult {
         };
         if let Some(s) = f.sentinel {
             opts.sentinel = s;
+        }
+        if let Some(d) = f.decoder {
+            opts.decoder = d;
         }
         let (_, profile) = metrics::profile_decompress(&gpu, &raw, &opts)
             .map_err(|e| CliError::Corrupt(e.to_string()))?;
@@ -774,6 +796,36 @@ mod tests {
             parse_flags(&["--sentinel".to_string(), "70000".to_string()]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn decoder_flag_parses_and_rejects_garbage() {
+        let args: Vec<String> =
+            ["--decoder", "lut", "a", "b"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.decoder, Some(huff_core::DecoderKind::Lut));
+        assert!(matches!(
+            parse_flags(&["--decoder".to_string(), "warp".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_flags(&["--decoder".to_string()]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn decompress_with_each_decoder_backend_roundtrips() {
+        let input = tmp("dec.bin");
+        let packed = tmp("dec.rsh");
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 97) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        cmd_compress(&[input, packed.clone()].map(String::from)).unwrap();
+
+        for decoder in ["serial", "chunked", "lut"] {
+            let restored = tmp(&format!("dec-{decoder}.out"));
+            let args: Vec<String> =
+                vec![packed.clone(), restored.clone(), "--decoder".into(), decoder.into()];
+            assert_eq!(cmd_decompress(&args).unwrap(), 0, "{decoder}");
+            assert_eq!(std::fs::read(&restored).unwrap(), payload, "{decoder}");
+        }
     }
 
     #[test]

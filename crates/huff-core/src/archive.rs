@@ -114,16 +114,17 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
     let parsed = deserialize_with(archive, opts)?;
     match opts.mode {
         RecoveryMode::Strict => {
-            let symbols = decode::chunked::decode(&parsed.stream, &parsed.book)?;
+            let symbols = decode::decode_stream(&parsed.stream, &parsed.book, opts.decoder)?;
             let report = RecoveryReport::clean(parsed.stream.num_chunks());
             Ok(Recovered { symbols, report })
         }
         RecoveryMode::BestEffort => {
-            let (symbols, report) = decode::chunked::decode_best_effort(
+            let (symbols, report) = decode::decode_stream_best_effort(
                 &parsed.stream,
                 &parsed.book,
                 &parsed.chunk_damage,
                 opts.sentinel,
+                opts.decoder,
             );
             Ok(Recovered { symbols, report })
         }

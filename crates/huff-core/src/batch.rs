@@ -305,6 +305,22 @@ mod tests {
     }
 
     #[test]
+    fn batched_frame_roundtrips_under_every_decoder() {
+        let syms = data(65_000);
+        let (frame, _) = compress_batched(&syms, &small_opts()).unwrap();
+        for decoder in [
+            crate::decode::DecoderKind::Serial,
+            crate::decode::DecoderKind::Chunked,
+            crate::decode::DecoderKind::Lut,
+        ] {
+            let opts = DecompressOptions::default().with_decoder(decoder);
+            let rec = archive::decompress_with(&frame, &opts).unwrap();
+            assert_eq!(rec.symbols, syms, "{}", decoder.name());
+            assert!(rec.report.is_clean());
+        }
+    }
+
+    #[test]
     fn shards_interleave_across_streams() {
         let syms = data(80_000);
         let (_, report) = compress_batched(&syms, &small_opts()).unwrap();

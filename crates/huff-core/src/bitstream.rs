@@ -174,6 +174,15 @@ impl<'a> BitReader<'a> {
         Ok(out)
     }
 
+    /// Read `len` bits MSB-first without consuming them.
+    ///
+    /// The multi-bit LUT decoder ([`crate::decode::lut`]) peeks a whole
+    /// window, looks the prefix up, then [`skip`](Self::skip)s only the
+    /// bits the matched codeword actually consumed.
+    pub fn peek_bits(&self, len: u32) -> Result<u64> {
+        self.clone().read_bits(len)
+    }
+
     /// Skip `len` bits.
     pub fn skip(&mut self, len: u64) -> Result<()> {
         if self.pos + len > self.len_bits {
@@ -267,6 +276,20 @@ mod tests {
         let mut r = BitReader::new(&[0xFF], 8);
         assert_eq!(r.read_bits(0).unwrap(), 0);
         assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn peek_bits_does_not_consume() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1_0110_1101, 9);
+        let (buf, len) = w.finish();
+        let mut r = BitReader::new(&buf, len);
+        assert_eq!(r.peek_bits(5).unwrap(), 0b10110);
+        assert_eq!(r.position(), 0);
+        r.skip(3).unwrap();
+        assert_eq!(r.peek_bits(6).unwrap(), 0b101101);
+        assert_eq!(r.position(), 3);
+        assert!(r.peek_bits(7).is_err()); // only 6 bits remain
     }
 
     #[test]

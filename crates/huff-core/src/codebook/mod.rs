@@ -45,7 +45,15 @@ impl CanonicalCodebook {
     /// ([`parallel`]) produces an equivalent codebook via
     /// GenerateCL/GenerateCW.
     pub fn from_lengths(lengths: &[u32]) -> Result<Self> {
-        assert!(lengths.len() <= 1 << 16, "symbol space exceeds u16");
+        // A structured error, not an assert: this is reachable from
+        // archive deserialization, where `lengths.len()` is an untrusted
+        // header field.
+        if lengths.len() > 1 << 16 {
+            return Err(HuffError::SymbolOutOfRange {
+                symbol: lengths.len() - 1,
+                codebook: 1 << 16,
+            });
+        }
         let mut order: Vec<u16> =
             (0..lengths.len()).filter(|&s| lengths[s] > 0).map(|s| s as u16).collect();
         if order.is_empty() {
@@ -144,6 +152,15 @@ impl CanonicalCodebook {
     /// Frequency-weighted average codeword length for a histogram.
     pub fn average_bitwidth(&self, freqs: &[u64]) -> f64 {
         crate::entropy::average_bitwidth(freqs, &self.lengths())
+    }
+
+    /// Build a multi-bit decode table over the next `min(max_len(),
+    /// max_bits)` stream bits: one probe yields a symbol plus its consumed
+    /// length, with a slow-path marker for longer codewords. This is the
+    /// decoder-side payoff of canonization — the table derives entirely
+    /// from the `First`/`Entry`/`Count` arrays (see [`crate::decode::lut`]).
+    pub fn decode_lut(&self, max_bits: u32) -> crate::decode::lut::DecodeLut {
+        crate::decode::lut::DecodeLut::build(self, max_bits)
     }
 
     /// Decode a single symbol from a bit-accessor: `next_bit` yields
@@ -267,6 +284,17 @@ mod tests {
     fn empty_histogram_rejected() {
         assert!(matches!(parallel(&[0, 0], 2), Err(HuffError::EmptyHistogram)));
         assert!(matches!(CanonicalCodebook::from_lengths(&[0, 0]), Err(HuffError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn oversized_symbol_space_rejected_not_panicking() {
+        // Reachable from archive deserialization with a hostile
+        // codebook-length field: must be a structured error.
+        let lengths = vec![1u32; (1 << 16) + 1];
+        assert!(matches!(
+            CanonicalCodebook::from_lengths(&lengths),
+            Err(HuffError::SymbolOutOfRange { codebook: 65536, .. })
+        ));
     }
 
     #[test]

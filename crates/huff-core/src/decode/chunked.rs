@@ -23,13 +23,17 @@ use crate::integrity::RecoveryReport;
 use rayon::prelude::*;
 
 /// Decode chunk `ci` of `stream` to symbols.
-fn decode_chunk(stream: &ChunkedStream, book: &CanonicalCodebook, ci: usize) -> Result<Vec<u16>> {
+pub(crate) fn decode_chunk(
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    ci: usize,
+) -> Result<Vec<u16>> {
     let chunk_syms = stream.config.chunk_symbols();
     let unit_syms = stream.config.unit_symbols().max(1);
     let units_per_chunk = stream.config.units_per_chunk() as u64;
 
     let sym_base = ci * chunk_syms;
-    let sym_count = chunk_syms.min(stream.num_symbols - sym_base);
+    let sym_count = chunk_syms.min(stream.num_symbols.saturating_sub(sym_base));
     let mut reader = BitReader::new(&stream.bytes, stream.total_bits);
     reader.skip(stream.chunk_bit_offsets[ci])?;
 
@@ -67,11 +71,81 @@ pub fn decode(stream: &ChunkedStream, book: &CanonicalCodebook) -> Result<Vec<u1
     Ok(out)
 }
 
+/// Decode a chunked stream on a single thread, chunk by chunk — the
+/// bit-serial baseline the paper's decoders are measured against. Output
+/// is bit-exact with [`decode`] (and with [`crate::decode::lut::decode`]).
+pub fn decode_serial(stream: &ChunkedStream, book: &CanonicalCodebook) -> Result<Vec<u16>> {
+    let mut out = Vec::with_capacity(stream.num_symbols);
+    for ci in 0..stream.num_chunks() {
+        out.extend_from_slice(&decode_chunk(stream, book, ci)?);
+    }
+    if out.len() != stream.num_symbols {
+        return Err(HuffError::CorruptStream("decoded count disagrees with header"));
+    }
+    Ok(out)
+}
+
+/// (symbols, chunk-local lost ranges, was_damaged) per chunk.
+pub(crate) type ChunkPart = (Vec<u16>, Vec<(usize, usize)>, bool);
+
+/// The best-effort skeleton shared by every decoder backend: decode each
+/// chunk with `decode_one` unless it is marked damaged (or its decode
+/// fails), sentinel-filling what is lost, then stitch the parts and the
+/// damage report together. `parallel` selects rayon fan-out vs. a
+/// single-thread loop (the `serial` decoder).
+pub(crate) fn decode_best_effort_with<F>(
+    stream: &ChunkedStream,
+    damaged: &[bool],
+    sentinel: u16,
+    parallel: bool,
+    decode_one: F,
+) -> (Vec<u16>, RecoveryReport)
+where
+    F: Fn(usize) -> Result<Vec<u16>> + Sync,
+{
+    let n_chunks = stream.num_chunks();
+    let decode_part = |ci: usize| -> ChunkPart {
+        let marked = damaged.get(ci).copied().unwrap_or(false);
+        if !marked {
+            if let Ok(syms) = decode_one(ci) {
+                return (syms, Vec::new(), false);
+            }
+        }
+        let (syms, lost) = fill_damaged_chunk(stream, ci, sentinel);
+        (syms, lost, true)
+    };
+    let parts: Vec<ChunkPart> = if parallel {
+        (0..n_chunks).into_par_iter().map(decode_part).collect()
+    } else {
+        (0..n_chunks).map(decode_part).collect()
+    };
+
+    let chunk_syms = stream.config.chunk_symbols();
+    let mut symbols = Vec::with_capacity(stream.num_symbols);
+    let mut report = RecoveryReport::clean(n_chunks);
+    for (ci, (part, lost, was_damaged)) in parts.into_iter().enumerate() {
+        let base = ci * chunk_syms;
+        if was_damaged {
+            report.damaged_chunks.push(ci);
+            for (s, e) in lost {
+                report.symbols_lost += e - s;
+                // Merge across chunk boundaries when runs are adjacent.
+                match report.damaged_ranges.last_mut() {
+                    Some(last) if last.1 == base + s => last.1 = base + e,
+                    _ => report.damaged_ranges.push((base + s, base + e)),
+                }
+            }
+        }
+        symbols.extend_from_slice(&part);
+    }
+    (symbols, report)
+}
+
 /// The sentinel fill for one damaged chunk: breaking units come back
 /// exactly from the sidecar, everything else becomes `sentinel`. Returns
 /// the chunk's symbols plus the `[start, end)` *chunk-local* ranges that
 /// were sentinel-filled.
-fn fill_damaged_chunk(
+pub(crate) fn fill_damaged_chunk(
     stream: &ChunkedStream,
     ci: usize,
     sentinel: u16,
@@ -80,7 +154,7 @@ fn fill_damaged_chunk(
     let unit_syms = stream.config.unit_symbols().max(1);
     let units_per_chunk = stream.config.units_per_chunk() as u64;
     let sym_base = ci * chunk_syms;
-    let sym_count = chunk_syms.min(stream.num_symbols - sym_base);
+    let sym_count = chunk_syms.min(stream.num_symbols.saturating_sub(sym_base));
 
     let mut out = Vec::with_capacity(sym_count);
     let mut lost: Vec<(usize, usize)> = Vec::new();
@@ -116,43 +190,18 @@ pub fn decode_best_effort(
     damaged: &[bool],
     sentinel: u16,
 ) -> (Vec<u16>, RecoveryReport) {
-    let chunk_syms = stream.config.chunk_symbols();
-    let n_chunks = stream.num_chunks();
+    decode_best_effort_with(stream, damaged, sentinel, true, |ci| decode_chunk(stream, book, ci))
+}
 
-    // (symbols, chunk-local lost ranges, was_damaged) per chunk.
-    type ChunkPart = (Vec<u16>, Vec<(usize, usize)>, bool);
-    let parts: Vec<ChunkPart> = (0..n_chunks)
-        .into_par_iter()
-        .map(|ci| {
-            let marked = damaged.get(ci).copied().unwrap_or(false);
-            if !marked {
-                if let Ok(syms) = decode_chunk(stream, book, ci) {
-                    return (syms, Vec::new(), false);
-                }
-            }
-            let (syms, lost) = fill_damaged_chunk(stream, ci, sentinel);
-            (syms, lost, true)
-        })
-        .collect();
-
-    let mut symbols = Vec::with_capacity(stream.num_symbols);
-    let mut report = RecoveryReport::clean(n_chunks);
-    for (ci, (part, lost, was_damaged)) in parts.into_iter().enumerate() {
-        let base = ci * chunk_syms;
-        if was_damaged {
-            report.damaged_chunks.push(ci);
-            for (s, e) in lost {
-                report.symbols_lost += e - s;
-                // Merge across chunk boundaries when runs are adjacent.
-                match report.damaged_ranges.last_mut() {
-                    Some(last) if last.1 == base + s => last.1 = base + e,
-                    _ => report.damaged_ranges.push((base + s, base + e)),
-                }
-            }
-        }
-        symbols.extend_from_slice(&part);
-    }
-    (symbols, report)
+/// Single-thread variant of [`decode_best_effort`]: same output, same
+/// report, no rayon fan-out.
+pub fn decode_serial_best_effort(
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    damaged: &[bool],
+    sentinel: u16,
+) -> (Vec<u16>, RecoveryReport) {
+    decode_best_effort_with(stream, damaged, sentinel, false, |ci| decode_chunk(stream, book, ci))
 }
 
 /// The report [`decode_best_effort`] *would* produce for `damaged`,
@@ -266,6 +315,45 @@ mod tests {
         let (out, report) = decode_best_effort(&stream, &book, &damaged, u16::MAX);
         assert_eq!(out.len(), syms.len());
         assert_eq!(report.damaged_chunks, vec![n - 1]);
+    }
+
+    #[test]
+    fn serial_decode_matches_parallel() {
+        let (stream, book, syms) = stream_and_book(20_000);
+        assert_eq!(decode_serial(&stream, &book).unwrap(), syms);
+        let damaged = vec![false; stream.num_chunks()];
+        let par = decode_best_effort(&stream, &book, &damaged, 0xBEEF);
+        let ser = decode_serial_best_effort(&stream, &book, &damaged, 0xBEEF);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn single_nonzero_symbol_stream_decodes() {
+        // Zero-entropy input: one coded symbol, 1-bit codes everywhere.
+        let book = codebook::parallel(&[0, 9, 0], 2).unwrap();
+        let syms = vec![1u16; 5_000];
+        let stream = reduce_shuffle::encode(
+            &syms,
+            &book,
+            MergeConfig::new(8, 2),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        assert_eq!(decode(&stream, &book).unwrap(), syms);
+        assert_eq!(decode_serial(&stream, &book).unwrap(), syms);
+    }
+
+    #[test]
+    fn header_count_exceeding_encoded_symbols_errors() {
+        // A corrupt header claiming more symbols than the payload encodes
+        // must surface a structured error from every strict path, and
+        // never panic or loop.
+        let (mut stream, book, syms) = stream_and_book(4_000);
+        stream.num_symbols = syms.len() + stream.config.chunk_symbols();
+        stream.chunk_bit_lens.push(0);
+        stream.chunk_bit_offsets.push(stream.total_bits);
+        assert!(matches!(decode(&stream, &book), Err(HuffError::CorruptStream(_))));
+        assert!(matches!(decode_serial(&stream, &book), Err(HuffError::CorruptStream(_))));
     }
 
     #[test]

@@ -3,34 +3,85 @@
 //! The paper's encoder chunks data partly "because it will facilitate the
 //! reverse process, decoding" (Section III-A), and canonizes the codebook
 //! so decoding needs no tree — just the `First`/`Entry` arrays and the
-//! reverse codebook, small enough to cache on-chip (Section IV-B2). This
-//! kernel realizes that: one block per chunk, the decode tables staged in
-//! shared memory, each block walking its substream bit-serially.
+//! reverse codebook, small enough to cache on-chip (Section IV-B2). Three
+//! kernel families realize that, one per [`DecoderKind`]:
 //!
-//! Decoding is latency-bound per symbol (a dependent chain of bit reads),
-//! but thousands of chunks decode concurrently, so throughput is
-//! `symbols-in-flight / per-symbol-latency`, capped by DRAM bandwidth.
+//! * `dec_serial` — the whole stream on one thread (the cuSZ-era
+//!   baseline); a latency chain the model charges per dependent probe.
+//! * `dec_chunked_*` — one block per chunk, decode tables staged in
+//!   shared memory, each block walking its substream bit-serially.
+//! * `dec_subchunk_sync` + `dec_lut_gap*` — the second-generation decoder
+//!   (Rivera et al. 2022, see [`super::lut`]): a sync kernel walks
+//!   codeword lengths to find each subsequence's first boundary (gap
+//!   array), then the decode kernel probes a shared-memory LUT once per
+//!   symbol instead of once per bit.
+//!
+//! Bit-serial decoding is compute-bound per symbol (a dependent chain of
+//! bit reads and boundary compares), so its modeled time scales with
+//! *total payload bits*; the LUT decoder's scales with *symbols*, which is
+//! where the modeled crossover comes from (DESIGN.md § "Sync-pass cost
+//! model"): above ~3 payload bits per symbol the LUT pipeline wins, below
+//! that both kernels sit on the DRAM roofline and the sync pass is pure
+//! overhead.
 
 use super::chunked;
+use super::lut::{self, DecodeLut, GapStats, SubchunkConfig};
+use super::DecoderKind;
 use crate::codebook::CanonicalCodebook;
 use crate::encode::ChunkedStream;
 use crate::error::Result;
 use crate::integrity::RecoveryReport;
 use gpu_sim::{Access, Gpu, GridDim, KernelScope};
 
-/// The shared traffic model of the chunked decode kernel (strict and
-/// best-effort variants launch the same kernel shape).
-fn account_decode_traffic(scope: &mut KernelScope, stream: &ChunkedStream, table_bytes: u64) {
+/// Hard grid-size cap: chunks beyond this many blocks are handled by a
+/// block-level loop (grid-stride over chunks), which the traffic model
+/// must charge for.
+const MAX_BLOCKS: u64 = 1 << 20;
+
+/// One decode launch's geometry: the clamped grid plus the block-loop
+/// residency the clamp implies. Grid and traffic/cost attribution both
+/// derive from this helper so they can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DecodeLaunch {
+    /// Chunks the stream actually holds (at least 1).
+    n_chunks: u64,
+    /// Grid blocks after the clamp.
+    blocks: u64,
+    /// Chunks each block loops over (1 until the clamp engages).
+    chunks_per_block: u64,
+}
+
+impl DecodeLaunch {
+    fn grid(&self) -> GridDim {
+        GridDim::new(self.blocks as u32, 256)
+    }
+
+    /// Scalar-op overhead of the block loop: iterations beyond the first
+    /// pay loop bookkeeping (index math, bounds check, table re-base).
+    fn loop_ops(&self) -> u64 {
+        8 * (self.n_chunks - self.blocks)
+    }
+}
+
+fn decode_launch(stream: &ChunkedStream) -> DecodeLaunch {
     let n_chunks = stream.num_chunks().max(1) as u64;
+    let blocks = n_chunks.min(MAX_BLOCKS);
+    DecodeLaunch { n_chunks, blocks, chunks_per_block: n_chunks.div_ceil(blocks) }
+}
+
+/// The shared traffic model of the bit-serial chunked decode kernel
+/// (strict and best-effort variants launch the same kernel shape).
+fn account_decode_traffic(scope: &mut KernelScope, stream: &ChunkedStream, table_bytes: u64) {
+    let launch = decode_launch(stream);
     let n = stream.num_symbols as u64;
     let payload_bytes = stream.total_bits.div_ceil(8);
-    let resident = n_chunks.min(u64::from(scope.spec().sm_count) * 4);
+    let resident = launch.blocks.min(u64::from(scope.spec().sm_count) * 4);
     let t = scope.traffic();
     // Each chunk streams its payload once; substreams are contiguous so
     // reads coalesce across the block's threads.
     t.read(Access::Coalesced, payload_bytes, 1);
     // Chunk offsets + bit lengths.
-    t.read(Access::Coalesced, 2 * n_chunks, 8);
+    t.read(Access::Coalesced, 2 * launch.n_chunks, 8);
     // Decode tables staged per resident block, reused from L2 after.
     t.read(Access::Coalesced, resident * table_bytes, 1);
     // Per-symbol on-chip table probes (~avg-code-length lookups each).
@@ -38,30 +89,28 @@ fn account_decode_traffic(scope: &mut KernelScope, stream: &ChunkedStream, table
     t.shared(n * avg_probes * 4);
     // Symbol output, coalesced.
     t.write(Access::Coalesced, n, 2);
-    // Bit-serial decode: ~3 ops per consumed bit, divergent across the
-    // warp (symbols end at different bit positions).
-    t.ops(3 * stream.total_bits);
+    // Bit-serial decode: ~6 ops per consumed bit (3 to extract the bit
+    // and accumulate the code value, 3 for the First/Count boundary
+    // compares), divergent across the warp (symbols end at different bit
+    // positions).
+    t.ops(6 * stream.total_bits + launch.loop_ops());
     t.diverge(2.0);
-}
-
-fn decode_grid(stream: &ChunkedStream) -> GridDim {
-    let n_chunks = stream.num_chunks().max(1) as u64;
-    GridDim::new((n_chunks as u32).min(1 << 20), 256)
 }
 
 fn decode_table_bytes(book: &CanonicalCodebook) -> u64 {
     (book.reverse().len() * 2 + book.first().len() * 8 + book.entry().len() * 4) as u64
 }
 
-/// Decode a chunked stream on the device. Returns the symbols and the
-/// modeled kernel time in seconds.
+/// Decode a chunked stream on the device with the bit-serial per-chunk
+/// kernel. Returns the symbols and the modeled kernel time in seconds.
 pub fn decode_on_gpu(
     gpu: &Gpu,
     stream: &ChunkedStream,
     book: &CanonicalCodebook,
 ) -> Result<(Vec<u16>, f64)> {
     let table_bytes = decode_table_bytes(book);
-    let (out, cost) = gpu.launch_timed("dec_chunked_canonical", decode_grid(stream), |scope| {
+    let grid = decode_launch(stream).grid();
+    let (out, cost) = gpu.launch_timed("dec_chunked_canonical", grid, |scope| {
         let out = chunked::decode(stream, book);
         account_decode_traffic(scope, stream, table_bytes);
         out
@@ -86,13 +135,215 @@ pub fn decode_best_effort_on_gpu(
     sentinel: u16,
 ) -> (Vec<u16>, RecoveryReport, f64) {
     let table_bytes = decode_table_bytes(book);
+    let grid = decode_launch(stream).grid();
+    let ((symbols, report), cost) = gpu.launch_timed("dec_chunked_best_effort", grid, |scope| {
+        let out = chunked::decode_best_effort(stream, book, chunk_damage, sentinel);
+        account_decode_traffic(scope, stream, table_bytes);
+        out
+    });
+    (symbols, report, cost.total)
+}
+
+/// The serial baseline's traffic: one thread owns the whole stream, so
+/// every table probe is a dependent access in a single latency chain —
+/// the Section II-C argument for why serial algorithms collapse on GPUs.
+fn account_serial_traffic(scope: &mut KernelScope, stream: &ChunkedStream, table_bytes: u64) {
+    let n = stream.num_symbols as u64;
+    let t = scope.traffic();
+    t.read(Access::Coalesced, stream.total_bits.div_ceil(8), 1);
+    t.read(Access::Coalesced, table_bytes, 1);
+    // One dependent probe chain per symbol.
+    t.sequential(n);
+    t.ops(6 * stream.total_bits);
+    t.write(Access::Coalesced, n, 2);
+}
+
+/// Decode the whole stream on a single device thread (`dec_serial`): the
+/// baseline the paper's parallel decoders are measured against. Returns
+/// the symbols and the modeled kernel time in seconds.
+pub fn decode_serial_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+) -> Result<(Vec<u16>, f64)> {
+    let table_bytes = decode_table_bytes(book);
+    let (out, cost) = gpu.launch_timed("dec_serial", GridDim::new(1, 1), |scope| {
+        let out = chunked::decode_serial(stream, book);
+        account_serial_traffic(scope, stream, table_bytes);
+        out
+    });
+    Ok((out?, cost.total))
+}
+
+/// Best-effort variant of [`decode_serial_on_gpu`] (same kernel shape).
+pub fn decode_serial_best_effort_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    chunk_damage: &[bool],
+    sentinel: u16,
+) -> (Vec<u16>, RecoveryReport, f64) {
+    let table_bytes = decode_table_bytes(book);
     let ((symbols, report), cost) =
-        gpu.launch_timed("dec_chunked_best_effort", decode_grid(stream), |scope| {
-            let out = chunked::decode_best_effort(stream, book, chunk_damage, sentinel);
-            account_decode_traffic(scope, stream, table_bytes);
+        gpu.launch_timed("dec_serial_best_effort", GridDim::new(1, 1), |scope| {
+            let out = chunked::decode_serial_best_effort(stream, book, chunk_damage, sentinel);
+            account_serial_traffic(scope, stream, table_bytes);
             out
         });
     (symbols, report, cost.total)
+}
+
+/// The sync kernel's traffic: one walker per subsequence, each starting at
+/// its own bit offset (divergent strided reads), stepping codeword lengths
+/// through shared-memory LUT probes until its gap settles.
+fn account_sync_traffic(
+    scope: &mut KernelScope,
+    stream: &ChunkedStream,
+    stats: &GapStats,
+    cfg: SubchunkConfig,
+    lut: &DecodeLut,
+) {
+    let launch = decode_launch(stream);
+    let resident = launch.blocks.min(u64::from(scope.spec().sm_count) * 4);
+    // A subsequence window spans this many 32-byte sectors.
+    let sectors_per_sub = cfg.width_bits.max(1).div_ceil(256);
+    let t = scope.traffic();
+    // Chunk offsets + bit lengths locate the subsequences.
+    t.read(Access::Coalesced, 2 * launch.n_chunks, 8);
+    // Each walker lands mid-payload at its own offset: one transaction
+    // per subsequence sector, not coalescible across the warp.
+    t.read(Access::Strided, stats.subsequences * sectors_per_sub, 32);
+    // The LUT staged into shared memory per resident block.
+    t.read(Access::Coalesced, resident * lut.table_bytes(), 1);
+    // One shared LUT probe per codeword-length step.
+    t.shared(stats.sync_steps * 4);
+    // The gap array, written once per subsequence.
+    t.write(Access::Coalesced, stats.subsequences, 8);
+    // ~5 ops per step: window extract, probe, length accumulate, boundary
+    // compare, loop. Per-pass barrier bookkeeping per block; stragglers
+    // in the convergence loop diverge.
+    t.ops(5 * stats.sync_steps + 8 * stats.max_sync_passes * launch.blocks + launch.loop_ops());
+    t.diverge(2.0);
+}
+
+/// The LUT decode kernel's traffic: everything coalesced — payload and
+/// gap array stream in, one shared-memory LUT probe per *symbol* (not per
+/// bit), symbols stream out.
+fn account_lut_traffic(
+    scope: &mut KernelScope,
+    stream: &ChunkedStream,
+    stats: &GapStats,
+    lut: &DecodeLut,
+) {
+    let launch = decode_launch(stream);
+    let n = stream.num_symbols as u64;
+    let resident = launch.blocks.min(u64::from(scope.spec().sm_count) * 4);
+    let t = scope.traffic();
+    t.read(Access::Coalesced, stream.total_bits.div_ceil(8), 1);
+    t.read(Access::Coalesced, 2 * launch.n_chunks, 8);
+    // The gap array computed by the sync kernel, read back coalesced.
+    t.read(Access::Coalesced, stats.subsequences * 8, 1);
+    t.read(Access::Coalesced, resident * lut.table_bytes(), 1);
+    // One shared LUT probe per decoded symbol — the whole point.
+    t.shared(stats.decoded_symbols * 4);
+    t.write(Access::Coalesced, n, 2);
+    // ~8 ops per symbol: window refill/shift, probe, unpack, advance.
+    // Mild divergence from subsequence tails and slow-path fall-backs.
+    t.ops(8 * stats.decoded_symbols + launch.loop_ops());
+    t.diverge(1.2);
+}
+
+/// Decode with the LUT + gap-array pipeline: a `dec_subchunk_sync` launch
+/// (self-synchronization pass) followed by `dec_lut_gap` (decode +
+/// compaction). Returns the symbols and the summed modeled kernel time.
+pub fn decode_lut_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+) -> Result<(Vec<u16>, f64)> {
+    let table = DecodeLut::build(book, lut::DEFAULT_LUT_BITS);
+    let cfg = SubchunkConfig::default();
+    let grid = decode_launch(stream).grid();
+
+    let ((result, stats), sync_cost) = gpu.launch_timed("dec_subchunk_sync", grid, |scope| {
+        // The host decode runs once here; the sync kernel is charged from
+        // the measured gap-array work counters.
+        let (result, stats) = match lut::decode_with(stream, book, &table, cfg) {
+            Ok((symbols, stats)) => (Ok(symbols), stats),
+            Err(e) => (Err(e), GapStats::estimate(stream, cfg)),
+        };
+        account_sync_traffic(scope, stream, &stats, cfg, &table);
+        (result, stats)
+    });
+    let (result, dec_cost) = gpu.launch_timed("dec_lut_gap", grid, |scope| {
+        account_lut_traffic(scope, stream, &stats, &table);
+        result
+    });
+    Ok((result?, sync_cost.total + dec_cost.total))
+}
+
+/// Best-effort variant of [`decode_lut_on_gpu`]: same two-kernel shape,
+/// with the gap-array work counters estimated analytically (damaged
+/// chunks skip decoding, but the model keeps the undamaged-shape cost —
+/// same convention as the bit-serial kernels).
+pub fn decode_lut_best_effort_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    chunk_damage: &[bool],
+    sentinel: u16,
+) -> (Vec<u16>, RecoveryReport, f64) {
+    let table = DecodeLut::build(book, lut::DEFAULT_LUT_BITS);
+    let cfg = SubchunkConfig::default();
+    let grid = decode_launch(stream).grid();
+    let stats = GapStats::estimate(stream, cfg);
+
+    let ((symbols, report), sync_cost) = gpu.launch_timed("dec_subchunk_sync", grid, |scope| {
+        let out = lut::decode_best_effort_with(stream, book, &table, cfg, chunk_damage, sentinel);
+        account_sync_traffic(scope, stream, &stats, cfg, &table);
+        out
+    });
+    let (_, dec_cost) = gpu.launch_timed("dec_lut_gap_best_effort", grid, |scope| {
+        account_lut_traffic(scope, stream, &stats, &table);
+    });
+    (symbols, report, sync_cost.total + dec_cost.total)
+}
+
+/// Strict decode with the backend selected by `kind`. Returns the symbols
+/// and the modeled kernel time in seconds.
+pub fn decode_kind_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    kind: DecoderKind,
+) -> Result<(Vec<u16>, f64)> {
+    match kind {
+        DecoderKind::Serial => decode_serial_on_gpu(gpu, stream, book),
+        DecoderKind::Chunked => decode_on_gpu(gpu, stream, book),
+        DecoderKind::Lut => decode_lut_on_gpu(gpu, stream, book),
+    }
+}
+
+/// Best-effort decode with the backend selected by `kind`.
+pub fn decode_kind_best_effort_on_gpu(
+    gpu: &Gpu,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    chunk_damage: &[bool],
+    sentinel: u16,
+    kind: DecoderKind,
+) -> (Vec<u16>, RecoveryReport, f64) {
+    match kind {
+        DecoderKind::Serial => {
+            decode_serial_best_effort_on_gpu(gpu, stream, book, chunk_damage, sentinel)
+        }
+        DecoderKind::Chunked => {
+            decode_best_effort_on_gpu(gpu, stream, book, chunk_damage, sentinel)
+        }
+        DecoderKind::Lut => {
+            decode_lut_best_effort_on_gpu(gpu, stream, book, chunk_damage, sentinel)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +351,7 @@ mod tests {
     use super::*;
     use crate::codebook;
     use crate::encode::{reduce_shuffle, BreakingStrategy, MergeConfig};
+    use crate::sparse::SparseOutliers;
     use gpu_sim::DeviceSpec;
 
     fn setup(n: usize) -> (CanonicalCodebook, Vec<u16>, ChunkedStream) {
@@ -111,6 +363,26 @@ mod tests {
             &syms,
             &book,
             MergeConfig::new(10, 3),
+            BreakingStrategy::SparseSidecar,
+        )
+        .unwrap();
+        (book, syms, stream)
+    }
+
+    /// A high-entropy setup (uniform 256-symbol alphabet, 8 payload bits
+    /// per symbol) — the compute-bound regime where the LUT decoder's
+    /// per-symbol work beats the bit-serial kernel's per-bit work. `r = 2`
+    /// keeps the 32-bit merge units from breaking (4 × 8 bits).
+    fn setup_high_entropy(n: usize) -> (CanonicalCodebook, Vec<u16>, ChunkedStream) {
+        let freqs: Vec<u64> = vec![1000; 256];
+        let book = codebook::parallel(&freqs, 8).unwrap();
+        let syms: Vec<u16> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as u16 % 256)
+            .collect();
+        let stream = reduce_shuffle::encode(
+            &syms,
+            &book,
+            MergeConfig::new(10, 2),
             BreakingStrategy::SparseSidecar,
         )
         .unwrap();
@@ -168,5 +440,125 @@ mod tests {
         // Decoding is compute/latency-bound: below encode throughput but
         // far above a serial CPU decode.
         assert!(gbps > 5.0 && gbps < 900.0, "modeled {gbps:.1} GB/s");
+    }
+
+    #[test]
+    fn lut_gpu_decode_matches_input_in_two_launches() {
+        let (book, syms, stream) = setup(30_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let (out, secs) = decode_lut_on_gpu(&gpu, &stream, &book).unwrap();
+        assert_eq!(out, syms);
+        assert!(secs > 0.0);
+        let clock = gpu.clock();
+        assert_eq!(clock.launches(), 2);
+        let names: Vec<&str> = clock.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["dec_subchunk_sync", "dec_lut_gap"]);
+    }
+
+    #[test]
+    fn lut_best_effort_matches_chunked_best_effort() {
+        let (book, _, stream) = setup(30_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let mut damage = vec![false; stream.num_chunks()];
+        damage[1] = true;
+        let (lut_out, lut_report, secs) =
+            decode_lut_best_effort_on_gpu(&gpu, &stream, &book, &damage, 0xFFFF);
+        let (chk_out, chk_report, _) =
+            decode_best_effort_on_gpu(&gpu, &stream, &book, &damage, 0xFFFF);
+        assert_eq!(lut_out, chk_out);
+        assert_eq!(lut_report, chk_report);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn serial_gpu_decode_is_latency_bound_baseline() {
+        let (book, syms, stream) = setup(200_000);
+        let gpu = Gpu::v100();
+        let (out, serial_secs) = decode_serial_on_gpu(&gpu, &stream, &book).unwrap();
+        assert_eq!(out, syms);
+        let (_, chunked_secs) = decode_on_gpu(&gpu, &stream, &book).unwrap();
+        // One thread pays full memory latency per symbol: orders of
+        // magnitude slower than the parallel kernel.
+        assert!(
+            serial_secs > 50.0 * chunked_secs,
+            "serial {serial_secs:.6}s vs chunked {chunked_secs:.6}s"
+        );
+    }
+
+    #[test]
+    fn lut_beats_bit_serial_in_compute_bound_regime() {
+        // ~8 payload bits/symbol on a V100: the bit-serial kernel's
+        // 6-ops-per-bit chain dominates, while the LUT pipeline pays one
+        // probe per symbol plus the sync pass. This is the modeled
+        // crossover the decoder sweep (BENCH_decode.json) commits.
+        let (book, _, stream) = setup_high_entropy(4_000_000);
+        let gpu = Gpu::v100();
+        let (_, chunked_secs) = decode_on_gpu(&gpu, &stream, &book).unwrap();
+        let (_, lut_secs) = decode_lut_on_gpu(&gpu, &stream, &book).unwrap();
+        assert!(
+            lut_secs < chunked_secs,
+            "lut {lut_secs:.6}s not faster than chunked {chunked_secs:.6}s"
+        );
+    }
+
+    #[test]
+    fn decode_kind_dispatch_is_bit_exact() {
+        let (book, syms, stream) = setup(50_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        for kind in [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut] {
+            let (out, secs) = decode_kind_on_gpu(&gpu, &stream, &book, kind).unwrap();
+            assert_eq!(out, syms, "{}", kind.name());
+            assert!(secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn decode_launch_clamps_and_loops() {
+        let mk = |n_chunks: usize| ChunkedStream {
+            config: MergeConfig::new(2, 1),
+            chunk_bit_lens: vec![0; n_chunks],
+            chunk_bit_offsets: vec![0; n_chunks],
+            total_bits: 0,
+            bytes: Vec::new(),
+            num_symbols: 0,
+            outliers: SparseOutliers::new(),
+        };
+        let small = decode_launch(&mk(1000));
+        assert_eq!((small.blocks, small.chunks_per_block), (1000, 1));
+        assert_eq!(small.loop_ops(), 0);
+        let big = decode_launch(&mk((1 << 20) + 37));
+        assert_eq!(big.blocks, 1 << 20);
+        assert_eq!(big.chunks_per_block, 2);
+        assert_eq!(big.loop_ops(), 8 * 37);
+    }
+
+    #[test]
+    fn grid_and_traffic_consistent_beyond_grid_clamp() {
+        // Regression: the grid used to clamp at 2^20 blocks while the
+        // traffic model charged all chunks with no block-loop term. Both
+        // now derive from decode_launch: the grid stays clamped AND the
+        // ledger carries the full chunk-table traffic plus the loop
+        // overhead the clamp implies.
+        let n_chunks = (1usize << 20) + 37;
+        let stream = ChunkedStream {
+            config: MergeConfig::new(2, 1),
+            chunk_bit_lens: vec![0; n_chunks],
+            chunk_bit_offsets: vec![0; n_chunks],
+            total_bits: 0,
+            bytes: Vec::new(),
+            num_symbols: 0,
+            outliers: SparseOutliers::new(),
+        };
+        let book = codebook::parallel(&[3, 1], 2).unwrap();
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let (out, _) = decode_on_gpu(&gpu, &stream, &book).unwrap();
+        assert!(out.is_empty());
+        let clock = gpu.clock();
+        let rec = &clock.records()[0];
+        assert_eq!(rec.blocks, 1 << 20);
+        // Chunk table modeled for every chunk, not just the grid's blocks.
+        assert!(rec.traffic.read_coalesced >= 2 * n_chunks as u64 * 8);
+        // The block loop over the 37 overflow chunks is charged.
+        assert!(rec.traffic.thread_ops >= 8 * 37);
     }
 }

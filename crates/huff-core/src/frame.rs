@@ -75,6 +75,13 @@ fn bad(msg: impl Into<String>) -> HuffError {
     HuffError::BadArchive(msg.into())
 }
 
+/// The shard count as the u32 the header stores. A count that does not
+/// fit is a serialization error, not a silent truncation (a truncated
+/// count would make the header CRC sign a wrong shard table).
+fn shard_count_u32(n: usize) -> Result<u32> {
+    u32::try_from(n).map_err(|_| bad(format!("{n} shards exceed the frame format's u32 count")))
+}
+
 /// Concatenate per-shard RSH2 archives into a frame.
 ///
 /// `shards.len()` must equal `ceil(total_symbols / shard_symbols)` — the
@@ -103,7 +110,7 @@ pub fn assemble(
     buf.put_u16_le(0);
     buf.put_u64_le(total_symbols);
     buf.put_u64_le(shard_symbols);
-    buf.put_u32_le(shards.len() as u32);
+    buf.put_u32_le(shard_count_u32(shards.len())?);
     for s in shards {
         buf.put_u64_le(s.len() as u64);
     }
@@ -332,6 +339,29 @@ mod tests {
             cursor = r.end;
         }
         assert_eq!(cursor, frame.len());
+    }
+
+    #[test]
+    fn shard_count_overflow_is_an_error_not_a_truncation() {
+        assert_eq!(shard_count_u32(0).unwrap(), 0);
+        assert_eq!(shard_count_u32(u32::MAX as usize).unwrap(), u32::MAX);
+        // On 64-bit targets a shard count past u32::MAX must refuse to
+        // serialize rather than wrap to a small count the CRC then signs.
+        if let Ok(n) = usize::try_from(u64::from(u32::MAX) + 1) {
+            assert!(shard_count_u32(n).is_err());
+        }
+    }
+
+    #[test]
+    fn lut_decoder_roundtrips_through_frame_path() {
+        let syms = data(30_000);
+        let frame = frame_of(&syms, 8192);
+        for decoder in [crate::decode::DecoderKind::Serial, crate::decode::DecoderKind::Lut] {
+            let opts = DecompressOptions::default().with_decoder(decoder);
+            let rec = decompress_with(&frame, &opts).unwrap();
+            assert_eq!(rec.symbols, syms, "{}", decoder.name());
+            assert!(rec.report.is_clean());
+        }
     }
 
     #[test]

@@ -161,11 +161,19 @@ pub struct DecompressOptions {
     /// Symbol written into regions lost to damaged chunks in
     /// best-effort mode.
     pub sentinel: u16,
+    /// Decoder backend for the payload (all backends are bit-exact; see
+    /// [`DecoderKind`](crate::decode::DecoderKind)).
+    pub decoder: crate::decode::DecoderKind,
 }
 
 impl Default for DecompressOptions {
     fn default() -> Self {
-        DecompressOptions { verify: Verify::Full, mode: RecoveryMode::Strict, sentinel: u16::MAX }
+        DecompressOptions {
+            verify: Verify::Full,
+            mode: RecoveryMode::Strict,
+            sentinel: u16::MAX,
+            decoder: crate::decode::DecoderKind::default(),
+        }
     }
 }
 
@@ -183,6 +191,12 @@ impl DecompressOptions {
     /// Replace the sentinel symbol used for lost regions.
     pub fn with_sentinel(mut self, sentinel: u16) -> Self {
         self.sentinel = sentinel;
+        self
+    }
+
+    /// Select the decoder backend.
+    pub fn with_decoder(mut self, decoder: crate::decode::DecoderKind) -> Self {
+        self.decoder = decoder;
         self
     }
 }
@@ -264,9 +278,13 @@ mod tests {
         let o = DecompressOptions::default();
         assert_eq!(o.verify, Verify::Full);
         assert_eq!(o.mode, RecoveryMode::Strict);
-        let b = DecompressOptions::best_effort().with_sentinel(0);
+        assert_eq!(o.decoder, crate::decode::DecoderKind::Chunked);
+        let b = DecompressOptions::best_effort()
+            .with_sentinel(0)
+            .with_decoder(crate::decode::DecoderKind::Lut);
         assert_eq!(b.mode, RecoveryMode::BestEffort);
         assert_eq!(b.sentinel, 0);
+        assert_eq!(b.decoder, crate::decode::DecoderKind::Lut);
     }
 
     #[test]

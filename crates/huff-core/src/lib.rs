@@ -64,6 +64,7 @@ pub mod tree;
 pub use batch::{compress_batched, BatchOptions, BatchReport};
 pub use codebook::{parallel as build_codebook, CanonicalCodebook};
 pub use codeword::Codeword;
+pub use decode::DecoderKind;
 pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
 pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};

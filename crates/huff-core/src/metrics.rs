@@ -403,16 +403,18 @@ pub fn profile_decompress(
     let base = gpu.launches();
     let recovered = match opts.mode {
         RecoveryMode::Strict => {
-            let (symbols, _) = decode::gpu::decode_on_gpu(gpu, stream, &parsed.book)?;
+            let (symbols, _) =
+                decode::gpu::decode_kind_on_gpu(gpu, stream, &parsed.book, opts.decoder)?;
             Recovered { symbols, report: RecoveryReport::clean(stream.num_chunks()) }
         }
         RecoveryMode::BestEffort => {
-            let (symbols, report, _) = decode::gpu::decode_best_effort_on_gpu(
+            let (symbols, report, _) = decode::gpu::decode_kind_best_effort_on_gpu(
                 gpu,
                 stream,
                 &parsed.book,
                 &parsed.chunk_damage,
                 opts.sentinel,
+                opts.decoder,
             );
             Recovered { symbols, report }
         }
@@ -785,6 +787,31 @@ mod tests {
         assert_eq!(decode.stage, "decode");
         assert_eq!(decode.kernels, 1);
         assert_eq!(decode.bytes_out, p.input_bytes);
+    }
+
+    #[test]
+    fn lut_decoder_profile_attributes_both_kernels() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(20_000);
+        let (packed, _) =
+            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let opts = DecompressOptions::default().with_decoder(crate::decode::DecoderKind::Lut);
+        let (rec, p) = profile_decompress(&gpu, &packed, &opts).unwrap();
+        assert_eq!(rec.symbols, syms);
+        let decode = &p.stages[1];
+        assert_eq!(decode.stage, "decode");
+        // Sync pass + LUT decode pass, both attributed to the stage.
+        assert_eq!(decode.kernels, 2);
+        let names: Vec<&str> = p
+            .kernels
+            .iter()
+            .filter(|k| k.stage == "decode")
+            .map(|k| k.record.name.as_str())
+            .collect();
+        assert_eq!(names, ["dec_subchunk_sync", "dec_lut_gap"]);
+        let sum: f64 =
+            p.kernels.iter().filter(|k| k.stage == "decode").map(|k| k.record.cost.total).sum();
+        assert!((sum - decode.seconds).abs() < 1e-12);
     }
 
     #[test]

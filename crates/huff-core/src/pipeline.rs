@@ -264,7 +264,10 @@ pub fn run_to_archive(
 
 /// Decode an archive produced by [`run_to_archive`] (or
 /// [`crate::archive::compress`]) under an explicit verification and
-/// recovery policy — the decompress side of the pipeline.
+/// recovery policy — the decompress side of the pipeline. The payload
+/// decoder backend is `opts.decoder`
+/// ([`DecoderKind`](crate::decode::DecoderKind)); all backends are
+/// bit-exact, so the choice only affects modeled device time.
 pub fn decode_archive(archive_bytes: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
     archive::decompress_with(archive_bytes, opts)
 }
@@ -347,6 +350,22 @@ mod tests {
         let rec = decode_archive(&packed, &DecompressOptions::default()).unwrap();
         assert_eq!(rec.symbols, syms);
         assert!(rec.report.is_clean());
+    }
+
+    #[test]
+    fn every_decoder_backend_roundtrips_the_archive() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let syms = data(30_000);
+        let (packed, _) =
+            run_to_archive(&gpu, &syms, 2, 512, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        for decoder in
+            [decode::DecoderKind::Serial, decode::DecoderKind::Chunked, decode::DecoderKind::Lut]
+        {
+            let opts = DecompressOptions::default().with_decoder(decoder);
+            let rec = decode_archive(&packed, &opts).unwrap();
+            assert_eq!(rec.symbols, syms, "{}", decoder.name());
+            assert!(rec.report.is_clean());
+        }
     }
 
     #[test]

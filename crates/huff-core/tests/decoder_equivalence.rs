@@ -1,0 +1,145 @@
+//! Property tests for the decoder-backend equivalence contract: `serial`,
+//! `chunked` and `lut` must produce bit-identical output — strict and
+//! best-effort — for any distribution, chunk geometry, LUT width and
+//! subchunk width, including through the RSHM frame path.
+
+use huff_core::archive::{compress, CompressOptions};
+use huff_core::codebook;
+use huff_core::decode::{self, lut, DecoderKind};
+use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
+use huff_core::{frame, CanonicalCodebook, DecompressOptions};
+use proptest::prelude::*;
+
+const KINDS: [DecoderKind; 3] = [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut];
+
+/// Encode `picks` (indices into the frequency table) under the given
+/// geometry, returning the stream and book.
+fn encoded(
+    freqs: &[u64],
+    picks: &[usize],
+    magnitude: u32,
+    reduction: u32,
+    strategy: BreakingStrategy,
+) -> (ChunkedStream, CanonicalCodebook, Vec<u16>) {
+    let book = codebook::parallel(freqs, 4).unwrap();
+    let syms: Vec<u16> = picks.iter().map(|&p| (p % freqs.len()) as u16).collect();
+    let stream =
+        reduce_shuffle::encode(&syms, &book, MergeConfig::new(magnitude, reduction), strategy)
+            .unwrap();
+    (stream, book, syms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strict decode: all three backends recover the input exactly, for
+    /// any distribution, chunk magnitude, reduction factor and breaking
+    /// strategy.
+    #[test]
+    fn all_backends_agree_strict(
+        freqs in proptest::collection::vec(1u64..5_000, 2..48),
+        picks in proptest::collection::vec(0usize..48, 0..3_000),
+        magnitude in 4u32..13,
+        reduction in 1u32..4,
+        widen in any::<bool>(),
+    ) {
+        let strategy =
+            if widen { BreakingStrategy::WidenWord } else { BreakingStrategy::SparseSidecar };
+        let (stream, book, syms) =
+            encoded(&freqs, &picks, magnitude, reduction.min(magnitude - 1), strategy);
+        for kind in KINDS {
+            let got = decode::decode_stream(&stream, &book, kind).unwrap();
+            prop_assert_eq!(&got, &syms, "{} diverged from input", kind.name());
+        }
+    }
+
+    /// The LUT decoder is exact for any probe width and subchunk width,
+    /// not just the defaults the dispatcher uses.
+    #[test]
+    fn lut_exact_for_any_probe_and_subchunk_width(
+        freqs in proptest::collection::vec(1u64..2_000, 2..40),
+        picks in proptest::collection::vec(0usize..40, 1..2_000),
+        lut_bits in 1u32..15,
+        width_exp in 0u32..21,
+        width_jitter in 0u64..3,
+    ) {
+        // Widths from 1 bit to 1 MiBit, off-power-of-two included.
+        let width_bits = (1u64 << width_exp) + width_jitter;
+        let (stream, book, syms) =
+            encoded(&freqs, &picks, 10, 2, BreakingStrategy::SparseSidecar);
+        let table = lut::DecodeLut::build(&book, lut_bits);
+        let cfg = lut::SubchunkConfig { width_bits };
+        let (got, stats) = lut::decode_with(&stream, &book, &table, cfg).unwrap();
+        prop_assert_eq!(&got, &syms, "lut({lut_bits}) width {width_bits} diverged");
+        // Coded symbols plus sidecar-spliced breaking-unit symbols cover
+        // the input exactly.
+        prop_assert_eq!(
+            stats.decoded_symbols + stream.outliers.total_symbols() as u64,
+            syms.len() as u64
+        );
+    }
+
+    /// Best-effort decode: every backend fills the same damaged chunks
+    /// with the same sentinel runs and decodes the same symbols from the
+    /// intact chunks.
+    #[test]
+    fn all_backends_agree_best_effort(
+        freqs in proptest::collection::vec(1u64..2_000, 2..40),
+        picks in proptest::collection::vec(0usize..40, 1..3_000),
+        damage_seed in any::<u64>(),
+        sentinel in any::<u16>(),
+    ) {
+        let (stream, book, _) = encoded(&freqs, &picks, 8, 2, BreakingStrategy::SparseSidecar);
+        // Derive a damage mask from the seed: ~1 in 4 chunks damaged.
+        let damaged: Vec<bool> = (0..stream.num_chunks())
+            .map(|i| {
+                let x = (damage_seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                    .wrapping_mul(0xD1B54A32D192ED03);
+                x >> 62 == 0
+            })
+            .collect();
+        let (want, want_report) =
+            decode::decode_stream_best_effort(&stream, &book, &damaged, sentinel, KINDS[0]);
+        for kind in &KINDS[1..] {
+            let (got, report) =
+                decode::decode_stream_best_effort(&stream, &book, &damaged, sentinel, *kind);
+            prop_assert_eq!(&got, &want, "{} best-effort diverged", kind.name());
+            prop_assert_eq!(
+                &report.damaged_chunks, &want_report.damaged_chunks,
+                "{} reported different damage", kind.name()
+            );
+            prop_assert_eq!(
+                report.symbols_lost, want_report.symbols_lost,
+                "{} lost a different symbol count", kind.name()
+            );
+        }
+    }
+
+    /// The RSHM frame path honors the selected backend and stays
+    /// bit-exact for every backend and shard geometry.
+    #[test]
+    fn frame_path_agrees_for_every_backend(
+        n in 1usize..20_000,
+        shard_symbols in 512usize..8_192,
+        seed in any::<u64>(),
+    ) {
+        let syms: Vec<u16> = (0..n)
+            .map(|i| {
+                let x = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                ((x >> 41) % 256) as u16
+            })
+            .collect();
+        let shards: Vec<Vec<u8>> = syms
+            .chunks(shard_symbols)
+            .map(|s| compress(s, &CompressOptions::new(256)).unwrap())
+            .collect();
+        let framed =
+            frame::assemble(&shards, syms.len() as u64, shard_symbols as u64, 2).unwrap();
+        for kind in KINDS {
+            let opts = DecompressOptions::default().with_decoder(kind);
+            let rec = frame::decompress_with(&framed, &opts).unwrap();
+            prop_assert_eq!(&rec.symbols, &syms, "{} frame decode diverged", kind.name());
+            prop_assert!(rec.report.is_clean());
+        }
+    }
+}
