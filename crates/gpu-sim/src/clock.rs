@@ -41,6 +41,14 @@ pub struct KernelRecord {
     pub traffic: Traffic,
 }
 
+impl KernelRecord {
+    /// Derive hardware counters and the roofline classification for this
+    /// launch on `spec` (see [`crate::roofline`]).
+    pub fn counters(&self, spec: &crate::device::DeviceSpec) -> crate::roofline::Counters {
+        crate::roofline::Counters::from_record(self, spec)
+    }
+}
+
 /// Accumulated modeled time of every kernel launched on a [`crate::Gpu`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimClock {

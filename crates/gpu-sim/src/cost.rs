@@ -64,6 +64,10 @@ pub struct CostBreakdown {
 
 impl CostBreakdown {
     /// The dominant overlapped term (memory vs compute vs shared).
+    ///
+    /// This only compares the three overlapped throughput terms; for the
+    /// full four-way roofline classification that also weighs launch
+    /// latency and contention, see [`crate::roofline::Counters`].
     pub fn bound(&self) -> &'static str {
         if self.memory >= self.compute && self.memory >= self.shared {
             "memory"

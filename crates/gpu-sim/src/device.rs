@@ -126,7 +126,9 @@ impl DeviceSpec {
         }
     }
 
-    /// Effective streaming bandwidth in bytes/second.
+    /// Effective streaming bandwidth in bytes/second — the ceiling of the
+    /// memory roofline (`[crate::roofline]` efficiency scores are achieved
+    /// throughput divided by this figure).
     pub fn effective_bandwidth(&self) -> f64 {
         self.peak_bandwidth * self.bandwidth_efficiency
     }

@@ -44,6 +44,7 @@ pub mod grid;
 pub mod info;
 pub mod prefix;
 pub mod reduce;
+pub mod roofline;
 pub mod shared;
 pub mod sort;
 pub mod stream;
@@ -56,6 +57,7 @@ pub use device::DeviceSpec;
 pub use exec::{Gpu, KernelScope};
 pub use grid::{GridDim, ThreadIdx};
 pub use info::{Granularity, KernelInfo, Mapping, SyncScope};
+pub use roofline::{Bound, Counters};
 pub use shared::SharedMem;
 pub use stream::{EventId, StreamSchedule, Timeline};
 pub use traffic::{Access, Traffic};

@@ -1,0 +1,364 @@
+//! Hardware counters and roofline classification for recorded launches.
+//!
+//! The tracer ([`crate::clock`]) records *what a kernel did* (its
+//! [`crate::Traffic`] ledger) and *what it cost* (the
+//! [`crate::CostBreakdown`]); this
+//! module interprets those numbers the way a profiler's hardware counters
+//! would. [`Counters::from_record`] derives achieved DRAM throughput,
+//! fraction-of-peak, occupancy, divergence, and a stall-share breakdown
+//! from the existing cost terms — no new measurement, just algebra over
+//! the model — and classifies each launch against the device roofline.
+//!
+//! ## The derivation
+//!
+//! The cost model (DESIGN.md § "The cost model, term by term") charges
+//!
+//! ```text
+//! total = launch + grid_syncs + sequential_latency + atomics
+//!         + max(memory, compute, shared)
+//! ```
+//!
+//! where `memory` bills *sector* traffic (`dram_sectors × sector_bytes`)
+//! against the effective bandwidth, possibly inflated by the multi-stream
+//! contention factor `f` ([`crate::stream`]). The counters reverse that
+//! charge:
+//!
+//! * **achieved bytes/s** = `logical_dram_bytes / total` — the payload
+//!   the kernel actually moved, over its full modeled time. Because a
+//!   sector (32 B) is always at least as large as the logical bytes it
+//!   carries, and `total ≥ memory`, achieved throughput can never exceed
+//!   the effective bandwidth: [`Counters::efficiency`] lands in `[0, 1]`
+//!   without clamping.
+//! * **stall shares** partition `total` exactly: `launch_share +
+//!   sync_share + latency_share + atomic_share + contention_share +
+//!   throughput_share = 1`. The contention share is the *excess* of the
+//!   contended max-term over what the same kernel would cost alone
+//!   (`f = 1` ⇒ zero).
+//! * **[`Bound`]** is the largest of the three groups: throughput
+//!   (memory/compute roofline), fixed latency (launch + syncs +
+//!   pointer-chasing), contention (bandwidth sharing + atomic
+//!   serialization).
+//!
+//! ```
+//! use gpu_sim::{Access, DeviceSpec, Gpu, GridDim, roofline::Bound};
+//!
+//! let gpu = Gpu::v100();
+//! let n: u64 = 1 << 22;
+//! gpu.launch("copy", GridDim::cover(n as usize, 256), |scope| {
+//!     scope.traffic().read(Access::Coalesced, n, 4);
+//!     scope.traffic().write(Access::Coalesced, n, 4);
+//! });
+//! let clock = gpu.clock();
+//! let c = clock.records()[0].counters(&DeviceSpec::v100());
+//! assert_eq!(c.bound, Bound::Memory);
+//! assert!(c.efficiency > 0.9); // a streaming copy sits on the roofline
+//! ```
+
+use crate::clock::KernelRecord;
+use crate::device::DeviceSpec;
+use serde::json::{Map, Value};
+use serde::Serialize;
+
+/// What limits a launch: the roofline classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// DRAM throughput is the charged term — the kernel rides the
+    /// bandwidth roofline (the paper's claim for the merge kernels).
+    Memory,
+    /// Arithmetic (or shared-memory) throughput is the charged term.
+    Compute,
+    /// Fixed latency dominates: launch ramp, grid-wide syncs, or
+    /// serialized dependent accesses (the bit-serial decoder baseline).
+    Latency,
+    /// Time lost to sharing: bandwidth contention from overlapping
+    /// streams plus serialized atomic conflicts.
+    Contention,
+}
+
+impl Bound {
+    /// Stable lower-case name used in JSON and table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bound::Memory => "memory",
+            Bound::Compute => "compute",
+            Bound::Latency => "latency",
+            Bound::Contention => "contention",
+        }
+    }
+}
+
+/// Derived hardware counters for one recorded launch.
+///
+/// All `*_share` fields are fractions of the kernel's `cost.total` and
+/// partition it exactly (they sum to 1 for any kernel with positive
+/// modeled time).
+#[derive(Debug, Clone, Copy)]
+pub struct Counters {
+    /// Logical DRAM payload bytes (what the algorithm asked for, not the
+    /// sector traffic the device billed).
+    pub logical_bytes: u64,
+    /// `logical_bytes / total` — achieved DRAM throughput in bytes/s.
+    pub achieved_bps: f64,
+    /// `achieved_bps / peak_bandwidth` — fraction of the device's
+    /// headline bandwidth. Caps at `bandwidth_efficiency` (0.83 on the
+    /// modeled V100) even for a perfect streaming kernel.
+    pub peak_fraction: f64,
+    /// `achieved_bps / effective_bandwidth` — fraction of the
+    /// *achievable* bandwidth; the roofline efficiency score in `[0, 1]`.
+    pub efficiency: f64,
+    /// `min(1, blocks / sm_count)` — fraction of the device the grid can
+    /// occupy (same formula the stream scheduler uses for contention).
+    pub occupancy: f64,
+    /// `1 − 1/divergence_factor` — fraction of issued lanes wasted to
+    /// branch divergence (0 for uniform control flow).
+    pub divergence_fraction: f64,
+    /// Kernel launch ramp as a fraction of total.
+    pub launch_share: f64,
+    /// Grid-wide sync latency as a fraction of total.
+    pub sync_share: f64,
+    /// Serialized dependent-access latency as a fraction of total.
+    pub latency_share: f64,
+    /// Serialized atomic conflicts as a fraction of total.
+    pub atomic_share: f64,
+    /// Excess of the contended throughput term over the uncontended one
+    /// (`f > 1` only when streams overlapped) as a fraction of total.
+    pub contention_share: f64,
+    /// The uncontended `max(memory, compute, shared)` term as a fraction
+    /// of total — the roofline-limited part of the kernel.
+    pub throughput_share: f64,
+    /// Roofline classification of the launch.
+    pub bound: Bound,
+}
+
+impl Counters {
+    /// Derive counters for one recorded launch on `spec`.
+    ///
+    /// `spec` must be the device the kernel ran on — the record itself
+    /// does not carry the spec, only the costs charged under it.
+    pub fn from_record(rec: &KernelRecord, spec: &DeviceSpec) -> Counters {
+        let c = &rec.cost;
+        let total = c.total;
+        let logical_bytes = rec.traffic.logical_dram_bytes();
+        let share = |t: f64| if total > 0.0 { t / total } else { 0.0 };
+
+        // `c.memory` is the *contended* figure (the stream scheduler
+        // rewrites it in place); divide the factor back out to find what
+        // the kernel would cost alone, and charge the difference of the
+        // max-terms to contention.
+        let f = rec.contention.max(1.0);
+        let charged = c.memory.max(c.compute).max(c.shared);
+        let uncontended = (c.memory / f).max(c.compute).max(c.shared);
+        let contention_excess = charged - uncontended;
+
+        let achieved_bps = if total > 0.0 { logical_bytes as f64 / total } else { 0.0 };
+        let divergence = rec.traffic.divergence_factor.max(1.0);
+
+        let launch_share = share(c.launch);
+        let sync_share = share(c.grid_syncs);
+        let latency_share = share(c.sequential_latency);
+        let atomic_share = share(c.atomics);
+        let contention_share = share(contention_excess);
+        let throughput_share = share(uncontended);
+
+        let fixed = launch_share + sync_share + latency_share;
+        let shared_time = atomic_share + contention_share;
+        let bound = if throughput_share >= fixed && throughput_share >= shared_time {
+            // Memory vs compute: which uncontended term is charged.
+            if c.memory / f >= c.compute && c.memory / f >= c.shared {
+                Bound::Memory
+            } else {
+                Bound::Compute
+            }
+        } else if fixed >= shared_time {
+            Bound::Latency
+        } else {
+            Bound::Contention
+        };
+
+        Counters {
+            logical_bytes,
+            achieved_bps,
+            peak_fraction: achieved_bps / spec.peak_bandwidth,
+            efficiency: achieved_bps / spec.effective_bandwidth(),
+            occupancy: (f64::from(rec.blocks) / f64::from(spec.sm_count)).min(1.0),
+            divergence_fraction: 1.0 - 1.0 / divergence,
+            launch_share,
+            sync_share,
+            latency_share,
+            atomic_share,
+            contention_share,
+            throughput_share,
+            bound,
+        }
+    }
+
+    /// Sum of all stall shares — exactly 1 for any kernel with positive
+    /// modeled time (the shares partition `cost.total`).
+    pub fn share_sum(&self) -> f64 {
+        self.launch_share
+            + self.sync_share
+            + self.latency_share
+            + self.atomic_share
+            + self.contention_share
+            + self.throughput_share
+    }
+}
+
+impl Serialize for Counters {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("logical_bytes".into(), Value::Int(self.logical_bytes as i128));
+        m.insert("achieved_gbps".into(), Value::Float(self.achieved_bps / 1e9));
+        m.insert("peak_fraction".into(), Value::Float(self.peak_fraction));
+        m.insert("efficiency".into(), Value::Float(self.efficiency));
+        m.insert("occupancy".into(), Value::Float(self.occupancy));
+        m.insert("divergence_fraction".into(), Value::Float(self.divergence_fraction));
+        m.insert("launch_share".into(), Value::Float(self.launch_share));
+        m.insert("sync_share".into(), Value::Float(self.sync_share));
+        m.insert("latency_share".into(), Value::Float(self.latency_share));
+        m.insert("atomic_share".into(), Value::Float(self.atomic_share));
+        m.insert("contention_share".into(), Value::Float(self.contention_share));
+        m.insert("throughput_share".into(), Value::Float(self.throughput_share));
+        m.insert("bound".into(), self.bound.name().into());
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::cost;
+    use crate::grid::GridDim;
+    use crate::traffic::Traffic;
+
+    fn record_for(traffic: Traffic, grid: GridDim) -> KernelRecord {
+        let spec = DeviceSpec::test_part();
+        let cost = cost::estimate(&spec, &traffic, true);
+        let mut clock = SimClock::new();
+        clock.record("k", grid, cost, traffic);
+        clock.records()[0].clone()
+    }
+
+    #[test]
+    fn coalesced_streaming_kernel_is_memory_bound_and_efficient() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Coalesced, 1 << 22, 4);
+        t.write(crate::Access::Coalesced, 1 << 22, 4);
+        let rec = record_for(t, GridDim::new(64, 256));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Memory);
+        assert!(c.efficiency > 0.9, "streaming copy should ride the roofline: {}", c.efficiency);
+        assert!(c.efficiency <= 1.0 + 1e-12);
+        assert!((c.share_sum() - 1.0).abs() < 1e-9);
+        assert!((c.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_kernel_wastes_sectors_but_stays_memory_bound() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Strided, 1 << 22, 4);
+        let rec = record_for(t, GridDim::new(64, 256));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Memory);
+        // 4 logical bytes per 32-byte sector: efficiency ~ 1/8.
+        assert!(c.efficiency < 0.2, "strided access should look inefficient: {}", c.efficiency);
+        assert!((c.share_sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_chaser_is_latency_bound() {
+        let mut t = Traffic::new();
+        t.sequential(1 << 20);
+        t.read(crate::Access::Coalesced, 1 << 20, 4);
+        let rec = record_for(t, GridDim::new(1, 1));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Latency);
+        assert!(c.latency_share > 0.9);
+        assert!(c.occupancy < 1.0);
+    }
+
+    #[test]
+    fn tiny_kernel_is_launch_latency_bound() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Coalesced, 16, 4);
+        let rec = record_for(t, GridDim::new(1, 32));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Latency);
+        assert!(c.launch_share > 0.9);
+    }
+
+    #[test]
+    fn contended_record_reports_contention_excess() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Coalesced, 1 << 24, 4);
+        let mut rec = record_for(t, GridDim::new(64, 256));
+        // Replay what the stream scheduler does under a resident peer.
+        let f = 4.0;
+        rec.cost.memory *= f;
+        rec.cost.total = rec.cost.launch
+            + rec.cost.grid_syncs
+            + rec.cost.sequential_latency
+            + rec.cost.atomics
+            + rec.cost.memory.max(rec.cost.compute).max(rec.cost.shared);
+        rec.contention = f;
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Contention);
+        assert!(c.contention_share > c.throughput_share);
+        assert!((c.share_sum() - 1.0).abs() < 1e-9);
+        // The contended kernel moves the same bytes in ~f× the time.
+        assert!(c.efficiency < 0.3);
+    }
+
+    #[test]
+    fn compute_heavy_kernel_is_compute_bound() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Coalesced, 1 << 10, 4);
+        t.ops(1 << 28);
+        t.diverge(2.0);
+        let rec = record_for(t, GridDim::new(64, 256));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.bound, Bound::Compute);
+        assert!((c.divergence_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_json_has_all_fields() {
+        let mut t = Traffic::new();
+        t.read(crate::Access::Coalesced, 1 << 20, 4);
+        let rec = record_for(t, GridDim::new(8, 128));
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        let json = c.to_json();
+        let obj = json.as_object().expect("object");
+        for key in [
+            "logical_bytes",
+            "achieved_gbps",
+            "peak_fraction",
+            "efficiency",
+            "occupancy",
+            "divergence_fraction",
+            "launch_share",
+            "sync_share",
+            "latency_share",
+            "atomic_share",
+            "contention_share",
+            "throughput_share",
+            "bound",
+        ] {
+            assert!(obj.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(obj.get("bound").unwrap().as_str(), Some("memory"));
+    }
+
+    #[test]
+    fn zero_cost_record_degrades_gracefully() {
+        let rec = record_for(Traffic::new(), GridDim::new(1, 1));
+        // include_launch=true gives a nonzero ramp; strip it to force the
+        // degenerate case.
+        let mut rec = rec;
+        rec.cost = cost::estimate(&DeviceSpec::test_part(), &Traffic::new(), false);
+        let c = Counters::from_record(&rec, &DeviceSpec::test_part());
+        assert_eq!(c.achieved_bps, 0.0);
+        assert_eq!(c.share_sum(), 0.0);
+    }
+}

@@ -61,12 +61,13 @@ pub fn events_json(records: &[KernelRecord]) -> Value {
 #[derive(Debug, Clone)]
 pub struct ChromeTrace {
     events: Vec<Value>,
+    spec: Option<crate::device::DeviceSpec>,
 }
 
 impl ChromeTrace {
     /// A new timeline whose process is labeled `process_name`.
     pub fn new(process_name: &str) -> Self {
-        let mut t = ChromeTrace { events: Vec::new() };
+        let mut t = ChromeTrace { events: Vec::new(), spec: None };
         t.events.push(metadata_event("process_name", None, process_name));
         t
     }
@@ -74,6 +75,13 @@ impl ChromeTrace {
     /// Name lane `tid` (shown as a thread name in the viewer).
     pub fn lane(&mut self, tid: u32, name: &str) {
         self.events.push(metadata_event("thread_name", Some(tid), name));
+    }
+
+    /// Attach a device spec: subsequent [`ChromeTrace::kernel`] calls add
+    /// derived [`crate::roofline::Counters`] to each slice's `args`.
+    pub fn with_counters(mut self, spec: crate::device::DeviceSpec) -> Self {
+        self.spec = Some(spec);
+        self
     }
 
     /// Append one kernel as a complete event on lane `tid`.
@@ -95,6 +103,9 @@ impl ChromeTrace {
         args.insert("bound".into(), rec.cost.bound().into());
         args.insert("cost".into(), rec.cost.to_json());
         args.insert("traffic".into(), rec.traffic.to_json());
+        if let Some(spec) = &self.spec {
+            args.insert("counters".into(), rec.counters(spec).to_json());
+        }
         e.insert("args".into(), Value::Object(args));
         self.events.push(Value::Object(e));
     }
@@ -231,5 +242,21 @@ mod tests {
         let s = t.finish();
         assert!(s.contains("\"tid\":3"));
         assert!(s.contains("\"codebook\""));
+    }
+
+    #[test]
+    fn with_counters_adds_derived_args() {
+        let gpu = traced_gpu();
+        let clock = gpu.clock();
+        let mut t = ChromeTrace::new("p").with_counters(DeviceSpec::test_part());
+        t.lane(0, "kernels");
+        for r in clock.records() {
+            t.kernel(0, r);
+        }
+        let s = t.finish();
+        assert!(s.contains("\"counters\""));
+        assert!(s.contains("\"efficiency\""));
+        // Without the spec, no counters arg is emitted.
+        assert!(!chrome_trace("p", clock.records()).contains("\"counters\""));
     }
 }

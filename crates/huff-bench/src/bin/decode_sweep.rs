@@ -21,77 +21,14 @@
 //! chunked there); the serial backend is skipped for them — its modeled
 //! time is minutes and its host decode is single-threaded.
 //!
+//! The rows come from [`huff_bench::sweeps::decode_rows`] — the same
+//! function the `regression` gate re-runs against the committed baseline.
 //! `--json` emits `rsh-bench-v1` rows on stderr; `--out PATH` writes the
 //! same rows to a file — `results/BENCH_decode.json` is the committed
 //! baseline (see EXPERIMENTS.md for the regeneration command).
 
-use gpu_sim::Gpu;
-use huff_bench::{emit_out, emit_row, row_json, wall, HarnessArgs};
-use huff_core::decode::{gpu::decode_kind_on_gpu, DecoderKind};
-use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
-use huff_core::{histogram, CanonicalCodebook};
-use huff_datasets::PaperDataset;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    dataset: String,
-    decoder: &'static str,
-    device: &'static str,
-    input_mb: f64,
-    avg_bits: f64,
-    chunks: usize,
-    modeled_ms: f64,
-    modeled_gbps: f64,
-    wall_ms: f64,
-}
-
-/// Encode `data` the way `table2`/`pipeline` do: CPU histogram, parallel
-/// codebook, reduce-shuffle with the sparse sidecar.
-fn encode(data: &[u16], bins: usize, reduction: u32) -> (ChunkedStream, CanonicalCodebook) {
-    let freqs = histogram::parallel_cpu::histogram(data, bins, rayon::current_num_threads());
-    let book = huff_core::build_codebook(&freqs, 16).expect("codebook");
-    let config = MergeConfig::new(10, reduction);
-    let stream = reduce_shuffle::encode(data, &book, config, BreakingStrategy::SparseSidecar)
-        .expect("encode");
-    (stream, book)
-}
-
-fn sweep_rows(
-    label: &str,
-    data: &[u16],
-    symbol_bytes: u64,
-    stream: &ChunkedStream,
-    book: &CanonicalCodebook,
-    decoders: &[DecoderKind],
-) -> Vec<Row> {
-    let input_bytes = data.len() as u64 * symbol_bytes;
-    let avg_bits = if stream.num_symbols == 0 {
-        0.0
-    } else {
-        stream.total_bits as f64 / stream.num_symbols as f64
-    };
-    decoders
-        .iter()
-        .map(|&decoder| {
-            let gpu = Gpu::v100();
-            let ((symbols, secs), wall_s) =
-                wall(|| decode_kind_on_gpu(&gpu, stream, book, decoder).expect("decode"));
-            assert_eq!(symbols, data, "{label}/{} not bit-exact", decoder.name());
-            Row {
-                dataset: label.to_string(),
-                decoder: decoder.name(),
-                device: "V100",
-                input_mb: input_bytes as f64 / 1e6,
-                avg_bits,
-                chunks: stream.num_chunks(),
-                modeled_ms: secs * 1e3,
-                modeled_gbps: input_bytes as f64 / secs / 1e9,
-                wall_ms: wall_s * 1e3,
-            }
-        })
-        .collect()
-}
+use huff_bench::sweeps::decode_rows;
+use huff_bench::{emit_out, emit_row, row_json, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -101,52 +38,28 @@ fn main() {
         "dataset", "decoder", "MB", "avg bits", "chunks", "modeled ms", "modeled GB/s", "wall ms"
     );
 
-    let all = [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut];
     let mut lines = Vec::new();
-    let mut emit = |args: &HarnessArgs, rows: Vec<Row>| {
-        for row in rows {
-            println!(
-                "{:<12} {:<8} {:>8.2} {:>9.4} {:>8} {:>12.4} {:>13.1} {:>9.1}",
-                row.dataset,
-                row.decoder,
-                row.input_mb,
-                row.avg_bits,
-                row.chunks,
-                row.modeled_ms,
-                row.modeled_gbps,
-                row.wall_ms,
-            );
-            emit_row(args, "decode", &row);
-            lines.push(row_json("decode", &row));
+    let mut group: Option<String> = None;
+    for row in decode_rows(args.scale) {
+        // Blank line between datasets.
+        if group.as_deref().is_some_and(|g| g != row.dataset) {
+            println!();
         }
-    };
-
-    for d in PaperDataset::all() {
-        let n = d.symbols_at_scale(args.scale);
-        let data = d.generate(n, 0xD5EA5E);
-        let (stream, book) = encode(&data, d.num_symbols(), d.paper_reduction());
-        emit(&args, sweep_rows(d.name(), &data, d.symbol_bytes(), &stream, &book, &all));
-        println!();
+        group = Some(row.dataset.clone());
+        println!(
+            "{:<12} {:<8} {:>8.2} {:>9.4} {:>8} {:>12.4} {:>13.1} {:>9.1}",
+            row.dataset,
+            row.decoder,
+            row.input_mb,
+            row.avg_bits,
+            row.chunks,
+            row.modeled_ms,
+            row.modeled_gbps,
+            row.wall_ms,
+        );
+        emit_row(&args, "decode", &row);
+        lines.push(row_json("decode", &row));
     }
-
-    // The fixed 64 MB acceptance input: enwik8-shaped byte data (~5.2
-    // payload bits/symbol), always full-size. CI gates on the lut row
-    // beating the chunked row here.
-    let d = PaperDataset::Enwik8;
-    let n = (64 << 20) / d.symbol_bytes() as usize;
-    let data = d.generate(n, 0xACCE97);
-    let (stream, book) = encode(&data, d.num_symbols(), d.paper_reduction());
-    emit(
-        &args,
-        sweep_rows(
-            "accept-64mb",
-            &data,
-            d.symbol_bytes(),
-            &stream,
-            &book,
-            &[DecoderKind::Chunked, DecoderKind::Lut],
-        ),
-    );
 
     emit_out(&args, &lines);
     println!("\n(modeled device time; wall ms is the host-side decode doing the bit-exact work)");

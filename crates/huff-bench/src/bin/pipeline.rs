@@ -6,44 +6,15 @@
 //! ([`huff_core::batch`]); the row reports the modeled contended makespan,
 //! the serial (one-stream) baseline of the same kernels, the overlap
 //! speedup, the modeled end-to-end GB/s, and the real host wall-clock of
-//! the run (rayon does the shard pipelines in parallel). `--json` emits
-//! `rsh-bench-v1` rows on stderr; `--out PATH` writes the same rows to a
-//! file — `results/BENCH_pipeline.json` is the committed baseline (see
-//! EXPERIMENTS.md for the regeneration command).
+//! the run (rayon does the shard pipelines in parallel). The rows come
+//! from [`huff_bench::sweeps::pipeline_rows`] — the same function the
+//! `regression` gate re-runs against the committed baseline. `--json`
+//! emits `rsh-bench-v1` rows on stderr; `--out PATH` writes the same rows
+//! to a file — `results/BENCH_pipeline.json` is the committed baseline
+//! (see EXPERIMENTS.md for the regeneration command).
 
-use gpu_sim::DeviceSpec;
-use huff_bench::{emit_out, emit_row, row_json, wall, HarnessArgs};
-use huff_core::batch::{compress_batched, BatchOptions};
-use huff_datasets::PaperDataset;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    dataset: &'static str,
-    device: &'static str,
-    devices: usize,
-    shards: usize,
-    streams: usize,
-    input_mb: f64,
-    makespan_ms: f64,
-    serial_ms: f64,
-    speedup: f64,
-    modeled_gbps: f64,
-    wall_ms: f64,
-    ratio: f64,
-}
-
-/// The swept (shards, streams, devices) grid: the serial reference plus
-/// every overlap axis alone and combined.
-const GRID: &[(usize, usize, usize)] = &[
-    (1, 1, 1), // serial reference: one shard, one stream
-    (4, 1, 1), // sharded but still serial (stream FIFO)
-    (4, 2, 1), // double-buffered
-    (8, 2, 1),
-    (8, 4, 1), // deeper stream fan-out
-    (8, 2, 2), // two devices, double-buffered each
-    (16, 4, 2),
-];
+use huff_bench::sweeps::pipeline_rows;
+use huff_bench::{emit_out, emit_row, row_json, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -64,55 +35,31 @@ fn main() {
     );
 
     let mut lines = Vec::new();
-    for d in PaperDataset::all() {
-        let n = d.symbols_at_scale(args.scale);
-        let data = d.generate(n, 0xD5EA5E);
-        for (dev_name, spec) in [("V100", DeviceSpec::v100()), ("RTX 5000", DeviceSpec::rtx5000())]
-        {
-            for &(shards, streams, devices) in GRID {
-                let mut opts = BatchOptions::new(d.num_symbols());
-                opts.shard_symbols = n.div_ceil(shards).max(1);
-                opts.streams = streams;
-                opts.devices = vec![spec.clone(); devices];
-                opts.reduction = Some(d.paper_reduction());
-                opts.symbol_bytes = d.symbol_bytes() as u8;
-
-                let ((frame, report), wall_s) =
-                    wall(|| compress_batched(&data, &opts).expect("sweep pipeline"));
-                let row = Row {
-                    dataset: d.name(),
-                    device: dev_name,
-                    devices,
-                    shards: report.shards.len(),
-                    streams,
-                    input_mb: report.input_bytes as f64 / 1e6,
-                    makespan_ms: report.makespan * 1e3,
-                    serial_ms: report.serial_seconds * 1e3,
-                    speedup: report.speedup(),
-                    modeled_gbps: report.throughput() / 1e9,
-                    wall_ms: wall_s * 1e3,
-                    ratio: report.input_bytes as f64 / frame.len() as f64,
-                };
-                println!(
-                    "{:<10} {:<9} {:>4} {:>7} {:>8} {:>8.1} {:>12.3} {:>11.3} {:>8.2} {:>13.1} {:>9.1}",
-                    row.dataset,
-                    row.device,
-                    row.devices,
-                    row.shards,
-                    row.streams,
-                    row.input_mb,
-                    row.makespan_ms,
-                    row.serial_ms,
-                    row.speedup,
-                    row.modeled_gbps,
-                    row.wall_ms,
-                );
-                emit_row(&args, "pipeline", &row);
-                lines.push(row_json("pipeline", &row));
-            }
+    let mut group: Option<(&str, &str)> = None;
+    for row in pipeline_rows(args.scale) {
+        // Blank line between each (dataset, device) grid block.
+        if group.is_some_and(|g| g != (row.dataset, row.device)) {
             println!();
         }
+        group = Some((row.dataset, row.device));
+        println!(
+            "{:<10} {:<9} {:>4} {:>7} {:>8} {:>8.1} {:>12.3} {:>11.3} {:>8.2} {:>13.1} {:>9.1}",
+            row.dataset,
+            row.device,
+            row.devices,
+            row.shards,
+            row.streams,
+            row.input_mb,
+            row.makespan_ms,
+            row.serial_ms,
+            row.speedup,
+            row.modeled_gbps,
+            row.wall_ms,
+        );
+        emit_row(&args, "pipeline", &row);
+        lines.push(row_json("pipeline", &row));
     }
+    println!();
     emit_out(&args, &lines);
     println!("(modeled device time; wall ms is host time for the rayon shard pipelines)");
 }

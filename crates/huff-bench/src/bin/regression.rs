@@ -1,0 +1,164 @@
+//! Bench-regression gate — re-run the pipeline + decode sweeps and
+//! compare every modeled metric against the committed
+//! `results/BENCH_pipeline.json` / `results/BENCH_decode.json` baselines.
+//!
+//! The sweeps re-run at exactly the scales the baselines were generated
+//! at ([`huff_bench::sweeps`]), so every modeled figure is deterministic
+//! and any delta beyond the noise tolerance is a real behavior change.
+//! Host wall-clock (`wall_ms`) is machine-dependent and never compared.
+//! Prints a per-metric delta report and exits nonzero if any metric
+//! regressed or any row went missing/unexpected; improvements are
+//! reported but pass. CI runs this in the bench-smoke job.
+//!
+//! ```text
+//! usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH]
+//!                   [--pipeline-scale F] [--decode-scale F]
+//!                   [--update-baselines]
+//! ```
+//!
+//! `--update-baselines` rewrites the baseline files from the fresh run
+//! instead of comparing (use after an intentional model change; see
+//! EXPERIMENTS.md).
+
+use huff_bench::regression::{
+    compare, parse_baseline, Comparison, DECODE_KEY, DECODE_METRICS, DEFAULT_TOLERANCE,
+    PIPELINE_KEY, PIPELINE_METRICS,
+};
+use huff_bench::{row_json, sweeps};
+use serde::json::Value;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+struct Args {
+    tolerance: f64,
+    baseline_dir: PathBuf,
+    report: Option<PathBuf>,
+    pipeline_scale: f64,
+    decode_scale: f64,
+    update: bool,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut out = Args {
+            tolerance: DEFAULT_TOLERANCE,
+            baseline_dir: PathBuf::from("results"),
+            report: None,
+            pipeline_scale: sweeps::PIPELINE_BASELINE_SCALE,
+            decode_scale: sweeps::DECODE_BASELINE_SCALE,
+            update: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut num = |flag: &str| -> f64 {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} requires a number"))
+            };
+            match a.as_str() {
+                "--tolerance" => out.tolerance = num("--tolerance"),
+                "--pipeline-scale" => out.pipeline_scale = num("--pipeline-scale"),
+                "--decode-scale" => out.decode_scale = num("--decode-scale"),
+                "--baseline-dir" => {
+                    out.baseline_dir =
+                        PathBuf::from(args.next().expect("--baseline-dir requires a path"));
+                }
+                "--report" => {
+                    out.report =
+                        Some(PathBuf::from(args.next().expect("--report requires a path")));
+                }
+                "--update-baselines" => out.update = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH] \
+                         [--pipeline-scale F] [--decode-scale F] [--update-baselines]"
+                    );
+                    exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        assert!(out.tolerance >= 0.0, "tolerance must be non-negative");
+        out
+    }
+}
+
+fn rows_to_values<T: Serialize>(rows: &[T]) -> Vec<Value> {
+    rows.iter().map(|r| r.to_json()).collect()
+}
+
+fn write_baseline<T: Serialize>(path: &Path, table: &str, rows: &[T]) {
+    let lines: Vec<String> = rows.iter().map(|r| row_json(table, r)).collect();
+    std::fs::write(path, lines.join("\n") + "\n").expect("writable baseline path");
+    println!("{} {table} rows written to {}", lines.len(), path.display());
+}
+
+fn load_baseline(path: &Path, table: &str) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", path.display());
+        eprintln!("(run with --update-baselines to create it)");
+        exit(2);
+    });
+    parse_baseline(&text, table).unwrap_or_else(|e| {
+        eprintln!("bad baseline {}: {e}", path.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let pipeline_path = args.baseline_dir.join("BENCH_pipeline.json");
+    let decode_path = args.baseline_dir.join("BENCH_decode.json");
+
+    println!(
+        "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, tolerance {:.1}%\n",
+        args.pipeline_scale,
+        args.decode_scale,
+        args.tolerance * 100.0
+    );
+
+    let pipeline_rows = sweeps::pipeline_rows(args.pipeline_scale);
+    let decode_rows = sweeps::decode_rows(args.decode_scale);
+
+    if args.update {
+        write_baseline(&pipeline_path, "pipeline", &pipeline_rows);
+        write_baseline(&decode_path, "decode", &decode_rows);
+        println!("baselines updated; commit the new results/ files");
+        return;
+    }
+
+    let mut cmp = Comparison::default();
+    cmp.merge(compare(
+        "pipeline",
+        PIPELINE_KEY,
+        PIPELINE_METRICS,
+        &load_baseline(&pipeline_path, "pipeline"),
+        &rows_to_values(&pipeline_rows),
+        args.tolerance,
+    ));
+    cmp.merge(compare(
+        "decode",
+        DECODE_KEY,
+        DECODE_METRICS,
+        &load_baseline(&decode_path, "decode"),
+        &rows_to_values(&decode_rows),
+        args.tolerance,
+    ));
+
+    let report = cmp.render();
+    print!("{report}");
+    println!("\n{}", cmp.summary());
+    if let Some(path) = &args.report {
+        std::fs::write(path, format!("{report}\n{}\n", cmp.summary()))
+            .expect("writable --report path");
+        println!("report written to {}", path.display());
+    }
+
+    if cmp.ok() {
+        println!("PASS: no regressions beyond tolerance");
+    } else {
+        println!("FAIL: {} regression(s) — see report above", cmp.regressions());
+        exit(1);
+    }
+}

@@ -109,16 +109,10 @@ fn main() {
         let n = d.symbols_at_scale(args.scale);
         let data = d.generate(n, 0xD5EA5E);
         let gpu = Gpu::v100();
-        let (_, profile) = metrics::profile_compress(
-            &gpu,
-            &data,
-            d.symbol_bytes(),
-            d.num_symbols(),
-            10,
-            Some(d.paper_reduction()),
-            PipelineKind::ReduceShuffle,
-        )
-        .unwrap();
+        let opts = metrics::ProfileOptions::new(d.num_symbols())
+            .symbol_bytes(d.symbol_bytes())
+            .reduction(d.paper_reduction());
+        let (_, profile) = metrics::profile_compress(&gpu, &data, &opts).unwrap();
         emit_trace(&args, &profile);
     }
 }

@@ -13,6 +13,9 @@
 
 #![warn(missing_docs)]
 
+pub mod regression;
+pub mod sweeps;
+
 use serde::json::{Map, Value};
 use serde::Serialize;
 

@@ -1,0 +1,218 @@
+//! The two committed-baseline sweeps — batched pipeline and decoder
+//! backends — as library functions.
+//!
+//! The `pipeline` and `decode_sweep` binaries print these rows; the
+//! `regression` binary re-runs them at the baselines' scales and compares
+//! against the committed `results/BENCH_*.json` files (see
+//! [`crate::regression`]). Keeping the row generation here means the gate
+//! measures exactly what the baselines recorded — same grid, same seeds,
+//! same datasets — so any delta is a code change, not a harness drift.
+//!
+//! Every modeled figure in a row is deterministic; only `wall_ms` (host
+//! wall-clock) varies between machines, and the regression gate ignores
+//! it.
+
+use gpu_sim::{DeviceSpec, Gpu};
+use huff_core::batch::{compress_batched, BatchOptions};
+use huff_core::decode::{gpu::decode_kind_on_gpu, DecoderKind};
+use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
+use huff_core::{histogram, CanonicalCodebook};
+use huff_datasets::PaperDataset;
+use serde::Serialize;
+
+use crate::wall;
+
+/// Scale the committed `results/BENCH_pipeline.json` baseline was
+/// generated at (see EXPERIMENTS.md).
+pub const PIPELINE_BASELINE_SCALE: f64 = 1.0 / 64.0;
+
+/// Scale the committed `results/BENCH_decode.json` baseline was generated
+/// at (the harness default; the `accept-64mb` rows always run full size).
+pub const DECODE_BASELINE_SCALE: f64 = 1.0 / 16.0;
+
+/// The swept (shards, streams, devices) grid: the serial reference plus
+/// every overlap axis alone and combined.
+pub const PIPELINE_GRID: &[(usize, usize, usize)] = &[
+    (1, 1, 1), // serial reference: one shard, one stream
+    (4, 1, 1), // sharded but still serial (stream FIFO)
+    (4, 2, 1), // double-buffered
+    (8, 2, 1),
+    (8, 4, 1), // deeper stream fan-out
+    (8, 2, 2), // two devices, double-buffered each
+    (16, 4, 2),
+];
+
+/// One pipeline-sweep row (`rsh-bench-v1` table `"pipeline"`).
+#[derive(Serialize)]
+pub struct PipelineRow {
+    /// Table V workload name.
+    pub dataset: &'static str,
+    /// Modeled device name.
+    pub device: &'static str,
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Shards the input was split into.
+    pub shards: usize,
+    /// Streams per device.
+    pub streams: usize,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Modeled contended makespan, ms.
+    pub makespan_ms: f64,
+    /// Serial (one-stream) baseline of the same kernels, ms.
+    pub serial_ms: f64,
+    /// `serial_ms / makespan_ms`.
+    pub speedup: f64,
+    /// Modeled end-to-end throughput, GB/s.
+    pub modeled_gbps: f64,
+    /// Host wall-clock of the rayon shard pipelines, ms
+    /// (machine-dependent; excluded from regression comparison).
+    pub wall_ms: f64,
+    /// Compression ratio achieved on the frame.
+    pub ratio: f64,
+}
+
+/// One decoder-sweep row (`rsh-bench-v1` table `"decode"`).
+#[derive(Serialize)]
+pub struct DecodeRow {
+    /// Workload name (`accept-64mb` for the fixed acceptance input).
+    pub dataset: String,
+    /// Decoder backend name.
+    pub decoder: &'static str,
+    /// Modeled device name.
+    pub device: &'static str,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Achieved payload bits per symbol.
+    pub avg_bits: f64,
+    /// Payload chunks in the stream.
+    pub chunks: usize,
+    /// Modeled decode time, ms.
+    pub modeled_ms: f64,
+    /// Modeled decode throughput, GB/s.
+    pub modeled_gbps: f64,
+    /// Host wall-clock of the bit-exact host decode, ms
+    /// (machine-dependent; excluded from regression comparison).
+    pub wall_ms: f64,
+}
+
+/// Run the batched multi-stream pipeline sweep at `scale`: every Table V
+/// workload × {V100, RTX 5000} × [`PIPELINE_GRID`].
+pub fn pipeline_rows(scale: f64) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    for d in PaperDataset::all() {
+        let n = d.symbols_at_scale(scale);
+        let data = d.generate(n, 0xD5EA5E);
+        for (dev_name, spec) in [("V100", DeviceSpec::v100()), ("RTX 5000", DeviceSpec::rtx5000())]
+        {
+            for &(shards, streams, devices) in PIPELINE_GRID {
+                let mut opts = BatchOptions::new(d.num_symbols());
+                opts.shard_symbols = n.div_ceil(shards).max(1);
+                opts.streams = streams;
+                opts.devices = vec![spec.clone(); devices];
+                opts.reduction = Some(d.paper_reduction());
+                opts.symbol_bytes = d.symbol_bytes() as u8;
+
+                let ((frame, report), wall_s) =
+                    wall(|| compress_batched(&data, &opts).expect("sweep pipeline"));
+                rows.push(PipelineRow {
+                    dataset: d.name(),
+                    device: dev_name,
+                    devices,
+                    shards: report.shards.len(),
+                    streams,
+                    input_mb: report.input_bytes as f64 / 1e6,
+                    makespan_ms: report.makespan * 1e3,
+                    serial_ms: report.serial_seconds * 1e3,
+                    speedup: report.speedup(),
+                    modeled_gbps: report.throughput() / 1e9,
+                    wall_ms: wall_s * 1e3,
+                    ratio: report.input_bytes as f64 / frame.len() as f64,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Encode `data` the way `table2`/`pipeline` do: CPU histogram, parallel
+/// codebook, reduce-shuffle with the sparse sidecar.
+fn encode(data: &[u16], bins: usize, reduction: u32) -> (ChunkedStream, CanonicalCodebook) {
+    let freqs = histogram::parallel_cpu::histogram(data, bins, rayon::current_num_threads());
+    let book = huff_core::build_codebook(&freqs, 16).expect("codebook");
+    let config = MergeConfig::new(10, reduction);
+    let stream = reduce_shuffle::encode(data, &book, config, BreakingStrategy::SparseSidecar)
+        .expect("encode");
+    (stream, book)
+}
+
+fn decode_sweep_rows(
+    label: &str,
+    data: &[u16],
+    symbol_bytes: u64,
+    stream: &ChunkedStream,
+    book: &CanonicalCodebook,
+    decoders: &[DecoderKind],
+) -> Vec<DecodeRow> {
+    let input_bytes = data.len() as u64 * symbol_bytes;
+    let avg_bits = if stream.num_symbols == 0 {
+        0.0
+    } else {
+        stream.total_bits as f64 / stream.num_symbols as f64
+    };
+    decoders
+        .iter()
+        .map(|&decoder| {
+            let gpu = Gpu::v100();
+            let ((symbols, secs), wall_s) =
+                wall(|| decode_kind_on_gpu(&gpu, stream, book, decoder).expect("decode"));
+            assert_eq!(symbols, data, "{label}/{} not bit-exact", decoder.name());
+            DecodeRow {
+                dataset: label.to_string(),
+                decoder: decoder.name(),
+                device: "V100",
+                input_mb: input_bytes as f64 / 1e6,
+                avg_bits,
+                chunks: stream.num_chunks(),
+                modeled_ms: secs * 1e3,
+                modeled_gbps: input_bytes as f64 / secs / 1e9,
+                wall_ms: wall_s * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Run the decoder sweep at `scale`: every Table V workload × every
+/// backend (all verified bit-exact), plus the fixed full-size 64 MB
+/// acceptance rows (`chunked`/`lut` only — the serial backend's host
+/// decode is single-threaded and its modeled time is minutes).
+pub fn decode_rows(scale: f64) -> Vec<DecodeRow> {
+    let all = [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut];
+    let mut rows = Vec::new();
+    for d in PaperDataset::all() {
+        let n = d.symbols_at_scale(scale);
+        let data = d.generate(n, 0xD5EA5E);
+        let (stream, book) = encode(&data, d.num_symbols(), d.paper_reduction());
+        rows.extend(decode_sweep_rows(d.name(), &data, d.symbol_bytes(), &stream, &book, &all));
+    }
+    rows.extend(accept_64mb_rows());
+    rows
+}
+
+/// The fixed 64 MB acceptance rows alone: enwik8-shaped byte data (~5.2
+/// payload bits/symbol), always full size. CI gates on the `lut` row
+/// beating `chunked` here.
+pub fn accept_64mb_rows() -> Vec<DecodeRow> {
+    let d = PaperDataset::Enwik8;
+    let n = (64 << 20) / d.symbol_bytes() as usize;
+    let data = d.generate(n, 0xACCE97);
+    let (stream, book) = encode(&data, d.num_symbols(), d.paper_reduction());
+    decode_sweep_rows(
+        "accept-64mb",
+        &data,
+        d.symbol_bytes(),
+        &stream,
+        &book,
+        &[DecoderKind::Chunked, DecoderKind::Lut],
+    )
+}

@@ -86,7 +86,18 @@ pub fn compress(symbols: &[u16], opts: &CompressOptions) -> Result<Vec<u8>> {
         None => MergeConfig::auto::<u32>(opts.magnitude, &freqs, &book),
     };
     let stream = encode::reduce_shuffle::encode(symbols, &book, config, opts.strategy)?;
-    Ok(serialize(&stream, &book, opts.symbol_bytes))
+    let packed = serialize(&stream, &book, opts.symbol_bytes);
+    {
+        let bytes_in = symbols.len() as u64 * u64::from(opts.symbol_bytes);
+        let ratio = if packed.is_empty() { 1.0 } else { bytes_in as f64 / packed.len() as f64 };
+        crate::metrics::registry::global().record_compress(
+            bytes_in,
+            packed.len() as u64,
+            ratio,
+            stream.num_chunks(),
+        );
+    }
+    Ok(packed)
 }
 
 /// Decompress an archive produced by [`compress`].
@@ -112,11 +123,11 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
         return crate::frame::decompress_with(archive, opts);
     }
     let parsed = deserialize_with(archive, opts)?;
-    match opts.mode {
+    let recovered = match opts.mode {
         RecoveryMode::Strict => {
             let symbols = decode::decode_stream(&parsed.stream, &parsed.book, opts.decoder)?;
             let report = RecoveryReport::clean(parsed.stream.num_chunks());
-            Ok(Recovered { symbols, report })
+            Recovered { symbols, report }
         }
         RecoveryMode::BestEffort => {
             let (symbols, report) = decode::decode_stream_best_effort(
@@ -126,9 +137,16 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
                 opts.sentinel,
                 opts.decoder,
             );
-            Ok(Recovered { symbols, report })
+            Recovered { symbols, report }
         }
-    }
+    };
+    crate::metrics::registry::global().record_decompress(
+        archive.len() as u64,
+        recovered.symbols.len() as u64 * u64::from(parsed.symbol_bytes.max(1)),
+        recovered.report.total_chunks,
+        recovered.report.damaged_chunks.len(),
+    );
+    Ok(recovered)
 }
 
 /// Check an archive's checksums without decoding the payload.
@@ -155,6 +173,7 @@ pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recov
 /// assert_eq!(report.damaged_chunks.len(), 1);
 /// ```
 pub fn verify(archive: &[u8]) -> Result<RecoveryReport> {
+    crate::metrics::registry::global().record_verify();
     if crate::frame::is_frame(archive) {
         return crate::frame::verify(archive);
     }

@@ -269,6 +269,13 @@ pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>
         makespan,
         serial_seconds,
     };
+    {
+        let mut reg = crate::metrics::registry::global();
+        let ratio =
+            if frame.is_empty() { 1.0 } else { report.input_bytes as f64 / frame.len() as f64 };
+        reg.record_compress(report.input_bytes, frame.len() as u64, ratio, 0);
+        reg.record_shards_built(report.shards.len());
+    }
     Ok((frame, report))
 }
 

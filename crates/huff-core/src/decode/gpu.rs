@@ -317,6 +317,7 @@ pub fn decode_kind_on_gpu(
     book: &CanonicalCodebook,
     kind: DecoderKind,
 ) -> Result<(Vec<u16>, f64)> {
+    crate::metrics::registry::global().record_decode_backend(kind.name());
     match kind {
         DecoderKind::Serial => decode_serial_on_gpu(gpu, stream, book),
         DecoderKind::Chunked => decode_on_gpu(gpu, stream, book),
@@ -333,6 +334,7 @@ pub fn decode_kind_best_effort_on_gpu(
     sentinel: u16,
     kind: DecoderKind,
 ) -> (Vec<u16>, RecoveryReport, f64) {
+    crate::metrics::registry::global().record_decode_backend(kind.name());
     match kind {
         DecoderKind::Serial => {
             decode_serial_best_effort_on_gpu(gpu, stream, book, chunk_damage, sentinel)

@@ -70,6 +70,7 @@ pub fn decode_stream(
     book: &CanonicalCodebook,
     decoder: DecoderKind,
 ) -> Result<Vec<u16>> {
+    crate::metrics::registry::global().record_decode_backend(decoder.name());
     match decoder {
         DecoderKind::Serial => chunked::decode_serial(stream, book),
         DecoderKind::Chunked => chunked::decode(stream, book),
@@ -86,6 +87,7 @@ pub fn decode_stream_best_effort(
     sentinel: u16,
     decoder: DecoderKind,
 ) -> (Vec<u16>, RecoveryReport) {
+    crate::metrics::registry::global().record_decode_backend(decoder.name());
     match decoder {
         DecoderKind::Serial => chunked::decode_serial_best_effort(stream, book, damaged, sentinel),
         DecoderKind::Chunked => chunked::decode_best_effort(stream, book, damaged, sentinel),

@@ -224,11 +224,17 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
 
     let mut symbols = Vec::with_capacity(info.total_symbols as usize);
     let mut report = RecoveryReport::default();
+    let (mut shards_ok, mut shards_recovered) = (0usize, 0usize);
     for (i, res) in results.into_iter().enumerate() {
         let range = info.shard_symbol_range(i);
         let base_chunks = report.total_chunks;
         match res {
             Ok(rec) => {
+                if rec.report.is_clean() {
+                    shards_ok += 1;
+                } else {
+                    shards_recovered += 1;
+                }
                 report.total_chunks += rec.report.total_chunks;
                 for c in rec.report.damaged_chunks {
                     report.damaged_chunks.push(base_chunks + c);
@@ -243,6 +249,7 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
                 // The shard is unreadable as a whole: its internal chunk
                 // structure is unknown, so it counts as one opaque chunk.
                 let _ = e;
+                shards_recovered += 1;
                 report.total_chunks += 1;
                 report.damaged_chunks.push(base_chunks);
                 report.damaged_ranges.push((range.start, range.end));
@@ -252,6 +259,7 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
             Err(e) => return Err(e),
         }
     }
+    crate::metrics::registry::global().record_shards_decoded(shards_ok, shards_recovered);
     Ok(Recovered { symbols, report })
 }
 

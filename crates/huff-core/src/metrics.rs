@@ -28,28 +28,37 @@
 //!
 //! ```
 //! use gpu_sim::{DeviceSpec, Gpu};
-//! use huff_core::metrics;
-//! use huff_core::pipeline::PipelineKind;
+//! use huff_core::metrics::{self, ProfileOptions};
 //!
 //! let gpu = Gpu::new(DeviceSpec::test_part());
 //! let data: Vec<u16> = (0..20_000).map(|i| (i % 97) as u16).collect();
 //! let (archive, profile) =
-//!     metrics::profile_compress(&gpu, &data, 2, 128, 10, None, PipelineKind::ReduceShuffle)
-//!         .unwrap();
+//!     metrics::profile_compress(&gpu, &data, &ProfileOptions::new(128)).unwrap();
 //! assert_eq!(huff_core::archive::decompress(&archive).unwrap(), data);
 //! assert_eq!(profile.stages.len(), 4); // histogram, codebook, encode, archive
 //! let json = profile.to_json_string();
 //! assert!(json.starts_with("{\"schema\":\"rsh-trace-v1\""));
+//!
+//! // Roofline analysis of the same run (rsh-roofline-v1):
+//! let roofline = profile.roofline(0.5);
+//! assert!(!roofline.kernels.is_empty());
 //! ```
+
+pub mod chrome;
+pub mod registry;
+pub mod roofline;
+
+pub use chrome::LaneWriter;
+pub use registry::Registry;
+pub use roofline::{KernelRoofline, RooflineReport, StageRoofline, ROOFLINE_SCHEMA};
 
 use crate::archive;
 use crate::batch::{self, BatchOptions, BatchReport};
-use crate::decode;
+use crate::decode::{self, DecoderKind};
 use crate::error::{HuffError, Result};
 use crate::integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport};
 use crate::pipeline::{self, PipelineKind, StageTimes};
-use gpu_sim::trace::ChromeTrace;
-use gpu_sim::{Gpu, KernelRecord};
+use gpu_sim::{DeviceSpec, Gpu, KernelRecord};
 use serde::json::{Map, Value};
 use serde::Serialize;
 
@@ -61,6 +70,95 @@ pub const TRACE_SCHEMA: &str = "rsh-trace-v1";
 /// constant — not a measurement — so profiles are deterministic; 8 GB/s
 /// is a conservative single-core memcpy-plus-checksum figure.
 pub const HOST_IO_BYTES_PER_SEC: f64 = 8.0e9;
+
+/// Options for [`profile_compress`] and [`profile_roundtrip`].
+///
+/// Replaces the positional parameter list that mirrored
+/// [`pipeline::run`]: new knobs (the roundtrip decoder backend, the
+/// roofline anomaly threshold) extend this struct instead of widening
+/// every call site. Construct with [`ProfileOptions::new`] and chain the
+/// builder methods for non-default values.
+///
+/// ```
+/// use huff_core::decode::DecoderKind;
+/// use huff_core::metrics::ProfileOptions;
+///
+/// let opts = ProfileOptions::new(256).reduction(4).decoder(DecoderKind::Lut);
+/// assert_eq!(opts.num_symbols, 256);
+/// assert_eq!(opts.symbol_bytes, 2); // default
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Number of symbol bins (the codebook size).
+    pub num_symbols: usize,
+    /// Native symbol width in bytes (default 2).
+    pub symbol_bytes: u64,
+    /// Chunk magnitude: chunks hold `2^magnitude` symbols (default 10).
+    pub magnitude: u32,
+    /// Reduction factor `r`; `None` auto-tunes (the default).
+    pub reduction: Option<u32>,
+    /// Which encode pipeline to run (default
+    /// [`PipelineKind::ReduceShuffle`]).
+    pub kind: PipelineKind,
+    /// Decoder backend for the roundtrip decode leg (default
+    /// [`DecoderKind::Chunked`]).
+    pub decoder: DecoderKind,
+    /// Anomaly threshold for roofline analysis of the resulting profile
+    /// (default [`roofline::DEFAULT_THRESHOLD`]).
+    pub roofline_threshold: f64,
+}
+
+impl ProfileOptions {
+    /// Defaults for `num_symbols` bins: 2-byte symbols, magnitude 10,
+    /// auto-tuned reduction, reduce-shuffle pipeline, chunked decoder.
+    pub fn new(num_symbols: usize) -> Self {
+        ProfileOptions {
+            num_symbols,
+            symbol_bytes: 2,
+            magnitude: 10,
+            reduction: None,
+            kind: PipelineKind::ReduceShuffle,
+            decoder: DecoderKind::default(),
+            roofline_threshold: roofline::DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// Set the native symbol width in bytes.
+    pub fn symbol_bytes(mut self, bytes: u64) -> Self {
+        self.symbol_bytes = bytes;
+        self
+    }
+
+    /// Set the chunk magnitude.
+    pub fn magnitude(mut self, magnitude: u32) -> Self {
+        self.magnitude = magnitude;
+        self
+    }
+
+    /// Pin the reduction factor (instead of auto-tuning).
+    pub fn reduction(mut self, r: u32) -> Self {
+        self.reduction = Some(r);
+        self
+    }
+
+    /// Select the encode pipeline.
+    pub fn kind(mut self, kind: PipelineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Select the decoder backend for the roundtrip decode leg.
+    pub fn decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// Set the roofline anomaly threshold.
+    pub fn roofline_threshold(mut self, threshold: f64) -> Self {
+        self.roofline_threshold = threshold;
+        self
+    }
+}
 
 /// Aggregated metrics of one pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +212,9 @@ pub struct PipelineProfile {
     pub direction: &'static str,
     /// Device name the pipeline was modeled on.
     pub device: String,
+    /// Full spec of the device — roofline analysis
+    /// ([`PipelineProfile::roofline`]) derives counters against it.
+    pub spec: DeviceSpec,
     /// Native input size in bytes (symbols × symbol width).
     pub input_bytes: u64,
     /// Size of the serialized archive in bytes.
@@ -187,24 +288,16 @@ impl PipelineProfile {
     }
 
     /// Chrome `trace_event` JSON: one lane per stage, one complete event
-    /// per kernel. Host-side stages carry no kernels and are omitted.
-    /// Load the output in `chrome://tracing` or Perfetto.
+    /// per kernel, each slice carrying derived roofline counters in its
+    /// `args`. Host-side stages carry no kernels and are omitted. Load
+    /// the output in `chrome://tracing` or Perfetto.
     pub fn to_chrome_trace(&self) -> String {
-        let mut t = ChromeTrace::new(&format!("{} ({}, modeled)", self.direction, self.device));
-        let mut lanes: Vec<&'static str> = Vec::new();
+        let mut w = LaneWriter::new(&format!("{} ({}, modeled)", self.direction, self.device))
+            .with_counters(self.spec.clone());
         for k in &self.kernels {
-            let tid = match lanes.iter().position(|&s| s == k.stage) {
-                Some(i) => i as u32,
-                None => {
-                    lanes.push(k.stage);
-                    let tid = (lanes.len() - 1) as u32;
-                    t.lane(tid, k.stage);
-                    tid
-                }
-            };
-            t.kernel(tid, &k.record);
+            w.kernel(k.stage, &k.record);
         }
-        t.finish()
+        w.finish()
     }
 
     /// Human-readable profile table.
@@ -299,8 +392,7 @@ fn stage_kernels(
 }
 
 /// Run a compress pipeline (as [`pipeline::run_to_archive`]) and profile
-/// it. Parameters mirror [`pipeline::run`];
-/// [`PipelineKind::PrefixSum`] has no archive form and is rejected.
+/// it. [`PipelineKind::PrefixSum`] has no archive form and is rejected.
 ///
 /// Returns the serialized archive and the profile; stages are
 /// `histogram`, `codebook`, `encode`, and the host-side `archive`
@@ -308,25 +400,29 @@ fn stage_kernels(
 pub fn profile_compress(
     gpu: &Gpu,
     data: &[u16],
-    symbol_bytes: u64,
-    num_symbols: usize,
-    magnitude: u32,
-    reduction: Option<u32>,
-    kind: PipelineKind,
+    opts: &ProfileOptions,
 ) -> Result<(Vec<u8>, PipelineProfile)> {
-    if kind == PipelineKind::PrefixSum {
+    if opts.kind == PipelineKind::PrefixSum {
         return Err(HuffError::BadArchive(
             "prefix-sum streams are not chunk-addressable; no archive form".into(),
         ));
     }
-    let (stream, book, report) =
-        pipeline::run(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
+    let symbol_bytes = opts.symbol_bytes;
+    let (stream, book, report) = pipeline::run(
+        gpu,
+        data,
+        symbol_bytes,
+        opts.num_symbols,
+        opts.magnitude,
+        opts.reduction,
+        opts.kind,
+    )?;
     let packed = archive::serialize(&stream, &book, symbol_bytes as u8);
 
     let clock = gpu.clock();
     let records = clock.records();
     let spans = report.spans;
-    let hist_bytes_out = num_symbols as u64 * 8; // frequency array
+    let hist_bytes_out = opts.num_symbols as u64 * 8; // frequency array
     let book_bytes_out = book.lengths().len() as u64; // 1-byte lengths in the archive
     let payload_bytes = stream.total_bits.div_ceil(8);
 
@@ -367,6 +463,7 @@ pub fn profile_compress(
     let profile = PipelineProfile {
         direction: "compress",
         device: gpu.spec().name.to_string(),
+        spec: gpu.spec().clone(),
         input_bytes: report.input_bytes,
         archive_bytes: packed.len() as u64,
         compression_ratio: report.compression_ratio,
@@ -378,7 +475,25 @@ pub fn profile_compress(
         kernels,
         recovery: None,
     };
+    record_profile(&profile);
+    {
+        let mut reg = registry::global();
+        let ratio = if profile.archive_bytes == 0 {
+            1.0
+        } else {
+            profile.input_bytes as f64 / profile.archive_bytes as f64
+        };
+        reg.record_compress(profile.input_bytes, profile.archive_bytes, ratio, profile.chunks);
+    }
     Ok((packed, profile))
+}
+
+/// Feed a profile's kernel efficiencies into the global registry.
+fn record_profile(profile: &PipelineProfile) {
+    let mut reg = registry::global();
+    for k in &profile.kernels {
+        reg.record_kernel_efficiency(k.record.counters(&profile.spec).efficiency);
+    }
 }
 
 /// Decode an archive on the device and profile it. Stages are the
@@ -451,6 +566,7 @@ pub fn profile_decompress(
     let profile = PipelineProfile {
         direction: "decompress",
         device: gpu.spec().name.to_string(),
+        spec: gpu.spec().clone(),
         input_bytes,
         archive_bytes: archive_bytes.len() as u64,
         compression_ratio: if payload_bytes == 0 {
@@ -466,25 +582,33 @@ pub fn profile_decompress(
         kernels,
         recovery: Some(recovered.report.clone()),
     };
+    record_profile(&profile);
+    {
+        let mut reg = registry::global();
+        reg.record_decompress(
+            profile.archive_bytes,
+            profile.input_bytes,
+            profile.chunks,
+            recovered.report.damaged_chunks.len(),
+        );
+        reg.record_stage_seconds("decode", decode_seconds);
+    }
     Ok((recovered, profile))
 }
 
 /// Compress, then decompress, on one device clock: the full `rsh profile`
 /// walkthrough. Returns the archive, the decode result, and a single
 /// profile whose stages cover both directions (histogram, codebook,
-/// encode, archive, parse, decode).
+/// encode, archive, parse, decode). The decode leg runs the backend
+/// selected by [`ProfileOptions::decoder`].
 pub fn profile_roundtrip(
     gpu: &Gpu,
     data: &[u16],
-    symbol_bytes: u64,
-    num_symbols: usize,
-    magnitude: u32,
-    reduction: Option<u32>,
-    kind: PipelineKind,
+    opts: &ProfileOptions,
 ) -> Result<(Vec<u8>, Recovered, PipelineProfile)> {
-    let (packed, compress) =
-        profile_compress(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
-    let (recovered, decompress) = profile_decompress(gpu, &packed, &DecompressOptions::default())?;
+    let (packed, compress) = profile_compress(gpu, data, opts)?;
+    let (recovered, decompress) =
+        profile_decompress(gpu, &packed, &DecompressOptions::default().with_decoder(opts.decoder))?;
 
     let mut profile = compress;
     profile.direction = "roundtrip";
@@ -644,21 +768,21 @@ impl BatchProfile {
 
     /// Chrome `trace_event` JSON: one lane per device × stream, named
     /// `"gpu<d> (<name>) stream <s>"`, every kernel on its stream's lane.
+    /// Lane/pid assignment follows the same [`LaneWriter`] rules as
+    /// [`PipelineProfile::to_chrome_trace`].
     pub fn to_chrome_trace(&self) -> String {
-        let mut t = ChromeTrace::new("batched compress (modeled)");
-        let mut lane = 0u32;
+        let mut w = LaneWriter::new("batched compress (modeled)");
         for dev in &self.report.devices {
-            let mut lanes = std::collections::BTreeMap::new();
+            // Register every stream lane up front so lane order is
+            // device-major even when records interleave.
             for s in dev.timeline.stream_ids() {
-                t.lane(lane, &format!("gpu{} ({}) stream {}", dev.device, dev.name, s));
-                lanes.insert(s, lane);
-                lane += 1;
+                w.lane(&format!("gpu{} ({}) stream {}", dev.device, dev.name, s));
             }
             for r in &dev.timeline.records {
-                t.kernel(lanes[&r.stream], r);
+                w.kernel(&format!("gpu{} ({}) stream {}", dev.device, dev.name, r.stream), r);
             }
         }
-        t.finish()
+        w.finish()
     }
 
     /// Human-readable per-stream profile table.
@@ -727,7 +851,7 @@ fn fmt_bytes(b: u64) -> String {
     }
 }
 
-fn fmt_seconds(s: f64) -> String {
+pub(crate) fn fmt_seconds(s: f64) -> String {
     if s >= 1.0 {
         format!("{s:.3} s")
     } else if s >= 1.0e-3 {
@@ -756,8 +880,7 @@ mod tests {
     fn compress_profile_stage_seconds_match_kernel_sums() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(30_000);
-        let (_, p) =
-            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (_, p) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         assert_eq!(p.direction, "compress");
         for s in &p.stages {
             let sum: f64 =
@@ -777,8 +900,7 @@ mod tests {
     fn decompress_profile_is_strict_clean_and_attributed() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(20_000);
-        let (packed, _) =
-            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (packed, _) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         let (rec, p) = profile_decompress(&gpu, &packed, &DecompressOptions::default()).unwrap();
         assert_eq!(rec.symbols, syms);
         assert!(p.recovery.as_ref().unwrap().is_clean());
@@ -793,8 +915,7 @@ mod tests {
     fn lut_decoder_profile_attributes_both_kernels() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(20_000);
-        let (packed, _) =
-            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (packed, _) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         let opts = DecompressOptions::default().with_decoder(crate::decode::DecoderKind::Lut);
         let (rec, p) = profile_decompress(&gpu, &packed, &opts).unwrap();
         assert_eq!(rec.symbols, syms);
@@ -818,8 +939,7 @@ mod tests {
     fn best_effort_profile_reports_damage() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(20_000);
-        let (packed, _) =
-            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (packed, _) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         let sections = archive::layout(&packed).unwrap();
         let payload = sections
             .iter()
@@ -843,8 +963,7 @@ mod tests {
     fn roundtrip_profile_covers_both_directions() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(25_000);
-        let (_, rec, p) =
-            profile_roundtrip(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (_, rec, p) = profile_roundtrip(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         assert_eq!(rec.symbols, syms);
         assert_eq!(p.direction, "roundtrip");
         let names: Vec<&str> = p.stages.iter().map(|s| s.stage).collect();
@@ -856,8 +975,7 @@ mod tests {
     fn json_and_table_and_chrome_render() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(15_000);
-        let (_, p) =
-            profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle).unwrap();
+        let (_, p) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
         let json = p.to_json_string();
         assert!(json.starts_with("{\"schema\":\"rsh-trace-v1\""));
         assert!(json.contains("\"stages\":["));
@@ -876,9 +994,7 @@ mod tests {
         let run = || {
             let gpu = Gpu::new(DeviceSpec::test_part());
             let syms = data(10_000);
-            let (_, p) =
-                profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::ReduceShuffle)
-                    .unwrap();
+            let (_, p) = profile_compress(&gpu, &syms, &ProfileOptions::new(256)).unwrap();
             p.to_json_string()
         };
         assert_eq!(run(), run());
@@ -944,7 +1060,8 @@ mod tests {
     fn prefix_sum_rejected() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let syms = data(5_000);
-        let r = profile_compress(&gpu, &syms, 2, 256, 10, None, PipelineKind::PrefixSum);
+        let r =
+            profile_compress(&gpu, &syms, &ProfileOptions::new(256).kind(PipelineKind::PrefixSum));
         assert!(matches!(r, Err(HuffError::BadArchive(_))));
     }
 }

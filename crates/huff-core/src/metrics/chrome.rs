@@ -1,0 +1,102 @@
+//! Shared Chrome `trace_event` emission for profile exporters.
+//!
+//! [`PipelineProfile::to_chrome_trace`](crate::metrics::PipelineProfile::to_chrome_trace)
+//! and
+//! [`BatchProfile::to_chrome_trace`](crate::metrics::BatchProfile::to_chrome_trace)
+//! both render kernels onto named lanes; [`LaneWriter`] is the one place
+//! that assigns lane ids so the two exporters stay consistent: every
+//! trace uses pid 0, lanes get consecutive tids in first-appearance
+//! order, and each lane's `thread_name` metadata event precedes its first
+//! kernel slice.
+
+use gpu_sim::trace::ChromeTrace;
+use gpu_sim::{DeviceSpec, KernelRecord};
+
+/// Chrome-trace builder that names lanes lazily.
+///
+/// Callers address lanes by *name*; the writer assigns the tid the first
+/// time a name appears and reuses it afterwards, so exporters never
+/// hand-manage lane numbering.
+#[derive(Debug, Clone)]
+pub struct LaneWriter {
+    trace: ChromeTrace,
+    lanes: Vec<String>,
+}
+
+impl LaneWriter {
+    /// A new trace whose process is labeled `process_name`.
+    pub fn new(process_name: &str) -> Self {
+        LaneWriter { trace: ChromeTrace::new(process_name), lanes: Vec::new() }
+    }
+
+    /// Attach a device spec so every kernel slice also carries derived
+    /// roofline [`gpu_sim::roofline::Counters`] in its `args`.
+    pub fn with_counters(mut self, spec: DeviceSpec) -> Self {
+        self.trace = self.trace.with_counters(spec);
+        self
+    }
+
+    /// Register (or look up) the lane named `name`, assigning the next
+    /// free tid on first use. Returns the lane's tid.
+    pub fn lane(&mut self, name: &str) -> u32 {
+        match self.lanes.iter().position(|l| l == name) {
+            Some(i) => i as u32,
+            None => {
+                let tid = self.lanes.len() as u32;
+                self.lanes.push(name.to_string());
+                self.trace.lane(tid, name);
+                tid
+            }
+        }
+    }
+
+    /// Append one kernel slice to the lane named `lane`, creating the
+    /// lane (with the next free tid) on first use.
+    pub fn kernel(&mut self, lane: &str, rec: &KernelRecord) {
+        let tid = self.lane(lane);
+        self.trace.kernel(tid, rec);
+    }
+
+    /// Render the Chrome `trace_event` JSON.
+    pub fn finish(&self) -> String {
+        self.trace.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Access, Gpu, GridDim};
+
+    #[test]
+    fn lanes_are_assigned_first_seen_and_reused() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        for name in ["a", "b", "a"] {
+            gpu.launch(name, GridDim::new(4, 64), |s| {
+                s.traffic().read(Access::Coalesced, 1024, 4);
+            });
+        }
+        let clock = gpu.clock();
+        let mut w = LaneWriter::new("p");
+        for r in clock.records() {
+            w.kernel(&r.name.clone(), r);
+        }
+        let s = w.finish();
+        // Two lanes only; the second "a" kernel reuses tid 0.
+        assert!(s.contains("\"thread_name\""));
+        assert!(!s.contains("\"tid\":2"));
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn with_counters_propagates() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        gpu.launch("k", GridDim::new(4, 64), |s| {
+            s.traffic().read(Access::Coalesced, 1024, 4);
+        });
+        let clock = gpu.clock();
+        let mut w = LaneWriter::new("p").with_counters(DeviceSpec::test_part());
+        w.kernel("k", &clock.records()[0]);
+        assert!(w.finish().contains("\"counters\""));
+    }
+}

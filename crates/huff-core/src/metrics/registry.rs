@@ -1,0 +1,466 @@
+//! Process-wide service metrics: counters, gauges, and histograms with
+//! Prometheus-style text exposition and JSON export.
+//!
+//! A long-running compression service needs a scrapeable surface; this
+//! module is that surface for the modeled system. The library's entry
+//! points ([`crate::archive::compress`], [`crate::archive::decompress_with`],
+//! [`crate::batch::compress_batched`], [`crate::pipeline::run`], the
+//! decoder dispatchers, and the profilers) update the [`global`] registry
+//! as a side effect; `rsh stats` resets it, runs one operation, and dumps
+//! the exposition.
+//!
+//! The metric families are fixed at construction (a registry never grows
+//! names at runtime), labels are single-key and low-cardinality by
+//! design, and everything is a plain `f64` behind one mutex — this is an
+//! observability surface, not a time-series database.
+//!
+//! ```
+//! use huff_core::metrics::registry::Registry;
+//!
+//! let mut r = Registry::new();
+//! r.record_compress(1_000_000, 400_000, 2.5, 16);
+//! assert_eq!(r.get("rsh_bytes_out_total", &[("direction", "compress")]), 400_000.0);
+//! let text = r.render();
+//! assert!(text.contains("# TYPE rsh_bytes_out_total counter"));
+//! assert!(text.contains("rsh_bytes_out_total{direction=\"compress\"} 400000"));
+//! ```
+
+use serde::json::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What kind of metric a family is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing sum.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Bucketed distribution with sum and count.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Bucket upper bounds of the kernel-efficiency histogram (a final +Inf
+/// bucket is implicit).
+pub const EFFICIENCY_BUCKETS: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+/// The fixed family table: name, kind, help. Single source of truth for
+/// both exposition formats.
+const FAMILIES: &[(&str, MetricKind, &str)] = &[
+    ("rsh_runs_total", MetricKind::Counter, "Operations completed, by direction."),
+    ("rsh_bytes_in_total", MetricKind::Counter, "Input bytes consumed, by direction."),
+    ("rsh_bytes_out_total", MetricKind::Counter, "Output bytes produced, by direction."),
+    ("rsh_compression_ratio", MetricKind::Gauge, "Compression ratio of the last compress run."),
+    ("rsh_chunks_total", MetricKind::Counter, "Payload chunks processed."),
+    ("rsh_chunks_damaged_total", MetricKind::Counter, "Payload chunks found damaged."),
+    ("rsh_shards_total", MetricKind::Counter, "Frame shards processed."),
+    ("rsh_shards_ok_total", MetricKind::Counter, "Frame shards decoded clean."),
+    (
+        "rsh_shards_recovered_total",
+        MetricKind::Counter,
+        "Frame shards recovered best-effort (damaged or unreadable).",
+    ),
+    ("rsh_stage_seconds_total", MetricKind::Counter, "Modeled device seconds, by pipeline stage."),
+    ("rsh_decode_backend_total", MetricKind::Counter, "Decode operations, by backend."),
+    (
+        "rsh_kernel_efficiency",
+        MetricKind::Histogram,
+        "Roofline efficiency (achieved / effective bandwidth) of profiled kernels.",
+    ),
+];
+
+#[derive(Debug, Clone, Default)]
+struct Sample {
+    /// Counter/gauge value; for histograms, the sum of observations.
+    value: f64,
+    /// Histogram observation count.
+    count: u64,
+    /// Non-cumulative per-bucket counts (len = EFFICIENCY_BUCKETS + 1,
+    /// the last slot is the +Inf bucket); empty for counters/gauges.
+    buckets: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    kind: MetricKind,
+    help: &'static str,
+    /// Canonical label string (`{k="v"}` or empty) → sample.
+    samples: BTreeMap<String, Sample>,
+}
+
+/// A fixed-family metrics registry.
+///
+/// Use [`global`] for the process-wide instance the library updates;
+/// construct local instances in tests to avoid cross-test interference.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    families: BTreeMap<&'static str, Family>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Format a sample value the way Prometheus text exposition does:
+/// integers without a decimal point.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// A registry with every known family present and empty.
+    pub fn new() -> Self {
+        let families = FAMILIES
+            .iter()
+            .map(|&(name, kind, help)| (name, Family { kind, help, samples: BTreeMap::new() }))
+            .collect();
+        Registry { families }
+    }
+
+    fn family_mut(&mut self, name: &str, expect: MetricKind) -> &mut Family {
+        let f = self.families.get_mut(name).unwrap_or_else(|| panic!("unknown metric {name}"));
+        assert_eq!(f.kind, expect, "metric {name} is a {}", f.kind.name());
+        f
+    }
+
+    /// Add `v` (≥ 0) to a counter.
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        debug_assert!(v >= 0.0, "counter {name} decremented by {v}");
+        let f = self.family_mut(name, MetricKind::Counter);
+        f.samples.entry(label_key(labels)).or_default().value += v;
+    }
+
+    /// Set a gauge.
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let f = self.family_mut(name, MetricKind::Gauge);
+        f.samples.entry(label_key(labels)).or_default().value = v;
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let f = self.family_mut(name, MetricKind::Histogram);
+        let s = f.samples.entry(label_key(labels)).or_default();
+        if s.buckets.is_empty() {
+            s.buckets = vec![0; EFFICIENCY_BUCKETS.len() + 1];
+        }
+        let i = EFFICIENCY_BUCKETS.iter().position(|&b| v <= b).unwrap_or(EFFICIENCY_BUCKETS.len());
+        s.buckets[i] += 1;
+        s.count += 1;
+        s.value += v;
+    }
+
+    /// Current value of a counter/gauge (histograms: sum of
+    /// observations). Missing samples read as 0.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.families
+            .get(name)
+            .and_then(|f| f.samples.get(&label_key(labels)))
+            .map_or(0.0, |s| s.value)
+    }
+
+    /// Observation count of a histogram sample.
+    pub fn count(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.families
+            .get(name)
+            .and_then(|f| f.samples.get(&label_key(labels)))
+            .map_or(0, |s| s.count)
+    }
+
+    /// Drop every sample (family definitions stay).
+    pub fn reset(&mut self) {
+        for f in self.families.values_mut() {
+            f.samples.clear();
+        }
+    }
+
+    /// Prometheus text exposition (families in name order, samples in
+    /// label order; empty families are omitted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, f) in &self.families {
+            if f.samples.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# HELP {name} {}\n", f.help));
+            out.push_str(&format!("# TYPE {name} {}\n", f.kind.name()));
+            for (labels, s) in &f.samples {
+                match f.kind {
+                    MetricKind::Counter | MetricKind::Gauge => {
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_value(s.value)));
+                    }
+                    MetricKind::Histogram => {
+                        let with_le = |le: &str| {
+                            if labels.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+                            }
+                        };
+                        let mut cum = 0u64;
+                        for (i, &b) in EFFICIENCY_BUCKETS.iter().enumerate() {
+                            cum += s.buckets.get(i).copied().unwrap_or(0);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cum}\n",
+                                with_le(&fmt_value(b))
+                            ));
+                        }
+                        out.push_str(&format!("{name}_bucket{} {}\n", with_le("+Inf"), s.count));
+                        out.push_str(&format!("{name}_sum{labels} {}\n", fmt_value(s.value)));
+                        out.push_str(&format!("{name}_count{labels} {}\n", s.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON export: one object per non-empty family, with its samples.
+    pub fn to_json(&self) -> Value {
+        let mut root = Map::new();
+        let mut families = Vec::new();
+        for (name, f) in &self.families {
+            if f.samples.is_empty() {
+                continue;
+            }
+            let mut fam = Map::new();
+            fam.insert("name".into(), (*name).into());
+            fam.insert("kind".into(), f.kind.name().into());
+            fam.insert("help".into(), f.help.into());
+            let samples = f
+                .samples
+                .iter()
+                .map(|(labels, s)| {
+                    let mut o = Map::new();
+                    o.insert("labels".into(), Value::String(labels.clone()));
+                    match f.kind {
+                        MetricKind::Counter | MetricKind::Gauge => {
+                            o.insert("value".into(), Value::Float(s.value));
+                        }
+                        MetricKind::Histogram => {
+                            o.insert("sum".into(), Value::Float(s.value));
+                            o.insert("count".into(), Value::Int(i128::from(s.count)));
+                            o.insert(
+                                "buckets".into(),
+                                Value::Array(
+                                    s.buckets.iter().map(|&c| Value::Int(i128::from(c))).collect(),
+                                ),
+                            );
+                        }
+                    }
+                    Value::Object(o)
+                })
+                .collect();
+            fam.insert("samples".into(), Value::Array(samples));
+            families.push(Value::Object(fam));
+        }
+        root.insert("families".into(), Value::Array(families));
+        Value::Object(root)
+    }
+
+    // ---- Domain helpers: the vocabulary the library records in. ----
+
+    /// One compress run: input/output bytes, achieved ratio, chunk count.
+    pub fn record_compress(&mut self, bytes_in: u64, bytes_out: u64, ratio: f64, chunks: usize) {
+        let d = [("direction", "compress")];
+        self.add("rsh_runs_total", &d, 1.0);
+        self.add("rsh_bytes_in_total", &d, bytes_in as f64);
+        self.add("rsh_bytes_out_total", &d, bytes_out as f64);
+        self.set("rsh_compression_ratio", &[], ratio);
+        self.add("rsh_chunks_total", &[], chunks as f64);
+    }
+
+    /// One decompress run (per shard for frames): archive bytes in,
+    /// symbol bytes out, total and damaged chunk counts.
+    pub fn record_decompress(
+        &mut self,
+        bytes_in: u64,
+        bytes_out: u64,
+        chunks: usize,
+        damaged: usize,
+    ) {
+        let d = [("direction", "decompress")];
+        self.add("rsh_runs_total", &d, 1.0);
+        self.add("rsh_bytes_in_total", &d, bytes_in as f64);
+        self.add("rsh_bytes_out_total", &d, bytes_out as f64);
+        self.add("rsh_chunks_total", &[], chunks as f64);
+        self.add("rsh_chunks_damaged_total", &[], damaged as f64);
+    }
+
+    /// One verify run.
+    pub fn record_verify(&mut self) {
+        self.add("rsh_runs_total", &[("direction", "verify")], 1.0);
+    }
+
+    /// Modeled device seconds attributed to a pipeline stage.
+    pub fn record_stage_seconds(&mut self, stage: &str, seconds: f64) {
+        self.add("rsh_stage_seconds_total", &[("stage", stage)], seconds);
+    }
+
+    /// Shards written into a frame by a batched compress.
+    pub fn record_shards_built(&mut self, shards: usize) {
+        self.add("rsh_shards_total", &[], shards as f64);
+    }
+
+    /// Outcome of decoding one frame's shards.
+    pub fn record_shards_decoded(&mut self, ok: usize, recovered: usize) {
+        self.add("rsh_shards_total", &[], (ok + recovered) as f64);
+        self.add("rsh_shards_ok_total", &[], ok as f64);
+        self.add("rsh_shards_recovered_total", &[], recovered as f64);
+    }
+
+    /// One decode dispatch through the named backend.
+    pub fn record_decode_backend(&mut self, backend: &str) {
+        self.add("rsh_decode_backend_total", &[("backend", backend)], 1.0);
+    }
+
+    /// One profiled kernel's roofline efficiency.
+    pub fn record_kernel_efficiency(&mut self, efficiency: f64) {
+        self.observe("rsh_kernel_efficiency", &[], efficiency);
+    }
+}
+
+/// Lock the process-wide registry.
+///
+/// The library's entry points record into this instance; hold the guard
+/// only for the duration of one call (never while calling back into the
+/// library, which would deadlock).
+pub fn global() -> MutexGuard<'static, Registry> {
+    static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+    let m = GLOBAL.get_or_init(|| Mutex::new(Registry::new()));
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let mut r = Registry::new();
+        let labels = [("direction", "compress")];
+        let mut last = r.get("rsh_bytes_in_total", &labels);
+        for _ in 0..5 {
+            r.add("rsh_bytes_in_total", &labels, 100.0);
+            let now = r.get("rsh_bytes_in_total", &labels);
+            assert!(now > last);
+            last = now;
+        }
+        assert_eq!(last, 500.0);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let mut r = Registry::new();
+        r.set("rsh_compression_ratio", &[], 2.0);
+        r.set("rsh_compression_ratio", &[], 3.5);
+        assert_eq!(r.get("rsh_compression_ratio", &[]), 3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let mut r = Registry::new();
+        for v in [0.05, 0.3, 0.6, 0.95, 0.97] {
+            r.record_kernel_efficiency(v);
+        }
+        assert_eq!(r.count("rsh_kernel_efficiency", &[]), 5);
+        let text = r.render();
+        assert!(text.contains("rsh_kernel_efficiency_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("rsh_kernel_efficiency_bucket{le=\"0.5\"} 2"));
+        assert!(text.contains("rsh_kernel_efficiency_bucket{le=\"1\"} 5"));
+        assert!(text.contains("rsh_kernel_efficiency_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("rsh_kernel_efficiency_count 5"));
+    }
+
+    #[test]
+    fn exposition_has_help_and_type_lines() {
+        let mut r = Registry::new();
+        r.record_compress(1000, 400, 2.5, 4);
+        r.record_decode_backend("lut");
+        let text = r.render();
+        assert!(text.contains("# HELP rsh_runs_total"));
+        assert!(text.contains("# TYPE rsh_runs_total counter"));
+        assert!(text.contains("rsh_runs_total{direction=\"compress\"} 1"));
+        assert!(text.contains("rsh_decode_backend_total{backend=\"lut\"} 1"));
+        assert!(text.contains("# TYPE rsh_compression_ratio gauge"));
+        // Empty families are omitted entirely.
+        assert!(!text.contains("rsh_shards_total"));
+    }
+
+    #[test]
+    fn shard_helpers_reconcile() {
+        let mut r = Registry::new();
+        r.record_shards_decoded(3, 1);
+        assert_eq!(r.get("rsh_shards_total", &[]), 4.0);
+        assert_eq!(r.get("rsh_shards_ok_total", &[]), 3.0);
+        assert_eq!(r.get("rsh_shards_recovered_total", &[]), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_samples_but_keeps_families() {
+        let mut r = Registry::new();
+        r.record_verify();
+        assert_eq!(r.get("rsh_runs_total", &[("direction", "verify")]), 1.0);
+        r.reset();
+        assert_eq!(r.get("rsh_runs_total", &[("direction", "verify")]), 0.0);
+        r.record_verify();
+        assert_eq!(r.get("rsh_runs_total", &[("direction", "verify")]), 1.0);
+    }
+
+    #[test]
+    fn json_export_mirrors_samples() {
+        let mut r = Registry::new();
+        r.record_compress(1000, 400, 2.5, 4);
+        r.record_kernel_efficiency(0.8);
+        let v = r.to_json();
+        let families = v.as_object().unwrap().get("families").unwrap().as_array().unwrap();
+        assert!(!families.is_empty());
+        let names: Vec<&str> = families
+            .iter()
+            .map(|f| f.as_object().unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"rsh_bytes_out_total"));
+        assert!(names.contains(&"rsh_kernel_efficiency"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        Registry::new().add("rsh_nonexistent", &[], 1.0);
+    }
+
+    #[test]
+    fn global_registry_is_shared_and_resettable() {
+        {
+            let mut g = global();
+            g.reset();
+            g.record_verify();
+        }
+        let v = global().get("rsh_runs_total", &[("direction", "verify")]);
+        assert!(v >= 1.0);
+    }
+}

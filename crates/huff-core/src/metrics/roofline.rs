@@ -1,0 +1,275 @@
+//! Roofline analysis of a pipeline profile: per-kernel and per-stage
+//! efficiency tables with anomaly flags, exportable as a table or
+//! `rsh-roofline-v1` JSON.
+//!
+//! [`RooflineReport::from_profile`] derives [`Counters`] for every kernel
+//! in a [`PipelineProfile`] (via [`gpu_sim::roofline`]) and aggregates
+//! them per stage. A kernel is flagged **anomalous** when it is
+//! throughput-classified ([`Bound::Memory`] or [`Bound::Contention`] —
+//! i.e. it *should* be riding the bandwidth roofline) yet achieves less
+//! than `threshold` of the device's effective bandwidth. Latency-bound
+//! kernels (tiny codebook launches, the bit-serial decoder) are reported
+//! with their classification but never flagged — low bandwidth is their
+//! expected shape, not a regression.
+//!
+//! The paper's central claim is checkable here: on the 64 MB acceptance
+//! input the reduce/shuffle encode kernels classify memory-bound at
+//! ≥ 0.5 of peak bandwidth, while the bit-serial decode baseline
+//! classifies latency-bound (see DESIGN.md § "Roofline & counters").
+
+use crate::metrics::PipelineProfile;
+use gpu_sim::roofline::{Bound, Counters};
+use serde::json::{Map, Value};
+use serde::Serialize;
+
+/// Version tag of the JSON schema emitted by [`RooflineReport::to_json`].
+pub const ROOFLINE_SCHEMA: &str = "rsh-roofline-v1";
+
+/// Default anomaly threshold: a throughput-bound kernel below half the
+/// achievable bandwidth is worth a look.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// One kernel's roofline row.
+#[derive(Debug, Clone)]
+pub struct KernelRoofline {
+    /// Pipeline stage the launch belongs to.
+    pub stage: &'static str,
+    /// Launch sequence number on the device clock.
+    pub seq: usize,
+    /// Kernel name.
+    pub name: String,
+    /// Modeled seconds.
+    pub seconds: f64,
+    /// Derived hardware counters (includes the [`Bound`] classification
+    /// and the efficiency score).
+    pub counters: Counters,
+    /// Throughput-bound but below the efficiency threshold.
+    pub anomaly: bool,
+}
+
+/// Per-stage aggregate over the stage's kernels.
+#[derive(Debug, Clone)]
+pub struct StageRoofline {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Kernel launches in the stage.
+    pub kernels: usize,
+    /// Summed modeled seconds.
+    pub seconds: f64,
+    /// Summed logical DRAM bytes.
+    pub logical_bytes: u64,
+    /// `logical_bytes / seconds` — the stage's achieved throughput.
+    pub achieved_bps: f64,
+    /// Achieved over effective bandwidth, in `(0, 1]` for any stage that
+    /// moves bytes.
+    pub efficiency: f64,
+    /// Dominant classification: the [`Bound`] holding the most modeled
+    /// time across the stage's kernels.
+    pub bound: Bound,
+    /// Number of flagged kernels in the stage.
+    pub anomalies: usize,
+}
+
+/// Roofline report over one profiled run.
+#[derive(Debug, Clone)]
+pub struct RooflineReport {
+    /// `"compress"`, `"decompress"`, or `"roundtrip"`.
+    pub direction: &'static str,
+    /// Device name the run was modeled on.
+    pub device: String,
+    /// Anomaly threshold in effect.
+    pub threshold: f64,
+    /// Device peak DRAM bandwidth, bytes/s.
+    pub peak_bps: f64,
+    /// Device effective (achievable) bandwidth, bytes/s.
+    pub effective_bps: f64,
+    /// Per-kernel rows, in launch order.
+    pub kernels: Vec<KernelRoofline>,
+    /// Per-stage aggregates, in pipeline order (host-side stages with no
+    /// kernels are excluded — they never touched the device).
+    pub stages: Vec<StageRoofline>,
+}
+
+impl RooflineReport {
+    /// Analyze `profile` under an anomaly `threshold` (see
+    /// [`DEFAULT_THRESHOLD`]).
+    pub fn from_profile(profile: &PipelineProfile, threshold: f64) -> Self {
+        let spec = &profile.spec;
+        let kernels: Vec<KernelRoofline> = profile
+            .kernels
+            .iter()
+            .map(|k| {
+                let counters = k.record.counters(spec);
+                let throughput_bound = matches!(counters.bound, Bound::Memory | Bound::Contention);
+                KernelRoofline {
+                    stage: k.stage,
+                    seq: k.record.seq,
+                    name: k.record.name.clone(),
+                    seconds: k.record.cost.total,
+                    anomaly: throughput_bound && counters.efficiency < threshold,
+                    counters,
+                }
+            })
+            .collect();
+
+        let stages = profile
+            .stages
+            .iter()
+            .filter(|s| s.kernels > 0)
+            .map(|s| {
+                let rows: Vec<&KernelRoofline> =
+                    kernels.iter().filter(|k| k.stage == s.stage).collect();
+                let seconds: f64 = rows.iter().map(|k| k.seconds).sum();
+                let logical_bytes: u64 = rows.iter().map(|k| k.counters.logical_bytes).sum();
+                let achieved_bps = if seconds > 0.0 { logical_bytes as f64 / seconds } else { 0.0 };
+                // Dominant bound: the class holding the most modeled time.
+                let mut by_bound: Vec<(Bound, f64)> = Vec::new();
+                for k in &rows {
+                    match by_bound.iter_mut().find(|(b, _)| *b == k.counters.bound) {
+                        Some((_, t)) => *t += k.seconds,
+                        None => by_bound.push((k.counters.bound, k.seconds)),
+                    }
+                }
+                let bound = by_bound
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map_or(Bound::Latency, |(b, _)| *b);
+                StageRoofline {
+                    stage: s.stage,
+                    kernels: rows.len(),
+                    seconds,
+                    logical_bytes,
+                    achieved_bps,
+                    efficiency: achieved_bps / spec.effective_bandwidth(),
+                    bound,
+                    anomalies: rows.iter().filter(|k| k.anomaly).count(),
+                }
+            })
+            .collect();
+
+        RooflineReport {
+            direction: profile.direction,
+            device: profile.device.clone(),
+            threshold,
+            peak_bps: spec.peak_bandwidth,
+            effective_bps: spec.effective_bandwidth(),
+            kernels,
+            stages,
+        }
+    }
+
+    /// Total flagged kernels.
+    pub fn anomalies(&self) -> usize {
+        self.kernels.iter().filter(|k| k.anomaly).count()
+    }
+
+    /// The `rsh-roofline-v1` JSON value (see FORMAT.md for the schema).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), ROOFLINE_SCHEMA.into());
+        m.insert("direction".into(), self.direction.into());
+        m.insert("device".into(), Value::String(self.device.clone()));
+        m.insert("threshold".into(), Value::Float(self.threshold));
+        m.insert("peak_gbps".into(), Value::Float(self.peak_bps / 1e9));
+        m.insert("effective_gbps".into(), Value::Float(self.effective_bps / 1e9));
+        m.insert("anomalies".into(), Value::Int(self.anomalies() as i128));
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let mut o = Map::new();
+                o.insert("stage".into(), k.stage.into());
+                o.insert("seq".into(), Value::Int(k.seq as i128));
+                o.insert("name".into(), Value::String(k.name.clone()));
+                o.insert("seconds".into(), Value::Float(k.seconds));
+                o.insert("counters".into(), k.counters.to_json());
+                o.insert("anomaly".into(), Value::Bool(k.anomaly));
+                Value::Object(o)
+            })
+            .collect();
+        m.insert("kernels".into(), Value::Array(kernels));
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut o = Map::new();
+                o.insert("stage".into(), s.stage.into());
+                o.insert("kernels".into(), Value::Int(s.kernels as i128));
+                o.insert("seconds".into(), Value::Float(s.seconds));
+                o.insert("logical_bytes".into(), Value::Int(s.logical_bytes as i128));
+                o.insert("achieved_gbps".into(), Value::Float(s.achieved_bps / 1e9));
+                o.insert("efficiency".into(), Value::Float(s.efficiency));
+                o.insert("bound".into(), s.bound.name().into());
+                o.insert("anomalies".into(), Value::Int(s.anomalies as i128));
+                Value::Object(o)
+            })
+            .collect();
+        m.insert("stages".into(), Value::Array(stages));
+        Value::Object(m)
+    }
+
+    /// The `rsh-roofline-v1` JSON, rendered compact.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Human-readable roofline table: one row per kernel, then the
+    /// per-stage aggregates. Anomalous kernels are marked `!`.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "roofline — {} on {} (modeled), threshold {:.2}\n",
+            self.direction, self.device, self.threshold
+        ));
+        out.push_str(&format!(
+            "peak {:.0} GB/s, effective {:.0} GB/s\n\n",
+            self.peak_bps / 1e9,
+            self.effective_bps / 1e9
+        ));
+        out.push_str(&format!(
+            "{:<10} {:<22} {:>10} {:>8} {:>6} {:>6} {:>5} {:<11} {}\n",
+            "stage", "kernel", "GB/s", "eff", "peak", "occ", "div", "bound", "flag"
+        ));
+        for k in &self.kernels {
+            let c = &k.counters;
+            out.push_str(&format!(
+                "{:<10} {:<22} {:>10.1} {:>8.3} {:>6.2} {:>6.2} {:>5.2} {:<11} {}\n",
+                k.stage,
+                k.name,
+                c.achieved_bps / 1e9,
+                c.efficiency,
+                c.peak_fraction,
+                c.occupancy,
+                c.divergence_fraction,
+                c.bound.name(),
+                if k.anomaly { "!" } else { "" }
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>12} {:>10} {:>8} {:<11} {:>9}\n",
+            "stage", "kernels", "time", "GB/s", "eff", "bound", "anomalies"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>7} {:>12} {:>10.1} {:>8.3} {:<11} {:>9}\n",
+                s.stage,
+                s.kernels,
+                crate::metrics::fmt_seconds(s.seconds),
+                s.achieved_bps / 1e9,
+                s.efficiency,
+                s.bound.name(),
+                s.anomalies
+            ));
+        }
+        out
+    }
+}
+
+impl PipelineProfile {
+    /// Roofline analysis of this profile under `threshold` (see
+    /// [`RooflineReport`]).
+    pub fn roofline(&self, threshold: f64) -> RooflineReport {
+        RooflineReport::from_profile(self, threshold)
+    }
+}

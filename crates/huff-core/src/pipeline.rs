@@ -234,6 +234,12 @@ pub fn run(
         compression_ratio,
         spans: StageSpans { base, after_histogram, after_codebook, after_encode },
     };
+    {
+        let mut reg = crate::metrics::registry::global();
+        reg.record_stage_seconds("histogram", hist_time);
+        reg.record_stage_seconds("codebook", codebook_time);
+        reg.record_stage_seconds("encode", encode_time);
+    }
     Ok((stream, book, report))
 }
 

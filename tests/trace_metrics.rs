@@ -11,7 +11,6 @@
 use huff::gpu_sim::{DeviceSpec, Gpu};
 use huff::huff_core::integrity::DecompressOptions;
 use huff::huff_core::metrics::{self, PipelineProfile};
-use huff::huff_core::pipeline::PipelineKind;
 
 /// Minimal JSON DOM + recursive-descent parser for test assertions.
 mod json {
@@ -231,8 +230,7 @@ fn roundtrip_profile() -> PipelineProfile {
     let gpu = Gpu::new(DeviceSpec::test_part());
     let data = sample(40_000);
     let (_, rec, profile) =
-        metrics::profile_roundtrip(&gpu, &data, 2, 256, 10, None, PipelineKind::ReduceShuffle)
-            .unwrap();
+        metrics::profile_roundtrip(&gpu, &data, &metrics::ProfileOptions::new(256)).unwrap();
     assert_eq!(rec.symbols, data);
     profile
 }
@@ -406,8 +404,7 @@ fn best_effort_trace_reports_damage_in_json() {
     let gpu = Gpu::new(DeviceSpec::test_part());
     let data = sample(30_000);
     let (packed, _) =
-        metrics::profile_compress(&gpu, &data, 2, 256, 10, None, PipelineKind::ReduceShuffle)
-            .unwrap();
+        metrics::profile_compress(&gpu, &data, &metrics::ProfileOptions::new(256)).unwrap();
     let payload = archive::layout(&packed)
         .unwrap()
         .into_iter()

@@ -87,6 +87,236 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` both convert, everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact `Int` values only).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    ///
+    /// A small recursive-descent parser covering the subset this workspace
+    /// writes: the round-trip law is `Value::parse(&v.to_string()) == Ok(v)`
+    /// for every finite value. Numbers without `.`/`e` parse as [`Value::Int`]
+    /// (kept exact as `i128`), all others as [`Value::Float`]. Errors carry a
+    /// byte offset and a short description.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogates would need pairing; the writer never
+                            // emits them, so map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (multi-byte sequences are
+                    // valid inside JSON strings).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if float {
+            text.parse::<f64>().map(Value::Float).map_err(|_| format!("bad number at byte {start}"))
+        } else {
+            text.parse::<i128>().map(Value::Int).map_err(|_| format!("bad number at byte {start}"))
+        }
+    }
 }
 
 impl From<&str> for Value {
@@ -148,5 +378,57 @@ impl fmt::Display for Value {
                 write!(f, "}}")
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Value::parse("null"), Ok(Value::Null));
+        assert_eq!(Value::parse(" true "), Ok(Value::Bool(true)));
+        assert_eq!(Value::parse("false"), Ok(Value::Bool(false)));
+        assert_eq!(Value::parse("-42"), Ok(Value::Int(-42)));
+        assert_eq!(Value::parse("3.5"), Ok(Value::Float(3.5)));
+        assert_eq!(Value::parse("1e3"), Ok(Value::Float(1000.0)));
+        assert_eq!(
+            Value::parse("\"hi\\n\\\"there\\\"\""),
+            Ok(Value::String("hi\n\"there\"".into()))
+        );
+        assert_eq!(Value::parse("\"\\u00e9\""), Ok(Value::String("é".into())));
+    }
+
+    #[test]
+    fn parse_containers() {
+        let v = Value::parse(r#"{"a": [1, 2.5, "x"], "b": {"nested": null}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let a = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_i128(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_str(), Some("x"));
+        assert_eq!(obj.get("b").unwrap().as_object().unwrap().get("nested"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        let mut map = Map::new();
+        map.insert("schema".into(), Value::String("rsh-bench-v1".into()));
+        map.insert("n".into(), Value::Int(1 << 40));
+        map.insert("gbps".into(), Value::Float(123.456));
+        map.insert("rows".into(), Value::Array(vec![Value::Bool(false), Value::Null]));
+        let v = Value::Object(map);
+        assert_eq!(Value::parse(&v.to_string()), Ok(v));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("12 34").is_err());
+        assert!(Value::parse("\"open").is_err());
+        assert!(Value::parse("nil").is_err());
     }
 }
