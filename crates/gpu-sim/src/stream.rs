@@ -37,6 +37,23 @@
 //! the contention model" discusses this simplification and works a
 //! two-stream example.
 //!
+//! ## Fault events
+//!
+//! A schedule can carry one injected device failure
+//! ([`StreamSchedule::fail_at`]): the device dies at a modeled instant
+//! `t`. Replay proceeds normally until the first kernel whose contended
+//! completion would land past `t`; that kernel and every kernel still
+//! queued behind it (on any stream) are *dropped* — returned on
+//! [`Timeline::dropped`] instead of [`Timeline::records`] — and
+//! [`Timeline::failed_at`] reports the failure time. Detection is
+//! modeled at the first non-completing kernel, so a short kernel on a
+//! sibling stream that would have squeaked in under `t` is abandoned
+//! too; the quarantine layer above simply recomputes a shard more than
+//! strictly necessary, which is the safe direction. Per-stream, the
+//! completed records always form a prefix of that stream's enqueue
+//! order — the invariant shard quarantine relies on to decide which
+//! shards survived.
+//!
 //! ```
 //! use gpu_sim::{DeviceSpec, Gpu, GridDim, Access, StreamSchedule};
 //!
@@ -84,13 +101,26 @@ pub struct StreamSchedule {
     spec: DeviceSpec,
     queues: Vec<VecDeque<Op>>,
     num_events: usize,
+    fail_at: Option<f64>,
 }
 
 impl StreamSchedule {
     /// A schedule with `streams` empty command queues on a device.
     pub fn new(spec: DeviceSpec, streams: usize) -> Self {
         assert!(streams > 0, "a device needs at least one stream");
-        StreamSchedule { spec, queues: vec![VecDeque::new(); streams], num_events: 0 }
+        StreamSchedule {
+            spec,
+            queues: vec![VecDeque::new(); streams],
+            num_events: 0,
+            fail_at: None,
+        }
+    }
+
+    /// Inject a device failure at modeled time `t` (seconds, `t ≥ 0`).
+    /// See the module docs ("Fault events") for the drop semantics.
+    pub fn fail_at(&mut self, t: f64) {
+        assert!(t.is_finite() && t >= 0.0, "failure time must be finite and non-negative");
+        self.fail_at = Some(t);
     }
 
     /// Number of command queues.
@@ -187,6 +217,54 @@ impl StreamSchedule {
             serial_seconds += rec.cost.total;
 
             let start = ready[s];
+            // Device failure: the first kernel that cannot complete by the
+            // failure instant kills the device; it and everything still
+            // queued are dropped (see module docs).
+            if let Some(t) = self.fail_at {
+                let occupancy_probe =
+                    |blocks: u32| (f64::from(blocks) / f64::from(self.spec.sm_count)).min(1.0);
+                let f_probe: f64 = 1.0
+                    + scheduled
+                        .iter()
+                        .filter(|r| r.end > start)
+                        .map(|r| occupancy_probe(r.blocks))
+                        .sum::<f64>();
+                let fixed = rec.cost.launch
+                    + rec.cost.grid_syncs
+                    + rec.cost.sequential_latency
+                    + rec.cost.atomics;
+                let contended =
+                    fixed + (rec.cost.memory * f_probe).max(rec.cost.compute).max(rec.cost.shared);
+                if start + contended > t {
+                    rec.stream = s as u32;
+                    rec.start = t;
+                    rec.end = t;
+                    let mut dropped = vec![rec];
+                    for (qs, q) in self.queues.iter_mut().enumerate() {
+                        while let Some(op) = q.pop_front() {
+                            if let Op::Kernel(r) = op {
+                                let mut r = *r;
+                                serial_seconds += r.cost.total;
+                                r.stream = qs as u32;
+                                r.start = t;
+                                r.end = t;
+                                dropped.push(r);
+                            }
+                        }
+                    }
+                    let makespan = scheduled.iter().map(|r| r.end).fold(0.0, f64::max).max(t);
+                    for (i, r) in scheduled.iter_mut().enumerate() {
+                        r.seq = i;
+                    }
+                    return Timeline {
+                        records: scheduled,
+                        makespan,
+                        serial_seconds,
+                        dropped,
+                        failed_at: Some(t),
+                    };
+                }
+            }
             // Bandwidth shares of kernels still executing at `start`,
             // weighted by the fraction of the device each occupies.
             let occupancy =
@@ -214,7 +292,13 @@ impl StreamSchedule {
         for (i, r) in scheduled.iter_mut().enumerate() {
             r.seq = i;
         }
-        Timeline { records: scheduled, makespan, serial_seconds }
+        Timeline {
+            records: scheduled,
+            makespan,
+            serial_seconds,
+            dropped: Vec::new(),
+            failed_at: None,
+        }
     }
 }
 
@@ -229,7 +313,14 @@ pub struct Timeline {
     pub makespan: f64,
     /// What the same kernels would take back-to-back on one stream (sum of
     /// their uncontended costs) — the baseline for overlap speedup.
+    /// Includes dropped kernels: the baseline machine never fails.
     pub serial_seconds: f64,
+    /// Kernels abandoned when the device failed ([`StreamSchedule::fail_at`]),
+    /// in per-stream enqueue order with `start = end = failed_at`. Empty on
+    /// a healthy replay.
+    pub dropped: Vec<KernelRecord>,
+    /// The injected failure time, when the device died mid-replay.
+    pub failed_at: Option<f64>,
 }
 
 impl Timeline {
@@ -259,6 +350,12 @@ impl Timeline {
     /// durations).
     pub fn stream_busy(&self, stream: u32) -> f64 {
         self.stream_records(stream).map(|r| r.cost.total).sum()
+    }
+
+    /// The dropped (never-executed) records of one stream, in enqueue
+    /// order. Non-empty only after an injected device failure.
+    pub fn dropped_on(&self, stream: u32) -> impl Iterator<Item = &KernelRecord> {
+        self.dropped.iter().filter(move |r| r.stream == stream)
     }
 }
 
@@ -442,5 +539,89 @@ mod tests {
         let tl = StreamSchedule::new(spec(), 2).run();
         assert!((tl.speedup() - 1.0).abs() < 1e-12);
         assert_eq!(tl.records.len(), 0);
+        assert!(tl.dropped.is_empty());
+        assert_eq!(tl.failed_at, None);
+    }
+
+    #[test]
+    fn healthy_replay_reports_no_failure() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(1, mem_kernel("b", 1.0, 4));
+        let tl = s.run();
+        assert_eq!(tl.failed_at, None);
+        assert!(tl.dropped.is_empty());
+    }
+
+    #[test]
+    fn device_failure_drops_incomplete_and_queued_kernels() {
+        // Stream 0: a [0,1), b [1,2). Device dies at 1.5: a completes,
+        // b cannot (ends at 2 > 1.5) and is dropped along with c.
+        let mut s = StreamSchedule::new(spec(), 1);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(0, mem_kernel("b", 1.0, 4));
+        s.enqueue(0, mem_kernel("c", 1.0, 4));
+        s.fail_at(1.5);
+        let tl = s.run();
+        assert_eq!(tl.failed_at, Some(1.5));
+        let ran: Vec<&str> = tl.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(ran, vec!["a"]);
+        let lost: Vec<&str> = tl.dropped.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(lost, vec!["b", "c"]);
+        // Dropped records pin the failure instant and never accrue time.
+        for r in &tl.dropped {
+            assert_eq!(r.start, 1.5);
+            assert_eq!(r.end, 1.5);
+        }
+        // The serial baseline still counts all three kernels.
+        assert!((tl.serial_seconds - 3.0).abs() < 1e-12);
+        assert!((tl.makespan - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_at_zero_drops_everything() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(1, mem_kernel("b", 1.0, 4));
+        s.fail_at(0.0);
+        let tl = s.run();
+        assert!(tl.records.is_empty());
+        assert_eq!(tl.dropped.len(), 2);
+        assert_eq!(tl.makespan, 0.0);
+    }
+
+    #[test]
+    fn per_stream_completed_records_are_an_enqueue_prefix_under_failure() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        for i in 0..3 {
+            s.enqueue(0, mem_kernel(&format!("a{i}"), 1.0, 2));
+            s.enqueue(1, mem_kernel(&format!("b{i}"), 1.0, 2));
+        }
+        s.fail_at(2.2);
+        let tl = s.run();
+        assert!(tl.failed_at.is_some());
+        for stream in 0..2u32 {
+            let done: Vec<String> = tl.stream_records(stream).map(|r| r.name.clone()).collect();
+            let prefix = if stream == 0 { "a" } else { "b" };
+            for (i, name) in done.iter().enumerate() {
+                assert_eq!(name, &format!("{prefix}{i}"));
+            }
+            // Everything this stream dropped comes after its completed prefix.
+            for (j, r) in tl.dropped_on(stream).enumerate() {
+                assert_eq!(r.name, format!("{prefix}{}", done.len() + j));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_past_makespan_is_a_noop() {
+        let mut s = StreamSchedule::new(spec(), 1);
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.fail_at(100.0);
+        let tl = s.run();
+        assert_eq!(tl.records.len(), 1);
+        assert!(tl.dropped.is_empty());
+        // The failure never fired, so the timeline reads healthy.
+        assert_eq!(tl.failed_at, None);
     }
 }

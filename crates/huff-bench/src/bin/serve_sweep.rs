@@ -1,0 +1,247 @@
+//! Serve-engine load sweep — request rate × payload size against the
+//! fault-tolerant serving engine ([`huff_core::serve`]).
+//!
+//! For each payload size the sweep first measures the modeled service
+//! time of one request, then offers load at gaps derived from it (from
+//! 4× the service time down to 0.25×). Past the saturation knee —
+//! offered rate exceeding `workers / service` — a correct engine sheds
+//! at admission instead of queueing unboundedly; the sweep locates the
+//! knee (first rate with sheds) and **fails** (exit 1) if the highest
+//! offered rate produced no shedding, i.e. if the queue grew without
+//! bound.
+//!
+//! `--chaos` additionally runs the seeded fault storm
+//! ([`huff_core::serve::ChaosConfig::storm`]) over a mixed
+//! compress/decompress workload and verifies the acceptance properties:
+//! every request ends in exactly one outcome, counters reconcile with
+//! the completion trace, and every served response is bit-exact outside
+//! reported damage. `--json` emits `rsh-bench-v1` rows (table
+//! `"serve"`) on stderr; `--out PATH` writes them to a file.
+
+use huff_bench::{emit_out, emit_row, row_json, HarnessArgs};
+use huff_core::batch::compress_batched;
+use huff_core::serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// One sweep cell (`rsh-bench-v1` table `"serve"`).
+#[derive(Serialize)]
+struct ServeRow {
+    /// Payload size in symbols.
+    payload_symbols: usize,
+    /// Modeled inter-arrival gap, microseconds.
+    gap_us: f64,
+    /// Offered request rate, requests/second.
+    offered_rps: f64,
+    /// Requests served bit-exactly on the primary path.
+    success: usize,
+    /// Requests served on a degraded path.
+    degraded: usize,
+    /// Requests shed at admission.
+    shed: usize,
+    /// Requests that missed their deadline.
+    deadline: usize,
+    /// Requests that failed terminally.
+    failed: usize,
+    /// Mean modeled queue wait, milliseconds.
+    mean_queue_wait_ms: f64,
+    /// Deepest admission queue observed.
+    max_depth: usize,
+    /// True for the first row (lowest gap first) at or past the knee.
+    saturated: bool,
+}
+
+fn payload(n: usize, seed: u64) -> Vec<u16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0u16..256)).collect()
+}
+
+fn engine_config(shard_symbols: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::new(256);
+    cfg.batch.shard_symbols = shard_symbols;
+    cfg
+}
+
+const REQUESTS_PER_CELL: usize = 40;
+
+fn sweep_cell(symbols: &[u16], gap_s: f64) -> (usize, usize, usize, usize, usize, f64, usize) {
+    let mut eng = Engine::new(engine_config(symbols.len().div_ceil(4).max(1024)));
+    for i in 0..REQUESTS_PER_CELL {
+        let t = i as f64 * gap_s;
+        eng.submit(Request::compress(format!("s{i}"), t, symbols.to_vec()))
+            .expect("in-order submission cannot fail");
+    }
+    let r = eng.report();
+    let admitted = r.completions.iter().filter(|c| c.outcome.label() != "shed").count();
+    let mean_wait = if admitted == 0 { 0.0 } else { r.queue_wait_total() / admitted as f64 };
+    (
+        r.count("success"),
+        r.count("degraded"),
+        r.count("shed"),
+        r.count("deadline"),
+        r.count("failed"),
+        mean_wait,
+        r.max_depth,
+    )
+}
+
+/// Measure the modeled service time of one request at this payload size.
+fn service_seconds(symbols: &[u16]) -> f64 {
+    let mut eng = Engine::new(engine_config(symbols.len().div_ceil(4).max(1024)));
+    let c = eng.submit(Request::compress("probe", 0.0, symbols.to_vec())).unwrap();
+    c.service
+}
+
+fn chaos_verification(seed: u64) -> Result<(), String> {
+    let n = 20_000;
+    let syms = payload(n, seed);
+    let cfg = engine_config(4096);
+    let (frame, _) = compress_batched(&syms, &cfg.batch).map_err(|e| e.to_string())?;
+
+    let mut eng = Engine::with_chaos(cfg, ChaosConfig::storm(seed));
+    for i in 0..24 {
+        let t = i as f64 * 50e-6; // 2× overload vs typical modeled service
+        let req = if i % 2 == 0 {
+            Request::compress(format!("c{i}"), t, syms.clone())
+        } else {
+            Request::decompress(format!("d{i}"), t, frame.clone()).with_deadline(0.25)
+        };
+        eng.submit(req).map_err(|e| e.to_string())?;
+    }
+    let report = eng.report();
+
+    let outcome_total: usize =
+        ["success", "degraded", "shed", "deadline", "failed"].iter().map(|l| report.count(l)).sum();
+    if outcome_total != report.completions.len() {
+        return Err(format!(
+            "outcome partition broken: {outcome_total} labels over {} requests",
+            report.completions.len()
+        ));
+    }
+    if !report.reconciles_with(eng.metrics()) {
+        return Err("registry counters do not reconcile with the completion trace".into());
+    }
+    for c in &report.completions {
+        let Some(resp) = &c.response else { continue };
+        match resp {
+            Response::Frame(bytes) => {
+                if *bytes != frame {
+                    return Err(format!("{}: compressed frame not bit-identical", c.trace_id));
+                }
+            }
+            Response::Symbols(out) => {
+                if out.len() != syms.len() {
+                    return Err(format!("{}: wrong decoded length", c.trace_id));
+                }
+                let damage = c.recovery.as_ref();
+                for (i, (&got, &want)) in out.iter().zip(&syms).enumerate() {
+                    let damaged = damage
+                        .is_some_and(|r| r.damaged_ranges.iter().any(|&(s, e)| i >= s && i < e));
+                    if !damaged && got != want {
+                        return Err(format!(
+                            "{}: wrong byte at {i} outside reported damage",
+                            c.trace_id
+                        ));
+                    }
+                }
+            }
+        }
+        if let Outcome::Degraded { symbols_lost, .. } = c.outcome {
+            let reported = c.recovery.as_ref().map_or(0, |r| r.symbols_lost);
+            if symbols_lost != reported {
+                return Err(format!("{}: degraded loss count disagrees", c.trace_id));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    let args = HarnessArgs::parse();
+    println!("SERVE SWEEP: request rate x payload size, scale {}\n", args.scale);
+    println!(
+        "{:<16} {:>9} {:>12} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14} {:>10}",
+        "payload syms",
+        "gap us",
+        "offered rps",
+        "success",
+        "degraded",
+        "shed",
+        "deadline",
+        "failed",
+        "mean wait ms",
+        "saturated"
+    );
+
+    let base_sizes = [1usize << 16, 1 << 18, 1 << 20];
+    let mut lines = Vec::new();
+    let mut any_saturated = true;
+    for (pi, &base) in base_sizes.iter().enumerate() {
+        let n = ((base as f64 * args.scale) as usize).max(4096);
+        let symbols = payload(n, 0xC0FFEE + pi as u64);
+        let service = service_seconds(&symbols);
+        let mut knee_seen = false;
+        // 4× the service time down to 0.25×: past ~0.5× per worker the
+        // engine must shed rather than queue unboundedly.
+        for mult in [4.0, 2.0, 1.0, 0.5, 0.25] {
+            let gap_s = service * mult;
+            let (success, degraded, shed, deadline, failed, mean_wait, max_depth) =
+                sweep_cell(&symbols, gap_s);
+            knee_seen |= shed > 0;
+            let row = ServeRow {
+                payload_symbols: n,
+                gap_us: gap_s * 1e6,
+                offered_rps: 1.0 / gap_s,
+                success,
+                degraded,
+                shed,
+                deadline,
+                failed,
+                mean_queue_wait_ms: mean_wait * 1e3,
+                max_depth,
+                saturated: shed > 0,
+            };
+            println!(
+                "{:<16} {:>9.1} {:>12.1} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14.4} {:>10}",
+                row.payload_symbols,
+                row.gap_us,
+                row.offered_rps,
+                row.success,
+                row.degraded,
+                row.shed,
+                row.deadline,
+                row.failed,
+                row.mean_queue_wait_ms,
+                row.saturated,
+            );
+            emit_row(&args, "serve", &row);
+            lines.push(row_json("serve", &row));
+        }
+        if knee_seen {
+            println!("  knee found: shedding engaged past saturation\n");
+        } else {
+            println!("  ERROR: no shedding at any offered rate\n");
+            any_saturated = false;
+        }
+    }
+    emit_out(&args, &lines);
+
+    if !any_saturated {
+        eprintln!("serve_sweep: load generator never drove the engine into shedding");
+        std::process::exit(1);
+    }
+
+    if chaos {
+        for seed in [1u64, 7, 42] {
+            match chaos_verification(seed) {
+                Ok(()) => println!("chaos seed {seed}: all acceptance properties hold"),
+                Err(e) => {
+                    eprintln!("chaos seed {seed}: VIOLATION: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -62,7 +62,7 @@ impl HarnessArgs {
                     out.out = Some(args.next().expect("--out requires a path"));
                 }
                 // Flags consumed by individual regenerators.
-                "--prefix-sum" => {}
+                "--prefix-sum" | "--chaos" => {}
                 "--help" | "-h" => {
                     eprintln!("usage: [--scale FRACTION] [--json] [--trace PATH] [--out PATH]");
                     std::process::exit(0);

@@ -48,6 +48,7 @@ use huff_core::integrity::{DecompressOptions, RecoveryReport};
 use huff_core::metrics;
 use std::process::ExitCode;
 
+mod serve;
 mod symbols;
 
 /// A CLI failure, carrying which exit code it maps to.
@@ -94,6 +95,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => serve::cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -122,6 +124,8 @@ usage:
                         [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh stats      <input> [output] [--json] [compress/decompress flags]
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
+  rsh serve      [--addr HOST:PORT] [--workers N] [--queue N] [--shard-symbols N]
+                 [--deadline-ms F] [--gap-us F] [--max-requests N] [--chaos SEED]
 
 profile runs the modeled device pipeline (roundtrip for raw files, decompression
 for RSH archives) and prints per-stage metrics; --trace writes the rsh-trace-v1
@@ -148,6 +152,18 @@ each shard recovers independently under --best-effort).
 single-thread baseline, chunked decodes one chunk per block bit-serially, lut
 adds multi-bit LUT probes with subchunk gap-array synchronization. All three
 are bit-exact; with --trace the modeled kernel times differ (see DESIGN.md).
+
+serve runs the fault-tolerant serving engine behind a minimal HTTP/1.1 listener
+(one request per connection; see FORMAT.md §8): POST /compress and
+POST /decompress carry raw payload bytes, GET /metrics exposes the Prometheus
+registry (same surface as stats), GET /healthz answers liveness. Requests past
+the bounded --queue are shed with 429; deadline misses (x-rsh-deadline-ms
+header or --deadline-ms) answer 504; unrecoverable payloads answer 500 — all
+with a structured rsh-error-v1 JSON body and an x-rsh-trace-id header.
+--chaos SEED injects the deterministic fault storm (transients, decoder
+glitches, payload corruption, device loss) from huff_core::serve. Virtual
+arrival time advances --gap-us per request; --max-requests stops after N
+connections (for scripted runs).
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";

@@ -1,0 +1,383 @@
+//! `rsh serve` — a long-running compression service over the serving
+//! engine ([`huff_core::serve`]).
+//!
+//! A deliberately small HTTP/1.1 shim over `std::net::TcpListener` (no
+//! external dependencies; see FORMAT.md §8 for the wire protocol):
+//! connections are accepted sequentially and each carries exactly one
+//! request (`Connection: close`). The *engine* decides admission,
+//! deadlines, retries and degradation in modeled virtual time — the
+//! shim only translates HTTP to engine requests and outcomes to status
+//! codes:
+//!
+//! | outcome        | status | notes |
+//! |----------------|--------|-------|
+//! | success        | 200    | payload bytes |
+//! | degraded       | 200    | `x-rsh-degraded` + `x-rsh-symbols-lost` headers |
+//! | shed           | 429    | `rsh-error-v1` JSON body |
+//! | deadline miss  | 504    | `rsh-error-v1` JSON body |
+//! | failed         | 500    | `rsh-error-v1` JSON body |
+//!
+//! Every response carries `x-rsh-trace-id`, echoing the caller's
+//! `x-rsh-trace-id` header or a generated `rsh-<n>` ID. `GET /metrics`
+//! exposes the process-global registry in Prometheus text exposition —
+//! the same surface as `rsh stats` — including the serve counters
+//! (requests, retries, sheds, deadline misses, degradations, queue
+//! wait). Virtual arrival times advance `--gap-us` per request, so a
+//! gap smaller than the modeled service time drives the queue into
+//! admission control deterministically.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use huff_core::frame;
+use huff_core::integrity::{DecompressOptions, RecoveryMode, Verify};
+use huff_core::metrics;
+use huff_core::serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, Response};
+use huff_core::{archive, DecoderKind};
+
+use crate::{symbols, CliError, CmdResult, USAGE};
+
+/// Parsed `rsh serve` flags.
+struct ServeFlags {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    shard_symbols: usize,
+    deadline_ms: Option<f64>,
+    gap_us: f64,
+    max_requests: Option<u64>,
+    chaos: Option<u64>,
+}
+
+impl ServeFlags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut f = ServeFlags {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue: 8,
+            shard_symbols: 1 << 16,
+            deadline_ms: None,
+            gap_us: 1000.0,
+            max_requests: None,
+            chaos: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = |flag: &str| {
+                it.next().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            };
+            match a.as_str() {
+                "--addr" => f.addr = val("--addr")?.clone(),
+                "--workers" => {
+                    f.workers = parse_num(val("--workers")?, "--workers")?;
+                }
+                "--queue" => f.queue = parse_num(val("--queue")?, "--queue")?,
+                "--shard-symbols" => {
+                    f.shard_symbols = parse_num(val("--shard-symbols")?, "--shard-symbols")?;
+                }
+                "--deadline-ms" => {
+                    let v: f64 = parse_num(val("--deadline-ms")?, "--deadline-ms")?;
+                    f.deadline_ms = Some(v);
+                }
+                "--gap-us" => f.gap_us = parse_num(val("--gap-us")?, "--gap-us")?,
+                "--max-requests" => {
+                    f.max_requests = Some(parse_num(val("--max-requests")?, "--max-requests")?);
+                }
+                "--chaos" => f.chaos = Some(parse_num(val("--chaos")?, "--chaos")?),
+                other => {
+                    return Err(CliError::Usage(format!("unknown serve flag {other:?}\n{USAGE}")))
+                }
+            }
+        }
+        if f.workers == 0 || f.queue == 0 || f.shard_symbols == 0 {
+            return Err(CliError::Usage(
+                "serve needs nonzero --workers, --queue and --shard-symbols".into(),
+            ));
+        }
+        Ok(f)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("{flag}: cannot parse {s:?}")))
+}
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl HttpRequest {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one HTTP/1.1 request (request line, headers, `Content-Length`
+/// body) from the stream.
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("request headers exceed 64 KiB".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-headers".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest { method, path, headers, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write one HTTP/1.1 response and close the write side.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // A peer that hung up early is its own problem; the next connection
+    // proceeds regardless.
+    let _ = stream.write_all(head.as_bytes()).and_then(|_| stream.write_all(body));
+    let _ = stream.flush();
+}
+
+/// Structured `rsh-error-v1` body for shed / deadline / failure
+/// responses (FORMAT.md §8).
+fn error_body(error: &str, reason: &str, trace_id: &str) -> Vec<u8> {
+    format!(
+        "{{\"schema\":\"rsh-error-v1\",\"error\":{:?},\"reason\":{:?},\"trace_id\":{:?}}}",
+        error, reason, trace_id
+    )
+    .into_bytes()
+}
+
+/// Best-effort read of the payload's native symbol width; defaults to
+/// one byte when the header cannot be read (the engine will surface the
+/// real error).
+fn symbol_width(bytes: &[u8]) -> symbols::SymbolWidth {
+    let b = if frame::is_frame(bytes) {
+        frame::parse(bytes, Verify::None).map(|i| i.symbol_bytes).unwrap_or(1)
+    } else {
+        let opts = DecompressOptions {
+            verify: Verify::None,
+            mode: RecoveryMode::BestEffort,
+            sentinel: u16::MAX,
+            decoder: DecoderKind::Serial,
+        };
+        archive::deserialize_with(bytes, &opts).map(|p| p.symbol_bytes).unwrap_or(1)
+    };
+    symbols::SymbolWidth::from_bytes(b).unwrap_or(symbols::SymbolWidth::U8)
+}
+
+/// Entry point for `rsh serve`.
+pub(crate) fn cmd_serve(args: &[String]) -> CmdResult {
+    let f = ServeFlags::parse(args)?;
+
+    let mut cfg = EngineConfig::new(256);
+    cfg.workers = f.workers;
+    cfg.queue_capacity = f.queue;
+    cfg.batch.shard_symbols = f.shard_symbols;
+    cfg.batch.symbol_bytes = 1;
+    let mut engine = match f.chaos {
+        Some(seed) => Engine::with_chaos(cfg, ChaosConfig::storm(seed)),
+        None => Engine::new(cfg),
+    };
+
+    let listener = TcpListener::bind(&f.addr)
+        .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", f.addr)))?;
+    let local = listener.local_addr().map_err(|e| CliError::Io(e.to_string()))?;
+    // Tests bind port 0 and need the real port before connecting.
+    println!("rsh serve listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    let mut handled: u64 = 0;
+    let gap_s = f.gap_us * 1e-6;
+    for conn in listener.incoming() {
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        handle_connection(&mut engine, &mut stream, handled, gap_s, f.deadline_ms);
+        handled += 1;
+        if f.max_requests.is_some_and(|m| handled >= m) {
+            break;
+        }
+    }
+    Ok(0)
+}
+
+fn handle_connection(
+    engine: &mut Engine,
+    stream: &mut TcpStream,
+    seq: u64,
+    gap_s: f64,
+    default_deadline_ms: Option<f64>,
+) {
+    let req = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = error_body(&e, "bad_request", "-");
+            write_response(stream, 400, "Bad Request", "application/json", &[], &body);
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            write_response(stream, 200, "OK", "application/json", &[], b"{\"status\":\"ok\"}");
+        }
+        ("GET", "/metrics") => {
+            let text = metrics::registry::global().render();
+            write_response(stream, 200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes());
+        }
+        ("POST", "/compress") | ("POST", "/decompress") => {
+            handle_job(engine, stream, &req, seq, gap_s, default_deadline_ms);
+        }
+        (_, path) => {
+            let body = error_body(&format!("no route {path:?}"), "not_found", "-");
+            write_response(stream, 404, "Not Found", "application/json", &[], &body);
+        }
+    }
+}
+
+fn handle_job(
+    engine: &mut Engine,
+    stream: &mut TcpStream,
+    http: &HttpRequest,
+    seq: u64,
+    gap_s: f64,
+    default_deadline_ms: Option<f64>,
+) {
+    let trace_id = http
+        .header("x-rsh-trace-id")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("rsh-{seq:08x}"));
+    let arrival = seq as f64 * gap_s;
+    let deadline_ms = http
+        .header("x-rsh-deadline-ms")
+        .and_then(|v| v.parse::<f64>().ok())
+        .or(default_deadline_ms);
+
+    if http.body.is_empty() {
+        let body = error_body("empty request body", "bad_request", &trace_id);
+        write_response(stream, 400, "Bad Request", "application/json", &[], &body);
+        return;
+    }
+
+    let is_compress = http.path == "/compress";
+    let width = if is_compress { symbols::SymbolWidth::U8 } else { symbol_width(&http.body) };
+    let mut req = if is_compress {
+        let syms: Vec<u16> = http.body.iter().map(|&b| u16::from(b)).collect();
+        Request::compress(trace_id.clone(), arrival, syms)
+    } else {
+        Request::decompress(trace_id.clone(), arrival, http.body.clone())
+    };
+    if let Some(ms) = deadline_ms {
+        req = req.with_deadline(ms * 1e-3);
+    }
+
+    let completion = match engine.submit(req) {
+        Ok(c) => c,
+        Err(e) => {
+            let body = error_body(&e.to_string(), "engine_error", &trace_id);
+            write_response(stream, 500, "Internal Server Error", "application/json", &[], &body);
+            return;
+        }
+    };
+
+    let mut headers = vec![
+        ("x-rsh-trace-id".to_string(), trace_id.clone()),
+        ("x-rsh-outcome".to_string(), completion.outcome.label().to_string()),
+    ];
+    match &completion.outcome {
+        Outcome::Success | Outcome::Degraded { .. } => {
+            if let Outcome::Degraded { backend, symbols_lost } = &completion.outcome {
+                headers.push(("x-rsh-degraded".to_string(), backend.clone()));
+                headers.push(("x-rsh-symbols-lost".to_string(), symbols_lost.to_string()));
+            }
+            let body = match &completion.response {
+                Some(Response::Frame(bytes)) => bytes.clone(),
+                Some(Response::Symbols(syms)) => width.encode(syms),
+                None => Vec::new(),
+            };
+            write_response(stream, 200, "OK", "application/octet-stream", &headers, &body);
+        }
+        Outcome::Shed { reason } => {
+            let body = error_body("request shed at admission", reason, &trace_id);
+            write_response(stream, 429, "Too Many Requests", "application/json", &headers, &body);
+        }
+        Outcome::DeadlineMiss { budget, needed } => {
+            let body = error_body(
+                &format!("deadline {budget:.6}s missed: needed {needed:.6}s"),
+                "deadline",
+                &trace_id,
+            );
+            write_response(stream, 504, "Gateway Timeout", "application/json", &headers, &body);
+        }
+        Outcome::Failed { error } => {
+            let body = error_body(error, "failed", &trace_id);
+            write_response(
+                stream,
+                500,
+                "Internal Server Error",
+                "application/json",
+                &headers,
+                &body,
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end tests for `rsh serve` over real TCP.
+//!
+//! Each test spawns the actual `rsh` binary with `--addr 127.0.0.1:0
+//! --max-requests N`, parses the bound address from the announced
+//! `rsh serve listening on ...` line, and drives raw HTTP/1.1 requests
+//! against it. The server accepts connections sequentially and exits
+//! after `N`, so every test is self-terminating.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rsh"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn rsh serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("rsh serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn finish(mut self) {
+        let status = self.child.wait().expect("wait for rsh serve");
+        assert!(status.success(), "rsh serve exited with {status}");
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one raw HTTP/1.1 request and read the full response (the server
+/// closes the connection after each reply).
+fn roundtrip(addr: &str, method: &str, path: &str, headers: &[(&str, &str)], body: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut req =
+        format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n", body.len());
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    stream.write_all(req.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    stream.flush().expect("flush");
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split =
+        raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response has a header terminator");
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply { status, headers, body: raw[split + 4..].to_vec() }
+}
+
+#[test]
+fn serve_roundtrips_compress_then_decompress_bit_exactly() {
+    // Generous virtual gap: no admission pressure, everything succeeds.
+    let srv = Server::spawn(&["--max-requests", "8", "--gap-us", "100000"]);
+
+    let health = roundtrip(&srv.addr, "GET", "/healthz", &[], b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"{\"status\":\"ok\"}");
+
+    let missing = roundtrip(&srv.addr, "GET", "/nope", &[], b"");
+    assert_eq!(missing.status, 404);
+    let text = String::from_utf8_lossy(&missing.body).to_string();
+    assert!(text.contains("\"schema\":\"rsh-error-v1\""), "404 body: {text}");
+    assert!(text.contains("not_found"), "404 body: {text}");
+
+    let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 97) as u8).collect();
+    let compress =
+        roundtrip(&srv.addr, "POST", "/compress", &[("x-rsh-trace-id", "it-c1")], &payload);
+    assert_eq!(
+        compress.status,
+        200,
+        "compress failed: {}",
+        String::from_utf8_lossy(&compress.body)
+    );
+    assert_eq!(compress.header("x-rsh-trace-id"), Some("it-c1"));
+    assert_eq!(compress.header("x-rsh-outcome"), Some("success"));
+    assert!(
+        !compress.body.is_empty() && compress.body.len() < payload.len(),
+        "frame did not compress"
+    );
+
+    let decompress = roundtrip(&srv.addr, "POST", "/decompress", &[], &compress.body);
+    assert_eq!(decompress.status, 200);
+    assert_eq!(decompress.header("x-rsh-outcome"), Some("success"));
+    assert!(decompress.header("x-rsh-trace-id").is_some_and(|t| t.starts_with("rsh-")));
+    assert_eq!(decompress.body, payload, "decompressed bytes differ from the original payload");
+
+    // Two back-to-back scrapes with no intervening jobs are byte-identical.
+    let scrape_a = roundtrip(&srv.addr, "GET", "/metrics", &[], b"");
+    let scrape_b = roundtrip(&srv.addr, "GET", "/metrics", &[], b"");
+    assert_eq!(scrape_a.status, 200);
+    assert_eq!(scrape_a.body, scrape_b.body, "metrics exposition is not deterministic");
+    let metrics = String::from_utf8_lossy(&scrape_a.body).to_string();
+    assert!(metrics.contains("rsh_requests_total"), "serve counters missing:\n{metrics}");
+
+    let empty = roundtrip(&srv.addr, "POST", "/compress", &[], b"");
+    assert_eq!(empty.status, 400);
+    assert!(String::from_utf8_lossy(&empty.body).contains("rsh-error-v1"));
+
+    // A 1 µs budget is below the modeled per-request overhead: 504.
+    let strict = roundtrip(
+        &srv.addr,
+        "POST",
+        "/decompress",
+        &[("x-rsh-deadline-ms", "0.001")],
+        &compress.body,
+    );
+    assert_eq!(strict.status, 504, "body: {}", String::from_utf8_lossy(&strict.body));
+    assert_eq!(strict.header("x-rsh-outcome"), Some("deadline"));
+    assert!(String::from_utf8_lossy(&strict.body).contains("\"reason\":\"deadline\""));
+
+    srv.finish();
+}
+
+#[test]
+fn serve_sheds_with_structured_429_when_the_queue_is_full() {
+    // One worker, queue depth 1, zero virtual gap: the first request
+    // takes the worker, the second fills the one queue slot, and every
+    // later request finds the queue full at admission.
+    let srv =
+        Server::spawn(&["--max-requests", "4", "--workers", "1", "--queue", "1", "--gap-us", "0"]);
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 53) as u8).collect();
+
+    for trace in ["it-s0", "it-s1"] {
+        let ok = roundtrip(&srv.addr, "POST", "/compress", &[("x-rsh-trace-id", trace)], &payload);
+        assert_eq!(ok.status, 200, "{trace} should be admitted");
+        assert_eq!(ok.header("x-rsh-outcome"), Some("success"));
+    }
+
+    for i in 0..2 {
+        let shed = roundtrip(&srv.addr, "POST", "/compress", &[], &payload);
+        assert_eq!(shed.status, 429, "request {i} was not shed");
+        assert_eq!(shed.header("x-rsh-outcome"), Some("shed"));
+        let text = String::from_utf8_lossy(&shed.body).to_string();
+        assert!(text.contains("\"schema\":\"rsh-error-v1\""), "shed body: {text}");
+        assert!(text.contains("\"reason\":\"queue_full\""), "shed body: {text}");
+    }
+
+    srv.finish();
+}

@@ -79,6 +79,45 @@ impl BatchOptions {
     }
 }
 
+/// A simulated device failure injected into a batched run: device
+/// `device` dies at modeled time `at` seconds. See
+/// [`compress_batched_with_faults`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFault {
+    /// Index into [`BatchOptions::devices`].
+    pub device: usize,
+    /// Modeled failure instant in seconds from batch start.
+    pub at: f64,
+}
+
+/// What quarantine and rescheduling did after simulated device failures.
+///
+/// Shards whose kernels had not all completed when their device died are
+/// *quarantined* and replayed on the surviving devices in a recovery
+/// wave; the wave starts once the failure is detected (the latest
+/// injected failure instant) and each survivor has drained its own
+/// first-wave queue. The output frame is bit-identical to the healthy
+/// run — faults cost modeled time, never correctness.
+#[derive(Debug, Clone, Default)]
+pub struct QuarantineReport {
+    /// Devices that failed, ascending.
+    pub failed_devices: Vec<usize>,
+    /// Shard indices that lost their device mid-flight, ascending.
+    pub quarantined: Vec<usize>,
+    /// `(shard, surviving device)` for every quarantined shard, in shard
+    /// order.
+    pub rescheduled: Vec<(usize, usize)>,
+    /// Makespan of the recovery wave alone (seconds).
+    pub recovery_seconds: f64,
+}
+
+impl QuarantineReport {
+    /// True when no device failed (the report is all-empty).
+    pub fn is_clean(&self) -> bool {
+        self.failed_devices.is_empty()
+    }
+}
+
 /// One shard's outcome within the batch.
 #[derive(Debug, Clone)]
 pub struct ShardRun {
@@ -145,6 +184,28 @@ impl BatchReport {
 /// report. The frame decodes with [`crate::archive::decompress`] (and
 /// degrades per shard under best-effort recovery, see [`crate::frame`]).
 pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>, BatchReport)> {
+    let (frame, report, _) = run_batch(symbols, opts, &[])?;
+    Ok((frame, report))
+}
+
+/// [`compress_batched`] with injected device failures: shards in flight
+/// on a failed device are quarantined and rescheduled onto the surviving
+/// devices ([`QuarantineReport`]). Errors when the faults leave no
+/// surviving device to reschedule onto. The frame bytes are bit-identical
+/// to the healthy run; only the modeled timelines change.
+pub fn compress_batched_with_faults(
+    symbols: &[u16],
+    opts: &BatchOptions,
+    faults: &[DeviceFault],
+) -> Result<(Vec<u8>, BatchReport, QuarantineReport)> {
+    run_batch(symbols, opts, faults)
+}
+
+fn run_batch(
+    symbols: &[u16],
+    opts: &BatchOptions,
+    faults: &[DeviceFault],
+) -> Result<(Vec<u8>, BatchReport, QuarantineReport)> {
     if symbols.is_empty() {
         return Err(HuffError::EmptyHistogram);
     }
@@ -158,6 +219,20 @@ pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>
     }
 
     let n_devices = opts.devices.len();
+    let mut fail_time: Vec<Option<f64>> = vec![None; n_devices];
+    for f in faults {
+        if f.device >= n_devices {
+            return Err(HuffError::BadArchive(format!(
+                "device fault names device {} but the batch has {n_devices} device(s)",
+                f.device
+            )));
+        }
+        if !f.at.is_finite() || f.at < 0.0 {
+            return Err(HuffError::BadArchive("device fault time must be finite and >= 0".into()));
+        }
+        let t = fail_time[f.device].get_or_insert(f.at);
+        *t = t.min(f.at);
+    }
     let shard_inputs: Vec<&[u16]> = symbols.chunks(opts.shard_symbols).collect();
 
     // Run every shard's pipeline with real host parallelism, each on a
@@ -191,17 +266,26 @@ pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>
     // Replay each device's shards onto its streams, deterministically.
     // Device-local shard k runs on stream k % streams; with a buffer cap,
     // shard k additionally waits for shard k - buffers to complete.
+    // Injected faults kill a device's schedule mid-replay (wave 1).
     let mut schedules: Vec<StreamSchedule> =
         opts.devices.iter().map(|d| StreamSchedule::new(d.clone(), opts.streams)).collect();
+    for (d, t) in fail_time.iter().enumerate() {
+        if let Some(t) = t {
+            schedules[d].fail_at(*t);
+        }
+    }
     let mut done_events: Vec<Vec<gpu_sim::EventId>> = vec![Vec::new(); n_devices];
     let mut local_index = vec![0usize; n_devices];
-    let mut assignment = Vec::with_capacity(outs.len()); // (device, stream) per shard
+    let mut placed = Vec::with_capacity(outs.len()); // final (device, stream) per shard
+                                                     // Per (device, stream): shards in enqueue order with launch counts.
+    let mut stream_order: Vec<Vec<Vec<(usize, usize)>>> =
+        vec![vec![Vec::new(); opts.streams]; n_devices];
     for (j, out) in outs.iter().enumerate() {
         let d = j % n_devices;
         let k = local_index[d];
         local_index[d] += 1;
         let s = k % opts.streams;
-        assignment.push((d, s as u32));
+        placed.push((d, s as u32));
         if opts.buffers > 0 && k >= opts.buffers {
             let ev = done_events[d][k - opts.buffers];
             schedules[d].wait_event(s, ev);
@@ -209,46 +293,144 @@ pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>
         schedules[d].enqueue_all(s, out.records.iter().cloned());
         let ev = schedules[d].record_event(s);
         done_events[d].push(ev);
+        stream_order[d][s].push((j, out.records.len()));
     }
-    let timelines: Vec<Timeline> = schedules.into_iter().map(StreamSchedule::run).collect();
+    let wave1: Vec<Timeline> = schedules.into_iter().map(StreamSchedule::run).collect();
+
+    // Quarantine: on a failed device, the completed records of each stream
+    // are a prefix of its enqueue order, so a shard survived iff its whole
+    // launch range fits inside that prefix.
+    let failed_devices: Vec<usize> =
+        (0..n_devices).filter(|&d| wave1[d].failed_at.is_some()).collect();
+    let mut is_quarantined = vec![false; outs.len()];
+    for &d in &failed_devices {
+        for (s, order) in stream_order[d].iter().enumerate().take(opts.streams) {
+            let completed = wave1[d].stream_records(s as u32).count();
+            let mut cum = 0usize;
+            for &(j, n) in order {
+                cum += n;
+                if cum > completed {
+                    is_quarantined[j] = true;
+                }
+            }
+        }
+    }
+    let quarantined: Vec<usize> = (0..outs.len()).filter(|&j| is_quarantined[j]).collect();
+
+    // Recovery wave: replay quarantined shards round-robin across the
+    // surviving devices, starting once the failure is detected (the
+    // latest failure instant) and each survivor has drained its own
+    // first-wave queue.
+    let survivors: Vec<usize> = (0..n_devices).filter(|&d| wave1[d].failed_at.is_none()).collect();
+    let mut rescheduled: Vec<(usize, usize)> = Vec::new();
+    let mut wave2: Vec<Option<Timeline>> = vec![None; n_devices];
+    let mut wave2_order: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); opts.streams]; n_devices];
+    if !quarantined.is_empty() {
+        if survivors.is_empty() {
+            return Err(HuffError::BadArchive(
+                "device failure left no surviving device to reschedule quarantined shards onto"
+                    .into(),
+            ));
+        }
+        let mut scheds: Vec<StreamSchedule> = survivors
+            .iter()
+            .map(|&d| StreamSchedule::new(opts.devices[d].clone(), opts.streams))
+            .collect();
+        let mut local = vec![0usize; survivors.len()];
+        for (i, &j) in quarantined.iter().enumerate() {
+            let si = i % survivors.len();
+            let d = survivors[si];
+            let k = local[si];
+            local[si] += 1;
+            let s = k % opts.streams;
+            scheds[si].enqueue_all(s, outs[j].records.iter().cloned());
+            rescheduled.push((j, d));
+            wave2_order[d][s].push(j);
+            placed[j] = (d, s as u32);
+        }
+        for (si, sched) in scheds.into_iter().enumerate() {
+            wave2[survivors[si]] = Some(sched.run());
+        }
+    }
+    let detect = wave1.iter().filter_map(|t| t.failed_at).fold(0.0, f64::max);
+    let recovery_seconds = wave2.iter().flatten().map(|t| t.makespan).fold(0.0, f64::max);
+
+    // Merge each survivor's recovery records onto its first-wave timeline,
+    // shifted to the wave-2 start; the serial baseline is computed from
+    // the shard records directly (a baseline machine never fails, so
+    // quarantined shards must not count twice).
+    let serial_seconds: f64 =
+        outs.iter().flat_map(|o| o.records.iter()).map(|r| r.cost.total).sum();
+    let mut timelines: Vec<Timeline> = Vec::with_capacity(n_devices);
+    for (d, tl1) in wave1.into_iter().enumerate() {
+        match wave2[d].take() {
+            None => timelines.push(tl1),
+            Some(tl2) => {
+                let offset = tl1.makespan.max(detect);
+                let mut records = tl1.records;
+                for mut r in tl2.records {
+                    r.start += offset;
+                    r.end += offset;
+                    records.push(r);
+                }
+                for (i, r) in records.iter_mut().enumerate() {
+                    r.seq = i;
+                }
+                timelines.push(Timeline {
+                    records,
+                    makespan: offset + tl2.makespan,
+                    serial_seconds: tl1.serial_seconds + tl2.serial_seconds,
+                    dropped: tl1.dropped,
+                    failed_at: tl1.failed_at,
+                });
+            }
+        }
+    }
 
     // Attribute each stream's scheduled records back to shard stages:
-    // per stream, records appear in enqueue order, so walking shards in
-    // device-local order and consuming each shard's launch count recovers
-    // the per-shard contended stage times.
-    let mut cursors: Vec<Vec<std::vec::IntoIter<KernelRecord>>> = timelines
+    // per stream, records appear in enqueue order (wave 1's surviving
+    // shards, then wave 2's rescheduled ones), so walking shards in that
+    // order and consuming each shard's launch count recovers the
+    // per-shard contended stage times. Partial records of a quarantined
+    // shard stay on the failed device's timeline, attributed to no shard
+    // — wasted device time, which is what a failure costs.
+    let take_sum = |cursor: &mut std::vec::IntoIter<KernelRecord>, n: usize| -> f64 {
+        cursor.take(n).map(|r| r.cost.total).sum()
+    };
+    let mut stages_of: Vec<StageTimes> = vec![StageTimes::default(); outs.len()];
+    for (d, tl) in timelines.iter().enumerate() {
+        for s in 0..opts.streams {
+            let mut cursor = tl.stream_records(s as u32).cloned().collect::<Vec<_>>().into_iter();
+            let order: Vec<usize> = stream_order[d][s]
+                .iter()
+                .map(|&(j, _)| j)
+                .filter(|&j| !is_quarantined[j] && placed[j] == (d, s as u32))
+                .chain(wave2_order[d][s].iter().copied())
+                .collect();
+            for j in order {
+                let spans = outs[j].report.spans;
+                stages_of[j] = StageTimes {
+                    histogram: take_sum(&mut cursor, spans.after_histogram - spans.base),
+                    codebook: take_sum(&mut cursor, spans.after_codebook - spans.after_histogram),
+                    encode: take_sum(&mut cursor, spans.after_encode - spans.after_codebook),
+                };
+            }
+        }
+    }
+    let shards: Vec<ShardRun> = outs
         .iter()
-        .map(|tl| {
-            (0..opts.streams as u32)
-                .map(|s| tl.stream_records(s).cloned().collect::<Vec<_>>().into_iter())
-                .collect()
+        .enumerate()
+        .map(|(j, out)| ShardRun {
+            index: j,
+            device: placed[j].0,
+            stream: placed[j].1,
+            symbols: shard_inputs[j].len(),
+            stages: stages_of[j],
+            report: out.report.clone(),
         })
         .collect();
-    let mut shards = Vec::with_capacity(outs.len());
-    for (j, out) in outs.iter().enumerate() {
-        let (d, s) = assignment[j];
-        let cursor = &mut cursors[d][s as usize];
-        let spans = out.report.spans;
-        let take_sum = |cursor: &mut std::vec::IntoIter<KernelRecord>, n: usize| -> f64 {
-            cursor.take(n).map(|r| r.cost.total).sum()
-        };
-        let stages = StageTimes {
-            histogram: take_sum(cursor, spans.after_histogram - spans.base),
-            codebook: take_sum(cursor, spans.after_codebook - spans.after_histogram),
-            encode: take_sum(cursor, spans.after_encode - spans.after_codebook),
-        };
-        shards.push(ShardRun {
-            index: j,
-            device: d,
-            stream: s,
-            symbols: shard_inputs[j].len(),
-            stages,
-            report: out.report.clone(),
-        });
-    }
 
     let makespan = timelines.iter().map(|t| t.makespan).fold(0.0, f64::max);
-    let serial_seconds = timelines.iter().map(|t| t.serial_seconds).sum();
     let devices = timelines
         .into_iter()
         .enumerate()
@@ -269,14 +451,19 @@ pub fn compress_batched(symbols: &[u16], opts: &BatchOptions) -> Result<(Vec<u8>
         makespan,
         serial_seconds,
     };
+    let quarantine =
+        QuarantineReport { failed_devices, quarantined, rescheduled, recovery_seconds };
     {
         let mut reg = crate::metrics::registry::global();
         let ratio =
             if frame.is_empty() { 1.0 } else { report.input_bytes as f64 / frame.len() as f64 };
         reg.record_compress(report.input_bytes, frame.len() as u64, ratio, 0);
         reg.record_shards_built(report.shards.len());
+        if !quarantine.is_clean() {
+            reg.record_shards_quarantined(quarantine.quarantined.len());
+        }
     }
-    Ok((frame, report))
+    Ok((frame, report, quarantine))
 }
 
 #[cfg(test)]
@@ -413,6 +600,115 @@ mod tests {
         let (a, _) = compress_batched(&syms, &small_opts()).unwrap();
         let (b, _) = compress_batched(&syms, &small_opts()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn device_failure_quarantines_and_reschedules_bit_exactly() {
+        let syms = data(80_000);
+        let mut opts = small_opts();
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let (healthy_frame, healthy) = compress_batched(&syms, &opts).unwrap();
+
+        // Kill device 1 immediately: its shards (1 and 3) must move to
+        // device 0 and the frame must not change by a single byte.
+        let faults = [DeviceFault { device: 1, at: 0.0 }];
+        let (frame, report, q) = compress_batched_with_faults(&syms, &opts, &faults).unwrap();
+        assert_eq!(frame, healthy_frame);
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+        assert_eq!(q.failed_devices, vec![1]);
+        assert_eq!(q.quarantined, vec![1, 3]);
+        assert!(q.rescheduled.iter().all(|&(_, d)| d == 0));
+        assert!(q.recovery_seconds > 0.0);
+        // Every shard now reports a surviving device.
+        assert!(report.shards.iter().all(|s| s.device == 0));
+        // Failure costs modeled time, never correctness.
+        assert!(report.makespan > healthy.makespan);
+        assert!((report.serial_seconds - healthy.serial_seconds).abs() < 1e-12);
+        // The failed device's timeline records the abandoned kernels.
+        let tl1 = &report.devices[1].timeline;
+        assert_eq!(tl1.failed_at, Some(0.0));
+        assert!(!tl1.dropped.is_empty());
+    }
+
+    #[test]
+    fn mid_run_failure_keeps_completed_shards_in_place() {
+        let syms = data(80_000);
+        let mut opts = small_opts();
+        opts.streams = 1; // device 1 runs shards 1 then 3 back-to-back
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let (_, healthy) = compress_batched(&syms, &opts).unwrap();
+        // Fail device 1 just after its first shard's pipeline completes:
+        // shard 1 survives in place, shard 3 is quarantined.
+        let spans = healthy.shards[1].report.spans;
+        let launches = spans.after_encode - spans.base;
+        let d1 = &healthy.devices[1].timeline;
+        let first_shard_end = d1.stream_records(0).nth(launches - 1).unwrap().end;
+        let faults = [DeviceFault { device: 1, at: first_shard_end + 1e-9 }];
+        let (frame, report, q) = compress_batched_with_faults(&syms, &opts, &faults).unwrap();
+        assert_eq!(archive::decompress(&frame).unwrap(), syms);
+        assert_eq!(q.quarantined, vec![3]);
+        assert_eq!(report.shards[1].device, 1, "completed shard stays put");
+        assert_eq!(report.shards[3].device, 0, "lost shard moves to the survivor");
+    }
+
+    #[test]
+    fn rescheduled_stage_attribution_stays_consistent() {
+        let syms = data(80_000);
+        let mut opts = small_opts();
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let faults = [DeviceFault { device: 1, at: 0.0 }];
+        let (_, report, _) = compress_batched_with_faults(&syms, &opts, &faults).unwrap();
+        // Every shard's attributed stage time is positive and finite.
+        for s in &report.shards {
+            assert!(s.stages.total() > 0.0, "shard {} has no attributed time", s.index);
+            assert!(s.stages.total().is_finite());
+        }
+        // Attribution on the surviving device covers its whole busy time
+        // (wave 1 + recovery wave).
+        let tl0 = &report.devices[0].timeline;
+        let busy: f64 = (0..opts.streams as u32).map(|s| tl0.stream_busy(s)).sum();
+        let attributed: f64 =
+            report.shards.iter().filter(|s| s.device == 0).map(|s| s.stages.total()).sum();
+        assert!((attributed - busy).abs() < 1e-12, "{attributed} vs {busy}");
+    }
+
+    #[test]
+    fn faults_are_deterministic() {
+        let syms = data(70_000);
+        let mut opts = small_opts();
+        opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        let faults = [DeviceFault { device: 0, at: 0.001 }];
+        let (fa, ra, qa) = compress_batched_with_faults(&syms, &opts, &faults).unwrap();
+        let (fb, rb, qb) = compress_batched_with_faults(&syms, &opts, &faults).unwrap();
+        assert_eq!(fa, fb);
+        assert_eq!(qa.quarantined, qb.quarantined);
+        assert_eq!(ra.makespan, rb.makespan);
+    }
+
+    #[test]
+    fn all_devices_failing_is_an_error() {
+        let syms = data(50_000);
+        let faults = [DeviceFault { device: 0, at: 0.0 }];
+        let r = compress_batched_with_faults(&syms, &small_opts(), &faults);
+        assert!(matches!(r, Err(HuffError::BadArchive(_))));
+    }
+
+    #[test]
+    fn fault_on_unknown_device_is_an_error() {
+        let syms = data(50_000);
+        let faults = [DeviceFault { device: 7, at: 0.0 }];
+        let r = compress_batched_with_faults(&syms, &small_opts(), &faults);
+        assert!(matches!(r, Err(HuffError::BadArchive(_))));
+    }
+
+    #[test]
+    fn empty_fault_list_matches_healthy_run() {
+        let syms = data(65_000);
+        let (frame, report) = compress_batched(&syms, &small_opts()).unwrap();
+        let (f2, r2, q) = compress_batched_with_faults(&syms, &small_opts(), &[]).unwrap();
+        assert_eq!(frame, f2);
+        assert!(q.is_clean());
+        assert_eq!(report.makespan, r2.makespan);
     }
 
     #[test]

@@ -211,7 +211,16 @@ fn sync_exit(
     Some(pos)
 }
 
-/// Gap-array decode of the payload bit span `[off, off + len)`.
+/// Wrap a low-level decode failure with the gap-array position it struck,
+/// so strict-mode errors name the failing chunk/subchunk/gap (the serving
+/// engine logs this before degrading to a slower backend).
+fn gap_err(chunk: usize, subchunk: usize, gap_bit: u64, cause: &HuffError) -> HuffError {
+    HuffError::GapArray { chunk, subchunk, gap_bit, detail: cause.to_string() }
+}
+
+/// Gap-array decode of the payload bit span `[off, off + len)` of chunk
+/// `ci` (the chunk index only contextualizes errors).
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the kernel signature
 fn decode_span(
     bytes: &[u8],
     off: u64,
@@ -219,6 +228,7 @@ fn decode_span(
     book: &CanonicalCodebook,
     lut: &DecodeLut,
     cfg: SubchunkConfig,
+    ci: usize,
     stats: &mut GapStats,
 ) -> Result<Vec<u16>> {
     if len == 0 {
@@ -228,6 +238,21 @@ fn decode_span(
     let w = cfg.width_bits.max(1);
     let n_sub = usize::try_from(len.div_ceil(w))
         .map_err(|_| HuffError::CorruptStream("subsequence count overflows"))?;
+    // A payload physically shorter than the chunk span would trip the
+    // bit-reader's buffer assertion; surface it as an indexed error
+    // naming the first subchunk the surviving bytes cannot back.
+    let have_bits = (bytes.len() as u64).saturating_mul(8);
+    if have_bits < end_bits {
+        let sub = ((have_bits.max(off) - off) / w).min(n_sub as u64 - 1) as usize;
+        return Err(HuffError::GapArray {
+            chunk: ci,
+            subchunk: sub,
+            gap_bit: off + sub as u64 * w,
+            detail: format!(
+                "payload truncated to {have_bits} bits but the chunk span ends at {end_bits}"
+            ),
+        });
+    }
     stats.subsequences += n_sub as u64;
     let sub_end = |i: usize| (off + (i as u64 + 1) * w).min(end_bits);
 
@@ -263,7 +288,13 @@ fn decode_span(
             break;
         }
         if passes > n_sub as u64 {
-            return Err(HuffError::CorruptStream("subchunk synchronization did not converge"));
+            let sub = dirty.iter().position(|&d| d).unwrap_or(0);
+            return Err(HuffError::GapArray {
+                chunk: ci,
+                subchunk: sub,
+                gap_bit: gaps[sub],
+                detail: "subchunk synchronization did not converge".into(),
+            });
         }
     }
     stats.max_sync_passes = stats.max_sync_passes.max(passes);
@@ -279,9 +310,9 @@ fn decode_span(
             continue; // one codeword spans this whole subsequence
         }
         let mut reader = BitReader::new(bytes, end_bits);
-        reader.skip(gap)?;
+        reader.skip(gap).map_err(|e| gap_err(ci, i, gap, &e))?;
         while reader.position() < end {
-            out.push(lut.decode_symbol(book, &mut reader)?);
+            out.push(lut.decode_symbol(book, &mut reader).map_err(|e| gap_err(ci, i, gap, &e))?);
         }
     }
     stats.decoded_symbols += out.len() as u64;
@@ -310,7 +341,7 @@ pub(crate) fn decode_chunk(
     if off.checked_add(len).is_none_or(|e| e > stream.total_bits) {
         return Err(HuffError::CorruptStream("chunk span beyond payload"));
     }
-    let coded = decode_span(&stream.bytes, off, len, book, lut, cfg, stats)?;
+    let coded = decode_span(&stream.bytes, off, len, book, lut, cfg, ci, stats)?;
 
     let mut out = Vec::with_capacity(sym_count);
     let mut taken = 0usize;
@@ -545,6 +576,52 @@ mod tests {
             *o = stream.total_bits + 100;
         }
         assert!(decode(&stream, &book).is_err());
+    }
+
+    #[test]
+    fn strict_error_names_failing_chunk_subchunk_and_gap() {
+        // Physically truncate the payload while leaving the chunk table
+        // intact: strict decode must report the first chunk and subchunk
+        // the surviving bytes cannot back, not panic in the bit reader.
+        let (mut stream, book, _) = stream_and_book(20_000);
+        assert!(stream.num_chunks() >= 3);
+        let keep = stream.bytes.len() / 2;
+        stream.bytes.truncate(keep);
+        let err = decode(&stream, &book).unwrap_err();
+        let HuffError::GapArray { chunk, subchunk, gap_bit, ref detail } = err else {
+            panic!("expected GapArray, got {err:?}");
+        };
+        // The reported position is consistent with the truncation point:
+        // the gap sits inside the named chunk's bit span, at or past the
+        // surviving bytes' coverage of that chunk's start.
+        let off = stream.chunk_bit_offsets[chunk];
+        let len = stream.chunk_bit_lens[chunk];
+        assert!(gap_bit >= off && gap_bit < off + len, "gap {gap_bit} outside chunk span");
+        let w = SubchunkConfig::default().width_bits;
+        assert_eq!(subchunk, ((gap_bit - off) / w) as usize);
+        assert!(detail.contains("truncated"), "detail: {detail}");
+        // The rendered message names all three indices.
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("chunk {chunk}")), "{msg}");
+        assert!(msg.contains(&format!("subchunk {subchunk}")), "{msg}");
+        assert!(msg.contains(&format!("gap bit {gap_bit}")), "{msg}");
+    }
+
+    #[test]
+    fn nonconverging_sync_error_is_indexed_too() {
+        // Shrink a chunk's recorded bit length so its subsequence walk
+        // proposes boundaries that can never settle inside the span; if it
+        // instead settles, decode still fails with an indexed error from
+        // the decode pass. Either way strict mode must not panic and must
+        // surface a GapArray error or a count mismatch.
+        let (mut stream, book, _) = stream_and_book(20_000);
+        let l = stream.chunk_bit_lens[1];
+        stream.chunk_bit_lens[1] = l / 3 + 1;
+        match decode(&stream, &book) {
+            Err(HuffError::GapArray { chunk, .. }) => assert_eq!(chunk, 1),
+            Err(HuffError::CorruptStream(_)) => {}
+            other => panic!("expected a strict decode error, got {other:?}"),
+        }
     }
 
     #[test]

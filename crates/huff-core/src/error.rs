@@ -26,6 +26,18 @@ pub enum HuffError {
     },
     /// The compressed stream ended mid-codeword or is otherwise malformed.
     CorruptStream(&'static str),
+    /// Strict gap-array (LUT) decode failed at a specific subchunk — the
+    /// indices make the serving engine's degradation log actionable.
+    GapArray {
+        /// Chunk index within the stream.
+        chunk: usize,
+        /// Subchunk (subsequence) index within the chunk.
+        subchunk: usize,
+        /// Bit offset of the subchunk's synchronization gap.
+        gap_bit: u64,
+        /// What went wrong at that subchunk.
+        detail: String,
+    },
     /// An archive header field is invalid.
     BadArchive(String),
     /// A stored checksum does not match the recomputed one.
@@ -56,6 +68,11 @@ impl fmt::Display for HuffError {
                 write!(f, "codeword length {len} exceeds maximum {max}")
             }
             HuffError::CorruptStream(m) => write!(f, "corrupt stream: {m}"),
+            HuffError::GapArray { chunk, subchunk, gap_bit, detail } => write!(
+                f,
+                "gap-array decode failed in chunk {chunk} subchunk {subchunk} \
+                 (gap bit {gap_bit}): {detail}"
+            ),
             HuffError::BadArchive(m) => write!(f, "bad archive: {m}"),
             HuffError::ChecksumMismatch { section, chunk, expected, got } => match chunk {
                 Some(ci) => write!(
@@ -88,6 +105,16 @@ mod tests {
             .contains("300"));
         assert!(HuffError::CodewordTooLong { len: 70, max: 64 }.to_string().contains("70"));
         assert!(HuffError::CorruptStream("truncated").to_string().contains("truncated"));
+        let g = HuffError::GapArray {
+            chunk: 3,
+            subchunk: 7,
+            gap_bit: 1920,
+            detail: "synchronization did not converge".into(),
+        };
+        assert!(g.to_string().contains("chunk 3"));
+        assert!(g.to_string().contains("subchunk 7"));
+        assert!(g.to_string().contains("gap bit 1920"));
+        assert!(g.to_string().contains("converge"));
         assert!(HuffError::BadArchive("magic".into()).to_string().contains("magic"));
         assert!(HuffError::MissingCodeword(9).to_string().contains('9'));
         let m = HuffError::ChecksumMismatch {

@@ -57,6 +57,7 @@ pub mod integrity;
 pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
+pub mod serve;
 pub mod sparse;
 pub mod testing;
 pub mod tree;
@@ -69,3 +70,4 @@ pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
 pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};
 pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};
+pub use serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, ServeReport};

@@ -78,6 +78,30 @@ const FAMILIES: &[(&str, MetricKind, &str)] = &[
         MetricKind::Histogram,
         "Roofline efficiency (achieved / effective bandwidth) of profiled kernels.",
     ),
+    ("rsh_requests_total", MetricKind::Counter, "Serve requests completed, by outcome."),
+    ("rsh_retries_total", MetricKind::Counter, "Serve attempts retried after transient faults."),
+    ("rsh_shed_total", MetricKind::Counter, "Serve requests shed at admission, by reason."),
+    (
+        "rsh_deadline_miss_total",
+        MetricKind::Counter,
+        "Serve requests cancelled for missing their deadline.",
+    ),
+    (
+        "rsh_degraded_total",
+        MetricKind::Counter,
+        "Serve requests completed on a degraded decode backend, by backend.",
+    ),
+    (
+        "rsh_queue_wait_seconds_total",
+        MetricKind::Counter,
+        "Modeled seconds serve requests spent queued for a worker.",
+    ),
+    ("rsh_queue_depth", MetricKind::Gauge, "Admission queue depth seen by the latest request."),
+    (
+        "rsh_quarantined_shards_total",
+        MetricKind::Counter,
+        "Shards quarantined off failed devices and rescheduled onto survivors.",
+    ),
 ];
 
 #[derive(Debug, Clone, Default)]
@@ -341,6 +365,47 @@ impl Registry {
     /// One profiled kernel's roofline efficiency.
     pub fn record_kernel_efficiency(&mut self, efficiency: f64) {
         self.observe("rsh_kernel_efficiency", &[], efficiency);
+    }
+
+    // ---- Serve-path vocabulary (see `crate::serve`). ----
+
+    /// One serve request reaching a terminal outcome (`"success"`,
+    /// `"degraded"`, `"shed"`, `"deadline"`, `"failed"`).
+    pub fn record_request(&mut self, outcome: &str) {
+        self.add("rsh_requests_total", &[("outcome", outcome)], 1.0);
+    }
+
+    /// Retries spent on one request (0 is a no-op).
+    pub fn record_retries(&mut self, retries: u64) {
+        if retries > 0 {
+            self.add("rsh_retries_total", &[], retries as f64);
+        }
+    }
+
+    /// One request shed at admission.
+    pub fn record_shed(&mut self, reason: &str) {
+        self.add("rsh_shed_total", &[("reason", reason)], 1.0);
+    }
+
+    /// One request cancelled for missing its deadline.
+    pub fn record_deadline_miss(&mut self) {
+        self.add("rsh_deadline_miss_total", &[], 1.0);
+    }
+
+    /// One request served by a degraded decode backend.
+    pub fn record_degraded(&mut self, backend: &str) {
+        self.add("rsh_degraded_total", &[("backend", backend)], 1.0);
+    }
+
+    /// Modeled queue wait of one admitted request, plus the depth it saw.
+    pub fn record_queue_wait(&mut self, seconds: f64, depth: usize) {
+        self.add("rsh_queue_wait_seconds_total", &[], seconds);
+        self.set("rsh_queue_depth", &[], depth as f64);
+    }
+
+    /// Shards quarantined off failed devices in a batched run.
+    pub fn record_shards_quarantined(&mut self, shards: usize) {
+        self.add("rsh_quarantined_shards_total", &[], shards as f64);
     }
 }
 

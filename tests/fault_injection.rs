@@ -14,9 +14,10 @@
 //!   archives never panic.
 
 use huff::huff_core::archive::{self, CompressOptions};
+use huff::huff_core::batch::{compress_batched_with_faults, DeviceFault};
 use huff::huff_core::integrity::{DecompressOptions, Section};
 use huff::huff_core::testing::{self, Fault};
-use huff::huff_core::HuffError;
+use huff::huff_core::{DecoderKind, HuffError};
 use huff::prelude::*;
 use proptest::prelude::*;
 
@@ -299,6 +300,83 @@ fn framed_dead_shard_costs_exactly_that_shard() {
         if i < span.start || i >= span.end {
             assert_eq!(got, want, "symbol {i} outside dead shard changed");
         }
+    }
+}
+
+#[test]
+fn framed_batch_path_decodes_with_every_backend() {
+    // The serve engine's degradation ladder decodes RSHM frames through
+    // frame::decompress_with per backend; all three must be bit-exact on
+    // a multi-shard frame built by the batch pipeline.
+    let (data, packed, info) = framed_sample(24);
+    assert!(info.num_shards() >= 4);
+    for kind in [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut] {
+        let opts = DecompressOptions::strict().with_decoder(kind);
+        let rec = huff::frame::decompress_with(&packed, &opts).unwrap();
+        assert!(rec.report.is_clean(), "{kind:?} reported damage on a clean frame");
+        assert_eq!(rec.symbols, data, "{kind:?} not bit-exact");
+    }
+}
+
+#[test]
+fn device_failure_quarantines_then_frame_decodes_bit_exactly() {
+    // Quarantine-and-continue, end to end: a device dies mid-batch, its
+    // shards reschedule onto the survivor, and the resulting frame is
+    // byte-identical to a healthy run — so every decode path sees the
+    // same bits whether or not the producer suffered a failure.
+    let data = sample(80_000, 25);
+    let mut opts = huff::BatchOptions::new(256);
+    opts.shard_symbols = 10_000;
+    opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+    let (healthy, _) = huff::compress_batched(&data, &opts).unwrap();
+    let (packed, report, quarantine) =
+        compress_batched_with_faults(&data, &opts, &[DeviceFault { device: 1, at: 0.0 }]).unwrap();
+    assert!(!quarantine.is_clean());
+    assert!(!quarantine.quarantined.is_empty(), "failure at t=0 must quarantine shards");
+    assert!(
+        quarantine.rescheduled.iter().all(|&(_, d)| d == 0),
+        "rescheduling must land on the surviving device"
+    );
+    assert_eq!(packed, healthy, "fault-recovered frame differs from healthy bytes");
+    assert_eq!(report.shards.len(), 8);
+    for kind in [DecoderKind::Serial, DecoderKind::Chunked, DecoderKind::Lut] {
+        let opts = DecompressOptions::strict().with_decoder(kind);
+        let rec = huff::frame::decompress_with(&packed, &opts).unwrap();
+        assert_eq!(rec.symbols, data, "{kind:?} on quarantine-produced frame");
+    }
+}
+
+#[test]
+fn quarantined_frame_with_wire_corruption_still_recovers_other_shards() {
+    // The serve engine relies on both halves composing: device failure at
+    // the producer (quarantine + reschedule) and shard corruption on the
+    // wire (best-effort recovery) must still leave every untouched shard
+    // bit-exact.
+    let data = sample(80_000, 26);
+    let mut opts = huff::BatchOptions::new(256);
+    opts.shard_symbols = 20_000;
+    opts.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+    let (packed, _, quarantine) =
+        compress_batched_with_faults(&data, &opts, &[DeviceFault { device: 0, at: 0.0 }]).unwrap();
+    assert!(!quarantine.is_clean());
+    let info = huff::frame::parse(&packed, Verify::Full).unwrap();
+    let victim = 2;
+    let r = &info.shard_ranges[victim];
+    let mut corrupt = packed.clone();
+    assert!(testing::apply(
+        &mut corrupt,
+        &Fault::BitFlip { offset: r.start + r.len() / 2, bit: 4 }
+    ));
+    assert!(archive::decompress(&corrupt).is_err(), "strict accepted corruption");
+    let rec = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
+    let span = info.shard_symbol_range(victim);
+    for (i, (&got, &want)) in rec.symbols.iter().zip(&data).enumerate() {
+        if i < span.start || i >= span.end {
+            assert_eq!(got, want, "symbol {i} outside victim shard changed");
+        }
+    }
+    for &(s, e) in &rec.report.damaged_ranges {
+        assert!(s >= span.start && e <= span.end, "damage [{s},{e}) escapes shard {victim}");
     }
 }
 

@@ -1,0 +1,171 @@
+//! Chaos acceptance suite for the serving engine (`huff_core::serve`).
+//!
+//! The engine's contract under injected faults — payload corruption,
+//! device loss, decoder glitches, transient errors, 2× overload — is:
+//!
+//! 1. **Zero wrong bytes.** Every served response (success or degraded)
+//!    is bit-exact outside the damage the recovery report declares.
+//! 2. **Outcome partition.** Every request ends in exactly one of
+//!    {success, degraded, shed, deadline, failed} — structured, never a
+//!    panic or a silent drop.
+//! 3. **Reconciliation.** The retry/shed/deadline/degradation counters
+//!    in the engine's registry equal the tallies derived from the
+//!    completion trace.
+//! 4. **Bounded queueing.** Past the saturation knee the engine sheds;
+//!    the admission queue never grows beyond its configured capacity.
+//!
+//! All runs are seeded and deterministic — the same seed replays the
+//! same faults (`ChaosConfig`).
+
+use huff::huff_core::serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, Response};
+use huff::prelude::*;
+use huff::{compress_batched, DeviceSpec};
+
+fn sample(n: usize, seed: u64) -> Vec<u16> {
+    PaperDataset::Nci.generate(n, seed)
+}
+
+fn small_cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::new(256);
+    cfg.batch.shard_symbols = 8192;
+    cfg.batch.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+    cfg
+}
+
+/// Submit a mixed compress/decompress workload at the given arrival gap.
+fn run_storm(seed: u64, gap_s: f64, requests: usize) -> (Engine, Vec<u16>, Vec<u8>) {
+    let cfg = small_cfg();
+    let syms = sample(24_000, seed);
+    let (frame, _) = compress_batched(&syms, &cfg.batch).unwrap();
+    let mut eng = Engine::with_chaos(cfg, ChaosConfig::storm(seed));
+    for i in 0..requests {
+        let t = i as f64 * gap_s;
+        let req = if i % 2 == 0 {
+            Request::compress(format!("c{i}"), t, syms.clone())
+        } else {
+            Request::decompress(format!("d{i}"), t, frame.clone()).with_deadline(0.5)
+        };
+        eng.submit(req).unwrap();
+    }
+    (eng, syms, frame)
+}
+
+#[test]
+fn chaos_storm_never_serves_wrong_bytes() {
+    for seed in [3u64, 17, 99] {
+        let (eng, syms, frame) = run_storm(seed, 100e-6, 16);
+        let report = eng.report();
+        for c in &report.completions {
+            assert!(
+                !matches!(c.outcome, Outcome::Success) || c.response.is_some(),
+                "seed {seed} {}: success without payload",
+                c.trace_id
+            );
+            let Some(resp) = &c.response else { continue };
+            match resp {
+                Response::Frame(bytes) => {
+                    // Device loss, retries, quarantine: the frame must
+                    // still be bit-identical to the healthy bytes.
+                    assert_eq!(
+                        *bytes, frame,
+                        "seed {seed} {}: compressed frame differs",
+                        c.trace_id
+                    );
+                }
+                Response::Symbols(out) => {
+                    assert_eq!(out.len(), syms.len(), "seed {seed} {}", c.trace_id);
+                    for (i, (&got, &want)) in out.iter().zip(&syms).enumerate() {
+                        let damaged = c.recovery.as_ref().is_some_and(|r| {
+                            r.damaged_ranges.iter().any(|&(s, e)| i >= s && i < e)
+                        });
+                        if !damaged {
+                            assert_eq!(
+                                got, want,
+                                "seed {seed} {}: wrong byte at {i} outside reported damage",
+                                c.trace_id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_request_ends_in_exactly_one_outcome() {
+    for seed in [3u64, 17, 99] {
+        let (eng, _, _) = run_storm(seed, 50e-6, 20);
+        let report = eng.report();
+        assert_eq!(report.completions.len(), 20, "seed {seed}: dropped requests");
+        let total: usize = ["success", "degraded", "shed", "deadline", "failed"]
+            .iter()
+            .map(|l| report.count(l))
+            .sum();
+        assert_eq!(total, 20, "seed {seed}: outcome labels do not partition the trace");
+        // Structured errors carry their reason.
+        for c in &report.completions {
+            match &c.outcome {
+                Outcome::Shed { reason } => assert_eq!(reason, "queue_full"),
+                Outcome::DeadlineMiss { budget, needed } => {
+                    assert!(needed > budget, "seed {seed}: miss without overrun")
+                }
+                Outcome::Failed { error } => assert!(!error.is_empty()),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_reconcile_with_the_trace() {
+    for seed in [3u64, 17, 99] {
+        let (eng, _, _) = run_storm(seed, 50e-6, 20);
+        let report = eng.report();
+        assert!(
+            report.reconciles_with(eng.metrics()),
+            "seed {seed}: registry counters diverge from the completion trace"
+        );
+    }
+}
+
+#[test]
+fn overload_sheds_instead_of_queueing_unboundedly() {
+    // Measure the modeled service time, then offer 2× the engine's
+    // capacity: the queue must cap at its configured depth and excess
+    // requests must shed.
+    let mut cfg = small_cfg();
+    cfg.workers = 2;
+    cfg.queue_capacity = 4;
+    let syms = sample(24_000, 7);
+    let mut probe = Engine::new(cfg.clone());
+    let service = probe.submit(Request::compress("probe", 0.0, syms.clone())).unwrap().service;
+
+    // 2× overload: arrivals at half the per-worker service interval.
+    let gap = service / (2.0 * cfg.workers as f64) / 2.0;
+    let mut eng = Engine::new(cfg.clone());
+    for i in 0..40 {
+        eng.submit(Request::compress(format!("t{i}"), i as f64 * gap, syms.clone())).unwrap();
+    }
+    let report = eng.report();
+    assert!(report.count("shed") > 0, "2x overload never shed");
+    assert!(
+        report.max_depth <= cfg.queue_capacity,
+        "queue depth {} exceeded capacity {}",
+        report.max_depth,
+        cfg.queue_capacity
+    );
+    // Everything that was admitted still succeeded bit-exactly.
+    assert_eq!(report.count("success") + report.count("shed"), 40);
+}
+
+#[test]
+fn chaos_replays_are_deterministic() {
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            let (eng, _, _) = run_storm(42, 50e-6, 12);
+            eng.report().to_json().to_string()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "same seed must replay the same faults and outcomes");
+}

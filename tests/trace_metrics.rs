@@ -395,6 +395,97 @@ fn profiles_are_byte_deterministic() {
     assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
 }
 
+/// The Prometheus exposition and the `rsh stats --json` export are
+/// byte-deterministic: families and samples iterate in sorted (BTreeMap)
+/// order, so the same events — in any order — render identical bytes.
+/// `/metrics` in `rsh serve` and `rsh stats` both print these surfaces.
+#[test]
+fn metrics_exposition_is_byte_deterministic_and_sorted() {
+    use huff::huff_core::metrics::registry::Registry;
+
+    let mut a = Registry::new();
+    a.record_request("success");
+    a.record_request("shed");
+    a.record_shed("queue_full");
+    a.record_retries(3);
+    a.record_degraded("chunked");
+    a.record_deadline_miss();
+    a.record_queue_wait(0.25, 3);
+    a.record_shards_quarantined(2);
+    a.record_compress(1000, 300, 3.3, 4);
+    a.record_decode_backend("lut");
+
+    // Same events, opposite order.
+    let mut b = Registry::new();
+    b.record_decode_backend("lut");
+    b.record_compress(1000, 300, 3.3, 4);
+    b.record_shards_quarantined(2);
+    b.record_queue_wait(0.25, 3);
+    b.record_deadline_miss();
+    b.record_degraded("chunked");
+    b.record_retries(3);
+    b.record_shed("queue_full");
+    b.record_request("shed");
+    b.record_request("success");
+
+    assert_eq!(a.render(), b.render(), "text exposition depends on event order");
+    assert_eq!(
+        a.to_json().to_string(),
+        b.to_json().to_string(),
+        "JSON export depends on event order"
+    );
+
+    // Family names appear sorted in both surfaces.
+    let text = a.render();
+    let names: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("# HELP "))
+        .map(|l| l.split_whitespace().nth(2).unwrap())
+        .collect();
+    assert!(!names.is_empty());
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "text families not sorted");
+
+    let root = json::parse(&a.to_json().to_string()).unwrap();
+    let jnames: Vec<String> =
+        root.get("families").arr().iter().map(|f| f.get("name").str().to_string()).collect();
+    let mut jsorted = jnames.clone();
+    jsorted.sort();
+    assert_eq!(jnames, jsorted, "JSON families not sorted");
+}
+
+/// Two identical seeded serve runs export byte-identical `rsh-trace-v1`
+/// serve documents, and the document carries the schema/kind markers.
+#[test]
+fn serve_trace_export_is_byte_deterministic() {
+    use huff::huff_core::serve::{ChaosConfig, Engine, EngineConfig, Request};
+
+    let run = || {
+        let mut cfg = EngineConfig::new(64);
+        cfg.batch.shard_symbols = 4096;
+        cfg.batch.devices = vec![DeviceSpec::test_part()];
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        let mut chaos = ChaosConfig::storm(5);
+        chaos.device_loss_prob = 0.0;
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        let syms: Vec<u16> = (0..8000).map(|i| (i % 50) as u16).collect();
+        for i in 0..6 {
+            eng.submit(Request::compress(format!("t{i}"), i as f64 * 20e-6, syms.clone())).unwrap();
+        }
+        eng.report().to_json().to_string()
+    };
+    let a = run();
+    assert_eq!(a, run(), "serve trace export depends on run instance");
+
+    let root = json::parse(&a).unwrap();
+    assert_eq!(root.get("schema").str(), "rsh-trace-v1");
+    assert_eq!(root.get("kind").str(), "serve");
+    assert_eq!(root.get("requests").arr().len(), 6);
+    assert!(root.get("counters").has("success") || root.get("counters").has("shed"));
+}
+
 /// Damage surfaces in the serialized recovery report.
 #[test]
 fn best_effort_trace_reports_damage_in_json() {
