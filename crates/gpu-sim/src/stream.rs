@@ -33,9 +33,9 @@
 //! nothing (honest: the bus is saturated either way), while latency- and
 //! sync-bound kernels (codebook construction, small grids) overlap almost
 //! for free — which is exactly where multi-stream pipelines win. The
-//! factor is sampled once at the kernel's start; DESIGN.md § "Streams and
-//! the contention model" discusses this simplification and works a
-//! two-stream example.
+//! factor is sampled once at the kernel's start; DESIGN.md § "Streams,
+//! events, and the contention model" discusses this simplification and
+//! works a two-stream example.
 //!
 //! ## Fault events
 //!

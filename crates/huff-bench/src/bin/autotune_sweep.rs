@@ -1,0 +1,78 @@
+//! Autotune entropy-spectrum sweep — the fixed CLI default geometry vs
+//! the adaptive tuner's decision on every Table V workload (1.03 → 5.2
+//! avg payload bits), plus the two dispatch early-exit probes:
+//! `incompressible` (uniform bytes, ratio 1.0 → store-raw) and `tiny`
+//! (1.5 Ki symbols → CPU-serial, under one kernel launch).
+//!
+//! Each row runs the fixed default (`BatchOptions::new` geometry,
+//! Fig. 3's auto reduction) and the autotuned decision
+//! (`huff_core::tune::plan`, DESIGN.md § "Tuning policy") and reports
+//! both modeled throughputs. The binary asserts the acceptance contract
+//! directly — `auto_gbps >= fixed_gbps` on every row — so a tuning
+//! policy that loses to the defaults anywhere fails the run, not just
+//! the JSON post-processing. The `cache_hit` column re-decides each
+//! input once and must show the in-process tuning cache answering.
+//!
+//! The rows come from [`huff_bench::sweeps::autotune_rows`] — the same
+//! function the `regression` gate re-runs against the committed
+//! baseline. `--json` emits `rsh-bench-v1` rows on stderr; `--out PATH`
+//! writes them to a file — `results/BENCH_autotune.json` is the
+//! committed baseline (see EXPERIMENTS.md for the regeneration command).
+
+use huff_bench::sweeps::autotune_rows;
+use huff_bench::{emit_out, emit_row, row_json, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("AUTOTUNE SWEEP: fixed defaults vs tuned dispatch on V100, scale {}\n", args.scale);
+    println!(
+        "{:<15} {:>8} {:>9} {:<11} {:>3} {:>7} {:>8} {:<8} {:>6} {:>11} {:>11} {:>9}",
+        "dataset",
+        "MB",
+        "avg bits",
+        "dispatch",
+        "r",
+        "shards",
+        "streams",
+        "decoder",
+        "cache",
+        "fixed GB/s",
+        "auto GB/s",
+        "wall ms"
+    );
+
+    let mut lines = Vec::new();
+    for row in autotune_rows(args.scale) {
+        println!(
+            "{:<15} {:>8.2} {:>9.4} {:<11} {:>3} {:>7} {:>8} {:<8} {:>6} {:>11.1} {:>11.1} {:>9.1}",
+            row.dataset,
+            row.input_mb,
+            row.avg_bits,
+            row.dispatch,
+            row.reduction,
+            row.shards,
+            row.streams,
+            row.decoder,
+            if row.cache_hit { "hit" } else { "MISS" },
+            row.fixed_gbps,
+            row.auto_gbps,
+            row.wall_ms,
+        );
+        assert!(
+            row.auto_gbps >= row.fixed_gbps * (1.0 - 1e-9),
+            "{}: autotuned {:.3} GB/s lost to the fixed default {:.3} GB/s",
+            row.dataset,
+            row.auto_gbps,
+            row.fixed_gbps,
+        );
+        assert!(row.cache_hit, "{}: repeated decide() missed the tuning cache", row.dataset);
+        emit_row(&args, "autotune", &row);
+        lines.push(row_json("autotune", &row));
+    }
+
+    emit_out(&args, &lines);
+    println!(
+        "\n(autotuned >= fixed on every row by the hysteresis contract; store_raw / cpu_serial \
+         rows use the decision's modeled host time)"
+    );
+}

@@ -1,6 +1,7 @@
-//! Bench-regression gate — re-run the pipeline + decode sweeps and
-//! compare every modeled metric against the committed
-//! `results/BENCH_pipeline.json` / `results/BENCH_decode.json` baselines.
+//! Bench-regression gate — re-run the pipeline, decode, and autotune
+//! sweeps and compare every modeled metric against the committed
+//! `results/BENCH_pipeline.json` / `results/BENCH_decode.json` /
+//! `results/BENCH_autotune.json` baselines.
 //!
 //! The sweeps re-run at exactly the scales the baselines were generated
 //! at ([`huff_bench::sweeps`]), so every modeled figure is deterministic
@@ -10,10 +11,15 @@
 //! regressed or any row went missing/unexpected; improvements are
 //! reported but pass. CI runs this in the bench-smoke job.
 //!
+//! The autotune table keys on `(dataset, device, dispatch)`, so a
+//! tuning-policy change that flips a cached decision (a dataset moving
+//! from `gpu` to `store_raw`, say) surfaces as a missing/unexpected
+//! baseline row — a hard failure — rather than a quiet throughput delta.
+//!
 //! ```text
 //! usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH]
 //!                   [--pipeline-scale F] [--decode-scale F]
-//!                   [--update-baselines]
+//!                   [--autotune-scale F] [--update-baselines]
 //! ```
 //!
 //! `--update-baselines` rewrites the baseline files from the fresh run
@@ -21,8 +27,8 @@
 //! EXPERIMENTS.md).
 
 use huff_bench::regression::{
-    compare, parse_baseline, Comparison, DECODE_KEY, DECODE_METRICS, DEFAULT_TOLERANCE,
-    PIPELINE_KEY, PIPELINE_METRICS,
+    compare, parse_baseline, Comparison, AUTOTUNE_KEY, AUTOTUNE_METRICS, DECODE_KEY,
+    DECODE_METRICS, DEFAULT_TOLERANCE, PIPELINE_KEY, PIPELINE_METRICS,
 };
 use huff_bench::{row_json, sweeps};
 use serde::json::Value;
@@ -36,6 +42,7 @@ struct Args {
     report: Option<PathBuf>,
     pipeline_scale: f64,
     decode_scale: f64,
+    autotune_scale: f64,
     update: bool,
 }
 
@@ -47,6 +54,7 @@ impl Args {
             report: None,
             pipeline_scale: sweeps::PIPELINE_BASELINE_SCALE,
             decode_scale: sweeps::DECODE_BASELINE_SCALE,
+            autotune_scale: sweeps::AUTOTUNE_BASELINE_SCALE,
             update: false,
         };
         let mut args = std::env::args().skip(1);
@@ -60,6 +68,7 @@ impl Args {
                 "--tolerance" => out.tolerance = num("--tolerance"),
                 "--pipeline-scale" => out.pipeline_scale = num("--pipeline-scale"),
                 "--decode-scale" => out.decode_scale = num("--decode-scale"),
+                "--autotune-scale" => out.autotune_scale = num("--autotune-scale"),
                 "--baseline-dir" => {
                     out.baseline_dir =
                         PathBuf::from(args.next().expect("--baseline-dir requires a path"));
@@ -72,7 +81,8 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH] \
-                         [--pipeline-scale F] [--decode-scale F] [--update-baselines]"
+                         [--pipeline-scale F] [--decode-scale F] [--autotune-scale F] \
+                         [--update-baselines]"
                     );
                     exit(0);
                 }
@@ -110,20 +120,25 @@ fn main() {
     let args = Args::parse();
     let pipeline_path = args.baseline_dir.join("BENCH_pipeline.json");
     let decode_path = args.baseline_dir.join("BENCH_decode.json");
+    let autotune_path = args.baseline_dir.join("BENCH_autotune.json");
 
     println!(
-        "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, tolerance {:.1}%\n",
+        "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, autotune sweep @ \
+         scale {}, tolerance {:.1}%\n",
         args.pipeline_scale,
         args.decode_scale,
+        args.autotune_scale,
         args.tolerance * 100.0
     );
 
     let pipeline_rows = sweeps::pipeline_rows(args.pipeline_scale);
     let decode_rows = sweeps::decode_rows(args.decode_scale);
+    let autotune_rows = sweeps::autotune_rows(args.autotune_scale);
 
     if args.update {
         write_baseline(&pipeline_path, "pipeline", &pipeline_rows);
         write_baseline(&decode_path, "decode", &decode_rows);
+        write_baseline(&autotune_path, "autotune", &autotune_rows);
         println!("baselines updated; commit the new results/ files");
         return;
     }
@@ -143,6 +158,14 @@ fn main() {
         DECODE_METRICS,
         &load_baseline(&decode_path, "decode"),
         &rows_to_values(&decode_rows),
+        args.tolerance,
+    ));
+    cmp.merge(compare(
+        "autotune",
+        AUTOTUNE_KEY,
+        AUTOTUNE_METRICS,
+        &load_baseline(&autotune_path, "autotune"),
+        &rows_to_values(&autotune_rows),
         args.tolerance,
     ));
 

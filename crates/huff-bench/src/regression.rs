@@ -58,6 +58,17 @@ pub const DECODE_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "modeled_gbps", direction: Direction::HigherIsBetter },
 ];
 
+/// Key of the `autotune` table. `dispatch` is part of the key on
+/// purpose: a tuning-policy change that flips a decision against the
+/// committed baseline shows up as a missing/unexpected key, not a silent
+/// throughput delta.
+pub const AUTOTUNE_KEY: &[&str] = &["dataset", "device", "dispatch"];
+/// Compared metrics of the `autotune` table.
+pub const AUTOTUNE_METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "fixed_gbps", direction: Direction::HigherIsBetter },
+    MetricSpec { name: "auto_gbps", direction: Direction::HigherIsBetter },
+];
+
 /// Outcome of one metric comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {

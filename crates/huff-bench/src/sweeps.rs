@@ -16,6 +16,7 @@ use gpu_sim::{DeviceSpec, Gpu};
 use huff_core::batch::{compress_batched, BatchOptions};
 use huff_core::decode::{gpu::decode_kind_on_gpu, DecoderKind};
 use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
+use huff_core::tune::{Dispatch, Tuner};
 use huff_core::{histogram, CanonicalCodebook};
 use huff_datasets::PaperDataset;
 use serde::Serialize;
@@ -29,6 +30,10 @@ pub const PIPELINE_BASELINE_SCALE: f64 = 1.0 / 64.0;
 /// Scale the committed `results/BENCH_decode.json` baseline was generated
 /// at (the harness default; the `accept-64mb` rows always run full size).
 pub const DECODE_BASELINE_SCALE: f64 = 1.0 / 16.0;
+
+/// Scale the committed `results/BENCH_autotune.json` baseline was
+/// generated at (see EXPERIMENTS.md).
+pub const AUTOTUNE_BASELINE_SCALE: f64 = 1.0 / 64.0;
 
 /// The swept (shards, streams, devices) grid: the serial reference plus
 /// every overlap axis alone and combined.
@@ -196,6 +201,123 @@ pub fn decode_rows(scale: f64) -> Vec<DecodeRow> {
         rows.extend(decode_sweep_rows(d.name(), &data, d.symbol_bytes(), &stream, &book, &all));
     }
     rows.extend(accept_64mb_rows());
+    rows
+}
+
+/// One autotune-sweep row (`rsh-bench-v1` table `"autotune"`): the fixed
+/// CLI default geometry vs the tuner's decision on the same input.
+#[derive(Serialize)]
+pub struct AutotuneRow {
+    /// Workload name (Table V dataset, `incompressible`, or `tiny`).
+    pub dataset: String,
+    /// Modeled device name.
+    pub device: &'static str,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Measured signature average bitwidth.
+    pub avg_bits: f64,
+    /// Dispatch path the tuner chose (part of the regression key — a
+    /// decision flip against the committed baseline fails the gate).
+    pub dispatch: &'static str,
+    /// Tuned reduction factor (0 for store-raw).
+    pub reduction: u32,
+    /// Tuned shard count.
+    pub shards: u32,
+    /// Tuned stream count.
+    pub streams: u32,
+    /// Recommended decoder backend.
+    pub decoder: &'static str,
+    /// Whether a repeated decide() hit the in-process tuning cache.
+    pub cache_hit: bool,
+    /// Modeled throughput of the fixed default geometry, GB/s.
+    pub fixed_gbps: f64,
+    /// Modeled throughput of the autotuned decision, GB/s.
+    pub auto_gbps: f64,
+    /// Host wall-clock, ms (machine-dependent; excluded from the gate).
+    pub wall_ms: f64,
+}
+
+/// Measure one autotune comparison: the fixed CLI default (the
+/// `BatchOptions::new` geometry with Fig. 3's auto reduction) vs the
+/// tuner's decision, both priced by the same models. Store-raw and
+/// CPU-serial decisions use the decision's modeled host/copy time,
+/// rescaled from the signature's representative size class to the actual
+/// input length.
+fn autotune_row(label: String, data: &[u16], num_symbols: usize, symbol_bytes: u8) -> AutotuneRow {
+    let input_bytes = data.len() as f64 * f64::from(symbol_bytes);
+    let mut fixed = BatchOptions::new(num_symbols);
+    fixed.symbol_bytes = symbol_bytes;
+
+    let ((fixed_secs, sig, decision, hit, auto_secs), wall_s) = wall(|| {
+        let (_, fixed_report) = compress_batched(data, &fixed).expect("fixed-default run");
+        let mut tuner = Tuner::new(DeviceSpec::v100());
+        let (sig, decision, _) = tuner.decide(data, num_symbols, symbol_bytes).expect("decide");
+        let (_, _, hit) = tuner.decide(data, num_symbols, symbol_bytes).expect("re-decide");
+        let auto_secs = match decision.dispatch {
+            Dispatch::Gpu => {
+                let mut tuned = BatchOptions::new(num_symbols);
+                tuned.shard_symbols = data.len().div_ceil(decision.shards.max(1) as usize).max(1);
+                tuned.streams = decision.streams.max(1) as usize;
+                tuned.reduction = Some(decision.reduction.max(1));
+                tuned.symbol_bytes = symbol_bytes;
+                let (_, report) = compress_batched(data, &tuned).expect("autotuned run");
+                report.makespan
+            }
+            Dispatch::CpuSerial | Dispatch::StoreRaw => {
+                decision.modeled_seconds()
+                    * (data.len() as f64 / sig.representative_symbols() as f64)
+            }
+        };
+        (fixed_report.makespan, sig, decision, hit, auto_secs)
+    });
+
+    AutotuneRow {
+        dataset: label,
+        device: "V100",
+        input_mb: input_bytes / 1e6,
+        avg_bits: sig.avg_bits(),
+        dispatch: decision.dispatch.name(),
+        reduction: decision.reduction,
+        shards: decision.shards,
+        streams: decision.streams,
+        decoder: decision.decoder.name(),
+        cache_hit: hit,
+        fixed_gbps: input_bytes / fixed_secs / 1e9,
+        auto_gbps: input_bytes / auto_secs / 1e9,
+        wall_ms: wall_s * 1e3,
+    }
+}
+
+/// Deterministic incompressible bytes: uniform over all 256 values, so
+/// the canonical codebook is flat 8-bit and the incompressibility ratio
+/// is 1.0 — the store-raw early exit must fire.
+fn incompressible_symbols(n: usize) -> Vec<u16> {
+    (0..n).map(|i| (((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 24) % 256) as u16).collect()
+}
+
+/// Run the autotune entropy-spectrum sweep at `scale`: every Table V
+/// workload (1.03 → 5.2 avg bits) on a V100, plus two fixed-size probes
+/// for the dispatch early exits — `incompressible` (ratio 1.0 →
+/// store-raw) and `tiny` (1.5 Ki symbols → CPU-serial). The autotune
+/// acceptance contract (gated in CI and by the committed baseline) is
+/// that `auto_gbps >= fixed_gbps` on every row: the hysteresis in
+/// `huff_core::tune::plan` keeps the default geometry unless a candidate
+/// models a clear win, so autotuning can only tie or improve.
+pub fn autotune_rows(scale: f64) -> Vec<AutotuneRow> {
+    let mut rows = Vec::new();
+    for d in PaperDataset::all() {
+        let n = d.symbols_at_scale(scale);
+        let data = d.generate(n, 0xD5EA5E);
+        rows.push(autotune_row(
+            d.name().to_string(),
+            &data,
+            d.num_symbols(),
+            d.symbol_bytes() as u8,
+        ));
+    }
+    rows.push(autotune_row("incompressible".to_string(), &incompressible_symbols(1 << 16), 256, 1));
+    let tiny = PaperDataset::Enwik8.generate(1500, 0xD5EA5E);
+    rows.push(autotune_row("tiny".to_string(), &tiny, 256, 1));
     rows
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! rsh compress   <input> <output> [--symbols u8|u16le] [--bins N]
 //!                                 [--magnitude M] [--reduction R]
+//!                                 [--autotune] [--tune-cache PATH]
 //!                                 [--trace out.json] [--device NAME]
 //! rsh decompress <input> <output> [--best-effort] [--sentinel N]
 //!                                 [--decoder serial|chunked|lut]
@@ -115,6 +116,7 @@ const USAGE: &str = "\
 usage:
   rsh compress   <input> <output> [--symbols u8|u16le] [--bins N] [--magnitude M] [--reduction R] [--widen]
                                   [--shards N] [--streams N] [--devices v100,rtx5000] [--buffers N]
+                                  [--autotune] [--tune-cache PATH]
                                   [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh decompress <input> <output> [--best-effort] [--sentinel N] [--decoder serial|chunked|lut]
                                   [--trace out.json] [--device v100|rtx5000]
@@ -126,6 +128,7 @@ usage:
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
   rsh serve      [--addr HOST:PORT] [--workers N] [--queue N] [--shard-symbols N]
                  [--deadline-ms F] [--gap-us F] [--max-requests N] [--chaos SEED]
+                 [--autotune] [--tune-cache PATH]
 
 profile runs the modeled device pipeline (roundtrip for raw files, decompression
 for RSH archives) and prints per-stage metrics; --trace writes the rsh-trace-v1
@@ -147,6 +150,18 @@ the input splits into N shards, each shard's histogram->codebook->encode chain
 runs on its own stream, overlapping across streams and devices, and the output
 is a multi-shard RSHM frame (decompress/verify/inspect accept it transparently;
 each shard recovers independently under --best-effort).
+
+--autotune replaces the fixed defaults with the adaptive tuning policy
+(DESIGN.md § \"Tuning policy\"): the input's histogram signature is measured,
+the candidate sweep (reduction factor, shards, streams, decoder) is scored with
+the device cost model, and the winner runs — incompressible inputs (>=95%
+ratio) are stored in the tiny RSHR raw container and tiny inputs skip the
+device entirely. --tune-cache PATH persists decisions in the rsh-tune-v1 cache
+(FORMAT.md §9) keyed by signature + device, so a second run with the same
+statistics prints `cache hit` and skips the modeled sweep; corrupt or
+foreign-versioned caches fall back to modeling, never fail the run. Cache
+hit/miss counters surface in stats as rsh_tune_lookups_total. The same flags on
+serve autotune every compress request.
 
 --decoder selects the payload decoder backend (default chunked): serial is the
 single-thread baseline, chunked decodes one chunk per block bit-serially, lut
@@ -202,6 +217,8 @@ struct Flags {
     streams: Option<usize>,
     devices: Option<String>,
     buffers: Option<usize>,
+    autotune: bool,
+    tune_cache: Option<String>,
     positional: Vec<String>,
 }
 
@@ -235,6 +252,16 @@ impl Flags {
             Some(list) => list.split(',').map(|n| device_spec(n.trim())).collect(),
             None => Ok(vec![device_spec(&self.device)?]),
         }
+    }
+
+    /// The autotuner selected by `--autotune`, persisting to the
+    /// `--tune-cache` path when one is given.
+    fn tuner(&self) -> Result<huff_core::Tuner, CliError> {
+        let device = device_spec(&self.device)?;
+        Ok(match &self.tune_cache {
+            Some(path) => huff_core::Tuner::with_cache_path(device, path),
+            None => huff_core::Tuner::new(device),
+        })
     }
 
     /// Profiler options assembled from the flags (`--bins`, `--magnitude`,
@@ -284,6 +311,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         streams: None,
         devices: None,
         buffers: None,
+        autotune: false,
+        tune_cache: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -388,6 +417,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .ok_or_else(|| usage("--buffers needs a number"))?,
                 )
             }
+            "--autotune" => f.autotune = true,
+            "--tune-cache" => {
+                f.tune_cache =
+                    Some(it.next().ok_or_else(|| usage("--tune-cache needs a path"))?.to_string())
+            }
             other if other.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag {other}")))
             }
@@ -425,6 +459,25 @@ fn cmd_compress(args: &[String]) -> CmdResult {
     };
     let raw = read_file(input)?;
     let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
+
+    if f.autotune {
+        if f.batched() || f.reduction.is_some() || f.trace.is_some() || f.chrome.is_some() {
+            return Err(CliError::Usage(
+                "--autotune picks reduction/shards/streams itself; drop --reduction, the batch \
+                 flags, and --trace/--chrome"
+                    .into(),
+            ));
+        }
+        let packed = autotune_compress(&f, &syms, default_bins)?;
+        write_file(output, &packed)?;
+        eprintln!(
+            "{} -> {} bytes ({:.3}x)",
+            raw.len(),
+            packed.len(),
+            raw.len() as f64 / packed.len() as f64,
+        );
+        return Ok(0);
+    }
 
     if f.batched() {
         return cmd_compress_batched(&f, &raw, &syms, default_bins, output);
@@ -470,6 +523,38 @@ fn cmd_compress(args: &[String]) -> CmdResult {
         raw.len() as f64 / dt / 1e6,
     );
     Ok(0)
+}
+
+/// `compress --autotune`: dispatch by the tuner's decision (store-raw /
+/// CPU-serial / tuned batched GPU; see `huff_core::tune`) and print what
+/// was decided and whether it came from the tuning cache.
+fn autotune_compress(f: &Flags, syms: &[u16], default_bins: usize) -> Result<Vec<u8>, CliError> {
+    let mut tuner = f.tuner()?;
+    let bins = f.bins.unwrap_or(default_bins);
+    let (packed, decision, hit) = tuner
+        .compress(syms, bins, f.symbols.bytes())
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+    eprintln!(
+        "rsh: autotune[{}]: dispatch={} r={} shards={} streams={} decoder={} ({:.3} ms modeled on {})",
+        if hit { "cache hit" } else { "modeled sweep" },
+        decision.dispatch.name(),
+        decision.reduction,
+        decision.shards,
+        decision.streams,
+        decision.decoder.name(),
+        decision.modeled_seconds() * 1e3,
+        tuner.device().name,
+    );
+    if let Some(path) = &f.tune_cache {
+        eprintln!(
+            "rsh: tune cache {path}: {} entr{} ({} hit, {} miss this run)",
+            tuner.cache().len(),
+            if tuner.cache().len() == 1 { "y" } else { "ies" },
+            tuner.hits,
+            tuner.misses,
+        );
+    }
+    Ok(packed)
 }
 
 /// `compress --shards/--streams/--devices/--buffers`: the sharded
@@ -540,12 +625,17 @@ fn cmd_decompress(args: &[String]) -> CmdResult {
         frame::parse(&packed, opts.verify)
             .map_err(|e| CliError::Corrupt(e.to_string()))?
             .symbol_bytes
+    } else if huff_core::tune::is_raw(&packed) {
+        huff_core::tune::raw_info(&packed).map_err(|e| CliError::Corrupt(e.to_string()))?.0
     } else {
         archive::deserialize_with(&packed, &opts)
             .map_err(|e| CliError::Corrupt(e.to_string()))?
             .symbol_bytes
     };
-    let rec = if (f.trace.is_some() || f.chrome.is_some()) && !frame::is_frame(&packed) {
+    let rec = if (f.trace.is_some() || f.chrome.is_some())
+        && !frame::is_frame(&packed)
+        && !huff_core::tune::is_raw(&packed)
+    {
         let gpu = f.gpu()?;
         let (rec, profile) = metrics::profile_decompress(&gpu, &packed, &opts)
             .map_err(|e| CliError::Corrupt(e.to_string()))?;
@@ -628,6 +718,14 @@ fn cmd_inspect(args: &[String]) -> CmdResult {
                 span.end
             );
         }
+        return Ok(0);
+    }
+    if huff_core::tune::is_raw(&packed) {
+        let (symbol_bytes, num_symbols) =
+            huff_core::tune::raw_info(&packed).map_err(|e| CliError::Corrupt(e.to_string()))?;
+        println!("raw container    {} bytes (RSHR, stored uncompressed)", packed.len());
+        println!("symbols          {num_symbols} ({symbol_bytes}-byte native width)");
+        println!("ratio            1.000x (autotune store-raw early exit)");
         return Ok(0);
     }
     let (stream, book, symbol_bytes) =
@@ -728,8 +826,9 @@ fn cmd_stats(args: &[String]) -> CmdResult {
     let raw = read_file(input)?;
     metrics::registry::global().reset();
 
-    let is_archive =
-        frame::is_frame(&raw) || (raw.len() >= 4 && (&raw[..4] == b"RSH1" || &raw[..4] == b"RSH2"));
+    let is_archive = frame::is_frame(&raw)
+        || huff_core::tune::is_raw(&raw)
+        || (raw.len() >= 4 && (&raw[..4] == b"RSH1" || &raw[..4] == b"RSH2"));
     let lossy = if is_archive {
         let mut opts = if f.best_effort {
             DecompressOptions::best_effort()
@@ -749,6 +848,8 @@ fn cmd_stats(args: &[String]) -> CmdResult {
                 frame::parse(&raw, opts.verify)
                     .map_err(|e| CliError::Corrupt(e.to_string()))?
                     .symbol_bytes
+            } else if huff_core::tune::is_raw(&raw) {
+                huff_core::tune::raw_info(&raw).map_err(|e| CliError::Corrupt(e.to_string()))?.0
             } else {
                 archive::deserialize_with(&raw, &opts)
                     .map_err(|e| CliError::Corrupt(e.to_string()))?
@@ -762,7 +863,9 @@ fn cmd_stats(args: &[String]) -> CmdResult {
         !rec.report.is_clean()
     } else {
         let (syms, default_bins) = f.symbols.decode(&raw).map_err(CliError::Corrupt)?;
-        let packed = if f.batched() {
+        let packed = if f.autotune {
+            autotune_compress(&f, &syms, default_bins)?
+        } else if f.batched() {
             let mut opts = BatchOptions::new(f.bins.unwrap_or(default_bins));
             if let Some(n) = f.shards {
                 opts.shard_symbols = syms.len().div_ceil(n).max(1);

@@ -47,6 +47,8 @@ struct ServeFlags {
     gap_us: f64,
     max_requests: Option<u64>,
     chaos: Option<u64>,
+    autotune: bool,
+    tune_cache: Option<String>,
 }
 
 impl ServeFlags {
@@ -60,6 +62,8 @@ impl ServeFlags {
             gap_us: 1000.0,
             max_requests: None,
             chaos: None,
+            autotune: false,
+            tune_cache: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -84,6 +88,8 @@ impl ServeFlags {
                     f.max_requests = Some(parse_num(val("--max-requests")?, "--max-requests")?);
                 }
                 "--chaos" => f.chaos = Some(parse_num(val("--chaos")?, "--chaos")?),
+                "--autotune" => f.autotune = true,
+                "--tune-cache" => f.tune_cache = Some(val("--tune-cache")?.clone()),
                 other => {
                     return Err(CliError::Usage(format!("unknown serve flag {other:?}\n{USAGE}")))
                 }
@@ -212,6 +218,8 @@ fn error_body(error: &str, reason: &str, trace_id: &str) -> Vec<u8> {
 fn symbol_width(bytes: &[u8]) -> symbols::SymbolWidth {
     let b = if frame::is_frame(bytes) {
         frame::parse(bytes, Verify::None).map(|i| i.symbol_bytes).unwrap_or(1)
+    } else if huff_core::tune::is_raw(bytes) {
+        huff_core::tune::raw_info(bytes).map(|(w, _)| w).unwrap_or(1)
     } else {
         let opts = DecompressOptions {
             verify: Verify::None,
@@ -237,6 +245,14 @@ pub(crate) fn cmd_serve(args: &[String]) -> CmdResult {
         Some(seed) => Engine::with_chaos(cfg, ChaosConfig::storm(seed)),
         None => Engine::new(cfg),
     };
+    if f.autotune || f.tune_cache.is_some() {
+        let device = gpu_sim::DeviceSpec::v100();
+        let tuner = match &f.tune_cache {
+            Some(path) => huff_core::Tuner::with_cache_path(device, path),
+            None => huff_core::Tuner::new(device),
+        };
+        engine = engine.with_tuner(tuner);
+    }
 
     let listener = TcpListener::bind(&f.addr)
         .map_err(|e| CliError::Io(format!("cannot bind {}: {e}", f.addr)))?;

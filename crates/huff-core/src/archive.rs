@@ -117,10 +117,15 @@ pub fn decompress(archive: &[u8]) -> Result<Vec<u16>> {
 /// report lists what was lost. Header damage is fatal in both modes.
 ///
 /// Multi-shard frames ([`crate::frame`], magic `RSHM`) are dispatched to
-/// the frame decoder, so this is the single entry point for both formats.
+/// the frame decoder, and store-raw containers ([`crate::tune`], magic
+/// `RSHR`) to the raw decoder, so this is the single entry point for all
+/// three formats.
 pub fn decompress_with(archive: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
     if crate::frame::is_frame(archive) {
         return crate::frame::decompress_with(archive, opts);
+    }
+    if crate::tune::is_raw(archive) {
+        return crate::tune::decompress_raw_with(archive, opts);
     }
     let parsed = deserialize_with(archive, opts)?;
     let recovered = match opts.mode {
@@ -176,6 +181,9 @@ pub fn verify(archive: &[u8]) -> Result<RecoveryReport> {
     crate::metrics::registry::global().record_verify();
     if crate::frame::is_frame(archive) {
         return crate::frame::verify(archive);
+    }
+    if crate::tune::is_raw(archive) {
+        return crate::tune::verify_raw(archive);
     }
     let opts = DecompressOptions { mode: RecoveryMode::BestEffort, ..Default::default() };
     let parsed = deserialize_with(archive, &opts)?;

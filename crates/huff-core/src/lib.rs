@@ -61,6 +61,7 @@ pub mod serve;
 pub mod sparse;
 pub mod testing;
 pub mod tree;
+pub mod tune;
 
 pub use batch::{compress_batched, BatchOptions, BatchReport};
 pub use codebook::{parallel as build_codebook, CanonicalCodebook};
@@ -71,3 +72,4 @@ pub use error::{HuffError, Result};
 pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};
 pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};
 pub use serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, ServeReport};
+pub use tune::{Decision, Dispatch, Signature, TuneCache, Tuner};

@@ -102,6 +102,12 @@ const FAMILIES: &[(&str, MetricKind, &str)] = &[
         MetricKind::Counter,
         "Shards quarantined off failed devices and rescheduled onto survivors.",
     ),
+    ("rsh_tune_lookups_total", MetricKind::Counter, "Tuning-cache lookups, by result (hit/miss)."),
+    (
+        "rsh_tune_decisions_total",
+        MetricKind::Counter,
+        "Autotune decisions applied, by dispatch path.",
+    ),
 ];
 
 #[derive(Debug, Clone, Default)]
@@ -406,6 +412,17 @@ impl Registry {
     /// Shards quarantined off failed devices in a batched run.
     pub fn record_shards_quarantined(&mut self, shards: usize) {
         self.add("rsh_quarantined_shards_total", &[], shards as f64);
+    }
+
+    /// One tuning-cache lookup.
+    pub fn record_tune_lookup(&mut self, hit: bool) {
+        let result = if hit { "hit" } else { "miss" };
+        self.add("rsh_tune_lookups_total", &[("result", result)], 1.0);
+    }
+
+    /// One autotune decision applied, by dispatch path name.
+    pub fn record_tune_decision(&mut self, dispatch: &str) {
+        self.add("rsh_tune_decisions_total", &[("dispatch", dispatch)], 1.0);
     }
 }
 

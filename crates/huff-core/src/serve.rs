@@ -17,8 +17,8 @@
 //!   [`EngineConfig::queue_capacity`]; requests arriving past it are shed
 //!   immediately with a structured [`Outcome::Shed`], never queued
 //!   unboundedly. Queue wait is a first-class cost term (see
-//!   `DESIGN.md §queue-wait`), reported per request and aggregated in the
-//!   metrics registry.
+//!   DESIGN.md § "Serving engine: the queue-wait cost term"), reported
+//!   per request and aggregated in the metrics registry.
 //! - **Deadlines with cancellation.** A request whose queue wait alone
 //!   exceeds its deadline is cancelled before consuming any worker time;
 //!   one that finishes past its deadline is a deadline miss even though
@@ -50,6 +50,7 @@ use crate::error::{HuffError, Result};
 use crate::integrity::{DecompressOptions, RecoveryMode, RecoveryReport, Verify};
 use crate::metrics::registry::{self, Registry};
 use crate::testing::Fault;
+use crate::tune::{self, Dispatch, Tuner};
 use crate::{archive, frame};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -441,6 +442,7 @@ pub struct Engine {
     completions: Vec<Completion>,
     last_arrival: f64,
     max_depth: usize,
+    tuner: Option<Tuner>,
 }
 
 impl Engine {
@@ -456,6 +458,7 @@ impl Engine {
             completions: Vec::new(),
             last_arrival: 0.0,
             max_depth: 0,
+            tuner: None,
         }
     }
 
@@ -465,6 +468,21 @@ impl Engine {
         let mut e = Engine::new(cfg);
         e.chaos = Some((chaos, rng));
         e
+    }
+
+    /// Enable adaptive autotuning: compress requests are dispatched by
+    /// [`crate::tune::Tuner::decide`] instead of the fixed batch
+    /// geometry. The first request with a given signature models the
+    /// candidate sweep (charged [`tune::MODEL_SWEEP_SECONDS`] of service
+    /// time); later requests hit the tuning cache and skip that cost.
+    pub fn with_tuner(mut self, tuner: Tuner) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// The autotuner, when enabled — exposes cache hit/miss counters.
+    pub fn tuner(&self) -> Option<&Tuner> {
+        self.tuner.as_ref()
     }
 
     /// The engine's own metrics registry (serve events are also mirrored
@@ -693,6 +711,54 @@ impl Engine {
     fn execute_compress(&mut self, symbols: &[u16], draw: &ChaosDraw) -> Result<Exec> {
         let faults: Vec<DeviceFault> =
             draw.device_loss.iter().map(|&(device, at)| DeviceFault { device, at }).collect();
+
+        // Autotuned path: dispatch per the tuner's decision. A cache
+        // miss models the candidate sweep once and is charged
+        // MODEL_SWEEP_SECONDS; a hit skips that cost entirely.
+        if let Some(tuner) = &mut self.tuner {
+            let (_, decision, hit) =
+                tuner.decide(symbols, self.cfg.batch.num_symbols, self.cfg.batch.symbol_bytes)?;
+            let sweep = if hit { 0.0 } else { tune::MODEL_SWEEP_SECONDS };
+            return match decision.dispatch {
+                Dispatch::Gpu => {
+                    let mut opts = self.cfg.batch.clone();
+                    opts.shard_symbols =
+                        symbols.len().div_ceil(decision.shards.max(1) as usize).max(1);
+                    opts.streams = decision.streams.max(1) as usize;
+                    opts.reduction = Some(decision.reduction.max(1));
+                    let (frame_bytes, report, quarantine) =
+                        compress_batched_with_faults(symbols, &opts, &faults)?;
+                    Ok(Exec {
+                        seconds: REQUEST_OVERHEAD_SECONDS + sweep + report.makespan,
+                        response: Response::Frame(frame_bytes),
+                        recovery: None,
+                        degraded: None,
+                        quarantined: quarantine.quarantined.len(),
+                    })
+                }
+                // Host paths: device loss cannot touch them, so the
+                // chaos draw's faults are moot and service time is the
+                // decision's modeled host cost.
+                Dispatch::CpuSerial | Dispatch::StoreRaw => {
+                    let devices = [tuner.device().clone()];
+                    let bytes = tune::compress_with_decision(
+                        symbols,
+                        self.cfg.batch.num_symbols,
+                        self.cfg.batch.symbol_bytes,
+                        &decision,
+                        &devices,
+                    )?;
+                    Ok(Exec {
+                        seconds: REQUEST_OVERHEAD_SECONDS + sweep + decision.modeled_seconds(),
+                        response: Response::Frame(bytes),
+                        recovery: None,
+                        degraded: None,
+                        quarantined: 0,
+                    })
+                }
+            };
+        }
+
         let (frame_bytes, report, quarantine) =
             compress_batched_with_faults(symbols, &self.cfg.batch, &faults)?;
         Ok(Exec {
