@@ -85,6 +85,19 @@ impl Bound {
             Bound::Contention => "contention",
         }
     }
+
+    /// Inverse of [`Bound::name`]: parse a stable lower-case name back into
+    /// a classification. Returns `None` for unknown strings so baseline
+    /// readers (the regression gate keys rows by Bound class) can fail open.
+    pub fn parse(name: &str) -> Option<Bound> {
+        match name {
+            "memory" => Some(Bound::Memory),
+            "compute" => Some(Bound::Compute),
+            "latency" => Some(Bound::Latency),
+            "contention" => Some(Bound::Contention),
+            _ => None,
+        }
+    }
 }
 
 /// Derived hardware counters for one recorded launch.
@@ -230,6 +243,14 @@ mod tests {
     use crate::clock::SimClock;
     use crate::cost;
     use crate::grid::GridDim;
+
+    #[test]
+    fn bound_parse_roundtrips_names() {
+        for b in [Bound::Memory, Bound::Compute, Bound::Latency, Bound::Contention] {
+            assert_eq!(Bound::parse(b.name()), Some(b));
+        }
+        assert_eq!(Bound::parse("warp"), None);
+    }
     use crate::traffic::Traffic;
 
     fn record_for(traffic: Traffic, grid: GridDim) -> KernelRecord {

@@ -95,6 +95,19 @@ impl Traffic {
         self.global_atomic_conflicts += conflicts;
     }
 
+    /// Record `n` global atomics to *consecutive addresses* (e.g. a block
+    /// committing its privatized histogram replica bin-by-bin). The L2
+    /// resolves these at sector granularity as a read-modify-write, so the
+    /// ledger books coalesced read + write bytes instead of one sector per
+    /// atomic; only `conflicts` (same-address collisions across blocks)
+    /// serialize. This is what makes Gomez-Luna full privatization commit
+    /// cheaper than a separate tree-reduce launch.
+    pub fn global_atomic_coalesced(&mut self, n: u64, elem_bytes: u64, conflicts: u64) {
+        self.read_coalesced += n * elem_bytes;
+        self.write_coalesced += n * elem_bytes;
+        self.global_atomic_conflicts += conflicts;
+    }
+
     /// Record `n` shared-memory atomics of which `conflicts` serialize.
     pub fn shared_atomic(&mut self, n: u64, conflicts: u64) {
         self.shared_atomics += n;
@@ -210,6 +223,22 @@ mod tests {
         t.global_atomic(10, 3);
         assert_eq!(t.dram_sectors(32), 10);
         assert_eq!(t.global_atomic_conflicts, 3);
+    }
+
+    #[test]
+    fn coalesced_atomics_bill_rmw_bytes_not_sectors() {
+        // 1024 consecutive-address u32 atomics: billed as a 4 KiB RMW
+        // (8 KiB of coalesced traffic = 256 sectors), not 1024 sectors.
+        let mut t = Traffic::new();
+        t.global_atomic_coalesced(1024, 4, 7);
+        assert_eq!(t.read_coalesced, 4096);
+        assert_eq!(t.write_coalesced, 4096);
+        assert_eq!(t.global_atomics, 0);
+        assert_eq!(t.global_atomic_conflicts, 7);
+        assert_eq!(t.dram_sectors(32), 256);
+        let mut scattered = Traffic::new();
+        scattered.global_atomic(1024, 7);
+        assert_eq!(scattered.dram_sectors(32), 1024);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Bench-regression gate — re-run the pipeline, decode, and autotune
-//! sweeps and compare every modeled metric against the committed
-//! `results/BENCH_pipeline.json` / `results/BENCH_decode.json` /
-//! `results/BENCH_autotune.json` baselines.
+//! Bench-regression gate — re-run the pipeline, decode, autotune, and
+//! per-kernel roofline sweeps and compare every modeled metric against
+//! the committed `results/BENCH_pipeline.json` / `results/BENCH_decode.json`
+//! / `results/BENCH_autotune.json` / `results/BENCH_kernels.json`
+//! baselines.
 //!
 //! The sweeps re-run at exactly the scales the baselines were generated
 //! at ([`huff_bench::sweeps`]), so every modeled figure is deterministic
@@ -15,6 +16,9 @@
 //! tuning-policy change that flips a cached decision (a dataset moving
 //! from `gpu` to `store_raw`, say) surfaces as a missing/unexpected
 //! baseline row — a hard failure — rather than a quiet throughput delta.
+//! The kernels table likewise keys on `(dataset, device, plan, kernel,
+//! bound)`: a kernel in the 64 MB acceptance sweep regressing its
+//! roofline `Bound` class under either plan is a hard failure.
 //!
 //! ```text
 //! usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH]
@@ -28,7 +32,7 @@
 
 use huff_bench::regression::{
     compare, parse_baseline, Comparison, AUTOTUNE_KEY, AUTOTUNE_METRICS, DECODE_KEY,
-    DECODE_METRICS, DEFAULT_TOLERANCE, PIPELINE_KEY, PIPELINE_METRICS,
+    DECODE_METRICS, DEFAULT_TOLERANCE, KERNEL_KEY, KERNEL_METRICS, PIPELINE_KEY, PIPELINE_METRICS,
 };
 use huff_bench::{row_json, sweeps};
 use serde::json::Value;
@@ -121,6 +125,7 @@ fn main() {
     let pipeline_path = args.baseline_dir.join("BENCH_pipeline.json");
     let decode_path = args.baseline_dir.join("BENCH_decode.json");
     let autotune_path = args.baseline_dir.join("BENCH_autotune.json");
+    let kernels_path = args.baseline_dir.join("BENCH_kernels.json");
 
     println!(
         "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, autotune sweep @ \
@@ -134,11 +139,13 @@ fn main() {
     let pipeline_rows = sweeps::pipeline_rows(args.pipeline_scale);
     let decode_rows = sweeps::decode_rows(args.decode_scale);
     let autotune_rows = sweeps::autotune_rows(args.autotune_scale);
+    let kernel_rows = sweeps::kernel_rows();
 
     if args.update {
         write_baseline(&pipeline_path, "pipeline", &pipeline_rows);
         write_baseline(&decode_path, "decode", &decode_rows);
         write_baseline(&autotune_path, "autotune", &autotune_rows);
+        write_baseline(&kernels_path, "kernels", &kernel_rows);
         println!("baselines updated; commit the new results/ files");
         return;
     }
@@ -166,6 +173,14 @@ fn main() {
         AUTOTUNE_METRICS,
         &load_baseline(&autotune_path, "autotune"),
         &rows_to_values(&autotune_rows),
+        args.tolerance,
+    ));
+    cmp.merge(compare(
+        "kernels",
+        KERNEL_KEY,
+        KERNEL_METRICS,
+        &load_baseline(&kernels_path, "kernels"),
+        &rows_to_values(&kernel_rows),
         args.tolerance,
     ));
 

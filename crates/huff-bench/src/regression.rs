@@ -69,6 +69,18 @@ pub const AUTOTUNE_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "auto_gbps", direction: Direction::HigherIsBetter },
 ];
 
+/// Key of the `kernels` table. `plan` and `bound` are both part of the
+/// key on purpose: a kernel regressing its roofline `Bound` class under
+/// either plan (say `enc_breaking_backtrace` sliding from `memory` back
+/// to `latency`) surfaces as a missing/unexpected baseline row — a hard
+/// failure — rather than a quiet efficiency delta.
+pub const KERNEL_KEY: &[&str] = &["dataset", "device", "plan", "kernel", "bound"];
+/// Compared metrics of the `kernels` table.
+pub const KERNEL_METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "modeled_ms", direction: Direction::LowerIsBetter },
+    MetricSpec { name: "efficiency", direction: Direction::HigherIsBetter },
+];
+
 /// Outcome of one metric comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -446,6 +458,58 @@ mod tests {
             },
         );
         assert!(parse_baseline(&wrong, "decode").is_err());
+    }
+
+    #[derive(Serialize, Clone)]
+    struct KRow {
+        dataset: String,
+        device: &'static str,
+        plan: &'static str,
+        kernel: String,
+        bound: &'static str,
+        modeled_ms: f64,
+        efficiency: f64,
+        wall_ms: f64,
+    }
+
+    fn krow(plan: &'static str, kernel: &str, bound: &'static str, ms: f64) -> Value {
+        KRow {
+            dataset: "accept-64mb".into(),
+            device: "V100",
+            plan,
+            kernel: kernel.into(),
+            bound,
+            modeled_ms: ms,
+            efficiency: 0.8,
+            wall_ms: 1.0,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn bound_class_flip_is_a_hard_failure() {
+        // The Bound class is part of the kernels key: a kernel keeping its
+        // time but flipping classification must fail the gate as a
+        // missing + unexpected key pair, not pass as an "ok" metric delta.
+        let base = vec![
+            krow("fused", "hist_fused_reduction", "memory", 0.1),
+            krow("fused", "enc_shuffle_merge", "memory", 0.2),
+        ];
+        let flipped = vec![
+            krow("fused", "hist_fused_reduction", "latency", 0.1),
+            krow("fused", "enc_shuffle_merge", "memory", 0.2),
+        ];
+        let cmp = compare("kernels", KERNEL_KEY, KERNEL_METRICS, &base, &flipped, 0.02);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.missing, vec!["kernels/accept-64mb/V100/fused/hist_fused_reduction/memory"]);
+        assert_eq!(
+            cmp.unexpected,
+            vec!["kernels/accept-64mb/V100/fused/hist_fused_reduction/latency"]
+        );
+        // Identical runs still pass, and wall clock is never compared.
+        let same = compare("kernels", KERNEL_KEY, KERNEL_METRICS, &base, &base, 0.02);
+        assert!(same.ok(), "{}", same.render());
+        assert!(same.deltas.iter().all(|d| d.metric != "wall_ms"));
     }
 
     #[test]

@@ -16,8 +16,9 @@ use gpu_sim::{DeviceSpec, Gpu};
 use huff_core::batch::{compress_batched, BatchOptions};
 use huff_core::decode::{gpu::decode_kind_on_gpu, DecoderKind};
 use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
+use huff_core::metrics::{self, roofline::DEFAULT_THRESHOLD};
 use huff_core::tune::{Dispatch, Tuner};
-use huff_core::{histogram, CanonicalCodebook};
+use huff_core::{histogram, CanonicalCodebook, KernelPlan};
 use huff_datasets::PaperDataset;
 use serde::Serialize;
 
@@ -318,6 +319,78 @@ pub fn autotune_rows(scale: f64) -> Vec<AutotuneRow> {
     rows.push(autotune_row("incompressible".to_string(), &incompressible_symbols(1 << 16), 256, 1));
     let tiny = PaperDataset::Enwik8.generate(1500, 0xD5EA5E);
     rows.push(autotune_row("tiny".to_string(), &tiny, 256, 1));
+    rows
+}
+
+/// One per-kernel roofline row of the acceptance encode (`rsh-bench-v1`
+/// table `"kernels"`).
+///
+/// The regression gate keys on `(dataset, device, plan, kernel, bound)`,
+/// so a kernel *changing its `Bound` classification* against the
+/// committed `results/BENCH_kernels.json` baseline is a hard failure (a
+/// missing/unexpected key), not a quiet metric delta — the Bound class
+/// is part of the contract.
+#[derive(Serialize)]
+pub struct KernelRow {
+    /// Workload name (`accept-64mb`: the fixed acceptance input).
+    pub dataset: String,
+    /// Modeled device name.
+    pub device: &'static str,
+    /// Kernel plan the pipeline ran under (`fused` / `unfused`).
+    pub plan: &'static str,
+    /// Kernel name on the device clock.
+    pub kernel: String,
+    /// Roofline `Bound` classification (part of the regression key).
+    pub bound: &'static str,
+    /// Modeled kernel time, ms.
+    pub modeled_ms: f64,
+    /// Achieved over effective bandwidth, `[0, 1]`.
+    pub efficiency: f64,
+    /// Host wall-clock of the profiled run, ms (machine-dependent;
+    /// excluded from regression comparison).
+    pub wall_ms: f64,
+}
+
+/// Profile the fixed 64 MB acceptance encode on a V100 under both
+/// [`KernelPlan`]s and emit one row per kernel launch (deduplicated by
+/// name — repeated launches of the same kernel are summed). This is the
+/// Bound-class acceptance sweep the regression gate certifies: the fused
+/// plan must keep `hist_fused_reduction` and `enc_shuffle_merge` off the
+/// latency wall, and `enc_breaking_backtrace` coalesced.
+pub fn kernel_rows() -> Vec<KernelRow> {
+    let d = PaperDataset::Enwik8;
+    let n = (64 << 20) / d.symbol_bytes() as usize;
+    let data = d.generate(n, 0xACCE97);
+    let mut rows = Vec::new();
+    for plan in [KernelPlan::fused(), KernelPlan::unfused()] {
+        let gpu = Gpu::v100();
+        let opts = metrics::ProfileOptions::new(d.num_symbols())
+            .symbol_bytes(d.symbol_bytes())
+            .reduction(d.paper_reduction())
+            .plan(plan);
+        let ((_, profile), wall_s) =
+            wall(|| metrics::profile_compress(&gpu, &data, &opts).expect("profiled encode"));
+        let report = profile.roofline(DEFAULT_THRESHOLD);
+        // Sum repeated launches of the same kernel into one row so the
+        // regression key stays unique.
+        let mut by_name: Vec<KernelRow> = Vec::new();
+        for k in &report.kernels {
+            match by_name.iter_mut().find(|r| r.kernel == k.name) {
+                Some(r) => r.modeled_ms += k.seconds * 1e3,
+                None => by_name.push(KernelRow {
+                    dataset: "accept-64mb".to_string(),
+                    device: "V100",
+                    plan: plan.name(),
+                    kernel: k.name.clone(),
+                    bound: k.counters.bound.name(),
+                    modeled_ms: k.seconds * 1e3,
+                    efficiency: k.counters.efficiency,
+                    wall_ms: wall_s * 1e3,
+                }),
+            }
+        }
+        rows.extend(by_name);
+    }
     rows
 }
 

@@ -11,6 +11,7 @@
 //! rsh verify     <archive>
 //! rsh inspect    <archive>
 //! rsh profile    <file> [--roofline] [--roofline-json out.json] [--threshold F]
+//!                [--compare]
 //!                       [--trace out.json] [--chrome out.json] [--device NAME]
 //! rsh stats      <input> [output] [--json]
 //! ```
@@ -123,6 +124,7 @@ usage:
   rsh verify     <archive>
   rsh inspect    <archive>
   rsh profile    <file> [--roofline] [--roofline-json out.json] [--threshold F]
+                 [--compare]
                         [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh stats      <input> [output] [--json] [compress/decompress flags]
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
@@ -137,7 +139,12 @@ compress/decompress routes them through the same modeled pipeline. --roofline
 adds the per-kernel roofline classification (memory / compute / latency /
 contention bound, efficiency vs the device's achievable bandwidth); kernels that
 should ride the roofline but achieve less than --threshold (default 0.5) of it
-are flagged. --roofline-json writes the rsh-roofline-v1 report.
+are flagged. --roofline-json writes the rsh-roofline-v1 report. --compare
+profiles the same raw input under the fused and unfused kernel plans and prints
+a side-by-side per-kernel roofline table — the kernel-fusion win (one
+histogram kernel, no standalone length kernel, coalesced backtrace; see
+DESIGN.md § \"Kernel fusion\") in one command. Fusion is encode-side only, so
+--compare rejects archive inputs.
 
 stats resets the process-wide metrics registry, runs one real operation
 (compress for raw inputs, decompress for archives/frames), and dumps the
@@ -211,6 +218,7 @@ struct Flags {
     roofline: bool,
     roofline_json: Option<String>,
     threshold: Option<f64>,
+    compare: bool,
     json: bool,
     device: String,
     shards: Option<usize>,
@@ -305,6 +313,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         roofline: false,
         roofline_json: None,
         threshold: None,
+        compare: false,
         json: false,
         device: "v100".to_string(),
         shards: None,
@@ -359,6 +368,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     Some(it.next().ok_or_else(|| usage("--chrome needs a path"))?.to_string())
             }
             "--roofline" => f.roofline = true,
+            "--compare" => f.compare = true,
             "--roofline-json" => {
                 f.roofline_json = Some(
                     it.next().ok_or_else(|| usage("--roofline-json needs a path"))?.to_string(),
@@ -767,6 +777,9 @@ fn cmd_profile(args: &[String]) -> CmdResult {
     let gpu = f.gpu()?;
 
     let is_archive = raw.len() >= 4 && (&raw[..4] == b"RSH1" || &raw[..4] == b"RSH2");
+    if f.compare {
+        return cmd_profile_compare(&f, &raw, is_archive);
+    }
     let profile = if is_archive {
         let mut opts = if f.best_effort {
             DecompressOptions::best_effort()
@@ -807,6 +820,45 @@ fn cmd_profile(args: &[String]) -> CmdResult {
         Some(r) if !r.is_clean() => Ok(EXIT_RECOVERED_WITH_LOSSES),
         _ => Ok(0),
     }
+}
+
+/// `rsh profile --compare`: run the same raw input through the modeled
+/// compress pipeline under the fused and the unfused
+/// `KernelPlan` and
+/// print a side-by-side per-kernel roofline table. Kernel fusion is
+/// encode-side only (no decode kernel changes, no on-disk byte changes),
+/// so archive inputs are rejected.
+fn cmd_profile_compare(f: &Flags, raw: &[u8], is_archive: bool) -> CmdResult {
+    use huff_core::KernelPlan;
+    if is_archive {
+        return Err(CliError::Usage(
+            "--compare contrasts the encode-side kernel plans; it needs a raw input (fusion \
+             changes no decode kernels)"
+                .into(),
+        ));
+    }
+    if f.trace.is_some() || f.chrome.is_some() || f.roofline_json.is_some() {
+        return Err(CliError::Usage(
+            "--compare runs two profiles; drop --trace/--chrome/--roofline-json (run each plan \
+             separately to export one)"
+                .into(),
+        ));
+    }
+    let (syms, default_bins) = f.symbols.decode(raw).map_err(CliError::Corrupt)?;
+    let mut reports = Vec::new();
+    for plan in [KernelPlan::fused(), KernelPlan::unfused()] {
+        // A fresh device per plan: the clock accumulates launches.
+        let gpu = f.gpu()?;
+        let opts = f.profile_options(default_bins).plan(plan);
+        let (packed_a, profile) = metrics::profile_compress(&gpu, &syms, &opts)
+            .map_err(|e| CliError::Corrupt(e.to_string()))?;
+        reports.push((packed_a, profile.roofline(f.roofline_threshold())));
+    }
+    let (fused_bytes, fused) = &reports[0];
+    let (unfused_bytes, unfused) = &reports[1];
+    debug_assert_eq!(fused_bytes, unfused_bytes, "plans must be bit-identical");
+    print!("{}", metrics::roofline::render_comparison("fused", fused, "unfused", unfused));
+    Ok(0)
 }
 
 /// `rsh stats <input> [output]`: reset the process-wide metrics registry,

@@ -32,6 +32,7 @@ use crate::archive;
 use crate::error::{HuffError, Result};
 use crate::frame;
 use crate::pipeline::{self, PipelineKind, PipelineReport, StageTimes};
+use crate::plan::KernelPlan;
 use gpu_sim::{DeviceSpec, Gpu, KernelRecord, StreamSchedule, Timeline};
 use rayon::prelude::*;
 
@@ -59,6 +60,9 @@ pub struct BatchOptions {
     pub kind: PipelineKind,
     /// Native symbol width recorded in the frame header.
     pub symbol_bytes: u8,
+    /// Kernel-fusion plan each shard's pipeline runs under (the frame
+    /// bytes are identical for every plan).
+    pub plan: KernelPlan,
 }
 
 impl BatchOptions {
@@ -75,6 +79,7 @@ impl BatchOptions {
             reduction: None,
             kind: PipelineKind::ReduceShuffle,
             symbol_bytes: 2,
+            plan: KernelPlan::default(),
         }
     }
 }
@@ -248,7 +253,7 @@ fn run_batch(
         .map(|(j, shard)| {
             let device = j % n_devices;
             let gpu = Gpu::new(opts.devices[device].clone());
-            let (stream, book, report) = pipeline::run(
+            let (stream, book, report) = pipeline::run_with_plan(
                 &gpu,
                 shard,
                 u64::from(opts.symbol_bytes),
@@ -256,6 +261,7 @@ fn run_batch(
                 opts.magnitude,
                 opts.reduction,
                 opts.kind,
+                opts.plan,
             )?;
             let bytes = archive::serialize(&stream, &book, opts.symbol_bytes);
             Ok(ShardOut { bytes, records: gpu.clock().drain(), report })

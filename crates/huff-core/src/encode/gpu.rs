@@ -1,6 +1,6 @@
 //! The reduce-shuffle encoder on the simulated device.
 //!
-//! Kernel structure matches Table I's "Huffman enc." block:
+//! Kernel structure starts from Table I's "Huffman enc." block:
 //!
 //! * `enc_reduce_merge` — coarse+fine: each thread merges `2^r` codewords
 //!   (codebook cached in shared memory), writing one merged unit per
@@ -12,6 +12,15 @@
 //! * `enc_breaking_backtrace` — the reduction that locates breaking units
 //!   plus the dense-to-sparse conversion (~300 us on the V100, Section V-B2).
 //!
+//! Under the default [`KernelPlan::fused`] the decomposition is tighter
+//! (DESIGN.md § "Kernel fusion"): the `enc_blockwise_len` prefix sum runs
+//! as a decoupled-lookback epilogue *inside* `enc_shuffle_merge`
+//! ([`gpu_sim::prefix::single_pass_scan`] — no launch, no grid syncs), and
+//! `enc_breaking_backtrace` emits its sparse sidecar via warp-aggregated
+//! compaction (ballot + block-local scan + one coalesced segment write)
+//! instead of per-unit random scatter. Either way the returned stream is
+//! bit-identical — the plan only changes the modeled launch/traffic shape.
+//!
 //! `symbol_bytes` is the dataset's native symbol width (1 for the
 //! byte-oriented corpora, 2 for quantization codes and k-mers) — it sets
 //! the input-read traffic and is the basis for the GB/s figures the tables
@@ -21,8 +30,44 @@ use super::reduce_shuffle::{assemble, encode_chunk, EncodedChunk};
 use super::{BreakingStrategy, ChunkedStream, MergeConfig};
 use crate::codebook::CanonicalCodebook;
 use crate::error::Result;
+use crate::plan::KernelPlan;
 use gpu_sim::{Access, Gpu, GridDim};
 use rayon::prelude::*;
+
+/// Hardware grid-dimension ceiling shared by the encode kernels (same
+/// clamp the decode side applies via its `DecodeLaunch` helper).
+const MAX_BLOCKS: u64 = 1 << 20;
+
+/// Shared launch-geometry helper for the chunk-parallel encode kernels.
+///
+/// Centralizes the grid clamp so a stream with more than 2^20 chunks loops
+/// blocks over chunks instead of silently truncating the block count (the
+/// old hand-built `GridDim::new((n_chunks as u32).min(1 << 20), 256)`
+/// narrowed to u32 *before* clamping).
+#[derive(Debug, Clone, Copy)]
+struct EncodeLaunch {
+    /// Chunks the stream actually holds (at least 1).
+    n_chunks: u64,
+    /// Grid blocks after the clamp.
+    blocks: u64,
+}
+
+impl EncodeLaunch {
+    fn new(n_chunks: u64) -> Self {
+        let n_chunks = n_chunks.max(1);
+        EncodeLaunch { n_chunks, blocks: n_chunks.min(MAX_BLOCKS) }
+    }
+
+    fn grid(&self) -> GridDim {
+        GridDim::new(self.blocks as u32, 256)
+    }
+
+    /// Scalar-op overhead of the block loop: iterations beyond the first
+    /// pay loop bookkeeping (index math, bounds check, chunk re-base).
+    fn loop_ops(&self) -> u64 {
+        8 * (self.n_chunks - self.blocks)
+    }
+}
 
 /// Modeled per-kernel encode times, in seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -41,9 +86,8 @@ pub struct GpuEncodeTimes {
     pub total: f64,
 }
 
-/// Encode on the device, charging modeled time to `gpu`'s clock. Returns
-/// the stream (bit-identical to the host encoder's) and the per-kernel
-/// breakdown.
+/// Encode on the device under the default (fused) plan. See
+/// [`encode_on_gpu_with_plan`].
 pub fn encode_on_gpu(
     gpu: &Gpu,
     symbols: &[u16],
@@ -51,6 +95,29 @@ pub fn encode_on_gpu(
     book: &CanonicalCodebook,
     config: MergeConfig,
     strategy: BreakingStrategy,
+) -> Result<(ChunkedStream, GpuEncodeTimes)> {
+    encode_on_gpu_with_plan(
+        gpu,
+        symbols,
+        symbol_bytes,
+        book,
+        config,
+        strategy,
+        KernelPlan::default(),
+    )
+}
+
+/// Encode on the device, charging modeled time to `gpu`'s clock. Returns
+/// the stream (bit-identical to the host encoder's, for every plan) and
+/// the per-kernel breakdown.
+pub fn encode_on_gpu_with_plan(
+    gpu: &Gpu,
+    symbols: &[u16],
+    symbol_bytes: u64,
+    book: &CanonicalCodebook,
+    config: MergeConfig,
+    strategy: BreakingStrategy,
+    plan: KernelPlan,
 ) -> Result<(ChunkedStream, GpuEncodeTimes)> {
     let chunk_syms = config.chunk_symbols();
     let n = symbols.len() as u64;
@@ -63,7 +130,8 @@ pub fn encode_on_gpu(
     let book_loads = n_chunks.min(u64::from(gpu.spec().sm_count) * 4);
 
     // --- Kernel 1: REDUCE-merge (fused functional work happens here) ----
-    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
+    let launch = EncodeLaunch::new(n_chunks);
+    let grid = launch.grid();
     let (chunks, reduce_cost) = gpu.launch_timed("enc_reduce_merge", grid, |scope| {
         let chunks: Vec<EncodedChunk<'_>> = symbols
             .par_chunks(chunk_syms.max(1))
@@ -82,35 +150,48 @@ pub fn encode_on_gpu(
         t.shared(n * 8); // per-symbol shared-memory codebook lookups
         t.write(Access::Coalesced, units, 4); // merged unit words
         t.write(Access::Coalesced, units, 1); // per-unit bit lengths (u8)
-        t.ops(4 * n);
+        t.ops(4 * n + launch.loop_ops());
         chunks
     });
 
-    // --- Kernel 2: SHUFFLE-merge ----------------------------------------
+    // --- Kernel 2: SHUFFLE-merge (+ fused length epilogue) ---------------
+    let chunk_bits: Vec<u64> = chunks.iter().map(|c| c.bit_len).collect();
     let words_moved: u64 = chunks.iter().map(|c| c.shuffle.words_moved).sum();
     let iters = chunks.iter().map(|c| c.shuffle.iterations).max().unwrap_or(0);
     let (_, shuffle_cost) = gpu.launch_timed("enc_shuffle_merge", grid, |scope| {
-        let t = scope.traffic();
-        t.read(Access::Coalesced, words_moved, 4);
-        t.write(Access::Coalesced, words_moved, 4);
-        // Group bit-length bookkeeping: each window reads its two group
-        // lengths and writes the merged one; the total window count across
-        // all iterations is one per unit.
-        t.read(Access::Coalesced, 2 * units, 4);
-        t.write(Access::Coalesced, units, 4);
-        t.ops(6 * words_moved);
-        t.diverge(2.0); // Section IV-C-d: shuffle diverges at a factor of 2
-        for _ in 0..iters {
-            t.grid_sync();
+        {
+            let t = scope.traffic();
+            t.read(Access::Coalesced, words_moved, 4);
+            t.write(Access::Coalesced, words_moved, 4);
+            // Group bit-length bookkeeping: each window reads its two group
+            // lengths and writes the merged one; the total window count across
+            // all iterations is one per unit.
+            t.read(Access::Coalesced, 2 * units, 4);
+            t.write(Access::Coalesced, units, 4);
+            t.ops(6 * words_moved + launch.loop_ops());
+            t.diverge(2.0); // Section IV-C-d: shuffle diverges at a factor of 2
+            for _ in 0..iters {
+                t.grid_sync();
+            }
+        }
+        if plan.fused_len {
+            // Epilogue: blocks already hold their chunks' final bit lengths
+            // in shared memory, so the device-wide offsets resolve in a
+            // decoupled-lookback single pass — no extra launch, no barrier.
+            let (_offsets, _total) = gpu_sim::prefix::single_pass_scan(scope, &chunk_bits);
         }
     });
 
-    // --- Kernel 3: blockwise code lengths + prefix sum -------------------
-    let chunk_bits: Vec<u64> = chunks.iter().map(|c| c.bit_len).collect();
-    let (_, len_cost) =
-        gpu.launch_timed("enc_blockwise_len", GridDim::cover(chunk_bits.len(), 256), |scope| {
-            let (_offsets, _total) = gpu_sim::prefix::exclusive_scan(scope, &chunk_bits);
-        });
+    // --- Kernel 3: blockwise code lengths + prefix sum (unfused only) ----
+    let len_cost = if plan.fused_len {
+        gpu_sim::CostBreakdown::default()
+    } else {
+        let (_, cost) =
+            gpu.launch_timed("enc_blockwise_len", GridDim::cover(chunk_bits.len(), 256), |scope| {
+                let (_offsets, _total) = gpu_sim::prefix::exclusive_scan(scope, &chunk_bits);
+            });
+        cost
+    };
 
     // --- Kernel 4: coalescing copy --------------------------------------
     let total_bits: u64 = chunk_bits.iter().sum();
@@ -119,7 +200,7 @@ pub fn encode_on_gpu(
         let t = scope.traffic();
         t.read(Access::Coalesced, payload_bytes, 1);
         t.write(Access::Coalesced, payload_bytes, 1);
-        t.ops(payload_bytes.div_ceil(4));
+        t.ops(payload_bytes.div_ceil(4) + launch.loop_ops());
     });
 
     // --- Kernel 5: breaking backtrace + dense-to-sparse ------------------
@@ -130,10 +211,25 @@ pub fn encode_on_gpu(
         gpu.launch_timed("enc_breaking_backtrace", GridDim::cover(units as usize, 256), |scope| {
             let t = scope.traffic();
             t.read(Access::Coalesced, units, 1); // one-time read of unit lens (u8)
-            t.write(Access::Random, n_breaking, 8); // sparse indices
-            t.write(Access::Random, breaking_syms, 2); // raw symbols
-            t.ops(units);
-            t.grid_sync();
+            t.read(Access::Coalesced, breaking_syms, 2); // raw symbols re-read
+            if plan.compacted_backtrace {
+                // Warp-aggregated compaction: a ballot finds each warp's
+                // breaking units, a block-local scan packs them, one atomic
+                // per contributing block reserves a segment of the sidecar,
+                // and the segment lands as a single coalesced write. The
+                // device-wide scan (and its barrier) disappears.
+                let seg_blocks = units.div_ceil(256).min(n_breaking);
+                t.shared(units * 4); // ballot + block-local scan workspace
+                t.global_atomic(seg_blocks, seg_blocks / 64);
+                t.write(Access::Coalesced, n_breaking, 8); // sparse indices
+                t.write(Access::Coalesced, breaking_syms, 2); // raw symbols
+                t.ops(units + 4 * n_breaking);
+            } else {
+                t.write(Access::Random, n_breaking, 8); // sparse indices
+                t.write(Access::Random, breaking_syms, 2); // raw symbols
+                t.ops(units);
+                t.grid_sync();
+            }
         });
 
     let stream = assemble(symbols.len(), &chunks, config)?;
@@ -168,13 +264,13 @@ pub fn coarse_encode_on_gpu(
 ) -> Result<(ChunkedStream, f64)> {
     let n = symbols.len() as u64;
     let n_chunks = symbols.len().div_ceil(config.chunk_symbols()).max(1) as u64;
-    let grid = GridDim::new((n_chunks as u32).min(1 << 20), 256);
-    let (stream, cost) = gpu.launch_timed("coarse_encode", grid, |scope| {
+    let launch = EncodeLaunch::new(n_chunks);
+    let (stream, cost) = gpu.launch_timed("coarse_encode", launch.grid(), |scope| {
         let stream = super::coarse::encode(symbols, book, config);
         let t = scope.traffic();
         t.read(Access::Strided, n, symbol_bytes); // chunk-strided, cache-hostile
         t.write(Access::Strided, n, 4); // fragmented per-codeword appends
-        t.ops(8 * n);
+        t.ops(8 * n + launch.loop_ops());
         t.diverge(2.0); // variable-length appends diverge heavily
         stream
     });
@@ -268,7 +364,8 @@ mod tests {
     }
 
     #[test]
-    fn five_encode_kernels_charged() {
+    fn fused_default_charges_four_kernels() {
+        // The fused-len plan folds enc_blockwise_len into the shuffle merge.
         let (book, syms) = nyx_like(10_000);
         let gpu = Gpu::new(DeviceSpec::test_part());
         let _ = encode_on_gpu(
@@ -280,7 +377,84 @@ mod tests {
             BreakingStrategy::SparseSidecar,
         )
         .unwrap();
+        assert_eq!(gpu.clock().launches(), 4);
+        assert_eq!(gpu.elapsed_matching("enc_blockwise_len"), 0.0);
+    }
+
+    #[test]
+    fn unfused_plan_charges_five_kernels() {
+        let (book, syms) = nyx_like(10_000);
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let _ = encode_on_gpu_with_plan(
+            &gpu,
+            &syms,
+            2,
+            &book,
+            MergeConfig::new(8, 2),
+            BreakingStrategy::SparseSidecar,
+            KernelPlan::unfused(),
+        )
+        .unwrap();
         assert_eq!(gpu.clock().launches(), 5);
+        assert!(gpu.elapsed_matching("enc_blockwise_len") > 0.0);
+    }
+
+    #[test]
+    fn fused_and_unfused_streams_bit_identical() {
+        let (book, syms) = nyx_like(40_000);
+        let cfg = MergeConfig::new(9, 2);
+        for strategy in [BreakingStrategy::SparseSidecar, BreakingStrategy::WidenWord] {
+            let g1 = Gpu::new(DeviceSpec::test_part());
+            let g2 = Gpu::new(DeviceSpec::test_part());
+            let (fused, _) =
+                encode_on_gpu_with_plan(&g1, &syms, 2, &book, cfg, strategy, KernelPlan::fused())
+                    .unwrap();
+            let (unfused, _) =
+                encode_on_gpu_with_plan(&g2, &syms, 2, &book, cfg, strategy, KernelPlan::unfused())
+                    .unwrap();
+            assert_eq!(fused.bytes, unfused.bytes);
+            assert_eq!(fused.total_bits, unfused.total_bits);
+        }
+    }
+
+    #[test]
+    fn fused_encode_is_not_slower() {
+        let (book, syms) = nyx_like(4_000_000);
+        let cfg = MergeConfig::new(10, 3);
+        let g1 = Gpu::v100();
+        let (_, fused) = encode_on_gpu_with_plan(
+            &g1,
+            &syms,
+            2,
+            &book,
+            cfg,
+            BreakingStrategy::SparseSidecar,
+            KernelPlan::fused(),
+        )
+        .unwrap();
+        let g2 = Gpu::v100();
+        let (_, unfused) = encode_on_gpu_with_plan(
+            &g2,
+            &syms,
+            2,
+            &book,
+            cfg,
+            BreakingStrategy::SparseSidecar,
+            KernelPlan::unfused(),
+        )
+        .unwrap();
+        assert!(fused.total < unfused.total, "fused {} >= unfused {}", fused.total, unfused.total);
+    }
+
+    #[test]
+    fn encode_launch_clamps_grid_and_loops_blocks() {
+        let small = EncodeLaunch::new(1000);
+        assert_eq!(small.blocks, 1000);
+        assert_eq!(small.loop_ops(), 0);
+        let big = EncodeLaunch::new(MAX_BLOCKS + 37);
+        assert_eq!(big.blocks, MAX_BLOCKS);
+        assert_eq!(big.grid().blocks, MAX_BLOCKS as u32);
+        assert_eq!(big.loop_ops(), 8 * 37);
     }
 
     /// The in-repo tests run at megabyte scale where kernel-launch latency

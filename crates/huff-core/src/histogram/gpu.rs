@@ -2,17 +2,27 @@
 //!
 //! Section IV-A: the histogram is replicated per thread block (and further
 //! replicated within the block when shared memory allows) so that atomic
-//! updates spread over many copies; per-block copies are then combined by a
-//! parallel reduction into the single global histogram.
+//! updates spread over many copies; per-block copies are then combined
+//! into the single global histogram.
 //!
-//! Two kernels, matching Table I:
-//! * `hist_blockwise_reduction` — blocks read coalesced partitions of the
-//!   input, update replicated shared histograms with atomics, reduce their
-//!   replicas, and write one partial histogram per block;
-//! * `hist_gridwise_reduction` — partial histograms are tree-reduced into
-//!   the global histogram.
+//! Two launch shapes, selected by [`KernelPlan::fused_histogram`]:
+//!
+//! * **Fused (default)** — `hist_fused_reduction`: full privatization in a
+//!   single kernel. A smaller grid (each block strides a larger input
+//!   partition, so its replica amortizes over more data) reduces its
+//!   shared-memory replicas and *commits* them straight into the global
+//!   histogram with consecutive-address atomics, which the L2 resolves at
+//!   sector granularity ([`gpu_sim::Traffic::global_atomic_coalesced`]). This
+//!   eliminates both the partials round-trip through DRAM and the
+//!   latency-bound tree-reduce launch.
+//! * **Unfused** — the paper's Table I pair: `hist_blockwise_reduction`
+//!   writes one partial histogram per block, then `hist_gridwise_reduction`
+//!   tree-reduces the partials. Retained verbatim for comparison, and used
+//!   automatically whenever the histogram does not fit a block's shared
+//!   memory (large-bin codebooks cannot be privatized).
 
 use super::Histogram;
+use crate::plan::KernelPlan;
 use gpu_sim::atomic::{expected_conflicts, histogram_skew};
 use gpu_sim::{Access, Gpu, GridDim};
 use rayon::prelude::*;
@@ -20,20 +30,128 @@ use rayon::prelude::*;
 /// Number of threads per block for the histogram kernels.
 const BLOCK_THREADS: u32 = 256;
 
+/// Compute the histogram of `data` on the device under the default
+/// (fused) plan. See [`histogram_with_plan`].
+pub fn histogram(gpu: &Gpu, data: &[u16], num_symbols: usize, symbol_bytes: u64) -> Histogram {
+    histogram_with_plan(gpu, data, num_symbols, symbol_bytes, KernelPlan::default())
+}
+
 /// Compute the histogram of `data` on the device, charging modeled time to
 /// the device clock. `symbol_bytes` is the dataset's native symbol width
-/// (the basis of the input-read traffic and the GB/s figures).
-pub fn histogram(gpu: &Gpu, data: &[u16], num_symbols: usize, symbol_bytes: u64) -> Histogram {
+/// (the basis of the input-read traffic and the GB/s figures). The result
+/// is identical for every plan; only the modeled launch/traffic shape
+/// differs.
+pub fn histogram_with_plan(
+    gpu: &Gpu,
+    data: &[u16],
+    num_symbols: usize,
+    symbol_bytes: u64,
+    plan: KernelPlan,
+) -> Histogram {
+    let hist_bytes = num_symbols * std::mem::size_of::<u32>();
+    // Replication degree: how many shared-memory copies of the histogram
+    // fit per block (at least 1; the paper's kernel degrades to a single
+    // copy for large codebooks such as 8192 bins).
+    let copies = (gpu.spec().shared_mem_per_block / hist_bytes.max(1)).clamp(1, 8);
+
+    // Full privatization needs at least one complete replica in shared
+    // memory; past that the fused commit has nothing to commit from and
+    // the two-kernel global-memory path is the only option.
+    if plan.fused_histogram && hist_bytes <= gpu.spec().shared_mem_per_block {
+        fused(gpu, data, num_symbols, symbol_bytes, copies)
+    } else {
+        two_kernel(gpu, data, num_symbols, symbol_bytes, copies)
+    }
+}
+
+/// Estimate the skew of the data's symbol distribution from the combined
+/// partials (the data itself), for the shared-atomic conflict model.
+fn combined_skew(partials: &[Histogram], num_symbols: usize) -> f64 {
+    let mut combined = vec![0u64; num_symbols];
+    for p in partials {
+        for (c, v) in combined.iter_mut().zip(p) {
+            *c += v;
+        }
+    }
+    histogram_skew(&combined)
+}
+
+/// Charge the traffic shared by both launch shapes: the coalesced input
+/// read, the replicated shared-memory atomics, and the replica storage.
+fn charge_read_phase(
+    t: &mut gpu_sim::Traffic,
+    n: u64,
+    num_symbols: usize,
+    copies: usize,
+    skew: f64,
+    warp_size: u32,
+    symbol_bytes: u64,
+) {
+    t.read(Access::Coalesced, n, symbol_bytes);
+    // Conflicts serialize at warp granularity: the hardware resolves a
+    // warp's same-address atomics as one multi-update transaction, so
+    // the serialization cost is per warp-instruction, not per lane.
+    let conflicts = expected_conflicts(n, (num_symbols * copies) as u64, skew / copies as f64)
+        / u64::from(warp_size);
+    t.shared_atomic(n, conflicts);
+    t.shared((copies as u64) * num_symbols as u64 * 4);
+    t.ops(2 * n);
+}
+
+/// Single-kernel full-privatization histogram (Gómez-Luna commit style).
+fn fused(
+    gpu: &Gpu,
+    data: &[u16],
+    num_symbols: usize,
+    symbol_bytes: u64,
+    copies: usize,
+) -> Histogram {
+    // Half the unfused grid: each replica covers twice the input, so the
+    // commit phase (one atomic per bin per block) stays cheap relative to
+    // the read phase it piggybacks on.
+    let blocks = (gpu.spec().sm_count * 4).min(512);
+    let grid = GridDim::new(blocks, BLOCK_THREADS);
+
+    gpu.launch("hist_fused_reduction", grid, |scope| {
+        let chunk = data.len().div_ceil(blocks as usize).max(1);
+        let partials: Vec<Histogram> = data
+            .par_chunks(chunk)
+            .map(|part| super::serial::histogram(part, num_symbols))
+            .collect();
+        let committing = partials.len() as u64;
+
+        let out = (0..num_symbols)
+            .into_par_iter()
+            .map(|bin| partials.iter().map(|p| p[bin]).sum())
+            .collect();
+
+        let n = data.len() as u64;
+        let skew = combined_skew(&partials, num_symbols);
+        let t = scope.traffic();
+        charge_read_phase(t, n, num_symbols, copies, skew, gpu.spec().warp_size, symbol_bytes);
+        // Commit: each block adds its reduced replica into the global
+        // histogram bin-by-bin. Lanes hit consecutive bins (distinct
+        // addresses within a warp), so the L2 folds the adds into
+        // sector-granular RMW traffic; the serialization chain is the
+        // per-bin collision across blocks, at most one per committer.
+        t.global_atomic_coalesced(committing * num_symbols as u64, 4, committing);
+        t.ops(committing * num_symbols as u64);
+        out
+    })
+}
+
+/// The paper's two-kernel blockwise + gridwise reduction pair.
+fn two_kernel(
+    gpu: &Gpu,
+    data: &[u16],
+    num_symbols: usize,
+    symbol_bytes: u64,
+    copies: usize,
+) -> Histogram {
     // One block per SM-resident slot; each block strides the input. The
     // per-block partition is data.len()/blocks.
     let blocks = (gpu.spec().sm_count * 8).min(1024);
     let grid = GridDim::new(blocks, BLOCK_THREADS);
-
-    // Replication degree: how many shared-memory copies of the histogram
-    // fit per block (at least 1; the paper's kernel degrades to a single
-    // copy for large codebooks such as 8192 bins).
-    let hist_bytes = num_symbols * std::mem::size_of::<u32>();
-    let copies = (gpu.spec().shared_mem_per_block / hist_bytes.max(1)).clamp(1, 8);
 
     let partials: Vec<Histogram> = gpu.launch("hist_blockwise_reduction", grid, |scope| {
         let chunk = data.len().div_ceil(blocks as usize).max(1);
@@ -46,27 +164,10 @@ pub fn histogram(gpu: &Gpu, data: &[u16], num_symbols: usize, symbol_bytes: u64)
         // element performs one shared-memory atomic into one of `copies`
         // replicas; replicas are reduced and each block writes one partial.
         let n = data.len() as u64;
-        let skew = {
-            // Estimate skew from the combined partials (the data itself).
-            let mut combined = vec![0u64; num_symbols];
-            for p in &partials {
-                for (c, v) in combined.iter_mut().zip(p) {
-                    *c += v;
-                }
-            }
-            histogram_skew(&combined)
-        };
+        let skew = combined_skew(&partials, num_symbols);
         let t = scope.traffic();
-        t.read(Access::Coalesced, n, symbol_bytes);
-        // Conflicts serialize at warp granularity: the hardware resolves a
-        // warp's same-address atomics as one multi-update transaction, so
-        // the serialization cost is per warp-instruction, not per lane.
-        let conflicts = expected_conflicts(n, (num_symbols * copies) as u64, skew / copies as f64)
-            / u64::from(gpu.spec().warp_size);
-        t.shared_atomic(n, conflicts);
-        t.shared((copies as u64) * num_symbols as u64 * 4);
+        charge_read_phase(t, n, num_symbols, copies, skew, gpu.spec().warp_size, symbol_bytes);
         t.write(Access::Coalesced, u64::from(blocks) * num_symbols as u64, 4);
-        t.ops(2 * n);
         partials
     });
 
@@ -97,6 +198,16 @@ mod tests {
     }
 
     #[test]
+    fn fused_and_unfused_agree() {
+        let data: Vec<u16> = (0..50_000u32).map(|i| ((i * 31) % 613) as u16).collect();
+        let g1 = Gpu::new(DeviceSpec::test_part());
+        let g2 = Gpu::new(DeviceSpec::test_part());
+        let fused = histogram_with_plan(&g1, &data, 1024, 2, KernelPlan::fused());
+        let unfused = histogram_with_plan(&g2, &data, 1024, 2, KernelPlan::unfused());
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
     fn empty_input_gives_zero_histogram() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let h = histogram(&gpu, &[], 16, 2);
@@ -104,12 +215,45 @@ mod tests {
     }
 
     #[test]
-    fn charges_two_kernels() {
+    fn fused_plan_charges_one_kernel() {
         let gpu = Gpu::new(DeviceSpec::test_part());
         let _ = histogram(&gpu, &[1, 2, 3], 8, 2);
+        assert_eq!(gpu.clock().launches(), 1);
+        assert!(gpu.elapsed_matching("hist_fused") > 0.0);
+        assert_eq!(gpu.elapsed_matching("hist_gridwise"), 0.0);
+    }
+
+    #[test]
+    fn unfused_plan_charges_two_kernels() {
+        let gpu = Gpu::new(DeviceSpec::test_part());
+        let _ = histogram_with_plan(&gpu, &[1, 2, 3], 8, 2, KernelPlan::unfused());
         assert_eq!(gpu.clock().launches(), 2);
         assert!(gpu.elapsed_matching("hist_blockwise") > 0.0);
         assert!(gpu.elapsed_matching("hist_gridwise") > 0.0);
+    }
+
+    #[test]
+    fn large_bin_histogram_falls_back_to_two_kernels() {
+        // 65536 bins x 4 B = 256 KiB: no block can privatize that, so the
+        // fused plan degrades to the two-kernel global-memory path.
+        let gpu = Gpu::v100();
+        let data: Vec<u16> = (0..10_000u32).map(|i| (i % 60_000) as u16).collect();
+        let h = histogram_with_plan(&gpu, &data, 65_536, 2, KernelPlan::fused());
+        assert_eq!(h, crate::histogram::serial::histogram(&data, 65_536));
+        assert_eq!(gpu.clock().launches(), 2);
+        assert!(gpu.elapsed_matching("hist_gridwise") > 0.0);
+    }
+
+    #[test]
+    fn fused_is_faster_than_unfused_at_scale() {
+        // The whole point of the fusion: the commit is cheaper than the
+        // partials round-trip plus the latency-bound tree-reduce launch.
+        let data: Vec<u16> = (0..(8 << 20)).map(|i| (i % 1024) as u16).collect();
+        let g1 = Gpu::v100();
+        let _ = histogram_with_plan(&g1, &data, 1024, 2, KernelPlan::fused());
+        let g2 = Gpu::v100();
+        let _ = histogram_with_plan(&g2, &data, 1024, 2, KernelPlan::unfused());
+        assert!(g1.elapsed() < g2.elapsed(), "fused {} >= unfused {}", g1.elapsed(), g2.elapsed());
     }
 
     #[test]

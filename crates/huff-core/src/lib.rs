@@ -57,6 +57,7 @@ pub mod integrity;
 pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod serve;
 pub mod sparse;
 pub mod testing;
@@ -71,5 +72,6 @@ pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
 pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};
 pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};
+pub use plan::KernelPlan;
 pub use serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, ServeReport};
 pub use tune::{Decision, Dispatch, Signature, TuneCache, Tuner};

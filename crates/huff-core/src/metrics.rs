@@ -58,6 +58,7 @@ use crate::decode::{self, DecoderKind};
 use crate::error::{HuffError, Result};
 use crate::integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport};
 use crate::pipeline::{self, PipelineKind, StageTimes};
+use crate::plan::KernelPlan;
 use gpu_sim::{DeviceSpec, Gpu, KernelRecord};
 use serde::json::{Map, Value};
 use serde::Serialize;
@@ -106,6 +107,9 @@ pub struct ProfileOptions {
     /// Anomaly threshold for roofline analysis of the resulting profile
     /// (default [`roofline::DEFAULT_THRESHOLD`]).
     pub roofline_threshold: f64,
+    /// Kernel-fusion plan the profiled pipeline runs under (default
+    /// [`KernelPlan::fused`]; the artifact bytes are plan-independent).
+    pub plan: KernelPlan,
 }
 
 impl ProfileOptions {
@@ -120,6 +124,7 @@ impl ProfileOptions {
             kind: PipelineKind::ReduceShuffle,
             decoder: DecoderKind::default(),
             roofline_threshold: roofline::DEFAULT_THRESHOLD,
+            plan: KernelPlan::default(),
         }
     }
 
@@ -156,6 +161,12 @@ impl ProfileOptions {
     /// Set the roofline anomaly threshold.
     pub fn roofline_threshold(mut self, threshold: f64) -> Self {
         self.roofline_threshold = threshold;
+        self
+    }
+
+    /// Select the kernel-fusion plan.
+    pub fn plan(mut self, plan: KernelPlan) -> Self {
+        self.plan = plan;
         self
     }
 }
@@ -408,7 +419,7 @@ pub fn profile_compress(
         ));
     }
     let symbol_bytes = opts.symbol_bytes;
-    let (stream, book, report) = pipeline::run(
+    let (stream, book, report) = pipeline::run_with_plan(
         gpu,
         data,
         symbol_bytes,
@@ -416,6 +427,7 @@ pub fn profile_compress(
         opts.magnitude,
         opts.reduction,
         opts.kind,
+        opts.plan,
     )?;
     let packed = archive::serialize(&stream, &book, symbol_bytes as u8);
 

@@ -273,3 +273,73 @@ impl PipelineProfile {
         RooflineReport::from_profile(self, threshold)
     }
 }
+
+/// Side-by-side per-kernel comparison of two roofline reports over the
+/// same input — e.g. the fused vs unfused [`crate::KernelPlan`]s
+/// (`rsh profile --compare`). Kernels pair by name; a kernel launched
+/// under only one plan shows `-` on the other side. Ends with the total
+/// launch-count and modeled-time delta.
+pub fn render_comparison(
+    label_a: &str,
+    a: &RooflineReport,
+    label_b: &str,
+    b: &RooflineReport,
+) -> String {
+    let row = |r: Option<&KernelRoofline>| -> String {
+        match r {
+            Some(k) => format!(
+                "{:>10} {:>8.1} {:>6.3} {:<10}",
+                crate::metrics::fmt_seconds(k.seconds),
+                k.counters.achieved_bps / 1e9,
+                k.counters.efficiency,
+                k.counters.bound.name()
+            ),
+            None => format!("{:>10} {:>8} {:>6} {:<10}", "-", "-", "-", "-"),
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "roofline compare — {} on {} (modeled), threshold {:.2}\n\n",
+        a.direction, a.device, a.threshold
+    ));
+    out.push_str(&format!(
+        "{:<24} | {:<37} | {:<37}\n",
+        "",
+        format!("[{label_a}]"),
+        format!("[{label_b}]")
+    ));
+    out.push_str(&format!(
+        "{:<24} | {:>10} {:>8} {:>6} {:<10} | {:>10} {:>8} {:>6} {:<10}\n",
+        "kernel", "time", "GB/s", "eff", "bound", "time", "GB/s", "eff", "bound"
+    ));
+    // Kernel order: every kernel of `a` in launch order, then the
+    // kernels only `b` launched.
+    let mut names: Vec<&str> = Vec::new();
+    for k in a.kernels.iter().chain(&b.kernels) {
+        if !names.contains(&k.name.as_str()) {
+            names.push(k.name.as_str());
+        }
+    }
+    for name in names {
+        let ka = a.kernels.iter().find(|k| k.name == name);
+        let kb = b.kernels.iter().find(|k| k.name == name);
+        out.push_str(&format!("{:<24} | {} | {}\n", name, row(ka), row(kb)));
+    }
+    let total = |r: &RooflineReport| -> f64 { r.kernels.iter().map(|k| k.seconds).sum() };
+    let (ta, tb) = (total(a), total(b));
+    out.push_str(&format!(
+        "\ntotal: {} launches, {} [{}] vs {} launches, {} [{}]",
+        a.kernels.len(),
+        crate::metrics::fmt_seconds(ta),
+        label_a,
+        b.kernels.len(),
+        crate::metrics::fmt_seconds(tb),
+        label_b,
+    ));
+    if ta > 0.0 && tb > 0.0 {
+        out.push_str(&format!(" ({:+.2}% modeled time)\n", (ta - tb) / tb * 100.0));
+    } else {
+        out.push('\n');
+    }
+    out
+}

@@ -13,6 +13,7 @@ use crate::entropy;
 use crate::error::{HuffError, Result};
 use crate::histogram;
 use crate::integrity::{DecompressOptions, Recovered};
+use crate::plan::KernelPlan;
 use gpu_sim::Gpu;
 
 /// Which pipeline to run.
@@ -100,6 +101,8 @@ pub struct PipelineReport {
     pub compression_ratio: f64,
     /// Kernel-record boundaries of this run on the device clock.
     pub spans: StageSpans,
+    /// Kernel-fusion plan the run executed under.
+    pub plan: KernelPlan,
 }
 
 impl PipelineReport {
@@ -159,11 +162,37 @@ pub fn run(
     reduction: Option<u32>,
     kind: PipelineKind,
 ) -> Result<(ChunkedStream, CanonicalCodebook, PipelineReport)> {
+    run_with_plan(
+        gpu,
+        data,
+        symbol_bytes,
+        num_symbols,
+        magnitude,
+        reduction,
+        kind,
+        KernelPlan::default(),
+    )
+}
+
+/// [`run`] under an explicit [`KernelPlan`]. The stream, codebook and
+/// archive bytes are identical for every plan — only the modeled launch
+/// count and per-kernel traffic differ (DESIGN.md § "Kernel fusion").
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_plan(
+    gpu: &Gpu,
+    data: &[u16],
+    symbol_bytes: u64,
+    num_symbols: usize,
+    magnitude: u32,
+    reduction: Option<u32>,
+    kind: PipelineKind,
+    plan: KernelPlan,
+) -> Result<(ChunkedStream, CanonicalCodebook, PipelineReport)> {
     let base = gpu.launches();
     let base_elapsed = gpu.elapsed();
 
     // Stage 1: histogram.
-    let freqs = histogram::gpu::histogram(gpu, data, num_symbols, symbol_bytes);
+    let freqs = histogram::gpu::histogram_with_plan(gpu, data, num_symbols, symbol_bytes, plan);
     let after_histogram = gpu.launches();
     let hist_time = gpu.elapsed() - base_elapsed;
 
@@ -186,13 +215,14 @@ pub fn run(
     let before_encode = gpu.elapsed();
     let (stream, breaking_fraction, compression_ratio, used_r) = match kind {
         PipelineKind::ReduceShuffle => {
-            let (stream, _) = encode::gpu::encode_on_gpu(
+            let (stream, _) = encode::gpu::encode_on_gpu_with_plan(
                 gpu,
                 data,
                 symbol_bytes,
                 &book,
                 config,
                 BreakingStrategy::SparseSidecar,
+                plan,
             )?;
             let bf = stream.breaking_fraction();
             let cr = stream.compression_ratio(symbol_bytes as u32 * 8);
@@ -233,6 +263,7 @@ pub fn run(
         breaking_fraction,
         compression_ratio,
         spans: StageSpans { base, after_histogram, after_codebook, after_encode },
+        plan,
     };
     {
         let mut reg = crate::metrics::registry::global();
@@ -401,6 +432,40 @@ mod tests {
         assert!((sum(report.spans.histogram()) - report.times.histogram).abs() < 1e-12);
         assert!((sum(report.spans.codebook()) - report.times.codebook).abs() < 1e-12);
         assert!((sum(report.spans.encode()) - report.times.encode).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plans_produce_identical_streams_with_different_launch_counts() {
+        let syms = data(40_000);
+        let g1 = Gpu::new(DeviceSpec::test_part());
+        let (fused_stream, _, fused_report) = run_with_plan(
+            &g1,
+            &syms,
+            2,
+            512,
+            10,
+            None,
+            PipelineKind::ReduceShuffle,
+            KernelPlan::fused(),
+        )
+        .unwrap();
+        let g2 = Gpu::new(DeviceSpec::test_part());
+        let (unfused_stream, _, unfused_report) = run_with_plan(
+            &g2,
+            &syms,
+            2,
+            512,
+            10,
+            None,
+            PipelineKind::ReduceShuffle,
+            KernelPlan::unfused(),
+        )
+        .unwrap();
+        assert_eq!(fused_stream.bytes, unfused_stream.bytes);
+        assert_eq!(fused_report.plan, KernelPlan::fused());
+        assert_eq!(unfused_report.plan, KernelPlan::unfused());
+        // Fusion removes the gridwise-reduce and blockwise-len launches.
+        assert_eq!(g2.launches() - g1.launches(), 2);
     }
 
     #[test]

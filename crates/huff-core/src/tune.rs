@@ -64,6 +64,7 @@ use crate::entropy;
 use crate::error::{HuffError, Result};
 use crate::histogram;
 use crate::integrity::{crc32, DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Verify};
+use crate::plan::KernelPlan;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gpu_sim::cost;
 use gpu_sim::{Access, DeviceSpec, KernelRecord, StreamSchedule, Traffic};
@@ -263,6 +264,9 @@ pub struct Decision {
     pub streams: u32,
     /// Recommended decode backend for the produced container.
     pub decoder: DecoderKind,
+    /// Kernel-fusion plan the modeled sweep chose ([`Dispatch::Gpu`]
+    /// only; the default plan otherwise).
+    pub plan: KernelPlan,
     /// Modeled service time of this decision, nanoseconds (quantized so
     /// cache round-trips are exact).
     pub modeled_nanos: u64,
@@ -335,6 +339,7 @@ fn shard_pipeline_passes(
     spec: &DeviceSpec,
     r: u32,
     shard_symbols: u64,
+    plan: KernelPlan,
 ) -> Vec<KernelRecord> {
     let m = shard_symbols.max(1);
     let sym_b = u64::from(sig.symbol_bytes);
@@ -344,19 +349,29 @@ fn shard_pipeline_passes(
     let mut passes = Vec::new();
 
     // Histogram, blockwise: stream the shard into privatized
-    // shared-memory bins; conflicts rise with skew.
+    // shared-memory bins; conflicts rise with skew. Under the fused plan
+    // the blocks (half as many, striding twice the data each) commit
+    // their replicas straight into the global histogram as coalesced
+    // atomic RMW, absorbing the gridwise fold into the same pass.
     let mut hist = Traffic::new();
     hist.read(Access::Coalesced, m, sym_b);
     hist.shared_atomic(m, m / 64);
     hist.ops(2 * m);
-    passes.push(pass_record(spec, "tune_hist_block", hist, hist_blocks * 1024, true));
+    if plan.fused_histogram {
+        let committing = hist_blocks / 2;
+        hist.global_atomic_coalesced(committing * k, 4, committing);
+        hist.ops(committing * k);
+        passes.push(pass_record(spec, "tune_hist_fused", hist, hist_blocks * 1024, true));
+    } else {
+        passes.push(pass_record(spec, "tune_hist_block", hist, hist_blocks * 1024, true));
 
-    // Histogram, gridwise: fold the per-block partial histograms.
-    let mut grid = Traffic::new();
-    grid.read(Access::Coalesced, hist_blocks * k, 8);
-    grid.write(Access::Coalesced, k, 8);
-    grid.ops(hist_blocks * k);
-    passes.push(pass_record(spec, "tune_hist_grid", grid, k, true));
+        // Histogram, gridwise: fold the per-block partial histograms.
+        let mut grid = Traffic::new();
+        grid.read(Access::Coalesced, hist_blocks * k, 8);
+        grid.write(Access::Coalesced, k, 8);
+        grid.ops(hist_blocks * k);
+        passes.push(pass_record(spec, "tune_hist_grid", grid, k, true));
+    }
 
     // Codebook sort: tiny key-value sort over the alphabet.
     let mut sort = Traffic::new();
@@ -392,7 +407,9 @@ fn shard_pipeline_passes(
     passes.push(pass_record(spec, "tune_reduce", reduce, m, true));
 
     // Shuffle-merge: one kernel, s = M - r sync'd densify levels over the
-    // units (shared-resident; global traffic once per level).
+    // units (shared-resident; global traffic once per level). The fused
+    // plan appends the chunk-length scan as a decoupled-lookback epilogue
+    // (no extra launch, no extra syncs).
     let levels = u64::from(MAGNITUDE.saturating_sub(r).max(1));
     let mut shuf = Traffic::new();
     for _ in 0..levels {
@@ -401,14 +418,19 @@ fn shard_pipeline_passes(
     shuf.read(Access::Coalesced, units * levels, 2);
     shuf.write(Access::Coalesced, units * levels, 2);
     shuf.ops(3 * units * levels);
-    passes.push(pass_record(spec, "tune_shuffle", shuf, m, true));
+    if plan.fused_len {
+        shuf.ops(2 * units);
+        passes.push(pass_record(spec, "tune_shuffle", shuf, m, true));
+    } else {
+        passes.push(pass_record(spec, "tune_shuffle", shuf, m, true));
 
-    // Chunk-length scan + coalescing copy of the dense payload.
-    let mut lens = Traffic::new();
-    lens.grid_sync();
-    lens.grid_sync();
-    lens.ops(2 * units);
-    passes.push(pass_record(spec, "tune_chunk_len", lens, units, true));
+        // Chunk-length scan as its own launch.
+        let mut lens = Traffic::new();
+        lens.grid_sync();
+        lens.grid_sync();
+        lens.ops(2 * units);
+        passes.push(pass_record(spec, "tune_chunk_len", lens, units, true));
+    }
 
     let payload_bytes = ((m as f64 * sig.avg_bits() / 8.0).max(1.0)) as u64;
     let mut copy = Traffic::new();
@@ -425,11 +447,21 @@ fn shard_pipeline_passes(
     let break_frac = ((merged - 24.0) / 8.0).clamp(0.0, 1.0);
     let broken = (break_frac * units as f64) as u64;
     let mut side = Traffic::new();
-    side.grid_sync();
-    if broken > 0 {
-        side.write(Access::Strided, broken << r.min(20), 2);
-        side.ops(4 * (broken << r.min(20)));
-        side.diverge(2.0);
+    if plan.compacted_backtrace {
+        // Warp-aggregated compaction: coalesced segment writes, no
+        // device-wide barrier.
+        if broken > 0 {
+            side.write(Access::Coalesced, broken << r.min(20), 2);
+            side.ops(4 * (broken << r.min(20)));
+            side.diverge(2.0);
+        }
+    } else {
+        side.grid_sync();
+        if broken > 0 {
+            side.write(Access::Strided, broken << r.min(20), 2);
+            side.ops(4 * (broken << r.min(20)));
+            side.diverge(2.0);
+        }
     }
     passes.push(pass_record(spec, "tune_breaking", side, (broken << r.min(20)).max(1), true));
     passes
@@ -452,13 +484,14 @@ pub fn geometry_seconds(
     r: u32,
     shards: u32,
     streams: u32,
+    plan: KernelPlan,
 ) -> f64 {
     let n = sig.representative_symbols();
     let per_shard = n.div_ceil(u64::from(shards)).max(1);
     let mut sched = StreamSchedule::new(spec.clone(), streams.max(1) as usize);
     for k in 0..shards {
         let stream = (k % streams.max(1)) as usize;
-        sched.enqueue_all(stream, shard_pipeline_passes(sig, spec, r, per_shard));
+        sched.enqueue_all(stream, shard_pipeline_passes(sig, spec, r, per_shard, plan));
     }
     sched.run().makespan
 }
@@ -530,6 +563,7 @@ pub fn plan(sig: &Signature, spec: &DeviceSpec) -> Decision {
             shards: 1,
             streams: 1,
             decoder: DecoderKind::Serial,
+            plan: KernelPlan::default(),
             modeled_nanos: (secs * 1e9) as u64,
         };
     }
@@ -546,17 +580,19 @@ pub fn plan(sig: &Signature, spec: &DeviceSpec) -> Decision {
             shards: 1,
             streams: 1,
             decoder: DecoderKind::Serial,
+            plan: KernelPlan::default(),
             modeled_nanos: (secs * 1e9) as u64,
         };
     }
 
-    // 3. Geometry sweep. The fixed CLI default — Fig. 3's r, 4 Mi-symbol
-    // shards, 2 streams (BatchOptions::new) — anchors the comparison.
+    // 3. Geometry × plan sweep. The fixed CLI default — Fig. 3's r,
+    // 4 Mi-symbol shards, 2 streams, fused kernels (BatchOptions::new) —
+    // anchors the comparison.
     let default_shards = u32::try_from(n.div_ceil(1 << 22))
         .unwrap_or(u32::MAX)
         .clamp(1, *SHARD_CANDIDATES.last().unwrap());
-    let default = (r0, default_shards, 2u32);
-    let default_secs = geometry_seconds(sig, spec, r0, default_shards, 2);
+    let default = (r0, default_shards, 2u32, KernelPlan::default());
+    let default_secs = geometry_seconds(sig, spec, r0, default_shards, 2, KernelPlan::default());
 
     let mut best = default;
     let mut best_secs = default_secs;
@@ -567,19 +603,22 @@ pub fn plan(sig: &Signature, spec: &DeviceSpec) -> Decision {
                 continue;
             }
             for &streams in &STREAM_CANDIDATES {
-                let secs = geometry_seconds(sig, spec, r, shards, streams);
-                if secs < best_secs {
-                    best = (r, shards, streams);
-                    best_secs = secs;
+                for plan in [KernelPlan::fused(), KernelPlan::unfused()] {
+                    let secs = geometry_seconds(sig, spec, r, shards, streams, plan);
+                    if secs < best_secs {
+                        best = (r, shards, streams, plan);
+                        best_secs = secs;
+                    }
                 }
             }
         }
     }
     // Hysteresis: deviate from the default only on a clear modeled win.
-    let (r, shards, streams, secs) = if best_secs < default_secs * (1.0 - GEOMETRY_HYSTERESIS) {
-        (best.0, best.1, best.2, best_secs)
+    let (r, shards, streams, plan, secs) = if best_secs < default_secs * (1.0 - GEOMETRY_HYSTERESIS)
+    {
+        (best.0, best.1, best.2, best.3, best_secs)
     } else {
-        (default.0, default.1, default.2, default_secs)
+        (default.0, default.1, default.2, default.3, default_secs)
     };
 
     Decision {
@@ -588,6 +627,7 @@ pub fn plan(sig: &Signature, spec: &DeviceSpec) -> Decision {
         shards,
         streams,
         decoder: choose_decoder(sig, spec),
+        plan,
         modeled_nanos: (secs * 1e9) as u64,
     }
 }
@@ -634,6 +674,7 @@ pub fn compress_with_decision(
             opts.devices = devices.to_vec();
             opts.reduction = Some(decision.reduction.max(1));
             opts.symbol_bytes = symbol_bytes;
+            opts.plan = decision.plan;
             let (frame, _) = batch::compress_batched(symbols, &opts)?;
             Ok(frame)
         }
@@ -910,6 +951,7 @@ fn render_cache(entries: &BTreeMap<CacheKey, Decision>) -> Vec<u8> {
         e.put_u8(d.streams.min(255) as u8);
         e.put_u8(decoder_code(d.decoder));
         e.put_u64_le(d.modeled_nanos);
+        e.put_u8(d.plan.code());
         let entry_crc = crc32(&e);
         buf.put_u16_le(e.len() as u16);
         buf.put_slice(&e);
@@ -956,7 +998,9 @@ fn parse_entry(entry: &[u8]) -> Option<(CacheKey, Decision)> {
         return None;
     }
     let name_len = b.get_u8() as usize;
-    if b.remaining() < name_len + 6 * 4 + 1 + 1 + 1 + 2 + 1 + 1 + 8 {
+    // Entries written before the plan byte existed come up short here and
+    // are skipped (fail-open: the signature just re-models on next use).
+    if b.remaining() < name_len + 6 * 4 + 1 + 1 + 1 + 2 + 1 + 1 + 8 + 1 {
         return None;
     }
     let name = String::from_utf8(b.copy_to_bytes(name_len).to_vec()).ok()?;
@@ -976,6 +1020,7 @@ fn parse_entry(entry: &[u8]) -> Option<(CacheKey, Decision)> {
         streams: u32::from(b.get_u8()),
         decoder: decoder_from_code(b.get_u8())?,
         modeled_nanos: b.get_u64_le(),
+        plan: KernelPlan::from_code(b.get_u8())?,
     };
     Some(((name, sig), decision))
 }
@@ -1316,6 +1361,7 @@ mod tests {
             shards: 1,
             streams: 1,
             decoder: DecoderKind::Serial,
+            plan: KernelPlan::default(),
             modeled_nanos: 0,
         };
         let raw = compress_with_decision(&data, 256, 1, &d, &v100).unwrap();
@@ -1333,6 +1379,7 @@ mod tests {
             shards: 4,
             streams: 2,
             decoder: DecoderKind::Lut,
+            plan: KernelPlan::default(),
             modeled_nanos: 0,
         };
         let frame = compress_with_decision(&big, 64, 2, &d, &v100).unwrap();
@@ -1358,8 +1405,9 @@ mod tests {
             let r0 = entropy::decide_reduction_factor(sig.avg_bits(), 32, 10);
             let default_shards =
                 u32::try_from(sig.representative_symbols().div_ceil(1 << 22)).unwrap().clamp(1, 16);
-            let default_secs = geometry_seconds(&sig, &spec, r0, default_shards, 2);
-            let chosen = geometry_seconds(&sig, &spec, d.reduction, d.shards, d.streams);
+            let default_secs =
+                geometry_seconds(&sig, &spec, r0, default_shards, 2, KernelPlan::default());
+            let chosen = geometry_seconds(&sig, &spec, d.reduction, d.shards, d.streams, d.plan);
             assert!(
                 chosen <= default_secs * (1.0 + 1e-9),
                 "size 2^{n_log2}: chosen {chosen} vs default {default_secs}"

@@ -100,9 +100,46 @@ fn breaking_fraction_is_tiny_on_real_shapes() {
 
 #[test]
 fn clock_records_full_kernel_set() {
+    // Default plan is fully fused: one histogram kernel, no standalone
+    // length/prefix kernel.
     let data = nyx(1 << 20);
     let gpu = Gpu::v100();
     let _ = run(&gpu, &data, 2, 1024, 10, Some(3), PipelineKind::ReduceShuffle).unwrap();
+    let names: Vec<String> = gpu.clock().by_kernel().into_iter().map(|(n, _, _)| n).collect();
+    for expect in [
+        "hist_fused_reduction",
+        "codebook_sort",
+        "generate_cl",
+        "generate_cw",
+        "enc_reduce_merge",
+        "enc_shuffle_merge",
+        "enc_coalescing_copy",
+        "enc_breaking_backtrace",
+    ] {
+        assert!(names.iter().any(|n| n == expect), "missing kernel {expect}: {names:?}");
+    }
+    for absent in ["hist_blockwise_reduction", "hist_gridwise_reduction", "enc_blockwise_len"] {
+        assert!(!names.iter().any(|n| n == absent), "fused plan still launches {absent}");
+    }
+}
+
+#[test]
+fn clock_records_legacy_kernel_set_under_unfused_plan() {
+    use huff::huff_core::pipeline::run_with_plan;
+    use huff::huff_core::KernelPlan;
+    let data = nyx(1 << 20);
+    let gpu = Gpu::v100();
+    let _ = run_with_plan(
+        &gpu,
+        &data,
+        2,
+        1024,
+        10,
+        Some(3),
+        PipelineKind::ReduceShuffle,
+        KernelPlan::unfused(),
+    )
+    .unwrap();
     let names: Vec<String> = gpu.clock().by_kernel().into_iter().map(|(n, _, _)| n).collect();
     for expect in [
         "hist_blockwise_reduction",
