@@ -63,6 +63,13 @@ pub struct Traffic {
     pub sequential_dependent_accesses: u64,
     /// Number of grid-wide synchronizations performed inside the kernel.
     pub grid_syncs: u64,
+    /// Seek-index probe operations: u64-word reads of a succinct chunk
+    /// index (rank/select lookups plus chunk-table prefix-scan words).
+    /// Each lands in its own sector like a random gather, but is kept as
+    /// a separate term so range-decode traffic is visible in traces.
+    /// `serde(default)` keeps traces recorded before the term readable.
+    #[serde(default)]
+    pub index_probe_ops: u64,
 }
 
 impl Traffic {
@@ -142,6 +149,12 @@ impl Traffic {
         self.grid_syncs += 1;
     }
 
+    /// Record `n` seek-index probe words (u64 reads of the chunk index or
+    /// chunk table while locating a byte range's covering chunks).
+    pub fn index_probe(&mut self, n: u64) {
+        self.index_probe_ops += n;
+    }
+
     /// Merge another ledger into this one (used when kernels compose
     /// device primitives that account their own traffic).
     pub fn absorb(&mut self, other: &Traffic) {
@@ -160,6 +173,7 @@ impl Traffic {
         self.divergence_factor = self.divergence_factor.max(other.divergence_factor);
         self.sequential_dependent_accesses += other.sequential_dependent_accesses;
         self.grid_syncs += other.grid_syncs;
+        self.index_probe_ops += other.index_probe_ops;
     }
 
     /// Total DRAM sectors touched, at `sector_bytes` granularity. Coalesced
@@ -172,7 +186,8 @@ impl Traffic {
             + self.read_random_ops
             + self.write_strided_ops
             + self.write_random_ops
-            + self.global_atomics;
+            + self.global_atomics
+            + self.index_probe_ops;
         coalesced + scattered
     }
 
@@ -185,6 +200,7 @@ impl Traffic {
                 + self.read_random_ops
                 + self.write_strided_ops
                 + self.write_random_ops)
+            + 8 * self.index_probe_ops
     }
 }
 
@@ -264,6 +280,18 @@ mod tests {
         t.diverge(2.0);
         t.diverge(1.5);
         assert!((t.divergence_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_probes_cost_a_sector_each_and_absorb() {
+        let mut t = Traffic::new();
+        t.index_probe(17);
+        assert_eq!(t.dram_sectors(32), 17);
+        assert_eq!(t.logical_dram_bytes(), 17 * 8);
+        let mut sum = Traffic::new();
+        sum.absorb(&t);
+        sum.absorb(&t);
+        assert_eq!(sum.index_probe_ops, 34);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Range sweep — modeled random-access decode of byte slices through the
+//! seek-index trailer ([`huff_core::seek::ChunkIndex`], FORMAT.md §10),
+//! against the full decode of the same archive on the same backend.
+//!
+//! Each row compresses a Table V workload into a seekable RSH2 archive,
+//! then decodes one slice ([`huff_bench::sweeps::RANGE_SLICE_PCTS`]:
+//! 1 % / 5 % / 25 % of the payload, chunk-unaligned on both ends) with
+//! [`huff_core::decode::gpu::decode_range_on_gpu`] on a modeled V100.
+//! The modeled time is the `dec_seek_probe` launch (index rank/select
+//! probes priced by the gpu-sim index-probe traffic term) plus the
+//! window decode, so `speedup = full_ms / range_ms` is exactly the win
+//! the succinct index buys: the decode touches only the covering chunks
+//! (`chunks_touched` / `total_chunks` in the row proves it), and its
+//! payload traffic scales with the slice, not the archive. Every slice
+//! is verified byte-identical to the corresponding slice of the full
+//! decode before the row is emitted.
+//!
+//! The `accept-64mb` rows always run at full size regardless of
+//! `--scale`; they gate CI twice: the 1 % slice must model ≥ 10× the
+//! full decode, and the seek-index trailer must stay ≤ 5 % of the
+//! archive (`overhead_pct`).
+//!
+//! The rows come from [`huff_bench::sweeps::range_rows`] — the same
+//! function the `regression` gate re-runs against the committed
+//! baseline. `--json` emits `rsh-bench-v1` rows on stderr; `--out PATH`
+//! writes the same rows to a file — `results/BENCH_range.json` is the
+//! committed baseline (see EXPERIMENTS.md for the regeneration command).
+
+use huff_bench::sweeps::range_rows;
+use huff_bench::{emit_out, emit_row, row_json, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("RANGE SWEEP: modeled random-access decode on V100, scale {}\n", args.scale);
+    println!(
+        "{:<12} {:<8} {:>6} {:>10} {:>11} {:>7} {:>10} {:>10} {:>8} {:>9} {:>6}",
+        "dataset",
+        "decoder",
+        "slice%",
+        "range KB",
+        "chunks",
+        "probes",
+        "full ms",
+        "range ms",
+        "speedup",
+        "overhd%",
+        "index"
+    );
+
+    let mut lines = Vec::new();
+    let mut group: Option<String> = None;
+    for row in range_rows(args.scale) {
+        if group.as_deref().is_some_and(|g| g != row.dataset) {
+            println!();
+        }
+        group = Some(row.dataset.clone());
+        println!(
+            "{:<12} {:<8} {:>6} {:>10.1} {:>5}/{:<5} {:>7} {:>10.4} {:>10.4} {:>8.1} {:>9.3} {:>6}",
+            row.dataset,
+            row.decoder,
+            row.slice_pct,
+            row.range_bytes as f64 / 1e3,
+            row.chunks_touched,
+            row.total_chunks,
+            row.probes,
+            row.full_ms,
+            row.range_ms,
+            row.speedup,
+            row.overhead_pct,
+            if row.index_used { "seek" } else { "scan" },
+        );
+        emit_row(&args, "range", &row);
+        lines.push(row_json("range", &row));
+    }
+
+    emit_out(&args, &lines);
+    println!(
+        "\n(modeled device time: dec_seek_probe + window decode; chunks is touched/total — the \
+         decode reads only the covering chunks)"
+    );
+}

@@ -1,8 +1,8 @@
-//! Bench-regression gate — re-run the pipeline, decode, autotune, and
-//! per-kernel roofline sweeps and compare every modeled metric against
-//! the committed `results/BENCH_pipeline.json` / `results/BENCH_decode.json`
-//! / `results/BENCH_autotune.json` / `results/BENCH_kernels.json`
-//! baselines.
+//! Bench-regression gate — re-run the pipeline, decode, autotune,
+//! per-kernel roofline, and random-access range sweeps and compare every
+//! modeled metric against the committed `results/BENCH_pipeline.json` /
+//! `results/BENCH_decode.json` / `results/BENCH_autotune.json` /
+//! `results/BENCH_kernels.json` / `results/BENCH_range.json` baselines.
 //!
 //! The sweeps re-run at exactly the scales the baselines were generated
 //! at ([`huff_bench::sweeps`]), so every modeled figure is deterministic
@@ -33,6 +33,7 @@
 use huff_bench::regression::{
     compare, parse_baseline, Comparison, AUTOTUNE_KEY, AUTOTUNE_METRICS, DECODE_KEY,
     DECODE_METRICS, DEFAULT_TOLERANCE, KERNEL_KEY, KERNEL_METRICS, PIPELINE_KEY, PIPELINE_METRICS,
+    RANGE_KEY, RANGE_METRICS,
 };
 use huff_bench::{row_json, sweeps};
 use serde::json::Value;
@@ -47,6 +48,7 @@ struct Args {
     pipeline_scale: f64,
     decode_scale: f64,
     autotune_scale: f64,
+    range_scale: f64,
     update: bool,
 }
 
@@ -59,6 +61,7 @@ impl Args {
             pipeline_scale: sweeps::PIPELINE_BASELINE_SCALE,
             decode_scale: sweeps::DECODE_BASELINE_SCALE,
             autotune_scale: sweeps::AUTOTUNE_BASELINE_SCALE,
+            range_scale: sweeps::RANGE_BASELINE_SCALE,
             update: false,
         };
         let mut args = std::env::args().skip(1);
@@ -73,6 +76,7 @@ impl Args {
                 "--pipeline-scale" => out.pipeline_scale = num("--pipeline-scale"),
                 "--decode-scale" => out.decode_scale = num("--decode-scale"),
                 "--autotune-scale" => out.autotune_scale = num("--autotune-scale"),
+                "--range-scale" => out.range_scale = num("--range-scale"),
                 "--baseline-dir" => {
                     out.baseline_dir =
                         PathBuf::from(args.next().expect("--baseline-dir requires a path"));
@@ -86,7 +90,7 @@ impl Args {
                     eprintln!(
                         "usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH] \
                          [--pipeline-scale F] [--decode-scale F] [--autotune-scale F] \
-                         [--update-baselines]"
+                         [--range-scale F] [--update-baselines]"
                     );
                     exit(0);
                 }
@@ -126,13 +130,15 @@ fn main() {
     let decode_path = args.baseline_dir.join("BENCH_decode.json");
     let autotune_path = args.baseline_dir.join("BENCH_autotune.json");
     let kernels_path = args.baseline_dir.join("BENCH_kernels.json");
+    let range_path = args.baseline_dir.join("BENCH_range.json");
 
     println!(
         "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, autotune sweep @ \
-         scale {}, tolerance {:.1}%\n",
+         scale {}, range sweep @ scale {}, tolerance {:.1}%\n",
         args.pipeline_scale,
         args.decode_scale,
         args.autotune_scale,
+        args.range_scale,
         args.tolerance * 100.0
     );
 
@@ -140,12 +146,14 @@ fn main() {
     let decode_rows = sweeps::decode_rows(args.decode_scale);
     let autotune_rows = sweeps::autotune_rows(args.autotune_scale);
     let kernel_rows = sweeps::kernel_rows();
+    let range_rows = sweeps::range_rows(args.range_scale);
 
     if args.update {
         write_baseline(&pipeline_path, "pipeline", &pipeline_rows);
         write_baseline(&decode_path, "decode", &decode_rows);
         write_baseline(&autotune_path, "autotune", &autotune_rows);
         write_baseline(&kernels_path, "kernels", &kernel_rows);
+        write_baseline(&range_path, "range", &range_rows);
         println!("baselines updated; commit the new results/ files");
         return;
     }
@@ -181,6 +189,14 @@ fn main() {
         KERNEL_METRICS,
         &load_baseline(&kernels_path, "kernels"),
         &rows_to_values(&kernel_rows),
+        args.tolerance,
+    ));
+    cmp.merge(compare(
+        "range",
+        RANGE_KEY,
+        RANGE_METRICS,
+        &load_baseline(&range_path, "range"),
+        &rows_to_values(&range_rows),
         args.tolerance,
     ));
 

@@ -130,6 +130,11 @@ fn chaos_verification(seed: u64) -> Result<(), String> {
                     return Err(format!("{}: compressed frame not bit-identical", c.trace_id));
                 }
             }
+            // The sweep submits no range requests, so a byte-slice
+            // response can only be a dispatch bug.
+            Response::Bytes(_) => {
+                return Err(format!("{}: unexpected range response", c.trace_id));
+            }
             Response::Symbols(out) => {
                 if out.len() != syms.len() {
                     return Err(format!("{}: wrong decoded length", c.trace_id));

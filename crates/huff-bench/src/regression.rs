@@ -81,6 +81,18 @@ pub const KERNEL_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "efficiency", direction: Direction::HigherIsBetter },
 ];
 
+/// Key of the `range` table. `slice_pct` is part of the key so each
+/// slice width is compared against its own baseline row; a range decode
+/// silently falling back from the seek index to the prefix scan shows up
+/// as a `range_ms`/`speedup` regression on every row.
+pub const RANGE_KEY: &[&str] = &["dataset", "decoder", "slice_pct"];
+/// Compared metrics of the `range` table.
+pub const RANGE_METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "range_ms", direction: Direction::LowerIsBetter },
+    MetricSpec { name: "speedup", direction: Direction::HigherIsBetter },
+    MetricSpec { name: "overhead_pct", direction: Direction::LowerIsBetter },
+];
+
 /// Outcome of one metric comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {

@@ -13,9 +13,14 @@
 //! it.
 
 use gpu_sim::{DeviceSpec, Gpu};
+use huff_core::archive;
 use huff_core::batch::{compress_batched, BatchOptions};
-use huff_core::decode::{gpu::decode_kind_on_gpu, DecoderKind};
+use huff_core::decode::{
+    gpu::{decode_kind_on_gpu, decode_range_on_gpu},
+    DecoderKind,
+};
 use huff_core::encode::{reduce_shuffle, BreakingStrategy, ChunkedStream, MergeConfig};
+use huff_core::integrity::{DecompressOptions, Section};
 use huff_core::metrics::{self, roofline::DEFAULT_THRESHOLD};
 use huff_core::tune::{Dispatch, Tuner};
 use huff_core::{histogram, CanonicalCodebook, KernelPlan};
@@ -35,6 +40,15 @@ pub const DECODE_BASELINE_SCALE: f64 = 1.0 / 16.0;
 /// Scale the committed `results/BENCH_autotune.json` baseline was
 /// generated at (see EXPERIMENTS.md).
 pub const AUTOTUNE_BASELINE_SCALE: f64 = 1.0 / 64.0;
+
+/// Scale the committed `results/BENCH_range.json` baseline was generated
+/// at (the `accept-64mb` rows always run full size).
+pub const RANGE_BASELINE_SCALE: f64 = 1.0 / 16.0;
+
+/// Slice widths the range sweep probes, in percent of the decoded
+/// payload. The 1 % slice is the CI acceptance point: it must model at
+/// least 10× faster than the full decode on `accept-64mb`.
+pub const RANGE_SLICE_PCTS: &[u32] = &[1, 5, 25];
 
 /// The swept (shards, streams, devices) grid: the serial reference plus
 /// every overlap axis alone and combined.
@@ -408,6 +422,159 @@ pub fn accept_64mb_rows() -> Vec<DecodeRow> {
         d.symbol_bytes(),
         &stream,
         &book,
+        &[DecoderKind::Chunked, DecoderKind::Lut],
+    )
+}
+
+/// One range-sweep row (`rsh-bench-v1` table `"range"`): a
+/// [`huff_core::archive::decode_range`] probe of one slice width through
+/// the modeled device, against the full decode of the same archive on
+/// the same backend.
+///
+/// The regression gate keys on `(dataset, decoder, slice_pct)` and
+/// compares `range_ms` (lower), `speedup` (higher) and `overhead_pct`
+/// (lower) — so a seek-index fallback to the prefix scan that slows the
+/// probe, a range decode that starts touching extra chunks, or a
+/// trailer that bloats the archive all trip the gate.
+#[derive(Serialize)]
+pub struct RangeRow {
+    /// Workload name (`accept-64mb` for the fixed acceptance input).
+    pub dataset: String,
+    /// Decoder backend name.
+    pub decoder: &'static str,
+    /// Modeled device name.
+    pub device: &'static str,
+    /// Slice width as a percentage of the decoded payload.
+    pub slice_pct: u32,
+    /// Input size in MB.
+    pub input_mb: f64,
+    /// Requested slice width in bytes.
+    pub range_bytes: u64,
+    /// Chunks the range decode actually decoded.
+    pub chunks_touched: usize,
+    /// Chunks in the whole archive.
+    pub total_chunks: usize,
+    /// u64-word index probes spent locating the covering chunks.
+    pub probes: u64,
+    /// Whether the seek-index trailer served the lookup (`false` means
+    /// the prefix-scan fallback ran).
+    pub index_used: bool,
+    /// Modeled full-archive decode time on the same backend, ms.
+    pub full_ms: f64,
+    /// Modeled range decode time (probe + window decode), ms.
+    pub range_ms: f64,
+    /// `full_ms / range_ms`.
+    pub speedup: f64,
+    /// Seek-index trailer size as a percentage of the archive.
+    pub overhead_pct: f64,
+    /// Host wall-clock of the bit-exact host range decode, ms
+    /// (machine-dependent; excluded from regression comparison).
+    pub wall_ms: f64,
+}
+
+fn range_sweep_rows(
+    label: &str,
+    data: &[u16],
+    symbol_bytes: u64,
+    packed: &[u8],
+    decoders: &[DecoderKind],
+) -> Vec<RangeRow> {
+    let sb = symbol_bytes as usize;
+    let total = data.len() as u64 * symbol_bytes;
+    let expected: Vec<u8> =
+        data.iter().flat_map(|&s| u64::from(s).to_le_bytes()[..sb].to_vec()).collect();
+    let overhead_pct = archive::layout(packed)
+        .ok()
+        .and_then(|sections| sections.into_iter().find(|(s, _)| *s == Section::SeekIndex))
+        .map_or(0.0, |(_, span)| 100.0 * span.len() as f64 / packed.len() as f64);
+    let opts = DecompressOptions::default();
+
+    let mut rows = Vec::new();
+    for &decoder in decoders {
+        let gpu = Gpu::v100();
+        let (full, full_secs) =
+            decode_range_on_gpu(&gpu, packed, 0..total, &opts, decoder).expect("full decode");
+        assert_eq!(full.bytes, expected, "{label}/{}: full decode not bit-exact", decoder.name());
+        for &pct in RANGE_SLICE_PCTS {
+            // Off-center, chunk-unaligned start so the window carries a
+            // partial chunk at both ends.
+            let span = (total * u64::from(pct) / 100).max(1);
+            let lo = (total - span) * 37 / 100;
+            let range = lo..lo + span;
+            let gpu = Gpu::v100();
+            let ((r, secs), wall_s) = wall(|| {
+                decode_range_on_gpu(&gpu, packed, range.clone(), &opts, decoder)
+                    .expect("range decode")
+            });
+            assert_eq!(
+                r.bytes,
+                expected[lo as usize..(lo + span) as usize],
+                "{label}/{}/{pct}%: range not a slice of the full decode",
+                decoder.name()
+            );
+            rows.push(RangeRow {
+                dataset: label.to_string(),
+                decoder: decoder.name(),
+                device: "V100",
+                slice_pct: pct,
+                input_mb: total as f64 / 1e6,
+                range_bytes: span,
+                chunks_touched: r.chunks_touched,
+                total_chunks: r.total_chunks,
+                probes: r.index_probes,
+                index_used: r.index_used,
+                full_ms: full_secs * 1e3,
+                range_ms: secs * 1e3,
+                speedup: full_secs / secs,
+                overhead_pct,
+                wall_ms: wall_s * 1e3,
+            });
+        }
+    }
+    rows
+}
+
+/// Compress one workload into a seekable single-archive container (the
+/// RSH2 format `rsh compress` writes, seek-index trailer included).
+fn seekable_archive(data: &[u16], num_symbols: usize, symbol_bytes: u8, reduction: u32) -> Vec<u8> {
+    let mut opts = archive::CompressOptions::new(num_symbols);
+    opts.reduction = Some(reduction);
+    opts.symbol_bytes = symbol_bytes;
+    archive::compress(data, &opts).expect("range sweep compress")
+}
+
+/// Run the random-access range sweep at `scale`: every Table V workload
+/// × {`chunked`, `lut`} × [`RANGE_SLICE_PCTS`], plus the fixed full-size
+/// 64 MB acceptance rows. Every slice is verified byte-identical to the
+/// corresponding slice of the full decode before its row is emitted.
+pub fn range_rows(scale: f64) -> Vec<RangeRow> {
+    let decoders = [DecoderKind::Chunked, DecoderKind::Lut];
+    let mut rows = Vec::new();
+    for d in PaperDataset::all() {
+        let n = d.symbols_at_scale(scale);
+        let data = d.generate(n, 0xD5EA5E);
+        let packed =
+            seekable_archive(&data, d.num_symbols(), d.symbol_bytes() as u8, d.paper_reduction());
+        rows.extend(range_sweep_rows(d.name(), &data, d.symbol_bytes(), &packed, &decoders));
+    }
+    rows.extend(accept_range_rows());
+    rows
+}
+
+/// The fixed 64 MB acceptance range rows alone. CI gates on the 1 %
+/// slice modeling ≥ 10× the full decode and the seek-index overhead
+/// staying ≤ 5 % of the archive, on both backends.
+pub fn accept_range_rows() -> Vec<RangeRow> {
+    let d = PaperDataset::Enwik8;
+    let n = (64 << 20) / d.symbol_bytes() as usize;
+    let data = d.generate(n, 0xACCE97);
+    let packed =
+        seekable_archive(&data, d.num_symbols(), d.symbol_bytes() as u8, d.paper_reduction());
+    range_sweep_rows(
+        "accept-64mb",
+        &data,
+        d.symbol_bytes(),
+        &packed,
         &[DecoderKind::Chunked, DecoderKind::Lut],
     )
 }

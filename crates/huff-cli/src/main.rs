@@ -8,6 +8,8 @@
 //! rsh decompress <input> <output> [--best-effort] [--sentinel N]
 //!                                 [--decoder serial|chunked|lut]
 //!                                 [--trace out.json] [--device NAME]
+//! rsh cat        <archive> [output] --range A..B [--decoder serial|chunked|lut]
+//!                                 [--best-effort] [--sentinel N]
 //! rsh verify     <archive>
 //! rsh inspect    <archive>
 //! rsh profile    <file> [--roofline] [--roofline-json out.json] [--threshold F]
@@ -92,6 +94,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
+        Some("cat") => cmd_cat(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
@@ -121,6 +124,8 @@ usage:
                                   [--trace out.json] [--chrome out.json] [--device v100|rtx5000]
   rsh decompress <input> <output> [--best-effort] [--sentinel N] [--decoder serial|chunked|lut]
                                   [--trace out.json] [--device v100|rtx5000]
+  rsh cat        <archive> [output] --range A..B [--decoder serial|chunked|lut]
+                                  [--best-effort] [--sentinel N]
   rsh verify     <archive>
   rsh inspect    <archive>
   rsh profile    <file> [--roofline] [--roofline-json out.json] [--threshold F]
@@ -169,6 +174,15 @@ statistics prints `cache hit` and skips the modeled sweep; corrupt or
 foreign-versioned caches fall back to modeling, never fail the run. Cache
 hit/miss counters surface in stats as rsh_tune_lookups_total. The same flags on
 serve autotune every compress request.
+
+cat decodes only the requested byte range A..B (offsets into the *decoded*
+output; either bound may be omitted: --range 1000.. reads to the end,
+--range ..1000 from the start). Archives written by this rsh carry a succinct
+seek index (FORMAT.md \u{a7}10), so cat touches only the chunks covering the range
+— O(1) index probes instead of a full decode; older or index-stripped archives
+fall back to a chunk-table prefix scan, bit-identically. Without [output] the
+bytes stream to stdout and all diagnostics go to stderr. Exit codes mirror
+decompress (4 = best-effort recovered with losses inside the range).
 
 --decoder selects the payload decoder backend (default chunked): serial is the
 single-thread baseline, chunked decodes one chunk per block bit-serially, lut
@@ -227,6 +241,7 @@ struct Flags {
     buffers: Option<usize>,
     autotune: bool,
     tune_cache: Option<String>,
+    range: Option<std::ops::Range<u64>>,
     positional: Vec<String>,
 }
 
@@ -322,6 +337,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         buffers: None,
         autotune: false,
         tune_cache: None,
+        range: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -426,6 +442,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| usage("--buffers needs a number"))?,
                 )
+            }
+            "--range" => {
+                let v = it.next().ok_or_else(|| usage("--range needs A..B"))?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| usage("--range needs A..B (decoded byte offsets)"))?;
+                let lo = if a.is_empty() {
+                    0
+                } else {
+                    a.parse().map_err(|_| usage("--range start must be a byte offset"))?
+                };
+                let hi = if b.is_empty() {
+                    u64::MAX
+                } else {
+                    b.parse().map_err(|_| usage("--range end must be a byte offset"))?
+                };
+                f.range = Some(lo..hi);
             }
             "--autotune" => f.autotune = true,
             "--tune-cache" => {
@@ -678,6 +711,70 @@ fn cmd_decompress(args: &[String]) -> CmdResult {
     }
 }
 
+/// `rsh cat <archive> [output] --range A..B`: decode only the requested
+/// slice of the decoded output. Only the chunks covering the range are
+/// decoded — via the archive's succinct seek index when present (O(1)
+/// probes per lookup), via a chunk-table prefix scan otherwise. The
+/// bytes go to `[output]` or stdout; the chunk/probe summary (and any
+/// best-effort recovery report) goes to stderr so piped output stays
+/// clean.
+fn cmd_cat(args: &[String]) -> CmdResult {
+    let f = parse_flags(args)?;
+    let (input, output) = match f.positional.as_slice() {
+        [input] => (input, None),
+        [input, output] => (input, Some(output)),
+        _ => return Err(CliError::Usage("cat needs <archive> [output] --range A..B".into())),
+    };
+    let Some(range) = f.range.clone() else {
+        return Err(CliError::Usage("cat needs --range A..B (decoded-output byte offsets)".into()));
+    };
+    if range.start > range.end {
+        return Err(CliError::Usage(format!("--range {}..{} is inverted", range.start, range.end)));
+    }
+    let packed = read_file(input)?;
+    let mut opts =
+        if f.best_effort { DecompressOptions::best_effort() } else { DecompressOptions::strict() };
+    if let Some(s) = f.sentinel {
+        opts.sentinel = s;
+    }
+    if let Some(d) = f.decoder {
+        opts.decoder = d;
+    }
+    let r = archive::decode_range(&packed, range.clone(), &opts)
+        .map_err(|e| CliError::Corrupt(e.to_string()))?;
+    match output {
+        Some(path) => write_file(path, &r.bytes)?,
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&r.bytes)
+                .map_err(|e| CliError::Io(format!("stdout: {e}")))?;
+        }
+    }
+    let end = if range.end == u64::MAX { String::new() } else { range.end.to_string() };
+    eprintln!(
+        "rsh: {input}: bytes {}..{end}: {} bytes from {} of {} chunks, {} index probes ({})",
+        range.start,
+        r.bytes.len(),
+        r.chunks_touched,
+        r.total_chunks,
+        r.index_probes,
+        if r.index_used { "seek index" } else { "prefix scan" },
+    );
+    if r.report.is_clean() {
+        Ok(0)
+    } else {
+        eprintln!("{}", report_json(&r.report));
+        eprintln!(
+            "rsh: recovered with losses: {} of {} chunks damaged, {} symbols lost",
+            r.report.damaged_chunks.len(),
+            r.report.total_chunks,
+            r.report.symbols_lost,
+        );
+        Ok(EXIT_RECOVERED_WITH_LOSSES)
+    }
+}
+
 fn cmd_verify(args: &[String]) -> CmdResult {
     let f = parse_flags(args)?;
     let [input] = f.positional.as_slice() else {
@@ -720,7 +817,7 @@ fn cmd_inspect(args: &[String]) -> CmdResult {
             info.shard_symbols
         );
         for (i, range) in info.shard_ranges.iter().enumerate() {
-            let span = info.shard_symbol_range(i);
+            let span = info.shard_symbol_range(i).map_err(|e| CliError::Corrupt(e.to_string()))?;
             println!(
                 "  shard {i:<3} {:>10} bytes  symbols {}..{}",
                 range.len(),
@@ -1150,6 +1247,116 @@ mod tests {
             assert_eq!(cmd_decompress(&args).unwrap(), 0, "{decoder}");
             assert_eq!(std::fs::read(&restored).unwrap(), payload, "{decoder}");
         }
+    }
+
+    #[test]
+    fn cat_range_extracts_the_exact_slice() {
+        let input = tmp("cat.bin");
+        let packed = tmp("cat.rsh");
+        let payload: Vec<u8> = (0..120_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        cmd_compress(&[input, packed.clone()].map(String::from)).unwrap();
+
+        let slice = tmp("cat.slice");
+        let args: Vec<String> =
+            vec![packed.clone(), slice.clone(), "--range".into(), "50000..51000".into()];
+        assert_eq!(cmd_cat(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&slice).unwrap(), payload[50_000..51_000]);
+
+        // Open-ended bounds: ..N is a prefix, N.. a suffix.
+        let head = tmp("cat.head");
+        let args: Vec<String> = vec![packed.clone(), head.clone(), "--range".into(), "..64".into()];
+        assert_eq!(cmd_cat(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&head).unwrap(), payload[..64]);
+        let tail = tmp("cat.tail");
+        let args: Vec<String> =
+            vec![packed.clone(), tail.clone(), "--range".into(), "119000..".into()];
+        assert_eq!(cmd_cat(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&tail).unwrap(), payload[119_000..]);
+
+        // Every decoder backend serves the same bytes.
+        for decoder in ["serial", "chunked", "lut"] {
+            let out = tmp(&format!("cat-{decoder}.slice"));
+            let args: Vec<String> = vec![
+                packed.clone(),
+                out.clone(),
+                "--range".into(),
+                "30000..31000".into(),
+                "--decoder".into(),
+                decoder.into(),
+            ];
+            assert_eq!(cmd_cat(&args).unwrap(), 0, "{decoder}");
+            assert_eq!(std::fs::read(&out).unwrap(), payload[30_000..31_000], "{decoder}");
+        }
+    }
+
+    #[test]
+    fn cat_works_on_frames_and_flags_usage_errors() {
+        let input = tmp("catf.bin");
+        let frame = tmp("catf.rshm");
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 113) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        let args: Vec<String> = vec![input, frame.clone(), "--shards".into(), "4".into()];
+        cmd_compress(&args).unwrap();
+
+        let slice = tmp("catf.slice");
+        let args: Vec<String> =
+            vec![frame.clone(), slice.clone(), "--range".into(), "90000..110000".into()];
+        assert_eq!(cmd_cat(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&slice).unwrap(), payload[90_000..110_000]);
+
+        // Missing --range, inverted range, garbage bounds: usage errors.
+        assert!(matches!(cmd_cat(std::slice::from_ref(&frame)), Err(CliError::Usage(_))));
+        let args: Vec<String> = vec![frame.clone(), "--range".into(), "9..5".into()];
+        assert!(matches!(cmd_cat(&args), Err(CliError::Usage(_))));
+        let args: Vec<String> = vec![frame, "--range".into(), "abc".into()];
+        assert!(matches!(cmd_cat(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn cat_best_effort_recovers_damaged_ranges_with_exit_4() {
+        let input = tmp("catd.bin");
+        let packed = tmp("catd.rsh");
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 199) as u8).collect();
+        std::fs::write(&input, &payload).unwrap();
+        cmd_compress(&[input, packed.clone()].map(String::from)).unwrap();
+
+        // Flip a payload byte near the end of the archive.
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let sections = archive::layout(&bytes).unwrap();
+        let (_, range) = sections
+            .iter()
+            .find(|(s, _)| *s == huff_core::integrity::Section::Payload)
+            .unwrap()
+            .clone();
+        bytes[range.end - 3] ^= 0x10;
+        let damaged = tmp("catd-damaged.rsh");
+        std::fs::write(&damaged, &bytes).unwrap();
+
+        // A range before the damage still decodes strictly: only covering
+        // chunks are CRC-checked.
+        let head = tmp("catd.head");
+        let args: Vec<String> =
+            vec![damaged.clone(), head.clone(), "--range".into(), "0..1000".into()];
+        assert_eq!(cmd_cat(&args).unwrap(), 0);
+        assert_eq!(std::fs::read(&head).unwrap(), payload[..1000]);
+
+        // The damaged tail fails strictly, recovers best-effort (exit 4).
+        let tail = tmp("catd.tail");
+        let args: Vec<String> =
+            vec![damaged.clone(), tail.clone(), "--range".into(), "99000..".into()];
+        assert!(matches!(cmd_cat(&args), Err(CliError::Corrupt(_))));
+        let args: Vec<String> = vec![
+            damaged,
+            tail.clone(),
+            "--range".into(),
+            "99000..".into(),
+            "--best-effort".into(),
+            "--sentinel".into(),
+            "0".into(),
+        ];
+        assert_eq!(cmd_cat(&args).unwrap(), EXIT_RECOVERED_WITH_LOSSES);
+        assert_eq!(std::fs::read(&tail).unwrap().len(), 1000);
     }
 
     #[test]

@@ -368,6 +368,7 @@ fn handle_job(
             let body = match &completion.response {
                 Some(Response::Frame(bytes)) => bytes.clone(),
                 Some(Response::Symbols(syms)) => width.encode(syms),
+                Some(Response::Bytes(bytes)) => bytes.clone(),
                 None => Vec::new(),
             };
             write_response(stream, 200, "OK", "application/octet-stream", &headers, &body);

@@ -67,6 +67,21 @@ impl CanonicalCodebook {
         Self::assemble(lengths.len(), &order, cw)
     }
 
+    /// The codebook of the empty input: no symbols, no codewords. Only
+    /// an archive with `num_symbols == 0` may carry it — every decode
+    /// over it is the empty decode, so the `First`/`Entry` metadata is
+    /// vacuously absent.
+    pub fn empty() -> Self {
+        CanonicalCodebook {
+            codes: Vec::new(),
+            max_len: 0,
+            first: Vec::new(),
+            entry: Vec::new(),
+            count: Vec::new(),
+            rev: Vec::new(),
+        }
+    }
+
     /// Assemble a codebook from a canonical-order symbol permutation
     /// (ascending code length) and the GenerateCW output.
     pub(crate) fn assemble(num_symbols: usize, asc_symbols: &[u16], cw: CwOutput) -> Result<Self> {

@@ -71,6 +71,11 @@ pub fn decode_stream(
     decoder: DecoderKind,
 ) -> Result<Vec<u16>> {
     crate::metrics::registry::global().record_decode_backend(decoder.name());
+    // The empty stream decodes to nothing on every backend — and is the
+    // only stream an empty codebook (empty-input archive) can carry.
+    if stream.num_symbols == 0 && stream.num_chunks() == 0 {
+        return Ok(Vec::new());
+    }
     match decoder {
         DecoderKind::Serial => chunked::decode_serial(stream, book),
         DecoderKind::Chunked => chunked::decode(stream, book),
@@ -88,6 +93,9 @@ pub fn decode_stream_best_effort(
     decoder: DecoderKind,
 ) -> (Vec<u16>, RecoveryReport) {
     crate::metrics::registry::global().record_decode_backend(decoder.name());
+    if stream.num_symbols == 0 && stream.num_chunks() == 0 {
+        return (Vec::new(), RecoveryReport::clean(0));
+    }
     match decoder {
         DecoderKind::Serial => chunked::decode_serial_best_effort(stream, book, damaged, sentinel),
         DecoderKind::Chunked => chunked::decode_best_effort(stream, book, damaged, sentinel),

@@ -29,7 +29,9 @@
 
 use crate::archive;
 use crate::error::{HuffError, Result};
-use crate::integrity::{crc32, DecompressOptions, Recovered, RecoveryReport, Section, Verify};
+use crate::integrity::{
+    crc32, DecompressOptions, RangeDecode, Recovered, RecoveryMode, RecoveryReport, Section, Verify,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rayon::prelude::*;
 use std::ops::Range;
@@ -64,10 +66,23 @@ impl FrameInfo {
     }
 
     /// The symbol-index range shard `i` covers.
-    pub fn shard_symbol_range(&self, i: usize) -> Range<usize> {
-        let lo = (i as u64 * self.shard_symbols).min(self.total_symbols) as usize;
-        let hi = ((i as u64 + 1) * self.shard_symbols).min(self.total_symbols) as usize;
-        lo..hi
+    ///
+    /// Checked: a shard index whose symbol offset would overflow `u64` (or
+    /// the address space) is a structured error, never a silent wrap into
+    /// another shard's range.
+    pub fn shard_symbol_range(&self, i: usize) -> Result<Range<usize>> {
+        let at = |k: u64| -> Result<usize> {
+            let off = k
+                .checked_mul(self.shard_symbols)
+                .ok_or_else(|| bad(format!("shard {i} symbol offset overflows u64")))?
+                .min(self.total_symbols);
+            off.try_into()
+                .map_err(|_| bad(format!("shard {i} symbol offset exceeds address space")))
+        };
+        let hi_idx = (i as u64)
+            .checked_add(1)
+            .ok_or_else(|| bad(format!("shard {i} symbol offset overflows u64")))?;
+        Ok(at(i as u64)?..at(hi_idx)?)
     }
 }
 
@@ -92,7 +107,10 @@ pub fn assemble(
     shard_symbols: u64,
     symbol_bytes: u8,
 ) -> Result<Vec<u8>> {
-    if shards.is_empty() || shard_symbols == 0 {
+    if shard_symbols == 0 {
+        return Err(bad("a frame needs a nonzero shard size"));
+    }
+    if shards.is_empty() && total_symbols != 0 {
         return Err(bad("a frame needs at least one shard"));
     }
     let expected = total_symbols.div_ceil(shard_symbols);
@@ -149,7 +167,7 @@ pub fn parse(bytes: &[u8], verify: Verify) -> Result<FrameInfo> {
     let total_symbols = buf.get_u64_le();
     let shard_symbols = buf.get_u64_le();
     let num_shards = buf.get_u32_le() as usize;
-    if shard_symbols == 0 || num_shards == 0 {
+    if shard_symbols == 0 || (num_shards == 0 && total_symbols != 0) {
         return Err(bad("empty frame geometry"));
     }
     if num_shards as u64 != total_symbols.div_ceil(shard_symbols) {
@@ -199,7 +217,7 @@ pub fn parse(bytes: &[u8], verify: Verify) -> Result<FrameInfo> {
 /// to frame-global coordinates.
 pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recovered> {
     let info = parse(bytes, opts.verify)?;
-    let best_effort = opts.mode == crate::integrity::RecoveryMode::BestEffort;
+    let best_effort = opts.mode == RecoveryMode::BestEffort;
 
     // Decode shards in parallel; each is an independent archive.
     let results: Vec<Result<Recovered>> = info
@@ -207,7 +225,7 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
         .par_iter()
         .enumerate()
         .map(|(i, r)| {
-            let expected = info.shard_symbol_range(i).len();
+            let expected = info.shard_symbol_range(i)?.len();
             let body = bytes
                 .get(r.clone())
                 .ok_or_else(|| bad(format!("shard {i} body extends past the frame")))?;
@@ -226,7 +244,7 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
     let mut report = RecoveryReport::default();
     let (mut shards_ok, mut shards_recovered) = (0usize, 0usize);
     for (i, res) in results.into_iter().enumerate() {
-        let range = info.shard_symbol_range(i);
+        let range = info.shard_symbol_range(i)?;
         let base_chunks = report.total_chunks;
         match res {
             Ok(rec) => {
@@ -263,6 +281,135 @@ pub fn decompress_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Recover
     Ok(Recovered { symbols, report })
 }
 
+/// Decode only the bytes of `range` (in decoded-output byte space) from a
+/// multi-shard frame.
+///
+/// Each shard overlapping the range runs [`archive::decode_range`] over
+/// its shard-local slice, so only the chunks covering the range are ever
+/// decoded; untouched shards contribute nothing but their chunk count to
+/// the report's totals (a cheap header peek, not a decode). Strict and
+/// best-effort semantics per shard mirror [`decompress_with`]: in
+/// best-effort mode a shard that cannot be read at all is sentinel-filled
+/// across its overlap with the range and reported as one opaque damaged
+/// chunk. `index_used` is true only when every touched shard located its
+/// chunks through its seek index.
+pub fn decode_range(
+    bytes: &[u8],
+    range: Range<u64>,
+    opts: &DecompressOptions,
+) -> Result<RangeDecode> {
+    decode_range_with(bytes, range, opts, &mut |_, body, local| {
+        archive::decode_range(body, local, opts)
+    })
+}
+
+/// Per-shard decode callback for [`decode_range_with`], called as
+/// `(shard_index, shard_body, shard_local_byte_range)`.
+pub(crate) type ShardRangeDecode<'a> =
+    dyn FnMut(usize, &[u8], Range<u64>) -> Result<RangeDecode> + 'a;
+
+/// [`decode_range`] with the per-shard decode step pluggable: the batch
+/// layer substitutes a GPU-backed shard decode while reusing the exact
+/// shard-window arithmetic and report merging here.
+pub(crate) fn decode_range_with(
+    bytes: &[u8],
+    range: Range<u64>,
+    opts: &DecompressOptions,
+    shard_decode: &mut ShardRangeDecode<'_>,
+) -> Result<RangeDecode> {
+    if range.start > range.end {
+        return Err(bad(format!("byte range {}..{} is inverted", range.start, range.end)));
+    }
+    let info = parse(bytes, opts.verify)?;
+    let sb = u64::from(info.symbol_bytes.max(1));
+    let total_bytes = info
+        .total_symbols
+        .checked_mul(sb)
+        .ok_or_else(|| bad("frame decoded size overflows u64"))?;
+    let shard_bytes = info
+        .shard_symbols
+        .checked_mul(sb)
+        .ok_or_else(|| bad("frame shard byte size overflows u64"))?;
+    let lo = range.start.min(total_bytes);
+    let hi = range.end.min(total_bytes);
+    let best_effort = opts.mode == RecoveryMode::BestEffort;
+
+    // Per-shard chunk counts give the chunk-index base for shifting
+    // shard-local reports into frame-global coordinates. An unreadable
+    // shard counts as one opaque chunk, mirroring decompress_with.
+    let mut chunk_base = Vec::with_capacity(info.num_shards() + 1);
+    chunk_base.push(0usize);
+    for r in &info.shard_ranges {
+        let n = match bytes.get(r.clone()) {
+            Some(body) => archive::chunk_count(body).unwrap_or(1),
+            None => 1,
+        };
+        chunk_base.push(chunk_base[chunk_base.len() - 1] + n);
+    }
+    let total_chunks = chunk_base[info.num_shards()];
+
+    let (s0, s1) = if lo == hi || shard_bytes == 0 {
+        (0, 0)
+    } else {
+        ((lo / shard_bytes) as usize, (hi.div_ceil(shard_bytes) as usize).min(info.num_shards()))
+    };
+
+    let mut out = Vec::with_capacity((hi - lo) as usize);
+    let mut report = RecoveryReport { total_chunks, ..RecoveryReport::default() };
+    let mut chunks_touched = 0usize;
+    let mut index_probes = 0u64;
+    let mut index_used = true;
+    // `i` drives three parallel tables (shard_ranges, chunk_base, the
+    // shard's symbol range), so the index loop is the clear shape here.
+    #[allow(clippy::needless_range_loop)]
+    for i in s0..s1 {
+        let sym_range = info.shard_symbol_range(i)?;
+        let shard_lo = (i as u64)
+            .checked_mul(shard_bytes)
+            .ok_or_else(|| bad(format!("shard {i} byte offset overflows u64")))?;
+        let shard_hi = shard_lo.saturating_add(shard_bytes).min(total_bytes);
+        let g_lo = lo.max(shard_lo);
+        let g_hi = hi.min(shard_hi);
+        let res = bytes
+            .get(info.shard_ranges[i].clone())
+            .ok_or_else(|| bad(format!("shard {i} body extends past the frame")))
+            .and_then(|body| shard_decode(i, body, g_lo - shard_lo..g_hi - shard_lo));
+        match res {
+            Ok(r) => {
+                for c in r.report.damaged_chunks {
+                    report.damaged_chunks.push(chunk_base[i] + c);
+                }
+                for (s, e) in r.report.damaged_ranges {
+                    report.damaged_ranges.push((sym_range.start + s, sym_range.start + e));
+                    report.symbols_lost += e - s;
+                }
+                chunks_touched += r.chunks_touched;
+                index_probes += r.index_probes;
+                index_used &= r.index_used;
+                out.extend_from_slice(&r.bytes);
+            }
+            Err(e) if best_effort => {
+                // The shard is unreadable as a whole: sentinel-fill its
+                // overlap with the range, one opaque damaged chunk.
+                let _ = e;
+                let sent = u64::from(opts.sentinel).to_le_bytes();
+                for p in g_lo..g_hi {
+                    out.push(sent[(p % sb).min(7) as usize]);
+                }
+                chunks_touched += 1;
+                index_used = false;
+                report.damaged_chunks.push(chunk_base[i]);
+                let d_lo = ((g_lo / sb) as usize).max(sym_range.start);
+                let d_hi = (g_hi.div_ceil(sb) as usize).min(sym_range.end).max(d_lo);
+                report.damaged_ranges.push((d_lo, d_hi));
+                report.symbols_lost += d_hi - d_lo;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RangeDecode { bytes: out, report, chunks_touched, total_chunks, index_probes, index_used })
+}
+
 /// Check every shard's checksums without decoding any payload, merging
 /// the per-shard reports into frame-global coordinates (same conventions
 /// as [`decompress_with`]).
@@ -270,7 +417,7 @@ pub fn verify(bytes: &[u8]) -> Result<RecoveryReport> {
     let info = parse(bytes, Verify::Full)?;
     let mut report = RecoveryReport::default();
     for (i, r) in info.shard_ranges.iter().enumerate() {
-        let range = info.shard_symbol_range(i);
+        let range = info.shard_symbol_range(i)?;
         let base_chunks = report.total_chunks;
         let shard_report = bytes
             .get(r.clone())
@@ -338,8 +485,18 @@ mod tests {
         let info = parse(&frame, Verify::Full).unwrap();
         assert_eq!(info.num_shards(), 3);
         assert_eq!(info.total_symbols, 10_000);
-        assert_eq!(info.shard_symbol_range(0), 0..4096);
-        assert_eq!(info.shard_symbol_range(2), 8192..10_000);
+        assert_eq!(info.shard_symbol_range(0).unwrap(), 0..4096);
+        assert_eq!(info.shard_symbol_range(2).unwrap(), 8192..10_000);
+        // Checked math: a shard index whose offset cannot fit must error
+        // instead of wrapping (satellite of the seek-index PR).
+        let silly = FrameInfo {
+            version: 1,
+            symbol_bytes: 2,
+            total_symbols: u64::MAX,
+            shard_symbols: u64::MAX / 2,
+            shard_ranges: vec![],
+        };
+        assert!(silly.shard_symbol_range(3).is_err());
         // Shard bodies tile the tail of the frame.
         let mut cursor = info.shard_ranges[0].start;
         for r in &info.shard_ranges {
@@ -377,7 +534,69 @@ mod tests {
         let syms = data(1000);
         let shards = vec![compress(&syms, &CompressOptions::new(256)).unwrap()];
         assert!(assemble(&shards, 5000, 1000, 2).is_err());
-        assert!(assemble(&[], 0, 1000, 2).is_err());
+        assert!(assemble(&[], 5000, 1000, 2).is_err());
+        assert!(assemble(&[], 0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        // Zero symbols → zero shards is valid geometry, not an error.
+        let frame = assemble(&[], 0, 4096, 2).unwrap();
+        assert!(is_frame(&frame));
+        let info = parse(&frame, Verify::Full).unwrap();
+        assert_eq!(info.num_shards(), 0);
+        assert_eq!(info.total_symbols, 0);
+        let rec = decompress_with(&frame, &DecompressOptions::default()).unwrap();
+        assert!(rec.symbols.is_empty());
+        assert!(rec.report.is_clean());
+        assert!(verify(&frame).unwrap().is_clean());
+        let r = decode_range(&frame, 0..100, &DecompressOptions::default()).unwrap();
+        assert!(r.bytes.is_empty());
+        assert_eq!(r.chunks_touched, 0);
+        assert_eq!(r.total_chunks, 0);
+    }
+
+    #[test]
+    fn range_decode_matches_full_decode_slice() {
+        let syms = data(30_000);
+        let frame = frame_of(&syms, 8192);
+        let full = decompress_with(&frame, &DecompressOptions::default()).unwrap();
+        let full_bytes: Vec<u8> = full.symbols.iter().flat_map(|&s| s.to_le_bytes()).collect();
+        // Ranges within one shard, straddling the shard boundary at byte
+        // 16_384, mid-symbol endpoints, the tail, and an empty range.
+        for (a, b) in [(0, 64), (16_000, 17_000), (16_383, 16_385), (59_990, 60_000), (123, 123)] {
+            let r = decode_range(&frame, a..b, &DecompressOptions::default()).unwrap();
+            assert_eq!(r.bytes, &full_bytes[a as usize..b as usize], "{a}..{b}");
+            assert!(r.report.is_clean());
+        }
+        let r = decode_range(&frame, 20_000..20_100, &DecompressOptions::default()).unwrap();
+        assert!(r.chunks_touched < r.total_chunks, "small range must skip chunks");
+        assert!(r.index_used, "fresh archives carry a seek index");
+    }
+
+    #[test]
+    fn range_decode_dead_shard_sentinel_fills_overlap() {
+        let syms = data(24_000);
+        let frame = frame_of(&syms, 8192);
+        let info = parse(&frame, Verify::Full).unwrap();
+        let mut corrupt = frame.clone();
+        corrupt[info.shard_ranges[1].start] = b'X'; // kill shard 1's magic
+
+        assert!(decode_range(&corrupt, 16_000..33_000, &DecompressOptions::default()).is_err());
+
+        let opts = DecompressOptions::best_effort().with_sentinel(0xABCD);
+        let r = decode_range(&corrupt, 16_000..33_000, &opts).unwrap();
+        assert_eq!(r.bytes.len(), 17_000);
+        // Shard 1 occupies bytes 16_384..32_768 of the decoded output.
+        assert!(r.bytes[384..16_768].chunks(2).all(|c| c == [0xCD, 0xAB]));
+        assert_eq!(&r.bytes[..384], &make_bytes(&syms)[16_000..16_384]);
+        assert_eq!(&r.bytes[16_768..], &make_bytes(&syms)[32_768..33_000]);
+        assert!(!r.report.is_clean());
+        assert!(!r.index_used);
+    }
+
+    fn make_bytes(syms: &[u16]) -> Vec<u8> {
+        syms.iter().flat_map(|&s| s.to_le_bytes()).collect()
     }
 
     #[test]

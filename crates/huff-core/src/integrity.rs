@@ -107,6 +107,9 @@ pub enum Section {
     Header,
     /// The compressed bitstream.
     Payload,
+    /// The optional seek-index trailer after the payload (RSH2 only;
+    /// fail-open — damage here degrades to the chunk-table prefix scan).
+    SeekIndex,
 }
 
 impl fmt::Display for Section {
@@ -121,6 +124,7 @@ impl fmt::Display for Section {
             Section::Checksums => "checksum table",
             Section::Header => "header",
             Section::Payload => "payload",
+            Section::SeekIndex => "seek index",
         };
         f.write_str(name)
     }
@@ -236,6 +240,30 @@ pub struct Recovered {
     pub symbols: Vec<u16>,
     /// Which chunks and symbol ranges were lost.
     pub report: RecoveryReport,
+}
+
+/// The result of a random-access range decode
+/// ([`crate::archive::decode_range`]): the requested bytes plus an
+/// accounting of how little of the archive was touched to produce them.
+#[derive(Debug, Clone)]
+pub struct RangeDecode {
+    /// The decoded output bytes for the (clamped) requested range —
+    /// symbols serialized little-endian at the archive's symbol width.
+    pub bytes: Vec<u8>,
+    /// Damage report in *global* coordinates (chunk indices and symbol
+    /// ranges refer to the whole archive, not the decoded window).
+    pub report: RecoveryReport,
+    /// Chunks actually decoded (the covering window).
+    pub chunks_touched: usize,
+    /// Total chunks in the archive.
+    pub total_chunks: usize,
+    /// u64-word probes spent locating chunk offsets: a few per chunk
+    /// boundary with the seek index, O(chunks) for the prefix-scan
+    /// fallback.
+    pub index_probes: u64,
+    /// True when the seek-index trailer was present, valid, and used;
+    /// false when offsets came from the chunk-table prefix scan.
+    pub index_used: bool,
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
 pub mod plan;
+pub mod seek;
 pub mod serve;
 pub mod sparse;
 pub mod testing;
@@ -70,8 +71,11 @@ pub use codeword::Codeword;
 pub use decode::DecoderKind;
 pub use encode::{BreakingStrategy, ChunkedStream, EncodedStream, MergeConfig};
 pub use error::{HuffError, Result};
-pub use integrity::{DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Section, Verify};
+pub use integrity::{
+    DecompressOptions, RangeDecode, Recovered, RecoveryMode, RecoveryReport, Section, Verify,
+};
 pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};
 pub use plan::KernelPlan;
+pub use seek::ChunkIndex;
 pub use serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, ServeReport};
 pub use tune::{Decision, Dispatch, Signature, TuneCache, Tuner};

@@ -429,7 +429,7 @@ pub fn profile_compress(
         opts.kind,
         opts.plan,
     )?;
-    let packed = archive::serialize(&stream, &book, symbol_bytes as u8);
+    let packed = archive::serialize(&stream, &book, symbol_bytes as u8)?;
 
     let clock = gpu.clock();
     let records = clock.records();

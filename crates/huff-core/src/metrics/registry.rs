@@ -102,6 +102,23 @@ const FAMILIES: &[(&str, MetricKind, &str)] = &[
         MetricKind::Counter,
         "Shards quarantined off failed devices and rescheduled onto survivors.",
     ),
+    (
+        "rsh_range_decodes_total",
+        MetricKind::Counter,
+        "Random-access range decodes, by offset source (index/scan).",
+    ),
+    ("rsh_range_bytes_total", MetricKind::Counter, "Bytes produced by range decodes."),
+    ("rsh_range_chunks_touched_total", MetricKind::Counter, "Chunks decoded to serve range reads."),
+    (
+        "rsh_range_chunks_skipped_total",
+        MetricKind::Counter,
+        "Chunks range reads did not have to decode.",
+    ),
+    (
+        "rsh_index_probes_total",
+        MetricKind::Counter,
+        "Seek-index u64-word probes spent locating chunk offsets.",
+    ),
     ("rsh_tune_lookups_total", MetricKind::Counter, "Tuning-cache lookups, by result (hit/miss)."),
     (
         "rsh_tune_decisions_total",
@@ -412,6 +429,29 @@ impl Registry {
     /// Shards quarantined off failed devices in a batched run.
     pub fn record_shards_quarantined(&mut self, shards: usize) {
         self.add("rsh_quarantined_shards_total", &[], shards as f64);
+    }
+
+    /// One random-access range decode: output bytes, how many chunks it
+    /// decoded vs the archive's total, and the probe traffic it spent
+    /// locating offsets (see `crate::archive::decode_range`).
+    pub fn record_range_decode(
+        &mut self,
+        bytes_out: u64,
+        chunks_touched: usize,
+        total_chunks: usize,
+        probes: u64,
+        index_used: bool,
+    ) {
+        let source = if index_used { "index" } else { "scan" };
+        self.add("rsh_range_decodes_total", &[("source", source)], 1.0);
+        self.add("rsh_range_bytes_total", &[], bytes_out as f64);
+        self.add("rsh_range_chunks_touched_total", &[], chunks_touched as f64);
+        self.add(
+            "rsh_range_chunks_skipped_total",
+            &[],
+            total_chunks.saturating_sub(chunks_touched) as f64,
+        );
+        self.add("rsh_index_probes_total", &[], probes as f64);
     }
 
     /// One tuning-cache lookup.

@@ -296,7 +296,7 @@ pub fn run_to_archive(
     }
     let (stream, book, report) =
         run(gpu, data, symbol_bytes, num_symbols, magnitude, reduction, kind)?;
-    Ok((archive::serialize(&stream, &book, symbol_bytes as u8), report))
+    Ok((archive::serialize(&stream, &book, symbol_bytes as u8)?, report))
 }
 
 /// Decode an archive produced by [`run_to_archive`] (or

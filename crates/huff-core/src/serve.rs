@@ -174,6 +174,12 @@ pub enum Workload {
     Compress(Vec<u16>),
     /// Decompress this RSH2 archive or RSHM frame.
     Decompress(Vec<u8>),
+    /// Decode only this byte range (decoded-output byte space) of an
+    /// archive or frame — a seekable random-access read. Served through
+    /// [`archive::decode_range`], so only the chunks covering the range
+    /// are decoded and service time scales with the slice, not the
+    /// archive.
+    DecompressRange(Vec<u8>, std::ops::Range<u64>),
 }
 
 /// One request submitted to the engine.
@@ -211,6 +217,21 @@ impl Request {
         }
     }
 
+    /// A range-decode request: serve only `range` of the decoded output.
+    pub fn decompress_range(
+        trace_id: impl Into<String>,
+        arrival: f64,
+        bytes: Vec<u8>,
+        range: std::ops::Range<u64>,
+    ) -> Self {
+        Request {
+            trace_id: trace_id.into(),
+            arrival,
+            deadline: None,
+            workload: Workload::DecompressRange(bytes, range),
+        }
+    }
+
     /// Attach a deadline (seconds from arrival).
     pub fn with_deadline(mut self, deadline: f64) -> Self {
         self.deadline = Some(deadline);
@@ -225,6 +246,9 @@ pub enum Response {
     Frame(Vec<u8>),
     /// Decoded symbols.
     Symbols(Vec<u16>),
+    /// The decoded bytes of a range request, exactly the slice asked for
+    /// (clamped to the decoded size).
+    Bytes(Vec<u8>),
 }
 
 /// How a request ended. Every request ends in exactly one of these.
@@ -684,7 +708,7 @@ impl Engine {
             draw.transient_failures = rng.gen_range(1u32..=2);
         }
         match workload {
-            Workload::Decompress(_) => {
+            Workload::Decompress(_) | Workload::DecompressRange(..) => {
                 draw.glitch = rng.gen_bool(cfg.glitch_prob);
                 if rng.gen_bool(cfg.corruption_prob) {
                     draw.corruption = Some((rng.gen_range(0.0f64..1.0), rng.gen_range(0u8..8)));
@@ -705,6 +729,9 @@ impl Engine {
         match workload {
             Workload::Compress(symbols) => self.execute_compress(symbols, draw),
             Workload::Decompress(bytes) => self.execute_decompress(bytes, draw),
+            Workload::DecompressRange(bytes, range) => {
+                self.execute_decompress_range(bytes, range.clone(), draw)
+            }
         }
     }
 
@@ -859,6 +886,101 @@ impl Engine {
                     Err(e) => {
                         return Err(last_err.unwrap_or(e));
                     }
+                }
+            }
+        };
+        if draw.corruption.is_some() {
+            self.pool.release(scratch);
+        }
+        Ok(exec)
+    }
+
+    fn execute_decompress_range(
+        &mut self,
+        bytes: &[u8],
+        range: std::ops::Range<u64>,
+        draw: &ChaosDraw,
+    ) -> Result<Exec> {
+        let scratch;
+        let payload: &[u8] = if let Some((frac, bit)) = draw.corruption {
+            let mut buf = self.pool.acquire(bytes);
+            let offset = ((bytes.len() as f64 * frac) as usize).min(bytes.len().saturating_sub(1));
+            crate::testing::apply(&mut buf, &Fault::BitFlip { offset, bit });
+            scratch = buf;
+            &scratch
+        } else {
+            scratch = Vec::new();
+            bytes
+        };
+        // A failed rung read at most the range's window, never the whole
+        // archive — charge its fractional cost on the slice size.
+        let slice_estimate =
+            usize::try_from(range.end.saturating_sub(range.start)).unwrap_or(usize::MAX);
+
+        let mut seconds = REQUEST_OVERHEAD_SECONDS;
+        let mut last_err: Option<HuffError> = None;
+        let mut outcome: Option<Exec> = None;
+        for (rung, &kind) in self.cfg.ladder.iter().enumerate() {
+            if draw.glitch && kind == DecoderKind::Lut {
+                let e = HuffError::GapArray {
+                    chunk: 0,
+                    subchunk: 0,
+                    gap_bit: 0,
+                    detail: "injected decoder glitch (chaos)".into(),
+                };
+                seconds +=
+                    self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION;
+                last_err = Some(e);
+                continue;
+            }
+            let opts = DecompressOptions {
+                verify: Verify::Full,
+                mode: RecoveryMode::Strict,
+                sentinel: self.cfg.sentinel,
+                decoder: kind,
+            };
+            match archive::decode_range(payload, range.clone(), &opts) {
+                Ok(r) => {
+                    seconds += self.model_decode_seconds(r.bytes.len(), kind);
+                    let degraded = (rung > 0).then(|| (kind.name().to_string(), 0));
+                    outcome = Some(Exec {
+                        seconds,
+                        response: Response::Bytes(r.bytes),
+                        recovery: Some(r.report),
+                        degraded,
+                        quarantined: 0,
+                    });
+                    break;
+                }
+                Err(e) => {
+                    seconds +=
+                        self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION;
+                    last_err = Some(e);
+                }
+            }
+        }
+        let exec = match outcome {
+            Some(exec) => exec,
+            None => {
+                let opts = DecompressOptions {
+                    verify: Verify::Full,
+                    mode: RecoveryMode::BestEffort,
+                    sentinel: self.cfg.sentinel,
+                    decoder: DecoderKind::Serial,
+                };
+                match archive::decode_range(payload, range, &opts) {
+                    Ok(r) => {
+                        seconds += self.model_decode_seconds(r.bytes.len(), DecoderKind::Serial);
+                        let lost = r.report.symbols_lost;
+                        Exec {
+                            seconds,
+                            response: Response::Bytes(r.bytes),
+                            recovery: Some(r.report),
+                            degraded: Some(("best_effort".to_string(), lost)),
+                            quarantined: 0,
+                        }
+                    }
+                    Err(e) => return Err(last_err.unwrap_or(e)),
                 }
             }
         };
@@ -1110,6 +1232,89 @@ mod tests {
             eng.report().to_json().to_string()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn range_request_serves_the_exact_slice_and_bills_the_slice() {
+        let cfg = small_cfg();
+        let syms = symbols(20_000, 14);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let full: Vec<u8> = syms.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let mut eng = Engine::new(cfg);
+        let c_full = eng.submit(Request::decompress("full", 0.0, frame_bytes.clone())).unwrap();
+        let full_service = c_full.service;
+        let c =
+            eng.submit(Request::decompress_range("slice", 1.0, frame_bytes, 9_000..9_400)).unwrap();
+        assert_eq!(c.outcome, Outcome::Success);
+        let Some(Response::Bytes(out)) = &c.response else {
+            panic!("expected bytes, got {:?}", c.response);
+        };
+        assert_eq!(*out, full[9_000..9_400]);
+        // Service time scales with the 400-byte slice, not the archive.
+        assert!(
+            c.service < full_service,
+            "range service {} should undercut full decode {full_service}",
+            c.service
+        );
+    }
+
+    #[test]
+    fn range_request_degrades_down_the_ladder_bit_exactly() {
+        let cfg = small_cfg();
+        let syms = symbols(12_000, 15);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let full: Vec<u8> = syms.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let mut chaos = ChaosConfig::quiet(31);
+        chaos.glitch_prob = 1.0;
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        let c =
+            eng.submit(Request::decompress_range("r0", 0.0, frame_bytes, 5_000..6_000)).unwrap();
+        let Outcome::Degraded { ref backend, symbols_lost } = c.outcome else {
+            panic!("expected degraded, got {:?}", c.outcome);
+        };
+        assert_eq!(backend, "chunked");
+        assert_eq!(symbols_lost, 0);
+        let Some(Response::Bytes(out)) = &c.response else { panic!() };
+        assert_eq!(*out, full[5_000..6_000]);
+    }
+
+    #[test]
+    fn corrupted_range_request_never_yields_silently_wrong_bytes() {
+        let cfg = small_cfg();
+        let syms = symbols(12_000, 16);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let full: Vec<u8> = syms.iter().flat_map(|s| s.to_le_bytes()).collect();
+        let mut chaos = ChaosConfig::quiet(37);
+        chaos.corruption_prob = 1.0;
+        for seed in 0..8u64 {
+            chaos.seed = seed;
+            let mut eng = Engine::with_chaos(cfg.clone(), chaos);
+            let c = eng
+                .submit(Request::decompress_range("r0", 0.0, frame_bytes.clone(), 2_000..20_000))
+                .unwrap();
+            match &c.outcome {
+                Outcome::Success => {
+                    let Some(Response::Bytes(out)) = &c.response else { panic!() };
+                    assert_eq!(*out, full[2_000..20_000]);
+                }
+                Outcome::Degraded { .. } => {
+                    let Some(Response::Bytes(out)) = &c.response else { panic!() };
+                    let report = c.recovery.as_ref().unwrap();
+                    assert_eq!(out.len(), 18_000);
+                    // Bytes outside the reported damage are exact.
+                    for (k, (&got, &want)) in out.iter().zip(&full[2_000..20_000]).enumerate() {
+                        let sym = (2_000 + k) / 2;
+                        let damaged =
+                            report.damaged_ranges.iter().any(|&(s, e)| sym >= s && sym < e);
+                        if !damaged {
+                            assert_eq!(got, want, "wrong byte at {k} outside damage report");
+                        }
+                    }
+                }
+                Outcome::Failed { .. } => {}
+                other => panic!("corrupted range must serve or fail, got {other:?}"),
+            }
+        }
     }
 
     #[test]

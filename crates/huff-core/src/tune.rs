@@ -63,7 +63,9 @@ use crate::encode::BreakingStrategy;
 use crate::entropy;
 use crate::error::{HuffError, Result};
 use crate::histogram;
-use crate::integrity::{crc32, DecompressOptions, Recovered, RecoveryMode, RecoveryReport, Verify};
+use crate::integrity::{
+    crc32, DecompressOptions, RangeDecode, Recovered, RecoveryMode, RecoveryReport, Verify,
+};
 use crate::plan::KernelPlan;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gpu_sim::cost;
@@ -828,6 +830,78 @@ pub fn decompress_raw_with(bytes: &[u8], opts: &DecompressOptions) -> Result<Rec
         report.damaged_chunks.len(),
     );
     Ok(Recovered { symbols, report })
+}
+
+/// Range-read an `RSHR` container. The stored payload *is* the decoded
+/// output (symbols at their native width, little-endian), so a range
+/// read is a bounds-checked slice — the raw container's analogue of the
+/// seek index. `range` is clamped to the payload's extent; under
+/// [`Verify::Full`] the payload checksum is still verified first
+/// (the container has no finer-grained checksums to verify per range).
+pub fn raw_range(
+    bytes: &[u8],
+    range: std::ops::Range<u64>,
+    opts: &DecompressOptions,
+) -> Result<RangeDecode> {
+    if range.start > range.end {
+        return Err(HuffError::BadArchive(format!(
+            "raw container: byte range {}..{} is inverted",
+            range.start, range.end
+        )));
+    }
+    let (symbol_bytes, num_symbols) = raw_info(bytes)?;
+    let n: usize = num_symbols
+        .try_into()
+        .map_err(|_| HuffError::BadArchive("raw container: count exceeds address space".into()))?;
+    let want = n * symbol_bytes as usize;
+    let lo = (range.start.min(want as u64)) as usize;
+    let hi = (range.end.min(want as u64)) as usize;
+    let payload = &bytes[RAW_HEADER_LEN.min(bytes.len())..];
+    let avail = payload.len().min(want);
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+
+    let crc_ok = avail == want && crc32(&payload[..want]) == stored_crc;
+    let complete = match opts.verify {
+        Verify::None | Verify::HeadersOnly => avail == want,
+        Verify::Full => crc_ok,
+    };
+    let mut report = RecoveryReport::clean(1);
+    let out: Vec<u8> = if complete {
+        payload[lo..hi].to_vec()
+    } else if opts.mode == RecoveryMode::Strict {
+        if avail < want {
+            return Err(HuffError::BadArchive("raw container: truncated payload".into()));
+        }
+        return Err(HuffError::ChecksumMismatch {
+            section: crate::integrity::Section::Payload,
+            chunk: Some(0),
+            expected: stored_crc,
+            got: crc32(&payload[..want]),
+        });
+    } else {
+        // Best-effort mirrors decompress_raw_with: a truncation keeps the
+        // intact whole-symbol prefix, an unlocalizable CRC failure keeps
+        // nothing; the rest reads as sentinel bytes.
+        let keep_syms = if avail < want { avail / symbol_bytes as usize } else { 0 };
+        let keep_bytes = keep_syms * symbol_bytes as usize;
+        let sentinel = opts.sentinel.to_le_bytes();
+        report.damaged_chunks.push(0);
+        report.damaged_ranges.push((keep_syms, n));
+        report.symbols_lost = n - keep_syms;
+        (lo..hi)
+            .map(|p| if p < keep_bytes { payload[p] } else { sentinel[p % symbol_bytes as usize] })
+            .collect()
+    };
+    let touched = usize::from(hi > lo);
+    crate::metrics::registry::global().record_range_decode(out.len() as u64, touched, 1, 0, false);
+    Ok(RangeDecode {
+        bytes: out,
+        report,
+        chunks_touched: touched,
+        total_chunks: 1,
+        index_probes: 0,
+        index_used: false,
+    })
 }
 
 /// Check an `RSHR` container's checksums without materializing symbols.

@@ -138,7 +138,7 @@ fn archive_rejects_shuffled_outliers() {
     )
     .unwrap();
     assert!(stream.outliers.num_units() >= 2);
-    let packed = archive::serialize(&stream, &book, 2);
+    let packed = archive::serialize(&stream, &book, 2).unwrap();
     // Find the outlier table and swap the first two unit indices.
     // Layout: magic(4) sym(1) M(1) r(1) pad(1) nsym(8) cb_len(4) lens(13)
     //         n_chunks(4) chunk_lens(8 each) outliers(4) ...

@@ -25,7 +25,7 @@ fn legacy_rsh1_archives_still_decompress() {
     let data = sample(10_000, 1);
     let packed = compress(&data, &CompressOptions::new(256)).unwrap();
     let (stream, book, sb) = archive::deserialize(&packed).unwrap();
-    let legacy = archive::serialize_v1(&stream, &book, sb);
+    let legacy = archive::serialize_v1(&stream, &book, sb).unwrap();
     assert_eq!(&legacy[..4], b"RSH1");
     assert!(legacy.len() < packed.len(), "v1 must be smaller (no checksums)");
     assert_eq!(archive::decompress(&legacy).unwrap(), data);
@@ -73,7 +73,7 @@ fn serialize_deserialize_preserves_everything() {
     let data = sample(60_000, 3);
     let packed = compress(&data, &CompressOptions::new(256)).unwrap();
     let (stream, book, sb) = archive::deserialize(&packed).unwrap();
-    let repacked = archive::serialize(&stream, &book, sb);
+    let repacked = archive::serialize(&stream, &book, sb).unwrap();
     assert_eq!(packed, repacked, "serialize/deserialize must be a bijection");
 }
 
@@ -107,7 +107,7 @@ fn breaking_heavy_archive_roundtrips() {
     )
     .unwrap();
     assert!(!stream.outliers.is_empty());
-    let packed = archive::serialize(&stream, &book, 2);
+    let packed = archive::serialize(&stream, &book, 2).unwrap();
     let restored = archive::decompress(&packed).unwrap();
     assert_eq!(restored, data);
 }

@@ -114,7 +114,7 @@ fn best_effort_recovers_all_but_the_corrupt_shard() {
     let rec = decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
     assert_eq!(rec.symbols.len(), syms.len());
     assert!(!rec.report.is_clean());
-    let lost = info.shard_symbol_range(2);
+    let lost = info.shard_symbol_range(2).unwrap();
     for (i, (&got, &want)) in rec.symbols.iter().zip(&syms).enumerate() {
         if i < lost.start || i >= lost.end {
             assert_eq!(got, want, "symbol {i} outside the damaged shard changed");

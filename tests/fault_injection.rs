@@ -47,12 +47,27 @@ fn section_range(packed: &[u8], which: Section) -> std::ops::Range<usize> {
 
 #[test]
 fn every_section_every_fault_never_panics_and_strict_errors() {
-    let (_, packed) = packed_sample(30_000, 11);
+    let (data, packed) = packed_sample(30_000, 11);
     for (section, range) in archive::layout(&packed).unwrap() {
         for fault in testing::sweep(&range) {
             let mut corrupt = packed.clone();
             if !testing::apply(&mut corrupt, &fault) {
                 continue; // no-op fault (e.g. swapped equal bytes)
+            }
+            if section == Section::SeekIndex {
+                // The seek index is fail-open by contract: damage there
+                // must be *invisible* to full decodes — strict decode
+                // still succeeds bit-exactly and verify stays clean.
+                assert_eq!(
+                    archive::decompress(&corrupt).unwrap(),
+                    data,
+                    "{section} {fault:?}: trailer damage leaked into the decode"
+                );
+                assert!(
+                    archive::verify(&corrupt).unwrap().is_clean(),
+                    "{section} {fault:?}: verify blamed the fail-open trailer"
+                );
+                continue;
             }
             let strict = archive::decompress(&corrupt);
             assert!(strict.is_err(), "{section} {fault:?}: strict accepted damage");
@@ -71,8 +86,8 @@ fn every_section_every_fault_never_panics_and_strict_errors() {
 fn header_faults_are_fatal_in_best_effort_too() {
     let (_, packed) = packed_sample(20_000, 12);
     for (section, range) in archive::layout(&packed).unwrap() {
-        if section == Section::Payload {
-            continue;
+        if section == Section::Payload || section == Section::SeekIndex {
+            continue; // payload recovers; the seek index is fail-open
         }
         for fault in testing::sweep(&range) {
             let mut corrupt = packed.clone();
@@ -190,7 +205,7 @@ fn payload_truncation_recovers_exactly_the_complete_chunks() {
 fn rsh1_archives_still_decompress_and_never_panic_when_damaged() {
     let (data, packed) = packed_sample(20_000, 16);
     let (stream, book, sb) = archive::deserialize(&packed).unwrap();
-    let legacy = archive::serialize_v1(&stream, &book, sb);
+    let legacy = archive::serialize_v1(&stream, &book, sb).unwrap();
     assert_eq!(&legacy[..4], b"RSH1");
     assert_eq!(archive::decompress(&legacy).unwrap(), data);
     // No checksums to check: verification is vacuously clean.
@@ -247,7 +262,7 @@ fn framed_shard_chunk_corruption_localizes_to_that_shard() {
         let rec = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
         assert_eq!(rec.symbols.len(), data.len());
         assert!(!rec.report.is_clean(), "shard {victim}: reported clean");
-        let span = info.shard_symbol_range(victim);
+        let span = info.shard_symbol_range(victim).unwrap();
         for (i, (&got, &want)) in rec.symbols.iter().zip(&data).enumerate() {
             if i < span.start || i >= span.end {
                 assert_eq!(got, want, "shard {victim}: symbol {i} outside victim changed");
@@ -293,7 +308,7 @@ fn framed_dead_shard_costs_exactly_that_shard() {
     let r = &info.shard_ranges[1];
     corrupt[r.start] ^= 0xFF;
     let rec = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
-    let span = info.shard_symbol_range(1);
+    let span = info.shard_symbol_range(1).unwrap();
     assert_eq!(rec.report.damaged_ranges, vec![(span.start, span.end)]);
     assert_eq!(rec.report.symbols_lost, span.len());
     for (i, (&got, &want)) in rec.symbols.iter().zip(&data).enumerate() {
@@ -369,7 +384,7 @@ fn quarantined_frame_with_wire_corruption_still_recovers_other_shards() {
     ));
     assert!(archive::decompress(&corrupt).is_err(), "strict accepted corruption");
     let rec = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()).unwrap();
-    let span = info.shard_symbol_range(victim);
+    let span = info.shard_symbol_range(victim).unwrap();
     for (i, (&got, &want)) in rec.symbols.iter().zip(&data).enumerate() {
         if i < span.start || i >= span.end {
             assert_eq!(got, want, "symbol {i} outside victim shard changed");
@@ -383,9 +398,12 @@ fn quarantined_frame_with_wire_corruption_still_recovers_other_shards() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    // Any single-byte XOR of an RSH2 archive is detected: every byte is
-    // covered by the magic check, the header CRC, or a chunk CRC — so a
-    // strict decompress must error, never silently corrupt.
+    // Any single-byte XOR of an RSH2 archive is detected: every byte up
+    // to the payload's end is covered by the magic check, the header CRC,
+    // or a chunk CRC — so a strict decompress must error, never silently
+    // corrupt. Bytes in the seek-index trailer are covered by the index's
+    // own CRC, whose failure mode is fail-open: the decode must come back
+    // bit-exact, never wrong.
     #[test]
     fn any_single_byte_mutation_is_detected(
         seed in 1u64..1000,
@@ -394,23 +412,36 @@ proptest! {
     ) {
         let data = sample(4_000, seed);
         let packed = compress(&data, &CompressOptions::new(256)).unwrap();
+        let trailer = archive::layout(&packed)
+            .unwrap()
+            .into_iter()
+            .find(|(s, _)| *s == Section::SeekIndex)
+            .map(|(_, r)| r)
+            .unwrap();
         let pos = (pos_frac as usize * (packed.len() - 1)) / 999;
         let mut corrupt = packed.clone();
         corrupt[pos] ^= xor;
         prop_assert!(corrupt != packed);
-        prop_assert!(archive::decompress(&corrupt).is_err(), "pos={pos} xor={xor:#x}");
+        if pos >= trailer.start {
+            prop_assert_eq!(
+                archive::decompress(&corrupt).unwrap(), data,
+                "pos={} xor={:#x} in the fail-open trailer", pos, xor
+            );
+        } else {
+            prop_assert!(archive::decompress(&corrupt).is_err(), "pos={pos} xor={xor:#x}");
 
-        // Best-effort never panics; when it succeeds, length is preserved
-        // and clean regions are intact.
-        if let Ok(rec) = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()) {
-            prop_assert_eq!(rec.symbols.len(), data.len());
-            let mut lost = vec![false; data.len()];
-            for &(s, e) in &rec.report.damaged_ranges {
-                lost[s..e].iter_mut().for_each(|b| *b = true);
-            }
-            for i in 0..data.len() {
-                if !lost[i] {
-                    prop_assert_eq!(rec.symbols[i], data[i]);
+            // Best-effort never panics; when it succeeds, length is
+            // preserved and clean regions are intact.
+            if let Ok(rec) = archive::decompress_with(&corrupt, &DecompressOptions::best_effort()) {
+                prop_assert_eq!(rec.symbols.len(), data.len());
+                let mut lost = vec![false; data.len()];
+                for &(s, e) in &rec.report.damaged_ranges {
+                    lost[s..e].iter_mut().for_each(|b| *b = true);
+                }
+                for i in 0..data.len() {
+                    if !lost[i] {
+                        prop_assert_eq!(rec.symbols[i], data[i]);
+                    }
                 }
             }
         }

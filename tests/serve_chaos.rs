@@ -87,6 +87,11 @@ fn chaos_storm_never_serves_wrong_bytes() {
                         }
                     }
                 }
+                // The storm submits no range requests, so a byte-slice
+                // response can only be a dispatch bug.
+                Response::Bytes(_) => {
+                    panic!("seed {seed} {}: unexpected range response", c.trace_id)
+                }
             }
         }
     }
