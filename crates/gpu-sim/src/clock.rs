@@ -39,6 +39,10 @@ pub struct KernelRecord {
     pub cost: CostBreakdown,
     /// The traffic ledger that produced the cost.
     pub traffic: Traffic,
+    /// Trace id of the owning request when this launch ran on behalf of a
+    /// served request (see `huff_core::metrics::span`). Empty for launches
+    /// outside any request scope.
+    pub trace: String,
 }
 
 impl KernelRecord {
@@ -55,6 +59,10 @@ pub struct SimClock {
     records: Vec<KernelRecord>,
     /// Current simulated time: the end of the last recorded kernel.
     now: f64,
+    /// Trace id stamped onto every subsequently recorded kernel (empty =
+    /// untraced). Set by the serving layer so request-scoped pipelines
+    /// attribute their launches end to end.
+    trace: String,
 }
 
 impl SimClock {
@@ -79,8 +87,16 @@ impl SimClock {
             end,
             cost,
             traffic,
+            trace: self.trace.clone(),
         });
         self.now = end;
+    }
+
+    /// Stamp every subsequently recorded kernel with this trace id (the
+    /// owning request's; see `StreamSchedule::set_trace` for the replay
+    /// side). Pass `""` to stop stamping.
+    pub fn set_trace(&mut self, trace: &str) {
+        self.trace = trace.to_string();
     }
 
     /// Total modeled seconds across all recorded kernels.

@@ -108,6 +108,12 @@ impl Gpu {
     pub fn reset_clock(&self) {
         self.clock.lock().reset();
     }
+
+    /// Stamp every subsequent launch's record with this trace id (the
+    /// owning request's; see [`SimClock::set_trace`]).
+    pub fn set_trace(&self, trace: &str) {
+        self.clock.lock().set_trace(trace);
+    }
 }
 
 /// Handle given to a kernel body; provides parallel regions and the traffic

@@ -102,6 +102,7 @@ pub struct StreamSchedule {
     queues: Vec<VecDeque<Op>>,
     num_events: usize,
     fail_at: Option<f64>,
+    trace: String,
 }
 
 impl StreamSchedule {
@@ -113,7 +114,16 @@ impl StreamSchedule {
             queues: vec![VecDeque::new(); streams],
             num_events: 0,
             fail_at: None,
+            trace: String::new(),
         }
+    }
+
+    /// Set the owning request's trace id: every record enqueued *after*
+    /// this call whose `trace` is still empty is stamped with it, so the
+    /// replayed timeline (including dropped records) attributes each
+    /// kernel to the request that launched it.
+    pub fn set_trace(&mut self, trace: &str) {
+        self.trace = trace.to_string();
     }
 
     /// Inject a device failure at modeled time `t` (seconds, `t ≥ 0`).
@@ -131,7 +141,10 @@ impl StreamSchedule {
     /// Append a kernel to `stream`'s queue. The record's `start`/`end`
     /// and `stream` fields are rewritten by [`StreamSchedule::run`]; only
     /// its cost breakdown and launch geometry matter here.
-    pub fn enqueue(&mut self, stream: usize, record: KernelRecord) {
+    pub fn enqueue(&mut self, stream: usize, mut record: KernelRecord) {
+        if record.trace.is_empty() && !self.trace.is_empty() {
+            record.trace = self.trace.clone();
+        }
         self.queues[stream].push_back(Op::Kernel(Box::new(record)));
     }
 
@@ -380,6 +393,7 @@ mod tests {
             end: memory,
             cost,
             traffic: Traffic::new(),
+            trace: String::new(),
         }
     }
 
@@ -611,6 +625,27 @@ mod tests {
                 assert_eq!(r.name, format!("{prefix}{}", done.len() + j));
             }
         }
+    }
+
+    #[test]
+    fn set_trace_stamps_enqueued_and_dropped_records() {
+        let mut s = StreamSchedule::new(spec(), 2);
+        s.set_trace("req-7");
+        s.enqueue(0, mem_kernel("a", 1.0, 4));
+        s.enqueue(0, mem_kernel("b", 1.0, 4));
+        s.enqueue(1, mem_kernel("c", 1.0, 4));
+        s.fail_at(1.5);
+        let tl = s.run();
+        for r in tl.records.iter().chain(&tl.dropped) {
+            assert_eq!(r.trace, "req-7", "kernel {} lost its trace id", r.name);
+        }
+        // A record already stamped by another owner keeps its stamp.
+        let mut s = StreamSchedule::new(spec(), 1);
+        s.set_trace("req-8");
+        let mut pre = mem_kernel("pre", 1.0, 4);
+        pre.trace = "req-0".into();
+        s.enqueue(0, pre);
+        assert_eq!(s.run().records[0].trace, "req-0");
     }
 
     #[test]

@@ -103,9 +103,44 @@ impl ChromeTrace {
         args.insert("bound".into(), rec.cost.bound().into());
         args.insert("cost".into(), rec.cost.to_json());
         args.insert("traffic".into(), rec.traffic.to_json());
+        if !rec.trace.is_empty() {
+            args.insert("trace".into(), Value::String(rec.trace.clone()));
+        }
         if let Some(spec) = &self.spec {
             args.insert("counters".into(), rec.counters(spec).to_json());
         }
+        e.insert("args".into(), Value::Object(args));
+        self.events.push(Value::Object(e));
+    }
+
+    /// Append an arbitrary complete event (`"ph":"X"`) on lane `tid` —
+    /// the span-tree exporter uses this for request/stage slices that are
+    /// not kernel launches. `start`/`end` are seconds on the modeled
+    /// clock; `args` lands in the viewer's slice detail pane.
+    pub fn slice(&mut self, tid: u32, cat: &str, name: &str, start: f64, end: f64, args: Map) {
+        let mut e = Map::new();
+        e.insert("name".into(), Value::String(name.to_string()));
+        e.insert("cat".into(), cat.into());
+        e.insert("ph".into(), "X".into());
+        e.insert("ts".into(), us(start));
+        e.insert("dur".into(), us(end - start));
+        e.insert("pid".into(), Value::Int(0));
+        e.insert("tid".into(), Value::Int(i128::from(tid)));
+        e.insert("args".into(), Value::Object(args));
+        self.events.push(Value::Object(e));
+    }
+
+    /// Append an instant event (`"ph":"i"`) on lane `tid` — span *events*
+    /// (retries, device loss, shed) render as markers in the viewer.
+    pub fn instant(&mut self, tid: u32, cat: &str, name: &str, at: f64, args: Map) {
+        let mut e = Map::new();
+        e.insert("name".into(), Value::String(name.to_string()));
+        e.insert("cat".into(), cat.into());
+        e.insert("ph".into(), "i".into());
+        e.insert("s".into(), "t".into());
+        e.insert("ts".into(), us(at));
+        e.insert("pid".into(), Value::Int(0));
+        e.insert("tid".into(), Value::Int(i128::from(tid)));
         e.insert("args".into(), Value::Object(args));
         self.events.push(Value::Object(e));
     }

@@ -32,8 +32,8 @@
 
 use huff_bench::regression::{
     compare, parse_baseline, Comparison, AUTOTUNE_KEY, AUTOTUNE_METRICS, DECODE_KEY,
-    DECODE_METRICS, DEFAULT_TOLERANCE, KERNEL_KEY, KERNEL_METRICS, PIPELINE_KEY, PIPELINE_METRICS,
-    RANGE_KEY, RANGE_METRICS,
+    DECODE_METRICS, DEFAULT_TOLERANCE, KERNEL_KEY, KERNEL_METRICS, LATENCY_KEY, LATENCY_METRICS,
+    PIPELINE_KEY, PIPELINE_METRICS, RANGE_KEY, RANGE_METRICS,
 };
 use huff_bench::{row_json, sweeps};
 use serde::json::Value;
@@ -49,6 +49,7 @@ struct Args {
     decode_scale: f64,
     autotune_scale: f64,
     range_scale: f64,
+    latency_scale: f64,
     update: bool,
 }
 
@@ -62,6 +63,7 @@ impl Args {
             decode_scale: sweeps::DECODE_BASELINE_SCALE,
             autotune_scale: sweeps::AUTOTUNE_BASELINE_SCALE,
             range_scale: sweeps::RANGE_BASELINE_SCALE,
+            latency_scale: sweeps::LATENCY_BASELINE_SCALE,
             update: false,
         };
         let mut args = std::env::args().skip(1);
@@ -77,6 +79,7 @@ impl Args {
                 "--decode-scale" => out.decode_scale = num("--decode-scale"),
                 "--autotune-scale" => out.autotune_scale = num("--autotune-scale"),
                 "--range-scale" => out.range_scale = num("--range-scale"),
+                "--latency-scale" => out.latency_scale = num("--latency-scale"),
                 "--baseline-dir" => {
                     out.baseline_dir =
                         PathBuf::from(args.next().expect("--baseline-dir requires a path"));
@@ -90,7 +93,7 @@ impl Args {
                     eprintln!(
                         "usage: regression [--tolerance F] [--baseline-dir DIR] [--report PATH] \
                          [--pipeline-scale F] [--decode-scale F] [--autotune-scale F] \
-                         [--range-scale F] [--update-baselines]"
+                         [--range-scale F] [--latency-scale F] [--update-baselines]"
                     );
                     exit(0);
                 }
@@ -131,14 +134,16 @@ fn main() {
     let autotune_path = args.baseline_dir.join("BENCH_autotune.json");
     let kernels_path = args.baseline_dir.join("BENCH_kernels.json");
     let range_path = args.baseline_dir.join("BENCH_range.json");
+    let latency_path = args.baseline_dir.join("BENCH_latency.json");
 
     println!(
         "REGRESSION GATE: pipeline sweep @ scale {}, decode sweep @ scale {}, autotune sweep @ \
-         scale {}, range sweep @ scale {}, tolerance {:.1}%\n",
+         scale {}, range sweep @ scale {}, latency storm @ scale {}, tolerance {:.1}%\n",
         args.pipeline_scale,
         args.decode_scale,
         args.autotune_scale,
         args.range_scale,
+        args.latency_scale,
         args.tolerance * 100.0
     );
 
@@ -147,6 +152,7 @@ fn main() {
     let autotune_rows = sweeps::autotune_rows(args.autotune_scale);
     let kernel_rows = sweeps::kernel_rows();
     let range_rows = sweeps::range_rows(args.range_scale);
+    let latency_rows = sweeps::latency_rows(args.latency_scale);
 
     if args.update {
         write_baseline(&pipeline_path, "pipeline", &pipeline_rows);
@@ -154,6 +160,7 @@ fn main() {
         write_baseline(&autotune_path, "autotune", &autotune_rows);
         write_baseline(&kernels_path, "kernels", &kernel_rows);
         write_baseline(&range_path, "range", &range_rows);
+        write_baseline(&latency_path, "latency", &latency_rows);
         println!("baselines updated; commit the new results/ files");
         return;
     }
@@ -197,6 +204,14 @@ fn main() {
         RANGE_METRICS,
         &load_baseline(&range_path, "range"),
         &rows_to_values(&range_rows),
+        args.tolerance,
+    ));
+    cmp.merge(compare(
+        "latency",
+        LATENCY_KEY,
+        LATENCY_METRICS,
+        &load_baseline(&latency_path, "latency"),
+        &rows_to_values(&latency_rows),
         args.tolerance,
     ));
 

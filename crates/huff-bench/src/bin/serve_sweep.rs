@@ -48,6 +48,13 @@ struct ServeRow {
     mean_queue_wait_ms: f64,
     /// Deepest admission queue observed.
     max_depth: usize,
+    /// p50 admitted-request latency (queue wait + backoff + service),
+    /// milliseconds of virtual time.
+    p50_ms: f64,
+    /// p99 admitted-request latency, milliseconds of virtual time.
+    p99_ms: f64,
+    /// p999 admitted-request latency, milliseconds of virtual time.
+    p999_ms: f64,
     /// True for the first row (lowest gap first) at or past the knee.
     saturated: bool,
 }
@@ -65,25 +72,42 @@ fn engine_config(shard_symbols: usize) -> EngineConfig {
 
 const REQUESTS_PER_CELL: usize = 40;
 
-fn sweep_cell(symbols: &[u16], gap_s: f64) -> (usize, usize, usize, usize, usize, f64, usize) {
+struct CellStats {
+    success: usize,
+    degraded: usize,
+    shed: usize,
+    deadline: usize,
+    failed: usize,
+    mean_wait: f64,
+    max_depth: usize,
+    p50: f64,
+    p99: f64,
+    p999: f64,
+}
+
+fn sweep_cell(symbols: &[u16], gap_s: f64) -> CellStats {
     let mut eng = Engine::new(engine_config(symbols.len().div_ceil(4).max(1024)));
     for i in 0..REQUESTS_PER_CELL {
         let t = i as f64 * gap_s;
         eng.submit(Request::compress(format!("s{i}"), t, symbols.to_vec()))
             .expect("in-order submission cannot fail");
     }
+    let hist = eng.latency().class("compress");
     let r = eng.report();
     let admitted = r.completions.iter().filter(|c| c.outcome.label() != "shed").count();
     let mean_wait = if admitted == 0 { 0.0 } else { r.queue_wait_total() / admitted as f64 };
-    (
-        r.count("success"),
-        r.count("degraded"),
-        r.count("shed"),
-        r.count("deadline"),
-        r.count("failed"),
+    CellStats {
+        success: r.count("success"),
+        degraded: r.count("degraded"),
+        shed: r.count("shed"),
+        deadline: r.count("deadline"),
+        failed: r.count("failed"),
         mean_wait,
-        r.max_depth,
-    )
+        max_depth: r.max_depth,
+        p50: hist.quantile(0.50),
+        p99: hist.quantile(0.99),
+        p999: hist.quantile(0.999),
+    }
 }
 
 /// Measure the modeled service time of one request at this payload size.
@@ -93,7 +117,10 @@ fn service_seconds(symbols: &[u16]) -> f64 {
     c.service
 }
 
-fn chaos_verification(seed: u64) -> Result<(), String> {
+/// Run the seeded chaos storm and verify the acceptance properties.
+/// Returns the run's `rsh-span-v1` JSONL so the harness can aggregate
+/// span trees across seeds (`--spans PATH`).
+fn chaos_verification(seed: u64) -> Result<String, String> {
     let n = 20_000;
     let syms = payload(n, seed);
     let cfg = engine_config(4096);
@@ -103,12 +130,13 @@ fn chaos_verification(seed: u64) -> Result<(), String> {
     for i in 0..24 {
         let t = i as f64 * 50e-6; // 2× overload vs typical modeled service
         let req = if i % 2 == 0 {
-            Request::compress(format!("c{i}"), t, syms.clone())
+            Request::compress(format!("s{seed}-c{i}"), t, syms.clone())
         } else {
-            Request::decompress(format!("d{i}"), t, frame.clone()).with_deadline(0.25)
+            Request::decompress(format!("s{seed}-d{i}"), t, frame.clone()).with_deadline(0.25)
         };
         eng.submit(req).map_err(|e| e.to_string())?;
     }
+    let spans = eng.span_jsonl();
     let report = eng.report();
 
     let outcome_total: usize =
@@ -159,7 +187,7 @@ fn chaos_verification(seed: u64) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(spans)
 }
 
 fn main() {
@@ -167,7 +195,7 @@ fn main() {
     let args = HarnessArgs::parse();
     println!("SERVE SWEEP: request rate x payload size, scale {}\n", args.scale);
     println!(
-        "{:<16} {:>9} {:>12} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14} {:>10}",
+        "{:<16} {:>9} {:>12} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14} {:>9} {:>9} {:>9} {:>10}",
         "payload syms",
         "gap us",
         "offered rps",
@@ -177,6 +205,9 @@ fn main() {
         "deadline",
         "failed",
         "mean wait ms",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
         "saturated"
     );
 
@@ -192,24 +223,38 @@ fn main() {
         // engine must shed rather than queue unboundedly.
         for mult in [4.0, 2.0, 1.0, 0.5, 0.25] {
             let gap_s = service * mult;
-            let (success, degraded, shed, deadline, failed, mean_wait, max_depth) =
-                sweep_cell(&symbols, gap_s);
-            knee_seen |= shed > 0;
+            let cell = sweep_cell(&symbols, gap_s);
+            knee_seen |= cell.shed > 0;
             let row = ServeRow {
                 payload_symbols: n,
                 gap_us: gap_s * 1e6,
                 offered_rps: 1.0 / gap_s,
-                success,
-                degraded,
-                shed,
-                deadline,
-                failed,
-                mean_queue_wait_ms: mean_wait * 1e3,
-                max_depth,
-                saturated: shed > 0,
+                success: cell.success,
+                degraded: cell.degraded,
+                shed: cell.shed,
+                deadline: cell.deadline,
+                failed: cell.failed,
+                mean_queue_wait_ms: cell.mean_wait * 1e3,
+                max_depth: cell.max_depth,
+                p50_ms: cell.p50 * 1e3,
+                p99_ms: cell.p99 * 1e3,
+                p999_ms: cell.p999 * 1e3,
+                saturated: cell.shed > 0,
             };
+            // Percentiles come from nearest-rank over the same
+            // admitted-request population, so the tail can never rank
+            // below the median; a violation means the histogram broke.
+            if row.p999_ms < row.p50_ms {
+                eprintln!(
+                    "serve_sweep: latency histogram inverted: p999 {:.4}ms < p50 {:.4}ms \
+                     at payload {} gap {:.1}us",
+                    row.p999_ms, row.p50_ms, row.payload_symbols, row.gap_us
+                );
+                std::process::exit(1);
+            }
             println!(
-                "{:<16} {:>9.1} {:>12.1} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14.4} {:>10}",
+                "{:<16} {:>9.1} {:>12.1} {:>8} {:>9} {:>6} {:>9} {:>7} {:>14.4} {:>9.4} \
+                 {:>9.4} {:>9.4} {:>10}",
                 row.payload_symbols,
                 row.gap_us,
                 row.offered_rps,
@@ -219,6 +264,9 @@ fn main() {
                 row.deadline,
                 row.failed,
                 row.mean_queue_wait_ms,
+                row.p50_ms,
+                row.p99_ms,
+                row.p999_ms,
                 row.saturated,
             );
             emit_row(&args, "serve", &row);
@@ -239,14 +287,22 @@ fn main() {
     }
 
     if chaos {
+        let mut all_spans = String::new();
         for seed in [1u64, 7, 42] {
             match chaos_verification(seed) {
-                Ok(()) => println!("chaos seed {seed}: all acceptance properties hold"),
+                Ok(spans) => {
+                    println!("chaos seed {seed}: all acceptance properties hold");
+                    all_spans.push_str(&spans);
+                }
                 Err(e) => {
                     eprintln!("chaos seed {seed}: VIOLATION: {e}");
                     std::process::exit(1);
                 }
             }
+        }
+        if let Some(path) = &args.spans {
+            std::fs::write(path, all_spans).expect("writable --spans path");
+            eprintln!("chaos span trees written to {path}");
         }
     }
 }

@@ -38,13 +38,17 @@ pub struct HarnessArgs {
     /// (the committed `results/BENCH_*.json` baselines; binaries that
     /// don't batch rows ignore it).
     pub out: Option<String>,
+    /// Write `rsh-span-v1` span-tree JSONL to this path (serve binaries
+    /// honor it for their chaos runs; others ignore it).
+    pub spans: Option<String>,
 }
 
 impl HarnessArgs {
     /// Parse from `std::env::args`:
-    /// `[--scale X] [--json] [--trace PATH] [--out PATH]`.
+    /// `[--scale X] [--json] [--trace PATH] [--out PATH] [--spans PATH]`.
     pub fn parse() -> Self {
-        let mut out = HarnessArgs { scale: 1.0 / 16.0, json: false, trace: None, out: None };
+        let mut out =
+            HarnessArgs { scale: 1.0 / 16.0, json: false, trace: None, out: None, spans: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -61,10 +65,16 @@ impl HarnessArgs {
                 "--out" => {
                     out.out = Some(args.next().expect("--out requires a path"));
                 }
+                "--spans" => {
+                    out.spans = Some(args.next().expect("--spans requires a path"));
+                }
                 // Flags consumed by individual regenerators.
                 "--prefix-sum" | "--chaos" => {}
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale FRACTION] [--json] [--trace PATH] [--out PATH]");
+                    eprintln!(
+                        "usage: [--scale FRACTION] [--json] [--trace PATH] [--out PATH] \
+                         [--spans PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument {other:?}"),

@@ -81,6 +81,19 @@ pub const KERNEL_METRICS: &[MetricSpec] = &[
     MetricSpec { name: "efficiency", direction: Direction::HigherIsBetter },
 ];
 
+/// Key of the `latency` table: one row per request class of the pinned
+/// seeded chaos storm ([`crate::sweeps::latency_rows`]).
+pub const LATENCY_KEY: &[&str] = &["dataset", "class"];
+/// Compared metrics of the `latency` table. Both percentiles are
+/// **virtual-time** figures from the engine's modeled clock —
+/// deterministic for the pinned storm seed — so they sit under the same
+/// 2 % tolerance as every other modeled metric; host wall-clock
+/// (`wall_ms`) remains the only excluded column.
+pub const LATENCY_METRICS: &[MetricSpec] = &[
+    MetricSpec { name: "p50_ms", direction: Direction::LowerIsBetter },
+    MetricSpec { name: "p99_ms", direction: Direction::LowerIsBetter },
+];
+
 /// Key of the `range` table. `slice_pct` is part of the key so each
 /// slice width is compared against its own baseline row; a range decode
 /// silently falling back from the seek index to the prefix scan shows up

@@ -45,6 +45,10 @@ pub const AUTOTUNE_BASELINE_SCALE: f64 = 1.0 / 64.0;
 /// at (the `accept-64mb` rows always run full size).
 pub const RANGE_BASELINE_SCALE: f64 = 1.0 / 16.0;
 
+/// Scale the committed `results/BENCH_latency.json` baseline was
+/// generated at (see EXPERIMENTS.md § "Tail-latency gate").
+pub const LATENCY_BASELINE_SCALE: f64 = 1.0 / 64.0;
+
 /// Slice widths the range sweep probes, in percent of the decoded
 /// payload. The 1 % slice is the CI acceptance point: it must model at
 /// least 10× faster than the full decode on `accept-64mb`.
@@ -559,6 +563,95 @@ pub fn range_rows(scale: f64) -> Vec<RangeRow> {
     }
     rows.extend(accept_range_rows());
     rows
+}
+
+/// One tail-latency row (`rsh-bench-v1` table `"latency"`): the virtual-
+/// time latency percentiles of one request class under the pinned seeded
+/// chaos storm.
+///
+/// The regression gate keys on `(dataset, class)` and compares `p50_ms`
+/// and `p99_ms` (both lower-is-better, 2 % tolerance). Every figure is
+/// **virtual time** from the engine's modeled clock — deterministic for
+/// the pinned seed — so, exactly like `wall_ms` everywhere else, only
+/// host wall-clock is excluded from comparison (see EXPERIMENTS.md).
+#[derive(Serialize)]
+pub struct LatencyRow {
+    /// Workload name (the payload generator's dataset).
+    pub dataset: &'static str,
+    /// Request class (`compress` / `decompress` / `decompress_range`).
+    pub class: String,
+    /// Requests of this class the storm completed (all outcomes).
+    pub requests: u64,
+    /// Virtual-time p50 latency (queue + backoff + service), ms.
+    pub p50_ms: f64,
+    /// Virtual-time p99 latency, ms.
+    pub p99_ms: f64,
+    /// Virtual-time p999 latency, ms (reported, not gated).
+    pub p999_ms: f64,
+    /// Host wall-clock of the storm, ms (machine-dependent; excluded
+    /// from regression comparison).
+    pub wall_ms: f64,
+}
+
+/// Chaos seed the latency baseline is pinned to. Part of the contract:
+/// changing it regenerates a different fault schedule and invalidates
+/// the committed baseline.
+pub const LATENCY_STORM_SEED: u64 = 0xC0FFEE;
+
+/// Requests the pinned storm submits (spread over the three classes).
+pub const LATENCY_STORM_REQUESTS: usize = 36;
+
+/// Drive the pinned seeded chaos storm and return its engine: a mixed
+/// compress / decompress / range workload over one payload, every third
+/// request per class, decode requests under a 0.5 s deadline so the
+/// storm's deadline faults burn budget deterministically.
+fn latency_storm(scale: f64) -> huff_core::serve::Engine {
+    use huff_core::serve::{ChaosConfig, Engine, EngineConfig, Request};
+    let d = PaperDataset::Nci;
+    let n = ((1 << 20) as f64 * scale) as usize;
+    let data = d.generate(n.max(4096), LATENCY_STORM_SEED);
+    let mut cfg = EngineConfig::new(d.num_symbols());
+    cfg.batch.shard_symbols = data.len().div_ceil(4).max(1024);
+    cfg.batch.symbol_bytes = d.symbol_bytes() as u8;
+    let (frame, _) = compress_batched(&data, &cfg.batch).expect("latency storm compress");
+    let total = data.len() as u64 * d.symbol_bytes();
+    let mut eng = Engine::with_chaos(cfg, ChaosConfig::storm(LATENCY_STORM_SEED));
+    for i in 0..LATENCY_STORM_REQUESTS {
+        let t = i as f64 * 50e-6;
+        let req = match i % 3 {
+            0 => Request::compress(format!("lat-c{i}"), t, data.clone()),
+            1 => Request::decompress(format!("lat-d{i}"), t, frame.clone()).with_deadline(0.5),
+            _ => {
+                let lo = (i as u64 * 997) % (total / 2);
+                Request::decompress_range(format!("lat-r{i}"), t, frame.clone(), lo..lo + 1024)
+                    .with_deadline(0.5)
+            }
+        };
+        eng.submit(req).expect("latency storm submission");
+    }
+    eng
+}
+
+/// Run the tail-latency sweep at `scale`: one pinned chaos storm, one
+/// row per request class with its virtual-time p50/p99/p999.
+pub fn latency_rows(scale: f64) -> Vec<LatencyRow> {
+    let (eng, wall_s) = wall(|| latency_storm(scale));
+    let book = eng.latency();
+    book.classes()
+        .iter()
+        .map(|&class| {
+            let h = book.class(class);
+            LatencyRow {
+                dataset: PaperDataset::Nci.name(),
+                class: class.to_string(),
+                requests: h.count(),
+                p50_ms: h.quantile(0.50) * 1e3,
+                p99_ms: h.quantile(0.99) * 1e3,
+                p999_ms: h.quantile(0.999) * 1e3,
+                wall_ms: wall_s * 1e3,
+            }
+        })
+        .collect()
 }
 
 /// The fixed 64 MB acceptance range rows alone. CI gates on the 1 %

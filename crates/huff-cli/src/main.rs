@@ -53,6 +53,7 @@ use huff_core::metrics;
 use std::process::ExitCode;
 
 mod serve;
+mod slo;
 mod symbols;
 
 /// A CLI failure, carrying which exit code it maps to.
@@ -101,6 +102,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => serve::cmd_serve(&args[1..]),
+        Some("slo") => slo::cmd_slo(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -135,7 +137,11 @@ usage:
   rsh bench      <input> [--symbols u8|u16le] [--bins N]
   rsh serve      [--addr HOST:PORT] [--workers N] [--queue N] [--shard-symbols N]
                  [--deadline-ms F] [--gap-us F] [--max-requests N] [--chaos SEED]
-                 [--autotune] [--tune-cache PATH]
+                 [--autotune] [--tune-cache PATH] [--dashboard]
+                 [--spans PATH] [--chrome PATH]
+  rsh slo        [--requests N] [--seed S] [--chaos] [--gap-us F] [--deadline-ms F]
+                 [--workers N] [--queue N] [--shard-symbols N] [--json]
+                 [--spans PATH] [--chrome PATH]
 
 profile runs the modeled device pipeline (roundtrip for raw files, decompression
 for RSH archives) and prints per-stage metrics; --trace writes the rsh-trace-v1
@@ -199,7 +205,22 @@ with a structured rsh-error-v1 JSON body and an x-rsh-trace-id header.
 --chaos SEED injects the deterministic fault storm (transients, decoder
 glitches, payload corruption, device loss) from huff_core::serve. Virtual
 arrival time advances --gap-us per request; --max-requests stops after N
-connections (for scripted runs).
+connections (for scripted runs). --dashboard streams one summary line per
+completed request on stderr (class, outcome, virtual latency, rolling
+p50/p99/p999, worst error-budget burn rate) and prints the SLO table at
+shutdown; --spans writes every request's span tree as rsh-span-v1 JSONL
+and --chrome the per-request Chrome/Perfetto lanes at shutdown (FORMAT.md
+\u{a7}11).
+
+slo drives the same engine in-process (no sockets, all time virtual) with
+a seeded mixed compress/decompress/range workload, then evaluates the
+default latency objectives and prints the per-class latency percentiles
+(p50/p95/p99/p999 with the p999 exemplar trace id) and the error-budget
+table — burn rate > 1.0 means the objective is burning budget faster
+than it can afford. --json emits the rsh-slo-v1 report instead; --chaos
+replays the deterministic fault storm so the same seed prints
+byte-identical reports; --spans/--chrome export the span trees the
+exemplar trace ids resolve into.
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";

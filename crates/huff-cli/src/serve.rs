@@ -25,6 +25,14 @@
 //! wait). Virtual arrival times advance `--gap-us` per request, so a
 //! gap smaller than the modeled service time drives the queue into
 //! admission control deterministically.
+//!
+//! `--dashboard` streams one summary line per completed request on
+//! stderr — class, outcome, virtual latency, the rolling per-class
+//! p50/p99/p999 and the worst error-budget burn rate across the default
+//! objectives ([`huff_core::slo::default_objectives`]) — and prints the
+//! full SLO table at shutdown. `--spans PATH` writes every request's
+//! span tree as `rsh-span-v1` JSONL and `--chrome PATH` the per-request
+//! Chrome/Perfetto lanes when the listener stops (FORMAT.md §11).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -49,6 +57,9 @@ struct ServeFlags {
     chaos: Option<u64>,
     autotune: bool,
     tune_cache: Option<String>,
+    dashboard: bool,
+    spans: Option<String>,
+    chrome: Option<String>,
 }
 
 impl ServeFlags {
@@ -64,6 +75,9 @@ impl ServeFlags {
             chaos: None,
             autotune: false,
             tune_cache: None,
+            dashboard: false,
+            spans: None,
+            chrome: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -90,6 +104,9 @@ impl ServeFlags {
                 "--chaos" => f.chaos = Some(parse_num(val("--chaos")?, "--chaos")?),
                 "--autotune" => f.autotune = true,
                 "--tune-cache" => f.tune_cache = Some(val("--tune-cache")?.clone()),
+                "--dashboard" => f.dashboard = true,
+                "--spans" => f.spans = Some(val("--spans")?.clone()),
+                "--chrome" => f.chrome = Some(val("--chrome")?.clone()),
                 other => {
                     return Err(CliError::Usage(format!("unknown serve flag {other:?}\n{USAGE}")))
                 }
@@ -268,11 +285,26 @@ pub(crate) fn cmd_serve(args: &[String]) -> CmdResult {
             Ok(s) => s,
             Err(_) => continue,
         };
-        handle_connection(&mut engine, &mut stream, handled, gap_s, f.deadline_ms);
+        handle_connection(&mut engine, &mut stream, handled, gap_s, f.deadline_ms, f.dashboard);
         handled += 1;
         if f.max_requests.is_some_and(|m| handled >= m) {
             break;
         }
+    }
+
+    if let Some(path) = &f.spans {
+        std::fs::write(path, engine.span_jsonl())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        eprintln!("rsh: span trees written to {path} (rsh-span-v1 JSONL)");
+    }
+    if let Some(path) = &f.chrome {
+        std::fs::write(path, engine.chrome_spans())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        eprintln!("rsh: chrome spans written to {path} (one lane per request)");
+    }
+    if f.dashboard {
+        let report = engine.slo_report(&huff_core::slo::default_objectives());
+        eprint!("{}", report.render_table());
     }
     Ok(0)
 }
@@ -283,6 +315,7 @@ fn handle_connection(
     seq: u64,
     gap_s: f64,
     default_deadline_ms: Option<f64>,
+    dashboard: bool,
 ) {
     let req = match read_request(stream) {
         Ok(r) => r,
@@ -301,7 +334,7 @@ fn handle_connection(
             write_response(stream, 200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes());
         }
         ("POST", "/compress") | ("POST", "/decompress") => {
-            handle_job(engine, stream, &req, seq, gap_s, default_deadline_ms);
+            handle_job(engine, stream, &req, seq, gap_s, default_deadline_ms, dashboard);
         }
         (_, path) => {
             let body = error_body(&format!("no route {path:?}"), "not_found", "-");
@@ -310,6 +343,7 @@ fn handle_connection(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_job(
     engine: &mut Engine,
     stream: &mut TcpStream,
@@ -317,6 +351,7 @@ fn handle_job(
     seq: u64,
     gap_s: f64,
     default_deadline_ms: Option<f64>,
+    dashboard: bool,
 ) {
     let trace_id = http
         .header("x-rsh-trace-id")
@@ -347,7 +382,7 @@ fn handle_job(
     }
 
     let completion = match engine.submit(req) {
-        Ok(c) => c,
+        Ok(c) => c.clone(),
         Err(e) => {
             let body = error_body(&e.to_string(), "engine_error", &trace_id);
             write_response(stream, 500, "Internal Server Error", "application/json", &[], &body);
@@ -396,5 +431,28 @@ fn handle_job(
                 &body,
             );
         }
+    }
+
+    if dashboard {
+        let lat = completion.queue_wait + completion.backoff + completion.service;
+        let h = engine.latency().class(completion.class);
+        let worst_burn = engine
+            .slo_report(&huff_core::slo::default_objectives())
+            .statuses
+            .iter()
+            .map(|s| s.burn_rate)
+            .fold(0.0, f64::max);
+        eprintln!(
+            "rsh: dash {} class={} outcome={} lat_ms={:.4} p50_ms={:.4} p99_ms={:.4} \
+             p999_ms={:.4} worst_burn={:.3}",
+            completion.trace_id,
+            completion.class,
+            completion.outcome.label(),
+            lat * 1e3,
+            h.quantile(0.50) * 1e3,
+            h.quantile(0.99) * 1e3,
+            h.quantile(0.999) * 1e3,
+            worst_burn,
+        );
     }
 }

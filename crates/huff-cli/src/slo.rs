@@ -1,0 +1,270 @@
+//! `rsh slo` — evaluate the serving engine's latency objectives over a
+//! deterministic seeded load sweep.
+//!
+//! The command drives the in-process engine ([`huff_core::serve`]) with a
+//! mixed compress / decompress / range-decode workload — no sockets, all
+//! time virtual — then evaluates the default latency objectives
+//! ([`huff_core::slo::default_objectives`]) against the completion trace
+//! and prints the error-budget table (or the `rsh-slo-v1` JSON report
+//! with `--json`). `--chaos` replays the seeded fault storm from
+//! `huff_core::serve`, so deadline misses and device loss burn budget in
+//! a reproducible way: the same seed prints byte-identical reports.
+//!
+//! `--spans PATH` exports every request's span tree as `rsh-span-v1`
+//! JSONL and `--chrome PATH` the per-request Chrome/Perfetto lanes (see
+//! FORMAT.md §11) — the p999 exemplar trace id in the latency block
+//! resolves to a span tree in those files.
+
+use huff_core::batch::compress_batched;
+use huff_core::serve::{ChaosConfig, Engine, EngineConfig, Request};
+use huff_core::slo;
+
+use crate::{write_file, CliError, CmdResult, USAGE};
+
+/// Parsed `rsh slo` flags.
+struct SloFlags {
+    requests: usize,
+    seed: u64,
+    chaos: bool,
+    gap_us: f64,
+    deadline_ms: Option<f64>,
+    workers: usize,
+    queue: usize,
+    shard_symbols: usize,
+    json: bool,
+    spans: Option<String>,
+    chrome: Option<String>,
+}
+
+impl SloFlags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut f = SloFlags {
+            requests: 24,
+            seed: 42,
+            chaos: false,
+            gap_us: 50.0,
+            deadline_ms: None,
+            workers: 2,
+            queue: 8,
+            shard_symbols: 4096,
+            json: false,
+            spans: None,
+            chrome: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = |flag: &str| {
+                it.next().ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            };
+            match a.as_str() {
+                "--requests" => f.requests = parse_num(val("--requests")?, "--requests")?,
+                "--seed" => f.seed = parse_num(val("--seed")?, "--seed")?,
+                "--chaos" => f.chaos = true,
+                "--gap-us" => f.gap_us = parse_num(val("--gap-us")?, "--gap-us")?,
+                "--deadline-ms" => {
+                    let v: f64 = parse_num(val("--deadline-ms")?, "--deadline-ms")?;
+                    f.deadline_ms = Some(v);
+                }
+                "--workers" => f.workers = parse_num(val("--workers")?, "--workers")?,
+                "--queue" => f.queue = parse_num(val("--queue")?, "--queue")?,
+                "--shard-symbols" => {
+                    f.shard_symbols = parse_num(val("--shard-symbols")?, "--shard-symbols")?;
+                }
+                "--json" => f.json = true,
+                "--spans" => f.spans = Some(val("--spans")?.clone()),
+                "--chrome" => f.chrome = Some(val("--chrome")?.clone()),
+                other => {
+                    return Err(CliError::Usage(format!("unknown slo flag {other:?}\n{USAGE}")))
+                }
+            }
+        }
+        if f.requests == 0 || f.workers == 0 || f.queue == 0 || f.shard_symbols == 0 {
+            return Err(CliError::Usage(
+                "slo needs nonzero --requests, --workers, --queue and --shard-symbols".into(),
+            ));
+        }
+        Ok(f)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("{flag}: cannot parse {s:?}")))
+}
+
+/// Deterministic compressible symbols (64-value alphabet) from a seed —
+/// splitmix-style so the same seed replays byte-identically.
+fn payload(n: usize, seed: u64) -> Vec<u16> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            ((x.wrapping_mul(0xBF58476D1CE4E5B9) >> 33) % 64) as u16
+        })
+        .collect()
+}
+
+/// Run the seeded sweep: `requests` mixed requests against one engine.
+fn run_sweep(f: &SloFlags) -> Result<Engine, CliError> {
+    let mut cfg = EngineConfig::new(256);
+    cfg.workers = f.workers;
+    cfg.queue_capacity = f.queue;
+    cfg.batch.shard_symbols = f.shard_symbols;
+    cfg.batch.symbol_bytes = 1;
+    let syms = payload(24_000, f.seed);
+    let (frame, _) =
+        compress_batched(&syms, &cfg.batch).map_err(|e| CliError::Corrupt(e.to_string()))?;
+    let mut engine = if f.chaos {
+        Engine::with_chaos(cfg, ChaosConfig::storm(f.seed))
+    } else {
+        Engine::new(cfg)
+    };
+    let gap_s = f.gap_us * 1e-6;
+    let total = syms.len() as u64;
+    for i in 0..f.requests {
+        let t = i as f64 * gap_s;
+        let mut req = match i % 3 {
+            0 => Request::compress(format!("slo-c{i}"), t, syms.clone()),
+            1 => Request::decompress(format!("slo-d{i}"), t, frame.clone()),
+            _ => {
+                // A chunk-unaligned window sliding with the request index.
+                let lo = (i as u64 * 997) % (total / 2);
+                Request::decompress_range(format!("slo-r{i}"), t, frame.clone(), lo..lo + 1024)
+            }
+        };
+        if let Some(ms) = f.deadline_ms {
+            req = req.with_deadline(ms * 1e-3);
+        }
+        engine.submit(req).map_err(|e| CliError::Corrupt(e.to_string()))?;
+    }
+    Ok(engine)
+}
+
+/// The per-class latency block printed above the SLO table: count, sum,
+/// p50/p95/p99/p999 in virtual milliseconds, and the p999 exemplar trace
+/// id (the request whose span tree explains the tail).
+fn render_latency(engine: &Engine) -> String {
+    let book = engine.latency();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>6} {:>10} {:>10} {:>10} {:>10}  {}\n",
+        "class", "count", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "p999 exemplar"
+    ));
+    for class in book.classes() {
+        let h = book.class(class);
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}  {}\n",
+            class,
+            h.count(),
+            h.quantile(0.50) * 1e3,
+            h.quantile(0.95) * 1e3,
+            h.quantile(0.99) * 1e3,
+            h.quantile(0.999) * 1e3,
+            h.exemplar(0.999).unwrap_or("-"),
+        ));
+    }
+    out
+}
+
+/// Entry point for `rsh slo`.
+pub(crate) fn cmd_slo(args: &[String]) -> CmdResult {
+    let f = SloFlags::parse(args)?;
+    let engine = run_sweep(&f)?;
+    let objectives = slo::default_objectives();
+    let report = engine.slo_report(&objectives);
+
+    if let Some(path) = &f.spans {
+        write_file(path, engine.span_jsonl().as_bytes())?;
+        eprintln!("rsh: span trees written to {path} (rsh-span-v1 JSONL)");
+    }
+    if let Some(path) = &f.chrome {
+        write_file(path, engine.chrome_spans().as_bytes())?;
+        eprintln!("rsh: chrome spans written to {path} (one lane per request)");
+    }
+
+    if f.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", render_latency(&engine));
+        println!();
+        print!("{}", report.render_table());
+        if !report.all_met() {
+            eprintln!("rsh: slo: at least one objective is burning its error budget");
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_and_compressible() {
+        assert_eq!(payload(1000, 7), payload(1000, 7));
+        assert_ne!(payload(1000, 7), payload(1000, 8));
+        assert!(payload(1000, 7).iter().all(|&s| s < 64));
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let f = SloFlags::parse(&[]).unwrap();
+        assert_eq!(f.requests, 24);
+        assert!(!f.chaos);
+        let args: Vec<String> = ["--requests", "8", "--chaos", "--seed", "9", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = SloFlags::parse(&args).unwrap();
+        assert_eq!((f.requests, f.seed, f.chaos, f.json), (8, 9, true, true));
+        assert!(SloFlags::parse(&["--bogus".to_string()]).is_err());
+        assert!(SloFlags::parse(&["--requests".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn sweep_report_is_deterministic_and_covers_all_classes() {
+        let mut args: Vec<String> =
+            ["--requests", "9", "--seed", "5", "--chaos"].iter().map(|s| s.to_string()).collect();
+        let f = SloFlags::parse(&args).unwrap();
+        let a = run_sweep(&f).unwrap();
+        let b = run_sweep(&f).unwrap();
+        assert_eq!(a.span_jsonl(), b.span_jsonl(), "same seed must replay byte-identically");
+        let ra = a.slo_report(&slo::default_objectives());
+        let rb = b.slo_report(&slo::default_objectives());
+        assert_eq!(ra.to_json().to_string(), rb.to_json().to_string());
+        let classes = a.latency().classes();
+        for want in ["compress", "decompress", "decompress_range"] {
+            assert!(classes.contains(&want), "missing class {want}: {classes:?}");
+        }
+        // The rendered latency block names every class too.
+        let block = render_latency(&a);
+        assert!(block.contains("decompress_range"));
+
+        // A different seed changes the sweep (payloads and faults).
+        args[3] = "6".into();
+        let g = SloFlags::parse(&args).unwrap();
+        let c = run_sweep(&g).unwrap();
+        assert_ne!(a.span_jsonl(), c.span_jsonl());
+    }
+
+    #[test]
+    fn cmd_slo_writes_span_and_chrome_exports() {
+        let dir = std::env::temp_dir().join("rsh-slo-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spans = dir.join("slo.spans.jsonl").to_string_lossy().into_owned();
+        let chrome = dir.join("slo.chrome.json").to_string_lossy().into_owned();
+        let args: Vec<String> = vec![
+            "--requests".into(),
+            "6".into(),
+            "--chaos".into(),
+            "--spans".into(),
+            spans.clone(),
+            "--chrome".into(),
+            chrome.clone(),
+        ];
+        assert_eq!(cmd_slo(&args).unwrap(), 0);
+        let s = std::fs::read_to_string(&spans).unwrap();
+        assert!(s.lines().all(|l| l.starts_with("{\"schema\":\"rsh-span-v1\"")));
+        assert!(s.contains("\"kind\":\"request\""));
+        let c = std::fs::read_to_string(&chrome).unwrap();
+        assert!(c.starts_with("{\"traceEvents\":["));
+    }
+}

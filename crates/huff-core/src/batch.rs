@@ -65,6 +65,11 @@ pub struct BatchOptions {
     /// Kernel-fusion plan each shard's pipeline runs under (the frame
     /// bytes are identical for every plan).
     pub plan: KernelPlan,
+    /// Owning request's trace id: stamped onto every kernel record the
+    /// batch produces (shard pipelines and replayed timelines alike), so
+    /// the serving layer's span trees attribute device work per request.
+    /// Empty (the default) leaves records untraced.
+    pub trace: String,
 }
 
 impl BatchOptions {
@@ -82,6 +87,7 @@ impl BatchOptions {
             kind: PipelineKind::ReduceShuffle,
             symbol_bytes: 2,
             plan: KernelPlan::default(),
+            trace: String::new(),
         }
     }
 }
@@ -260,6 +266,7 @@ pub fn decompress_range_batched(
         frame::decode_range_with(bytes, range, opts, &mut |_, body, local| {
             let device = next_slot % n_devices;
             let gpu = Gpu::new(batch.devices[device].clone());
+            gpu.set_trace(&batch.trace);
             let out = crate::decode::gpu::decode_range_on_gpu(&gpu, body, local, opts, kind);
             let records = gpu.clock().drain();
             if out.is_ok() {
@@ -270,6 +277,7 @@ pub fn decompress_range_batched(
         })?
     } else {
         let gpu = Gpu::new(batch.devices[0].clone());
+        gpu.set_trace(&batch.trace);
         let (r, _) = crate::decode::gpu::decode_range_on_gpu(&gpu, bytes, range, opts, kind)?;
         shard_records.push((0, gpu.clock().drain()));
         r
@@ -347,6 +355,7 @@ fn run_batch(
         .map(|(j, shard)| {
             let device = j % n_devices;
             let gpu = Gpu::new(opts.devices[device].clone());
+            gpu.set_trace(&opts.trace);
             let (stream, book, report) = pipeline::run_with_plan(
                 &gpu,
                 shard,
@@ -367,8 +376,15 @@ fn run_batch(
     // Device-local shard k runs on stream k % streams; with a buffer cap,
     // shard k additionally waits for shard k - buffers to complete.
     // Injected faults kill a device's schedule mid-replay (wave 1).
-    let mut schedules: Vec<StreamSchedule> =
-        opts.devices.iter().map(|d| StreamSchedule::new(d.clone(), opts.streams)).collect();
+    let mut schedules: Vec<StreamSchedule> = opts
+        .devices
+        .iter()
+        .map(|d| {
+            let mut s = StreamSchedule::new(d.clone(), opts.streams);
+            s.set_trace(&opts.trace);
+            s
+        })
+        .collect();
     for (d, t) in fail_time.iter().enumerate() {
         if let Some(t) = t {
             schedules[d].fail_at(*t);
@@ -434,7 +450,11 @@ fn run_batch(
         }
         let mut scheds: Vec<StreamSchedule> = survivors
             .iter()
-            .map(|&d| StreamSchedule::new(opts.devices[d].clone(), opts.streams))
+            .map(|&d| {
+                let mut s = StreamSchedule::new(opts.devices[d].clone(), opts.streams);
+                s.set_trace(&opts.trace);
+                s
+            })
             .collect();
         let mut local = vec![0usize; survivors.len()];
         for (i, &j) in quarantined.iter().enumerate() {
@@ -692,6 +712,19 @@ mod tests {
         assert_eq!(report.shards.len(), 1);
         assert!(crate::frame::is_frame(&frame));
         assert_eq!(archive::decompress(&frame).unwrap(), syms);
+    }
+
+    #[test]
+    fn trace_id_reaches_every_timeline_record() {
+        let syms = data(65_000);
+        let mut opts = small_opts();
+        opts.trace = "req-batch".into();
+        let (_, report) = compress_batched(&syms, &opts).unwrap();
+        for d in &report.devices {
+            for r in d.timeline.records.iter().chain(&d.timeline.dropped) {
+                assert_eq!(r.trace, "req-batch", "kernel {} lost its trace id", r.name);
+            }
+        }
     }
 
     #[test]

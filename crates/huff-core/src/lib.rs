@@ -60,6 +60,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod seek;
 pub mod serve;
+pub mod slo;
 pub mod sparse;
 pub mod testing;
 pub mod tree;
@@ -78,4 +79,5 @@ pub use metrics::{PipelineProfile, StageMetrics, TRACE_SCHEMA};
 pub use plan::KernelPlan;
 pub use seek::ChunkIndex;
 pub use serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, ServeReport};
+pub use slo::{Objective, SloReport, SloStatus, SLO_SCHEMA};
 pub use tune::{Decision, Dispatch, Signature, TuneCache, Tuner};

@@ -45,12 +45,16 @@
 //! ```
 
 pub mod chrome;
+pub mod latency;
 pub mod registry;
 pub mod roofline;
+pub mod span;
 
 pub use chrome::LaneWriter;
+pub use latency::{LatencyBook, LatencyHistogram};
 pub use registry::Registry;
 pub use roofline::{KernelRoofline, RooflineReport, StageRoofline, ROOFLINE_SCHEMA};
+pub use span::{Span, SpanEvent, SpanSink, TraceContext, SPAN_SCHEMA};
 
 use crate::archive;
 use crate::batch::{self, BatchOptions, BatchReport};

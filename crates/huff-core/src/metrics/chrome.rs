@@ -57,6 +57,29 @@ impl LaneWriter {
         self.trace.kernel(tid, rec);
     }
 
+    /// Append an arbitrary complete slice (`"ph":"X"`) to the lane named
+    /// `lane` — span-tree exporters use this for request and stage spans
+    /// that are not kernel launches.
+    pub fn slice(
+        &mut self,
+        lane: &str,
+        cat: &str,
+        name: &str,
+        start: f64,
+        end: f64,
+        args: serde::json::Map,
+    ) {
+        let tid = self.lane(lane);
+        self.trace.slice(tid, cat, name, start, end, args);
+    }
+
+    /// Append an instant marker (`"ph":"i"`) to the lane named `lane` —
+    /// span events (retries, device loss, shed) render as markers.
+    pub fn instant(&mut self, lane: &str, cat: &str, name: &str, at: f64, args: serde::json::Map) {
+        let tid = self.lane(lane);
+        self.trace.instant(tid, cat, name, at, args);
+    }
+
     /// Render the Chrome `trace_event` JSON.
     pub fn finish(&self) -> String {
         self.trace.finish()

@@ -1,0 +1,311 @@
+//! Log2-bucketed latency histograms with exemplar trace ids.
+//!
+//! Mean latency hides exactly the requests an operator cares about; the
+//! serving engine therefore records every request's end-to-end latency
+//! (virtual seconds, `finish − arrival`) into a [`LatencyHistogram`] per
+//! (request class, outcome) pair, kept in a [`LatencyBook`].
+//!
+//! Buckets are powers of two in microseconds: bucket `k` covers
+//! `(2^(k−1), 2^k]` µs, with `k = 0` absorbing everything at or below
+//! 1 µs (including the zero-latency shed path). Each bucket carries an
+//! **exemplar**: the trace id of the slowest observation that landed in
+//! it, so a p999 spike in a report links straight back to the span tree
+//! ([`super::span`]) of a concrete offending request.
+//!
+//! Alongside the buckets the histogram keeps every raw sample, so
+//! quantiles ([`LatencyHistogram::quantile`]) are exact nearest-rank
+//! values — deterministic, monotone in `q`, and free of interpolation
+//! artifacts — rather than bucket-boundary estimates. At serving-trace
+//! scales (thousands of requests) the extra memory is noise.
+
+use serde::json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// The quantiles serving reports print, in ascending order.
+pub const REPORT_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p95", 0.95), ("p99", 0.99), ("p999", 0.999)];
+
+/// Log2 bucket index for a latency: smallest `k ≥ 0` with
+/// `latency ≤ 2^k` µs.
+fn bucket_of(latency_seconds: f64) -> u32 {
+    let us = latency_seconds * 1e6;
+    let mut k = 0u32;
+    let mut le = 1.0f64;
+    while us > le && k < 64 {
+        le *= 2.0;
+        k += 1;
+    }
+    k
+}
+
+/// One log2 bucket: its population plus the exemplar (slowest) request
+/// that landed in it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bucket {
+    /// Observations in this bucket.
+    pub count: u64,
+    /// Trace id of the slowest observation in this bucket (first wins on
+    /// exact ties, keeping replays deterministic).
+    pub exemplar_trace: String,
+    /// Latency of the exemplar, seconds.
+    pub exemplar_latency: f64,
+}
+
+/// A latency distribution: log2 buckets with exemplars, plus the raw
+/// samples for exact quantiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: BTreeMap<u32, Bucket>,
+    samples: Vec<f64>,
+    sum: f64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one observation (seconds) attributed to `trace_id`.
+    pub fn observe(&mut self, latency_seconds: f64, trace_id: &str) {
+        let b = self.buckets.entry(bucket_of(latency_seconds)).or_default();
+        b.count += 1;
+        if b.count == 1 || latency_seconds > b.exemplar_latency {
+            b.exemplar_trace = trace_id.to_string();
+            b.exemplar_latency = latency_seconds;
+        }
+        self.samples.push(latency_seconds);
+        self.sum += latency_seconds;
+    }
+
+    /// Fold another histogram into this one (used to aggregate outcomes
+    /// of one request class).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (k, ob) in &other.buckets {
+            let b = self.buckets.entry(*k).or_default();
+            b.count += ob.count;
+            if !ob.exemplar_trace.is_empty()
+                && (b.exemplar_trace.is_empty() || ob.exemplar_latency > b.exemplar_latency)
+            {
+                b.exemplar_trace = ob.exemplar_trace.clone();
+                b.exemplar_latency = ob.exemplar_latency;
+            }
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all observations, seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact nearest-rank quantile: the smallest observation `v` such
+    /// that at least `⌈q·n⌉` observations are `≤ v`. Returns 0.0 on an
+    /// empty histogram. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// The exemplar trace id for the bucket containing `quantile(q)` —
+    /// a concrete request at least as slow as that quantile (it is the
+    /// slowest in the same log2 bucket). `None` on an empty histogram.
+    pub fn exemplar(&self, q: f64) -> Option<&str> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let b = self.buckets.get(&bucket_of(self.quantile(q)))?;
+        Some(&b.exemplar_trace)
+    }
+
+    /// The buckets, ascending by upper bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, &Bucket)> {
+        self.buckets.iter().map(|(k, b)| (*k, b))
+    }
+
+    /// JSON rendering: ascending `le_us` buckets with counts and
+    /// exemplars, the report quantiles, count, and sum.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("count".into(), Value::Int(i128::from(self.count())));
+        m.insert("sum_s".into(), Value::Float(self.sum));
+        let mut buckets = Vec::new();
+        for (k, b) in &self.buckets {
+            let mut bm = Map::new();
+            bm.insert("le_us".into(), Value::Float(2f64.powi(*k as i32)));
+            bm.insert("count".into(), Value::Int(i128::from(b.count)));
+            bm.insert("exemplar".into(), Value::String(b.exemplar_trace.clone()));
+            bm.insert("exemplar_s".into(), Value::Float(b.exemplar_latency));
+            buckets.push(Value::Object(bm));
+        }
+        m.insert("buckets".into(), Value::Array(buckets));
+        let mut quant = Map::new();
+        for (name, q) in REPORT_QUANTILES {
+            quant.insert(name.into(), Value::Float(self.quantile(q)));
+        }
+        m.insert("quantiles_s".into(), Value::Object(quant));
+        Value::Object(m)
+    }
+}
+
+/// Latency histograms keyed by (request class, outcome label) — e.g.
+/// `("decompress", "degraded")`. BTreeMap keys keep every iteration and
+/// export order deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyBook {
+    hists: BTreeMap<(String, String), LatencyHistogram>,
+}
+
+impl LatencyBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        LatencyBook::default()
+    }
+
+    /// Record one observation under (class, outcome).
+    pub fn observe(&mut self, class: &str, outcome: &str, latency_seconds: f64, trace_id: &str) {
+        self.hists
+            .entry((class.to_string(), outcome.to_string()))
+            .or_default()
+            .observe(latency_seconds, trace_id);
+    }
+
+    /// The histogram of one (class, outcome) pair, if populated.
+    pub fn get(&self, class: &str, outcome: &str) -> Option<&LatencyHistogram> {
+        self.hists.get(&(class.to_string(), outcome.to_string()))
+    }
+
+    /// All histograms of one class, merged across outcomes — the
+    /// distribution the per-class percentile columns and SLO thresholds
+    /// are computed over.
+    pub fn class(&self, class: &str) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for ((c, _), h) in &self.hists {
+            if c == class {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// The distinct classes present, ascending.
+    pub fn classes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (c, _) in self.hists.keys() {
+            if out.last() != Some(&c.as_str()) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Iterate (class, outcome, histogram) in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &LatencyHistogram)> {
+        self.hists.iter().map(|((c, o), h)| (c.as_str(), o.as_str(), h))
+    }
+
+    /// JSON rendering: an array of `{class, outcome, histogram}` in key
+    /// order.
+    pub fn to_json(&self) -> Value {
+        let mut arr = Vec::new();
+        for ((c, o), h) in &self.hists {
+            let mut m = Map::new();
+            m.insert("class".into(), Value::String(c.clone()));
+            m.insert("outcome".into(), Value::String(o.clone()));
+            m.insert("histogram".into(), h.to_json());
+            arr.push(Value::Object(m));
+        }
+        Value::Array(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_half_open_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(1.0e-6), 0); // exactly 1 µs → le 1 µs
+        assert_eq!(bucket_of(1.1e-6), 1); // (1, 2] µs
+        assert_eq!(bucket_of(2.0e-6), 1);
+        assert_eq!(bucket_of(3.0e-6), 2);
+        assert_eq!(bucket_of(1.0), 20); // 1 s = 1e6 µs ≤ 2^20 µs
+    }
+
+    #[test]
+    fn quantiles_are_exact_and_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-3, &format!("t{i}"));
+        }
+        assert!((h.quantile(0.5) - 0.050).abs() < 1e-12);
+        assert!((h.quantile(0.99) - 0.099).abs() < 1e-12);
+        assert!((h.quantile(0.999) - 0.100).abs() < 1e-12);
+        let mut prev = 0.0;
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn exemplar_is_slowest_in_bucket_and_at_least_the_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.observe(10e-6, "fast");
+        h.observe(900e-6, "slow");
+        h.observe(1000e-6, "slowest"); // same (512, 1024] µs bucket as "slow"
+        assert_eq!(h.exemplar(0.999), Some("slowest"));
+        let p999 = h.quantile(0.999);
+        assert!(h.exemplar(0.999).is_some());
+        assert!(1000e-6 >= p999);
+    }
+
+    #[test]
+    fn exemplar_ties_keep_first_observation() {
+        let mut h = LatencyHistogram::new();
+        h.observe(5e-6, "first");
+        h.observe(5e-6, "second");
+        assert_eq!(h.exemplar(0.5), Some("first"));
+    }
+
+    #[test]
+    fn book_merges_outcomes_per_class() {
+        let mut b = LatencyBook::new();
+        b.observe("decompress", "ok", 1e-3, "a");
+        b.observe("decompress", "degraded", 8e-3, "b");
+        b.observe("compress", "ok", 2e-3, "c");
+        assert_eq!(b.classes(), vec!["compress", "decompress"]);
+        let d = b.class("decompress");
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.exemplar(0.99), Some("b"));
+        assert!(b.get("decompress", "ok").is_some());
+        assert!(b.get("decompress", "shed").is_none());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parseable() {
+        let mut b = LatencyBook::new();
+        b.observe("compress", "ok", 1e-3, "a");
+        b.observe("compress", "ok", 4e-3, "b");
+        let j1 = b.to_json().to_string();
+        let j2 = b.to_json().to_string();
+        assert_eq!(j1, j2);
+        serde::json::Value::parse(&j1).unwrap();
+        assert!(j1.contains("\"exemplar\":\"b\""));
+        assert!(j1.contains("\"p999\""));
+    }
+}

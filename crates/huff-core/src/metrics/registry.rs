@@ -161,11 +161,55 @@ impl Default for Registry {
     }
 }
 
+/// Escape a label value per the Prometheus text-exposition rules:
+/// inside the quoted value, backslash, double-quote and newline must be
+/// written as `\\`, `\"` and `\n`. Without this, a value containing `"`
+/// or a newline produces an exposition no scraper can parse.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_label_value`]. Unknown escape sequences pass through
+/// verbatim (matching how Prometheus parsers treat them).
+pub fn unescape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 fn label_key(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
-    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    // Escaping happens at key construction, so storage, lookup and both
+    // exposition formats all see the same canonical (escaped) string.
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
     format!("{{{}}}", body.join(","))
 }
 
@@ -573,6 +617,73 @@ mod tests {
     #[should_panic(expected = "unknown metric")]
     fn unknown_metric_panics() {
         Registry::new().add("rsh_nonexistent", &[], 1.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_exposition() {
+        let mut r = Registry::new();
+        r.record_shed("queue \"full\"\nback\\slash");
+        let text = r.render();
+        assert!(
+            text.contains(r#"rsh_shed_total{reason="queue \"full\"\nback\\slash"} 1"#),
+            "exposition: {text}"
+        );
+        // No raw newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(!line.is_empty() || text.ends_with('\n'));
+        }
+        // Lookup with the same raw value still round-trips.
+        assert_eq!(r.get("rsh_shed_total", &[("reason", "queue \"full\"\nback\\slash")]), 1.0);
+        // JSON export stays parseable by the vendored parser.
+        serde::json::Value::parse(&r.to_json().to_string()).unwrap();
+    }
+
+    mod label_escaping_properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Any label value survives escape → unescape, and both the
+            /// text and JSON exposition of a registry carrying it stay
+            /// parseable by the vendored parsers.
+            #[test]
+            fn label_escaping_roundtrips(
+                idxs in proptest::collection::vec(0usize..12, 0..32)
+            ) {
+                const ALPHABET: [char; 12] =
+                    ['a', 'Z', '0', ' ', '"', '\\', '\n', 'µ', '{', '}', '=', ','];
+                let value: String = idxs.iter().map(|&i| ALPHABET[i]).collect();
+
+                // The escape transform inverts exactly.
+                let escaped = escape_label_value(&value);
+                prop_assert_eq!(unescape_label_value(&escaped), value.clone());
+                // Escaped values never contain raw newlines.
+                prop_assert!(!escaped.contains('\n'));
+
+                let mut r = Registry::new();
+                r.record_shed(&value);
+                prop_assert_eq!(r.get("rsh_shed_total", &[("reason", &value)]), 1.0);
+
+                // Text exposition: the sample line's quoted value parses
+                // back to the original.
+                let text = r.render();
+                let line = text
+                    .lines()
+                    .find(|l| l.starts_with("rsh_shed_total{reason=\""))
+                    .expect("sample line present");
+                let quoted = &line["rsh_shed_total{reason=\"".len()..];
+                let end = quoted.rfind("\"}").expect("closing quote");
+                prop_assert_eq!(unescape_label_value(&quoted[..end]), value);
+
+                // JSON exposition: the vendored parser accepts the
+                // document.
+                let json = r.to_json().to_string();
+                let parsed = serde::json::Value::parse(&json).expect("valid JSON");
+                prop_assert!(parsed.as_object().is_some());
+            }
+        }
     }
 
     #[test]

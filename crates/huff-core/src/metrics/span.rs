@@ -1,0 +1,372 @@
+//! Request-scoped span trees: the distributed-tracing layer of the
+//! serving engine.
+//!
+//! Process-level aggregates (the [`super::registry`] counters, the
+//! roofline report) answer *how much*; they cannot answer *which request*
+//! queued, retried, degraded down the decode ladder, or blew its
+//! deadline. A [`SpanSink`] records, per request, a tree of [`Span`]s —
+//! the request itself, its queue / backoff / service phases, the service
+//! stages, and every kernel launch replayed on its behalf — plus point
+//! [`SpanEvent`]s (retries, injected device loss, decoder glitches,
+//! shedding) attributed to the span they interrupted.
+//!
+//! Identity follows the usual tracing shape: a [`TraceContext`] carries
+//! the owning request's `trace_id` and the parent span id; span ids are
+//! allocated from one monotone counter per sink, so concurrent requests
+//! can never share a span id. All timestamps are virtual (modeled)
+//! seconds on the engine's clock — a fixed seed replays byte-identical
+//! exports.
+//!
+//! Two exporters:
+//!
+//! * [`SpanSink::to_jsonl`] — the `rsh-span-v1` line-delimited schema
+//!   (FORMAT.md §11): every span, then every event, one JSON object per
+//!   line, in deterministic creation order;
+//! * [`SpanSink::to_chrome_trace`] — Chrome `trace_event` JSON with one
+//!   lane per request (trace id), spans as complete slices and events as
+//!   instant markers.
+
+use super::chrome::LaneWriter;
+use gpu_sim::KernelRecord;
+use serde::json::{Map, Value};
+
+/// Version tag of the line-delimited JSON schema emitted by
+/// [`SpanSink::to_jsonl`].
+pub const SPAN_SCHEMA: &str = "rsh-span-v1";
+
+/// Where a span attaches in its request's tree: the owning trace id plus
+/// the parent span id (`None` for the request's root span).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Owning request's trace id.
+    pub trace_id: String,
+    /// Parent span id; `None` opens a root span.
+    pub parent_span_id: Option<u64>,
+}
+
+impl TraceContext {
+    /// The root context of a request: no parent.
+    pub fn root(trace_id: impl Into<String>) -> Self {
+        TraceContext { trace_id: trace_id.into(), parent_span_id: None }
+    }
+
+    /// A child context under `span_id`, same trace.
+    pub fn child_of(&self, span_id: u64) -> TraceContext {
+        TraceContext { trace_id: self.trace_id.clone(), parent_span_id: Some(span_id) }
+    }
+}
+
+/// One node in a request's span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Sink-unique id (monotone across all requests of one sink).
+    pub span_id: u64,
+    /// Parent span id; `None` for the request's root span.
+    pub parent_span_id: Option<u64>,
+    /// Owning request's trace id.
+    pub trace_id: String,
+    /// Span name (`"compress"`, `"queue"`, `"service"`, a stage or
+    /// kernel name).
+    pub name: String,
+    /// Structural kind: `"request"`, `"stage"`, or `"kernel"`.
+    pub kind: &'static str,
+    /// Start instant, virtual seconds.
+    pub start: f64,
+    /// End instant, virtual seconds.
+    pub end: f64,
+}
+
+impl Span {
+    /// The span's duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), SPAN_SCHEMA.into());
+        m.insert("type".into(), "span".into());
+        m.insert("trace".into(), Value::String(self.trace_id.clone()));
+        m.insert("span".into(), Value::Int(i128::from(self.span_id)));
+        m.insert(
+            "parent".into(),
+            match self.parent_span_id {
+                Some(p) => Value::Int(i128::from(p)),
+                None => Value::Null,
+            },
+        );
+        m.insert("kind".into(), self.kind.into());
+        m.insert("name".into(), Value::String(self.name.clone()));
+        m.insert("start_s".into(), Value::Float(self.start));
+        m.insert("end_s".into(), Value::Float(self.end));
+        Value::Object(m)
+    }
+}
+
+/// A point event attributed to a span: a retry, an injected fault, a
+/// shed, a deadline miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// The span this event interrupted.
+    pub span_id: u64,
+    /// Owning request's trace id.
+    pub trace_id: String,
+    /// Event name (`"retry"`, `"device_loss"`, `"decoder_glitch"`,
+    /// `"payload_corruption"`, `"shed"`, `"deadline_miss"`, `"degraded"`,
+    /// `"failed"`).
+    pub name: String,
+    /// Instant, virtual seconds.
+    pub at: f64,
+    /// Structured detail, deterministic for a fixed seed.
+    pub detail: String,
+}
+
+impl SpanEvent {
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), SPAN_SCHEMA.into());
+        m.insert("type".into(), "event".into());
+        m.insert("trace".into(), Value::String(self.trace_id.clone()));
+        m.insert("span".into(), Value::Int(i128::from(self.span_id)));
+        m.insert("name".into(), Value::String(self.name.clone()));
+        m.insert("at_s".into(), Value::Float(self.at));
+        m.insert("detail".into(), Value::String(self.detail.clone()));
+        Value::Object(m)
+    }
+}
+
+/// Collects the span trees and events of every request served by one
+/// engine. Span ids come from a single monotone counter, so two requests
+/// — concurrent or not — never share one.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSink {
+    spans: Vec<Span>,
+    events: Vec<SpanEvent>,
+    next_id: u64,
+}
+
+impl SpanSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        SpanSink::default()
+    }
+
+    /// Record one span under `ctx` and return its id.
+    pub fn open(
+        &mut self,
+        ctx: &TraceContext,
+        kind: &'static str,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) -> u64 {
+        let span_id = self.next_id;
+        self.next_id += 1;
+        self.spans.push(Span {
+            span_id,
+            parent_span_id: ctx.parent_span_id,
+            trace_id: ctx.trace_id.clone(),
+            name: name.into(),
+            kind,
+            start,
+            end,
+        });
+        span_id
+    }
+
+    /// Record a point event on `span_id`.
+    pub fn event(
+        &mut self,
+        trace_id: impl Into<String>,
+        span_id: u64,
+        name: impl Into<String>,
+        at: f64,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(SpanEvent {
+            span_id,
+            trace_id: trace_id.into(),
+            name: name.into(),
+            at,
+            detail: detail.into(),
+        });
+    }
+
+    /// Record one kernel span per record under `ctx`, shifting each
+    /// record's schedule-local timestamps by `offset` onto the engine's
+    /// clock.
+    pub fn kernels(&mut self, ctx: &TraceContext, offset: f64, records: &[KernelRecord]) {
+        for r in records {
+            self.open(ctx, "kernel", r.name.clone(), offset + r.start, offset + r.end);
+        }
+    }
+
+    /// All spans, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All events, in creation order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// The spans of one request, in creation order.
+    pub fn trace(&self, trace_id: &str) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.trace_id == trace_id).collect()
+    }
+
+    /// The root span of one request.
+    pub fn root_of(&self, trace_id: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.trace_id == trace_id && s.parent_span_id.is_none())
+    }
+
+    /// Direct children of `span_id`, in creation order.
+    pub fn children(&self, span_id: u64) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent_span_id == Some(span_id)).collect()
+    }
+
+    /// The events attributed to one request.
+    pub fn trace_events(&self, trace_id: &str) -> Vec<&SpanEvent> {
+        self.events.iter().filter(|e| e.trace_id == trace_id).collect()
+    }
+
+    /// The `rsh-span-v1` line-delimited export: every span, then every
+    /// event, one compact JSON object per line, in creation order —
+    /// byte-deterministic for a fixed seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&s.to_json().to_string());
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON with **one lane per request**: each
+    /// trace id gets its own lane (first-appearance order), spans render
+    /// as complete slices and events as instant markers.
+    pub fn to_chrome_trace(&self, process_name: &str) -> String {
+        let mut w = LaneWriter::new(process_name);
+        for s in &self.spans {
+            let mut args = Map::new();
+            args.insert("span".into(), Value::Int(i128::from(s.span_id)));
+            args.insert(
+                "parent".into(),
+                match s.parent_span_id {
+                    Some(p) => Value::Int(i128::from(p)),
+                    None => Value::Null,
+                },
+            );
+            w.slice(&s.trace_id, s.kind, &s.name, s.start, s.end, args);
+        }
+        for e in &self.events {
+            let mut args = Map::new();
+            args.insert("span".into(), Value::Int(i128::from(e.span_id)));
+            args.insert("detail".into(), Value::String(e.detail.clone()));
+            w.instant(&e.trace_id, "event", &e.name, e.at, args);
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_with_tree() -> SpanSink {
+        let mut sink = SpanSink::new();
+        let root_ctx = TraceContext::root("r0");
+        let root = sink.open(&root_ctx, "request", "compress", 0.0, 1.0);
+        let child_ctx = root_ctx.child_of(root);
+        sink.open(&child_ctx, "stage", "queue", 0.0, 0.25);
+        let svc = sink.open(&child_ctx, "stage", "service", 0.25, 1.0);
+        sink.event("r0", svc, "retry", 0.3, "attempt 1");
+        sink
+    }
+
+    #[test]
+    fn ids_are_monotone_and_unique_across_traces() {
+        let mut sink = SpanSink::new();
+        let a = sink.open(&TraceContext::root("a"), "request", "compress", 0.0, 1.0);
+        let b = sink.open(&TraceContext::root("b"), "request", "decompress", 0.5, 1.5);
+        assert!(b > a);
+        let ids: Vec<u64> = sink.spans().iter().map(|s| s.span_id).collect();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+    }
+
+    #[test]
+    fn tree_navigation() {
+        let sink = sink_with_tree();
+        let root = sink.root_of("r0").unwrap();
+        assert_eq!(root.name, "compress");
+        let kids = sink.children(root.span_id);
+        assert_eq!(kids.len(), 2);
+        // Children tile the root exactly.
+        let sum: f64 = kids.iter().map(|s| s.duration()).sum();
+        assert!((sum - root.duration()).abs() < 1e-12);
+        assert_eq!(sink.trace_events("r0").len(), 1);
+    }
+
+    #[test]
+    fn jsonl_is_schema_tagged_and_deterministic() {
+        let a = sink_with_tree().to_jsonl();
+        let b = sink_with_tree().to_jsonl();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 4);
+        for line in a.lines() {
+            assert!(line.starts_with("{\"schema\":\"rsh-span-v1\""), "line: {line}");
+            serde::json::Value::parse(line).unwrap();
+        }
+        assert!(a.contains("\"type\":\"event\""));
+        assert!(a.contains("\"parent\":null"));
+    }
+
+    #[test]
+    fn chrome_export_has_one_lane_per_trace() {
+        let mut sink = sink_with_tree();
+        sink.open(&TraceContext::root("r1"), "request", "decompress", 2.0, 3.0);
+        let s = sink.to_chrome_trace("serve (modeled)");
+        assert!(s.contains("\"r0\""));
+        assert!(s.contains("\"r1\""));
+        // Two lanes: tids 0 and 1 only.
+        assert!(s.contains("\"tid\":1"));
+        assert!(!s.contains("\"tid\":2"));
+        assert!(s.contains("\"ph\":\"i\""), "events render as instants");
+    }
+
+    #[test]
+    fn kernel_spans_are_offset_onto_the_engine_clock() {
+        let mut sink = SpanSink::new();
+        let ctx = TraceContext::root("r0");
+        let root = sink.open(&ctx, "request", "compress", 10.0, 11.0);
+        let recs = vec![{
+            let mut r = gpu_sim::KernelRecord {
+                seq: 0,
+                name: "hist".into(),
+                blocks: 1,
+                threads_per_block: 32,
+                stream: 0,
+                contention: 1.0,
+                start: 0.25,
+                end: 0.5,
+                cost: Default::default(),
+                traffic: Default::default(),
+                trace: "r0".into(),
+            };
+            r.cost.total = 0.25;
+            r
+        }];
+        sink.kernels(&ctx.child_of(root), 10.0, &recs);
+        let k = sink.spans().last().unwrap();
+        assert_eq!(k.kind, "kernel");
+        assert!((k.start - 10.25).abs() < 1e-12);
+        assert!((k.end - 10.5).abs() < 1e-12);
+    }
+}

@@ -41,6 +41,26 @@
 //! each request ends in exactly one outcome, and the registry counters
 //! are derived from the same completion stream
 //! ([`ServeReport::reconciles_with`]).
+//!
+//! **Request-scoped observability.** Beyond the aggregate counters, the
+//! engine records a full distributed-tracing view of every request in
+//! its [`SpanSink`]: a root `request` span covering arrival → finish,
+//! `stage` children for queue wait, retry backoff and service, the
+//! service's internal stages (model sweep, batch makespan, each decode
+//! rung tried), and one `kernel` span per [`gpu_sim::KernelRecord`]
+//! replayed on the request's behalf — each record itself stamped with
+//! the request's trace id end to end (serve → [`crate::batch`] →
+//! [`crate::pipeline`] → [`gpu_sim::StreamSchedule`]). Injected chaos
+//! (device loss, decoder glitches, payload corruption), retries, sheds
+//! and deadline misses land as [`crate::metrics::span::SpanEvent`]s on
+//! the owning request's tree, so a chaos storm is attributable request
+//! by request, not just countable. End-to-end latencies feed per-
+//! (class, outcome) log2 histograms ([`LatencyBook`]) whose buckets
+//! carry exemplar trace ids, and [`Engine::slo_report`] evaluates
+//! declarative error-budget objectives ([`crate::slo`]) over the same
+//! completion stream — all in virtual time, so every export
+//! ([`Engine::span_jsonl`], [`crate::slo::SloReport::to_json`]) is
+//! byte-deterministic for a fixed seed.
 
 use std::collections::BTreeMap;
 
@@ -48,10 +68,14 @@ use crate::batch::{compress_batched_with_faults, BatchOptions, DeviceFault};
 use crate::decode::DecoderKind;
 use crate::error::{HuffError, Result};
 use crate::integrity::{DecompressOptions, RecoveryMode, RecoveryReport, Verify};
+use crate::metrics::latency::LatencyBook;
 use crate::metrics::registry::{self, Registry};
+use crate::metrics::span::{SpanSink, TraceContext};
+use crate::slo;
 use crate::testing::Fault;
 use crate::tune::{self, Dispatch, Tuner};
 use crate::{archive, frame};
+use gpu_sim::KernelRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::json::{Map, Value};
@@ -182,6 +206,18 @@ pub enum Workload {
     DecompressRange(Vec<u8>, std::ops::Range<u64>),
 }
 
+impl Workload {
+    /// The request class this workload belongs to — the key latency
+    /// histograms and SLO objectives aggregate by.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Workload::Compress(_) => "compress",
+            Workload::Decompress(_) => "decompress",
+            Workload::DecompressRange(..) => "decompress_range",
+        }
+    }
+}
+
 /// One request submitted to the engine.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -307,6 +343,10 @@ impl Outcome {
 pub struct Completion {
     /// The request's trace ID.
     pub trace_id: String,
+    /// The request class ([`Workload::class`]).
+    pub class: &'static str,
+    /// Root span id of the request's tree in [`Engine::spans`].
+    pub span_id: u64,
     /// How it ended.
     pub outcome: Outcome,
     /// The produced payload, when [`Outcome::served`].
@@ -388,6 +428,23 @@ impl ServeReport {
         self.completions.iter().map(|c| c.queue_wait).sum()
     }
 
+    /// Reduce the completion stream to [`crate::slo::Sample`]s — the
+    /// narrow view SLO evaluation consumes. A request's end-to-end
+    /// latency is its queue wait + backoff + service (equal to
+    /// `finish − arrival` on every path).
+    pub fn slo_samples(&self) -> Vec<slo::Sample> {
+        self.completions
+            .iter()
+            .map(|c| slo::Sample {
+                class: c.class.to_string(),
+                trace_id: c.trace_id.clone(),
+                finish: c.finish,
+                latency: c.queue_wait + c.backoff + c.service,
+                served: c.outcome.served(),
+            })
+            .collect()
+    }
+
     /// Check the completion stream against a registry: every serve
     /// counter must equal the tally derived from the completions. This
     /// is the acceptance property "counters reconcile with the trace".
@@ -426,6 +483,8 @@ impl ServeReport {
             .map(|c| {
                 let mut m = Map::new();
                 m.insert("trace_id".into(), Value::String(c.trace_id.clone()));
+                m.insert("class".into(), Value::String(c.class.into()));
+                m.insert("span".into(), Value::Int(i128::from(c.span_id)));
                 m.insert("outcome".into(), Value::String(c.outcome.label().into()));
                 m.insert("queue_wait_s".into(), Value::Float(c.queue_wait));
                 m.insert("service_s".into(), Value::Float(c.service));
@@ -444,11 +503,26 @@ impl ServeReport {
 
 /// What one successful execution produced.
 struct Exec {
-    seconds: f64,
+    /// Back-to-back service stages `(name, modeled seconds)`. Their sum
+    /// is the request's service time, and they become the child spans of
+    /// the request's `service` span — so stage spans always tile the
+    /// recorded service exactly.
+    stages: Vec<(String, f64)>,
+    /// Kernel records replayed on this request's behalf (compress only;
+    /// decode rungs are modeled without kernel replay). Each is stamped
+    /// with the request's trace id.
+    records: Vec<KernelRecord>,
     response: Response,
     recovery: Option<RecoveryReport>,
     degraded: Option<(String, usize)>,
     quarantined: usize,
+}
+
+impl Exec {
+    /// Total service seconds: the sum of the stage durations.
+    fn seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.1).sum()
+    }
 }
 
 /// The serving engine. See the module docs for the model.
@@ -467,6 +541,8 @@ pub struct Engine {
     last_arrival: f64,
     max_depth: usize,
     tuner: Option<Tuner>,
+    spans: SpanSink,
+    latency: LatencyBook,
 }
 
 impl Engine {
@@ -483,6 +559,8 @@ impl Engine {
             last_arrival: 0.0,
             max_depth: 0,
             tuner: None,
+            spans: SpanSink::new(),
+            latency: LatencyBook::new(),
         }
     }
 
@@ -520,6 +598,34 @@ impl Engine {
         &self.pool
     }
 
+    /// Every request's span tree and chaos events recorded so far.
+    pub fn spans(&self) -> &SpanSink {
+        &self.spans
+    }
+
+    /// Per-(class, outcome) latency histograms with exemplar trace ids.
+    pub fn latency(&self) -> &LatencyBook {
+        &self.latency
+    }
+
+    /// The `rsh-span-v1` JSONL export of every span and event so far —
+    /// byte-deterministic for a fixed seed.
+    pub fn span_jsonl(&self) -> String {
+        self.spans.to_jsonl()
+    }
+
+    /// Chrome `trace_event` JSON of the span trees, one lane per
+    /// request.
+    pub fn chrome_spans(&self) -> String {
+        self.spans.to_chrome_trace("rsh serve (modeled)")
+    }
+
+    /// Evaluate SLO `objectives` against the completions so far (see
+    /// [`crate::slo::evaluate`]).
+    pub fn slo_report(&self, objectives: &[slo::Objective]) -> slo::SloReport {
+        slo::evaluate(objectives, &self.report().slo_samples())
+    }
+
     /// Submit one request and replay it to completion in virtual time.
     /// Requests must arrive in nondecreasing `arrival` order.
     pub fn submit(&mut self, req: Request) -> Result<&Completion> {
@@ -539,6 +645,8 @@ impl Engine {
         }
         self.last_arrival = req.arrival;
         let t = req.arrival;
+        let trace_id = req.trace_id.clone();
+        let class = req.workload.class();
 
         // Admission: depth = admitted requests that have not started yet.
         let depth = self.starts.iter().filter(|&&s| s > t).count();
@@ -548,8 +656,14 @@ impl Engine {
             self.metrics.record_request("shed");
             registry::global().record_shed("queue_full");
             registry::global().record_request("shed");
+            let span_id =
+                self.spans.open(&TraceContext::root(trace_id.clone()), "request", class, t, t);
+            self.spans.event(trace_id.clone(), span_id, "shed", t, "queue_full");
+            self.latency.observe(class, "shed", 0.0, &trace_id);
             self.completions.push(Completion {
                 trace_id: req.trace_id,
+                class,
+                span_id,
                 outcome: Outcome::Shed { reason: "queue_full".into() },
                 response: None,
                 recovery: None,
@@ -586,8 +700,21 @@ impl Engine {
                 registry::global().record_deadline_miss();
                 registry::global().record_request("deadline");
                 registry::global().record_queue_wait(d, depth);
+                let root_ctx = TraceContext::root(trace_id.clone());
+                let span_id = self.spans.open(&root_ctx, "request", class, t, t + d);
+                self.spans.open(&root_ctx.child_of(span_id), "stage", "queue", t, t + d);
+                self.spans.event(
+                    trace_id.clone(),
+                    span_id,
+                    "deadline_miss",
+                    t + d,
+                    format!("cancelled in queue: budget {d:.6e}s, wait {queue_wait:.6e}s"),
+                );
+                self.latency.observe(class, "deadline", d, &trace_id);
                 self.completions.push(Completion {
                     trace_id: req.trace_id,
+                    class,
+                    span_id,
                     outcome: Outcome::DeadlineMiss { budget: d, needed: queue_wait },
                     response: None,
                     recovery: None,
@@ -607,6 +734,8 @@ impl Engine {
         // backoff in modeled time.
         let mut retries = 0u32;
         let mut backoff = 0.0f64;
+        // Cumulative backoff at each retry, for the span events.
+        let mut retry_offsets: Vec<f64> = Vec::new();
         let result = loop {
             if retries < draw.transient_failures {
                 if retries >= self.cfg.max_retries {
@@ -616,9 +745,10 @@ impl Engine {
                 }
                 backoff += self.cfg.backoff_base * f64::powi(2.0, retries as i32);
                 retries += 1;
+                retry_offsets.push(backoff);
                 continue;
             }
-            break self.execute(&req.workload, &draw);
+            break self.execute(&req.workload, &draw, &trace_id);
         };
 
         self.starts.push(start);
@@ -629,7 +759,7 @@ impl Engine {
 
         let completion = match result {
             Ok(exec) => {
-                let service = exec.seconds;
+                let service = exec.seconds();
                 let finish = start + backoff + service;
                 self.workers[widx] = finish;
                 let outcome = match (&exec.degraded, req.deadline) {
@@ -645,8 +775,22 @@ impl Engine {
                     }
                     (None, _) => Outcome::Success,
                 };
+                let span_id = self.record_spans(
+                    &trace_id,
+                    class,
+                    t,
+                    start,
+                    backoff,
+                    &retry_offsets,
+                    finish,
+                    Some(&exec),
+                    &draw,
+                    &outcome,
+                );
                 Completion {
                     trace_id: req.trace_id,
+                    class,
+                    span_id,
                     outcome,
                     response: Some(exec.response),
                     recovery: exec.recovery,
@@ -665,9 +809,24 @@ impl Engine {
                 let service = REQUEST_OVERHEAD_SECONDS;
                 let finish = start + backoff + service;
                 self.workers[widx] = finish;
+                let outcome = Outcome::Failed { error: e.to_string() };
+                let span_id = self.record_spans(
+                    &trace_id,
+                    class,
+                    t,
+                    start,
+                    backoff,
+                    &retry_offsets,
+                    finish,
+                    None,
+                    &draw,
+                    &outcome,
+                );
                 Completion {
                     trace_id: req.trace_id,
-                    outcome: Outcome::Failed { error: e.to_string() },
+                    class,
+                    span_id,
+                    outcome,
                     response: None,
                     recovery: None,
                     queue_wait,
@@ -682,6 +841,12 @@ impl Engine {
         };
         self.metrics.record_request(completion.outcome.label());
         registry::global().record_request(completion.outcome.label());
+        self.latency.observe(
+            class,
+            completion.outcome.label(),
+            completion.queue_wait + completion.backoff + completion.service,
+            &completion.trace_id,
+        );
         self.completions.push(completion);
         Ok(self.completions.last().unwrap())
     }
@@ -725,9 +890,127 @@ impl Engine {
         draw
     }
 
-    fn execute(&mut self, workload: &Workload, draw: &ChaosDraw) -> Result<Exec> {
+    /// Record the span tree of one executed (or failed-in-execution)
+    /// request: root → queue / backoff / service stages → per-stage
+    /// service children → kernel spans, plus the chaos and outcome
+    /// events attributed to the root. Returns the root span id.
+    #[allow(clippy::too_many_arguments)]
+    fn record_spans(
+        &mut self,
+        trace_id: &str,
+        class: &'static str,
+        arrival: f64,
+        start: f64,
+        backoff: f64,
+        retry_offsets: &[f64],
+        finish: f64,
+        exec: Option<&Exec>,
+        draw: &ChaosDraw,
+        outcome: &Outcome,
+    ) -> u64 {
+        let root_ctx = TraceContext::root(trace_id);
+        let root = self.spans.open(&root_ctx, "request", class, arrival, finish);
+        let child = root_ctx.child_of(root);
+        if start > arrival {
+            self.spans.open(&child, "stage", "queue", arrival, start);
+        }
+        if backoff > 0.0 {
+            let b = self.spans.open(&child, "stage", "backoff", start, start + backoff);
+            for (i, off) in retry_offsets.iter().enumerate() {
+                self.spans.event(
+                    trace_id,
+                    b,
+                    "retry",
+                    start + off,
+                    format!("attempt {} after injected transient fault", i + 2),
+                );
+            }
+        }
+        let svc_start = start + backoff;
+        // A failed execution still occupied its worker for the fixed
+        // overhead (see the Err arm in `submit`); its service span holds
+        // that single stage so stage spans always tile the latency.
+        let failed_stages;
+        let stages: &[(String, f64)] = match exec {
+            Some(e) => &e.stages,
+            None => {
+                failed_stages = [("overhead".to_string(), REQUEST_OVERHEAD_SECONDS)];
+                &failed_stages
+            }
+        };
+        let service: f64 = stages.iter().map(|s| s.1).sum();
+        if service > 0.0 {
+            let svc = self.spans.open(&child, "stage", "service", svc_start, finish);
+            let svc_ctx = child.child_of(svc);
+            let mut cursor = svc_start;
+            for (name, dur) in stages {
+                let sid = self.spans.open(&svc_ctx, "stage", name.clone(), cursor, cursor + dur);
+                if name == "batch" {
+                    if let Some(e) = exec {
+                        self.spans.kernels(&svc_ctx.child_of(sid), cursor, &e.records);
+                    }
+                }
+                cursor += dur;
+            }
+        }
+        // Injected chaos and terminal outcomes, attributed to the root.
+        if let Some((device, at)) = draw.device_loss {
+            self.spans.event(
+                trace_id,
+                root,
+                "device_loss",
+                svc_start + at,
+                format!("device {device} lost {at:.3e}s into the batch"),
+            );
+        }
+        if draw.glitch {
+            self.spans.event(
+                trace_id,
+                root,
+                "decoder_glitch",
+                svc_start,
+                "injected gap-array glitch (chaos)",
+            );
+        }
+        if let Some((frac, bit)) = draw.corruption {
+            self.spans.event(
+                trace_id,
+                root,
+                "payload_corruption",
+                start,
+                format!("bit {bit} flipped at fractional offset {frac:.6}"),
+            );
+        }
+        match outcome {
+            Outcome::DeadlineMiss { budget, needed } => {
+                self.spans.event(
+                    trace_id,
+                    root,
+                    "deadline_miss",
+                    finish,
+                    format!("budget {budget:.6e}s, needed {needed:.6e}s"),
+                );
+            }
+            Outcome::Degraded { backend, symbols_lost } => {
+                self.spans.event(
+                    trace_id,
+                    root,
+                    "degraded",
+                    finish,
+                    format!("served by {backend}, {symbols_lost} symbols lost"),
+                );
+            }
+            Outcome::Failed { error } => {
+                self.spans.event(trace_id, root, "failed", finish, error.clone());
+            }
+            Outcome::Success | Outcome::Shed { .. } => {}
+        }
+        root
+    }
+
+    fn execute(&mut self, workload: &Workload, draw: &ChaosDraw, trace: &str) -> Result<Exec> {
         match workload {
-            Workload::Compress(symbols) => self.execute_compress(symbols, draw),
+            Workload::Compress(symbols) => self.execute_compress(symbols, draw, trace),
             Workload::Decompress(bytes) => self.execute_decompress(bytes, draw),
             Workload::DecompressRange(bytes, range) => {
                 self.execute_decompress_range(bytes, range.clone(), draw)
@@ -735,7 +1018,7 @@ impl Engine {
         }
     }
 
-    fn execute_compress(&mut self, symbols: &[u16], draw: &ChaosDraw) -> Result<Exec> {
+    fn execute_compress(&mut self, symbols: &[u16], draw: &ChaosDraw, trace: &str) -> Result<Exec> {
         let faults: Vec<DeviceFault> =
             draw.device_loss.iter().map(|&(device, at)| DeviceFault { device, at }).collect();
 
@@ -746,17 +1029,29 @@ impl Engine {
             let (_, decision, hit) =
                 tuner.decide(symbols, self.cfg.batch.num_symbols, self.cfg.batch.symbol_bytes)?;
             let sweep = if hit { 0.0 } else { tune::MODEL_SWEEP_SECONDS };
+            let mut stages = vec![("overhead".to_string(), REQUEST_OVERHEAD_SECONDS)];
+            if sweep > 0.0 {
+                stages.push(("model_sweep".to_string(), sweep));
+            }
             return match decision.dispatch {
                 Dispatch::Gpu => {
                     let mut opts = self.cfg.batch.clone();
+                    opts.trace = trace.to_string();
                     opts.shard_symbols =
                         symbols.len().div_ceil(decision.shards.max(1) as usize).max(1);
                     opts.streams = decision.streams.max(1) as usize;
                     opts.reduction = Some(decision.reduction.max(1));
                     let (frame_bytes, report, quarantine) =
                         compress_batched_with_faults(symbols, &opts, &faults)?;
+                    stages.push(("batch".to_string(), report.makespan));
+                    let records = report
+                        .devices
+                        .iter()
+                        .flat_map(|d| d.timeline.records.iter().cloned())
+                        .collect();
                     Ok(Exec {
-                        seconds: REQUEST_OVERHEAD_SECONDS + sweep + report.makespan,
+                        stages,
+                        records,
                         response: Response::Frame(frame_bytes),
                         recovery: None,
                         degraded: None,
@@ -775,8 +1070,10 @@ impl Engine {
                         &decision,
                         &devices,
                     )?;
+                    stages.push(("host_encode".to_string(), decision.modeled_seconds()));
                     Ok(Exec {
-                        seconds: REQUEST_OVERHEAD_SECONDS + sweep + decision.modeled_seconds(),
+                        stages,
+                        records: Vec::new(),
                         response: Response::Frame(bytes),
                         recovery: None,
                         degraded: None,
@@ -786,10 +1083,18 @@ impl Engine {
             };
         }
 
+        let mut opts = self.cfg.batch.clone();
+        opts.trace = trace.to_string();
         let (frame_bytes, report, quarantine) =
-            compress_batched_with_faults(symbols, &self.cfg.batch, &faults)?;
+            compress_batched_with_faults(symbols, &opts, &faults)?;
+        let records =
+            report.devices.iter().flat_map(|d| d.timeline.records.iter().cloned()).collect();
         Ok(Exec {
-            seconds: REQUEST_OVERHEAD_SECONDS + report.makespan,
+            stages: vec![
+                ("overhead".to_string(), REQUEST_OVERHEAD_SECONDS),
+                ("batch".to_string(), report.makespan),
+            ],
+            records,
             response: Response::Frame(frame_bytes),
             recovery: None,
             degraded: None,
@@ -812,7 +1117,7 @@ impl Engine {
             bytes
         };
 
-        let mut seconds = REQUEST_OVERHEAD_SECONDS;
+        let mut stages = vec![("overhead".to_string(), REQUEST_OVERHEAD_SECONDS)];
         let mut last_err: Option<HuffError> = None;
         let mut outcome: Option<Exec> = None;
 
@@ -827,8 +1132,10 @@ impl Engine {
                     gap_bit: 0,
                     detail: "injected decoder glitch (chaos)".into(),
                 };
-                seconds +=
-                    self.model_decode_seconds(payload.len(), kind) * FAILED_RUNG_COST_FRACTION;
+                stages.push((
+                    format!("decode_{}_failed", kind.name()),
+                    self.model_decode_seconds(payload.len(), kind) * FAILED_RUNG_COST_FRACTION,
+                ));
                 last_err = Some(e);
                 continue;
             }
@@ -840,10 +1147,14 @@ impl Engine {
             };
             match decompress_any(payload, &opts) {
                 Ok(rec) => {
-                    seconds += self.model_decode_seconds(rec.symbols.len() * 2, kind);
+                    stages.push((
+                        format!("decode_{}", kind.name()),
+                        self.model_decode_seconds(rec.symbols.len() * 2, kind),
+                    ));
                     let degraded = (rung > 0).then(|| (kind.name().to_string(), 0));
                     outcome = Some(Exec {
-                        seconds,
+                        stages: std::mem::take(&mut stages),
+                        records: Vec::new(),
                         response: Response::Symbols(rec.symbols),
                         recovery: Some(rec.report),
                         degraded,
@@ -852,8 +1163,10 @@ impl Engine {
                     break;
                 }
                 Err(e) => {
-                    seconds +=
-                        self.model_decode_seconds(payload.len(), kind) * FAILED_RUNG_COST_FRACTION;
+                    stages.push((
+                        format!("decode_{}_failed", kind.name()),
+                        self.model_decode_seconds(payload.len(), kind) * FAILED_RUNG_COST_FRACTION,
+                    ));
                     last_err = Some(e);
                 }
             }
@@ -872,11 +1185,14 @@ impl Engine {
                 };
                 match decompress_any(payload, &opts) {
                     Ok(rec) => {
-                        seconds +=
-                            self.model_decode_seconds(rec.symbols.len() * 2, DecoderKind::Serial);
+                        stages.push((
+                            "best_effort".to_string(),
+                            self.model_decode_seconds(rec.symbols.len() * 2, DecoderKind::Serial),
+                        ));
                         let lost = rec.report.symbols_lost;
                         Exec {
-                            seconds,
+                            stages,
+                            records: Vec::new(),
                             response: Response::Symbols(rec.symbols),
                             recovery: Some(rec.report),
                             degraded: Some(("best_effort".to_string(), lost)),
@@ -917,7 +1233,7 @@ impl Engine {
         let slice_estimate =
             usize::try_from(range.end.saturating_sub(range.start)).unwrap_or(usize::MAX);
 
-        let mut seconds = REQUEST_OVERHEAD_SECONDS;
+        let mut stages = vec![("overhead".to_string(), REQUEST_OVERHEAD_SECONDS)];
         let mut last_err: Option<HuffError> = None;
         let mut outcome: Option<Exec> = None;
         for (rung, &kind) in self.cfg.ladder.iter().enumerate() {
@@ -928,8 +1244,10 @@ impl Engine {
                     gap_bit: 0,
                     detail: "injected decoder glitch (chaos)".into(),
                 };
-                seconds +=
-                    self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION;
+                stages.push((
+                    format!("decode_{}_failed", kind.name()),
+                    self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION,
+                ));
                 last_err = Some(e);
                 continue;
             }
@@ -941,10 +1259,14 @@ impl Engine {
             };
             match archive::decode_range(payload, range.clone(), &opts) {
                 Ok(r) => {
-                    seconds += self.model_decode_seconds(r.bytes.len(), kind);
+                    stages.push((
+                        format!("decode_{}", kind.name()),
+                        self.model_decode_seconds(r.bytes.len(), kind),
+                    ));
                     let degraded = (rung > 0).then(|| (kind.name().to_string(), 0));
                     outcome = Some(Exec {
-                        seconds,
+                        stages: std::mem::take(&mut stages),
+                        records: Vec::new(),
                         response: Response::Bytes(r.bytes),
                         recovery: Some(r.report),
                         degraded,
@@ -953,8 +1275,10 @@ impl Engine {
                     break;
                 }
                 Err(e) => {
-                    seconds +=
-                        self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION;
+                    stages.push((
+                        format!("decode_{}_failed", kind.name()),
+                        self.model_decode_seconds(slice_estimate, kind) * FAILED_RUNG_COST_FRACTION,
+                    ));
                     last_err = Some(e);
                 }
             }
@@ -970,10 +1294,14 @@ impl Engine {
                 };
                 match archive::decode_range(payload, range, &opts) {
                     Ok(r) => {
-                        seconds += self.model_decode_seconds(r.bytes.len(), DecoderKind::Serial);
+                        stages.push((
+                            "best_effort".to_string(),
+                            self.model_decode_seconds(r.bytes.len(), DecoderKind::Serial),
+                        ));
                         let lost = r.report.symbols_lost;
                         Exec {
-                            seconds,
+                            stages,
+                            records: Vec::new(),
                             response: Response::Bytes(r.bytes),
                             recovery: Some(r.report),
                             degraded: Some(("best_effort".to_string(), lost)),
@@ -1340,5 +1668,209 @@ mod tests {
         }
         assert_eq!(eng.pool().acquired, 4);
         assert!(eng.pool().reused >= 1, "pool never recycled a buffer");
+    }
+
+    #[test]
+    fn span_stage_children_tile_every_completion_latency() {
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        let syms = symbols(8_000, 20);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let mut chaos = ChaosConfig::quiet(3);
+        chaos.transient_prob = 1.0; // force backoff spans
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        for i in 0..4 {
+            let req = if i % 2 == 0 {
+                Request::compress(format!("c{i}"), 0.0, syms.clone())
+            } else {
+                Request::decompress(format!("d{i}"), 0.0, frame_bytes.clone())
+            };
+            eng.submit(req).unwrap();
+        }
+        for c in &eng.report().completions {
+            let root = eng.spans().root_of(&c.trace_id).expect("every request has a root span");
+            assert_eq!(root.span_id, c.span_id);
+            assert_eq!(root.name, c.class);
+            let latency = c.queue_wait + c.backoff + c.service;
+            assert!((root.duration() - latency).abs() < 1e-12);
+            // Direct stage children (queue/backoff/service) tile the root.
+            let stage_sum: f64 = eng
+                .spans()
+                .children(root.span_id)
+                .iter()
+                .filter(|s| s.kind == "stage")
+                .map(|s| s.duration())
+                .sum();
+            assert!(
+                (stage_sum - latency).abs() < 1e-12,
+                "{}: stage sum {stage_sum} != latency {latency}",
+                c.trace_id
+            );
+            // The service span's own children tile the service time.
+            if c.service > 0.0 {
+                let svc = eng
+                    .spans()
+                    .children(root.span_id)
+                    .into_iter()
+                    .find(|s| s.name == "service")
+                    .expect("service span");
+                let inner: f64 =
+                    eng.spans().children(svc.span_id).iter().map(|s| s.duration()).sum();
+                assert!((inner - c.service).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn compress_kernel_spans_carry_the_request_trace() {
+        let cfg = small_cfg();
+        let syms = symbols(10_000, 21);
+        let mut eng = Engine::new(cfg);
+        eng.submit(Request::compress("req-k", 0.0, syms)).unwrap();
+        let kernels: Vec<_> =
+            eng.spans().trace("req-k").into_iter().filter(|s| s.kind == "kernel").collect();
+        assert!(!kernels.is_empty(), "compress must produce kernel spans");
+        // Kernel spans sit inside the request window.
+        let root = eng.spans().root_of("req-k").unwrap();
+        for k in &kernels {
+            assert_eq!(k.trace_id, "req-k");
+            assert!(k.start >= root.start - 1e-12 && k.end <= root.end + 1e-12);
+        }
+    }
+
+    #[test]
+    fn chaos_faults_land_as_attributed_span_events() {
+        // Decoder glitch on a decompress request.
+        let cfg = small_cfg();
+        let syms = symbols(10_000, 22);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let mut chaos = ChaosConfig::quiet(11);
+        chaos.glitch_prob = 1.0;
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        eng.submit(Request::decompress("glitched", 0.0, frame_bytes)).unwrap();
+        let evs = eng.spans().trace_events("glitched");
+        assert!(evs.iter().any(|e| e.name == "decoder_glitch"));
+        assert!(evs.iter().any(|e| e.name == "degraded"));
+
+        // Device loss on a compress request.
+        let mut cfg = small_cfg();
+        cfg.batch.devices = vec![DeviceSpec::test_part(), DeviceSpec::test_part()];
+        cfg.batch.shard_symbols = 2048;
+        let mut chaos = ChaosConfig::quiet(17);
+        chaos.device_loss_prob = 1.0;
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        eng.submit(Request::compress("lost", 0.0, symbols(16_000, 8))).unwrap();
+        let evs = eng.spans().trace_events("lost");
+        assert!(
+            evs.iter().any(|e| e.name == "device_loss" && e.detail.contains("device")),
+            "device loss must be an attributed span event, got {evs:?}"
+        );
+
+        // Shed requests get a root span and a shed event.
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.queue_capacity = 1;
+        let syms = symbols(8_000, 2);
+        let mut eng = Engine::new(cfg);
+        for i in 0..3 {
+            eng.submit(Request::compress(format!("t{i}"), 0.0, syms.clone())).unwrap();
+        }
+        assert!(eng.spans().trace_events("t2").iter().any(|e| e.name == "shed"));
+        assert!(eng.spans().root_of("t2").is_some());
+    }
+
+    #[test]
+    fn latency_book_and_slo_report_cover_the_run() {
+        let mut cfg = small_cfg();
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        let syms = symbols(8_000, 23);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let mut eng = Engine::new(cfg);
+        for i in 0..6 {
+            let req = if i % 2 == 0 {
+                Request::compress(format!("c{i}"), 0.0, syms.clone())
+            } else {
+                Request::decompress(format!("d{i}"), 0.0, frame_bytes.clone())
+            };
+            eng.submit(req).unwrap();
+        }
+        let total: u64 = eng.latency().iter().map(|(_, _, h)| h.count()).sum();
+        assert_eq!(total, 6, "every completion is observed exactly once");
+        // Percentiles are monotone per class.
+        for class in eng.latency().classes() {
+            let h = eng.latency().class(class);
+            assert!(h.quantile(0.999) >= h.quantile(0.5));
+        }
+        let slo = eng.slo_report(&slo::default_objectives());
+        assert_eq!(slo.statuses.len(), 3);
+        let compress_status =
+            slo.statuses.iter().find(|s| s.objective.class == "compress").unwrap();
+        assert_eq!(compress_status.total, 3);
+        // Byte-determinism of the JSON rendering.
+        assert_eq!(
+            slo.to_json().to_string(),
+            eng.slo_report(&slo::default_objectives()).to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn p999_exemplar_resolves_to_a_span_tree_that_sums_to_its_latency() {
+        let cfg = small_cfg();
+        let syms = symbols(8_000, 24);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let mut chaos = ChaosConfig::storm(42);
+        chaos.device_loss_prob = 0.0;
+        let mut eng = Engine::with_chaos(cfg, chaos);
+        for i in 0..10 {
+            eng.submit(Request::decompress(format!("d{i}"), i as f64 * 1e-5, frame_bytes.clone()))
+                .unwrap();
+        }
+        let h = eng.latency().class("decompress");
+        let exemplar = h.exemplar(0.999).expect("populated histogram").to_string();
+        let c = eng
+            .report()
+            .completions
+            .iter()
+            .find(|c| c.trace_id == exemplar)
+            .expect("exemplar trace id resolves to a completion")
+            .clone();
+        let root = eng.spans().root_of(&exemplar).expect("exemplar has a span tree");
+        let stage_sum: f64 = eng
+            .spans()
+            .children(root.span_id)
+            .iter()
+            .filter(|s| s.kind == "stage")
+            .map(|s| s.duration())
+            .sum();
+        let latency = c.queue_wait + c.backoff + c.service;
+        assert!((stage_sum - latency).abs() < 1e-12);
+        // The exemplar is at least as slow as the p999 value's bucket peer.
+        assert!(latency >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn span_and_slo_exports_are_byte_deterministic() {
+        let cfg = small_cfg();
+        let syms = symbols(8_000, 10);
+        let frame_bytes = frame_of(&syms, &cfg);
+        let run = || {
+            let mut eng = Engine::with_chaos(cfg.clone(), ChaosConfig::storm(42));
+            for i in 0..6 {
+                let t = i as f64 * 1e-4;
+                let req = if i % 2 == 0 {
+                    Request::compress(format!("c{i}"), t, syms.clone())
+                } else {
+                    Request::decompress(format!("d{i}"), t, frame_bytes.clone())
+                };
+                eng.submit(req).unwrap();
+            }
+            let slo_json = eng.slo_report(&slo::default_objectives()).to_json().to_string();
+            (eng.span_jsonl(), slo_json, eng.chrome_spans())
+        };
+        assert_eq!(run(), run());
+        let (jsonl, _, chrome) = run();
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"schema\":\"rsh-span-v1\"")));
+        assert!(chrome.contains("\"traceEvents\""));
     }
 }

@@ -1,0 +1,377 @@
+//! Declarative service-level objectives and error budgets for the
+//! serving engine.
+//!
+//! An [`Objective`] states a latency promise in the engine's **virtual
+//! clock** — "99% of `decompress` requests finish under 5 modeled ms over
+//! a rolling 1 s window". Because the engine is a deterministic replay
+//! (all time is modeled; see [`crate::serve`]), evaluating an objective is
+//! itself deterministic: two runs of the same seeded workload produce
+//! byte-identical [`SloReport`]s, so SLO compliance can be asserted in CI
+//! like any other regression gate.
+//!
+//! The error-budget arithmetic is the standard one. An objective with
+//! target `t` tolerates a bad-request fraction of `1 − t` (its *budget*).
+//! Over the evaluation window,
+//!
+//! ```text
+//! burn rate = (bad / total) / (1 − t)
+//! ```
+//!
+//! so burn 1.0 means the window spends its budget exactly, burn 2.0 means
+//! the budget would be exhausted in half the window, and burn below 1.0
+//! is sustainable indefinitely. A request is *good* iff it was actually
+//! served (shed, failed, and deadline-missed requests are bad by
+//! definition) **and** its end-to-end latency is at or under the
+//! objective's threshold.
+//!
+//! [`evaluate`] consumes [`Sample`]s — a deliberately narrow view of a
+//! completion (class, trace id, finish time, latency, served flag) so the
+//! layer has no dependency on the serving types;
+//! `ServeReport::slo_samples` adapts. The report renders as an aligned
+//! table (`rsh slo`) or as the `rsh-slo-v1` JSON schema (FORMAT.md §11).
+
+use serde::json::{Map, Value};
+
+/// Version tag of the JSON schema emitted by [`SloReport::to_json`].
+pub const SLO_SCHEMA: &str = "rsh-slo-v1";
+
+/// A declarative latency objective over one request class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Short identifier, e.g. `"decompress-p99"`.
+    pub name: String,
+    /// Request class this objective covers: `"compress"`,
+    /// `"decompress"`, or `"decompress_range"`.
+    pub class: String,
+    /// Fraction of requests that must be good, e.g. `0.99`.
+    pub target: f64,
+    /// Latency threshold in virtual seconds; a served request at or
+    /// under it is good.
+    pub threshold_seconds: f64,
+    /// Rolling window length in virtual seconds, anchored at the newest
+    /// completion.
+    pub window_seconds: f64,
+}
+
+impl Objective {
+    /// A new objective. `target` must lie in `(0, 1)`.
+    pub fn new(
+        name: impl Into<String>,
+        class: impl Into<String>,
+        target: f64,
+        threshold_seconds: f64,
+        window_seconds: f64,
+    ) -> Self {
+        assert!(target > 0.0 && target < 1.0, "SLO target must be in (0, 1)");
+        assert!(threshold_seconds > 0.0 && window_seconds > 0.0);
+        Objective {
+            name: name.into(),
+            class: class.into(),
+            target,
+            threshold_seconds,
+            window_seconds,
+        }
+    }
+
+    /// The tolerated bad fraction, `1 − target`.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+/// The stock objectives `rsh slo` evaluates when none are configured:
+/// p99-style promises per request class, thresholds set from the decode
+/// ladder's modeled throughputs.
+pub fn default_objectives() -> Vec<Objective> {
+    vec![
+        Objective::new("compress-99", "compress", 0.99, 20.0e-3, 1.0),
+        Objective::new("decompress-99", "decompress", 0.99, 5.0e-3, 1.0),
+        Objective::new("range-95", "decompress_range", 0.95, 5.0e-3, 1.0),
+    ]
+}
+
+/// One completed request, reduced to what SLO evaluation needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Request class (`"compress"` | `"decompress"` | `"decompress_range"`).
+    pub class: String,
+    /// Owning request's trace id.
+    pub trace_id: String,
+    /// Completion instant, virtual seconds.
+    pub finish: f64,
+    /// End-to-end latency (finish − arrival), virtual seconds.
+    pub latency: f64,
+    /// Whether the request produced a usable response (success or
+    /// degraded). Shed / failed / deadline-missed requests are unserved.
+    pub served: bool,
+}
+
+/// One objective's evaluation over the rolling window.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    /// The objective evaluated.
+    pub objective: Objective,
+    /// Requests of the objective's class inside the window.
+    pub total: u64,
+    /// Good requests: served and at or under the threshold.
+    pub good: u64,
+    /// `good / total` (1.0 for an empty window).
+    pub compliance: f64,
+    /// Error-budget burn rate over the window:
+    /// `(bad / total) / (1 − target)`. 0.0 for an empty window.
+    pub burn_rate: f64,
+    /// Trace id and latency of the worst (slowest bad, else slowest)
+    /// request in the window — the place to start reading spans.
+    pub worst: Option<(String, f64)>,
+}
+
+impl SloStatus {
+    /// Whether the window meets the objective (burn at most 1.0).
+    pub fn met(&self) -> bool {
+        self.burn_rate <= 1.0
+    }
+
+    /// Fraction of the window's error budget left, `1 − burn` (clamped
+    /// at zero when overspent).
+    pub fn budget_remaining(&self) -> f64 {
+        (1.0 - self.burn_rate).max(0.0)
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".into(), Value::String(self.objective.name.clone()));
+        m.insert("class".into(), Value::String(self.objective.class.clone()));
+        m.insert("target".into(), Value::Float(self.objective.target));
+        m.insert("threshold_s".into(), Value::Float(self.objective.threshold_seconds));
+        m.insert("window_s".into(), Value::Float(self.objective.window_seconds));
+        m.insert("total".into(), Value::Int(i128::from(self.total)));
+        m.insert("good".into(), Value::Int(i128::from(self.good)));
+        m.insert("compliance".into(), Value::Float(self.compliance));
+        m.insert("burn_rate".into(), Value::Float(self.burn_rate));
+        m.insert("budget_remaining".into(), Value::Float(self.budget_remaining()));
+        m.insert("met".into(), Value::Bool(self.met()));
+        match &self.worst {
+            Some((trace, lat)) => {
+                m.insert("worst_trace".into(), Value::String(trace.clone()));
+                m.insert("worst_latency_s".into(), Value::Float(*lat));
+            }
+            None => {
+                m.insert("worst_trace".into(), Value::Null);
+                m.insert("worst_latency_s".into(), Value::Null);
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+/// Every objective's status at one evaluation instant.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Per-objective statuses, in objective order.
+    pub statuses: Vec<SloStatus>,
+    /// The evaluation instant: the newest completion's finish time
+    /// (windows end here).
+    pub now: f64,
+}
+
+impl SloReport {
+    /// Whether every objective is met.
+    pub fn all_met(&self) -> bool {
+        self.statuses.iter().all(SloStatus::met)
+    }
+
+    /// The `rsh-slo-v1` JSON document — deterministic for a fixed seed.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), SLO_SCHEMA.into());
+        m.insert("now_s".into(), Value::Float(self.now));
+        m.insert(
+            "objectives".into(),
+            Value::Array(self.statuses.iter().map(SloStatus::to_json).collect()),
+        );
+        Value::Object(m)
+    }
+
+    /// Aligned human-readable table (the `rsh slo` default output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<17} {:>7} {:>9} {:>6} {:>6} {:>10} {:>7}  {}\n",
+            "objective",
+            "class",
+            "target",
+            "threshold",
+            "total",
+            "good",
+            "compliance",
+            "burn",
+            "status"
+        ));
+        for s in &self.statuses {
+            out.push_str(&format!(
+                "{:<16} {:<17} {:>6.2}% {:>7.3}ms {:>6} {:>6} {:>9.3}% {:>7.2}  {}\n",
+                s.objective.name,
+                s.objective.class,
+                s.objective.target * 100.0,
+                s.objective.threshold_seconds * 1e3,
+                s.total,
+                s.good,
+                s.compliance * 100.0,
+                s.burn_rate,
+                if s.met() { "ok" } else { "BURNING" },
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluate `objectives` against `samples`. Each objective sees the
+/// samples of its class whose finish lies in the rolling window
+/// `(now − window, now]`, where `now` is the newest finish across *all*
+/// samples — evaluation happens at the instant the trace ends.
+pub fn evaluate(objectives: &[Objective], samples: &[Sample]) -> SloReport {
+    let now = samples.iter().map(|s| s.finish).fold(0.0, f64::max);
+    let statuses = objectives
+        .iter()
+        .map(|o| {
+            let window: Vec<&Sample> = samples
+                .iter()
+                .filter(|s| s.class == o.class && s.finish > now - o.window_seconds)
+                .collect();
+            let total = window.len() as u64;
+            let good =
+                window.iter().filter(|s| s.served && s.latency <= o.threshold_seconds).count()
+                    as u64;
+            let bad = total - good;
+            let compliance = if total == 0 { 1.0 } else { good as f64 / total as f64 };
+            let burn_rate = if total == 0 { 0.0 } else { (bad as f64 / total as f64) / o.budget() };
+            // Worst request: slowest bad one if any are bad, else slowest
+            // overall. Strict > keeps the earliest on ties (determinism).
+            let mut worst: Option<(String, f64)> = None;
+            let mut worst_is_bad = false;
+            for s in &window {
+                let is_bad = !(s.served && s.latency <= o.threshold_seconds);
+                let better_candidate = match &worst {
+                    None => true,
+                    Some((_, lat)) => {
+                        (is_bad && !worst_is_bad) || (is_bad == worst_is_bad && s.latency > *lat)
+                    }
+                };
+                if better_candidate {
+                    worst = Some((s.trace_id.clone(), s.latency));
+                    worst_is_bad = is_bad;
+                }
+            }
+            SloStatus { objective: o.clone(), total, good, compliance, burn_rate, worst }
+        })
+        .collect();
+    SloReport { statuses, now }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(class: &str, trace: &str, finish: f64, latency: f64, served: bool) -> Sample {
+        Sample { class: class.into(), trace_id: trace.into(), finish, latency, served }
+    }
+
+    fn obj(target: f64, threshold: f64, window: f64) -> Objective {
+        Objective::new("t", "decompress", target, threshold, window)
+    }
+
+    #[test]
+    fn burn_rate_arithmetic() {
+        // 100 requests, 2 bad, target 99% → budget 1% → burn 2.0.
+        let mut samples = Vec::new();
+        for i in 0..100 {
+            let bad = i < 2;
+            samples.push(sample(
+                "decompress",
+                &format!("t{i}"),
+                0.5,
+                if bad { 1.0 } else { 1e-4 },
+                true,
+            ));
+        }
+        let r = evaluate(&[obj(0.99, 5e-3, 1.0)], &samples);
+        let s = &r.statuses[0];
+        assert_eq!(s.total, 100);
+        assert_eq!(s.good, 98);
+        assert!((s.burn_rate - 2.0).abs() < 1e-9);
+        assert!(!s.met());
+        assert_eq!(s.budget_remaining(), 0.0);
+        assert_eq!(s.worst.as_ref().unwrap().0, "t0");
+    }
+
+    #[test]
+    fn unserved_requests_burn_budget_even_when_fast() {
+        let samples = vec![
+            sample("decompress", "ok", 0.1, 1e-4, true),
+            sample("decompress", "shed", 0.1, 0.0, false),
+        ];
+        let r = evaluate(&[obj(0.5, 5e-3, 1.0)], &samples);
+        let s = &r.statuses[0];
+        assert_eq!(s.good, 1);
+        assert!((s.burn_rate - 1.0).abs() < 1e-9);
+        assert!(s.met(), "burn exactly 1.0 is still (barely) within budget");
+        assert_eq!(s.worst.as_ref().unwrap().0, "shed", "bad beats slower-but-good");
+    }
+
+    #[test]
+    fn rolling_window_drops_old_samples() {
+        let samples = vec![
+            sample("decompress", "old-bad", 0.1, 1.0, true), // outside window
+            sample("decompress", "new-ok", 2.0, 1e-4, true),
+        ];
+        let r = evaluate(&[obj(0.99, 5e-3, 1.0)], &samples);
+        let s = &r.statuses[0];
+        assert!((r.now - 2.0).abs() < 1e-12);
+        assert_eq!(s.total, 1);
+        assert_eq!(s.good, 1);
+        assert!(s.met());
+    }
+
+    #[test]
+    fn empty_window_is_compliant_with_zero_burn() {
+        let r = evaluate(&default_objectives(), &[]);
+        assert!(r.all_met());
+        for s in &r.statuses {
+            assert_eq!(s.total, 0);
+            assert_eq!(s.compliance, 1.0);
+            assert_eq!(s.burn_rate, 0.0);
+            assert!(s.worst.is_none());
+        }
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let samples = vec![
+            sample("compress", "c0", 0.5, 1.0, true), // terrible compress
+            sample("decompress", "d0", 0.5, 1e-4, true), // fine decompress
+        ];
+        let objs = vec![
+            Objective::new("c", "compress", 0.99, 5e-3, 1.0),
+            Objective::new("d", "decompress", 0.99, 5e-3, 1.0),
+        ];
+        let r = evaluate(&objs, &samples);
+        assert!(!r.statuses[0].met());
+        assert!(r.statuses[1].met());
+        assert!(!r.all_met());
+    }
+
+    #[test]
+    fn report_renders_table_and_json() {
+        let samples = vec![sample("decompress", "d0", 0.5, 1e-4, true)];
+        let r = evaluate(&default_objectives(), &samples);
+        let t = r.render_table();
+        assert!(t.contains("objective"));
+        assert!(t.contains("decompress-99"));
+        assert!(t.contains("ok"));
+        let j = r.to_json().to_string();
+        assert!(j.starts_with("{\"schema\":\"rsh-slo-v1\""));
+        serde::json::Value::parse(&j).unwrap();
+        // Determinism: rendering twice is byte-identical.
+        assert_eq!(j, r.to_json().to_string());
+    }
+}

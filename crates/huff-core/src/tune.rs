@@ -327,6 +327,7 @@ fn pass_record(
         end: cost.total,
         cost,
         traffic,
+        trace: String::new(),
     }
 }
 

@@ -174,3 +174,150 @@ fn chaos_replays_are_deterministic() {
         .collect();
     assert_eq!(runs[0], runs[1], "same seed must replay the same faults and outcomes");
 }
+
+#[test]
+fn span_and_slo_exports_replay_byte_identical() {
+    // The tracing layer is part of the deterministic-replay contract:
+    // two runs of the same seeded storm must serialize byte-identical
+    // `rsh-span-v1` JSONL and `rsh-slo-v1` JSON.
+    let runs: Vec<(String, String)> = (0..2)
+        .map(|_| {
+            let (eng, _, _) = run_storm(42, 50e-6, 12);
+            (
+                eng.span_jsonl(),
+                eng.slo_report(&huff::huff_core::slo::default_objectives()).to_json().to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(runs[0].0, runs[1].0, "rsh-span-v1 export must replay byte-identical");
+    assert_eq!(runs[0].1, runs[1].1, "rsh-slo-v1 export must replay byte-identical");
+    assert!(runs[0].0.lines().all(|l| l.starts_with("{\"schema\":\"rsh-span-v1\"")));
+}
+
+#[test]
+fn chaos_faults_burn_error_budget_as_attributed_events() {
+    // Under the storm, injected faults must show up twice: as span
+    // events attributed to the owning request's trace, and as error-
+    // budget burn in the SLO report — never as silent degradation.
+    let (eng, _, _) = run_storm(42, 50e-6, 20);
+    let names: Vec<&str> = eng.spans().events().iter().map(|e| e.name.as_str()).collect();
+    assert!(
+        names.iter().any(
+            |n| ["device_loss", "deadline_miss", "retry", "decoder_glitch", "shed"].contains(n)
+        ),
+        "storm produced no attributed fault events: {names:?}"
+    );
+    // Every event is attributed to a span of the same trace.
+    for e in eng.spans().events() {
+        let root = eng.spans().root_of(&e.trace_id).expect("event on unknown trace");
+        assert_eq!(root.trace_id, e.trace_id);
+    }
+    let slo = eng.slo_report(&huff::huff_core::slo::default_objectives());
+    let burned: Vec<_> = slo.statuses.iter().filter(|s| s.burn_rate > 0.0).collect();
+    assert!(!burned.is_empty(), "storm faults must burn some error budget");
+    for s in burned {
+        assert!(s.worst.is_some(), "burning objective must carry an exemplar trace");
+    }
+}
+
+#[test]
+fn p999_exemplar_resolves_to_a_tiling_span_tree() {
+    // The tail exemplar is only useful if it leads somewhere: the trace
+    // id on the p999 bucket must resolve to a span tree whose stage
+    // spans tile the request's recorded latency exactly.
+    let (eng, _, _) = run_storm(17, 50e-6, 20);
+    for class in eng.latency().classes() {
+        let hist = eng.latency().class(class);
+        let Some(exemplar) = hist.exemplar(0.999).map(String::from) else { continue };
+        let root = eng
+            .spans()
+            .root_of(&exemplar)
+            .unwrap_or_else(|| panic!("{class} p999 exemplar {exemplar} has no span tree"));
+        let c = eng
+            .report()
+            .completions
+            .iter()
+            .find(|c| c.trace_id == exemplar)
+            .cloned()
+            .expect("exemplar must match a completion");
+        let latency = c.queue_wait + c.backoff + c.service;
+        let stage_sum: f64 = eng
+            .spans()
+            .children(root.span_id)
+            .iter()
+            .filter(|s| s.kind == "stage")
+            .map(|s| s.duration())
+            .sum();
+        assert!(
+            (root.duration() - latency).abs() < 1e-9,
+            "{class}/{exemplar}: root span {} != recorded latency {latency}",
+            root.duration()
+        );
+        assert!(
+            (stage_sum - latency).abs() < 1e-9,
+            "{class}/{exemplar}: stage spans sum to {stage_sum}, latency {latency}"
+        );
+    }
+}
+
+mod span_attribution {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Tentpole acceptance: every kernel span emitted while serving
+        /// a request belongs to that request's span tree (parent chain
+        /// reaches the request root of the same trace), and span ids
+        /// never collide across concurrent requests.
+        #[test]
+        fn kernel_spans_belong_to_their_request_and_ids_never_collide(
+            seed in 0u64..512,
+            requests in 4usize..12,
+        ) {
+            let (eng, _, _) = run_storm(seed, 50e-6, requests);
+            let submitted: std::collections::HashSet<String> = (0..requests)
+                .map(|i| if i % 2 == 0 { format!("c{i}") } else { format!("d{i}") })
+                .collect();
+            let by_id: std::collections::HashMap<u64, _> =
+                eng.spans().spans().iter().map(|s| (s.span_id, s)).collect();
+            prop_assert_eq!(
+                by_id.len(),
+                eng.spans().spans().len(),
+                "span ids collided across concurrent requests"
+            );
+            for s in eng.spans().spans() {
+                prop_assert!(
+                    submitted.contains(&s.trace_id),
+                    "span {} carries unknown trace {}", s.span_id, s.trace_id
+                );
+                // Walk the parent chain: same trace all the way to a root.
+                let mut cur = s;
+                while let Some(pid) = cur.parent_span_id {
+                    let parent = by_id[&pid];
+                    prop_assert_eq!(&parent.trace_id, &s.trace_id,
+                        "span {} crosses into trace {}", s.span_id, parent.trace_id);
+                    cur = parent;
+                }
+                prop_assert_eq!(cur.kind, "request");
+            }
+        }
+
+        /// The same attribution holds one layer down: kernel records
+        /// from a traced batch run are stamped with the batch's trace id.
+        #[test]
+        fn batched_kernel_records_are_stamped_with_the_trace(seed in 0u64..512) {
+            let mut opts = small_cfg().batch;
+            opts.trace = format!("prop-{seed}");
+            let syms = sample(16_000, seed);
+            let (_, report) = compress_batched(&syms, &opts).unwrap();
+            let records: Vec<_> =
+                report.devices.iter().flat_map(|d| d.timeline.records.iter()).collect();
+            prop_assert!(!records.is_empty());
+            for r in records {
+                prop_assert_eq!(&r.trace, &opts.trace);
+            }
+        }
+    }
+}
