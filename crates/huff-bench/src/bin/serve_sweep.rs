@@ -92,7 +92,9 @@ fn sweep_cell(symbols: &[u16], gap_s: f64) -> CellStats {
         eng.submit(Request::compress(format!("s{i}"), t, symbols.to_vec()))
             .expect("in-order submission cannot fail");
     }
-    let hist = eng.latency().class("compress");
+    // Admitted-only: shed requests are observed at zero latency and
+    // would deflate the percentiles the columns document.
+    let hist = eng.latency().admitted("compress");
     let r = eng.report();
     let admitted = r.completions.iter().filter(|c| c.outcome.label() != "shed").count();
     let mean_wait = if admitted == 0 { 0.0 } else { r.queue_wait_total() / admitted as f64 };

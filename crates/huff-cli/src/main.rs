@@ -207,8 +207,8 @@ glitches, payload corruption, device loss) from huff_core::serve. Virtual
 arrival time advances --gap-us per request; --max-requests stops after N
 connections (for scripted runs). --dashboard streams one summary line per
 completed request on stderr (class, outcome, virtual latency, rolling
-p50/p99/p999, worst error-budget burn rate) and prints the SLO table at
-shutdown; --spans writes every request's span tree as rsh-span-v1 JSONL
+admitted-request p50/p99/p999, worst error-budget burn rate) and prints
+the SLO table at shutdown; --spans writes every request's span tree as rsh-span-v1 JSONL
 and --chrome the per-request Chrome/Perfetto lanes at shutdown (FORMAT.md
 \u{a7}11).
 
@@ -220,7 +220,8 @@ table — burn rate > 1.0 means the objective is burning budget faster
 than it can afford. --json emits the rsh-slo-v1 report instead; --chaos
 replays the deterministic fault storm so the same seed prints
 byte-identical reports; --spans/--chrome export the span trees the
-exemplar trace ids resolve into.
+exemplar trace ids resolve into. slo exits 0 when every objective is
+met and 1 when any objective is burning its budget (in --json mode too).
 
 exit codes: 0 ok, 1 usage, 2 I/O error, 3 corrupt archive, 4 recovered with losses
 ";

@@ -28,19 +28,25 @@
 //!
 //! `--dashboard` streams one summary line per completed request on
 //! stderr — class, outcome, virtual latency, the rolling per-class
-//! p50/p99/p999 and the worst error-budget burn rate across the default
-//! objectives ([`huff_core::slo::default_objectives`]) — and prints the
-//! full SLO table at shutdown. `--spans PATH` writes every request's
+//! admitted-request p50/p99/p999 and the worst error-budget burn rate
+//! across the default objectives
+//! ([`huff_core::slo::default_objectives`]) — and prints the full SLO
+//! table at shutdown. The rolling numbers come from incremental
+//! [`Dashboard`] state folded forward one completion at a time, not
+//! from re-evaluating the full report per request. `--spans PATH` writes every request's
 //! span tree as `rsh-span-v1` JSONL and `--chrome PATH` the per-request
 //! Chrome/Perfetto lanes when the listener stops (FORMAT.md §11).
 
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 
 use huff_core::frame;
 use huff_core::integrity::{DecompressOptions, RecoveryMode, Verify};
 use huff_core::metrics;
-use huff_core::serve::{ChaosConfig, Engine, EngineConfig, Outcome, Request, Response};
+use huff_core::metrics::latency::LatencyHistogram;
+use huff_core::serve::{ChaosConfig, Completion, Engine, EngineConfig, Outcome, Request, Response};
+use huff_core::slo::Objective;
 use huff_core::{archive, DecoderKind};
 
 use crate::{symbols, CliError, CmdResult, USAGE};
@@ -123,6 +129,95 @@ impl ServeFlags {
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
     s.parse().map_err(|_| CliError::Usage(format!("{flag}: cannot parse {s:?}")))
+}
+
+/// Incremental `--dashboard` state.
+///
+/// Re-evaluating [`Engine::slo_report`] after every completed request
+/// rebuilds the full completion report and rescans every sample —
+/// quadratic over a long-running serve session. This folds each
+/// completion forward once instead: a rolling admitted-request latency
+/// histogram per class (quantiles index an already-sorted sample set)
+/// and, per objective, the rolling window of (finish, good) samples its
+/// burn rate is defined over. Work per request is bounded by the window
+/// population, never by the session length, and the printed numbers
+/// match a full `slo::evaluate` at the same instant (see the unit
+/// tests).
+struct Dashboard {
+    objectives: Vec<Objective>,
+    /// Per-objective rolling window: the objective's class samples as
+    /// `(finish, good)`, kept sorted by finish so aging out the front
+    /// against the window cutoff is exact even when multi-worker
+    /// finishes land out of submission order.
+    windows: Vec<VecDeque<(f64, bool)>>,
+    /// Good-sample count per window.
+    good: Vec<u64>,
+    /// Rolling admitted-request (non-shed) latency histogram per class.
+    hists: BTreeMap<&'static str, LatencyHistogram>,
+    /// Newest completion instant; windows are anchored here, matching
+    /// `slo::evaluate`'s `now`.
+    now: f64,
+}
+
+/// One dashboard line's rolling numbers, all in virtual seconds.
+struct DashStats {
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    worst_burn: f64,
+}
+
+impl Dashboard {
+    fn new(objectives: Vec<Objective>) -> Self {
+        let n = objectives.len();
+        Dashboard {
+            objectives,
+            windows: vec![VecDeque::new(); n],
+            good: vec![0; n],
+            hists: BTreeMap::new(),
+            now: 0.0,
+        }
+    }
+
+    /// Fold one completion in and return the rolling stats to print.
+    fn update(&mut self, c: &Completion) -> DashStats {
+        let latency = c.queue_wait + c.backoff + c.service;
+        self.now = self.now.max(c.finish);
+        let mut worst_burn = 0.0f64;
+        for (i, o) in self.objectives.iter().enumerate() {
+            let w = &mut self.windows[i];
+            if o.class == c.class {
+                let good = c.outcome.served() && latency <= o.threshold_seconds;
+                let at = w.partition_point(|&(f, _)| f < c.finish);
+                w.insert(at, (c.finish, good));
+                if good {
+                    self.good[i] += 1;
+                }
+            }
+            // Age out samples that left the rolling window; `evaluate`
+            // keeps strictly `finish > now − window`.
+            let cutoff = self.now - o.window_seconds;
+            while w.front().is_some_and(|&(f, _)| f <= cutoff) {
+                if w.pop_front().expect("front exists").1 {
+                    self.good[i] -= 1;
+                }
+            }
+            let total = w.len() as u64;
+            if total > 0 {
+                let bad = (total - self.good[i]) as f64;
+                worst_burn = worst_burn.max(bad / total as f64 / o.budget());
+            }
+        }
+        if c.outcome.label() != "shed" {
+            self.hists.entry(c.class).or_default().observe(latency, &c.trace_id);
+        }
+        let (p50, p99, p999) = match self.hists.get(c.class) {
+            Some(h) => (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999)),
+            // Only sheds seen for this class so far: no admitted samples.
+            None => (0.0, 0.0, 0.0),
+        };
+        DashStats { p50, p99, p999, worst_burn }
+    }
 }
 
 /// One parsed HTTP request.
@@ -280,12 +375,20 @@ pub(crate) fn cmd_serve(args: &[String]) -> CmdResult {
 
     let mut handled: u64 = 0;
     let gap_s = f.gap_us * 1e-6;
+    let mut dashboard = f.dashboard.then(|| Dashboard::new(huff_core::slo::default_objectives()));
     for conn in listener.incoming() {
         let mut stream = match conn {
             Ok(s) => s,
             Err(_) => continue,
         };
-        handle_connection(&mut engine, &mut stream, handled, gap_s, f.deadline_ms, f.dashboard);
+        handle_connection(
+            &mut engine,
+            &mut stream,
+            handled,
+            gap_s,
+            f.deadline_ms,
+            dashboard.as_mut(),
+        );
         handled += 1;
         if f.max_requests.is_some_and(|m| handled >= m) {
             break;
@@ -315,7 +418,7 @@ fn handle_connection(
     seq: u64,
     gap_s: f64,
     default_deadline_ms: Option<f64>,
-    dashboard: bool,
+    dashboard: Option<&mut Dashboard>,
 ) {
     let req = match read_request(stream) {
         Ok(r) => r,
@@ -351,7 +454,7 @@ fn handle_job(
     seq: u64,
     gap_s: f64,
     default_deadline_ms: Option<f64>,
-    dashboard: bool,
+    dashboard: Option<&mut Dashboard>,
 ) {
     let trace_id = http
         .header("x-rsh-trace-id")
@@ -433,15 +536,9 @@ fn handle_job(
         }
     }
 
-    if dashboard {
+    if let Some(dash) = dashboard {
         let lat = completion.queue_wait + completion.backoff + completion.service;
-        let h = engine.latency().class(completion.class);
-        let worst_burn = engine
-            .slo_report(&huff_core::slo::default_objectives())
-            .statuses
-            .iter()
-            .map(|s| s.burn_rate)
-            .fold(0.0, f64::max);
+        let stats = dash.update(&completion);
         eprintln!(
             "rsh: dash {} class={} outcome={} lat_ms={:.4} p50_ms={:.4} p99_ms={:.4} \
              p999_ms={:.4} worst_burn={:.3}",
@@ -449,10 +546,57 @@ fn handle_job(
             completion.class,
             completion.outcome.label(),
             lat * 1e3,
-            h.quantile(0.50) * 1e3,
-            h.quantile(0.99) * 1e3,
-            h.quantile(0.999) * 1e3,
-            worst_burn,
+            stats.p50 * 1e3,
+            stats.p99 * 1e3,
+            stats.p999 * 1e3,
+            stats.worst_burn,
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use huff_core::batch::compress_batched;
+    use huff_core::slo;
+
+    /// The incremental dashboard must print the same rolling numbers a
+    /// full re-evaluation at the same instant would — per completion,
+    /// across admissions, sheds, deadline misses and chaos faults.
+    #[test]
+    fn dashboard_matches_full_slo_evaluation_per_request() {
+        let mut cfg = EngineConfig::new(256);
+        cfg.queue_capacity = 4;
+        cfg.batch.shard_symbols = 2048;
+        cfg.batch.symbol_bytes = 1;
+        let syms: Vec<u16> = (0..20_000).map(|i| (i % 64) as u16).collect();
+        let (frame, _) = compress_batched(&syms, &cfg.batch).unwrap();
+        let mut eng = Engine::with_chaos(cfg, ChaosConfig::storm(11));
+        let objectives = slo::default_objectives();
+        let mut dash = Dashboard::new(objectives.clone());
+        let mut sheds = 0;
+        for i in 0..30 {
+            let t = i as f64 * 40e-6;
+            let req = match i % 3 {
+                0 => Request::compress(format!("c{i}"), t, syms.clone()),
+                1 => Request::decompress(format!("d{i}"), t, frame.clone()).with_deadline(0.3),
+                _ => Request::decompress_range(format!("r{i}"), t, frame.clone(), 0..512),
+            };
+            let c = eng.submit(req).unwrap().clone();
+            sheds += usize::from(c.outcome.label() == "shed");
+            let stats = dash.update(&c);
+
+            let report = eng.slo_report(&objectives);
+            let batch_burn = report.statuses.iter().map(|s| s.burn_rate).fold(0.0, f64::max);
+            assert_eq!(
+                stats.worst_burn, batch_burn,
+                "request {i}: incremental burn diverged from slo::evaluate"
+            );
+            let h = eng.latency().admitted(c.class);
+            assert_eq!(stats.p50, h.quantile(0.50), "request {i}: p50 diverged");
+            assert_eq!(stats.p99, h.quantile(0.99), "request {i}: p99 diverged");
+            assert_eq!(stats.p999, h.quantile(0.999), "request {i}: p999 diverged");
+        }
+        assert!(sheds > 0, "the overload must exercise the shed path");
     }
 }

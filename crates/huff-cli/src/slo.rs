@@ -9,6 +9,9 @@
 //! with `--json`). `--chaos` replays the seeded fault storm from
 //! `huff_core::serve`, so deadline misses and device loss burn budget in
 //! a reproducible way: the same seed prints byte-identical reports.
+//! Exits 0 when every objective is met and 1 when any objective is
+//! burning its error budget — in `--json` mode too, so CI gates can key
+//! on the exit code without parsing the report.
 //!
 //! `--spans PATH` exports every request's span tree as `rsh-span-v1`
 //! JSONL and `--chrome PATH` the per-request Chrome/Perfetto lanes (see
@@ -186,11 +189,16 @@ pub(crate) fn cmd_slo(args: &[String]) -> CmdResult {
         print!("{}", render_latency(&engine));
         println!();
         print!("{}", report.render_table());
-        if !report.all_met() {
-            eprintln!("rsh: slo: at least one objective is burning its error budget");
-        }
     }
-    Ok(0)
+    // The documented contract: exit 1 when any objective is burning its
+    // budget, so CI gates can key on the exit code in both output modes
+    // (the warning goes to stderr, keeping --json stdout parseable).
+    if report.all_met() {
+        Ok(0)
+    } else {
+        eprintln!("rsh: slo: at least one objective is burning its error budget");
+        Ok(1)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +254,32 @@ mod tests {
     }
 
     #[test]
+    fn burning_budget_exits_one_in_both_output_modes() {
+        // A sub-service deadline forces every request to miss, so every
+        // objective burns regardless of the chaos schedule.
+        let mut args: Vec<String> = ["--chaos", "--requests", "9", "--deadline-ms", "0.0001"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = SloFlags::parse(&args).unwrap();
+        let report = run_sweep(&f).unwrap().slo_report(&slo::default_objectives());
+        assert!(!report.all_met(), "sub-service deadline must burn the budget");
+        assert_eq!(cmd_slo(&args).unwrap(), 1, "table mode must exit 1 while burning");
+        args.push("--json".into());
+        assert_eq!(cmd_slo(&args).unwrap(), 1, "--json mode must exit 1 while burning");
+    }
+
+    #[test]
+    fn clean_sweep_exits_zero() {
+        // The default fault-free sweep meets every stock objective
+        // (the README walkthrough output).
+        let f = SloFlags::parse(&[]).unwrap();
+        let report = run_sweep(&f).unwrap().slo_report(&slo::default_objectives());
+        assert!(report.all_met(), "fault-free default sweep must hold every objective");
+        assert_eq!(cmd_slo(&[]).unwrap(), 0);
+    }
+
+    #[test]
     fn cmd_slo_writes_span_and_chrome_exports() {
         let dir = std::env::temp_dir().join("rsh-slo-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -260,7 +294,11 @@ mod tests {
             "--chrome".into(),
             chrome.clone(),
         ];
-        assert_eq!(cmd_slo(&args).unwrap(), 0);
+        // The exit code is the SLO verdict, not the export status: it
+        // must match whether this seeded sweep meets every objective.
+        let f = SloFlags::parse(&args).unwrap();
+        let met = run_sweep(&f).unwrap().slo_report(&slo::default_objectives()).all_met();
+        assert_eq!(cmd_slo(&args).unwrap(), u8::from(!met));
         let s = std::fs::read_to_string(&spans).unwrap();
         assert!(s.lines().all(|l| l.starts_with("{\"schema\":\"rsh-span-v1\"")));
         assert!(s.contains("\"kind\":\"request\""));

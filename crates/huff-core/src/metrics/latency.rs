@@ -12,11 +12,15 @@
 //! it, so a p999 spike in a report links straight back to the span tree
 //! ([`super::span`]) of a concrete offending request.
 //!
-//! Alongside the buckets the histogram keeps every raw sample, so
-//! quantiles ([`LatencyHistogram::quantile`]) are exact nearest-rank
-//! values — deterministic, monotone in `q`, and free of interpolation
-//! artifacts — rather than bucket-boundary estimates. At serving-trace
-//! scales (thousands of requests) the extra memory is noise.
+//! Alongside the buckets the histogram keeps every raw sample, ordered
+//! by insertion position (binary search), so quantiles
+//! ([`LatencyHistogram::quantile`]) are exact nearest-rank values —
+//! deterministic, monotone in `q`, and free of interpolation artifacts
+//! — rather than bucket-boundary estimates, and each `quantile` call is
+//! a single index into the already-sorted samples (report paths ask for
+//! several quantiles per histogram; dashboards ask per request). At
+//! serving-trace scales (thousands of requests) the extra memory is
+//! noise.
 
 use serde::json::{Map, Value};
 use std::collections::BTreeMap;
@@ -52,10 +56,11 @@ pub struct Bucket {
 }
 
 /// A latency distribution: log2 buckets with exemplars, plus the raw
-/// samples for exact quantiles.
+/// samples (kept sorted ascending) for exact quantiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyHistogram {
     buckets: BTreeMap<u32, Bucket>,
+    /// Invariant: sorted ascending; [`Self::quantile`] indexes directly.
     samples: Vec<f64>,
     sum: f64,
 }
@@ -74,7 +79,8 @@ impl LatencyHistogram {
             b.exemplar_trace = trace_id.to_string();
             b.exemplar_latency = latency_seconds;
         }
-        self.samples.push(latency_seconds);
+        let at = self.samples.partition_point(|&x| x < latency_seconds);
+        self.samples.insert(at, latency_seconds);
         self.sum += latency_seconds;
     }
 
@@ -91,7 +97,11 @@ impl LatencyHistogram {
                 b.exemplar_latency = ob.exemplar_latency;
             }
         }
+        // Both inputs are sorted, so std's adaptive sort sees two runs
+        // and merges near-linearly; merge happens per report, not per
+        // observe.
         self.samples.extend_from_slice(&other.samples);
+        self.samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         self.sum += other.sum;
     }
 
@@ -112,11 +122,9 @@ impl LatencyHistogram {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let n = sorted.len();
+        let n = self.samples.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        sorted[rank - 1]
+        self.samples[rank - 1]
     }
 
     /// The exemplar trace id for the bucket containing `quantile(q)` —
@@ -194,6 +202,22 @@ impl LatencyBook {
         let mut out = LatencyHistogram::new();
         for ((c, _), h) in &self.hists {
             if c == class {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// The histograms of one class merged across every outcome *except*
+    /// `"shed"` — the admitted-request distribution. Shed requests never
+    /// consume a worker and are recorded at zero latency, so folding
+    /// them in deflates percentiles; reports whose columns promise
+    /// admitted-request latency must use this instead of
+    /// [`Self::class`].
+    pub fn admitted(&self, class: &str) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for ((c, o), h) in &self.hists {
+            if c == class && o != "shed" {
                 out.merge(h);
             }
         }
@@ -294,6 +318,50 @@ mod tests {
         assert_eq!(d.exemplar(0.99), Some("b"));
         assert!(b.get("decompress", "ok").is_some());
         assert!(b.get("decompress", "shed").is_none());
+    }
+
+    #[test]
+    fn observation_order_does_not_change_quantiles() {
+        let mut fwd = LatencyHistogram::new();
+        let mut rev = LatencyHistogram::new();
+        for i in 1..=50 {
+            fwd.observe(i as f64 * 1e-4, &format!("f{i}"));
+            rev.observe((51 - i) as f64 * 1e-4, &format!("r{i}"));
+        }
+        for q in [0.1, 0.5, 0.99, 0.999] {
+            assert_eq!(fwd.quantile(q), rev.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_keeps_samples_sorted_for_quantiles() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.observe(3e-3, "a3");
+        a.observe(1e-3, "a1");
+        b.observe(4e-3, "b4");
+        b.observe(2e-3, "b2");
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.quantile(0.5) - 2e-3).abs() < 1e-15);
+        assert!((a.quantile(1.0) - 4e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn admitted_excludes_zero_latency_sheds() {
+        let mut b = LatencyBook::new();
+        b.observe("compress", "ok", 2e-3, "a");
+        b.observe("compress", "degraded", 4e-3, "b");
+        b.observe("compress", "shed", 0.0, "c");
+        b.observe("compress", "shed", 0.0, "d");
+        // All-outcome view: the two zero samples drag p50 to zero.
+        assert_eq!(b.class("compress").count(), 4);
+        assert_eq!(b.class("compress").quantile(0.5), 0.0);
+        // Admitted view: only the served/degraded requests.
+        let adm = b.admitted("compress");
+        assert_eq!(adm.count(), 2);
+        assert!((adm.quantile(0.5) - 2e-3).abs() < 1e-15);
+        assert_eq!(adm.exemplar(0.999), Some("b"));
     }
 
     #[test]
